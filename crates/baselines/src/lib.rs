@@ -1,0 +1,27 @@
+//! # crossmine-baselines
+//!
+//! The comparison systems of CrossMine's evaluation (§7), reimplemented
+//! from their papers' algorithm descriptions:
+//!
+//! * [`foil`] — FOIL (Quinlan & Cameron-Jones), a sequential covering
+//!   learner evaluating literals over **physically materialized joins**;
+//! * [`tilde`] — TILDE (Blockeel & De Raedt), top-down induction of logical
+//!   decision trees, same join-based candidate evaluation;
+//! * [`label_prop`] — label propagation (Aronis & Provost), the §4.3
+//!   comparator showing why tuple *IDs* (not label counts) must be
+//!   propagated across 1-to-n joins.
+//!
+//! FOIL and TILDE deliberately retain the join-materialization cost model —
+//! it is exactly what Figures 9–12 measure CrossMine against. Both accept a
+//! wall-clock `timeout` mirroring the paper's 10-hour experiment cutoff.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod foil;
+pub mod label_prop;
+pub mod tilde;
+
+pub use foil::{Foil, FoilModel, FoilParams};
+pub use label_prop::{propagate_labels, LabelAnnotation, LabelCounts};
+pub use tilde::{Tilde, TildeModel, TildeParams};

@@ -1,0 +1,82 @@
+//! Ablations of CrossMine's design choices (DESIGN.md §4):
+//!
+//! * look-one-ahead on/off — cost of the wider search (§5.2);
+//! * aggregation literals on/off — cost of per-target statistics (§3.2);
+//! * fan-out constraint on/off — cost of unrestricted propagation (§4.3);
+//! * negative sampling on/off — the §6 speedup on imbalanced data;
+//! * ID propagation vs label propagation — per-edge cost of exactness (§4.3).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crossmine_baselines::label_prop::{propagate_labels, LabelAnnotation};
+use crossmine_core::idset::TargetSet;
+use crossmine_core::propagation::ClauseState;
+use crossmine_core::{CrossMine, CrossMineParams};
+use crossmine_relational::{ClassLabel, JoinGraph, Row};
+use crossmine_synth::{generate, GenParams};
+
+fn bench_learner_ablations(c: &mut Criterion) {
+    let db = generate(&GenParams {
+        num_relations: 10,
+        expected_tuples: 200,
+        min_tuples: 60,
+        seed: 2,
+        ..Default::default()
+    });
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+
+    let variants: Vec<(&str, CrossMineParams)> = vec![
+        ("full", CrossMineParams::default()),
+        (
+            "no_look_one_ahead",
+            CrossMineParams { look_one_ahead: false, ..Default::default() },
+        ),
+        (
+            "no_aggregation",
+            CrossMineParams { aggregation_literals: false, ..Default::default() },
+        ),
+        ("no_fanout_limit", CrossMineParams { max_fanout: None, ..Default::default() }),
+        ("with_sampling", CrossMineParams::with_sampling()),
+    ];
+
+    let mut group = c.benchmark_group("crossmine_ablations");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, params) in variants {
+        group.bench_function(name, |b| {
+            let clf = CrossMine::new(params.clone());
+            b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_propagation_vs_label_prop(c: &mut Criterion) {
+    let db = generate(&GenParams {
+        num_relations: 8,
+        expected_tuples: 1000,
+        seed: 2,
+        ..Default::default()
+    });
+    db.build_all_indexes();
+    let graph = JoinGraph::build(&db.schema);
+    let target = db.target().unwrap();
+    let edge = *graph.edges_from(target).next().expect("target has an edge");
+    let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
+
+    let mut group = c.benchmark_group("id_vs_label_propagation");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group.bench_function("tuple_id_propagation", |b| {
+        let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
+        b.iter(|| std::hint::black_box(state.propagate_edge(&edge)));
+    });
+    group.bench_function("label_propagation", |b| {
+        let ann = LabelAnnotation::from_target(&db, &is_pos);
+        b.iter(|| std::hint::black_box(propagate_labels(&db, &ann, &edge)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_learner_ablations, bench_propagation_vs_label_prop);
+criterion_main!(benches);

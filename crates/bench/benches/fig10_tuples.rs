@@ -1,0 +1,56 @@
+//! Figure 10 (bench form): training time vs tuples per relation on
+//! `R10.Tx.F2`, for CrossMine (± sampling), FOIL and TILDE. The quadratic
+//! growth of the join-based baselines vs CrossMine's near-linear growth is
+//! the paper's headline scaling result.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crossmine_baselines::{Foil, FoilParams, Tilde, TildeParams};
+use crossmine_core::{CrossMine, CrossMineParams};
+use crossmine_relational::Row;
+use crossmine_synth::{generate, GenParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_tuples");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for t in [100usize, 200, 400] {
+        let params = GenParams {
+            num_relations: 10,
+            expected_tuples: t,
+            min_tuples: t / 4,
+            seed: 1,
+            ..Default::default()
+        };
+        let db = generate(&params);
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+
+        group.bench_with_input(BenchmarkId::new("crossmine", t), &t, |b, _| {
+            let clf = CrossMine::default();
+            b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+        });
+        group.bench_with_input(BenchmarkId::new("crossmine_sampling", t), &t, |b, _| {
+            let clf = CrossMine::new(CrossMineParams::with_sampling());
+            b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+        });
+        group.bench_with_input(BenchmarkId::new("foil", t), &t, |b, _| {
+            let clf = Foil::new(FoilParams {
+                timeout: Some(Duration::from_secs(60)),
+                ..Default::default()
+            });
+            b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+        });
+        group.bench_with_input(BenchmarkId::new("tilde", t), &t, |b, _| {
+            let clf = Tilde::new(TildeParams {
+                timeout: Some(Duration::from_secs(60)),
+                ..Default::default()
+            });
+            b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

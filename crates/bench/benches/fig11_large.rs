@@ -1,0 +1,35 @@
+//! Figure 11 (bench form): CrossMine with negative sampling on growing
+//! databases — the paper runs this to 2 M total tuples; the bench covers
+//! three decades to expose the near-linear scaling.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crossmine_core::{CrossMine, CrossMineParams};
+use crossmine_relational::Row;
+use crossmine_synth::{generate, GenParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_large");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for t in [500usize, 2000, 8000] {
+        let params = GenParams {
+            num_relations: 10,
+            expected_tuples: t,
+            seed: 1,
+            ..Default::default()
+        };
+        let db = generate(&params);
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        group.throughput(criterion::Throughput::Elements(db.total_tuples() as u64));
+        group.bench_with_input(BenchmarkId::new("crossmine_sampling", t), &t, |b, _| {
+            let clf = CrossMine::new(CrossMineParams::with_sampling());
+            b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 12 (bench form): training time vs foreign keys per relation on
+//! `R10.T*.Fx`. More foreign keys mean more join edges per active relation,
+//! the one dimension along which CrossMine itself grows superlinearly.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crossmine_baselines::{Foil, FoilParams, Tilde, TildeParams};
+use crossmine_core::CrossMine;
+use crossmine_relational::Row;
+use crossmine_synth::{generate, GenParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_fks");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for f in [1usize, 2, 3] {
+        let params = GenParams {
+            num_relations: 10,
+            expected_tuples: 120,
+            min_tuples: 40,
+            expected_foreign_keys: f,
+            seed: 1,
+            ..Default::default()
+        };
+        let db = generate(&params);
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+
+        group.bench_with_input(BenchmarkId::new("crossmine", f), &f, |b, _| {
+            let clf = CrossMine::default();
+            b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+        });
+        group.bench_with_input(BenchmarkId::new("foil", f), &f, |b, _| {
+            let clf = Foil::new(FoilParams {
+                timeout: Some(Duration::from_secs(60)),
+                ..Default::default()
+            });
+            b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+        });
+        group.bench_with_input(BenchmarkId::new("tilde", f), &f, |b, _| {
+            let clf = Tilde::new(TildeParams {
+                timeout: Some(Duration::from_secs(60)),
+                ..Default::default()
+            });
+            b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 9 (bench form): training time vs number of relations on
+//! `Rx.T*.F2` databases, for CrossMine, FOIL and TILDE. Sizes are scaled so
+//! `cargo bench` stays fast; the experiment harness
+//! (`--bin experiments -- fig9 --full`) runs the paper's sizes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crossmine_baselines::{Foil, FoilParams, Tilde, TildeParams};
+use crossmine_core::CrossMine;
+use crossmine_relational::Row;
+use crossmine_synth::{generate, GenParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_relations");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for r in [5usize, 10, 20] {
+        let params = GenParams {
+            num_relations: r,
+            expected_tuples: 120,
+            min_tuples: 40,
+            seed: 1,
+            ..Default::default()
+        };
+        let db = generate(&params);
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+
+        group.bench_with_input(BenchmarkId::new("crossmine", r), &r, |b, _| {
+            let clf = CrossMine::default();
+            b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+        });
+        group.bench_with_input(BenchmarkId::new("foil", r), &r, |b, _| {
+            let clf = Foil::new(FoilParams {
+                timeout: Some(Duration::from_secs(60)),
+                ..Default::default()
+            });
+            b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+        });
+        group.bench_with_input(BenchmarkId::new("tilde", r), &r, |b, _| {
+            let clf = Tilde::new(TildeParams {
+                timeout: Some(Duration::from_secs(60)),
+                ..Default::default()
+            });
+            b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Microbenchmarks of CrossMine's hot paths: tuple-ID propagation, foil
+//! gain, best-literal search, clause application, and the two physical join
+//! strategies the baselines use.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crossmine_core::idset::{Stamp, TargetSet};
+use crossmine_core::propagation::ClauseState;
+use crossmine_core::search::best_constraint_in;
+use crossmine_core::CrossMineParams;
+use crossmine_relational::{BindingTable, ClassLabel, Database, JoinEdge, JoinGraph};
+use crossmine_synth::{generate, GenParams};
+
+fn test_db(tuples: usize) -> Database {
+    generate(&GenParams {
+        num_relations: 8,
+        expected_tuples: tuples,
+        min_tuples: tuples / 4,
+        seed: 3,
+        ..Default::default()
+    })
+}
+
+fn target_edge(db: &Database, graph: &JoinGraph) -> JoinEdge {
+    let target = db.target().unwrap();
+    *graph
+        .edges_from(target)
+        .next()
+        .expect("target has at least one join edge")
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for tuples in [200usize, 1000, 5000] {
+        let db = test_db(tuples);
+        db.build_all_indexes();
+        let graph = JoinGraph::build(&db.schema);
+        let edge = target_edge(&db, &graph);
+        let is_pos: Vec<bool> =
+            db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
+        let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
+        group.bench_with_input(BenchmarkId::new("one_edge", tuples), &tuples, |b, _| {
+            b.iter(|| std::hint::black_box(state.propagate_edge(&edge)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gain(c: &mut Criterion) {
+    c.bench_function("foil_gain", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in 1..50usize {
+                acc += crossmine_core::gain::foil_gain(
+                    std::hint::black_box(50),
+                    std::hint::black_box(50),
+                    p,
+                    50 - p,
+                );
+            }
+            acc
+        });
+    });
+}
+
+fn bench_literal_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("literal_search");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for tuples in [200usize, 1000] {
+        let db = test_db(tuples);
+        db.build_all_indexes();
+        let graph = JoinGraph::build(&db.schema);
+        let edge = target_edge(&db, &graph);
+        let is_pos: Vec<bool> =
+            db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
+        let targets = TargetSet::all(&is_pos);
+        let state = ClauseState::new(&db, &is_pos, targets.clone());
+        let ann = state.propagate_edge(&edge);
+        let params = CrossMineParams::default();
+        group.bench_with_input(BenchmarkId::new("one_relation", tuples), &tuples, |b, _| {
+            let mut stamp = Stamp::new(db.num_targets());
+            b.iter(|| {
+                std::hint::black_box(best_constraint_in(
+                    &db, edge.to, &ann, &targets, &is_pos, &mut stamp, &params, true,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("physical_join");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for tuples in [200usize, 1000] {
+        let db = test_db(tuples);
+        db.build_all_indexes();
+        let graph = JoinGraph::build(&db.schema);
+        let edge = target_edge(&db, &graph);
+        let target = db.target().unwrap();
+        let table = BindingTable::from_targets(target, db.relation(target).iter_rows());
+        group.bench_with_input(BenchmarkId::new("indexed", tuples), &tuples, |b, _| {
+            b.iter(|| std::hint::black_box(table.join(&db, 0, &edge)));
+        });
+        group.bench_with_input(BenchmarkId::new("nested_loop", tuples), &tuples, |b, _| {
+            b.iter(|| std::hint::black_box(table.join_scan(&db, 0, &edge)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_disk_vs_memory_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_vs_memory_propagation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let db = test_db(2000);
+    db.build_all_indexes();
+    let graph = JoinGraph::build(&db.schema);
+    let edge = target_edge(&db, &graph);
+    let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
+    let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
+    group.bench_function("in_memory", |b| {
+        b.iter(|| std::hint::black_box(state.propagate_edge(&edge)));
+    });
+    let path = std::env::temp_dir().join("crossmine-bench-disk.pages");
+    let mut disk = crossmine_storage::DiskDatabase::spill(&db, &path, 32).unwrap();
+    let target = db.target().unwrap();
+    group.bench_function("disk_resident", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                crossmine_storage::propagate_disk(
+                    &mut disk,
+                    state.annotation(target).unwrap(),
+                    &edge,
+                )
+                .unwrap(),
+            )
+        });
+    });
+    std::fs::remove_file(&path).ok();
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_propagation,
+    bench_gain,
+    bench_literal_search,
+    bench_joins,
+    bench_disk_vs_memory_propagation
+);
+criterion_main!(benches);

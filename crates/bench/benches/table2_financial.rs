@@ -1,0 +1,44 @@
+//! Table 2 (bench form): training time on the (simulated, 1/10-scale)
+//! PKDD CUP'99 financial database for all four table rows. The full-size
+//! run lives in the experiment harness (`experiments -- table2 --full`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crossmine_baselines::{Foil, FoilParams, Tilde, TildeParams};
+use crossmine_core::{CrossMine, CrossMineParams};
+use crossmine_datasets::{generate_financial, FinancialConfig};
+use crossmine_relational::Row;
+
+fn bench(c: &mut Criterion) {
+    let db = generate_financial(&FinancialConfig::small());
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+
+    let mut group = c.benchmark_group("table2_financial_small");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("crossmine", |b| {
+        let clf = CrossMine::default();
+        b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+    });
+    group.bench_function("crossmine_sampling", |b| {
+        let clf = CrossMine::new(CrossMineParams::with_sampling());
+        b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+    });
+    group.bench_function("foil", |b| {
+        let clf =
+            Foil::new(FoilParams { timeout: Some(Duration::from_secs(120)), ..Default::default() });
+        b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+    });
+    group.bench_function("tilde", |b| {
+        let clf = Tilde::new(TildeParams {
+            timeout: Some(Duration::from_secs(120)),
+            ..Default::default()
+        });
+        b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

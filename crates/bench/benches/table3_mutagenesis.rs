@@ -1,0 +1,39 @@
+//! Table 3 (bench form): training time on the (simulated) Mutagenesis
+//! database — small enough that all three approaches run at full size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crossmine_baselines::{Foil, FoilParams, Tilde, TildeParams};
+use crossmine_core::CrossMine;
+use crossmine_datasets::{generate_mutagenesis, MutagenesisConfig};
+use crossmine_relational::Row;
+
+fn bench(c: &mut Criterion) {
+    let db = generate_mutagenesis(&MutagenesisConfig::default());
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+
+    let mut group = c.benchmark_group("table3_mutagenesis");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("crossmine", |b| {
+        let clf = CrossMine::default();
+        b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+    });
+    group.bench_function("foil", |b| {
+        let clf =
+            Foil::new(FoilParams { timeout: Some(Duration::from_secs(120)), ..Default::default() });
+        b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+    });
+    group.bench_function("tilde", |b| {
+        let clf = Tilde::new(TildeParams {
+            timeout: Some(Duration::from_secs(120)),
+            ..Default::default()
+        });
+        b.iter(|| std::hint::black_box(clf.fit(&db, &rows)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

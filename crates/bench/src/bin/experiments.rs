@@ -1,0 +1,92 @@
+//! Regenerates the CrossMine paper's evaluation tables and figures.
+//!
+//! ```text
+//! experiments [fig9 fig10 fig11 fig12 table2 table3 | all]
+//!             [--full] [--timeout SECONDS] [--seed N]
+//! ```
+//!
+//! Scaled sizes run in minutes; `--full` uses the paper's parameters (the
+//! join-based baselines may then run for hours — raise `--timeout`).
+
+use std::time::Duration;
+
+use crossmine_bench::{ablations, fig10, fig11, fig12, fig9, render, table2, table3, HarnessConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = HarnessConfig::default();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => config.full = true,
+            "--timeout" => {
+                i += 1;
+                let secs: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--timeout needs a number of seconds"));
+                config.timeout = Duration::from_secs(secs);
+            }
+            "--seed" => {
+                i += 1;
+                config.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "all" => experiments.extend(
+                ["fig9", "fig10", "fig11", "fig12", "table2", "table3", "ablations"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            ),
+            name @ ("fig9" | "fig10" | "fig11" | "fig12" | "table2" | "table3"
+            | "ablations") => experiments.push(name.to_string()),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        usage("no experiment selected");
+    }
+
+    println!(
+        "# CrossMine experiment harness — {} sizes, baseline timeout {:?}, seed {}\n",
+        if config.full { "FULL (paper)" } else { "scaled" },
+        config.timeout,
+        config.seed
+    );
+    for exp in experiments {
+        let (title, rows) = match exp.as_str() {
+            "fig9" => {
+                ("Figure 9: runtime & accuracy vs number of relations (Rx.T*.F2)", fig9(&config))
+            }
+            "fig10" => (
+                "Figure 10: runtime & accuracy vs tuples per relation (R20.Tx.F2)",
+                fig10(&config),
+            ),
+            "fig11" => {
+                ("Figure 11: CrossMine+sampling on large databases (R20.Tx.F2)", fig11(&config))
+            }
+            "fig12" => {
+                ("Figure 12: runtime & accuracy vs foreign keys (R20.T*.Fx)", fig12(&config))
+            }
+            "table2" => ("Table 2: PKDD CUP'99 financial database", table2(&config)),
+            "ablations" => {
+                ("Ablations: CrossMine design choices (DESIGN.md)", ablations(&config))
+            }
+            "table3" => ("Table 3: Mutagenesis database", table3(&config)),
+            _ => unreachable!("validated above"),
+        };
+        println!("{}", render(title, &rows));
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: experiments [fig9 fig10 fig11 fig12 table2 table3 ablations | all] \
+         [--full] [--timeout SECONDS] [--seed N]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,371 @@
+//! # crossmine-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! CrossMine paper's evaluation (§7), plus shared helpers for the Criterion
+//! benches.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p crossmine-bench --bin experiments -- all
+//! cargo run --release -p crossmine-bench --bin experiments -- fig9 --full
+//! ```
+//!
+//! By default experiments run at *scaled* sizes (minutes, not the paper's
+//! 10-hour cutoffs); `--full` uses the paper's parameters. Absolute times
+//! differ from the 2004 hardware — the claims under test are the shapes:
+//! who wins, by roughly what factor, and how runtimes grow along each
+//! parameter sweep.
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use crossmine_baselines::common::CandidateSpace;
+use crossmine_baselines::{Foil, FoilParams, Tilde, TildeParams};
+use crossmine_core::{cross_validate, CrossMine, CrossMineParams, RelationalClassifier};
+use crossmine_datasets::{FinancialConfig, MutagenesisConfig};
+use crossmine_relational::Database;
+use crossmine_synth::GenParams;
+
+/// One row of an experiment's output table.
+#[derive(Debug, Clone)]
+pub struct ExperimentRow {
+    /// The x-axis label (`R50.T500.F2`, `financial`, ...).
+    pub workload: String,
+    /// The approach measured.
+    pub approach: String,
+    /// Mean cross-validated accuracy.
+    pub accuracy: f64,
+    /// Mean per-fold runtime (train + predict), as the paper reports.
+    pub runtime: Duration,
+    /// Number of folds actually executed.
+    pub folds: usize,
+}
+
+/// Global knobs of a harness run.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Use the paper's full sizes instead of the scaled defaults.
+    pub full: bool,
+    /// Per-fold timeout for the join-based baselines (the paper stops
+    /// experiments "much greater than 10 hours").
+    pub timeout: Duration,
+    /// RNG seed for database generation and fold assignment.
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig { full: false, timeout: Duration::from_secs(300), seed: 1 }
+    }
+}
+
+/// The approaches compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Approach {
+    /// CrossMine with the paper's default parameters.
+    CrossMine,
+    /// CrossMine with negative-tuple sampling (§6).
+    CrossMineSampling,
+    /// FOIL over physically materialized joins.
+    Foil,
+    /// TILDE logical decision trees.
+    Tilde,
+}
+
+impl Approach {
+    /// Display name used in the output tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Approach::CrossMine => "CrossMine",
+            Approach::CrossMineSampling => "CrossMine+sampling",
+            Approach::Foil => "FOIL",
+            Approach::Tilde => "TILDE",
+        }
+    }
+}
+
+fn classifier(approach: Approach, timeout: Duration) -> Box<dyn RelationalClassifier> {
+    match approach {
+        Approach::CrossMine => Box::new(CrossMine::default()),
+        Approach::CrossMineSampling => Box::new(CrossMine::new(CrossMineParams::with_sampling())),
+        Approach::Foil => {
+            Box::new(Foil::new(FoilParams { timeout: Some(timeout), ..Default::default() }))
+        }
+        Approach::Tilde => {
+            Box::new(Tilde::new(TildeParams { timeout: Some(timeout), ..Default::default() }))
+        }
+    }
+}
+
+/// Runs `approach` on `db` with `folds` of 10-fold CV (the paper runs only
+/// the first fold of slow algorithms).
+pub fn measure(
+    db: &Database,
+    workload: &str,
+    approach: Approach,
+    folds: usize,
+    config: &HarnessConfig,
+) -> ExperimentRow {
+    let clf = classifier(approach, config.timeout);
+    let result = cross_validate(&clf, db, 10, config.seed, folds);
+    ExperimentRow {
+        workload: workload.to_string(),
+        approach: approach.name().to_string(),
+        accuracy: result.mean_accuracy(),
+        runtime: result.mean_time(),
+        folds: result.fold_accuracies.len(),
+    }
+}
+
+/// Figure 9: scalability w.r.t. the number of relations (`Rx.T500.F2`).
+pub fn fig9(config: &HarnessConfig) -> Vec<ExperimentRow> {
+    let (relations, tuples): (Vec<usize>, usize) = if config.full {
+        (vec![10, 20, 50, 100, 200], 500)
+    } else {
+        (vec![10, 20, 50], 300)
+    };
+    let mut rows = Vec::new();
+    for r in relations {
+        let params = GenParams {
+            num_relations: r,
+            expected_tuples: tuples,
+            seed: config.seed,
+            ..Default::default()
+        };
+        let db = crossmine_synth::generate(&params);
+        let name = params.name();
+        let cm_folds = 2;
+        rows.push(measure(&db, &name, Approach::CrossMine, cm_folds, config));
+        rows.push(measure(&db, &name, Approach::Foil, 1, config));
+        rows.push(measure(&db, &name, Approach::Tilde, 1, config));
+    }
+    rows
+}
+
+/// Figure 10: scalability w.r.t. tuples per relation (`R20.Tx.F2`),
+/// including CrossMine with negative sampling.
+pub fn fig10(config: &HarnessConfig) -> Vec<ExperimentRow> {
+    let tuples: Vec<usize> =
+        if config.full { vec![200, 500, 1000, 2000, 5000] } else { vec![200, 500, 1000] };
+    let mut rows = Vec::new();
+    for t in tuples {
+        let params = GenParams {
+            num_relations: 20,
+            expected_tuples: t,
+            seed: config.seed,
+            ..Default::default()
+        };
+        let db = crossmine_synth::generate(&params);
+        let name = params.name();
+        let cm_folds = 2;
+        rows.push(measure(&db, &name, Approach::CrossMine, cm_folds, config));
+        rows.push(measure(&db, &name, Approach::CrossMineSampling, cm_folds, config));
+        rows.push(measure(&db, &name, Approach::Foil, 1, config));
+        rows.push(measure(&db, &name, Approach::Tilde, 1, config));
+    }
+    rows
+}
+
+/// Figure 11: CrossMine (with sampling) alone on large databases — up to
+/// 2 M tuples (`R20.T100000.F2`) at full scale.
+pub fn fig11(config: &HarnessConfig) -> Vec<ExperimentRow> {
+    let tuples: Vec<usize> = if config.full {
+        vec![200, 500, 1000, 2000, 5000, 10_000, 20_000, 50_000, 100_000]
+    } else {
+        vec![200, 1000, 5000, 20_000]
+    };
+    let mut rows = Vec::new();
+    for t in tuples {
+        let params = GenParams {
+            num_relations: 20,
+            expected_tuples: t,
+            seed: config.seed,
+            ..Default::default()
+        };
+        let db = crossmine_synth::generate(&params);
+        let name = params.name();
+        rows.push(measure(&db, &name, Approach::CrossMineSampling, 1, config));
+    }
+    rows
+}
+
+/// Figure 12: scalability w.r.t. foreign keys per relation (`R20.T500.Fx`).
+pub fn fig12(config: &HarnessConfig) -> Vec<ExperimentRow> {
+    let fks: Vec<usize> = vec![1, 2, 3, 4, 5];
+    let tuples = if config.full { 500 } else { 300 };
+    let mut rows = Vec::new();
+    for f in fks {
+        let params = GenParams {
+            num_relations: 20,
+            expected_tuples: tuples,
+            expected_foreign_keys: f,
+            seed: config.seed,
+            ..Default::default()
+        };
+        let db = crossmine_synth::generate(&params);
+        let name = params.name();
+        let cm_folds = 2;
+        rows.push(measure(&db, &name, Approach::CrossMine, cm_folds, config));
+        rows.push(measure(&db, &name, Approach::Foil, 1, config));
+        rows.push(measure(&db, &name, Approach::Tilde, 1, config));
+    }
+    rows
+}
+
+/// Table 2: the financial database (10-fold).
+pub fn table2(config: &HarnessConfig) -> Vec<ExperimentRow> {
+    let db = crossmine_datasets::generate_financial(&if config.full {
+        FinancialConfig::default()
+    } else {
+        FinancialConfig::small()
+    });
+    let name = "financial";
+    let baseline_folds = if config.full { 10 } else { 1 };
+    vec![
+        measure(&db, name, Approach::CrossMine, 10, config),
+        measure(&db, name, Approach::CrossMineSampling, 10, config),
+        measure(&db, name, Approach::Foil, baseline_folds, config),
+        measure(&db, name, Approach::Tilde, baseline_folds, config),
+    ]
+}
+
+/// Table 3: the Mutagenesis database (10-fold).
+pub fn table3(config: &HarnessConfig) -> Vec<ExperimentRow> {
+    let db = crossmine_datasets::generate_mutagenesis(&MutagenesisConfig::default());
+    let name = "mutagenesis";
+    let baseline_folds = if config.full { 10 } else { 3 };
+    vec![
+        measure(&db, name, Approach::CrossMine, 10, config),
+        measure(&db, name, Approach::Foil, baseline_folds, config),
+        measure(&db, name, Approach::Tilde, baseline_folds, config),
+    ]
+}
+
+/// Ablations of CrossMine's design choices on a mid-size synthetic database
+/// and the financial database: look-one-ahead, aggregation literals, the
+/// fan-out constraint, and negative sampling.
+pub fn ablations(config: &HarnessConfig) -> Vec<ExperimentRow> {
+    let variants: Vec<(&str, CrossMineParams)> = vec![
+        ("full", CrossMineParams::default()),
+        ("no look-one-ahead", CrossMineParams { look_one_ahead: false, ..Default::default() }),
+        ("no aggregation", CrossMineParams { aggregation_literals: false, ..Default::default() }),
+        ("no fan-out limit", CrossMineParams { max_fanout: None, ..Default::default() }),
+        ("with sampling", CrossMineParams::with_sampling()),
+    ];
+    let synth_params = GenParams {
+        num_relations: 20,
+        expected_tuples: if config.full { 500 } else { 300 },
+        seed: config.seed,
+        ..Default::default()
+    };
+    let synth_db = crossmine_synth::generate(&synth_params);
+    let fin_db = crossmine_datasets::generate_financial(&if config.full {
+        FinancialConfig::default()
+    } else {
+        FinancialConfig::small()
+    });
+    let mut rows = Vec::new();
+    for (db, workload, folds) in
+        [(&synth_db, synth_params.name(), 3), (&fin_db, "financial".to_string(), 10)]
+    {
+        for (name, params) in &variants {
+            let clf = CrossMine::new(params.clone());
+            let result = cross_validate(&clf, db, 10, config.seed, folds);
+            rows.push(ExperimentRow {
+                workload: workload.clone(),
+                approach: format!("CrossMine {name}"),
+                accuracy: result.mean_accuracy(),
+                runtime: result.mean_time(),
+                folds: result.fold_accuracies.len(),
+            });
+        }
+        // Baseline candidate-space ablation: what schema knowledge is worth
+        // to the join-based learners (historical untyped keys vs the §3.1
+        // join graph).
+        for (name, space) in [
+            ("FOIL untyped keys", CandidateSpace::UntypedKeys),
+            ("FOIL schema joins", CandidateSpace::SchemaJoins),
+        ] {
+            let clf = Foil::new(FoilParams {
+                timeout: Some(config.timeout),
+                space,
+                ..Default::default()
+            });
+            let result = cross_validate(&clf, db, 10, config.seed, 1);
+            rows.push(ExperimentRow {
+                workload: workload.clone(),
+                approach: name.to_string(),
+                accuracy: result.mean_accuracy(),
+                runtime: result.mean_time(),
+                folds: result.fold_accuracies.len(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders rows as an aligned text table.
+pub fn render(title: &str, rows: &[ExperimentRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<16} {:<20} {:>9} {:>14} {:>6}\n",
+        "workload", "approach", "accuracy", "runtime", "folds"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:<20} {:>8.1}% {:>14} {:>6}\n",
+            r.workload,
+            r.approach,
+            100.0 * r.accuracy,
+            format!("{:.3?}", r.runtime),
+            r.folds,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approach_names() {
+        assert_eq!(Approach::CrossMine.name(), "CrossMine");
+        assert_eq!(Approach::CrossMineSampling.name(), "CrossMine+sampling");
+    }
+
+    #[test]
+    fn measure_runs_a_tiny_experiment() {
+        let params = GenParams {
+            num_relations: 4,
+            expected_tuples: 60,
+            min_tuples: 20,
+            seed: 5,
+            ..Default::default()
+        };
+        let db = crossmine_synth::generate(&params);
+        let config = HarnessConfig::default();
+        let row = measure(&db, &params.name(), Approach::CrossMine, 1, &config);
+        assert_eq!(row.folds, 1);
+        assert!(row.accuracy >= 0.0 && row.accuracy <= 1.0);
+        assert_eq!(row.workload, "R4.T60.F2");
+    }
+
+    #[test]
+    fn render_formats_rows() {
+        let rows = vec![ExperimentRow {
+            workload: "R10.T500.F2".into(),
+            approach: "CrossMine".into(),
+            accuracy: 0.9123,
+            runtime: Duration::from_millis(1234),
+            folds: 10,
+        }];
+        let s = render("Figure 9", &rows);
+        assert!(s.contains("Figure 9"));
+        assert!(s.contains("91.2%"));
+        assert!(s.contains("R10.T500.F2"));
+    }
+}

@@ -1,0 +1,261 @@
+//! The trained CrossMine model and its prediction procedure (§5.3).
+
+use crossmine_relational::{ClassLabel, Database, JoinGraph, Row};
+
+use crate::clause::Clause;
+use crate::idset::{Stamp, TargetSet};
+use crate::learner::ClauseLearner;
+use crate::params::CrossMineParams;
+use crate::propagation::ClauseState;
+
+/// The CrossMine classifier (untrained): parameters only.
+#[derive(Debug, Clone, Default)]
+pub struct CrossMine {
+    /// Learner hyper-parameters.
+    pub params: CrossMineParams,
+}
+
+/// A trained model: one clause set per class (one-vs-rest, §5.3), ranked for
+/// prediction, plus the majority class as the fallback.
+#[derive(Debug, Clone)]
+pub struct CrossMineModel {
+    /// All learned clauses across classes, sorted by estimated accuracy
+    /// descending — the order they are tried at prediction time.
+    pub clauses: Vec<Clause>,
+    /// Predicted when no clause fires: the majority training class.
+    pub default_label: ClassLabel,
+    /// Distinct classes seen at training time.
+    pub classes: Vec<ClassLabel>,
+}
+
+impl CrossMine {
+    /// A classifier with the paper's default parameters.
+    pub fn new(params: CrossMineParams) -> Self {
+        CrossMine { params }
+    }
+
+    /// Trains on the target tuples `train_rows` of `db`. For each class `C`,
+    /// tuples of `C` are the positives and all others negatives (§5.3).
+    pub fn fit(&self, db: &Database, train_rows: &[Row]) -> CrossMineModel {
+        let graph = JoinGraph::build(&db.schema);
+        self.fit_with_graph(db, train_rows, &graph)
+    }
+
+    /// [`fit`](Self::fit) with a pre-built join graph (avoids rebuilding it
+    /// across folds).
+    pub fn fit_with_graph(
+        &self,
+        db: &Database,
+        train_rows: &[Row],
+        graph: &JoinGraph,
+    ) -> CrossMineModel {
+        let mut class_counts: Vec<(ClassLabel, usize)> = Vec::new();
+        for &r in train_rows {
+            let l = db.label(r);
+            match class_counts.iter_mut().find(|(c, _)| *c == l) {
+                Some((_, n)) => *n += 1,
+                None => class_counts.push((l, 1)),
+            }
+        }
+        class_counts.sort_by_key(|&(c, _)| c);
+        let classes: Vec<ClassLabel> = class_counts.iter().map(|&(c, _)| c).collect();
+        let default_label = class_counts
+            .iter()
+            .max_by_key(|&&(c, n)| (n, std::cmp::Reverse(c)))
+            .map(|&(c, _)| c)
+            .unwrap_or(ClassLabel::NEG);
+
+        let mut clauses: Vec<Clause> = Vec::new();
+        for &class in &classes {
+            let learner = ClauseLearner::new(db, graph, &self.params, class, classes.len());
+            clauses.extend(learner.find_clauses(train_rows));
+        }
+        clauses.sort_by(|a, b| {
+            b.accuracy.partial_cmp(&a.accuracy).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        CrossMineModel { clauses, default_label, classes }
+    }
+}
+
+impl CrossMineModel {
+    /// Predicts the class of each row: the label of the most accurate clause
+    /// it satisfies, else the default label (§5.3). Clause satisfaction is
+    /// computed with tuple-ID propagation, all rows at once per clause.
+    pub fn predict(&self, db: &Database, rows: &[Row]) -> Vec<ClassLabel> {
+        let num_targets = db.num_targets();
+        // Positivity flags are irrelevant for satisfaction checking.
+        let dummy_pos = vec![false; num_targets];
+        let mut stamp = Stamp::new(num_targets);
+
+        let mut prediction: Vec<Option<ClassLabel>> = vec![None; rows.len()];
+        // Map target row id -> index in `rows`.
+        let mut slot_of: Vec<Option<usize>> = vec![None; num_targets];
+        for (i, r) in rows.iter().enumerate() {
+            slot_of[r.0 as usize] = Some(i);
+        }
+
+        let mut unassigned = TargetSet::from_rows(&dummy_pos, rows.iter().copied());
+        for clause in &self.clauses {
+            if unassigned.is_empty() {
+                break;
+            }
+            let mut state = ClauseState::new(db, &dummy_pos, unassigned.clone());
+            for lit in &clause.literals {
+                state.apply_literal(lit, &mut stamp);
+                if state.targets.is_empty() {
+                    break;
+                }
+            }
+            for r in state.targets.iter() {
+                if let Some(slot) = slot_of[r.0 as usize] {
+                    if prediction[slot].is_none() {
+                        prediction[slot] = Some(clause.label);
+                    }
+                }
+                unassigned.remove(r.0, &dummy_pos);
+            }
+        }
+        prediction.into_iter().map(|p| p.unwrap_or(self.default_label)).collect()
+    }
+
+    /// The rows among `rows` satisfying `clause` (exposed for diagnostics
+    /// and the baselines' shared evaluation).
+    pub fn satisfiers(&self, db: &Database, clause: &Clause, rows: &[Row]) -> Vec<Row> {
+        let num_targets = db.num_targets();
+        let dummy_pos = vec![false; num_targets];
+        let mut stamp = Stamp::new(num_targets);
+        let initial = TargetSet::from_rows(&dummy_pos, rows.iter().copied());
+        let mut state = ClauseState::new(db, &dummy_pos, initial);
+        for lit in &clause.literals {
+            state.apply_literal(lit, &mut stamp);
+        }
+        state.targets.iter().collect()
+    }
+
+    /// Number of learned clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossmine_relational::{
+        AttrType, Attribute, DatabaseSchema, RelationSchema, Value,
+    };
+
+    /// Single-relation database where c='a' => POS, else NEG.
+    fn simple_db(n: u64) -> Database {
+        let mut schema = DatabaseSchema::new();
+        let mut t = RelationSchema::new("T");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        let mut c = Attribute::new("c", AttrType::Categorical);
+        c.intern("a");
+        c.intern("b");
+        t.add_attribute(c).unwrap();
+        let tid = schema.add_relation(t).unwrap();
+        schema.set_target(tid);
+        let mut db = Database::new(schema).unwrap();
+        for i in 0..n {
+            let code = (i % 2) as u32;
+            db.push_row(tid, vec![Value::Key(i), Value::Cat(code)]).unwrap();
+            db.push_label(if code == 0 { ClassLabel::POS } else { ClassLabel::NEG });
+        }
+        db
+    }
+
+    #[test]
+    fn fit_predict_separable() {
+        let db = simple_db(60);
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let (train, test): (Vec<Row>, Vec<Row>) =
+            rows.iter().partition(|r| r.0 < 40);
+        let model = CrossMine::default().fit(&db, &train);
+        assert!(model.num_clauses() >= 1);
+        let preds = model.predict(&db, &test);
+        let correct = preds
+            .iter()
+            .zip(&test)
+            .filter(|(p, r)| **p == db.label(**r))
+            .count();
+        assert_eq!(correct, test.len(), "separable data must be classified perfectly");
+    }
+
+    #[test]
+    fn default_label_is_majority() {
+        let mut db = simple_db(10);
+        // Make labels 7 NEG / 3 POS regardless of attributes.
+        let labels: Vec<ClassLabel> = (0..10)
+            .map(|i| if i < 3 { ClassLabel::POS } else { ClassLabel::NEG })
+            .collect();
+        db.set_labels(labels).unwrap();
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let model = CrossMine::default().fit(&db, &rows);
+        assert_eq!(model.default_label, ClassLabel::NEG);
+    }
+
+    #[test]
+    fn predict_unseen_rows_fall_back_to_default() {
+        let db = simple_db(20);
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        // Train with an impossible gain threshold: no clauses at all.
+        let cm = CrossMine::new(CrossMineParams { min_foil_gain: 1e9, ..Default::default() });
+        let model = cm.fit(&db, &rows);
+        assert_eq!(model.num_clauses(), 0);
+        let preds = model.predict(&db, &rows);
+        assert!(preds.iter().all(|&p| p == model.default_label));
+    }
+
+    #[test]
+    fn clauses_sorted_by_accuracy() {
+        let db = simple_db(60);
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let model = CrossMine::default().fit(&db, &rows);
+        for w in model.clauses.windows(2) {
+            assert!(w[0].accuracy >= w[1].accuracy);
+        }
+    }
+
+    #[test]
+    fn multiclass_three_way() {
+        // c in {a,b,c} maps to three classes.
+        let mut schema = DatabaseSchema::new();
+        let mut t = RelationSchema::new("T");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        let mut c = Attribute::new("c", AttrType::Categorical);
+        c.intern("a");
+        c.intern("b");
+        c.intern("c");
+        t.add_attribute(c).unwrap();
+        let tid = schema.add_relation(t).unwrap();
+        schema.set_target(tid);
+        let mut db = Database::new(schema).unwrap();
+        for i in 0..90u64 {
+            let code = (i % 3) as u32;
+            db.push_row(tid, vec![Value::Key(i), Value::Cat(code)]).unwrap();
+            db.push_label(ClassLabel(code));
+        }
+        let rows: Vec<Row> = db.relation(tid).iter_rows().collect();
+        let model = CrossMine::default().fit(&db, &rows);
+        assert_eq!(model.classes.len(), 3);
+        let preds = model.predict(&db, &rows);
+        let correct = preds.iter().zip(&rows).filter(|(p, r)| **p == db.label(**r)).count();
+        assert_eq!(correct, rows.len());
+    }
+
+    #[test]
+    fn satisfiers_match_prediction_machinery() {
+        let db = simple_db(20);
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let model = CrossMine::default().fit(&db, &rows);
+        let pos_clause = model
+            .clauses
+            .iter()
+            .find(|c| c.label == ClassLabel::POS)
+            .expect("positive clause");
+        let sat = model.satisfiers(&db, pos_clause, &rows);
+        assert_eq!(sat.len(), 10);
+        assert!(sat.iter().all(|r| db.label(*r) == ClassLabel::POS));
+    }
+}

@@ -1,0 +1,116 @@
+//! Clauses: lists of complex literals with a predicted class (§3.3).
+
+use crossmine_relational::{ClassLabel, DatabaseSchema};
+
+use crate::gain::laplace_accuracy;
+use crate::literal::ComplexLiteral;
+
+/// A learned clause: `target(label) :- literal, literal, ...` plus the
+/// bookkeeping CrossMine needs for prediction (estimated accuracy, eq. 3/4)
+/// and diagnostics (training support).
+#[derive(Debug, Clone)]
+pub struct Clause {
+    /// The complex literals, in the order they were appended.
+    pub literals: Vec<ComplexLiteral>,
+    /// The class this clause predicts.
+    pub label: ClassLabel,
+    /// Positive training tuples satisfying the clause when it was built.
+    pub sup_pos: usize,
+    /// Negative training tuples satisfying the clause (estimated from the
+    /// sample when negative sampling was used, hence fractional — §6).
+    pub sup_neg: f64,
+    /// Laplace accuracy estimate used to rank clauses at prediction time.
+    pub accuracy: f64,
+}
+
+impl Clause {
+    /// Builds a clause, computing its accuracy with eq. (3)/(4).
+    pub fn new(
+        literals: Vec<ComplexLiteral>,
+        label: ClassLabel,
+        sup_pos: usize,
+        sup_neg: f64,
+        num_classes: usize,
+    ) -> Self {
+        Clause {
+            literals,
+            label,
+            sup_pos,
+            sup_neg,
+            accuracy: laplace_accuracy(sup_pos, sup_neg, num_classes),
+        }
+    }
+
+    /// Number of complex literals.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// True when the clause body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// Renders the clause in the paper's notation, e.g.
+    /// `Loan(+) :- [Loan.account_id -> Account.account_id, Account.frequency = monthly]`.
+    pub fn display(&self, schema: &DatabaseSchema) -> String {
+        let head = match schema.target {
+            Some(t) => schema.relation(t).name.clone(),
+            None => "target".to_string(),
+        };
+        let body: Vec<String> = self.literals.iter().map(|l| l.display(schema)).collect();
+        format!("{}({}) :- {}", head, self.label, body.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::{CmpOp, Constraint, ConstraintKind};
+    use crossmine_relational::{AttrId, AttrType, Attribute, RelId, RelationSchema};
+
+    fn schema() -> DatabaseSchema {
+        let mut s = DatabaseSchema::new();
+        let mut t = RelationSchema::new("Loan");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        t.add_attribute(Attribute::new("amount", AttrType::Numerical)).unwrap();
+        let tid = s.add_relation(t).unwrap();
+        s.set_target(tid);
+        s
+    }
+
+    fn lit(rel: RelId) -> ComplexLiteral {
+        ComplexLiteral::local(Constraint {
+            rel,
+            kind: ConstraintKind::Num { attr: AttrId(1), op: CmpOp::Ge, threshold: 100.0 },
+        })
+    }
+
+    #[test]
+    fn accuracy_computed_on_construction() {
+        let c = Clause::new(vec![], ClassLabel::POS, 9, 0.0, 2);
+        assert!((c.accuracy - 10.0 / 11.0).abs() < 1e-12);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fractional_negative_support() {
+        let c = Clause::new(vec![], ClassLabel::POS, 10, 2.5, 2);
+        assert!((c.accuracy - 11.0 / 14.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_notation() {
+        let s = schema();
+        let c = Clause::new(vec![lit(RelId(0))], ClassLabel::POS, 3, 1.0, 2);
+        assert_eq!(c.display(&s), "Loan(+) :- [Loan.amount >= 100]");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn higher_support_ranks_higher_at_equal_purity() {
+        let small = Clause::new(vec![], ClassLabel::POS, 2, 0.0, 2);
+        let big = Clause::new(vec![], ClassLabel::POS, 50, 0.0, 2);
+        assert!(big.accuracy > small.accuracy);
+    }
+}

@@ -1,0 +1,229 @@
+//! Evaluation harness: stratified k-fold cross-validation and accuracy, as
+//! used throughout §7 ("ten-fold experiments are used unless specified
+//! otherwise").
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crossmine_relational::{ClassLabel, Database, Row};
+
+/// Any classifier the evaluation harness can run: fit on training target
+/// rows, predict labels for test rows. Implemented by CrossMine and by the
+/// baselines crate.
+pub trait RelationalClassifier {
+    /// Trains on `train_rows` and returns predictions for `test_rows`.
+    fn train_predict(&self, db: &Database, train_rows: &[Row], test_rows: &[Row])
+        -> Vec<ClassLabel>;
+}
+
+/// Fraction of `predicted` matching the true labels of `rows`.
+pub fn accuracy(db: &Database, rows: &[Row], predicted: &[ClassLabel]) -> f64 {
+    assert_eq!(rows.len(), predicted.len());
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let correct = rows.iter().zip(predicted).filter(|(r, p)| db.label(**r) == **p).count();
+    correct as f64 / rows.len() as f64
+}
+
+/// Splits `rows` into `k` stratified folds: each fold gets (nearly) the same
+/// class proportions. Returns `k` disjoint test sets covering all rows.
+pub fn stratified_folds(db: &Database, rows: &[Row], k: usize, seed: u64) -> Vec<Vec<Row>> {
+    assert!(k >= 2, "need at least two folds");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Group by class, shuffle within each class, deal round-robin.
+    let mut classes: Vec<(ClassLabel, Vec<Row>)> = Vec::new();
+    for &r in rows {
+        let l = db.label(r);
+        match classes.iter_mut().find(|(c, _)| *c == l) {
+            Some((_, v)) => v.push(r),
+            None => classes.push((l, vec![r])),
+        }
+    }
+    classes.sort_by_key(|&(c, _)| c);
+    let mut folds: Vec<Vec<Row>> = vec![Vec::new(); k];
+    for (_, mut members) in classes {
+        members.shuffle(&mut rng);
+        for (i, r) in members.into_iter().enumerate() {
+            folds[i % k].push(r);
+        }
+    }
+    folds
+}
+
+/// The outcome of one cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// Per-fold test accuracies.
+    pub fold_accuracies: Vec<f64>,
+    /// Per-fold wall-clock time (train + predict), as the paper reports
+    /// "the average running time of each fold".
+    pub fold_times: Vec<Duration>,
+}
+
+impl CvResult {
+    /// Mean test accuracy across folds.
+    pub fn mean_accuracy(&self) -> f64 {
+        if self.fold_accuracies.is_empty() {
+            return 0.0;
+        }
+        self.fold_accuracies.iter().sum::<f64>() / self.fold_accuracies.len() as f64
+    }
+
+    /// Mean per-fold runtime.
+    pub fn mean_time(&self) -> Duration {
+        if self.fold_times.is_empty() {
+            return Duration::ZERO;
+        }
+        self.fold_times.iter().sum::<Duration>() / self.fold_times.len() as u32
+    }
+}
+
+/// Runs stratified k-fold cross-validation of `clf` on the target tuples of
+/// `db`. `max_folds` limits how many of the `k` folds are actually executed
+/// (the paper only runs the first fold when an algorithm is very slow).
+pub fn cross_validate(
+    clf: &impl RelationalClassifier,
+    db: &Database,
+    k: usize,
+    seed: u64,
+    max_folds: usize,
+) -> CvResult {
+    let target = db.target().expect("database must have a target");
+    let rows: Vec<Row> = db.relation(target).iter_rows().collect();
+    let folds = stratified_folds(db, &rows, k, seed);
+    let mut fold_accuracies = Vec::new();
+    let mut fold_times = Vec::new();
+    for (i, test) in folds.iter().enumerate() {
+        if i >= max_folds {
+            break;
+        }
+        let train: Vec<Row> = folds
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        let start = Instant::now();
+        let preds = clf.train_predict(db, &train, test);
+        fold_times.push(start.elapsed());
+        fold_accuracies.push(accuracy(db, test, &preds));
+    }
+    CvResult { fold_accuracies, fold_times }
+}
+
+impl RelationalClassifier for Box<dyn RelationalClassifier> {
+    fn train_predict(
+        &self,
+        db: &Database,
+        train_rows: &[Row],
+        test_rows: &[Row],
+    ) -> Vec<ClassLabel> {
+        (**self).train_predict(db, train_rows, test_rows)
+    }
+}
+
+impl RelationalClassifier for crate::classifier::CrossMine {
+    fn train_predict(
+        &self,
+        db: &Database,
+        train_rows: &[Row],
+        test_rows: &[Row],
+    ) -> Vec<ClassLabel> {
+        let model = self.fit(db, train_rows);
+        model.predict(db, test_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::CrossMine;
+    use crossmine_relational::{
+        AttrType, Attribute, DatabaseSchema, RelationSchema, Value,
+    };
+
+    fn simple_db(n: u64, frac_pos: f64) -> Database {
+        let mut schema = DatabaseSchema::new();
+        let mut t = RelationSchema::new("T");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        let mut c = Attribute::new("c", AttrType::Categorical);
+        c.intern("a");
+        c.intern("b");
+        t.add_attribute(c).unwrap();
+        let tid = schema.add_relation(t).unwrap();
+        schema.set_target(tid);
+        let mut db = Database::new(schema).unwrap();
+        let pos_count = (n as f64 * frac_pos) as u64;
+        for i in 0..n {
+            let pos = i < pos_count;
+            db.push_row(tid, vec![Value::Key(i), Value::Cat(if pos { 0 } else { 1 })])
+                .unwrap();
+            db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
+        }
+        db
+    }
+
+    #[test]
+    fn accuracy_basic() {
+        let db = simple_db(4, 0.5);
+        let rows: Vec<Row> = (0..4).map(Row).collect();
+        let preds = vec![ClassLabel::POS, ClassLabel::NEG, ClassLabel::NEG, ClassLabel::NEG];
+        // truth: POS POS NEG NEG -> 3 of 4 correct
+        assert!((accuracy(&db, &rows, &preds) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn folds_are_disjoint_and_cover() {
+        let db = simple_db(50, 0.3);
+        let rows: Vec<Row> = (0..50).map(Row).collect();
+        let folds = stratified_folds(&db, &rows, 10, 42);
+        assert_eq!(folds.len(), 10);
+        let mut all: Vec<Row> = folds.iter().flatten().copied().collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 50);
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let db = simple_db(100, 0.3);
+        let rows: Vec<Row> = (0..100).map(Row).collect();
+        let folds = stratified_folds(&db, &rows, 10, 42);
+        for f in &folds {
+            let pos = f.iter().filter(|r| db.label(**r) == ClassLabel::POS).count();
+            assert_eq!(pos, 3, "each fold gets 3 of the 30 positives");
+            assert_eq!(f.len(), 10);
+        }
+    }
+
+    #[test]
+    fn folds_deterministic_by_seed() {
+        let db = simple_db(30, 0.5);
+        let rows: Vec<Row> = (0..30).map(Row).collect();
+        let a = stratified_folds(&db, &rows, 5, 7);
+        let b = stratified_folds(&db, &rows, 5, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_validation_on_separable_data_is_perfect() {
+        let db = simple_db(100, 0.5);
+        let clf = CrossMine::default();
+        let res = cross_validate(&clf, &db, 10, 1, 10);
+        assert_eq!(res.fold_accuracies.len(), 10);
+        assert!((res.mean_accuracy() - 1.0).abs() < 1e-12);
+        assert!(res.mean_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn max_folds_limits_execution() {
+        let db = simple_db(100, 0.5);
+        let clf = CrossMine::default();
+        let res = cross_validate(&clf, &db, 10, 1, 2);
+        assert_eq!(res.fold_accuracies.len(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Model introspection: which relations and attributes the learned clauses
+//! use, per-clause coverage on a dataset, and a text report. CrossMine's
+//! clauses are its main interpretability asset — this module turns a
+//! [`CrossMineModel`] into something a domain expert can read.
+
+use std::collections::BTreeMap;
+
+use crossmine_relational::{Database, Row};
+
+use crate::classifier::CrossMineModel;
+use crate::literal::ConstraintKind;
+
+/// How often the model's clauses touch each relation/attribute.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureUsage {
+    /// `(relation, attribute)` -> number of literals constraining it.
+    pub constraints: BTreeMap<(String, String), usize>,
+    /// Relation -> number of times it appears on a prop-path.
+    pub path_relations: BTreeMap<String, usize>,
+    /// Literal shape counts: (categorical, numerical, aggregation).
+    pub literal_kinds: (usize, usize, usize),
+    /// Prop-path length histogram: counts of 0-, 1- and 2-edge paths.
+    pub path_lengths: [usize; 3],
+}
+
+/// Computes [`FeatureUsage`] for a model over `db`'s schema.
+pub fn feature_usage(model: &CrossMineModel, db: &Database) -> FeatureUsage {
+    let mut usage = FeatureUsage::default();
+    for clause in &model.clauses {
+        for lit in &clause.literals {
+            let rel = db.schema.relation(lit.constraint.rel);
+            let attr_name = match &lit.constraint.kind {
+                ConstraintKind::CatEq { attr, .. } | ConstraintKind::Num { attr, .. } => {
+                    rel.attr(*attr).name.clone()
+                }
+                ConstraintKind::Agg { agg, attr, .. } => match attr {
+                    Some(a) => format!("{}({})", agg.name(), rel.attr(*a).name),
+                    None => format!("{}(*)", agg.name()),
+                },
+            };
+            *usage.constraints.entry((rel.name.clone(), attr_name)).or_insert(0) += 1;
+            match &lit.constraint.kind {
+                ConstraintKind::CatEq { .. } => usage.literal_kinds.0 += 1,
+                ConstraintKind::Num { .. } => usage.literal_kinds.1 += 1,
+                ConstraintKind::Agg { .. } => usage.literal_kinds.2 += 1,
+            }
+            let len = lit.path.len().min(2);
+            usage.path_lengths[len] += 1;
+            for edge in &lit.path {
+                *usage
+                    .path_relations
+                    .entry(db.schema.relation(edge.to).name.clone())
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+    usage
+}
+
+/// Per-clause coverage of a row set: how many of `rows` satisfy each clause
+/// and how many of those carry the clause's label.
+#[derive(Debug, Clone)]
+pub struct ClauseCoverage {
+    /// The clause's display string.
+    pub clause: String,
+    /// Rows satisfying the clause.
+    pub covered: usize,
+    /// Covered rows whose true label matches the clause's.
+    pub correct: usize,
+    /// Estimated accuracy recorded at training time.
+    pub trained_accuracy: f64,
+}
+
+/// Evaluates every clause of `model` on `rows`.
+pub fn clause_coverage(model: &CrossMineModel, db: &Database, rows: &[Row]) -> Vec<ClauseCoverage> {
+    model
+        .clauses
+        .iter()
+        .map(|clause| {
+            let sat = model.satisfiers(db, clause, rows);
+            let correct = sat.iter().filter(|r| db.label(**r) == clause.label).count();
+            ClauseCoverage {
+                clause: clause.display(&db.schema),
+                covered: sat.len(),
+                correct,
+                trained_accuracy: clause.accuracy,
+            }
+        })
+        .collect()
+}
+
+/// Renders a full model report: clause list with coverage plus feature
+/// usage, evaluated against `rows`.
+pub fn report(model: &CrossMineModel, db: &Database, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "CrossMine model: {} clauses over {} classes (default: {})\n\n",
+        model.num_clauses(),
+        model.classes.len(),
+        model.default_label
+    ));
+    for cov in clause_coverage(model, db, rows) {
+        out.push_str(&format!(
+            "{}\n    covers {} rows, {} correct ({})  trained acc {:.2}\n",
+            cov.clause,
+            cov.covered,
+            cov.correct,
+            if cov.covered == 0 {
+                "n/a".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * cov.correct as f64 / cov.covered as f64)
+            },
+            cov.trained_accuracy,
+        ));
+    }
+    let usage = feature_usage(model, db);
+    out.push_str(&format!(
+        "\nliterals: {} categorical, {} numerical, {} aggregation\n",
+        usage.literal_kinds.0, usage.literal_kinds.1, usage.literal_kinds.2
+    ));
+    out.push_str(&format!(
+        "prop-paths: {} local, {} one-edge, {} look-one-ahead\n",
+        usage.path_lengths[0], usage.path_lengths[1], usage.path_lengths[2]
+    ));
+    if !usage.constraints.is_empty() {
+        out.push_str("constrained attributes:\n");
+        for ((rel, attr), n) in &usage.constraints {
+            out.push_str(&format!("    {rel}.{attr}: {n}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::CrossMine;
+    use crossmine_relational::{
+        AttrType, Attribute, ClassLabel, DatabaseSchema, RelationSchema, Value,
+    };
+
+    fn db() -> Database {
+        let mut schema = DatabaseSchema::new();
+        let mut t = RelationSchema::new("T");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        let mut c = Attribute::new("c", AttrType::Categorical);
+        c.intern("a");
+        c.intern("b");
+        t.add_attribute(c).unwrap();
+        let tid = schema.add_relation(t).unwrap();
+        schema.set_target(tid);
+        let mut db = Database::new(schema).unwrap();
+        for i in 0..40u64 {
+            db.push_row(tid, vec![Value::Key(i), Value::Cat((i % 2) as u32)]).unwrap();
+            db.push_label(if i % 2 == 0 { ClassLabel::POS } else { ClassLabel::NEG });
+        }
+        db
+    }
+
+    #[test]
+    fn usage_counts_literals() {
+        let db = db();
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let model = CrossMine::default().fit(&db, &rows);
+        let usage = feature_usage(&model, &db);
+        assert!(usage.literal_kinds.0 >= 2, "both classes use the categorical attribute");
+        assert_eq!(usage.literal_kinds.1 + usage.literal_kinds.2, 0);
+        assert_eq!(usage.path_lengths[1] + usage.path_lengths[2], 0);
+        assert!(usage.constraints.contains_key(&("T".to_string(), "c".to_string())));
+    }
+
+    #[test]
+    fn coverage_matches_labels_on_separable_data() {
+        let db = db();
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let model = CrossMine::default().fit(&db, &rows);
+        for cov in clause_coverage(&model, &db, &rows) {
+            assert_eq!(cov.covered, 20);
+            assert_eq!(cov.correct, 20);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let db = db();
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let model = CrossMine::default().fit(&db, &rows);
+        let r = report(&model, &db, &rows);
+        assert!(r.contains("CrossMine model:"));
+        assert!(r.contains("constrained attributes:"));
+        assert!(r.contains("T.c"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Foil gain (Definition 1).
+//!
+//! For the current clause `c` with `P(c)` positive and `N(c)` negative
+//! satisfying examples, and a candidate literal `l`:
+//!
+//! ```text
+//! I(c)         = -log2( P(c) / (P(c) + N(c)) )
+//! foil_gain(l) = P(c+l) · [ I(c) − I(c+l) ]
+//! ```
+//!
+//! — the number of bits saved in representing positive examples by appending
+//! `l` to `c`.
+
+/// `I(c)` of Definition 1: the information needed to signal a positive
+/// example among `p` positives and `n` negatives. Returns 0 when `p == 0`
+/// (by convention; such clauses are never extended anyway).
+#[inline]
+pub fn info(p: usize, n: usize) -> f64 {
+    if p == 0 {
+        return 0.0;
+    }
+    -((p as f64) / ((p + n) as f64)).log2()
+}
+
+/// Foil gain of a literal taking `(p, n)` coverage to `(p_l, n_l)`.
+/// Zero when the literal covers no positives.
+#[inline]
+pub fn foil_gain(p: usize, n: usize, p_l: usize, n_l: usize) -> f64 {
+    if p_l == 0 {
+        return 0.0;
+    }
+    debug_assert!(p_l <= p && n_l <= n, "a literal cannot gain coverage");
+    (p_l as f64) * (info(p, n) - info(p_l, n_l))
+}
+
+/// Laplace accuracy estimate of a clause (eq. 3/4, after Clark & Boswell):
+/// `(N⁺ + 1) / (N⁺ + N⁻ + C)` where `C` is the number of classes. `sup_neg`
+/// is fractional to accommodate the sampling estimator's `x₂·N` (§6).
+#[inline]
+pub fn laplace_accuracy(sup_pos: usize, sup_neg: f64, num_classes: usize) -> f64 {
+    (sup_pos as f64 + 1.0) / (sup_pos as f64 + sup_neg + num_classes as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_is_zero_for_pure_positive() {
+        assert_eq!(info(10, 0), 0.0);
+    }
+
+    #[test]
+    fn info_is_one_bit_for_balanced() {
+        assert!((info(5, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn info_grows_with_imbalance() {
+        assert!(info(1, 99) > info(1, 9));
+        assert!(info(1, 9) > info(9, 1));
+    }
+
+    #[test]
+    fn info_zero_positives_convention() {
+        assert_eq!(info(0, 100), 0.0);
+    }
+
+    #[test]
+    fn gain_hand_computed_fig2_example() {
+        // Fig. 2: 3 positive, 2 negative loans. Literal "Account.frequency =
+        // monthly" covers loans {1,2,4,5} = 3 pos, 1 neg.
+        // I(c) = -log2(3/5); I(c+l) = -log2(3/4); gain = 3*(I(c)-I(c+l)).
+        let expected = 3.0 * ((-(3.0f64 / 5.0).log2()) - (-(3.0f64 / 4.0).log2()));
+        let g = foil_gain(3, 2, 3, 1);
+        assert!((g - expected).abs() < 1e-12, "{g} vs {expected}");
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn gain_zero_when_no_positive_covered() {
+        assert_eq!(foil_gain(5, 5, 0, 3), 0.0);
+    }
+
+    #[test]
+    fn gain_maximal_when_purely_positive() {
+        // Covering all positives and no negatives saves the full I(c) bits
+        // per positive.
+        let g = foil_gain(4, 4, 4, 0);
+        assert!((g - 4.0).abs() < 1e-12); // I(c)=1 bit, I(c+l)=0
+    }
+
+    #[test]
+    fn gain_can_be_negative_for_worse_ratio() {
+        // Literal keeps 1 positive but ratio degrades 1:1 -> 1:3.
+        assert!(foil_gain(2, 2, 1, 2) <= foil_gain(2, 2, 2, 0));
+        let g = foil_gain(4, 4, 2, 4);
+        assert!(g < 0.0);
+    }
+
+    #[test]
+    fn laplace_accuracy_matches_eq3() {
+        // (3 + 1) / (3 + 1 + 2) = 0.666...
+        assert!((laplace_accuracy(3, 1.0, 2) - 4.0 / 6.0).abs() < 1e-12);
+        // Perfect clause: (10+1)/(10+0+2)
+        assert!((laplace_accuracy(10, 0.0, 2) - 11.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplace_accuracy_shrinks_small_support() {
+        // 1 pos / 0 neg is less trustworthy than 100 pos / 0 neg.
+        assert!(laplace_accuracy(1, 0.0, 2) < laplace_accuracy(100, 0.0, 2));
+    }
+}

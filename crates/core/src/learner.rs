@@ -1,0 +1,441 @@
+//! Clause generation: Algorithms 1 (Find-Clauses), 2 (Find-A-Clause) and
+//! 3 (Find-Best-Literal), §5.2, plus the §6 sampling hook.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crossmine_relational::{ClassLabel, Database, JoinGraph, JoinKind, Row};
+
+use crate::clause::Clause;
+use crate::idset::{Stamp, TargetSet};
+use crate::literal::ComplexLiteral;
+use crate::params::CrossMineParams;
+use crate::propagation::{propagate, Annotation, ClauseState};
+use crate::sampling::{safe_negative_estimate, sample_negatives};
+use crate::search::{best_constraint_in, ScoredConstraint};
+
+/// A candidate complex literal with its score.
+#[derive(Debug, Clone)]
+pub struct ScoredLiteral {
+    /// The literal (prop-path + constraint).
+    pub literal: ComplexLiteral,
+    /// Foil gain and coverage of the constraint.
+    pub score: ScoredConstraint,
+}
+
+/// Builds clauses for one positive class over one database.
+pub struct ClauseLearner<'a> {
+    db: &'a Database,
+    graph: &'a JoinGraph,
+    params: &'a CrossMineParams,
+    /// `is_pos[t]` — whether target tuple `t` belongs to the positive class.
+    is_pos: Vec<bool>,
+    num_classes: usize,
+    label: ClassLabel,
+}
+
+impl<'a> ClauseLearner<'a> {
+    /// Creates a learner treating `label` as the positive class (one-vs-rest,
+    /// §5.3). `num_classes` feeds the Laplace accuracy estimate.
+    pub fn new(
+        db: &'a Database,
+        graph: &'a JoinGraph,
+        params: &'a CrossMineParams,
+        label: ClassLabel,
+        num_classes: usize,
+    ) -> Self {
+        let is_pos = db.labels().iter().map(|&l| l == label).collect();
+        ClauseLearner { db, graph, params, is_pos, num_classes, label }
+    }
+
+    /// The positivity flags this learner uses.
+    pub fn is_pos(&self) -> &[bool] {
+        &self.is_pos
+    }
+
+    /// Algorithm 1: sequential covering over the training rows. Builds
+    /// clauses until at most `min_pos_fraction` of the original positives
+    /// remain uncovered (or no further clause clears `min_foil_gain`).
+    pub fn find_clauses(&self, train_rows: &[Row]) -> Vec<Clause> {
+        let mut remaining = TargetSet::from_rows(&self.is_pos, train_rows.iter().copied());
+        let orig_pos = remaining.pos();
+        let mut clauses = Vec::new();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut stamp = Stamp::new(self.db.num_targets());
+
+        while remaining.pos() as f64 > self.params.min_pos_fraction * orig_pos as f64
+            && clauses.len() < self.params.max_clauses
+        {
+            // §6: down-sample negatives before building the clause.
+            let full_neg = remaining.neg();
+            let (build_set, sampled_neg) = if self.params.sampling {
+                sample_negatives(&remaining, &self.is_pos, self.params, &mut rng)
+            } else {
+                (remaining.clone(), full_neg)
+            };
+
+            let Some((literals, covered)) = self.find_a_clause(build_set, &mut stamp) else {
+                break;
+            };
+            let sup_pos = covered.pos();
+            if sup_pos == 0 {
+                break;
+            }
+            let sup_neg = if self.params.sampling && sampled_neg < full_neg {
+                safe_negative_estimate(covered.neg(), sampled_neg, full_neg)
+            } else {
+                covered.neg() as f64
+            };
+            clauses.push(Clause::new(literals, self.label, sup_pos, sup_neg, self.num_classes));
+            // Remove the positive tuples the clause covers; negatives stay.
+            for r in covered.iter() {
+                if self.is_pos[r.0 as usize] {
+                    remaining.remove(r.0, &self.is_pos);
+                }
+            }
+        }
+        clauses
+    }
+
+    /// Algorithm 2: grows one clause literal by literal until no literal
+    /// clears `min_foil_gain` or the clause reaches `max_clause_length`.
+    /// Returns the literals and the targets of `initial` that satisfy them.
+    pub fn find_a_clause(
+        &self,
+        initial: TargetSet,
+        stamp: &mut Stamp,
+    ) -> Option<(Vec<ComplexLiteral>, TargetSet)> {
+        let mut state = ClauseState::new(self.db, &self.is_pos, initial);
+        let mut literals: Vec<ComplexLiteral> = Vec::new();
+        while let Some(best) = self.find_best_literal(&state, stamp) {
+            if best.score.gain < self.params.min_foil_gain {
+                break;
+            }
+            state.apply_literal(&best.literal, stamp);
+            literals.push(best.literal);
+            if literals.len() >= self.params.max_clause_length {
+                break;
+            }
+        }
+        if literals.is_empty() {
+            None
+        } else {
+            Some((literals, state.targets))
+        }
+    }
+
+    /// Algorithm 3: scans (1) every active relation, (2) every relation
+    /// joinable with an active one — propagating IDs across the edge — and
+    /// (3) with look-one-ahead, every relation one more foreign key away.
+    pub fn find_best_literal(
+        &self,
+        state: &ClauseState<'_>,
+        stamp: &mut Stamp,
+    ) -> Option<ScoredLiteral> {
+        let mut best: Option<ScoredLiteral> = None;
+        let target_rel = state.target_rel();
+
+        for rel in state.active_relations() {
+            // (1) Constraint on the active relation itself (empty prop-path).
+            let ann = state.annotation(rel).expect("active relation has annotation");
+            let allow_agg = rel != target_rel;
+            if let Some(score) = best_constraint_in(
+                self.db,
+                rel,
+                ann,
+                &state.targets,
+                &self.is_pos,
+                stamp,
+                self.params,
+                allow_agg,
+            ) {
+                consider(&mut best, ComplexLiteral::local(score.constraint.clone()), score);
+            }
+
+            // (2) Propagate to each relation joinable with this active one.
+            for edge in self.graph.edges_from(rel) {
+                let prop = state.propagate_edge(edge);
+                if self.fanout_exceeded(&prop) {
+                    continue;
+                }
+                if let Some(score) = best_constraint_in(
+                    self.db,
+                    edge.to,
+                    &prop,
+                    &state.targets,
+                    &self.is_pos,
+                    stamp,
+                    self.params,
+                    true,
+                ) {
+                    consider(
+                        &mut best,
+                        ComplexLiteral { path: vec![*edge], constraint: score.constraint.clone() },
+                        score,
+                    );
+                }
+
+                // (3) Look-one-ahead: follow each *other* foreign key of the
+                // relation just reached (§5.2).
+                if !self.params.look_one_ahead {
+                    continue;
+                }
+                for edge2 in self.graph.edges_from(edge.to) {
+                    if edge2.kind != JoinKind::FkToPk {
+                        continue; // only "a foreign-key pointing to R̄'"
+                    }
+                    if edge2.from_attr == edge.to_attr {
+                        continue; // k' ≠ k: don't reuse the arrival key
+                    }
+                    let prop2 = propagate(self.db, &prop, edge2);
+                    if self.fanout_exceeded(&prop2) {
+                        continue;
+                    }
+                    if let Some(score) = best_constraint_in(
+                        self.db,
+                        edge2.to,
+                        &prop2,
+                        &state.targets,
+                        &self.is_pos,
+                        stamp,
+                        self.params,
+                        true,
+                    ) {
+                        consider(
+                            &mut best,
+                            ComplexLiteral {
+                                path: vec![*edge, *edge2],
+                                constraint: score.constraint.clone(),
+                            },
+                            score,
+                        );
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn fanout_exceeded(&self, ann: &Annotation) -> bool {
+        match self.params.max_fanout {
+            Some(limit) => ann.avg_fanout() > limit as f64,
+            None => false,
+        }
+    }
+}
+
+fn consider(best: &mut Option<ScoredLiteral>, literal: ComplexLiteral, score: ScoredConstraint) {
+    let better = match best {
+        None => true,
+        // Strict improvement, with shorter prop-paths winning ties for
+        // determinism and simpler clauses.
+        Some(b) => {
+            score.gain > b.score.gain
+                || (score.gain == b.score.gain && literal.path.len() < b.literal.path.len())
+        }
+    };
+    if better {
+        *best = Some(ScoredLiteral { literal, score });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::ConstraintKind;
+    use crossmine_relational::{
+        AttrId, AttrType, Attribute, DatabaseSchema, RelationSchema, Value,
+    };
+
+    /// Fig. 7-style database: Loan(target) -- Has_Loan -- Client, where
+    /// Has_Loan carries no informative attribute and Client.age decides the
+    /// class. Only look-one-ahead can find the Client literal in one step.
+    fn fig7_like(n: usize) -> Database {
+        let mut schema = DatabaseSchema::new();
+        let mut loan = RelationSchema::new("Loan");
+        loan.add_attribute(Attribute::new("loan_id", AttrType::PrimaryKey)).unwrap();
+        let mut has = RelationSchema::new("Has_Loan");
+        has.add_attribute(Attribute::new(
+            "loan_id",
+            AttrType::ForeignKey { target: "Loan".into() },
+        ))
+        .unwrap();
+        has.add_attribute(Attribute::new(
+            "client_id",
+            AttrType::ForeignKey { target: "Client".into() },
+        ))
+        .unwrap();
+        let mut client = RelationSchema::new("Client");
+        client.add_attribute(Attribute::new("client_id", AttrType::PrimaryKey)).unwrap();
+        client.add_attribute(Attribute::new("age", AttrType::Numerical)).unwrap();
+        let t = schema.add_relation(loan).unwrap();
+        let h = schema.add_relation(has).unwrap();
+        let c = schema.add_relation(client).unwrap();
+        schema.set_target(t);
+        let mut db = Database::new(schema).unwrap();
+        for i in 0..n as u64 {
+            db.push_row(t, vec![Value::Key(i)]).unwrap();
+            let pos = i % 2 == 0;
+            db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
+            db.push_row(c, vec![Value::Key(i), Value::Num(if pos { 30.0 } else { 60.0 })])
+                .unwrap();
+            db.push_row_unchecked(h, vec![Value::Key(i), Value::Key(i)]);
+        }
+        db
+    }
+
+    #[test]
+    fn look_one_ahead_reaches_through_relationship_relation() {
+        let db = fig7_like(40);
+        let graph = JoinGraph::build(&db.schema);
+        let params = CrossMineParams::default();
+        let learner = ClauseLearner::new(&db, &graph, &params, ClassLabel::POS, 2);
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let clauses = learner.find_clauses(&rows);
+        assert!(!clauses.is_empty(), "must find at least one clause");
+        let c = &clauses[0];
+        // The decisive literal constrains Client.age via a 2-edge path.
+        let client = db.schema.rel_id("Client").unwrap();
+        let lit = c
+            .literals
+            .iter()
+            .find(|l| l.constraint.rel == client)
+            .expect("clause should constrain Client");
+        assert_eq!(lit.path.len(), 2, "look-one-ahead path has two edges");
+        assert!(matches!(lit.constraint.kind, ConstraintKind::Num { attr: AttrId(1), .. }));
+        assert_eq!(c.sup_pos, 20);
+        assert_eq!(c.sup_neg, 0.0);
+    }
+
+    #[test]
+    fn without_look_one_ahead_client_is_unreachable_in_one_literal() {
+        let db = fig7_like(40);
+        let graph = JoinGraph::build(&db.schema);
+        let params = CrossMineParams { look_one_ahead: false, ..Default::default() };
+        let learner = ClauseLearner::new(&db, &graph, &params, ClassLabel::POS, 2);
+        let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
+        let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
+        let mut stamp = Stamp::new(db.num_targets());
+        let best = learner.find_best_literal(&state, &mut stamp);
+        // The only candidates are Has_Loan (no informative attrs beyond keys)
+        // and the bare Loan relation; nothing reaches Client.age.
+        if let Some(b) = best {
+            let client = db.schema.rel_id("Client").unwrap();
+            assert_ne!(b.literal.constraint.rel, client);
+        }
+    }
+
+    #[test]
+    fn sequential_covering_removes_covered_positives() {
+        // Two disjoint positive groups distinguished by different literals:
+        // covering must find both clauses.
+        let mut schema = DatabaseSchema::new();
+        let mut t = RelationSchema::new("T");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        let mut c = Attribute::new("c", AttrType::Categorical);
+        c.intern("a");
+        c.intern("b");
+        c.intern("z");
+        t.add_attribute(c).unwrap();
+        let tid = schema.add_relation(t).unwrap();
+        schema.set_target(tid);
+        let mut db = Database::new(schema).unwrap();
+        // 20 pos with c=a, 20 pos with c=b, 40 neg with c=z.
+        let mut id = 0u64;
+        for (code, pos, count) in [(0u32, true, 20), (1, true, 20), (2, false, 40)] {
+            for _ in 0..count {
+                db.push_row(tid, vec![Value::Key(id), Value::Cat(code)]).unwrap();
+                db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
+                id += 1;
+            }
+        }
+        let graph = JoinGraph::build(&db.schema);
+        let params = CrossMineParams::default();
+        let learner = ClauseLearner::new(&db, &graph, &params, ClassLabel::POS, 2);
+        let rows: Vec<Row> = db.relation(tid).iter_rows().collect();
+        let clauses = learner.find_clauses(&rows);
+        assert_eq!(clauses.len(), 2, "one clause per positive group");
+        let covered: usize = clauses.iter().map(|c| c.sup_pos).sum();
+        assert_eq!(covered, 40);
+        assert!(clauses.iter().all(|c| c.sup_neg == 0.0));
+    }
+
+    #[test]
+    fn min_gain_stops_learning_on_noise() {
+        // Labels independent of attributes: no literal clears gain 2.5.
+        let mut schema = DatabaseSchema::new();
+        let mut t = RelationSchema::new("T");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        let mut c = Attribute::new("c", AttrType::Categorical);
+        c.intern("a");
+        c.intern("b");
+        t.add_attribute(c).unwrap();
+        let tid = schema.add_relation(t).unwrap();
+        schema.set_target(tid);
+        let mut db = Database::new(schema).unwrap();
+        for i in 0..40u64 {
+            db.push_row(tid, vec![Value::Key(i), Value::Cat((i % 2) as u32)]).unwrap();
+            // label correlates with nothing: alternate per pair
+            db.push_label(if (i / 2) % 2 == 0 { ClassLabel::POS } else { ClassLabel::NEG });
+        }
+        let graph = JoinGraph::build(&db.schema);
+        let params = CrossMineParams::default();
+        let learner = ClauseLearner::new(&db, &graph, &params, ClassLabel::POS, 2);
+        let rows: Vec<Row> = db.relation(tid).iter_rows().collect();
+        let clauses = learner.find_clauses(&rows);
+        assert!(clauses.is_empty(), "noise must produce no clauses, got {}", clauses.len());
+    }
+
+    #[test]
+    fn sampling_estimates_fractional_negatives() {
+        // Imbalanced data (10 pos, 200 neg) with a literal that covers all
+        // positives and a fixed share of negatives.
+        let mut schema = DatabaseSchema::new();
+        let mut t = RelationSchema::new("T");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        let mut c = Attribute::new("c", AttrType::Categorical);
+        c.intern("hit");
+        c.intern("miss");
+        t.add_attribute(c).unwrap();
+        let tid = schema.add_relation(t).unwrap();
+        schema.set_target(tid);
+        let mut db = Database::new(schema).unwrap();
+        let mut id = 0u64;
+        for _ in 0..10 {
+            db.push_row(tid, vec![Value::Key(id), Value::Cat(0)]).unwrap();
+            db.push_label(ClassLabel::POS);
+            id += 1;
+        }
+        for i in 0..200u64 {
+            // 5% of negatives also "hit".
+            let code = if i % 20 == 0 { 0 } else { 1 };
+            db.push_row(tid, vec![Value::Key(id), Value::Cat(code)]).unwrap();
+            db.push_label(ClassLabel::NEG);
+            id += 1;
+        }
+        let graph = JoinGraph::build(&db.schema);
+        let params = CrossMineParams::with_sampling();
+        let learner = ClauseLearner::new(&db, &graph, &params, ClassLabel::POS, 2);
+        let rows: Vec<Row> = db.relation(tid).iter_rows().collect();
+        let clauses = learner.find_clauses(&rows);
+        assert!(!clauses.is_empty());
+        let c0 = &clauses[0];
+        assert_eq!(c0.sup_pos, 10);
+        // The estimated negative support must be a safe (>= observed-scaled)
+        // fraction of the full 200, not the tiny sampled count.
+        assert!(c0.sup_neg > 0.0, "safe estimator should charge some negatives");
+        assert!(c0.accuracy < 1.0);
+    }
+
+    #[test]
+    fn max_clause_length_respected() {
+        let db = fig7_like(40);
+        let graph = JoinGraph::build(&db.schema);
+        let params = CrossMineParams { max_clause_length: 1, ..Default::default() };
+        let learner = ClauseLearner::new(&db, &graph, &params, ClassLabel::POS, 2);
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        for c in learner.find_clauses(&rows) {
+            assert!(c.len() <= 1);
+        }
+    }
+}

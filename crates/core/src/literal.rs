@@ -1,0 +1,286 @@
+//! Complex literals (§3.3).
+//!
+//! A [`ComplexLiteral`] pairs a *prop-path* — how tuple IDs are propagated,
+//! a sequence of §3.1 join edges — with a *constraint* on the relation the
+//! IDs end up at. The prop-path is empty when the constrained relation is
+//! already active, has one edge for a direct join from an active relation,
+//! and two edges when the literal was found by look-one-ahead (§5.2).
+
+use crossmine_relational::{AttrId, DatabaseSchema, JoinEdge, RelId};
+
+/// Comparison operator of numerical and aggregation literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `attribute ≤ threshold`
+    Le,
+    /// `attribute ≥ threshold`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison.
+    #[inline]
+    pub fn test(self, value: f64, threshold: f64) -> bool {
+        match self {
+            CmpOp::Le => value <= threshold,
+            CmpOp::Ge => value >= threshold,
+        }
+    }
+
+    /// The operator's display symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Le => "<=",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Aggregation operator of aggregation literals (§3.2: count, sum, avg).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOp {
+    /// Number of joinable tuples.
+    Count,
+    /// Sum of a numerical attribute over joinable tuples.
+    Sum,
+    /// Average of a numerical attribute over joinable tuples.
+    Avg,
+}
+
+impl AggOp {
+    /// The operator's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggOp::Count => "count",
+            AggOp::Sum => "sum",
+            AggOp::Avg => "avg",
+        }
+    }
+}
+
+/// The constraint half of a complex literal: a condition on one attribute of
+/// one relation (§3.2's three literal types).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// The constrained relation.
+    pub rel: RelId,
+    /// What must hold of (tuples of / aggregates over) that relation.
+    pub kind: ConstraintKind,
+}
+
+/// The three kinds of constraints (§3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintKind {
+    /// Categorical literal: `attr = value` (dictionary code).
+    CatEq {
+        /// The categorical attribute.
+        attr: AttrId,
+        /// The required dictionary code.
+        value: u32,
+    },
+    /// Numerical literal: `attr op threshold`.
+    Num {
+        /// The numerical attribute.
+        attr: AttrId,
+        /// The comparison operator.
+        op: CmpOp,
+        /// The threshold.
+        threshold: f64,
+    },
+    /// Aggregation literal: `agg(attr) op threshold`, evaluated per target
+    /// tuple over all tuples joinable with it. `attr` is `None` for `count`.
+    Agg {
+        /// The aggregation operator.
+        agg: AggOp,
+        /// The aggregated numerical attribute (`None` for `count`).
+        attr: Option<AttrId>,
+        /// The comparison operator.
+        op: CmpOp,
+        /// The threshold.
+        threshold: f64,
+    },
+}
+
+impl Constraint {
+    /// True for aggregation constraints.
+    pub fn is_aggregation(&self) -> bool {
+        matches!(self.kind, ConstraintKind::Agg { .. })
+    }
+
+    /// Renders the constraint with schema names, e.g.
+    /// `Account.frequency = monthly` or `Order.sum(amount) >= 1000`.
+    pub fn display(&self, schema: &DatabaseSchema) -> String {
+        let rel = schema.relation(self.rel);
+        match &self.kind {
+            ConstraintKind::CatEq { attr, value } => {
+                let a = rel.attr(*attr);
+                let label = a.label_of(*value).unwrap_or("<?>");
+                format!("{}.{} = {}", rel.name, a.name, label)
+            }
+            ConstraintKind::Num { attr, op, threshold } => {
+                format!("{}.{} {} {}", rel.name, rel.attr(*attr).name, op.symbol(), threshold)
+            }
+            ConstraintKind::Agg { agg, attr, op, threshold } => {
+                let inner = attr.map(|a| rel.attr(a).name.clone()).unwrap_or_else(|| "*".into());
+                format!("{}.{}({}) {} {}", rel.name, agg.name(), inner, op.symbol(), threshold)
+            }
+        }
+    }
+}
+
+/// A complex literal: prop-path plus constraint (§3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexLiteral {
+    /// Join edges the tuple IDs are propagated along, starting at a relation
+    /// that is active when the literal is applied. Empty when the constraint
+    /// applies to an already-active relation.
+    pub path: Vec<JoinEdge>,
+    /// The constraint on the relation the path ends at.
+    pub constraint: Constraint,
+}
+
+impl ComplexLiteral {
+    /// A literal on an already-active relation (empty prop-path).
+    pub fn local(constraint: Constraint) -> Self {
+        ComplexLiteral { path: Vec::new(), constraint }
+    }
+
+    /// The relation the prop-path starts from (`None` for empty paths, where
+    /// the constraint's relation must already be active).
+    pub fn source(&self) -> Option<RelId> {
+        self.path.first().map(|e| e.from)
+    }
+
+    /// Renders the literal in the paper's bracket notation, e.g.
+    /// `[Loan.account_id -> Account.account_id, Account.frequency = monthly]`.
+    pub fn display(&self, schema: &DatabaseSchema) -> String {
+        let mut parts: Vec<String> = self
+            .path
+            .iter()
+            .map(|e| {
+                let f = schema.relation(e.from);
+                let t = schema.relation(e.to);
+                format!(
+                    "{}.{} -> {}.{}",
+                    f.name,
+                    f.attr(e.from_attr).name,
+                    t.name,
+                    t.attr(e.to_attr).name
+                )
+            })
+            .collect();
+        parts.push(self.constraint.display(schema));
+        format!("[{}]", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossmine_relational::{AttrType, Attribute, JoinKind, RelationSchema};
+
+    fn schema() -> DatabaseSchema {
+        let mut s = DatabaseSchema::new();
+        let mut loan = RelationSchema::new("Loan");
+        loan.add_attribute(Attribute::new("loan_id", AttrType::PrimaryKey)).unwrap();
+        loan.add_attribute(Attribute::new(
+            "account_id",
+            AttrType::ForeignKey { target: "Account".into() },
+        ))
+        .unwrap();
+        let mut account = RelationSchema::new("Account");
+        account.add_attribute(Attribute::new("account_id", AttrType::PrimaryKey)).unwrap();
+        let mut f = Attribute::new("frequency", AttrType::Categorical);
+        f.intern("monthly");
+        account.add_attribute(f).unwrap();
+        account.add_attribute(Attribute::new("amount", AttrType::Numerical)).unwrap();
+        s.add_relation(loan).unwrap();
+        s.add_relation(account).unwrap();
+        s
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Le.test(1.0, 1.0));
+        assert!(CmpOp::Le.test(0.5, 1.0));
+        assert!(!CmpOp::Le.test(2.0, 1.0));
+        assert!(CmpOp::Ge.test(1.0, 1.0));
+        assert!(CmpOp::Ge.test(2.0, 1.0));
+        assert!(!CmpOp::Ge.test(0.5, 1.0));
+    }
+
+    #[test]
+    fn constraint_display() {
+        let s = schema();
+        let account = s.rel_id("Account").unwrap();
+        let cat = Constraint {
+            rel: account,
+            kind: ConstraintKind::CatEq { attr: AttrId(1), value: 0 },
+        };
+        assert_eq!(cat.display(&s), "Account.frequency = monthly");
+        let num = Constraint {
+            rel: account,
+            kind: ConstraintKind::Num { attr: AttrId(2), op: CmpOp::Ge, threshold: 12.0 },
+        };
+        assert_eq!(num.display(&s), "Account.amount >= 12");
+        let agg = Constraint {
+            rel: account,
+            kind: ConstraintKind::Agg {
+                agg: AggOp::Sum,
+                attr: Some(AttrId(2)),
+                op: CmpOp::Ge,
+                threshold: 1000.0,
+            },
+        };
+        assert_eq!(agg.display(&s), "Account.sum(amount) >= 1000");
+        assert!(agg.is_aggregation());
+        assert!(!cat.is_aggregation());
+        let count = Constraint {
+            rel: account,
+            kind: ConstraintKind::Agg {
+                agg: AggOp::Count,
+                attr: None,
+                op: CmpOp::Le,
+                threshold: 3.0,
+            },
+        };
+        assert_eq!(count.display(&s), "Account.count(*) <= 3");
+    }
+
+    #[test]
+    fn complex_literal_display_matches_paper_notation() {
+        let s = schema();
+        let loan = s.rel_id("Loan").unwrap();
+        let account = s.rel_id("Account").unwrap();
+        let lit = ComplexLiteral {
+            path: vec![JoinEdge {
+                from: loan,
+                from_attr: AttrId(1),
+                to: account,
+                to_attr: AttrId(0),
+                kind: JoinKind::FkToPk,
+            }],
+            constraint: Constraint {
+                rel: account,
+                kind: ConstraintKind::CatEq { attr: AttrId(1), value: 0 },
+            },
+        };
+        assert_eq!(
+            lit.display(&s),
+            "[Loan.account_id -> Account.account_id, Account.frequency = monthly]"
+        );
+        assert_eq!(lit.source(), Some(loan));
+    }
+
+    #[test]
+    fn local_literal_has_no_source() {
+        let s = schema();
+        let loan = s.rel_id("Loan").unwrap();
+        let lit = ComplexLiteral::local(Constraint {
+            rel: loan,
+            kind: ConstraintKind::Num { attr: AttrId(0), op: CmpOp::Le, threshold: 1.0 },
+        });
+        assert_eq!(lit.source(), None);
+        assert!(lit.display(&s).starts_with("[Loan."));
+    }
+}

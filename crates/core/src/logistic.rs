@@ -1,0 +1,152 @@
+//! A minimal dense logistic regression (batch gradient descent with L2
+//! regularization) — the statistical head for the §9 hybrid
+//! ([`crate::features::CrossMineHybrid`]). Self-contained on purpose: the
+//! reproduction rules forbid pulling in an ML framework for what is a page
+//! of arithmetic.
+
+/// Dense binary logistic regression.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        // Numerically stable branch for large negative z.
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// A zero-initialized model over `num_features` inputs.
+    pub fn new(num_features: usize) -> Self {
+        LogisticRegression { weights: vec![0.0; num_features], bias: 0.0, l2: 1e-4 }
+    }
+
+    /// Predicted probability of the positive class.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        debug_assert_eq!(features.len(), self.weights.len());
+        let z = self.bias
+            + self
+                .weights
+                .iter()
+                .zip(features)
+                .map(|(w, x)| w * x)
+                .sum::<f64>();
+        sigmoid(z)
+    }
+
+    /// Batch gradient descent on log loss over `(x, y)` with `y ∈ {0, 1}`.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64], epochs: usize, learning_rate: f64) {
+        assert_eq!(x.len(), y.len());
+        if x.is_empty() {
+            return;
+        }
+        let n = x.len() as f64;
+        for _ in 0..epochs {
+            let mut grad_w = vec![0.0; self.weights.len()];
+            let mut grad_b = 0.0;
+            for (xi, &yi) in x.iter().zip(y) {
+                let err = self.predict_proba(xi) - yi;
+                for (g, &f) in grad_w.iter_mut().zip(xi) {
+                    *g += err * f;
+                }
+                grad_b += err;
+            }
+            for (w, g) in self.weights.iter_mut().zip(&grad_w) {
+                *w -= learning_rate * (g / n + self.l2 * *w);
+            }
+            self.bias -= learning_rate * grad_b / n;
+        }
+    }
+
+    /// Mean log loss of the model on `(x, y)`.
+    pub fn log_loss(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        if x.is_empty() {
+            return 0.0;
+        }
+        let eps = 1e-12;
+        let total: f64 = x
+            .iter()
+            .zip(y)
+            .map(|(xi, &yi)| {
+                let p = self.predict_proba(xi).clamp(eps, 1.0 - eps);
+                -(yi * p.ln() + (1.0 - yi) * (1.0 - p).ln())
+            })
+            .sum();
+        total / x.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+        assert!(sigmoid(-800.0) >= 0.0); // no NaN/underflow panic
+        assert!(sigmoid(800.0) <= 1.0);
+    }
+
+    #[test]
+    fn learns_a_linearly_separable_problem() {
+        // y = 1 iff x0 > x1.
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![f64::from(i % 2), f64::from((i + 1) % 2)])
+            .collect();
+        let y: Vec<f64> = (0..40).map(|i| f64::from(i % 2)).collect();
+        let mut m = LogisticRegression::new(2);
+        let before = m.log_loss(&x, &y);
+        m.fit(&x, &y, 500, 1.0);
+        let after = m.log_loss(&x, &y);
+        assert!(after < before, "training must reduce loss: {before} -> {after}");
+        for (xi, &yi) in x.iter().zip(&y) {
+            let p = m.predict_proba(xi);
+            assert_eq!(p >= 0.5, yi == 1.0, "x={xi:?} p={p}");
+        }
+        assert!(m.weights[0] > 0.0 && m.weights[1] < 0.0);
+    }
+
+    #[test]
+    fn bias_learns_the_prior_without_features() {
+        // 3/4 positive, no features: p should approach 0.75.
+        let x: Vec<Vec<f64>> = vec![vec![]; 40];
+        let y: Vec<f64> = (0..40).map(|i| f64::from(i % 4 != 0)).collect();
+        let mut m = LogisticRegression::new(0);
+        m.fit(&x, &y, 2000, 1.0);
+        let p = m.predict_proba(&[]);
+        assert!((p - 0.75).abs() < 0.02, "prior estimate {p}");
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![f64::from(i % 2)]).collect();
+        let y: Vec<f64> = (0..20).map(|i| f64::from(i % 2)).collect();
+        let mut strong = LogisticRegression::new(1);
+        strong.l2 = 0.5;
+        strong.fit(&x, &y, 500, 1.0);
+        let mut weak = LogisticRegression::new(1);
+        weak.l2 = 1e-6;
+        weak.fit(&x, &y, 500, 1.0);
+        assert!(strong.weights[0].abs() < weak.weights[0].abs());
+    }
+
+    #[test]
+    fn empty_training_is_a_noop() {
+        let mut m = LogisticRegression::new(3);
+        m.fit(&[], &[], 100, 1.0);
+        assert_eq!(m.weights, vec![0.0; 3]);
+        assert_eq!(m.log_loss(&[], &[]), 0.0);
+    }
+}

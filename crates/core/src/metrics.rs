@@ -1,0 +1,203 @@
+//! Classification metrics beyond plain accuracy: confusion matrices and
+//! per-class precision / recall / F1. The paper reports only accuracy; these
+//! are provided for downstream users (imbalanced problems like the financial
+//! database's 324/76 split are poorly summarized by accuracy alone).
+
+use std::collections::BTreeMap;
+
+use crossmine_relational::{ClassLabel, Database, Row};
+
+/// A confusion matrix over the classes seen in truth or prediction.
+#[derive(Debug, Clone, Default)]
+pub struct ConfusionMatrix {
+    counts: BTreeMap<(ClassLabel, ClassLabel), usize>,
+    total: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from true rows and predictions.
+    pub fn from_predictions(db: &Database, rows: &[Row], predicted: &[ClassLabel]) -> Self {
+        assert_eq!(rows.len(), predicted.len());
+        let mut m = ConfusionMatrix::default();
+        for (r, p) in rows.iter().zip(predicted) {
+            m.record(db.label(*r), *p);
+        }
+        m
+    }
+
+    /// Records one (truth, prediction) observation.
+    pub fn record(&mut self, truth: ClassLabel, predicted: ClassLabel) {
+        *self.counts.entry((truth, predicted)).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Count of observations with the given truth and prediction.
+    pub fn count(&self, truth: ClassLabel, predicted: ClassLabel) -> usize {
+        self.counts.get(&(truth, predicted)).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// All classes appearing as truth or prediction, ascending.
+    pub fn classes(&self) -> Vec<ClassLabel> {
+        let mut cs: Vec<ClassLabel> =
+            self.counts.keys().flat_map(|&(t, p)| [t, p]).collect();
+        cs.sort();
+        cs.dedup();
+        cs
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let correct: usize = self
+            .counts
+            .iter()
+            .filter(|((t, p), _)| t == p)
+            .map(|(_, &c)| c)
+            .sum();
+        correct as f64 / self.total as f64
+    }
+
+    /// Precision of `class`: of the tuples predicted `class`, the fraction
+    /// truly `class`. `None` when nothing was predicted as `class`.
+    pub fn precision(&self, class: ClassLabel) -> Option<f64> {
+        let tp = self.count(class, class);
+        let predicted: usize = self
+            .counts
+            .iter()
+            .filter(|((_, p), _)| *p == class)
+            .map(|(_, &c)| c)
+            .sum();
+        (predicted > 0).then(|| tp as f64 / predicted as f64)
+    }
+
+    /// Recall of `class`: of the truly-`class` tuples, the fraction
+    /// predicted `class`. `None` when the class never occurs.
+    pub fn recall(&self, class: ClassLabel) -> Option<f64> {
+        let tp = self.count(class, class);
+        let actual: usize = self
+            .counts
+            .iter()
+            .filter(|((t, _), _)| *t == class)
+            .map(|(_, &c)| c)
+            .sum();
+        (actual > 0).then(|| tp as f64 / actual as f64)
+    }
+
+    /// F1 of `class` (harmonic mean of precision and recall).
+    pub fn f1(&self, class: ClassLabel) -> Option<f64> {
+        let p = self.precision(class)?;
+        let r = self.recall(class)?;
+        if p + r == 0.0 {
+            return Some(0.0);
+        }
+        Some(2.0 * p * r / (p + r))
+    }
+
+    /// Renders the matrix plus per-class metrics as text.
+    pub fn report(&self) -> String {
+        let classes = self.classes();
+        let mut out = String::new();
+        out.push_str(&format!("{:<10}", "truth\\pred"));
+        for c in &classes {
+            out.push_str(&format!("{:>8}", c.to_string()));
+        }
+        out.push('\n');
+        for t in &classes {
+            out.push_str(&format!("{:<10}", t.to_string()));
+            for p in &classes {
+                out.push_str(&format!("{:>8}", self.count(*t, *p)));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("accuracy: {:.3}\n", self.accuracy()));
+        for c in &classes {
+            out.push_str(&format!(
+                "class {}: precision {} recall {} f1 {}\n",
+                c,
+                fmt_opt(self.precision(*c)),
+                fmt_opt(self.recall(*c)),
+                fmt_opt(self.f1(*c)),
+            ));
+        }
+        out
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "n/a".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> ConfusionMatrix {
+        // truth POS: 8 (6 predicted POS, 2 NEG); truth NEG: 4 (1 POS, 3 NEG).
+        let mut m = ConfusionMatrix::default();
+        for _ in 0..6 {
+            m.record(ClassLabel::POS, ClassLabel::POS);
+        }
+        for _ in 0..2 {
+            m.record(ClassLabel::POS, ClassLabel::NEG);
+        }
+        m.record(ClassLabel::NEG, ClassLabel::POS);
+        for _ in 0..3 {
+            m.record(ClassLabel::NEG, ClassLabel::NEG);
+        }
+        m
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let m = matrix();
+        assert_eq!(m.total(), 12);
+        assert_eq!(m.count(ClassLabel::POS, ClassLabel::NEG), 2);
+        assert!((m.accuracy() - 9.0 / 12.0).abs() < 1e-12);
+        assert_eq!(m.classes(), vec![ClassLabel::NEG, ClassLabel::POS]);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let m = matrix();
+        // POS: tp 6, predicted 7, actual 8.
+        assert!((m.precision(ClassLabel::POS).unwrap() - 6.0 / 7.0).abs() < 1e-12);
+        assert!((m.recall(ClassLabel::POS).unwrap() - 6.0 / 8.0).abs() < 1e-12);
+        let p = 6.0 / 7.0;
+        let r = 6.0 / 8.0;
+        assert!((m.f1(ClassLabel::POS).unwrap() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+        // NEG: tp 3, predicted 5, actual 4.
+        assert!((m.precision(ClassLabel::NEG).unwrap() - 3.0 / 5.0).abs() < 1e-12);
+        assert!((m.recall(ClassLabel::NEG).unwrap() - 3.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_class_yields_none() {
+        let m = matrix();
+        assert_eq!(m.precision(ClassLabel(9)), None);
+        assert_eq!(m.recall(ClassLabel(9)), None);
+        assert_eq!(m.f1(ClassLabel(9)), None);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.total(), 0);
+        assert!(m.classes().is_empty());
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = matrix().report();
+        assert!(r.contains("accuracy: 0.750"));
+        assert!(r.contains("class +"));
+        assert!(r.contains("class -"));
+    }
+}

@@ -1,0 +1,490 @@
+//! Plain-text persistence of trained models.
+//!
+//! A [`CrossMineModel`] serializes to a line-based, human-diffable format
+//! keyed by *names* (relations, attributes, categorical labels), so a model
+//! can be saved after training and reloaded later against any database with
+//! the same schema — the train-once / predict-later workflow.
+//!
+//! Format (one logical item per line, whitespace-separated):
+//!
+//! ```text
+//! crossmine-model v1
+//! default 0
+//! classes 0 1
+//! clause 1 sup_pos 24 sup_neg 0 acc 0.925926
+//! edge Loan account_id Account account_id fk_pk
+//! cat Account frequency monthly
+//! endclause
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crossmine_relational::{
+    AttrId, ClassLabel, DatabaseSchema, JoinEdge, JoinKind, RelId,
+};
+
+use crate::classifier::CrossMineModel;
+use crate::clause::Clause;
+use crate::literal::{AggOp, CmpOp, ComplexLiteral, Constraint, ConstraintKind};
+
+/// Errors from model (de)serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelIoError {
+    /// The header line was missing or had an unsupported version.
+    BadHeader(String),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A relation/attribute/label named in the model is absent from the
+    /// schema the model is being loaded against.
+    SchemaMismatch(String),
+    /// Filesystem failure.
+    Io(String),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::BadHeader(h) => write!(f, "bad model header: {h}"),
+            ModelIoError::Parse { line, message } => {
+                write!(f, "model parse error at line {line}: {message}")
+            }
+            ModelIoError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            ModelIoError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+fn kind_str(k: JoinKind) -> &'static str {
+    match k {
+        JoinKind::FkToPk => "fk_pk",
+        JoinKind::PkToFk => "pk_fk",
+        JoinKind::FkFk => "fk_fk",
+    }
+}
+
+fn parse_kind(s: &str) -> Option<JoinKind> {
+    match s {
+        "fk_pk" => Some(JoinKind::FkToPk),
+        "pk_fk" => Some(JoinKind::PkToFk),
+        "fk_fk" => Some(JoinKind::FkFk),
+        _ => None,
+    }
+}
+
+/// Serializes `model` against `schema` (names resolve through it).
+pub fn to_string(model: &CrossMineModel, schema: &DatabaseSchema) -> String {
+    let mut out = String::new();
+    out.push_str("crossmine-model v1\n");
+    let _ = writeln!(out, "default {}", model.default_label.0);
+    let _ = write!(out, "classes");
+    for c in &model.classes {
+        let _ = write!(out, " {}", c.0);
+    }
+    out.push('\n');
+    for clause in &model.clauses {
+        let _ = writeln!(
+            out,
+            "clause {} sup_pos {} sup_neg {} acc {}",
+            clause.label.0, clause.sup_pos, clause.sup_neg, clause.accuracy
+        );
+        for lit in &clause.literals {
+            for e in &lit.path {
+                let fr = schema.relation(e.from);
+                let tr = schema.relation(e.to);
+                let _ = writeln!(
+                    out,
+                    "edge {} {} {} {} {}",
+                    fr.name,
+                    fr.attr(e.from_attr).name,
+                    tr.name,
+                    tr.attr(e.to_attr).name,
+                    kind_str(e.kind)
+                );
+            }
+            let rel = schema.relation(lit.constraint.rel);
+            match &lit.constraint.kind {
+                ConstraintKind::CatEq { attr, value } => {
+                    let a = rel.attr(*attr);
+                    let label = a.label_of(*value).unwrap_or("<?>");
+                    let _ = writeln!(out, "cat {} {} {}", rel.name, a.name, label);
+                }
+                ConstraintKind::Num { attr, op, threshold } => {
+                    let _ = writeln!(
+                        out,
+                        "num {} {} {} {}",
+                        rel.name,
+                        rel.attr(*attr).name,
+                        if *op == CmpOp::Le { "le" } else { "ge" },
+                        threshold
+                    );
+                }
+                ConstraintKind::Agg { agg, attr, op, threshold } => {
+                    let attr_name =
+                        attr.map(|a| rel.attr(a).name.clone()).unwrap_or_else(|| "-".into());
+                    let _ = writeln!(
+                        out,
+                        "agg {} {} {} {} {}",
+                        rel.name,
+                        agg.name(),
+                        attr_name,
+                        if *op == CmpOp::Le { "le" } else { "ge" },
+                        threshold
+                    );
+                }
+            }
+        }
+        out.push_str("endclause\n");
+    }
+    out
+}
+
+/// Parses a model serialized by [`to_string`], resolving names against
+/// `schema`.
+pub fn from_str(text: &str, schema: &DatabaseSchema) -> Result<CrossMineModel, ModelIoError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ModelIoError::BadHeader("empty input".into()))?;
+    if header.trim() != "crossmine-model v1" {
+        return Err(ModelIoError::BadHeader(header.to_string()));
+    }
+
+    let perr = |line: usize, message: &str| ModelIoError::Parse {
+        line: line + 1,
+        message: message.to_string(),
+    };
+
+    let rel_by_name = |name: &str| -> Result<RelId, ModelIoError> {
+        schema
+            .rel_id(name)
+            .ok_or_else(|| ModelIoError::SchemaMismatch(format!("relation `{name}` not found")))
+    };
+    let attr_by_name = |rel: RelId, name: &str| -> Result<AttrId, ModelIoError> {
+        schema.relation(rel).attr_id(name).ok_or_else(|| {
+            ModelIoError::SchemaMismatch(format!(
+                "attribute `{}.{name}` not found",
+                schema.relation(rel).name
+            ))
+        })
+    };
+
+    let mut default_label = ClassLabel::NEG;
+    let mut classes: Vec<ClassLabel> = Vec::new();
+    let mut clauses: Vec<Clause> = Vec::new();
+    // In-progress clause state.
+    let mut current: Option<(ClassLabel, usize, f64, f64)> = None;
+    let mut literals: Vec<ComplexLiteral> = Vec::new();
+    let mut pending_path: Vec<JoinEdge> = Vec::new();
+
+    for (lineno, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "default" => {
+                let c: u32 = tokens
+                    .get(1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| perr(lineno, "default needs a class id"))?;
+                default_label = ClassLabel(c);
+            }
+            "classes" => {
+                classes = tokens[1..]
+                    .iter()
+                    .map(|t| t.parse().map(ClassLabel))
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| perr(lineno, "bad class id"))?;
+            }
+            "clause" => {
+                if current.is_some() {
+                    return Err(perr(lineno, "nested clause"));
+                }
+                // clause <label> sup_pos <p> sup_neg <n> acc <a>
+                if tokens.len() != 8 || tokens[2] != "sup_pos" || tokens[4] != "sup_neg" || tokens[6] != "acc" {
+                    return Err(perr(lineno, "malformed clause line"));
+                }
+                let label = ClassLabel(
+                    tokens[1].parse().map_err(|_| perr(lineno, "bad clause label"))?,
+                );
+                let sup_pos: usize =
+                    tokens[3].parse().map_err(|_| perr(lineno, "bad sup_pos"))?;
+                let sup_neg: f64 =
+                    tokens[5].parse().map_err(|_| perr(lineno, "bad sup_neg"))?;
+                let acc: f64 = tokens[7].parse().map_err(|_| perr(lineno, "bad acc"))?;
+                current = Some((label, sup_pos, sup_neg, acc));
+                literals = Vec::new();
+                pending_path = Vec::new();
+            }
+            "edge" => {
+                if tokens.len() != 6 {
+                    return Err(perr(lineno, "edge needs 5 fields"));
+                }
+                let from = rel_by_name(tokens[1])?;
+                let from_attr = attr_by_name(from, tokens[2])?;
+                let to = rel_by_name(tokens[3])?;
+                let to_attr = attr_by_name(to, tokens[4])?;
+                let kind =
+                    parse_kind(tokens[5]).ok_or_else(|| perr(lineno, "bad join kind"))?;
+                pending_path.push(JoinEdge { from, from_attr, to, to_attr, kind });
+            }
+            "cat" | "num" | "agg" => {
+                let rel = rel_by_name(tokens[1])?;
+                let kind = match tokens[0] {
+                    "cat" => {
+                        if tokens.len() != 4 {
+                            return Err(perr(lineno, "cat needs 3 fields"));
+                        }
+                        let attr = attr_by_name(rel, tokens[2])?;
+                        let value = schema
+                            .relation(rel)
+                            .attr(attr)
+                            .code_of(tokens[3])
+                            .ok_or_else(|| {
+                                ModelIoError::SchemaMismatch(format!(
+                                    "label `{}` unknown for {}.{}",
+                                    tokens[3], tokens[1], tokens[2]
+                                ))
+                            })?;
+                        ConstraintKind::CatEq { attr, value }
+                    }
+                    "num" => {
+                        if tokens.len() != 5 {
+                            return Err(perr(lineno, "num needs 4 fields"));
+                        }
+                        let attr = attr_by_name(rel, tokens[2])?;
+                        let op = match tokens[3] {
+                            "le" => CmpOp::Le,
+                            "ge" => CmpOp::Ge,
+                            _ => return Err(perr(lineno, "bad comparison op")),
+                        };
+                        let threshold: f64 =
+                            tokens[4].parse().map_err(|_| perr(lineno, "bad threshold"))?;
+                        ConstraintKind::Num { attr, op, threshold }
+                    }
+                    _ => {
+                        if tokens.len() != 6 {
+                            return Err(perr(lineno, "agg needs 5 fields"));
+                        }
+                        let agg = match tokens[2] {
+                            "count" => AggOp::Count,
+                            "sum" => AggOp::Sum,
+                            "avg" => AggOp::Avg,
+                            _ => return Err(perr(lineno, "bad aggregation op")),
+                        };
+                        let attr = if tokens[3] == "-" {
+                            None
+                        } else {
+                            Some(attr_by_name(rel, tokens[3])?)
+                        };
+                        let op = match tokens[4] {
+                            "le" => CmpOp::Le,
+                            "ge" => CmpOp::Ge,
+                            _ => return Err(perr(lineno, "bad comparison op")),
+                        };
+                        let threshold: f64 =
+                            tokens[5].parse().map_err(|_| perr(lineno, "bad threshold"))?;
+                        ConstraintKind::Agg { agg, attr, op, threshold }
+                    }
+                };
+                literals.push(ComplexLiteral {
+                    path: std::mem::take(&mut pending_path),
+                    constraint: Constraint { rel, kind },
+                });
+            }
+            "endclause" => {
+                let (label, sup_pos, sup_neg, acc) =
+                    current.take().ok_or_else(|| perr(lineno, "endclause without clause"))?;
+                if !pending_path.is_empty() {
+                    return Err(perr(lineno, "dangling edge without constraint"));
+                }
+                let mut clause = Clause::new(
+                    std::mem::take(&mut literals),
+                    label,
+                    sup_pos,
+                    sup_neg,
+                    classes.len().max(2),
+                );
+                clause.accuracy = acc; // preserve the recorded estimate exactly
+                clauses.push(clause);
+            }
+            other => return Err(perr(lineno, &format!("unknown directive `{other}`"))),
+        }
+    }
+    if current.is_some() {
+        return Err(ModelIoError::Parse { line: 0, message: "unterminated clause".into() });
+    }
+    Ok(CrossMineModel { clauses, default_label, classes })
+}
+
+/// Saves `model` to `path`.
+pub fn save(
+    model: &CrossMineModel,
+    schema: &DatabaseSchema,
+    path: impl AsRef<Path>,
+) -> Result<(), ModelIoError> {
+    std::fs::write(path, to_string(model, schema)).map_err(|e| ModelIoError::Io(e.to_string()))
+}
+
+/// Loads a model from `path`, resolving names against `schema`.
+pub fn load(
+    path: impl AsRef<Path>,
+    schema: &DatabaseSchema,
+) -> Result<CrossMineModel, ModelIoError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ModelIoError::Io(e.to_string()))?;
+    from_str(&text, schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::CrossMine;
+    use crossmine_relational::{AttrType, Attribute, Database, RelationSchema, Row, Value};
+
+    /// Two relations so learned clauses include join edges; class decided by
+    /// S.d and T.x so categorical + numerical literals both appear.
+    fn db() -> Database {
+        let mut schema = DatabaseSchema::new();
+        let mut t = RelationSchema::new("T");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        t.add_attribute(Attribute::new("x", AttrType::Numerical)).unwrap();
+        let mut s = RelationSchema::new("S");
+        s.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        s.add_attribute(Attribute::new("t_id", AttrType::ForeignKey { target: "T".into() }))
+            .unwrap();
+        let mut d = Attribute::new("d", AttrType::Categorical);
+        d.intern("x");
+        d.intern("y");
+        s.add_attribute(d).unwrap();
+        let tid = schema.add_relation(t).unwrap();
+        let sid = schema.add_relation(s).unwrap();
+        schema.set_target(tid);
+        let mut db = Database::new(schema).unwrap();
+        for i in 0..60u64 {
+            // Positive iff (joined S has d=x) which correlates with i%2;
+            // x adds a secondary numerical signal.
+            let pos = i % 2 == 0;
+            db.push_row(tid, vec![Value::Key(i), Value::Num((i % 7) as f64)]).unwrap();
+            db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
+            db.push_row(sid, vec![Value::Key(i), Value::Key(i), Value::Cat(pos as u32)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_model_and_predictions() {
+        let db = db();
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let model = CrossMine::default().fit(&db, &rows);
+        assert!(model.num_clauses() > 0);
+
+        let text = to_string(&model, &db.schema);
+        let reloaded = from_str(&text, &db.schema).unwrap();
+
+        assert_eq!(reloaded.num_clauses(), model.num_clauses());
+        assert_eq!(reloaded.default_label, model.default_label);
+        assert_eq!(reloaded.classes, model.classes);
+        for (a, b) in model.clauses.iter().zip(&reloaded.clauses) {
+            assert_eq!(a.display(&db.schema), b.display(&db.schema));
+            assert_eq!(a.sup_pos, b.sup_pos);
+            assert!((a.accuracy - b.accuracy).abs() < 1e-12);
+        }
+        assert_eq!(model.predict(&db, &rows), reloaded.predict(&db, &rows));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = db();
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let model = CrossMine::default().fit(&db, &rows);
+        let path = std::env::temp_dir()
+            .join(format!("crossmine-model-{}.txt", std::process::id()));
+        save(&model, &db.schema, &path).unwrap();
+        let reloaded = load(&path, &db.schema).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reloaded.num_clauses(), model.num_clauses());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let db = db();
+        assert!(matches!(
+            from_str("not a model\n", &db.schema),
+            Err(ModelIoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_relation() {
+        let db = db();
+        let text = "crossmine-model v1\ndefault 0\nclasses 0 1\n\
+                    clause 1 sup_pos 1 sup_neg 0 acc 0.5\ncat Nope a x\nendclause\n";
+        assert!(matches!(
+            from_str(text, &db.schema),
+            Err(ModelIoError::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_dangling_edge() {
+        let db = db();
+        let text = "crossmine-model v1\ndefault 0\nclasses 0 1\n\
+                    clause 1 sup_pos 1 sup_neg 0 acc 0.5\n\
+                    edge T id S t_id pk_fk\nendclause\n";
+        assert!(matches!(from_str(text, &db.schema), Err(ModelIoError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_categorical_label() {
+        let db = db();
+        let text = "crossmine-model v1\ndefault 0\nclasses 0 1\n\
+                    clause 1 sup_pos 1 sup_neg 0 acc 0.5\ncat S d zebra\nendclause\n";
+        assert!(matches!(
+            from_str(text, &db.schema),
+            Err(ModelIoError::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn agg_literal_roundtrip() {
+        // Hand-build a model with an aggregation literal and round-trip it.
+        let db = db();
+        let s = db.schema.rel_id("S").unwrap();
+        let clause = Clause::new(
+            vec![ComplexLiteral::local(Constraint {
+                rel: s,
+                kind: ConstraintKind::Agg {
+                    agg: AggOp::Avg,
+                    attr: None,
+                    op: CmpOp::Ge,
+                    threshold: 2.5,
+                },
+            })],
+            ClassLabel::POS,
+            5,
+            1.5,
+            2,
+        );
+        let model = CrossMineModel {
+            clauses: vec![clause],
+            default_label: ClassLabel::NEG,
+            classes: vec![ClassLabel::NEG, ClassLabel::POS],
+        };
+        let text = to_string(&model, &db.schema);
+        assert!(text.contains("agg S avg - ge 2.5"));
+        let reloaded = from_str(&text, &db.schema).unwrap();
+        assert_eq!(reloaded.clauses[0].display(&db.schema), model.clauses[0].display(&db.schema));
+        assert!((reloaded.clauses[0].sup_neg - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Tunable parameters of the CrossMine learner.
+
+/// Hyper-parameters of CrossMine. Defaults are the values used throughout the
+/// paper's experiments (§7): `MIN_FOIL_GAIN = 2.5`, `MAX_CLAUSE_LENGTH = 6`,
+/// `NEG_POS_RATIO = 1`, `MAX_NUM_NEGATIVE = 600`. The paper reports that
+/// accuracy and runtime are not sensitive to these.
+#[derive(Debug, Clone)]
+pub struct CrossMineParams {
+    /// Minimum foil gain for a literal to be appended (Algorithm 2).
+    pub min_foil_gain: f64,
+    /// Maximum number of complex literals per clause (Algorithm 2).
+    pub max_clause_length: usize,
+    /// Sequential covering stops once the remaining positive tuples drop to
+    /// this fraction of the original count (Algorithm 1: "more than 10%
+    /// positive target tuples left").
+    pub min_pos_fraction: f64,
+    /// Safety cap on the number of clauses per class.
+    pub max_clauses: usize,
+    /// Negative-tuple sampling (§6). When `true`, negatives are down-sampled
+    /// before each clause to `neg_pos_ratio · P`, capped at
+    /// `max_num_negative`, and clause accuracy uses the safe estimator.
+    pub sampling: bool,
+    /// Maximum ratio of negative to positive tuples before a clause is built.
+    pub neg_pos_ratio: f64,
+    /// Hard cap on the number of negative tuples before a clause is built.
+    pub max_num_negative: usize,
+    /// Fan-out constraint (§4.3): a propagation is discouraged (skipped) when
+    /// the *average* number of tuple IDs per receiving tuple would exceed
+    /// this. `None` disables the constraint.
+    pub max_fanout: Option<usize>,
+    /// Enables the look-one-ahead search through foreign keys of the relation
+    /// just propagated to (§5.2). On by default, as in the paper.
+    pub look_one_ahead: bool,
+    /// Enables aggregation literals (`count`/`sum`/`avg`, §3.2).
+    pub aggregation_literals: bool,
+    /// Seed for the negative-sampling RNG (determinism in experiments).
+    pub seed: u64,
+}
+
+impl Default for CrossMineParams {
+    fn default() -> Self {
+        CrossMineParams {
+            min_foil_gain: 2.5,
+            max_clause_length: 6,
+            min_pos_fraction: 0.1,
+            max_clauses: 1000,
+            sampling: false,
+            neg_pos_ratio: 1.0,
+            max_num_negative: 600,
+            max_fanout: Some(100),
+            look_one_ahead: true,
+            aggregation_literals: true,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl CrossMineParams {
+    /// The paper's default configuration with negative sampling enabled.
+    pub fn with_sampling() -> Self {
+        CrossMineParams { sampling: true, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_7() {
+        let p = CrossMineParams::default();
+        assert_eq!(p.min_foil_gain, 2.5);
+        assert_eq!(p.max_clause_length, 6);
+        assert_eq!(p.neg_pos_ratio, 1.0);
+        assert_eq!(p.max_num_negative, 600);
+        assert!(!p.sampling);
+        assert!(p.look_one_ahead);
+        assert!(p.aggregation_literals);
+    }
+
+    #[test]
+    fn with_sampling_toggles_only_sampling() {
+        let p = CrossMineParams::with_sampling();
+        assert!(p.sampling);
+        assert_eq!(p.max_clause_length, CrossMineParams::default().max_clause_length);
+    }
+}

@@ -1,0 +1,530 @@
+//! Tuple-ID propagation (§4) and clause-state maintenance (§5.2/§5.3).
+//!
+//! [`Annotation`] attaches an [`IdSet`] to every tuple of one relation: the
+//! target tuples joinable with it along the current clause's join path
+//! (Definition 2). [`propagate`] moves an annotation across one §3.1 join
+//! edge (Lemmas 1 and 2). [`ClauseState`] tracks, while a clause is being
+//! built or evaluated, which target tuples still satisfy it and which
+//! relations are *active* with which annotations — exactly the state
+//! maintained by Algorithm 2 ("update IDs on every active relation").
+
+use crossmine_relational::{Database, JoinEdge, RelId, Row, Value};
+
+use crate::idset::{IdSet, Stamp, TargetSet};
+use crate::literal::{AggOp, ComplexLiteral, Constraint, ConstraintKind};
+
+/// Per-tuple ID sets for one relation. A tuple with an empty set is not
+/// joinable with any surviving target tuple (or has been eliminated).
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// `idsets[row]` = target tuples joinable with `row`.
+    pub idsets: Vec<IdSet>,
+}
+
+impl Annotation {
+    /// An annotation with every tuple unjoinable.
+    pub fn empty(num_rows: usize) -> Self {
+        Annotation { idsets: vec![IdSet::new(); num_rows] }
+    }
+
+    /// The identity annotation of the target relation: each member of
+    /// `targets` is joinable exactly with itself.
+    pub fn identity(num_rows: usize, targets: &TargetSet) -> Self {
+        let mut idsets = vec![IdSet::new(); num_rows];
+        for r in targets.iter() {
+            idsets[r.0 as usize] = IdSet::singleton(r.0);
+        }
+        Annotation { idsets }
+    }
+
+    /// Total number of propagated IDs.
+    pub fn total_ids(&self) -> usize {
+        self.idsets.iter().map(IdSet::len).sum()
+    }
+
+    /// Number of tuples with at least one ID.
+    pub fn joinable_tuples(&self) -> usize {
+        self.idsets.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Average IDs per joinable tuple — the fan-out the §4.3 constraint
+    /// bounds. Zero when nothing is joinable.
+    pub fn avg_fanout(&self) -> f64 {
+        let joinable = self.joinable_tuples();
+        if joinable == 0 {
+            0.0
+        } else {
+            self.total_ids() as f64 / joinable as f64
+        }
+    }
+
+    /// Drops every ID not in `targets` (Algorithm 2's "update IDs on every
+    /// active relation" after tuples are eliminated).
+    pub fn restrict_to(&mut self, targets: &TargetSet) {
+        for set in &mut self.idsets {
+            set.retain(|id| targets.contains(id));
+        }
+    }
+
+    /// The union of all idsets as a [`TargetSet`].
+    pub fn covered_targets(&self, is_pos: &[bool], stamp: &mut Stamp) -> TargetSet {
+        stamp.reset();
+        let mut rows = Vec::new();
+        for set in &self.idsets {
+            for id in set.iter() {
+                if stamp.mark(id) {
+                    rows.push(Row(id));
+                }
+            }
+        }
+        TargetSet::from_rows(is_pos, rows)
+    }
+}
+
+/// Propagates `from_ann` (on relation `edge.from`) across `edge`, producing
+/// the annotation of `edge.to` (Definition 2: `idset(u) = ⋃ idset(t)` over
+/// joinable `t`). Null join values never match.
+pub fn propagate(db: &Database, from_ann: &Annotation, edge: &JoinEdge) -> Annotation {
+    let from_rel = db.relation(edge.from);
+    let to_len = db.relation(edge.to).len();
+    debug_assert_eq!(from_ann.idsets.len(), from_rel.len());
+    let index = db.key_index(edge.to, edge.to_attr);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); to_len];
+    for (i, set) in from_ann.idsets.iter().enumerate() {
+        if set.is_empty() {
+            continue;
+        }
+        let key = match from_rel.value(Row(i as u32), edge.from_attr) {
+            Value::Key(k) => k,
+            _ => continue,
+        };
+        for &to_row in index.rows(key) {
+            // Self-join edges must not let a tuple inherit its own ids
+            // through a different column of the same row.
+            if edge.from == edge.to && to_row.0 as usize == i && edge.from_attr == edge.to_attr {
+                continue;
+            }
+            buckets[to_row.0 as usize].extend(set.iter());
+        }
+    }
+    Annotation { idsets: buckets.into_iter().map(IdSet::from_ids).collect() }
+}
+
+/// Per-target aggregate accumulators for aggregation literals (§5.1: "by
+/// scanning the tuple IDs associated with tuples in R ... calculate the
+/// count, sum, and average").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AggStats {
+    /// Number of joinable tuples (basis of `count`).
+    pub rows: u32,
+    /// Number of joinable tuples with a non-null value on the aggregated
+    /// attribute (basis of `avg`).
+    pub num_rows: u32,
+    /// Sum of the aggregated attribute over joinable tuples.
+    pub sum: f64,
+}
+
+impl AggStats {
+    /// The aggregate value under `op`, or `None` when undefined (no joinable
+    /// tuple, or no non-null value for sum/avg).
+    pub fn value(&self, op: AggOp) -> Option<f64> {
+        match op {
+            AggOp::Count => (self.rows > 0).then_some(self.rows as f64),
+            AggOp::Sum => (self.num_rows > 0).then_some(self.sum),
+            AggOp::Avg => (self.num_rows > 0).then_some(self.sum / self.num_rows as f64),
+        }
+    }
+}
+
+/// Computes per-target aggregate stats over relation `rel` given its
+/// annotation. `attr` is the aggregated numerical column (`None` for pure
+/// `count`). Only IDs in `targets` accumulate. Indexed by target row.
+pub fn aggregate(
+    db: &Database,
+    rel: RelId,
+    attr: Option<crossmine_relational::AttrId>,
+    ann: &Annotation,
+    targets: &TargetSet,
+) -> Vec<AggStats> {
+    let relation = db.relation(rel);
+    let mut acc = vec![AggStats::default(); targets.capacity()];
+    for (i, set) in ann.idsets.iter().enumerate() {
+        if set.is_empty() {
+            continue;
+        }
+        let num = attr.and_then(|a| relation.value(Row(i as u32), a).as_num());
+        for id in set.iter() {
+            if !targets.contains(id) {
+                continue;
+            }
+            let s = &mut acc[id as usize];
+            s.rows += 1;
+            if let Some(x) = num {
+                s.num_rows += 1;
+                s.sum += x;
+            }
+        }
+    }
+    acc
+}
+
+/// The evolving state of one clause: surviving targets plus the annotation
+/// of every active relation. Used both while *building* a clause
+/// (Algorithm 2) and while *evaluating* one on unseen tuples (§5.3).
+#[derive(Debug, Clone)]
+pub struct ClauseState<'a> {
+    /// The database being classified.
+    pub db: &'a Database,
+    /// Target tuples satisfying the clause so far.
+    pub targets: TargetSet,
+    /// `annotations[rel]` is `Some` iff `rel` is active.
+    pub annotations: Vec<Option<Annotation>>,
+    /// Positivity flags used only to maintain [`TargetSet`] counts.
+    is_pos: &'a [bool],
+    target_rel: RelId,
+}
+
+impl<'a> ClauseState<'a> {
+    /// A fresh state: only the target relation is active, annotated with the
+    /// identity over `initial` targets.
+    pub fn new(db: &'a Database, is_pos: &'a [bool], initial: TargetSet) -> Self {
+        let target_rel = db.target().expect("database must have a target relation");
+        let mut annotations: Vec<Option<Annotation>> =
+            (0..db.schema.num_relations()).map(|_| None).collect();
+        annotations[target_rel.0] =
+            Some(Annotation::identity(db.relation(target_rel).len(), &initial));
+        ClauseState { db, targets: initial, annotations, is_pos, target_rel }
+    }
+
+    /// The target relation id.
+    pub fn target_rel(&self) -> RelId {
+        self.target_rel
+    }
+
+    /// Ids of all active relations.
+    pub fn active_relations(&self) -> Vec<RelId> {
+        self.annotations
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_some())
+            .map(|(i, _)| RelId(i))
+            .collect()
+    }
+
+    /// The annotation of `rel`, when active.
+    pub fn annotation(&self, rel: RelId) -> Option<&Annotation> {
+        self.annotations[rel.0].as_ref()
+    }
+
+    /// Propagates the current annotation of active relation `edge.from`
+    /// across `edge` (panics if `edge.from` is inactive — callers only
+    /// propagate from active relations, per Algorithm 3).
+    pub fn propagate_edge(&self, edge: &JoinEdge) -> Annotation {
+        let from = self.annotations[edge.from.0]
+            .as_ref()
+            .expect("propagation must start from an active relation");
+        propagate(self.db, from, edge)
+    }
+
+    /// Resolves the annotation a literal's constraint applies to: follows the
+    /// prop-path from its (active) source, or clones the constrained
+    /// relation's current annotation for empty paths.
+    pub fn annotation_for(&self, lit: &ComplexLiteral) -> Annotation {
+        if lit.path.is_empty() {
+            self.annotations[lit.constraint.rel.0]
+                .clone()
+                .expect("local literal on an inactive relation")
+        } else {
+            let mut ann = self.propagate_edge(&lit.path[0]);
+            for edge in &lit.path[1..] {
+                ann = propagate(self.db, &ann, edge);
+            }
+            ann
+        }
+    }
+
+    /// Appends `lit` to the clause: eliminates tuples/targets not satisfying
+    /// it, refreshes every active annotation, and marks the constrained
+    /// relation active (Algorithm 2's inner update).
+    pub fn apply_literal(&mut self, lit: &ComplexLiteral, stamp: &mut Stamp) {
+        let mut ann = self.annotation_for(lit);
+        let surviving = constrain(self.db, &lit.constraint, &mut ann, &self.targets, stamp);
+        // Shrink the surviving-target set.
+        self.targets.retain(self.is_pos, |id| surviving.is_marked(id));
+        // Update IDs on every active relation.
+        for slot in self.annotations.iter_mut().flatten() {
+            slot.restrict_to(&self.targets);
+        }
+        ann.restrict_to(&self.targets);
+        self.annotations[lit.constraint.rel.0] = Some(ann);
+    }
+}
+
+/// Applies `constraint` to `ann` in place: for categorical/numerical
+/// constraints, tuples failing the test are eliminated (their idsets
+/// cleared); for aggregation constraints tuples are kept but targets whose
+/// aggregate fails are dropped. Returns (via `stamp`) the set of target ids
+/// that still satisfy the clause — callers filter on `stamp.is_marked`.
+fn constrain<'s>(
+    db: &Database,
+    constraint: &Constraint,
+    ann: &mut Annotation,
+    targets: &TargetSet,
+    stamp: &'s mut Stamp,
+) -> &'s Stamp {
+    let relation = db.relation(constraint.rel);
+    match &constraint.kind {
+        ConstraintKind::CatEq { attr, value } => {
+            let col = relation.column(*attr);
+            for (i, set) in ann.idsets.iter_mut().enumerate() {
+                if col[i] != Value::Cat(*value) {
+                    set.clear();
+                }
+            }
+            mark_covered(ann, targets, stamp)
+        }
+        ConstraintKind::Num { attr, op, threshold } => {
+            let col = relation.column(*attr);
+            for (i, set) in ann.idsets.iter_mut().enumerate() {
+                let keep = matches!(col[i], Value::Num(x) if op.test(x, *threshold));
+                if !keep {
+                    set.clear();
+                }
+            }
+            mark_covered(ann, targets, stamp)
+        }
+        ConstraintKind::Agg { agg, attr, op, threshold } => {
+            let stats = aggregate(db, constraint.rel, *attr, ann, targets);
+            stamp.reset();
+            for (id, s) in stats.iter().enumerate() {
+                if let Some(v) = s.value(*agg) {
+                    if op.test(v, *threshold) {
+                        stamp.mark(id as u32);
+                    }
+                }
+            }
+            stamp
+        }
+    }
+}
+
+fn mark_covered<'s>(ann: &Annotation, targets: &TargetSet, stamp: &'s mut Stamp) -> &'s Stamp {
+    stamp.reset();
+    for set in &ann.idsets {
+        for id in set.iter() {
+            if targets.contains(id) {
+                stamp.mark(id);
+            }
+        }
+    }
+    stamp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::CmpOp;
+    use crossmine_relational::{
+        AttrId, AttrType, Attribute, ClassLabel, DatabaseSchema, JoinGraph, RelationSchema,
+    };
+
+    /// The Fig. 2 / Fig. 4 Loan–Account database.
+    fn fig4() -> (Database, Vec<bool>) {
+        let mut schema = DatabaseSchema::new();
+        let mut loan = RelationSchema::new("Loan");
+        loan.add_attribute(Attribute::new("loan_id", AttrType::PrimaryKey)).unwrap();
+        loan.add_attribute(Attribute::new(
+            "account_id",
+            AttrType::ForeignKey { target: "Account".into() },
+        ))
+        .unwrap();
+        loan.add_attribute(Attribute::new("amount", AttrType::Numerical)).unwrap();
+        let mut account = RelationSchema::new("Account");
+        account.add_attribute(Attribute::new("account_id", AttrType::PrimaryKey)).unwrap();
+        let mut f = Attribute::new("frequency", AttrType::Categorical);
+        let monthly = f.intern("monthly");
+        assert_eq!(monthly, 0);
+        f.intern("weekly");
+        account.add_attribute(f).unwrap();
+        let t = schema.add_relation(loan).unwrap();
+        let a = schema.add_relation(account).unwrap();
+        schema.set_target(t);
+        let mut db = Database::new(schema).unwrap();
+        for (lid, aid, amt, pos) in [
+            (1u64, 124u64, 1000.0, true),
+            (2, 124, 4000.0, true),
+            (3, 108, 10000.0, false),
+            (4, 45, 12000.0, false),
+            (5, 45, 2000.0, true),
+        ] {
+            db.push_row(t, vec![Value::Key(lid), Value::Key(aid), Value::Num(amt)]).unwrap();
+            db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
+        }
+        for (aid, fr) in [(124u64, 0u32), (108, 1), (45, 0), (67, 1)] {
+            db.push_row(a, vec![Value::Key(aid), Value::Cat(fr)]).unwrap();
+        }
+        let is_pos = vec![true, true, false, false, true];
+        (db, is_pos)
+    }
+
+    fn loan_account_edge(db: &Database) -> JoinEdge {
+        let loan = db.schema.rel_id("Loan").unwrap();
+        let account = db.schema.rel_id("Account").unwrap();
+        *JoinGraph::build(&db.schema)
+            .edges()
+            .iter()
+            .find(|e| e.from == loan && e.to == account)
+            .unwrap()
+    }
+
+    #[test]
+    fn propagation_matches_fig4() {
+        let (db, is_pos) = fig4();
+        let targets = TargetSet::all(&is_pos);
+        let state = ClauseState::new(&db, &is_pos, targets);
+        let ann = state.propagate_edge(&loan_account_edge(&db));
+        // Fig. 4: account 124 <- {1,2}; 108 <- {3}; 45 <- {4,5}; 67 <- {}.
+        assert_eq!(ann.idsets[0].as_slice(), &[0, 1]);
+        assert_eq!(ann.idsets[1].as_slice(), &[2]);
+        assert_eq!(ann.idsets[2].as_slice(), &[3, 4]);
+        assert!(ann.idsets[3].is_empty());
+        assert_eq!(ann.total_ids(), 5);
+        assert_eq!(ann.joinable_tuples(), 3);
+        assert!((ann.avg_fanout() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transitive_propagation_lemma2() {
+        // Propagate Loan -> Account and back Account -> Loan: each loan ends
+        // up with the ids of all loans sharing its account.
+        let (db, is_pos) = fig4();
+        let targets = TargetSet::all(&is_pos);
+        let state = ClauseState::new(&db, &is_pos, targets);
+        let fwd = loan_account_edge(&db);
+        let ann = state.propagate_edge(&fwd);
+        let back = propagate(&db, &ann, &fwd.reversed());
+        assert_eq!(back.idsets[0].as_slice(), &[0, 1]); // loan 1 shares acct 124 with loan 2
+        assert_eq!(back.idsets[2].as_slice(), &[2]); // loan 3 alone on acct 108
+        assert_eq!(back.idsets[3].as_slice(), &[3, 4]);
+    }
+
+    #[test]
+    fn apply_categorical_literal_matches_paper_example() {
+        // "Account.frequency = monthly" satisfied by loans {1,2,4,5} (§3.3).
+        let (db, is_pos) = fig4();
+        let mut state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
+        let account = db.schema.rel_id("Account").unwrap();
+        let lit = ComplexLiteral {
+            path: vec![loan_account_edge(&db)],
+            constraint: Constraint {
+                rel: account,
+                kind: ConstraintKind::CatEq { attr: AttrId(1), value: 0 },
+            },
+        };
+        let mut stamp = Stamp::new(5);
+        state.apply_literal(&lit, &mut stamp);
+        let rows: Vec<u32> = state.targets.iter().map(|r| r.0).collect();
+        assert_eq!(rows, vec![0, 1, 3, 4]);
+        assert_eq!((state.targets.pos(), state.targets.neg()), (3, 1));
+        // Account became active, its eliminated tuples cleared.
+        let ann = state.annotation(account).unwrap();
+        assert_eq!(ann.idsets[0].as_slice(), &[0, 1]);
+        assert!(ann.idsets[1].is_empty()); // weekly account eliminated
+        assert_eq!(ann.idsets[2].as_slice(), &[3, 4]);
+        // Target annotation restricted to survivors.
+        let t_ann = state.annotation(state.target_rel()).unwrap();
+        assert!(t_ann.idsets[2].is_empty());
+        assert_eq!(t_ann.idsets[0].as_slice(), &[0]);
+    }
+
+    #[test]
+    fn apply_numerical_literal_on_target() {
+        let (db, is_pos) = fig4();
+        let mut state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
+        let loan = state.target_rel();
+        let lit = ComplexLiteral::local(Constraint {
+            rel: loan,
+            kind: ConstraintKind::Num { attr: AttrId(2), op: CmpOp::Le, threshold: 4000.0 },
+        });
+        let mut stamp = Stamp::new(5);
+        state.apply_literal(&lit, &mut stamp);
+        // Loans with amount <= 4000: {1,2,5}.
+        let rows: Vec<u32> = state.targets.iter().map(|r| r.0).collect();
+        assert_eq!(rows, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn aggregation_stats_and_literal() {
+        // count of loans per account: 124 -> 2, 108 -> 1, 45 -> 2.
+        // Literal on Loan aggregated from Account's perspective is awkward;
+        // instead aggregate loans joinable per *target* after a round trip:
+        // each target's count = #loans sharing its account.
+        let (db, is_pos) = fig4();
+        let targets = TargetSet::all(&is_pos);
+        let state = ClauseState::new(&db, &is_pos, targets.clone());
+        let fwd = loan_account_edge(&db);
+        let ann = state.propagate_edge(&fwd);
+        let back = propagate(&db, &ann, &fwd.reversed());
+        let loan = state.target_rel();
+        let stats = aggregate(&db, loan, Some(AttrId(2)), &back, &targets);
+        assert_eq!(stats[0].rows, 2); // loan 1: siblings {1,2}
+        assert_eq!(stats[2].rows, 1);
+        assert!((stats[0].value(AggOp::Sum).unwrap() - 5000.0).abs() < 1e-9);
+        assert!((stats[0].value(AggOp::Avg).unwrap() - 2500.0).abs() < 1e-9);
+        assert_eq!(stats[0].value(AggOp::Count), Some(2.0));
+
+        // Aggregation literal: targets whose sibling-loan amounts sum >= 10000.
+        let mut state2 = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
+        let lit = ComplexLiteral {
+            path: vec![fwd, fwd.reversed()],
+            constraint: Constraint {
+                rel: loan,
+                kind: ConstraintKind::Agg {
+                    agg: AggOp::Sum,
+                    attr: Some(AttrId(2)),
+                    op: CmpOp::Ge,
+                    threshold: 10000.0,
+                },
+            },
+        };
+        let mut stamp = Stamp::new(5);
+        state2.apply_literal(&lit, &mut stamp);
+        // Sums: loans 1,2 -> 5000; loan 3 -> 10000; loans 4,5 -> 14000.
+        let rows: Vec<u32> = state2.targets.iter().map(|r| r.0).collect();
+        assert_eq!(rows, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn agg_stats_undefined_cases() {
+        let s = AggStats::default();
+        assert_eq!(s.value(AggOp::Count), None);
+        assert_eq!(s.value(AggOp::Sum), None);
+        assert_eq!(s.value(AggOp::Avg), None);
+        let joined_no_num = AggStats { rows: 3, num_rows: 0, sum: 0.0 };
+        assert_eq!(joined_no_num.value(AggOp::Count), Some(3.0));
+        assert_eq!(joined_no_num.value(AggOp::Avg), None);
+    }
+
+    #[test]
+    fn initial_state_restricted_targets() {
+        let (db, is_pos) = fig4();
+        let initial = TargetSet::from_rows(&is_pos, [Row(0), Row(3)]);
+        let state = ClauseState::new(&db, &is_pos, initial);
+        let ann = state.propagate_edge(&loan_account_edge(&db));
+        assert_eq!(ann.idsets[0].as_slice(), &[0]); // only loan 1 remains on acct 124
+        assert_eq!(ann.idsets[2].as_slice(), &[3]);
+        assert_eq!(state.active_relations(), vec![state.target_rel()]);
+    }
+
+    #[test]
+    fn null_foreign_keys_do_not_propagate() {
+        let (mut db, mut is_pos) = fig4();
+        let loan = db.schema.rel_id("Loan").unwrap();
+        db.push_row(loan, vec![Value::Key(6), Value::Null, Value::Num(1.0)]).unwrap();
+        db.push_label(ClassLabel::POS);
+        is_pos.push(true);
+        let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
+        let ann = state.propagate_edge(&loan_account_edge(&db));
+        assert_eq!(ann.total_ids(), 5); // the null-fk loan contributed nothing
+    }
+}

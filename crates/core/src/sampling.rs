@@ -1,0 +1,187 @@
+//! Negative-tuple sampling (§6).
+//!
+//! Before a clause is built, the negative tuples are down-sampled so that at
+//! most `NEG_POS_RATIO · P` (capped at `MAX_NUM_NEGATIVE`) remain. Clause
+//! accuracy is then computed with a *safe* estimate of the number of
+//! negatives the clause would cover on the full set: find `n` such that the
+//! observed sample count `n'` is at the 10th percentile of
+//! `Binomial(N', n/N)` under the normal approximation (eq. 5), i.e. solve
+//!
+//! ```text
+//! (1 + 1.64/N') x² − (2d + 1.64/N') x + d² = 0 ,   d = n'/N' ,  x = n/N
+//! ```
+//!
+//! (eq. 6) and take the **larger** root `x₂` (the positive square root), so
+//! that `n = x₂·N` is unlikely to be an underestimate.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crossmine_relational::Row;
+
+use crate::idset::TargetSet;
+use crate::params::CrossMineParams;
+
+/// The number of negatives the sampler keeps for `pos` positives under the
+/// paper's two constraints.
+pub fn negative_cap(pos: usize, params: &CrossMineParams) -> usize {
+    let ratio_cap = (params.neg_pos_ratio * pos as f64).floor() as usize;
+    ratio_cap.min(params.max_num_negative)
+}
+
+/// Down-samples the negatives of `remaining` to [`negative_cap`], keeping
+/// every positive. Returns the sampled target set and the number of
+/// negatives kept; when no sampling is needed the set is returned unchanged.
+pub fn sample_negatives(
+    remaining: &TargetSet,
+    is_pos: &[bool],
+    params: &CrossMineParams,
+    rng: &mut impl Rng,
+) -> (TargetSet, usize) {
+    let cap = negative_cap(remaining.pos(), params);
+    if remaining.neg() <= cap {
+        return (remaining.clone(), remaining.neg());
+    }
+    let mut negatives: Vec<Row> =
+        remaining.iter().filter(|r| !is_pos[r.0 as usize]).collect();
+    negatives.shuffle(rng);
+    negatives.truncate(cap);
+    let rows: Vec<Row> = remaining
+        .iter()
+        .filter(|r| is_pos[r.0 as usize])
+        .chain(negatives.iter().copied())
+        .collect();
+    let sampled = TargetSet::from_rows(is_pos, rows);
+    let kept = sampled.neg();
+    (sampled, kept)
+}
+
+/// The safe estimate of the full-set negative support `n` given that `n_obs`
+/// of the `n_sampled` sampled negatives satisfy the clause, out of `n_full`
+/// total negatives (eq. 5/6). Returns `n_obs` unchanged when no sampling
+/// happened.
+pub fn safe_negative_estimate(n_obs: usize, n_sampled: usize, n_full: usize) -> f64 {
+    if n_sampled == 0 || n_full <= n_sampled {
+        return n_obs as f64;
+    }
+    let d = n_obs as f64 / n_sampled as f64;
+    let k = 1.64 / n_sampled as f64; // 1.28² / N'
+    // (1 + k) x² − (2d + k) x + d² = 0
+    let a = 1.0 + k;
+    let b = -(2.0 * d + k);
+    let c = d * d;
+    let disc = (b * b - 4.0 * a * c).max(0.0);
+    let x2 = (-b + disc.sqrt()) / (2.0 * a); // larger root = positive sqrt branch
+    (x2 * n_full as f64).min(n_full as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cap_respects_both_limits() {
+        let p = CrossMineParams::default(); // ratio 1.0, max 600
+        assert_eq!(negative_cap(50, &p), 50);
+        assert_eq!(negative_cap(1000, &p), 600);
+        let p2 = CrossMineParams { neg_pos_ratio: 2.0, ..Default::default() };
+        assert_eq!(negative_cap(100, &p2), 200);
+    }
+
+    #[test]
+    fn sampling_noop_when_balanced() {
+        let is_pos = vec![true, true, false];
+        let all = TargetSet::all(&is_pos);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (s, kept) = sample_negatives(&all, &is_pos, &CrossMineParams::default(), &mut rng);
+        assert_eq!(s, all);
+        assert_eq!(kept, 1);
+    }
+
+    #[test]
+    fn sampling_downsamples_negatives_keeps_positives() {
+        let mut is_pos = vec![true; 10];
+        is_pos.extend(vec![false; 100]);
+        let all = TargetSet::all(&is_pos);
+        let mut rng = StdRng::seed_from_u64(7);
+        let (s, kept) = sample_negatives(&all, &is_pos, &CrossMineParams::default(), &mut rng);
+        assert_eq!(s.pos(), 10);
+        assert_eq!(s.neg(), 10);
+        assert_eq!(kept, 10);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut is_pos = vec![true; 5];
+        is_pos.extend(vec![false; 50]);
+        let all = TargetSet::all(&is_pos);
+        let p = CrossMineParams::default();
+        let (a, _) = sample_negatives(&all, &is_pos, &p, &mut StdRng::seed_from_u64(3));
+        let (b, _) = sample_negatives(&all, &is_pos, &p, &mut StdRng::seed_from_u64(3));
+        let (c, _) = sample_negatives(&all, &is_pos, &p, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a, b);
+        assert_ne!(a, c); // overwhelmingly likely with 50-choose-5 subsets
+    }
+
+    #[test]
+    fn safe_estimate_no_sampling_passthrough() {
+        assert_eq!(safe_negative_estimate(7, 100, 100), 7.0);
+        assert_eq!(safe_negative_estimate(7, 0, 100), 7.0);
+    }
+
+    #[test]
+    fn safe_estimate_exceeds_naive_scaling() {
+        // Naive: n ≈ n'·N/N' = 5·1000/100 = 50. The safe estimate must be
+        // larger (we picked the larger root: the clause could have been
+        // lucky on the sample).
+        let n = safe_negative_estimate(5, 100, 1000);
+        assert!(n > 50.0, "safe estimate {n} should exceed naive 50");
+        assert!(n < 1000.0);
+    }
+
+    #[test]
+    fn safe_estimate_zero_observed_is_still_positive() {
+        // Even observing 0 of 100 sampled negatives, the safe estimate
+        // charges some negatives on the full 1000.
+        let n = safe_negative_estimate(0, 100, 1000);
+        assert!(n > 0.0);
+        assert!(n < 100.0);
+    }
+
+    #[test]
+    fn safe_estimate_converges_with_large_samples() {
+        // With a huge sample the correction term vanishes: n -> n'·N/N'.
+        let n = safe_negative_estimate(5_000, 100_000, 1_000_000);
+        let naive = 50_000.0;
+        assert!((n - naive).abs() / naive < 0.02, "{n} vs {naive}");
+    }
+
+    #[test]
+    fn safe_estimate_monotone_in_observed() {
+        let a = safe_negative_estimate(1, 100, 1000);
+        let b = safe_negative_estimate(10, 100, 1000);
+        let c = safe_negative_estimate(50, 100, 1000);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn safe_estimate_capped_at_full_count() {
+        assert!(safe_negative_estimate(100, 100, 1000) <= 1000.0);
+    }
+
+    #[test]
+    fn quadratic_satisfies_eq5() {
+        // Verify the chosen root satisfies eq. (5) with the paper's rounded
+        // constant (eq. 6 uses 1.64 ≈ 1.28²):
+        // d = x − √1.64·sqrt(x(1−x)/N′).
+        let n_obs = 20;
+        let n_sampled = 200;
+        let n_full = 10_000;
+        let x = safe_negative_estimate(n_obs, n_sampled, n_full) / n_full as f64;
+        let d = n_obs as f64 / n_sampled as f64;
+        let rhs = x - 1.64_f64.sqrt() * (x * (1.0 - x) / n_sampled as f64).sqrt();
+        assert!((d - rhs).abs() < 1e-9, "d={d} rhs={rhs}");
+    }
+}

@@ -1,0 +1,584 @@
+//! Best-literal search within one relation (§5.1).
+//!
+//! Given a relation that tuple IDs have been propagated to, find the
+//! categorical, numerical, or aggregation constraint with the highest foil
+//! gain. Categorical attributes are bucketed by value; numerical attributes
+//! are swept through their sorted index ascending (for `A ≤ v`) and
+//! descending (for `A ≥ v`) while growing a stamped pool of covered target
+//! IDs; aggregation literals first compute per-target statistics and then
+//! reuse the numerical sweep over those per-target values.
+
+use crossmine_relational::{Database, RelId, Row, Value};
+
+use crate::gain::foil_gain;
+use crate::idset::{Stamp, TargetSet};
+use crate::literal::{AggOp, CmpOp, Constraint, ConstraintKind};
+use crate::params::CrossMineParams;
+use crate::propagation::{aggregate, Annotation};
+
+/// A constraint together with its foil gain and coverage.
+#[derive(Debug, Clone)]
+pub struct ScoredConstraint {
+    /// The constraint found.
+    pub constraint: Constraint,
+    /// Its foil gain against the current clause.
+    pub gain: f64,
+    /// Positive targets covered.
+    pub pos: usize,
+    /// Negative targets covered.
+    pub neg: usize,
+}
+
+/// Finds the best constraint in `rel` under annotation `ann`, where the
+/// current clause covers `targets`. `allow_aggregation` is false for the
+/// target relation (aggregating a target tuple over itself is meaningless)
+/// and when the params disable aggregation literals.
+#[allow(clippy::too_many_arguments)] // the full search context is irreducible
+pub fn best_constraint_in(
+    db: &Database,
+    rel: RelId,
+    ann: &Annotation,
+    targets: &TargetSet,
+    is_pos: &[bool],
+    stamp: &mut Stamp,
+    params: &CrossMineParams,
+    allow_aggregation: bool,
+) -> Option<ScoredConstraint> {
+    let p_c = targets.pos();
+    let n_c = targets.neg();
+    if p_c == 0 {
+        return None;
+    }
+    let mut best: Option<ScoredConstraint> = None;
+    let schema = db.schema.relation(rel);
+    let relation = db.relation(rel);
+
+    for (aid, attr) in schema.iter_attrs() {
+        if attr.ty.is_categorical() {
+            // Bucket idsets by categorical code, then count distinct targets
+            // per bucket.
+            let card = attr.cardinality().max(
+                relation
+                    .column(aid)
+                    .iter()
+                    .filter_map(Value::as_cat)
+                    .map(|c| c as usize + 1)
+                    .max()
+                    .unwrap_or(0),
+            );
+            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); card];
+            for (i, set) in ann.idsets.iter().enumerate() {
+                if set.is_empty() {
+                    continue;
+                }
+                if let Value::Cat(c) = relation.value(Row(i as u32), aid) {
+                    buckets[c as usize].extend(set.iter().filter(|&id| targets.contains(id)));
+                }
+            }
+            for (code, ids) in buckets.iter().enumerate() {
+                if ids.is_empty() {
+                    continue;
+                }
+                stamp.reset();
+                let mut p = 0;
+                let mut n = 0;
+                for &id in ids {
+                    if stamp.mark(id) {
+                        if is_pos[id as usize] {
+                            p += 1;
+                        } else {
+                            n += 1;
+                        }
+                    }
+                }
+                consider(
+                    &mut best,
+                    Constraint {
+                        rel,
+                        kind: ConstraintKind::CatEq { attr: aid, value: code as u32 },
+                    },
+                    p_c,
+                    n_c,
+                    p,
+                    n,
+                );
+            }
+        } else if attr.ty.is_numerical() {
+            // Restrict the sorted index to joinable tuples, gathering the
+            // active target ids behind each value.
+            let sorted = db.sorted_index(rel, aid);
+            let entries: Vec<(f64, &[u32])> = sorted
+                .entries
+                .iter()
+                .filter(|(_, row)| !ann.idsets[row.0 as usize].is_empty())
+                .map(|(v, row)| (*v, ann.idsets[row.0 as usize].as_slice()))
+                .collect();
+            sweep_numeric(&entries, targets, is_pos, stamp, p_c, n_c, |op, threshold, p, n| {
+                consider(
+                    &mut best,
+                    Constraint {
+                        rel,
+                        kind: ConstraintKind::Num { attr: aid, op, threshold },
+                    },
+                    p_c,
+                    n_c,
+                    p,
+                    n,
+                );
+            });
+        }
+    }
+
+    if allow_aggregation && params.aggregation_literals {
+        // count(*) over joinable tuples.
+        let count_stats = aggregate(db, rel, None, ann, targets);
+        sweep_per_target(&count_stats, AggOp::Count, targets, is_pos, p_c, n_c, |op, thr, p, n| {
+            consider(
+                &mut best,
+                Constraint {
+                    rel,
+                    kind: ConstraintKind::Agg { agg: AggOp::Count, attr: None, op, threshold: thr },
+                },
+                p_c,
+                n_c,
+                p,
+                n,
+            );
+        });
+        // sum/avg per numerical attribute.
+        for (aid, attr) in schema.iter_attrs() {
+            if !attr.ty.is_numerical() {
+                continue;
+            }
+            let stats = aggregate(db, rel, Some(aid), ann, targets);
+            for agg in [AggOp::Sum, AggOp::Avg] {
+                sweep_per_target(&stats, agg, targets, is_pos, p_c, n_c, |op, thr, p, n| {
+                    consider(
+                        &mut best,
+                        Constraint {
+                            rel,
+                            kind: ConstraintKind::Agg { agg, attr: Some(aid), op, threshold: thr },
+                        },
+                        p_c,
+                        n_c,
+                        p,
+                        n,
+                    );
+                });
+            }
+        }
+    }
+
+    best
+}
+
+fn consider(
+    best: &mut Option<ScoredConstraint>,
+    constraint: Constraint,
+    p_c: usize,
+    n_c: usize,
+    p: usize,
+    n: usize,
+) {
+    if p == 0 {
+        return;
+    }
+    // A literal satisfied by everything carries no information.
+    if p == p_c && n == n_c {
+        return;
+    }
+    let gain = foil_gain(p_c, n_c, p, n);
+    let better = match best {
+        None => gain > 0.0,
+        Some(b) => gain > b.gain,
+    };
+    if better {
+        *best = Some(ScoredConstraint { constraint, gain, pos: p, neg: n });
+    }
+}
+
+/// Sweeps `(value, target-ids)` entries sorted ascending by value, reporting
+/// at each distinct-value boundary the coverage of `A <= v` (ascending pass)
+/// and `A >= v` (descending pass) through `emit(op, threshold, p, n)`.
+fn sweep_numeric(
+    entries: &[(f64, &[u32])],
+    targets: &TargetSet,
+    is_pos: &[bool],
+    stamp: &mut Stamp,
+    _p_c: usize,
+    _n_c: usize,
+    mut emit: impl FnMut(CmpOp, f64, usize, usize),
+) {
+    if entries.is_empty() {
+        return;
+    }
+    for (op, forward) in [(CmpOp::Le, true), (CmpOp::Ge, false)] {
+        stamp.reset();
+        let mut p = 0;
+        let mut n = 0;
+        let mut i = 0;
+        let len = entries.len();
+        while i < len {
+            let idx = if forward { i } else { len - 1 - i };
+            let v = entries[idx].0;
+            // Absorb every entry sharing this value.
+            loop {
+                let idx = if forward { i } else { len - 1 - i };
+                if i >= len || entries[idx].0 != v {
+                    break;
+                }
+                for &id in entries[idx].1 {
+                    if targets.contains(id) && stamp.mark(id) {
+                        if is_pos[id as usize] {
+                            p += 1;
+                        } else {
+                            n += 1;
+                        }
+                    }
+                }
+                i += 1;
+                if i >= len {
+                    break;
+                }
+            }
+            emit(op, v, p, n);
+        }
+    }
+}
+
+/// Sweeps per-target aggregate values: each target appears at most once, so
+/// no distinct-counting is needed — just sorted prefix/suffix counts.
+fn sweep_per_target(
+    stats: &[crate::propagation::AggStats],
+    agg: AggOp,
+    targets: &TargetSet,
+    is_pos: &[bool],
+    _p_c: usize,
+    _n_c: usize,
+    mut emit: impl FnMut(CmpOp, f64, usize, usize),
+) {
+    let mut vals: Vec<(f64, bool)> = Vec::new();
+    for (id, s) in stats.iter().enumerate() {
+        if !targets.contains(id as u32) {
+            continue;
+        }
+        if let Some(v) = s.value(agg) {
+            vals.push((v, is_pos[id]));
+        }
+    }
+    if vals.is_empty() {
+        return;
+    }
+    vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    // Ascending: A <= v.
+    let mut p = 0;
+    let mut n = 0;
+    let mut i = 0;
+    while i < vals.len() {
+        let v = vals[i].0;
+        while i < vals.len() && vals[i].0 == v {
+            if vals[i].1 {
+                p += 1;
+            } else {
+                n += 1;
+            }
+            i += 1;
+        }
+        emit(CmpOp::Le, v, p, n);
+    }
+    // Descending: A >= v.
+    let mut p = 0;
+    let mut n = 0;
+    let mut i = vals.len();
+    while i > 0 {
+        let v = vals[i - 1].0;
+        while i > 0 && vals[i - 1].0 == v {
+            if vals[i - 1].1 {
+                p += 1;
+            } else {
+                n += 1;
+            }
+            i -= 1;
+        }
+        emit(CmpOp::Ge, v, p, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::idset::IdSet;
+    use crossmine_relational::{
+        AttrId, AttrType, Attribute, ClassLabel, DatabaseSchema, RelationSchema,
+    };
+
+    /// One relation `T(pk, color, x)` where IDs are "propagated" as identity:
+    /// row i is joinable with target i.
+    fn single_rel_db(rows: &[(u32, f64)], labels: &[bool]) -> (Database, Vec<bool>) {
+        let mut schema = DatabaseSchema::new();
+        let mut t = RelationSchema::new("T");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        let mut color = Attribute::new("color", AttrType::Categorical);
+        color.intern("c0");
+        color.intern("c1");
+        color.intern("c2");
+        t.add_attribute(color).unwrap();
+        t.add_attribute(Attribute::new("x", AttrType::Numerical)).unwrap();
+        let tid = schema.add_relation(t).unwrap();
+        schema.set_target(tid);
+        let mut db = Database::new(schema).unwrap();
+        for (i, (c, x)) in rows.iter().enumerate() {
+            db.push_row(tid, vec![Value::Key(i as u64), Value::Cat(*c), Value::Num(*x)])
+                .unwrap();
+            db.push_label(if labels[i] { ClassLabel::POS } else { ClassLabel::NEG });
+        }
+        (db, labels.to_vec())
+    }
+
+    fn identity_ann(n: usize) -> Annotation {
+        Annotation { idsets: (0..n as u32).map(IdSet::singleton).collect() }
+    }
+
+    #[test]
+    fn finds_perfect_categorical_literal() {
+        // color c0 <=> positive.
+        let rows = [(0u32, 1.0), (0, 2.0), (1, 3.0), (2, 4.0)];
+        let labels = [true, true, false, false];
+        let (db, is_pos) = single_rel_db(&rows, &labels);
+        let targets = TargetSet::all(&is_pos);
+        let mut stamp = Stamp::new(4);
+        let params = CrossMineParams { aggregation_literals: false, ..Default::default() };
+        let best = best_constraint_in(
+            &db,
+            db.target().unwrap(),
+            &identity_ann(4),
+            &targets,
+            &is_pos,
+            &mut stamp,
+            &params,
+            false,
+        )
+        .unwrap();
+        match best.constraint.kind {
+            ConstraintKind::CatEq { attr, value } => {
+                assert_eq!(attr, AttrId(1));
+                assert_eq!(value, 0);
+            }
+            ref k => panic!("expected categorical literal, got {k:?}"),
+        }
+        assert_eq!((best.pos, best.neg), (2, 0));
+        // gain = 2 * I(c) = 2 * 1 bit.
+        assert!((best.gain - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finds_numerical_threshold() {
+        // x <= 2.5 <=> positive; colors are uninformative.
+        let rows = [(0u32, 1.0), (1, 2.0), (0, 3.0), (1, 4.0)];
+        let labels = [true, true, false, false];
+        let (db, is_pos) = single_rel_db(&rows, &labels);
+        let targets = TargetSet::all(&is_pos);
+        let mut stamp = Stamp::new(4);
+        let params = CrossMineParams { aggregation_literals: false, ..Default::default() };
+        let best = best_constraint_in(
+            &db,
+            db.target().unwrap(),
+            &identity_ann(4),
+            &targets,
+            &is_pos,
+            &mut stamp,
+            &params,
+            false,
+        )
+        .unwrap();
+        match best.constraint.kind {
+            ConstraintKind::Num { op, threshold, .. } => {
+                assert_eq!(op, CmpOp::Le);
+                assert_eq!(threshold, 2.0);
+            }
+            ref k => panic!("expected numerical literal, got {k:?}"),
+        }
+        assert_eq!((best.pos, best.neg), (2, 0));
+    }
+
+    #[test]
+    fn numerical_sweep_equals_bruteforce() {
+        // Cross-check the sweep against brute-force evaluation of every
+        // threshold on a fixed irregular dataset.
+        let rows: Vec<(u32, f64)> =
+            [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0]
+                .iter()
+                .map(|&x| (0u32, x))
+                .collect();
+        let labels = [true, false, true, true, false, true, false, false, true, false];
+        let (db, is_pos) = single_rel_db(&rows, &labels);
+        let targets = TargetSet::all(&is_pos);
+        let mut stamp = Stamp::new(10);
+        let params = CrossMineParams { aggregation_literals: false, ..Default::default() };
+        let best = best_constraint_in(
+            &db,
+            db.target().unwrap(),
+            &identity_ann(10),
+            &targets,
+            &is_pos,
+            &mut stamp,
+            &params,
+            false,
+        )
+        .unwrap();
+
+        // Brute force over all (op, threshold) pairs.
+        let mut brute_best = f64::NEG_INFINITY;
+        for &(_, x) in &rows {
+            for op in [CmpOp::Le, CmpOp::Ge] {
+                let (mut p, mut n) = (0, 0);
+                for (i, &(_, xi)) in rows.iter().enumerate() {
+                    if op.test(xi, x) {
+                        if labels[i] {
+                            p += 1;
+                        } else {
+                            n += 1;
+                        }
+                    }
+                }
+                if p > 0 && !(p == 5 && n == 5) {
+                    brute_best = brute_best.max(foil_gain(5, 5, p, n));
+                }
+            }
+        }
+        assert!((best.gain - brute_best).abs() < 1e-9, "{} vs {brute_best}", best.gain);
+    }
+
+    #[test]
+    fn returns_none_without_positives() {
+        let rows = [(0u32, 1.0)];
+        let labels = [false];
+        let (db, is_pos) = single_rel_db(&rows, &labels);
+        let targets = TargetSet::all(&is_pos);
+        let mut stamp = Stamp::new(1);
+        let params = CrossMineParams::default();
+        assert!(best_constraint_in(
+            &db,
+            db.target().unwrap(),
+            &identity_ann(1),
+            &targets,
+            &is_pos,
+            &mut stamp,
+            &params,
+            false,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn universal_literal_rejected() {
+        // All rows share color c0 and label mixes: the only categorical
+        // literal covers everything and must not be proposed.
+        let rows = [(0u32, 1.0), (0, 1.0)];
+        let labels = [true, false];
+        let (db, is_pos) = single_rel_db(&rows, &labels);
+        let targets = TargetSet::all(&is_pos);
+        let mut stamp = Stamp::new(2);
+        let params = CrossMineParams { aggregation_literals: false, ..Default::default() };
+        let best = best_constraint_in(
+            &db,
+            db.target().unwrap(),
+            &identity_ann(2),
+            &targets,
+            &is_pos,
+            &mut stamp,
+            &params,
+            false,
+        );
+        // x <= 1.0 also covers everything; no candidate survives.
+        assert!(best.is_none());
+    }
+
+    #[test]
+    fn distinct_counting_under_fanout() {
+        // Two tuples both joinable with target 0 (positive): a literal
+        // matching both must count target 0 once.
+        let rows = [(0u32, 1.0), (0, 2.0), (1, 3.0)];
+        let labels = [true, false, false];
+        let (db, is_pos) = single_rel_db(&rows, &labels);
+        let targets = TargetSet::all(&is_pos);
+        let ann = Annotation {
+            idsets: vec![IdSet::singleton(0), IdSet::singleton(0), IdSet::singleton(1)],
+        };
+        let mut stamp = Stamp::new(3);
+        let params = CrossMineParams { aggregation_literals: false, ..Default::default() };
+        let best = best_constraint_in(
+            &db,
+            db.target().unwrap(),
+            &ann,
+            &targets,
+            &is_pos,
+            &mut stamp,
+            &params,
+            false,
+        )
+        .unwrap();
+        // Best literal is color=c0 covering rows 0,1 -> target {0}: 1 pos, 0 neg.
+        assert_eq!((best.pos, best.neg), (1, 0));
+    }
+
+    #[test]
+    fn aggregation_count_literal_found() {
+        // Targets 0,1 joinable with 3 tuples each; targets 2,3 with 1. The
+        // count >= 3 literal separates them perfectly. Attribute values are
+        // uninformative.
+        let rows = [(0u32, 1.0); 8];
+        let labels = [true, true, false, false];
+        let mut schema = DatabaseSchema::new();
+        let mut t = RelationSchema::new("T");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        let mut c = Attribute::new("color", AttrType::Categorical);
+        c.intern("c0");
+        t.add_attribute(c).unwrap();
+        t.add_attribute(Attribute::new("x", AttrType::Numerical)).unwrap();
+        let tid = schema.add_relation(t).unwrap();
+        schema.set_target(tid);
+        let mut db = Database::new(schema).unwrap();
+        for (i, (c, x)) in rows.iter().enumerate() {
+            db.push_row(tid, vec![Value::Key(i as u64), Value::Cat(*c), Value::Num(*x)])
+                .unwrap();
+        }
+        // 4 targets (only first 4 rows are "targets" conceptually; labels len 4).
+        let is_pos = labels.to_vec();
+        let targets = TargetSet::all(&is_pos);
+        // Non-target-side annotation: rows 0..2 -> target0, 3..5 -> target1,
+        // 6 -> target2, 7 -> target3.
+        let ann = Annotation {
+            idsets: vec![
+                IdSet::singleton(0),
+                IdSet::singleton(0),
+                IdSet::singleton(0),
+                IdSet::singleton(1),
+                IdSet::singleton(1),
+                IdSet::singleton(1),
+                IdSet::singleton(2),
+                IdSet::singleton(3),
+            ],
+        };
+        let mut stamp = Stamp::new(4);
+        let params = CrossMineParams::default();
+        let best = best_constraint_in(
+            &db,
+            tid,
+            &ann,
+            &targets,
+            &is_pos,
+            &mut stamp,
+            &params,
+            true,
+        )
+        .unwrap();
+        match best.constraint.kind {
+            ConstraintKind::Agg { agg: AggOp::Count, op: CmpOp::Ge, threshold, .. } => {
+                assert_eq!(threshold, 3.0);
+            }
+            ref k => panic!("expected count literal, got {k:?}"),
+        }
+        assert_eq!((best.pos, best.neg), (2, 0));
+    }
+}

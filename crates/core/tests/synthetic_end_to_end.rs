@@ -1,0 +1,111 @@
+//! End-to-end tests of CrossMine on synthetic §7.1 databases: planted
+//! clauses must be recoverable with accuracy far above the majority-class
+//! baseline, matching the paper's ~85–93% synthetic accuracy band.
+
+use crossmine_core::{cross_validate, CrossMine, CrossMineParams};
+use crossmine_relational::{ClassLabel, Row};
+use crossmine_synth::{generate, GenParams};
+
+fn majority_baseline(db: &crossmine_relational::Database) -> f64 {
+    let pos = db.labels().iter().filter(|&&l| l == ClassLabel::POS).count();
+    let n = db.labels().len();
+    (pos.max(n - pos)) as f64 / n as f64
+}
+
+#[test]
+fn recovers_planted_structure_r5() {
+    let params = GenParams {
+        num_relations: 5,
+        expected_tuples: 200,
+        min_tuples: 50,
+        seed: 21,
+        ..Default::default()
+    };
+    let db = generate(&params);
+    let clf = CrossMine::default();
+    let result = cross_validate(&clf, &db, 5, 7, 5);
+    let acc = result.mean_accuracy();
+    let base = majority_baseline(&db);
+    assert!(
+        acc > base + 0.10,
+        "CrossMine accuracy {acc:.3} should beat majority baseline {base:.3} by >10pts"
+    );
+    assert!(acc > 0.70, "accuracy {acc:.3} too low for planted data");
+}
+
+#[test]
+fn recovers_planted_structure_r10() {
+    // Paper scale (T=500): the §7.1 synthetic band is ~85–93%; accept a
+    // margin for fold/seed noise.
+    let params = GenParams { num_relations: 10, expected_tuples: 500, seed: 33, ..Default::default() };
+    let db = generate(&params);
+    let clf = CrossMine::default();
+    let result = cross_validate(&clf, &db, 10, 7, 3);
+    let acc = result.mean_accuracy();
+    assert!(acc > 0.75, "accuracy {acc:.3} too low for planted data");
+}
+
+#[test]
+fn sampling_version_close_to_full_version() {
+    let params = GenParams {
+        num_relations: 8,
+        expected_tuples: 300,
+        min_tuples: 50,
+        seed: 5,
+        ..Default::default()
+    };
+    let db = generate(&params);
+    let full = cross_validate(&CrossMine::default(), &db, 5, 7, 3);
+    let sampled =
+        cross_validate(&CrossMine::new(CrossMineParams::with_sampling()), &db, 5, 7, 3);
+    // "the sampling method only slightly sacrifices the accuracy"
+    assert!(
+        sampled.mean_accuracy() > full.mean_accuracy() - 0.12,
+        "sampled {:.3} vs full {:.3}",
+        sampled.mean_accuracy(),
+        full.mean_accuracy()
+    );
+}
+
+#[test]
+fn train_on_subset_predict_on_rest() {
+    let params = GenParams {
+        num_relations: 6,
+        expected_tuples: 150,
+        min_tuples: 40,
+        seed: 77,
+        ..Default::default()
+    };
+    let db = generate(&params);
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+    let (train, test): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 3 != 0);
+    let model = CrossMine::default().fit(&db, &train);
+    assert!(model.num_clauses() > 0, "planted data must yield clauses");
+    let preds = model.predict(&db, &test);
+    assert_eq!(preds.len(), test.len());
+    let acc = crossmine_core::eval::accuracy(&db, &test, &preds);
+    assert!(acc > 0.6, "holdout accuracy {acc:.3}");
+}
+
+#[test]
+fn model_clauses_have_consistent_metadata() {
+    let params = GenParams {
+        num_relations: 5,
+        expected_tuples: 120,
+        min_tuples: 30,
+        seed: 3,
+        ..Default::default()
+    };
+    let db = generate(&params);
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+    let model = CrossMine::default().fit(&db, &rows);
+    for clause in &model.clauses {
+        assert!(!clause.literals.is_empty());
+        assert!(clause.len() <= CrossMineParams::default().max_clause_length);
+        assert!(clause.sup_pos > 0);
+        assert!(clause.accuracy > 0.0 && clause.accuracy <= 1.0);
+        // Display must render without panicking and mention the target.
+        let s = clause.display(&db.schema);
+        assert!(s.contains(":-"));
+    }
+}

@@ -1,0 +1,521 @@
+//! A generative simulator of the PKDD CUP'99 *financial* database (Fig. 1).
+//!
+//! The original data is not redistributable, so this module rebuilds the
+//! exact eight-relation schema with matched cardinalities (the paper's
+//! modified version: ≈76 K tuples total, `Loan` shrunk to 324 positive and
+//! 76 negative tuples, `Trans` shrunk) and plants class-correlated patterns
+//! that are only reachable through joins:
+//!
+//! * a latent per-account *wealth* factor drives transaction balances
+//!   (aggregation literals over `Trans`), order amounts (aggregation over
+//!   `Order` via an fk–fk join), and is itself correlated with the
+//!   account's district salary (look-one-ahead `Loan → Account → District`);
+//! * account `frequency` and the loan's own `amount`/`duration` contribute
+//!   directly (categorical/numerical literals);
+//! * Gaussian noise keeps the problem in the paper's ≈88–90% accuracy band.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+use crossmine_relational::{
+    AttrType, Attribute, ClassLabel, Database, DatabaseSchema, RelId, RelationSchema, Value,
+};
+
+/// Size and noise knobs of the financial simulator. Defaults match the
+/// paper's modified PKDD database (76 K total tuples, Loan 324+/76−).
+#[derive(Debug, Clone)]
+pub struct FinancialConfig {
+    /// Number of districts (paper data: 77).
+    pub districts: usize,
+    /// Number of accounts (≈4500).
+    pub accounts: usize,
+    /// Number of clients (≈5369).
+    pub clients: usize,
+    /// Number of extra (non-owner) dispositions beyond one per account.
+    pub extra_dispositions: usize,
+    /// Number of cards (≈892).
+    pub cards: usize,
+    /// Number of orders (≈6471).
+    pub orders: usize,
+    /// Number of transactions (shrunk `Trans`, ≈52900).
+    pub transactions: usize,
+    /// Number of loans — the target tuples (400 = 324+/76−).
+    pub loans: usize,
+    /// Number of negative (defaulted) loans (76).
+    pub negative_loans: usize,
+    /// Std-dev of the label noise; larger = harder problem.
+    pub label_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FinancialConfig {
+    fn default() -> Self {
+        FinancialConfig {
+            districts: 77,
+            accounts: 4500,
+            clients: 5369,
+            extra_dispositions: 869,
+            cards: 892,
+            orders: 6471,
+            transactions: 52_900,
+            loans: 400,
+            negative_loans: 76,
+            label_noise: 0.6,
+            seed: 99,
+        }
+    }
+}
+
+impl FinancialConfig {
+    /// A small configuration for fast tests (~1/10 scale).
+    pub fn small() -> Self {
+        FinancialConfig {
+            districts: 20,
+            accounts: 450,
+            clients: 540,
+            extra_dispositions: 90,
+            cards: 90,
+            orders: 650,
+            transactions: 5300,
+            loans: 100,
+            negative_loans: 19,
+            ..Default::default()
+        }
+    }
+}
+
+struct Ids {
+    district: RelId,
+    account: RelId,
+    client: RelId,
+    disposition: RelId,
+    card: RelId,
+    order: RelId,
+    trans: RelId,
+    loan: RelId,
+}
+
+fn build_schema() -> (DatabaseSchema, Ids) {
+    let mut s = DatabaseSchema::new();
+
+    let mut district = RelationSchema::new("District");
+    district.add_attribute(Attribute::new("district_id", AttrType::PrimaryKey)).unwrap();
+    let mut region = Attribute::new("region", AttrType::Categorical);
+    for r in ["prague", "central", "south", "west", "north", "east", "s_moravia", "n_moravia"] {
+        region.intern(r);
+    }
+    district.add_attribute(region).unwrap();
+    district.add_attribute(Attribute::new("avg_salary", AttrType::Numerical)).unwrap();
+    district.add_attribute(Attribute::new("unemployment", AttrType::Numerical)).unwrap();
+
+    let mut account = RelationSchema::new("Account");
+    account.add_attribute(Attribute::new("account_id", AttrType::PrimaryKey)).unwrap();
+    account
+        .add_attribute(Attribute::new(
+            "district_id",
+            AttrType::ForeignKey { target: "District".into() },
+        ))
+        .unwrap();
+    let mut freq = Attribute::new("frequency", AttrType::Categorical);
+    freq.intern("monthly");
+    freq.intern("weekly");
+    freq.intern("after_trans");
+    account.add_attribute(freq).unwrap();
+    account.add_attribute(Attribute::new("date", AttrType::Numerical)).unwrap();
+
+    let mut client = RelationSchema::new("Client");
+    client.add_attribute(Attribute::new("client_id", AttrType::PrimaryKey)).unwrap();
+    client.add_attribute(Attribute::new("birth_date", AttrType::Numerical)).unwrap();
+    let mut gender = Attribute::new("gender", AttrType::Categorical);
+    gender.intern("m");
+    gender.intern("f");
+    client.add_attribute(gender).unwrap();
+    client
+        .add_attribute(Attribute::new(
+            "district_id",
+            AttrType::ForeignKey { target: "District".into() },
+        ))
+        .unwrap();
+
+    let mut disp = RelationSchema::new("Disposition");
+    disp.add_attribute(Attribute::new("disp_id", AttrType::PrimaryKey)).unwrap();
+    disp.add_attribute(Attribute::new(
+        "client_id",
+        AttrType::ForeignKey { target: "Client".into() },
+    ))
+    .unwrap();
+    disp.add_attribute(Attribute::new(
+        "account_id",
+        AttrType::ForeignKey { target: "Account".into() },
+    ))
+    .unwrap();
+    let mut dtype = Attribute::new("type", AttrType::Categorical);
+    dtype.intern("owner");
+    dtype.intern("disponent");
+    disp.add_attribute(dtype).unwrap();
+
+    let mut card = RelationSchema::new("Card");
+    card.add_attribute(Attribute::new("card_id", AttrType::PrimaryKey)).unwrap();
+    card.add_attribute(Attribute::new(
+        "disp_id",
+        AttrType::ForeignKey { target: "Disposition".into() },
+    ))
+    .unwrap();
+    let mut ctype = Attribute::new("type", AttrType::Categorical);
+    ctype.intern("junior");
+    ctype.intern("classic");
+    ctype.intern("gold");
+    card.add_attribute(ctype).unwrap();
+    card.add_attribute(Attribute::new("issued", AttrType::Numerical)).unwrap();
+
+    let mut order = RelationSchema::new("Order");
+    order.add_attribute(Attribute::new("order_id", AttrType::PrimaryKey)).unwrap();
+    order
+        .add_attribute(Attribute::new(
+            "account_id",
+            AttrType::ForeignKey { target: "Account".into() },
+        ))
+        .unwrap();
+    let mut ksym = Attribute::new("k_symbol", AttrType::Categorical);
+    for k in ["sipo", "uver", "pojistne", "leasing"] {
+        ksym.intern(k);
+    }
+    order.add_attribute(ksym).unwrap();
+    order.add_attribute(Attribute::new("amount", AttrType::Numerical)).unwrap();
+
+    let mut trans = RelationSchema::new("Trans");
+    trans.add_attribute(Attribute::new("trans_id", AttrType::PrimaryKey)).unwrap();
+    trans
+        .add_attribute(Attribute::new(
+            "account_id",
+            AttrType::ForeignKey { target: "Account".into() },
+        ))
+        .unwrap();
+    trans.add_attribute(Attribute::new("date", AttrType::Numerical)).unwrap();
+    let mut ttype = Attribute::new("type", AttrType::Categorical);
+    ttype.intern("credit");
+    ttype.intern("withdrawal");
+    trans.add_attribute(ttype).unwrap();
+    let mut op = Attribute::new("operation", AttrType::Categorical);
+    for o in ["cash_credit", "coll_credit", "cash_wd", "remit", "card_wd"] {
+        op.intern(o);
+    }
+    trans.add_attribute(op).unwrap();
+    trans.add_attribute(Attribute::new("amount", AttrType::Numerical)).unwrap();
+    trans.add_attribute(Attribute::new("balance", AttrType::Numerical)).unwrap();
+
+    let mut loan = RelationSchema::new("Loan");
+    loan.add_attribute(Attribute::new("loan_id", AttrType::PrimaryKey)).unwrap();
+    loan.add_attribute(Attribute::new(
+        "account_id",
+        AttrType::ForeignKey { target: "Account".into() },
+    ))
+    .unwrap();
+    loan.add_attribute(Attribute::new("date", AttrType::Numerical)).unwrap();
+    loan.add_attribute(Attribute::new("amount", AttrType::Numerical)).unwrap();
+    loan.add_attribute(Attribute::new("duration", AttrType::Numerical)).unwrap();
+    loan.add_attribute(Attribute::new("payments", AttrType::Numerical)).unwrap();
+
+    let district = s.add_relation(district).unwrap();
+    let account = s.add_relation(account).unwrap();
+    let client = s.add_relation(client).unwrap();
+    let disposition = s.add_relation(disp).unwrap();
+    let card = s.add_relation(card).unwrap();
+    let order = s.add_relation(order).unwrap();
+    let trans = s.add_relation(trans).unwrap();
+    let loan = s.add_relation(loan).unwrap();
+    s.set_target(loan);
+    (s, Ids { district, account, client, disposition, card, order, trans, loan })
+}
+
+/// Generates the simulated financial database.
+pub fn generate(config: &FinancialConfig) -> Database {
+    assert!(config.negative_loans < config.loans);
+    assert!(config.loans <= config.accounts, "each loan needs a distinct account");
+    let (schema, ids) = build_schema();
+    let mut db = Database::new(schema).unwrap();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let normal = Normal::new(0.0, 1.0).unwrap();
+
+    // Districts with a salary factor.
+    let mut district_z: Vec<f64> = Vec::with_capacity(config.districts);
+    for d in 0..config.districts {
+        let z: f64 = normal.sample(&mut rng);
+        district_z.push(z);
+        db.push_row_unchecked(
+            ids.district,
+            vec![
+                Value::Key(d as u64 + 1),
+                Value::Cat(rng.gen_range(0..8)),
+                Value::Num(9000.0 + 1500.0 * z),
+                Value::Num((3.5 - 0.8 * z + 0.6 * normal.sample(&mut rng)).max(0.2)),
+            ],
+        );
+    }
+
+    // Accounts: latent wealth w = 0.6·own + 0.4·district, frequency skewed
+    // by wealth (wealthy accounts are more often "monthly").
+    let mut wealth: Vec<f64> = Vec::with_capacity(config.accounts);
+    let mut account_district: Vec<usize> = Vec::with_capacity(config.accounts);
+    for a in 0..config.accounts {
+        let d = rng.gen_range(0..config.districts);
+        let w = 0.6 * normal.sample(&mut rng) + 0.4 * district_z[d];
+        wealth.push(w);
+        account_district.push(d);
+        let freq = {
+            let p: f64 = rng.gen();
+            if p < 0.80 + 0.10 * w.tanh() {
+                0 // monthly
+            } else if p < 0.97 {
+                1 // weekly
+            } else {
+                2 // after_trans
+            }
+        };
+        db.push_row_unchecked(
+            ids.account,
+            vec![
+                Value::Key(a as u64 + 1),
+                Value::Key(d as u64 + 1),
+                Value::Cat(freq),
+                Value::Num(930101.0 + rng.gen_range(0.0..50000.0)),
+            ],
+        );
+    }
+
+    // Clients.
+    for c in 0..config.clients {
+        db.push_row_unchecked(
+            ids.client,
+            vec![
+                Value::Key(c as u64 + 1),
+                Value::Num(1925.0 + rng.gen_range(0.0..62.0)),
+                Value::Cat(rng.gen_range(0..2)),
+                Value::Key(rng.gen_range(0..config.districts) as u64 + 1),
+            ],
+        );
+    }
+
+    // Dispositions: one owner per account + extra disponents.
+    let mut disp_count = 0u64;
+    for a in 0..config.accounts {
+        disp_count += 1;
+        db.push_row_unchecked(
+            ids.disposition,
+            vec![
+                Value::Key(disp_count),
+                Value::Key(rng.gen_range(0..config.clients) as u64 + 1),
+                Value::Key(a as u64 + 1),
+                Value::Cat(0),
+            ],
+        );
+    }
+    for _ in 0..config.extra_dispositions {
+        disp_count += 1;
+        db.push_row_unchecked(
+            ids.disposition,
+            vec![
+                Value::Key(disp_count),
+                Value::Key(rng.gen_range(0..config.clients) as u64 + 1),
+                Value::Key(rng.gen_range(0..config.accounts) as u64 + 1),
+                Value::Cat(1),
+            ],
+        );
+    }
+
+    // Cards: wealthier dispositions tend to gold.
+    for c in 0..config.cards {
+        let disp = rng.gen_range(0..disp_count);
+        let ctype = {
+            let p: f64 = rng.gen();
+            if p < 0.15 {
+                0
+            } else if p < 0.85 {
+                1
+            } else {
+                2
+            }
+        };
+        db.push_row_unchecked(
+            ids.card,
+            vec![
+                Value::Key(c as u64 + 1),
+                Value::Key(disp + 1),
+                Value::Cat(ctype),
+                Value::Num(940101.0 + rng.gen_range(0.0..40000.0)),
+            ],
+        );
+    }
+
+    // Orders: amounts scale with account wealth.
+    for o in 0..config.orders {
+        let a = rng.gen_range(0..config.accounts);
+        let amount =
+            (3000.0 + 1800.0 * wealth[a] + 900.0 * normal.sample(&mut rng)).max(100.0);
+        db.push_row_unchecked(
+            ids.order,
+            vec![
+                Value::Key(o as u64 + 1),
+                Value::Key(a as u64 + 1),
+                Value::Cat(rng.gen_range(0..4)),
+                Value::Num(amount),
+            ],
+        );
+    }
+
+    // Transactions: balances scale with wealth.
+    for t in 0..config.transactions {
+        let a = rng.gen_range(0..config.accounts);
+        let balance =
+            (30_000.0 + 18_000.0 * wealth[a] + 8_000.0 * normal.sample(&mut rng)).max(0.0);
+        let ttype = if rng.gen_bool(0.45) { 0 } else { 1 };
+        db.push_row_unchecked(
+            ids.trans,
+            vec![
+                Value::Key(t as u64 + 1),
+                Value::Key(a as u64 + 1),
+                Value::Num(930101.0 + rng.gen_range(0.0..60000.0)),
+                Value::Cat(ttype),
+                Value::Cat(rng.gen_range(0..5)),
+                Value::Num((2000.0 + 1500.0 * normal.sample(&mut rng)).abs()),
+                Value::Num(balance),
+            ],
+        );
+    }
+
+    // Loans: one per distinct account; risk combines wealth (observable only
+    // through joins), frequency, and the loan's own size.
+    let mut loan_accounts: Vec<usize> = (0..config.accounts).collect();
+    use rand::seq::SliceRandom;
+    loan_accounts.shuffle(&mut rng);
+    loan_accounts.truncate(config.loans);
+
+    let mut scored: Vec<(usize, f64, f64, f64)> = Vec::with_capacity(config.loans);
+    for (i, &a) in loan_accounts.iter().enumerate() {
+        let amount = (20_000.0 + 60_000.0 * rng.gen::<f64>()).max(1_000.0);
+        let duration = *[12.0, 24.0, 36.0, 48.0, 60.0].choose(&mut rng).unwrap();
+        let freq_monthly = {
+            // read back the frequency we stored
+            let v = db.relation(ids.account).value(
+                crossmine_relational::Row(a as u32),
+                crossmine_relational::AttrId(2),
+            );
+            matches!(v, Value::Cat(0))
+        };
+        let risk = 2.0 * wealth[a] + if freq_monthly { 0.8 } else { 0.0 }
+            - 0.9 * (amount / 80_000.0)
+            - 0.4 * (duration / 60.0)
+            + config.label_noise * normal.sample(&mut rng);
+        scored.push((i, risk, amount, duration));
+    }
+    // The lowest-risk `negative_loans` default.
+    let mut order_by_risk: Vec<usize> = (0..scored.len()).collect();
+    order_by_risk.sort_by(|&x, &y| {
+        scored[x].1.partial_cmp(&scored[y].1).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut is_neg = vec![false; scored.len()];
+    for &i in order_by_risk.iter().take(config.negative_loans) {
+        is_neg[i] = true;
+    }
+
+    for (i, &(_, _, amount, duration)) in scored.iter().enumerate() {
+        let a = loan_accounts[i];
+        db.push_row_unchecked(
+            ids.loan,
+            vec![
+                Value::Key(i as u64 + 1),
+                Value::Key(a as u64 + 1),
+                Value::Num(940101.0 + rng.gen_range(0.0..40000.0)),
+                Value::Num(amount),
+                Value::Num(duration),
+                Value::Num(amount / duration),
+            ],
+        );
+        db.push_label(if is_neg[i] { ClassLabel::NEG } else { ClassLabel::POS });
+    }
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cardinalities_match_paper() {
+        let db = generate(&FinancialConfig::default());
+        assert_eq!(db.schema.num_relations(), 8);
+        assert_eq!(db.num_targets(), 400);
+        let pos = db.labels().iter().filter(|&&l| l == ClassLabel::POS).count();
+        assert_eq!(pos, 324);
+        assert_eq!(db.labels().len() - pos, 76);
+        // ≈76 K total tuples like the paper's modified database.
+        let total = db.total_tuples();
+        assert!(
+            (70_000..=82_000).contains(&total),
+            "total tuples {total} outside the paper's ≈76 K band"
+        );
+        assert_eq!(db.dangling_foreign_keys(), 0);
+    }
+
+    #[test]
+    fn small_config_valid() {
+        let db = generate(&FinancialConfig::small());
+        assert_eq!(db.num_targets(), 100);
+        assert_eq!(db.dangling_foreign_keys(), 0);
+        let neg = db.labels().iter().filter(|&&l| l == ClassLabel::NEG).count();
+        assert_eq!(neg, 19);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&FinancialConfig::small());
+        let b = generate(&FinancialConfig::small());
+        assert_eq!(a.labels(), b.labels());
+        let c = generate(&FinancialConfig { seed: 123, ..FinancialConfig::small() });
+        assert_ne!(a.labels(), c.labels());
+    }
+
+    #[test]
+    fn loans_have_distinct_accounts() {
+        let db = generate(&FinancialConfig::small());
+        let loan = db.schema.rel_id("Loan").unwrap();
+        let fk = db.schema.relation(loan).attr_id("account_id").unwrap();
+        let idx = db.key_index(loan, fk);
+        assert_eq!(idx.max_rows_per_key(), 1);
+    }
+
+    #[test]
+    fn wealth_signal_is_join_visible() {
+        // Negative loans should have visibly lower average order amounts —
+        // the signal CrossMine's aggregation literals pick up.
+        let db = generate(&FinancialConfig::small());
+        let order = db.schema.rel_id("Order").unwrap();
+        let loan = db.schema.rel_id("Loan").unwrap();
+        let order_fk = db.schema.relation(order).attr_id("account_id").unwrap();
+        let order_amt = db.schema.relation(order).attr_id("amount").unwrap();
+        let loan_fk = db.schema.relation(loan).attr_id("account_id").unwrap();
+        let idx = db.key_index(order, order_fk);
+        let mut pos_sum = (0.0, 0usize);
+        let mut neg_sum = (0.0, 0usize);
+        for r in db.relation(loan).iter_rows() {
+            let acct = db.relation(loan).value(r, loan_fk).as_key().unwrap();
+            for &o in idx.rows(acct) {
+                let amt = db.relation(order).value(o, order_amt).as_num().unwrap();
+                if db.label(r) == ClassLabel::POS {
+                    pos_sum = (pos_sum.0 + amt, pos_sum.1 + 1);
+                } else {
+                    neg_sum = (neg_sum.0 + amt, neg_sum.1 + 1);
+                }
+            }
+        }
+        let pos_avg = pos_sum.0 / pos_sum.1.max(1) as f64;
+        let neg_avg = neg_sum.0 / neg_sum.1.max(1) as f64;
+        assert!(
+            pos_avg > neg_avg + 300.0,
+            "positive loans' order amounts ({pos_avg:.0}) should exceed negatives' ({neg_avg:.0})"
+        );
+    }
+}

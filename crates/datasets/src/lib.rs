@@ -1,0 +1,22 @@
+//! # crossmine-datasets
+//!
+//! Simulated versions of the two real databases of CrossMine §7.2:
+//!
+//! * [`financial`] — the PKDD CUP'99 financial database (Fig. 1 schema,
+//!   ≈76 K tuples, `Loan` target with 324 positive / 76 negative tuples);
+//! * [`mutagenesis`] — the Mutagenesis ILP benchmark (4 relations, ≈15 K
+//!   tuples, 188 molecules: 124 positive / 64 negative).
+//!
+//! The original data is not redistributable, so both are *generative
+//! simulators*: identical schemas and cardinalities, with class-correlated
+//! patterns planted so they are reachable only through the same join
+//! structures the paper's classifiers exploit (see DESIGN.md §5 for the
+//! substitution rationale).
+
+#![warn(missing_docs)]
+
+pub mod financial;
+pub mod mutagenesis;
+
+pub use financial::{generate as generate_financial, FinancialConfig};
+pub use mutagenesis::{generate as generate_mutagenesis, MutagenesisConfig};

@@ -1,0 +1,131 @@
+//! Configurability tests for the dataset simulators: custom sizes, class
+//! balances, and noise levels must produce structurally valid databases.
+
+use crossmine_datasets::{
+    generate_financial, generate_mutagenesis, FinancialConfig, MutagenesisConfig,
+};
+use crossmine_relational::{ClassLabel, JoinGraph};
+
+#[test]
+fn financial_custom_sizes() {
+    let cfg = FinancialConfig {
+        districts: 10,
+        accounts: 120,
+        clients: 150,
+        extra_dispositions: 25,
+        cards: 30,
+        orders: 180,
+        transactions: 900,
+        loans: 60,
+        negative_loans: 12,
+        ..Default::default()
+    };
+    let db = generate_financial(&cfg);
+    assert_eq!(db.num_targets(), 60);
+    let neg = db.labels().iter().filter(|&&l| l == ClassLabel::NEG).count();
+    assert_eq!(neg, 12);
+    assert_eq!(db.dangling_foreign_keys(), 0);
+    // Every relation has the configured cardinality.
+    for (name, want) in [
+        ("District", 10usize),
+        ("Account", 120),
+        ("Client", 150),
+        ("Disposition", 120 + 25),
+        ("Card", 30),
+        ("Order", 180),
+        ("Trans", 900),
+        ("Loan", 60),
+    ] {
+        let rid = db.schema.rel_id(name).unwrap();
+        assert_eq!(db.relation(rid).len(), want, "{name}");
+    }
+}
+
+#[test]
+fn financial_schema_fully_connected_from_loan() {
+    let db = generate_financial(&FinancialConfig::small());
+    let graph = JoinGraph::build(&db.schema);
+    assert!(
+        graph.is_connected_from(db.target().unwrap()),
+        "every relation of Fig. 1 must be reachable from Loan"
+    );
+}
+
+#[test]
+fn financial_noise_monotonically_blurs_signal() {
+    // Higher label noise must reduce the separation between classes of the
+    // strongest planted feature (order amounts) — sanity that the noise
+    // knob does what EXPERIMENTS.md claims.
+    let sep = |noise: f64| -> f64 {
+        let db = generate_financial(&FinancialConfig { label_noise: noise, ..FinancialConfig::small() });
+        let order = db.schema.rel_id("Order").unwrap();
+        let loan = db.schema.rel_id("Loan").unwrap();
+        let fk = db.schema.relation(order).attr_id("account_id").unwrap();
+        let amt = db.schema.relation(order).attr_id("amount").unwrap();
+        let loan_fk = db.schema.relation(loan).attr_id("account_id").unwrap();
+        let idx = db.key_index(order, fk);
+        let mut pos = (0.0, 0usize);
+        let mut neg = (0.0, 0usize);
+        for r in db.relation(loan).iter_rows() {
+            let acct = db.relation(loan).value(r, loan_fk).as_key().unwrap();
+            for &o in idx.rows(acct) {
+                let a = db.relation(order).value(o, amt).as_num().unwrap();
+                if db.label(r) == ClassLabel::POS {
+                    pos = (pos.0 + a, pos.1 + 1);
+                } else {
+                    neg = (neg.0 + a, neg.1 + 1);
+                }
+            }
+        }
+        pos.0 / pos.1.max(1) as f64 - neg.0 / neg.1.max(1) as f64
+    };
+    let clean = sep(0.05);
+    let noisy = sep(3.0);
+    assert!(
+        clean > noisy,
+        "separation should shrink with noise: clean {clean:.1} vs noisy {noisy:.1}"
+    );
+}
+
+#[test]
+fn mutagenesis_custom_sizes() {
+    let cfg = MutagenesisConfig {
+        molecules: 50,
+        positives: 30,
+        mean_atoms: 12.0,
+        ..Default::default()
+    };
+    let db = generate_mutagenesis(&cfg);
+    assert_eq!(db.num_targets(), 50);
+    let pos = db.labels().iter().filter(|&&l| l == ClassLabel::POS).count();
+    assert_eq!(pos, 30);
+    assert_eq!(db.dangling_foreign_keys(), 0);
+    let atom = db.schema.rel_id("Atom").unwrap();
+    let per_mol = db.relation(atom).len() as f64 / 50.0;
+    assert!(
+        (10.0..=20.0).contains(&per_mol),
+        "mean atoms per molecule {per_mol:.1} should track the config"
+    );
+}
+
+#[test]
+fn mutagenesis_connected_from_molecule() {
+    let db = generate_mutagenesis(&MutagenesisConfig::default());
+    let graph = JoinGraph::build(&db.schema);
+    assert!(graph.is_connected_from(db.target().unwrap()));
+}
+
+#[test]
+fn bond_self_join_edges_exist() {
+    // Bond(atom1, atom2) both reference Atom: the fk–fk self-join case the
+    // §3.1 join-type-2 definition covers.
+    let db = generate_mutagenesis(&MutagenesisConfig::default());
+    let graph = JoinGraph::build(&db.schema);
+    let bond = db.schema.rel_id("Bond").unwrap();
+    let self_edges = graph
+        .edges()
+        .iter()
+        .filter(|e| e.from == bond && e.to == bond)
+        .count();
+    assert_eq!(self_edges, 2, "atom1=atom2 and atom2=atom1");
+}

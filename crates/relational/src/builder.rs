@@ -1,0 +1,198 @@
+//! A fluent builder for multi-relational databases.
+//!
+//! The raw [`DatabaseSchema`]/[`Database`] API is explicit but verbose;
+//! [`DatabaseBuilder`] shortens the common case — declare relations with
+//! typed columns, then insert tuples by name:
+//!
+//! ```
+//! use crossmine_relational::builder::DatabaseBuilder;
+//! use crossmine_relational::{ClassLabel, Value};
+//!
+//! let mut b = DatabaseBuilder::new();
+//! b.relation("Loan")
+//!     .primary_key("loan_id")
+//!     .foreign_key("account_id", "Account")
+//!     .numerical("amount")
+//!     .target();
+//! b.relation("Account")
+//!     .primary_key("account_id")
+//!     .categorical("frequency");
+//!
+//! let mut db = b.build().unwrap();
+//! let account = db.schema.rel_id("Account").unwrap();
+//! let loan = db.schema.rel_id("Loan").unwrap();
+//! let monthly = db.intern(account, "frequency", "monthly").unwrap();
+//! db.push_row(account, vec![Value::Key(1), Value::Cat(monthly)]).unwrap();
+//! db.push_row(loan, vec![Value::Key(1), Value::Key(1), Value::Num(1000.0)]).unwrap();
+//! db.push_label(ClassLabel::POS);
+//! assert_eq!(db.num_targets(), 1);
+//! ```
+
+use crate::database::Database;
+use crate::error::Result;
+use crate::schema::{Attribute, DatabaseSchema, RelationSchema};
+use crate::value::AttrType;
+
+/// Declares one relation of a [`DatabaseBuilder`].
+#[derive(Debug)]
+pub struct RelationBuilder {
+    schema: RelationSchema,
+    is_target: bool,
+    error: Option<crate::error::RelationalError>,
+}
+
+impl RelationBuilder {
+    fn add(&mut self, name: &str, ty: AttrType) -> &mut Self {
+        if self.error.is_none() {
+            if let Err(e) = self.schema.add_attribute(Attribute::new(name, ty)) {
+                self.error = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Adds the primary-key column.
+    pub fn primary_key(&mut self, name: &str) -> &mut Self {
+        self.add(name, AttrType::PrimaryKey)
+    }
+
+    /// Adds a foreign-key column referencing `target`'s primary key.
+    pub fn foreign_key(&mut self, name: &str, target: &str) -> &mut Self {
+        self.add(name, AttrType::ForeignKey { target: target.to_string() })
+    }
+
+    /// Adds a categorical column (values interned on insert).
+    pub fn categorical(&mut self, name: &str) -> &mut Self {
+        self.add(name, AttrType::Categorical)
+    }
+
+    /// Adds a numerical column.
+    pub fn numerical(&mut self, name: &str) -> &mut Self {
+        self.add(name, AttrType::Numerical)
+    }
+
+    /// Marks this relation as the target relation.
+    pub fn target(&mut self) -> &mut Self {
+        self.is_target = true;
+        self
+    }
+}
+
+/// Builds a [`Database`] from fluent relation declarations.
+#[derive(Debug, Default)]
+pub struct DatabaseBuilder {
+    relations: Vec<RelationBuilder>,
+}
+
+impl DatabaseBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts declaring a relation.
+    pub fn relation(&mut self, name: &str) -> &mut RelationBuilder {
+        self.relations.push(RelationBuilder {
+            schema: RelationSchema::new(name),
+            is_target: false,
+            error: None,
+        });
+        self.relations.last_mut().expect("just pushed")
+    }
+
+    /// Validates the declarations and builds an empty [`Database`].
+    pub fn build(self) -> Result<Database> {
+        let mut schema = DatabaseSchema::new();
+        let mut target = None;
+        for rb in self.relations {
+            if let Some(e) = rb.error {
+                return Err(e);
+            }
+            let rid = schema.add_relation(rb.schema)?;
+            if rb.is_target {
+                target = Some(rid);
+            }
+        }
+        if let Some(t) = target {
+            schema.set_target(t);
+        }
+        Database::new(schema)
+    }
+}
+
+impl Database {
+    /// Interns a categorical label on `rel`'s attribute `attr_name`,
+    /// returning the code to store. Builder-style convenience.
+    pub fn intern(&mut self, rel: crate::schema::RelId, attr_name: &str, label: &str) -> Result<u32> {
+        let aid = self.schema.relation(rel).attr_id(attr_name).ok_or_else(|| {
+            crate::error::RelationalError::UnknownAttribute {
+                relation: self.schema.relation(rel).name.clone(),
+                attribute: attr_name.to_string(),
+            }
+        })?;
+        Ok(self.schema.relation_mut(rel).attr_mut(aid).intern(label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RelationalError;
+    use crate::value::{ClassLabel, Value};
+
+    #[test]
+    fn builds_a_valid_database() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("T").primary_key("id").numerical("x").target();
+        b.relation("S")
+            .primary_key("id")
+            .foreign_key("t_id", "T")
+            .categorical("c");
+        let mut db = b.build().unwrap();
+        assert_eq!(db.schema.num_relations(), 2);
+        let t = db.schema.rel_id("T").unwrap();
+        assert_eq!(db.target().unwrap(), t);
+        let s = db.schema.rel_id("S").unwrap();
+        let code = db.intern(s, "c", "red").unwrap();
+        db.push_row(t, vec![Value::Key(1), Value::Num(0.5)]).unwrap();
+        db.push_label(ClassLabel::POS);
+        db.push_row(s, vec![Value::Key(1), Value::Key(1), Value::Cat(code)]).unwrap();
+        assert_eq!(db.dangling_foreign_keys(), 0);
+    }
+
+    #[test]
+    fn duplicate_column_surfaces_error() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("T").primary_key("id").numerical("id");
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn bad_foreign_key_surfaces_error() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("T").primary_key("id").foreign_key("x_id", "Nope").target();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, RelationalError::BadForeignKey { .. }));
+    }
+
+    #[test]
+    fn no_target_is_allowed_but_flagged() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("T").primary_key("id");
+        let db = b.build().unwrap();
+        assert!(db.target().is_err());
+    }
+
+    #[test]
+    fn intern_unknown_attribute_fails() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("T").primary_key("id").target();
+        let mut db = b.build().unwrap();
+        let t = db.schema.rel_id("T").unwrap();
+        assert!(matches!(
+            db.intern(t, "nope", "x"),
+            Err(RelationalError::UnknownAttribute { .. })
+        ));
+    }
+}

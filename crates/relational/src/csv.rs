@@ -1,0 +1,319 @@
+//! Plain-text persistence of whole databases.
+//!
+//! A database is saved as a directory: one `<relation>.csv` per relation plus
+//! a `_meta.csv` naming the target relation. Each relation file starts with a
+//! header of `name:type` columns (`pk`, `fk=<relation>`, `cat`, `num`); the
+//! target relation carries a trailing `__label` column. Categorical cells are
+//! stored as their dictionary labels and re-interned on load, keys as
+//! integers, numerics as floats, nulls as empty cells.
+//!
+//! The format is deliberately simple (no quoting): cells containing commas or
+//! newlines are rejected at save time.
+
+use std::fs;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::database::Database;
+use crate::error::{RelationalError, Result};
+use crate::schema::{AttrId, Attribute, DatabaseSchema, RelationSchema};
+use crate::value::{AttrType, ClassLabel, Value};
+
+const LABEL_COLUMN: &str = "__label";
+
+fn csv_err(e: impl std::fmt::Display) -> RelationalError {
+    RelationalError::Csv(e.to_string())
+}
+
+fn check_cell(cell: &str) -> Result<()> {
+    if cell.contains(',') || cell.contains('\n') {
+        return Err(csv_err(format!("cell contains separator: {cell:?}")));
+    }
+    Ok(())
+}
+
+/// Saves `db` under directory `dir` (created if missing).
+pub fn save_dir(db: &Database, dir: impl AsRef<Path>) -> Result<()> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir).map_err(csv_err)?;
+    let target = db.schema.target.map(|t| db.schema.relation(t).name.clone());
+    {
+        let mut meta =
+            BufWriter::new(fs::File::create(dir.join("_meta.csv")).map_err(csv_err)?);
+        writeln!(meta, "target,{}", target.clone().unwrap_or_default()).map_err(csv_err)?;
+    }
+    for (rid, rschema) in db.schema.iter_relations() {
+        check_cell(&rschema.name)?;
+        let path = dir.join(format!("{}.csv", rschema.name));
+        let mut out = BufWriter::new(fs::File::create(path).map_err(csv_err)?);
+        let is_target = db.schema.target == Some(rid);
+        let mut header: Vec<String> = Vec::new();
+        for attr in &rschema.attributes {
+            check_cell(&attr.name)?;
+            let ty = match &attr.ty {
+                AttrType::PrimaryKey => "pk".to_string(),
+                AttrType::ForeignKey { target } => format!("fk={target}"),
+                AttrType::Categorical => "cat".to_string(),
+                AttrType::Numerical => "num".to_string(),
+            };
+            header.push(format!("{}:{}", attr.name, ty));
+        }
+        if is_target {
+            header.push(format!("{LABEL_COLUMN}:num"));
+        }
+        writeln!(out, "{}", header.join(",")).map_err(csv_err)?;
+        let rel = db.relation(rid);
+        for row in rel.iter_rows() {
+            let mut cells: Vec<String> = Vec::with_capacity(rschema.arity() + 1);
+            for (aid, attr) in rschema.iter_attrs() {
+                let cell = match rel.value(row, aid) {
+                    Value::Null => String::new(),
+                    Value::Key(k) => k.to_string(),
+                    Value::Num(x) => format!("{x:?}"), // round-trippable f64
+                    Value::Cat(c) => {
+                        let label = attr.label_of(c).ok_or_else(|| {
+                            csv_err(format!(
+                                "categorical code {c} out of dictionary in {}.{}",
+                                rschema.name, attr.name
+                            ))
+                        })?;
+                        check_cell(label)?;
+                        label.to_string()
+                    }
+                };
+                cells.push(cell);
+            }
+            if is_target {
+                cells.push(db.label(row).0.to_string());
+            }
+            writeln!(out, "{}", cells.join(",")).map_err(csv_err)?;
+        }
+        out.flush().map_err(csv_err)?;
+    }
+    Ok(())
+}
+
+/// Loads a database previously written by [`save_dir`].
+pub fn load_dir(dir: impl AsRef<Path>) -> Result<Database> {
+    let dir = dir.as_ref();
+    let meta = fs::read_to_string(dir.join("_meta.csv")).map_err(csv_err)?;
+    let target_name = meta
+        .lines()
+        .find_map(|l| l.strip_prefix("target,"))
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string);
+
+    // Pass 1: build the schema from every relation file's header.
+    let mut names: Vec<String> = Vec::new();
+    for entry in fs::read_dir(dir).map_err(csv_err)? {
+        let entry = entry.map_err(csv_err)?;
+        let fname = entry.file_name().to_string_lossy().to_string();
+        if let Some(stem) = fname.strip_suffix(".csv") {
+            if !stem.starts_with('_') {
+                names.push(stem.to_string());
+            }
+        }
+    }
+    names.sort();
+    let mut schema = DatabaseSchema::new();
+    let mut label_cols: Vec<Option<usize>> = Vec::new();
+    for name in &names {
+        let file = fs::File::open(dir.join(format!("{name}.csv"))).map_err(csv_err)?;
+        let mut lines = BufReader::new(file).lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| csv_err(format!("{name}.csv is empty")))?
+            .map_err(csv_err)?;
+        let mut rel = RelationSchema::new(name.clone());
+        let mut label_col = None;
+        for (i, col) in header.split(',').enumerate() {
+            let (attr_name, ty) = col
+                .split_once(':')
+                .ok_or_else(|| csv_err(format!("bad header column {col:?} in {name}.csv")))?;
+            if attr_name == LABEL_COLUMN {
+                label_col = Some(i);
+                continue;
+            }
+            let ty = match ty {
+                "pk" => AttrType::PrimaryKey,
+                "cat" => AttrType::Categorical,
+                "num" => AttrType::Numerical,
+                other => match other.strip_prefix("fk=") {
+                    Some(t) => AttrType::ForeignKey { target: t.to_string() },
+                    None => return Err(csv_err(format!("unknown type {ty:?} in {name}.csv"))),
+                },
+            };
+            rel.add_attribute(Attribute::new(attr_name, ty))?;
+        }
+        let rid = schema.add_relation(rel)?;
+        label_cols.push(label_col);
+        if Some(name.as_str()) == target_name.as_deref() {
+            schema.set_target(rid);
+        }
+    }
+
+    // Pass 2: load tuples.
+    let mut db = Database::new(schema)?;
+    for (ri, name) in names.iter().enumerate() {
+        let rid = db.schema.rel_id(name).expect("registered above");
+        let is_target = db.schema.target == Some(rid);
+        let label_col = label_cols[ri];
+        let file = fs::File::open(dir.join(format!("{name}.csv"))).map_err(csv_err)?;
+        for (lineno, line) in BufReader::new(file).lines().enumerate().skip(1) {
+            let line = line.map_err(csv_err)?;
+            if line.is_empty() {
+                continue;
+            }
+            let cells: Vec<&str> = line.split(',').collect();
+            let arity = db.schema.relation(rid).arity();
+            let expected = arity + usize::from(label_col.is_some());
+            if cells.len() != expected {
+                return Err(csv_err(format!(
+                    "{name}.csv line {}: expected {expected} cells, got {}",
+                    lineno + 1,
+                    cells.len()
+                )));
+            }
+            let mut tuple: Vec<Value> = Vec::with_capacity(arity);
+            let mut attr_idx = 0;
+            let mut label: Option<ClassLabel> = None;
+            for (i, cell) in cells.iter().enumerate() {
+                if Some(i) == label_col {
+                    let c: u32 = cell
+                        .parse()
+                        .map_err(|_| csv_err(format!("bad label {cell:?} in {name}.csv")))?;
+                    label = Some(ClassLabel(c));
+                    continue;
+                }
+                let aid = AttrId(attr_idx);
+                attr_idx += 1;
+                if cell.is_empty() {
+                    tuple.push(Value::Null);
+                    continue;
+                }
+                let ty = db.schema.relation(rid).attr(aid).ty.clone();
+                let v = match ty {
+                    AttrType::PrimaryKey | AttrType::ForeignKey { .. } => Value::Key(
+                        cell.parse::<u64>()
+                            .map_err(|_| csv_err(format!("bad key {cell:?} in {name}.csv")))?,
+                    ),
+                    AttrType::Numerical => Value::Num(
+                        cell.parse::<f64>()
+                            .map_err(|_| csv_err(format!("bad number {cell:?} in {name}.csv")))?,
+                    ),
+                    AttrType::Categorical => {
+                        let code = db.schema.relation_mut(rid).attr_mut(aid).intern(cell);
+                        Value::Cat(code)
+                    }
+                };
+                tuple.push(v);
+            }
+            db.push_row_unchecked(rid, tuple);
+            if is_target {
+                db.push_label(label.ok_or_else(|| {
+                    csv_err(format!("missing label column in target relation {name}"))
+                })?);
+            }
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, RelationSchema};
+
+    fn sample_db() -> Database {
+        let mut schema = DatabaseSchema::new();
+        let mut t = RelationSchema::new("T");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        t.add_attribute(Attribute::new("r", AttrType::ForeignKey { target: "S".into() }))
+            .unwrap();
+        t.add_attribute(Attribute::new("x", AttrType::Numerical)).unwrap();
+        let mut s = RelationSchema::new("S");
+        s.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        let mut color = Attribute::new("color", AttrType::Categorical);
+        color.intern("red");
+        color.intern("blue");
+        s.add_attribute(color).unwrap();
+        let tid = schema.add_relation(t).unwrap();
+        let sid = schema.add_relation(s).unwrap();
+        schema.set_target(tid);
+        let mut db = Database::new(schema).unwrap();
+        db.push_row(tid, vec![Value::Key(1), Value::Key(10), Value::Num(0.25)]).unwrap();
+        db.push_label(ClassLabel::POS);
+        db.push_row(tid, vec![Value::Key(2), Value::Null, Value::Num(-3.5)]).unwrap();
+        db.push_label(ClassLabel::NEG);
+        db.push_row(sid, vec![Value::Key(10), Value::Cat(0)]).unwrap();
+        db.push_row(sid, vec![Value::Key(11), Value::Cat(1)]).unwrap();
+        db
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("crossmine-csv-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = sample_db();
+        let dir = tmpdir("roundtrip");
+        save_dir(&db, &dir).unwrap();
+        let db2 = load_dir(&dir).unwrap();
+
+        assert_eq!(db2.schema.num_relations(), 2);
+        let tid = db2.schema.rel_id("T").unwrap();
+        let sid = db2.schema.rel_id("S").unwrap();
+        assert_eq!(db2.target().unwrap(), tid);
+        assert_eq!(db2.labels(), &[ClassLabel::POS, ClassLabel::NEG]);
+        let t = db2.relation(tid);
+        assert_eq!(t.value(crate::relation::Row(0), AttrId(2)), Value::Num(0.25));
+        assert_eq!(t.value(crate::relation::Row(1), AttrId(1)), Value::Null);
+        let s_rel = db2.relation(sid);
+        let color = db2.schema.relation(sid).attr(AttrId(1));
+        let red = color.code_of("red").unwrap();
+        assert_eq!(s_rel.value(crate::relation::Row(0), AttrId(1)), Value::Cat(red));
+        assert_eq!(db2.dangling_foreign_keys(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        let mut db = sample_db();
+        let tid = db.schema.rel_id("T").unwrap();
+        db.push_row(tid, vec![Value::Key(3), Value::Key(11), Value::Num(0.1 + 0.2)]).unwrap();
+        db.push_label(ClassLabel::POS);
+        let dir = tmpdir("float");
+        save_dir(&db, &dir).unwrap();
+        let db2 = load_dir(&dir).unwrap();
+        let tid2 = db2.schema.rel_id("T").unwrap();
+        assert_eq!(
+            db2.relation(tid2).value(crate::relation::Row(2), AttrId(2)),
+            Value::Num(0.1 + 0.2)
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn comma_in_category_rejected() {
+        let mut db = sample_db();
+        let sid = db.schema.rel_id("S").unwrap();
+        let code = db.schema.relation_mut(sid).attr_mut(AttrId(1)).intern("bad,label");
+        db.push_row(sid, vec![Value::Key(12), Value::Cat(code)]).unwrap();
+        let dir = tmpdir("comma");
+        let err = save_dir(&db, &dir).unwrap_err();
+        assert!(matches!(err, RelationalError::Csv(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_meta_fails() {
+        let dir = tmpdir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(load_dir(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

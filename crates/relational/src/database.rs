@@ -1,0 +1,371 @@
+//! The [`Database`]: schema + per-relation tuple storage + target labels,
+//! with lazily built access-path indexes.
+
+use std::sync::OnceLock;
+
+use crate::error::{RelationalError, Result};
+use crate::index::{KeyIndex, SortedIndex};
+use crate::relation::{Relation, Row};
+use crate::schema::{AttrId, DatabaseSchema, RelId};
+use crate::value::{ClassLabel, Value};
+
+/// A multi-relational database: one target relation with class labels plus
+/// any number of non-target relations (CrossMine §3.1).
+///
+/// Indexes are built lazily on first use and invalidated by mutation, so the
+/// learners can treat the database as read-only shared state.
+#[derive(Debug, Default)]
+pub struct Database {
+    /// The database schema.
+    pub schema: DatabaseSchema,
+    relations: Vec<Relation>,
+    /// Class labels parallel to the target relation's rows.
+    labels: Vec<ClassLabel>,
+    key_indexes: Vec<Vec<OnceLock<KeyIndex>>>,
+    sorted_indexes: Vec<Vec<OnceLock<SortedIndex>>>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        // Indexes are caches; a clone starts cold.
+        let mut db = Database {
+            schema: self.schema.clone(),
+            relations: self.relations.clone(),
+            labels: self.labels.clone(),
+            key_indexes: Vec::new(),
+            sorted_indexes: Vec::new(),
+        };
+        db.reset_index_slots();
+        db
+    }
+}
+
+impl Database {
+    /// Creates a database with empty storage for every relation in `schema`.
+    /// Validates foreign-key references.
+    pub fn new(schema: DatabaseSchema) -> Result<Self> {
+        schema.validate()?;
+        let relations = schema.relations.iter().map(Relation::new).collect();
+        let mut db = Database {
+            schema,
+            relations,
+            labels: Vec::new(),
+            key_indexes: Vec::new(),
+            sorted_indexes: Vec::new(),
+        };
+        db.reset_index_slots();
+        Ok(db)
+    }
+
+    fn reset_index_slots(&mut self) {
+        self.key_indexes = self
+            .schema
+            .relations
+            .iter()
+            .map(|r| (0..r.arity()).map(|_| OnceLock::new()).collect())
+            .collect();
+        self.sorted_indexes = self
+            .schema
+            .relations
+            .iter()
+            .map(|r| (0..r.arity()).map(|_| OnceLock::new()).collect())
+            .collect();
+    }
+
+    /// Storage of relation `rel`.
+    #[inline]
+    pub fn relation(&self, rel: RelId) -> &Relation {
+        &self.relations[rel.0]
+    }
+
+    /// The target relation id.
+    pub fn target(&self) -> Result<RelId> {
+        self.schema.target()
+    }
+
+    /// Appends a tuple to `rel`, checking arity/types and primary-key
+    /// uniqueness; invalidates the relation's indexes.
+    pub fn push_row(&mut self, rel: RelId, tuple: Vec<Value>) -> Result<Row> {
+        let schema = &self.schema.relations[rel.0];
+        if let Some(pk) = schema.primary_key {
+            if let Some(Value::Key(k)) = tuple.get(pk.0) {
+                if !self.key_index(rel, pk).rows(*k).is_empty() {
+                    return Err(RelationalError::DuplicateKey {
+                        relation: schema.name.clone(),
+                        key: *k,
+                    });
+                }
+            }
+        }
+        let row = self.relations[rel.0].push_checked(schema, tuple)?;
+        self.invalidate(rel);
+        Ok(row)
+    }
+
+    /// Appends a tuple without validation (generators on their own data).
+    pub fn push_row_unchecked(&mut self, rel: RelId, tuple: Vec<Value>) -> Row {
+        let row = self.relations[rel.0].push_unchecked(tuple);
+        self.invalidate(rel);
+        row
+    }
+
+    /// Overwrites one cell; invalidates the relation's indexes.
+    pub fn set_value(&mut self, rel: RelId, row: Row, attr: AttrId, v: Value) {
+        self.relations[rel.0].set_value(row, attr, v);
+        self.invalidate(rel);
+    }
+
+    fn invalidate(&mut self, rel: RelId) {
+        for slot in &mut self.key_indexes[rel.0] {
+            *slot = OnceLock::new();
+        }
+        for slot in &mut self.sorted_indexes[rel.0] {
+            *slot = OnceLock::new();
+        }
+    }
+
+    /// Replaces the target relation's label column. Must match its row count.
+    pub fn set_labels(&mut self, labels: Vec<ClassLabel>) -> Result<()> {
+        let target = self.target()?;
+        if labels.len() != self.relations[target.0].len() {
+            return Err(RelationalError::ArityMismatch {
+                relation: self.schema.relation(target).name.clone(),
+                expected: self.relations[target.0].len(),
+                got: labels.len(),
+            });
+        }
+        self.labels = labels;
+        Ok(())
+    }
+
+    /// Appends one label (generators adding target tuples incrementally).
+    pub fn push_label(&mut self, label: ClassLabel) {
+        self.labels.push(label);
+    }
+
+    /// The full label column.
+    #[inline]
+    pub fn labels(&self) -> &[ClassLabel] {
+        &self.labels
+    }
+
+    /// The label of target row `row`.
+    #[inline]
+    pub fn label(&self, row: Row) -> ClassLabel {
+        self.labels[row.0 as usize]
+    }
+
+    /// Distinct class labels present, ascending.
+    pub fn classes(&self) -> Vec<ClassLabel> {
+        let mut cs: Vec<ClassLabel> = self.labels.clone();
+        cs.sort();
+        cs.dedup();
+        cs
+    }
+
+    /// Number of target tuples.
+    pub fn num_targets(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Total tuple count across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Lazily built hash index on a key column of `rel`.
+    pub fn key_index(&self, rel: RelId, attr: AttrId) -> &KeyIndex {
+        self.key_indexes[rel.0][attr.0]
+            .get_or_init(|| KeyIndex::build(&self.relations[rel.0], attr))
+    }
+
+    /// Lazily built sorted index on a numerical column of `rel`.
+    pub fn sorted_index(&self, rel: RelId, attr: AttrId) -> &SortedIndex {
+        self.sorted_indexes[rel.0][attr.0]
+            .get_or_init(|| SortedIndex::build(&self.relations[rel.0], attr))
+    }
+
+    /// Builds every key and numerical index up front (benchmark warmup).
+    pub fn build_all_indexes(&self) {
+        for (rid, rschema) in self.schema.iter_relations() {
+            for (aid, attr) in rschema.iter_attrs() {
+                if attr.ty.is_key() {
+                    self.key_index(rid, aid);
+                } else if attr.ty.is_numerical() {
+                    self.sorted_index(rid, aid);
+                }
+            }
+        }
+    }
+
+    /// Checks referential integrity: every non-null foreign-key value must
+    /// match a primary key in the referenced relation. Returns the number of
+    /// dangling references.
+    pub fn dangling_foreign_keys(&self) -> usize {
+        let mut dangling = 0;
+        for (rid, rschema) in self.schema.iter_relations() {
+            for (aid, attr) in rschema.iter_attrs() {
+                if let crate::value::AttrType::ForeignKey { target } = &attr.ty {
+                    let tid = match self.schema.rel_id(target) {
+                        Some(t) => t,
+                        None => continue,
+                    };
+                    let pk = match self.schema.relation(tid).primary_key {
+                        Some(pk) => pk,
+                        None => continue,
+                    };
+                    let pk_index = self.key_index(tid, pk);
+                    for v in self.relations[rid.0].column(aid) {
+                        if let Value::Key(k) = v {
+                            if pk_index.rows(*k).is_empty() {
+                                dangling += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dangling
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, RelationSchema};
+    use crate::value::AttrType;
+
+    /// Builds the two-relation Loan/Account example of CrossMine Fig. 2.
+    pub(crate) fn fig2_database() -> Database {
+        let mut schema = DatabaseSchema::new();
+        let mut loan = RelationSchema::new("Loan");
+        loan.add_attribute(Attribute::new("loan_id", AttrType::PrimaryKey)).unwrap();
+        loan.add_attribute(Attribute::new(
+            "account_id",
+            AttrType::ForeignKey { target: "Account".into() },
+        ))
+        .unwrap();
+        loan.add_attribute(Attribute::new("amount", AttrType::Numerical)).unwrap();
+        loan.add_attribute(Attribute::new("duration", AttrType::Numerical)).unwrap();
+        loan.add_attribute(Attribute::new("payment", AttrType::Numerical)).unwrap();
+        let mut account = RelationSchema::new("Account");
+        account.add_attribute(Attribute::new("account_id", AttrType::PrimaryKey)).unwrap();
+        let mut freq = Attribute::new("frequency", AttrType::Categorical);
+        let monthly = freq.intern("monthly");
+        let weekly = freq.intern("weekly");
+        account.add_attribute(freq).unwrap();
+        account.add_attribute(Attribute::new("date", AttrType::Numerical)).unwrap();
+
+        let loan_id = schema.add_relation(loan).unwrap();
+        let account_id = schema.add_relation(account).unwrap();
+        schema.set_target(loan_id);
+        let mut db = Database::new(schema).unwrap();
+
+        let loans: [(u64, u64, f64, f64, f64, bool); 5] = [
+            (1, 124, 1000.0, 12.0, 120.0, true),
+            (2, 124, 4000.0, 12.0, 350.0, true),
+            (3, 108, 10000.0, 24.0, 500.0, false),
+            (4, 45, 12000.0, 36.0, 400.0, false),
+            (5, 45, 2000.0, 24.0, 90.0, true),
+        ];
+        for (lid, aid, amt, dur, pay, pos) in loans {
+            db.push_row(
+                loan_id,
+                vec![
+                    Value::Key(lid),
+                    Value::Key(aid),
+                    Value::Num(amt),
+                    Value::Num(dur),
+                    Value::Num(pay),
+                ],
+            )
+            .unwrap();
+            db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
+        }
+        let accounts: [(u64, u32, f64); 4] = [
+            (124, monthly, 960227.0),
+            (108, weekly, 950923.0),
+            (45, monthly, 941209.0),
+            (67, weekly, 950101.0),
+        ];
+        for (aid, f, d) in accounts {
+            db.push_row(account_id, vec![Value::Key(aid), Value::Cat(f), Value::Num(d)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn fig2_database_shape() {
+        let db = fig2_database();
+        assert_eq!(db.num_targets(), 5);
+        assert_eq!(db.total_tuples(), 9);
+        assert_eq!(db.classes(), vec![ClassLabel::NEG, ClassLabel::POS]);
+        assert_eq!(db.dangling_foreign_keys(), 0);
+    }
+
+    #[test]
+    fn duplicate_primary_key_rejected() {
+        let mut db = fig2_database();
+        let loan = db.schema.rel_id("Loan").unwrap();
+        let err = db
+            .push_row(
+                loan,
+                vec![
+                    Value::Key(1),
+                    Value::Key(124),
+                    Value::Num(0.0),
+                    Value::Num(0.0),
+                    Value::Num(0.0),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateKey { key: 1, .. }));
+    }
+
+    #[test]
+    fn label_length_mismatch_rejected() {
+        let mut db = fig2_database();
+        let err = db.set_labels(vec![ClassLabel::POS]).unwrap_err();
+        assert!(matches!(err, RelationalError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn indexes_lazily_built_and_invalidated() {
+        let mut db = fig2_database();
+        let account = db.schema.rel_id("Account").unwrap();
+        let pk = AttrId(0);
+        assert_eq!(db.key_index(account, pk).distinct(), 4);
+        db.push_row(account, vec![Value::Key(200), Value::Cat(0), Value::Num(0.0)]).unwrap();
+        assert_eq!(db.key_index(account, pk).distinct(), 5);
+    }
+
+    #[test]
+    fn dangling_fk_detected() {
+        let mut db = fig2_database();
+        let loan = db.schema.rel_id("Loan").unwrap();
+        db.push_row(
+            loan,
+            vec![
+                Value::Key(6),
+                Value::Key(999), // no such account
+                Value::Num(1.0),
+                Value::Num(1.0),
+                Value::Num(1.0),
+            ],
+        )
+        .unwrap();
+        db.push_label(ClassLabel::NEG);
+        assert_eq!(db.dangling_foreign_keys(), 1);
+    }
+
+    #[test]
+    fn clone_starts_with_cold_indexes_but_same_data() {
+        let db = fig2_database();
+        let loan = db.schema.rel_id("Loan").unwrap();
+        db.build_all_indexes();
+        let db2 = db.clone();
+        assert_eq!(db2.num_targets(), 5);
+        assert_eq!(db2.key_index(loan, AttrId(1)).rows(124).len(), 2);
+    }
+}

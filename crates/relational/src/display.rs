@@ -1,0 +1,121 @@
+//! Human-readable schema rendering and Graphviz DOT export of the join
+//! graph — the ER-style picture (paper Fig. 1) for any database.
+
+use std::fmt::Write as _;
+
+use crate::joins::{JoinGraph, JoinKind};
+use crate::schema::DatabaseSchema;
+use crate::value::AttrType;
+
+/// Renders the schema as indented text, one relation per block.
+pub fn schema_text(schema: &DatabaseSchema) -> String {
+    let mut out = String::new();
+    for (rid, rel) in schema.iter_relations() {
+        let marker = if schema.target == Some(rid) { " (target)" } else { "" };
+        let _ = writeln!(out, "{}{}", rel.name, marker);
+        for (_, attr) in rel.iter_attrs() {
+            let ty = match &attr.ty {
+                AttrType::PrimaryKey => "primary key".to_string(),
+                AttrType::ForeignKey { target } => format!("foreign key -> {target}"),
+                AttrType::Categorical => {
+                    format!("categorical ({} values)", attr.cardinality())
+                }
+                AttrType::Numerical => "numerical".to_string(),
+            };
+            let _ = writeln!(out, "    {}: {}", attr.name, ty);
+        }
+    }
+    out
+}
+
+/// Renders the §3.1 join graph as Graphviz DOT. Only the forward direction
+/// of each join is drawn (the graph is symmetric); fk–fk joins are dashed.
+pub fn join_graph_dot(schema: &DatabaseSchema, graph: &JoinGraph) -> String {
+    let mut out = String::from("digraph joins {\n    rankdir=LR;\n    node [shape=box];\n");
+    for (rid, rel) in schema.iter_relations() {
+        let style = if schema.target == Some(rid) { " style=bold" } else { "" };
+        let _ = writeln!(out, "    {:?} [label={:?}{style}];", rel.name, rel.name);
+    }
+    for e in graph.edges() {
+        // Draw each undirected join once.
+        let draw = match e.kind {
+            JoinKind::FkToPk => true,
+            JoinKind::PkToFk => false, // the reverse of an FkToPk
+            JoinKind::FkFk => e.from.0 < e.to.0 || (e.from == e.to && e.from_attr < e.to_attr),
+        };
+        if !draw {
+            continue;
+        }
+        let from = &schema.relation(e.from).name;
+        let to = &schema.relation(e.to).name;
+        let label = format!(
+            "{}={}",
+            schema.relation(e.from).attr(e.from_attr).name,
+            schema.relation(e.to).attr(e.to_attr).name
+        );
+        let style = if e.kind == JoinKind::FkFk { ", style=dashed, dir=none" } else { "" };
+        let _ = writeln!(out, "    {from:?} -> {to:?} [label={label:?}{style}];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, RelationSchema};
+
+    fn schema() -> DatabaseSchema {
+        let mut s = DatabaseSchema::new();
+        let mut loan = RelationSchema::new("Loan");
+        loan.add_attribute(Attribute::new("loan_id", AttrType::PrimaryKey)).unwrap();
+        loan.add_attribute(Attribute::new(
+            "account_id",
+            AttrType::ForeignKey { target: "Account".into() },
+        ))
+        .unwrap();
+        loan.add_attribute(Attribute::new("amount", AttrType::Numerical)).unwrap();
+        let mut account = RelationSchema::new("Account");
+        account.add_attribute(Attribute::new("account_id", AttrType::PrimaryKey)).unwrap();
+        let mut f = Attribute::new("frequency", AttrType::Categorical);
+        f.intern("monthly");
+        f.intern("weekly");
+        account.add_attribute(f).unwrap();
+        let mut order = RelationSchema::new("Order");
+        order.add_attribute(Attribute::new("order_id", AttrType::PrimaryKey)).unwrap();
+        order
+            .add_attribute(Attribute::new(
+                "account_id",
+                AttrType::ForeignKey { target: "Account".into() },
+            ))
+            .unwrap();
+        let t = s.add_relation(loan).unwrap();
+        s.add_relation(account).unwrap();
+        s.add_relation(order).unwrap();
+        s.set_target(t);
+        s
+    }
+
+    #[test]
+    fn schema_text_mentions_everything() {
+        let text = schema_text(&schema());
+        assert!(text.contains("Loan (target)"));
+        assert!(text.contains("loan_id: primary key"));
+        assert!(text.contains("account_id: foreign key -> Account"));
+        assert!(text.contains("frequency: categorical (2 values)"));
+        assert!(text.contains("amount: numerical"));
+    }
+
+    #[test]
+    fn dot_output_draws_each_join_once() {
+        let s = schema();
+        let g = JoinGraph::build(&s);
+        let dot = join_graph_dot(&s, &g);
+        assert!(dot.starts_with("digraph joins {"));
+        assert!(dot.ends_with("}\n"));
+        // Two fk->pk joins and one fk-fk (Loan.account_id = Order.account_id).
+        assert_eq!(dot.matches(" -> ").count(), 3);
+        assert_eq!(dot.matches("style=dashed").count(), 1);
+        assert!(dot.contains("\"Loan\" [label=\"Loan\" style=bold];"));
+    }
+}

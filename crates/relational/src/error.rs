@@ -1,0 +1,65 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by schema construction, data loading and access paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum RelationalError {
+    /// A relation name was not found in the database schema.
+    UnknownRelation(String),
+    /// An attribute name was not found in a relation.
+    UnknownAttribute { relation: String, attribute: String },
+    /// A duplicate relation name was registered.
+    DuplicateRelation(String),
+    /// A duplicate attribute name within one relation.
+    DuplicateAttribute { relation: String, attribute: String },
+    /// A foreign key referenced a relation that does not exist (or has no primary key).
+    BadForeignKey { relation: String, attribute: String, reason: String },
+    /// A tuple had the wrong arity for its relation.
+    ArityMismatch { relation: String, expected: usize, got: usize },
+    /// A value had the wrong type for its attribute.
+    TypeMismatch { relation: String, attribute: String, expected: &'static str },
+    /// A primary-key value was inserted twice.
+    DuplicateKey { relation: String, key: u64 },
+    /// The database has no target relation / labels where one was required.
+    NoTarget,
+    /// CSV parsing / serialization failure.
+    Csv(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            RelationalError::UnknownAttribute { relation, attribute } => {
+                write!(f, "unknown attribute `{attribute}` in relation `{relation}`")
+            }
+            RelationalError::DuplicateRelation(name) => {
+                write!(f, "duplicate relation name `{name}`")
+            }
+            RelationalError::DuplicateAttribute { relation, attribute } => {
+                write!(f, "duplicate attribute `{attribute}` in relation `{relation}`")
+            }
+            RelationalError::BadForeignKey { relation, attribute, reason } => {
+                write!(f, "bad foreign key `{relation}.{attribute}`: {reason}")
+            }
+            RelationalError::ArityMismatch { relation, expected, got } => {
+                write!(f, "tuple arity mismatch in `{relation}`: expected {expected}, got {got}")
+            }
+            RelationalError::TypeMismatch { relation, attribute, expected } => {
+                write!(f, "type mismatch on `{relation}.{attribute}`: expected {expected}")
+            }
+            RelationalError::DuplicateKey { relation, key } => {
+                write!(f, "duplicate primary key {key} in relation `{relation}`")
+            }
+            RelationalError::NoTarget => write!(f, "database has no target relation"),
+            RelationalError::Csv(msg) => write!(f, "csv error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+/// Convenience alias used across the substrate.
+pub type Result<T> = std::result::Result<T, RelationalError>;

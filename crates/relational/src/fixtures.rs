@@ -1,0 +1,171 @@
+//! The paper's worked example databases as reusable fixtures.
+//!
+//! These tiny databases appear throughout the paper's exposition and
+//! throughout this repository's tests; exposing them publicly lets users
+//! and downstream tests reproduce the paper's tables by hand.
+
+use crate::database::Database;
+use crate::schema::{Attribute, DatabaseSchema, RelationSchema};
+use crate::value::{AttrType, ClassLabel, Value};
+
+/// The Loan/Account database of **Figures 2 and 4**: five loans (3+/2−)
+/// and four accounts; `Account.frequency = monthly` is satisfied by loans
+/// {1, 2, 4, 5}, and tuple-ID propagation to `Account` yields the idsets
+/// shown in Fig. 4 (124 ← {1,2}, 108 ← {3}, 45 ← {4,5}, 67 ← ∅).
+pub fn fig2_loan_account() -> Database {
+    let mut schema = DatabaseSchema::new();
+    let mut loan = RelationSchema::new("Loan");
+    loan.add_attribute(Attribute::new("loan_id", AttrType::PrimaryKey)).expect("fresh");
+    loan.add_attribute(Attribute::new(
+        "account_id",
+        AttrType::ForeignKey { target: "Account".into() },
+    ))
+    .expect("fresh");
+    loan.add_attribute(Attribute::new("amount", AttrType::Numerical)).expect("fresh");
+    loan.add_attribute(Attribute::new("duration", AttrType::Numerical)).expect("fresh");
+    loan.add_attribute(Attribute::new("payment", AttrType::Numerical)).expect("fresh");
+    let mut account = RelationSchema::new("Account");
+    account.add_attribute(Attribute::new("account_id", AttrType::PrimaryKey)).expect("fresh");
+    let mut freq = Attribute::new("frequency", AttrType::Categorical);
+    let monthly = freq.intern("monthly");
+    let weekly = freq.intern("weekly");
+    account.add_attribute(freq).expect("fresh");
+    account.add_attribute(Attribute::new("date", AttrType::Numerical)).expect("fresh");
+
+    let loan_id = schema.add_relation(loan).expect("unique");
+    let account_id = schema.add_relation(account).expect("unique");
+    schema.set_target(loan_id);
+    let mut db = Database::new(schema).expect("valid");
+
+    for (lid, aid, amount, duration, payment, positive) in [
+        (1u64, 124u64, 1000.0, 12.0, 120.0, true),
+        (2, 124, 4000.0, 12.0, 350.0, true),
+        (3, 108, 10000.0, 24.0, 500.0, false),
+        (4, 45, 12000.0, 36.0, 400.0, false),
+        (5, 45, 2000.0, 24.0, 90.0, true),
+    ] {
+        db.push_row(
+            loan_id,
+            vec![
+                Value::Key(lid),
+                Value::Key(aid),
+                Value::Num(amount),
+                Value::Num(duration),
+                Value::Num(payment),
+            ],
+        )
+        .expect("valid tuple");
+        db.push_label(if positive { ClassLabel::POS } else { ClassLabel::NEG });
+    }
+    for (aid, f, date) in [
+        (124u64, monthly, 960227.0),
+        (108, weekly, 950923.0),
+        (45, monthly, 941209.0),
+        (67, weekly, 950101.0),
+    ] {
+        db.push_row(account_id, vec![Value::Key(aid), Value::Cat(f), Value::Num(date)])
+            .expect("valid tuple");
+    }
+    db
+}
+
+/// The **Figure 7** schema shape: `Loan` (target) — `Has_Loan`
+/// (attribute-free relationship relation) — `Client` (whose `birthdate`
+/// carries the class signal). Without look-one-ahead no single literal can
+/// reach `Client`; with it, CrossMine finds clauses like
+/// `Loan(+) :- [Loan.loan_id -> Has_Loan.loan_id, Has_Loan.client_id ->
+/// Client.client_id, Client.birthdate <= ...]`.
+///
+/// `n` target tuples are generated; even rows are positive with young
+/// clients (birthdate 30.0), odd rows negative with old clients (60.0).
+pub fn fig7_loan_client(n: u64) -> Database {
+    let mut schema = DatabaseSchema::new();
+    let mut loan = RelationSchema::new("Loan");
+    loan.add_attribute(Attribute::new("loan_id", AttrType::PrimaryKey)).expect("fresh");
+    let mut has = RelationSchema::new("Has_Loan");
+    has.add_attribute(Attribute::new(
+        "loan_id",
+        AttrType::ForeignKey { target: "Loan".into() },
+    ))
+    .expect("fresh");
+    has.add_attribute(Attribute::new(
+        "client_id",
+        AttrType::ForeignKey { target: "Client".into() },
+    ))
+    .expect("fresh");
+    let mut client = RelationSchema::new("Client");
+    client.add_attribute(Attribute::new("client_id", AttrType::PrimaryKey)).expect("fresh");
+    client.add_attribute(Attribute::new("birthdate", AttrType::Numerical)).expect("fresh");
+
+    let t = schema.add_relation(loan).expect("unique");
+    let h = schema.add_relation(has).expect("unique");
+    let c = schema.add_relation(client).expect("unique");
+    schema.set_target(t);
+    let mut db = Database::new(schema).expect("valid");
+    for i in 0..n {
+        db.push_row(t, vec![Value::Key(i)]).expect("valid tuple");
+        let positive = i % 2 == 0;
+        db.push_label(if positive { ClassLabel::POS } else { ClassLabel::NEG });
+        db.push_row(c, vec![Value::Key(i), Value::Num(if positive { 30.0 } else { 60.0 })])
+            .expect("valid tuple");
+        db.push_row_unchecked(h, vec![Value::Key(i), Value::Key(i)]);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joins::JoinGraph;
+    use crate::physical::BindingTable;
+    use crate::schema::AttrId;
+
+    #[test]
+    fn fig2_matches_the_paper_tables() {
+        let db = fig2_loan_account();
+        assert_eq!(db.num_targets(), 5);
+        assert_eq!(db.total_tuples(), 9);
+        let pos = db.labels().iter().filter(|&&l| l == ClassLabel::POS).count();
+        assert_eq!((pos, db.num_targets() - pos), (3, 2));
+        assert_eq!(db.dangling_foreign_keys(), 0);
+
+        // §3.3: "Account.frequency = monthly" is satisfied by loans 1,2,4,5.
+        let loan = db.schema.rel_id("Loan").unwrap();
+        let account = db.schema.rel_id("Account").unwrap();
+        let graph = JoinGraph::build(&db.schema);
+        let edge = *graph
+            .edges()
+            .iter()
+            .find(|e| e.from == loan && e.to == account)
+            .unwrap();
+        let bt = BindingTable::from_targets(loan, db.relation(loan).iter_rows())
+            .join(&db, 0, &edge);
+        let monthly = db.schema.relation(account).attr(AttrId(1)).code_of("monthly").unwrap();
+        let acc_rel = db.relation(account);
+        let sat = bt
+            .filter(1, |r| acc_rel.value(r, AttrId(1)) == Value::Cat(monthly))
+            .distinct_targets();
+        let loan_ids: Vec<u64> = sat
+            .iter()
+            .map(|r| db.relation(loan).value(*r, AttrId(0)).as_key().unwrap())
+            .collect();
+        assert_eq!(loan_ids, vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn fig7_shape() {
+        let db = fig7_loan_client(10);
+        assert_eq!(db.schema.num_relations(), 3);
+        assert_eq!(db.num_targets(), 10);
+        assert_eq!(db.dangling_foreign_keys(), 0);
+        // Has_Loan has no non-key attributes — the Fig. 7 point.
+        let has = db.schema.rel_id("Has_Loan").unwrap();
+        assert!(db
+            .schema
+            .relation(has)
+            .iter_attrs()
+            .all(|(_, a)| a.ty.is_key()));
+        let graph = JoinGraph::build(&db.schema);
+        assert!(graph.is_connected_from(db.target().unwrap()));
+    }
+}

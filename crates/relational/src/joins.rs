@@ -1,0 +1,280 @@
+//! The join graph over a database schema.
+//!
+//! CrossMine considers exactly two kinds of joins (§3.1):
+//! 1. between a primary key and a foreign key pointing to it, and
+//! 2. between two foreign keys pointing to the same primary key
+//!    (e.g. `Loan.account_id` with `Order.account_id`).
+//!
+//! All other equi-joins are ignored because they do not follow the semantic
+//! links of the ER design. The [`JoinGraph`] materializes every such edge in
+//! both directions so tuple-ID propagation can walk it freely.
+
+use crate::schema::{AttrId, DatabaseSchema, RelId};
+use crate::value::AttrType;
+
+/// The kind of a (directed) join edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// From a foreign key to the primary key it references (n-to-1).
+    FkToPk,
+    /// From a primary key to a foreign key referencing it (1-to-n).
+    PkToFk,
+    /// Between two foreign keys referencing the same primary key (n-to-n).
+    FkFk,
+}
+
+/// One directed join edge `from.from_attr = to.to_attr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JoinEdge {
+    /// Source relation.
+    pub from: RelId,
+    /// Join column in the source relation.
+    pub from_attr: AttrId,
+    /// Destination relation.
+    pub to: RelId,
+    /// Join column in the destination relation.
+    pub to_attr: AttrId,
+    /// Which of the two §3.1 join types (and direction) this edge is.
+    pub kind: JoinKind,
+}
+
+impl JoinEdge {
+    /// The same join traversed the other way.
+    pub fn reversed(&self) -> JoinEdge {
+        JoinEdge {
+            from: self.to,
+            from_attr: self.to_attr,
+            to: self.from,
+            to_attr: self.from_attr,
+            kind: match self.kind {
+                JoinKind::FkToPk => JoinKind::PkToFk,
+                JoinKind::PkToFk => JoinKind::FkToPk,
+                JoinKind::FkFk => JoinKind::FkFk,
+            },
+        }
+    }
+}
+
+/// All §3.1 join edges of a schema, with per-relation adjacency.
+#[derive(Debug, Clone, Default)]
+pub struct JoinGraph {
+    edges: Vec<JoinEdge>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl JoinGraph {
+    /// Builds the join graph of `schema`.
+    ///
+    /// Foreign keys with a dangling target relation are skipped (the schema
+    /// should have been validated already). Fk–fk edges between the *same*
+    /// column are excluded — the paper's type-2 join is between *two* foreign
+    /// keys — but two distinct fk columns of one relation referencing the same
+    /// primary key do produce a self-join edge.
+    pub fn build(schema: &DatabaseSchema) -> Self {
+        let mut edges = Vec::new();
+        // (relation, fk column, referenced relation) triples.
+        let mut fks: Vec<(RelId, AttrId, RelId)> = Vec::new();
+        for (rid, rel) in schema.iter_relations() {
+            for (aid, attr) in rel.iter_attrs() {
+                if let AttrType::ForeignKey { target } = &attr.ty {
+                    if let Some(tid) = schema.rel_id(target) {
+                        fks.push((rid, aid, tid));
+                    }
+                }
+            }
+        }
+        // Type 1: fk <-> pk.
+        for &(rid, aid, tid) in &fks {
+            if let Some(pk) = schema.relation(tid).primary_key {
+                let e = JoinEdge { from: rid, from_attr: aid, to: tid, to_attr: pk, kind: JoinKind::FkToPk };
+                edges.push(e);
+                edges.push(e.reversed());
+            }
+        }
+        // Type 2: fk <-> fk sharing the referenced relation.
+        for (i, &(r1, a1, t1)) in fks.iter().enumerate() {
+            for &(r2, a2, t2) in fks.iter().skip(i + 1) {
+                if t1 == t2 {
+                    let e = JoinEdge { from: r1, from_attr: a1, to: r2, to_attr: a2, kind: JoinKind::FkFk };
+                    edges.push(e);
+                    edges.push(e.reversed());
+                }
+            }
+        }
+        let mut adjacency = vec![Vec::new(); schema.num_relations()];
+        for (i, e) in edges.iter().enumerate() {
+            adjacency[e.from.0].push(i);
+        }
+        JoinGraph { edges, adjacency }
+    }
+
+    /// All directed edges.
+    pub fn edges(&self) -> &[JoinEdge] {
+        &self.edges
+    }
+
+    /// Edges leaving relation `rel`.
+    pub fn edges_from(&self, rel: RelId) -> impl Iterator<Item = &JoinEdge> {
+        self.adjacency[rel.0].iter().map(move |&i| &self.edges[i])
+    }
+
+    /// Edges arriving at relation `rel`.
+    pub fn edges_into(&self, rel: RelId) -> impl Iterator<Item = &JoinEdge> {
+        self.edges.iter().filter(move |e| e.to == rel)
+    }
+
+    /// Relations reachable from `start` along join edges (including `start`).
+    pub fn reachable_from(&self, start: RelId) -> Vec<RelId> {
+        let n = self.adjacency.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![start];
+        seen[start.0] = true;
+        let mut out = Vec::new();
+        while let Some(r) = stack.pop() {
+            out.push(r);
+            for e in self.edges_from(r) {
+                if !seen[e.to.0] {
+                    seen[e.to.0] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// True when every relation is reachable from `start`.
+    pub fn is_connected_from(&self, start: RelId) -> bool {
+        self.reachable_from(start).len() == self.adjacency.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, RelationSchema};
+
+    /// Loan(pk, fk->Account), Order(pk, fk->Account), Account(pk),
+    /// District(pk) — District is unreachable.
+    fn schema() -> DatabaseSchema {
+        let mut s = DatabaseSchema::new();
+        let mut loan = RelationSchema::new("Loan");
+        loan.add_attribute(Attribute::new("loan_id", AttrType::PrimaryKey)).unwrap();
+        loan.add_attribute(Attribute::new(
+            "account_id",
+            AttrType::ForeignKey { target: "Account".into() },
+        ))
+        .unwrap();
+        let mut order = RelationSchema::new("Order");
+        order.add_attribute(Attribute::new("order_id", AttrType::PrimaryKey)).unwrap();
+        order
+            .add_attribute(Attribute::new(
+                "account_id",
+                AttrType::ForeignKey { target: "Account".into() },
+            ))
+            .unwrap();
+        let mut account = RelationSchema::new("Account");
+        account.add_attribute(Attribute::new("account_id", AttrType::PrimaryKey)).unwrap();
+        let mut district = RelationSchema::new("District");
+        district.add_attribute(Attribute::new("district_id", AttrType::PrimaryKey)).unwrap();
+        let t = s.add_relation(loan).unwrap();
+        s.add_relation(order).unwrap();
+        s.add_relation(account).unwrap();
+        s.add_relation(district).unwrap();
+        s.set_target(t);
+        s
+    }
+
+    #[test]
+    fn graph_has_both_join_types_in_both_directions() {
+        let s = schema();
+        let g = JoinGraph::build(&s);
+        let loan = s.rel_id("Loan").unwrap();
+        let order = s.rel_id("Order").unwrap();
+        let account = s.rel_id("Account").unwrap();
+
+        // Loan.account_id <-> Account.account_id (type 1, both ways).
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.from == loan && e.to == account && e.kind == JoinKind::FkToPk));
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.from == account && e.to == loan && e.kind == JoinKind::PkToFk));
+        // Loan.account_id <-> Order.account_id (type 2, both ways).
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.from == loan && e.to == order && e.kind == JoinKind::FkFk));
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.from == order && e.to == loan && e.kind == JoinKind::FkFk));
+        // 2 fk-pk joins * 2 directions + 1 fk-fk join * 2 directions = 6.
+        assert_eq!(g.edges().len(), 6);
+    }
+
+    #[test]
+    fn adjacency_matches_edges() {
+        let s = schema();
+        let g = JoinGraph::build(&s);
+        let loan = s.rel_id("Loan").unwrap();
+        let from_loan: Vec<_> = g.edges_from(loan).collect();
+        assert_eq!(from_loan.len(), 2); // to Account (fk->pk) and to Order (fk-fk)
+        let into_loan: Vec<_> = g.edges_into(loan).collect();
+        assert_eq!(into_loan.len(), 2);
+    }
+
+    #[test]
+    fn reachability_and_connectivity() {
+        let s = schema();
+        let g = JoinGraph::build(&s);
+        let loan = s.rel_id("Loan").unwrap();
+        let district = s.rel_id("District").unwrap();
+        let reach = g.reachable_from(loan);
+        assert_eq!(reach.len(), 3);
+        assert!(!reach.contains(&district));
+        assert!(!g.is_connected_from(loan));
+    }
+
+    #[test]
+    fn reversed_edge_roundtrips() {
+        let e = JoinEdge {
+            from: RelId(0),
+            from_attr: AttrId(1),
+            to: RelId(2),
+            to_attr: AttrId(0),
+            kind: JoinKind::FkToPk,
+        };
+        let r = e.reversed();
+        assert_eq!(r.kind, JoinKind::PkToFk);
+        assert_eq!(r.reversed(), e);
+        let f = JoinEdge { kind: JoinKind::FkFk, ..e };
+        assert_eq!(f.reversed().kind, JoinKind::FkFk);
+    }
+
+    #[test]
+    fn two_fks_in_same_relation_to_same_pk_self_join() {
+        // Bond(atom1 -> Atom, atom2 -> Atom) produces a Bond<->Bond fk-fk edge.
+        let mut s = DatabaseSchema::new();
+        let mut atom = RelationSchema::new("Atom");
+        atom.add_attribute(Attribute::new("atom_id", AttrType::PrimaryKey)).unwrap();
+        let mut bond = RelationSchema::new("Bond");
+        bond.add_attribute(Attribute::new("bond_id", AttrType::PrimaryKey)).unwrap();
+        bond.add_attribute(Attribute::new("atom1", AttrType::ForeignKey { target: "Atom".into() }))
+            .unwrap();
+        bond.add_attribute(Attribute::new("atom2", AttrType::ForeignKey { target: "Atom".into() }))
+            .unwrap();
+        s.add_relation(atom).unwrap();
+        let bond_id = s.add_relation(bond).unwrap();
+        let g = JoinGraph::build(&s);
+        let self_edges: Vec<_> = g
+            .edges()
+            .iter()
+            .filter(|e| e.from == bond_id && e.to == bond_id && e.kind == JoinKind::FkFk)
+            .collect();
+        assert_eq!(self_edges.len(), 2); // atom1=atom2 and atom2=atom1
+        assert!(self_edges.iter().all(|e| e.from_attr != e.to_attr));
+    }
+}

@@ -1,0 +1,295 @@
+//! Physical joins via binding tables.
+//!
+//! This is the machinery CrossMine is designed to *avoid*: the FOIL and TILDE
+//! baselines evaluate every candidate literal by materializing the join of
+//! the target relation with the relations on the clause's join path (§4.1,
+//! Fig. 3). A [`BindingTable`] holds one row per element of that join result;
+//! each row is a full variable binding (one tuple per bound relation).
+
+use crate::database::Database;
+use crate::joins::JoinEdge;
+use crate::relation::Row;
+use crate::schema::RelId;
+use crate::value::{ClassLabel, Value};
+
+/// A materialized join result. Slot 0 always binds the target relation, so
+/// the target tuple of binding `i` is `self.row(i, 0)`.
+#[derive(Debug, Clone)]
+pub struct BindingTable {
+    /// Relations bound, in join order; `bound[0]` is the target relation.
+    pub bound: Vec<RelId>,
+    rows: Vec<Row>,
+    width: usize,
+}
+
+impl BindingTable {
+    /// One binding per target tuple, restricted to `targets` (pass all rows
+    /// for the unrestricted table).
+    pub fn from_targets(target_rel: RelId, targets: impl IntoIterator<Item = Row>) -> Self {
+        let rows: Vec<Row> = targets.into_iter().collect();
+        BindingTable { bound: vec![target_rel], rows, width: 1 }
+    }
+
+    /// Number of bindings (join-result rows).
+    pub fn len(&self) -> usize {
+        self.rows.len().checked_div(self.width).unwrap_or(0)
+    }
+
+    /// True when the table has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of bound relations.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The row bound at `slot` in binding `i`.
+    #[inline]
+    pub fn row(&self, i: usize, slot: usize) -> Row {
+        self.rows[i * self.width + slot]
+    }
+
+    /// The target tuple of binding `i`.
+    #[inline]
+    pub fn target_row(&self, i: usize) -> Row {
+        self.row(i, 0)
+    }
+
+    /// Slots binding relation `rel` (a relation can be bound more than once).
+    pub fn slots_of(&self, rel: RelId) -> Vec<usize> {
+        self.bound
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == rel)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Physically joins this table with `edge.to`, matching the join column of
+    /// the relation bound at `from_slot` (which must be `edge.from`) against
+    /// `edge.to`'s join column via the database's key index. Produces one
+    /// output binding per (binding, matching tuple) pair — the quadratic blow-
+    /// up of Fig. 3 that the baselines pay for.
+    pub fn join(&self, db: &Database, from_slot: usize, edge: &JoinEdge) -> BindingTable {
+        debug_assert_eq!(self.bound[from_slot], edge.from);
+        let index = db.key_index(edge.to, edge.to_attr);
+        let from_rel = db.relation(edge.from);
+        let mut bound = self.bound.clone();
+        bound.push(edge.to);
+        let new_width = self.width + 1;
+        let mut rows: Vec<Row> = Vec::new();
+        for i in 0..self.len() {
+            let from_row = self.row(i, from_slot);
+            let key = match from_rel.value(from_row, edge.from_attr) {
+                Value::Key(k) => k,
+                _ => continue, // nulls never join
+            };
+            for &to_row in index.rows(key) {
+                rows.extend_from_slice(&self.rows[i * self.width..(i + 1) * self.width]);
+                rows.push(to_row);
+            }
+        }
+        BindingTable { bound, rows, width: new_width }
+    }
+
+    /// Keeps only bindings where `pred` holds of the tuple bound at `slot`.
+    pub fn filter(&self, slot: usize, mut pred: impl FnMut(Row) -> bool) -> BindingTable {
+        let mut rows = Vec::new();
+        for i in 0..self.len() {
+            if pred(self.row(i, slot)) {
+                rows.extend_from_slice(&self.rows[i * self.width..(i + 1) * self.width]);
+            }
+        }
+        BindingTable { bound: self.bound.clone(), rows, width: self.width }
+    }
+
+    /// Like [`join`](Self::join), but without using any index: a nested-loop
+    /// scan over the destination relation, O(|table| · |relation|).
+    ///
+    /// This is the access path of the original FOIL (ground-fact
+    /// enumeration) and TILDE (Prolog backtracking) implementations the
+    /// paper measured — the key indexes of [`Database`] are part of
+    /// CrossMine's own machinery (§8.1), not the baselines'.
+    pub fn join_scan(&self, db: &Database, from_slot: usize, edge: &JoinEdge) -> BindingTable {
+        debug_assert_eq!(self.bound[from_slot], edge.from);
+        let from_rel = db.relation(edge.from);
+        let to_rel = db.relation(edge.to);
+        let to_col = to_rel.column(edge.to_attr);
+        let mut bound = self.bound.clone();
+        bound.push(edge.to);
+        let new_width = self.width + 1;
+        let mut rows: Vec<Row> = Vec::new();
+        for i in 0..self.len() {
+            let from_row = self.row(i, from_slot);
+            let key = match from_rel.value(from_row, edge.from_attr) {
+                Value::Key(k) => k,
+                _ => continue,
+            };
+            for (j, v) in to_col.iter().enumerate() {
+                if *v == Value::Key(key) {
+                    rows.extend_from_slice(&self.rows[i * self.width..(i + 1) * self.width]);
+                    rows.push(Row(j as u32));
+                }
+            }
+        }
+        BindingTable { bound, rows, width: new_width }
+    }
+
+    /// Keeps only bindings whose *target* tuple satisfies `keep`.
+    pub fn retain_targets(&self, mut keep: impl FnMut(Row) -> bool) -> BindingTable {
+        self.filter(0, &mut keep)
+    }
+
+    /// Distinct target tuples covered by this table, ascending.
+    pub fn distinct_targets(&self) -> Vec<Row> {
+        let mut ts: Vec<Row> = (0..self.len()).map(|i| self.target_row(i)).collect();
+        ts.sort();
+        ts.dedup();
+        ts
+    }
+
+    /// Counts distinct positive/negative target tuples, where "positive"
+    /// means `labels[t] == pos`.
+    pub fn count_distinct_targets(&self, labels: &[ClassLabel], pos: ClassLabel) -> (usize, usize) {
+        let mut p = 0;
+        let mut n = 0;
+        for t in self.distinct_targets() {
+            if labels[t.0 as usize] == pos {
+                p += 1;
+            } else {
+                n += 1;
+            }
+        }
+        (p, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joins::JoinGraph;
+    use crate::schema::{AttrId, Attribute, DatabaseSchema, RelationSchema};
+    use crate::value::AttrType;
+
+    /// The Fig. 2 Loan/Account database.
+    fn fig2() -> Database {
+        let mut schema = DatabaseSchema::new();
+        let mut loan = RelationSchema::new("Loan");
+        loan.add_attribute(Attribute::new("loan_id", AttrType::PrimaryKey)).unwrap();
+        loan.add_attribute(Attribute::new(
+            "account_id",
+            AttrType::ForeignKey { target: "Account".into() },
+        ))
+        .unwrap();
+        let mut account = RelationSchema::new("Account");
+        account.add_attribute(Attribute::new("account_id", AttrType::PrimaryKey)).unwrap();
+        let mut freq = Attribute::new("frequency", AttrType::Categorical);
+        freq.intern("monthly");
+        freq.intern("weekly");
+        account.add_attribute(freq).unwrap();
+        let t = schema.add_relation(loan).unwrap();
+        let a = schema.add_relation(account).unwrap();
+        schema.set_target(t);
+        let mut db = Database::new(schema).unwrap();
+        for (lid, aid, pos) in
+            [(1u64, 124u64, true), (2, 124, true), (3, 108, false), (4, 45, false), (5, 45, true)]
+        {
+            db.push_row(t, vec![Value::Key(lid), Value::Key(aid)]).unwrap();
+            db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
+        }
+        for (aid, f) in [(124u64, 0u32), (108, 1), (45, 0), (67, 1)] {
+            db.push_row(a, vec![Value::Key(aid), Value::Cat(f)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn join_matches_fig3() {
+        let db = fig2();
+        let loan = db.schema.rel_id("Loan").unwrap();
+        let account = db.schema.rel_id("Account").unwrap();
+        let g = JoinGraph::build(&db.schema);
+        let edge = *g
+            .edges()
+            .iter()
+            .find(|e| e.from == loan && e.to == account)
+            .expect("loan->account edge");
+
+        let base = BindingTable::from_targets(loan, db.relation(loan).iter_rows());
+        assert_eq!(base.len(), 5);
+        let joined = base.join(&db, 0, &edge);
+        // Every loan joins exactly one account: 5 bindings, width 2 (Fig. 3).
+        assert_eq!(joined.len(), 5);
+        assert_eq!(joined.width(), 2);
+        assert_eq!(joined.bound, vec![loan, account]);
+
+        // Filter Account.frequency = monthly -> loans {1,2,4,5}.
+        let acc_rel = db.relation(account);
+        let monthly = joined.filter(1, |r| acc_rel.value(r, AttrId(1)) == Value::Cat(0));
+        let targets = monthly.distinct_targets();
+        assert_eq!(targets, vec![Row(0), Row(1), Row(3), Row(4)]);
+        let (p, n) = monthly.count_distinct_targets(db.labels(), ClassLabel::POS);
+        assert_eq!((p, n), (3, 1));
+    }
+
+    #[test]
+    fn reverse_join_fans_out() {
+        let db = fig2();
+        let loan = db.schema.rel_id("Loan").unwrap();
+        let account = db.schema.rel_id("Account").unwrap();
+        let g = JoinGraph::build(&db.schema);
+        let fwd = *g.edges().iter().find(|e| e.from == loan && e.to == account).unwrap();
+        let back = fwd.reversed();
+
+        let base = BindingTable::from_targets(loan, db.relation(loan).iter_rows());
+        let joined = base.join(&db, 0, &fwd).join(&db, 1, &back);
+        // Account 124 joins loans {1,2}; 108 -> {3}; 45 -> {4,5}.
+        // So 2*2 + 1 + 2*2 = 9 bindings.
+        assert_eq!(joined.len(), 9);
+        assert_eq!(joined.width(), 3);
+        // Distinct targets still the original 5.
+        assert_eq!(joined.distinct_targets().len(), 5);
+        assert_eq!(joined.slots_of(loan), vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_table_behaviour() {
+        let db = fig2();
+        let loan = db.schema.rel_id("Loan").unwrap();
+        let t = BindingTable::from_targets(loan, std::iter::empty());
+        assert!(t.is_empty());
+        assert_eq!(t.distinct_targets(), Vec::<Row>::new());
+    }
+
+    #[test]
+    fn join_scan_equals_indexed_join() {
+        let db = fig2();
+        let loan = db.schema.rel_id("Loan").unwrap();
+        let account = db.schema.rel_id("Account").unwrap();
+        let g = JoinGraph::build(&db.schema);
+        let edge = *g.edges().iter().find(|e| e.from == loan && e.to == account).unwrap();
+        let base = BindingTable::from_targets(loan, db.relation(loan).iter_rows());
+        let a = base.join(&db, 0, &edge);
+        let b = base.join_scan(&db, 0, &edge);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.bound, b.bound);
+        let rows_a: Vec<(Row, Row)> = (0..a.len()).map(|i| (a.row(i, 0), a.row(i, 1))).collect();
+        let mut rows_b: Vec<(Row, Row)> = (0..b.len()).map(|i| (b.row(i, 0), b.row(i, 1))).collect();
+        let mut rows_a = rows_a;
+        rows_a.sort();
+        rows_b.sort();
+        assert_eq!(rows_a, rows_b);
+    }
+
+    #[test]
+    fn restricted_targets() {
+        let db = fig2();
+        let loan = db.schema.rel_id("Loan").unwrap();
+        let t = BindingTable::from_targets(loan, [Row(0), Row(3)]);
+        assert_eq!(t.len(), 2);
+        let (p, n) = t.count_distinct_targets(db.labels(), ClassLabel::POS);
+        assert_eq!((p, n), (1, 1));
+    }
+}

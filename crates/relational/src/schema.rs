@@ -1,0 +1,330 @@
+//! Relation and database schemas.
+//!
+//! A [`DatabaseSchema`] is a set of [`RelationSchema`]s, one of which is the
+//! *target relation* (CrossMine §3.1). Relations are identified by dense
+//! [`RelId`] indexes and attributes by dense [`AttrId`] indexes, so the hot
+//! paths of the classifier never touch strings.
+
+use std::collections::HashMap;
+
+use crate::error::{RelationalError, Result};
+use crate::value::AttrType;
+
+/// Dense index of a relation within a database schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub usize);
+
+/// Dense index of an attribute within one relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub usize);
+
+/// One attribute (column) of a relation.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// Attribute name, unique within its relation.
+    pub name: String,
+    /// The attribute's type.
+    pub ty: AttrType,
+    /// Dictionary for categorical attributes: code -> label. Codes are dense.
+    pub dictionary: Vec<String>,
+    dict_lookup: HashMap<String, u32>,
+}
+
+impl Attribute {
+    /// Creates a new attribute with an empty dictionary.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Attribute { name: name.into(), ty, dictionary: Vec::new(), dict_lookup: HashMap::new() }
+    }
+
+    /// Interns a categorical label, returning its dense code.
+    pub fn intern(&mut self, label: &str) -> u32 {
+        if let Some(&code) = self.dict_lookup.get(label) {
+            return code;
+        }
+        let code = self.dictionary.len() as u32;
+        self.dictionary.push(label.to_string());
+        self.dict_lookup.insert(label.to_string(), code);
+        code
+    }
+
+    /// Looks up the code of an already-interned label.
+    pub fn code_of(&self, label: &str) -> Option<u32> {
+        self.dict_lookup.get(label).copied()
+    }
+
+    /// The label of a categorical code, if in range.
+    pub fn label_of(&self, code: u32) -> Option<&str> {
+        self.dictionary.get(code as usize).map(|s| s.as_str())
+    }
+
+    /// Number of distinct categorical values seen so far.
+    pub fn cardinality(&self) -> usize {
+        self.dictionary.len()
+    }
+}
+
+/// Schema of one relation.
+#[derive(Debug, Clone)]
+pub struct RelationSchema {
+    /// Relation name, unique within the database.
+    pub name: String,
+    /// Attributes in column order.
+    pub attributes: Vec<Attribute>,
+    attr_lookup: HashMap<String, AttrId>,
+    /// Column index of the primary key, if the relation has one.
+    pub primary_key: Option<AttrId>,
+}
+
+impl RelationSchema {
+    /// Creates an empty relation schema.
+    pub fn new(name: impl Into<String>) -> Self {
+        RelationSchema {
+            name: name.into(),
+            attributes: Vec::new(),
+            attr_lookup: HashMap::new(),
+            primary_key: None,
+        }
+    }
+
+    /// Appends an attribute; errors on duplicate names or a second primary key.
+    pub fn add_attribute(&mut self, attr: Attribute) -> Result<AttrId> {
+        if self.attr_lookup.contains_key(&attr.name) {
+            return Err(RelationalError::DuplicateAttribute {
+                relation: self.name.clone(),
+                attribute: attr.name,
+            });
+        }
+        let id = AttrId(self.attributes.len());
+        if attr.ty == AttrType::PrimaryKey {
+            if self.primary_key.is_some() {
+                return Err(RelationalError::DuplicateAttribute {
+                    relation: self.name.clone(),
+                    attribute: format!("{} (second primary key)", attr.name),
+                });
+            }
+            self.primary_key = Some(id);
+        }
+        self.attr_lookup.insert(attr.name.clone(), id);
+        self.attributes.push(attr);
+        Ok(id)
+    }
+
+    /// Finds an attribute by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attr_lookup.get(name).copied()
+    }
+
+    /// The attribute at `id`. Panics if out of range (ids come from this schema).
+    pub fn attr(&self, id: AttrId) -> &Attribute {
+        &self.attributes[id.0]
+    }
+
+    /// Mutable access to the attribute at `id`.
+    pub fn attr_mut(&mut self, id: AttrId) -> &mut Attribute {
+        &mut self.attributes[id.0]
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Iterator over `(AttrId, &Attribute)` pairs.
+    pub fn iter_attrs(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attributes.iter().enumerate().map(|(i, a)| (AttrId(i), a))
+    }
+
+    /// Column indexes of all foreign keys.
+    pub fn foreign_keys(&self) -> Vec<AttrId> {
+        self.iter_attrs()
+            .filter(|(_, a)| matches!(a.ty, AttrType::ForeignKey { .. }))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Column indexes of all key attributes (primary + foreign).
+    pub fn key_attrs(&self) -> Vec<AttrId> {
+        self.iter_attrs().filter(|(_, a)| a.ty.is_key()).map(|(id, _)| id).collect()
+    }
+}
+
+/// Schema of a whole database.
+#[derive(Debug, Clone, Default)]
+pub struct DatabaseSchema {
+    /// Relations in registration order.
+    pub relations: Vec<RelationSchema>,
+    rel_lookup: HashMap<String, RelId>,
+    /// The target relation whose tuples carry class labels.
+    pub target: Option<RelId>,
+}
+
+impl DatabaseSchema {
+    /// Creates an empty database schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a relation schema; errors on duplicate names.
+    pub fn add_relation(&mut self, rel: RelationSchema) -> Result<RelId> {
+        if self.rel_lookup.contains_key(&rel.name) {
+            return Err(RelationalError::DuplicateRelation(rel.name));
+        }
+        let id = RelId(self.relations.len());
+        self.rel_lookup.insert(rel.name.clone(), id);
+        self.relations.push(rel);
+        Ok(id)
+    }
+
+    /// Marks `rel` as the target relation.
+    pub fn set_target(&mut self, rel: RelId) {
+        self.target = Some(rel);
+    }
+
+    /// The target relation id, or an error when unset.
+    pub fn target(&self) -> Result<RelId> {
+        self.target.ok_or(RelationalError::NoTarget)
+    }
+
+    /// Finds a relation by name.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.rel_lookup.get(name).copied()
+    }
+
+    /// The relation schema at `id`.
+    pub fn relation(&self, id: RelId) -> &RelationSchema {
+        &self.relations[id.0]
+    }
+
+    /// Mutable access to the relation schema at `id`.
+    pub fn relation_mut(&mut self, id: RelId) -> &mut RelationSchema {
+        &mut self.relations[id.0]
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Iterator over `(RelId, &RelationSchema)` pairs.
+    pub fn iter_relations(&self) -> impl Iterator<Item = (RelId, &RelationSchema)> {
+        self.relations.iter().enumerate().map(|(i, r)| (RelId(i), r))
+    }
+
+    /// Validates every foreign key: the referenced relation must exist and
+    /// have a primary key. Returns the first violation found.
+    pub fn validate(&self) -> Result<()> {
+        for rel in &self.relations {
+            for attr in &rel.attributes {
+                if let AttrType::ForeignKey { target } = &attr.ty {
+                    let tid = self.rel_id(target).ok_or_else(|| {
+                        RelationalError::BadForeignKey {
+                            relation: rel.name.clone(),
+                            attribute: attr.name.clone(),
+                            reason: format!("referenced relation `{target}` does not exist"),
+                        }
+                    })?;
+                    if self.relation(tid).primary_key.is_none() {
+                        return Err(RelationalError::BadForeignKey {
+                            relation: rel.name.clone(),
+                            attribute: attr.name.clone(),
+                            reason: format!("referenced relation `{target}` has no primary key"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loan_schema() -> RelationSchema {
+        let mut r = RelationSchema::new("Loan");
+        r.add_attribute(Attribute::new("loan_id", AttrType::PrimaryKey)).unwrap();
+        r.add_attribute(Attribute::new(
+            "account_id",
+            AttrType::ForeignKey { target: "Account".into() },
+        ))
+        .unwrap();
+        r.add_attribute(Attribute::new("amount", AttrType::Numerical)).unwrap();
+        r.add_attribute(Attribute::new("status", AttrType::Categorical)).unwrap();
+        r
+    }
+
+    #[test]
+    fn attribute_interning_is_stable() {
+        let mut a = Attribute::new("freq", AttrType::Categorical);
+        let m = a.intern("monthly");
+        let w = a.intern("weekly");
+        assert_eq!(a.intern("monthly"), m);
+        assert_ne!(m, w);
+        assert_eq!(a.code_of("weekly"), Some(w));
+        assert_eq!(a.label_of(m), Some("monthly"));
+        assert_eq!(a.label_of(99), None);
+        assert_eq!(a.cardinality(), 2);
+    }
+
+    #[test]
+    fn relation_schema_lookup_and_keys() {
+        let r = loan_schema();
+        assert_eq!(r.arity(), 4);
+        assert_eq!(r.primary_key, Some(AttrId(0)));
+        assert_eq!(r.attr_id("account_id"), Some(AttrId(1)));
+        assert_eq!(r.attr_id("nope"), None);
+        assert_eq!(r.foreign_keys(), vec![AttrId(1)]);
+        assert_eq!(r.key_attrs(), vec![AttrId(0), AttrId(1)]);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut r = loan_schema();
+        let err = r.add_attribute(Attribute::new("amount", AttrType::Numerical)).unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn second_primary_key_rejected() {
+        let mut r = loan_schema();
+        let err = r.add_attribute(Attribute::new("pk2", AttrType::PrimaryKey)).unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn database_schema_target_and_validation() {
+        let mut db = DatabaseSchema::new();
+        let loan = db.add_relation(loan_schema()).unwrap();
+        assert!(db.target().is_err());
+        db.set_target(loan);
+        assert_eq!(db.target().unwrap(), loan);
+
+        // Loan.account_id references a missing relation.
+        let err = db.validate().unwrap_err();
+        assert!(matches!(err, RelationalError::BadForeignKey { .. }));
+
+        let mut acc = RelationSchema::new("Account");
+        acc.add_attribute(Attribute::new("account_id", AttrType::PrimaryKey)).unwrap();
+        db.add_relation(acc).unwrap();
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn foreign_key_to_keyless_relation_rejected() {
+        let mut db = DatabaseSchema::new();
+        db.add_relation(loan_schema()).unwrap();
+        let acc = RelationSchema::new("Account"); // no primary key
+        db.add_relation(acc).unwrap();
+        let err = db.validate().unwrap_err();
+        assert!(matches!(err, RelationalError::BadForeignKey { .. }));
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut db = DatabaseSchema::new();
+        db.add_relation(RelationSchema::new("X")).unwrap();
+        let err = db.add_relation(RelationSchema::new("X")).unwrap_err();
+        assert_eq!(err, RelationalError::DuplicateRelation("X".into()));
+    }
+}

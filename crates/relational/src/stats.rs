@@ -1,0 +1,262 @@
+//! Database statistics: per-relation and per-column summaries, and the
+//! join-edge fan-out profile that drives CrossMine's §4.3 propagation
+//! constraint. Useful for understanding a database before learning on it
+//! and for diagnosing why a propagation was discouraged.
+
+use crate::database::Database;
+use crate::joins::{JoinEdge, JoinGraph};
+use crate::schema::{AttrId, RelId};
+use crate::value::{AttrType, Value};
+
+/// Summary of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Attribute name.
+    pub name: String,
+    /// Rows with a null value.
+    pub nulls: usize,
+    /// Distinct non-null values.
+    pub distinct: usize,
+    /// Minimum, for numerical columns.
+    pub min: Option<f64>,
+    /// Maximum, for numerical columns.
+    pub max: Option<f64>,
+    /// Mean, for numerical columns.
+    pub mean: Option<f64>,
+}
+
+/// Summary of one relation.
+#[derive(Debug, Clone)]
+pub struct RelationStats {
+    /// Relation name.
+    pub name: String,
+    /// Number of tuples.
+    pub tuples: usize,
+    /// Per-column summaries, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+/// Fan-out profile of one join edge: how many destination tuples each
+/// source tuple matches.
+#[derive(Debug, Clone)]
+pub struct EdgeFanout {
+    /// The edge profiled.
+    pub edge: JoinEdge,
+    /// Source tuples with at least one match.
+    pub matched: usize,
+    /// Source tuples with no match.
+    pub unmatched: usize,
+    /// Mean matches per matched source tuple.
+    pub mean: f64,
+    /// Largest number of matches of any source tuple.
+    pub max: usize,
+}
+
+/// Computes column summaries for every relation of `db`.
+pub fn relation_stats(db: &Database) -> Vec<RelationStats> {
+    db.schema
+        .iter_relations()
+        .map(|(rid, rschema)| {
+            let rel = db.relation(rid);
+            let columns = rschema
+                .iter_attrs()
+                .map(|(aid, attr)| column_stats(db, rid, aid, &attr.name))
+                .collect();
+            RelationStats { name: rschema.name.clone(), tuples: rel.len(), columns }
+        })
+        .collect()
+}
+
+/// Summary of one column of one relation.
+pub fn column_stats(db: &Database, rel: RelId, attr: AttrId, name: &str) -> ColumnStats {
+    let col = db.relation(rel).column(attr);
+    let mut nulls = 0usize;
+    let mut distinct: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    let mut nums = 0usize;
+    for v in col {
+        match v {
+            Value::Null => nulls += 1,
+            Value::Key(k) => {
+                distinct.insert(*k);
+            }
+            Value::Cat(c) => {
+                distinct.insert(*c as u64);
+            }
+            Value::Num(x) => {
+                // f64 bit pattern as the distinctness key.
+                distinct.insert(x.to_bits());
+                min = min.min(*x);
+                max = max.max(*x);
+                sum += x;
+                nums += 1;
+            }
+        }
+    }
+    let is_num =
+        matches!(db.schema.relation(rel).attr(attr).ty, AttrType::Numerical) && nums > 0;
+    ColumnStats {
+        name: name.to_string(),
+        nulls,
+        distinct: distinct.len(),
+        min: is_num.then_some(min),
+        max: is_num.then_some(max),
+        mean: is_num.then(|| sum / nums as f64),
+    }
+}
+
+/// Profiles the fan-out of every join edge of `db` — the quantity the §4.3
+/// constraint bounds during propagation.
+pub fn fanout_profile(db: &Database, graph: &JoinGraph) -> Vec<EdgeFanout> {
+    graph
+        .edges()
+        .iter()
+        .map(|edge| {
+            let from = db.relation(edge.from);
+            let index = db.key_index(edge.to, edge.to_attr);
+            let mut matched = 0usize;
+            let mut unmatched = 0usize;
+            let mut total = 0usize;
+            let mut max = 0usize;
+            for v in from.column(edge.from_attr) {
+                match v {
+                    Value::Key(k) => {
+                        let hits = index.rows(*k).len();
+                        if hits == 0 {
+                            unmatched += 1;
+                        } else {
+                            matched += 1;
+                            total += hits;
+                            max = max.max(hits);
+                        }
+                    }
+                    _ => unmatched += 1,
+                }
+            }
+            EdgeFanout {
+                edge: *edge,
+                matched,
+                unmatched,
+                mean: if matched == 0 { 0.0 } else { total as f64 / matched as f64 },
+                max,
+            }
+        })
+        .collect()
+}
+
+/// Renders a human-readable statistics report for `db`.
+pub fn report(db: &Database) -> String {
+    let mut out = String::new();
+    let target = db.schema.target;
+    for stats in relation_stats(db) {
+        let marker = match target {
+            Some(t) if db.schema.relation(t).name == stats.name => " (target)",
+            _ => "",
+        };
+        out.push_str(&format!("{}{}: {} tuples\n", stats.name, marker, stats.tuples));
+        for c in &stats.columns {
+            let range = match (c.min, c.max, c.mean) {
+                (Some(lo), Some(hi), Some(mu)) => {
+                    format!("  range [{lo:.3}, {hi:.3}] mean {mu:.3}")
+                }
+                _ => String::new(),
+            };
+            out.push_str(&format!(
+                "  {}: {} distinct, {} nulls{range}\n",
+                c.name, c.distinct, c.nulls
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, DatabaseSchema, RelationSchema};
+    use crate::value::ClassLabel;
+
+    fn db() -> Database {
+        let mut schema = DatabaseSchema::new();
+        let mut t = RelationSchema::new("T");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        t.add_attribute(Attribute::new("x", AttrType::Numerical)).unwrap();
+        let mut s = RelationSchema::new("S");
+        s.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        s.add_attribute(Attribute::new("t_id", AttrType::ForeignKey { target: "T".into() }))
+            .unwrap();
+        let tid = schema.add_relation(t).unwrap();
+        let sid = schema.add_relation(s).unwrap();
+        schema.set_target(tid);
+        let mut db = Database::new(schema).unwrap();
+        for i in 0..4u64 {
+            db.push_row(tid, vec![Value::Key(i), Value::Num(i as f64)]).unwrap();
+            db.push_label(ClassLabel::POS);
+        }
+        // Tuple 0 of T has three S children, 1 has one, 2-3 have none.
+        for (j, t_id) in [(0u64, 0u64), (1, 0), (2, 0), (3, 1)] {
+            db.push_row(sid, vec![Value::Key(j), Value::Key(t_id)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn relation_stats_shapes() {
+        let db = db();
+        let stats = relation_stats(&db);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "T");
+        assert_eq!(stats[0].tuples, 4);
+        let x = &stats[0].columns[1];
+        assert_eq!(x.distinct, 4);
+        assert_eq!(x.min, Some(0.0));
+        assert_eq!(x.max, Some(3.0));
+        assert_eq!(x.mean, Some(1.5));
+        assert_eq!(x.nulls, 0);
+    }
+
+    #[test]
+    fn fanout_profile_counts_matches() {
+        let db = db();
+        let graph = JoinGraph::build(&db.schema);
+        let profile = fanout_profile(&db, &graph);
+        // T.id -> S.t_id (pk to fk): tuple 0 matches 3, tuple 1 matches 1.
+        let t = db.schema.rel_id("T").unwrap();
+        let s = db.schema.rel_id("S").unwrap();
+        let f = profile
+            .iter()
+            .find(|f| f.edge.from == t && f.edge.to == s)
+            .expect("pk->fk edge profiled");
+        assert_eq!(f.matched, 2);
+        assert_eq!(f.unmatched, 2);
+        assert_eq!(f.max, 3);
+        assert!((f.mean - 2.0).abs() < 1e-12);
+        // The reverse direction is n-to-1: every S tuple matches exactly 1.
+        let back = profile
+            .iter()
+            .find(|f| f.edge.from == s && f.edge.to == t)
+            .expect("fk->pk edge profiled");
+        assert_eq!(back.matched, 4);
+        assert_eq!(back.max, 1);
+    }
+
+    #[test]
+    fn nulls_counted() {
+        let mut db = db();
+        let s = db.schema.rel_id("S").unwrap();
+        db.push_row(s, vec![Value::Key(9), Value::Null]).unwrap();
+        let stats = relation_stats(&db);
+        assert_eq!(stats[1].columns[1].nulls, 1);
+    }
+
+    #[test]
+    fn report_is_readable() {
+        let db = db();
+        let r = report(&db);
+        assert!(r.contains("T (target): 4 tuples"));
+        assert!(r.contains("S: 4 tuples"));
+        assert!(r.contains("range [0.000, 3.000] mean 1.500"));
+    }
+}

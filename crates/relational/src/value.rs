@@ -1,0 +1,172 @@
+//! Cell values and attribute types.
+//!
+//! The substrate distinguishes four kinds of attributes (CrossMine §3.1/§3.2):
+//! primary keys, foreign keys, categorical attributes and numerical
+//! attributes. Key values are `u64` identifiers; categorical values are
+//! interned `u32` codes resolved through [`crate::schema::Attribute`]'s
+//! dictionary; numerical values are `f64`.
+
+use std::fmt;
+
+/// The type of one attribute (column) of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrType {
+    /// The relation's primary key. At most one per relation.
+    PrimaryKey,
+    /// A foreign key pointing to the primary key of the named relation.
+    ForeignKey {
+        /// Name of the relation whose primary key this column references.
+        target: String,
+    },
+    /// A categorical attribute with an interned value dictionary.
+    Categorical,
+    /// A numerical (continuous) attribute.
+    Numerical,
+}
+
+impl AttrType {
+    /// True for primary- and foreign-key columns (the only join columns, §3.1).
+    pub fn is_key(&self) -> bool {
+        matches!(self, AttrType::PrimaryKey | AttrType::ForeignKey { .. })
+    }
+
+    /// True for categorical columns.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, AttrType::Categorical)
+    }
+
+    /// True for numerical columns.
+    pub fn is_numerical(&self) -> bool {
+        matches!(self, AttrType::Numerical)
+    }
+}
+
+/// One cell value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A primary- or foreign-key identifier.
+    Key(u64),
+    /// An interned categorical code (index into the attribute's dictionary).
+    Cat(u32),
+    /// A numerical value.
+    Num(f64),
+    /// SQL-style missing value. Null never joins and satisfies no literal.
+    Null,
+}
+
+impl Value {
+    /// The key identifier, if this is a key value.
+    pub fn as_key(&self) -> Option<u64> {
+        match self {
+            Value::Key(k) => Some(*k),
+            _ => None,
+        }
+    }
+
+    /// The categorical code, if this is a categorical value.
+    pub fn as_cat(&self) -> Option<u32> {
+        match self {
+            Value::Cat(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The numerical value, if this is a numerical value.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// True if the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Name of the value kind, for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Key(_) => "key",
+            Value::Cat(_) => "categorical",
+            Value::Num(_) => "numerical",
+            Value::Null => "null",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Key(k) => write!(f, "#{k}"),
+            Value::Cat(c) => write!(f, "cat:{c}"),
+            Value::Num(x) => write!(f, "{x}"),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// A class label of a target tuple. CrossMine treats multi-class problems as
+/// one-vs-rest (§5.3), so most of the pipeline sees labels as pos/neg; the
+/// underlying storage keeps the full class id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassLabel(pub u32);
+
+impl ClassLabel {
+    /// The conventional positive label in binary problems.
+    pub const POS: ClassLabel = ClassLabel(1);
+    /// The conventional negative label in binary problems.
+    pub const NEG: ClassLabel = ClassLabel(0);
+}
+
+impl fmt::Display for ClassLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ClassLabel::POS => write!(f, "+"),
+            ClassLabel::NEG => write!(f, "-"),
+            ClassLabel(c) => write!(f, "class{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_type_predicates() {
+        assert!(AttrType::PrimaryKey.is_key());
+        assert!(AttrType::ForeignKey { target: "t".into() }.is_key());
+        assert!(!AttrType::Categorical.is_key());
+        assert!(AttrType::Categorical.is_categorical());
+        assert!(AttrType::Numerical.is_numerical());
+        assert!(!AttrType::Numerical.is_categorical());
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Key(7).as_key(), Some(7));
+        assert_eq!(Value::Cat(3).as_cat(), Some(3));
+        assert_eq!(Value::Num(1.5).as_num(), Some(1.5));
+        assert_eq!(Value::Key(7).as_cat(), None);
+        assert_eq!(Value::Cat(3).as_num(), None);
+        assert_eq!(Value::Num(1.5).as_key(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Key(0).is_null());
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Key(12).to_string(), "#12");
+        assert_eq!(Value::Cat(4).to_string(), "cat:4");
+        assert_eq!(Value::Num(2.5).to_string(), "2.5");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn label_display() {
+        assert_eq!(ClassLabel::POS.to_string(), "+");
+        assert_eq!(ClassLabel::NEG.to_string(), "-");
+        assert_eq!(ClassLabel(5).to_string(), "class5");
+    }
+}

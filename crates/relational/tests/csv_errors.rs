@@ -1,0 +1,136 @@
+//! Error-path tests for the CSV-directory loader: malformed headers, bad
+//! cells, arity violations and label problems must all fail cleanly (no
+//! panics, descriptive errors).
+
+use crossmine_relational::csv::{load_dir, save_dir};
+use crossmine_relational::{
+    AttrType, Attribute, ClassLabel, Database, DatabaseSchema, RelationalError, RelationSchema,
+    Value,
+};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("crossmine-csverr-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) {
+    std::fs::write(dir.join(name), content).unwrap();
+}
+
+#[test]
+fn bad_header_column_rejected() {
+    let dir = tmpdir("header");
+    write(&dir, "_meta.csv", "target,T\n");
+    write(&dir, "T.csv", "id-without-type\n1\n");
+    let err = load_dir(&dir).unwrap_err();
+    assert!(matches!(err, RelationalError::Csv(_)), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_type_rejected() {
+    let dir = tmpdir("type");
+    write(&dir, "_meta.csv", "target,T\n");
+    write(&dir, "T.csv", "id:banana\n1\n");
+    let err = load_dir(&dir).unwrap_err();
+    assert!(err.to_string().contains("unknown type"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrong_cell_count_rejected() {
+    let dir = tmpdir("arity");
+    write(&dir, "_meta.csv", "target,\n");
+    write(&dir, "T.csv", "id:pk,x:num\n1,2.0,EXTRA\n");
+    let err = load_dir(&dir).unwrap_err();
+    assert!(err.to_string().contains("expected 2 cells"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_number_rejected() {
+    let dir = tmpdir("num");
+    write(&dir, "_meta.csv", "target,\n");
+    write(&dir, "T.csv", "id:pk,x:num\n1,not-a-number\n");
+    let err = load_dir(&dir).unwrap_err();
+    assert!(err.to_string().contains("bad number"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_key_rejected() {
+    let dir = tmpdir("key");
+    write(&dir, "_meta.csv", "target,\n");
+    write(&dir, "T.csv", "id:pk\n-5\n");
+    let err = load_dir(&dir).unwrap_err();
+    assert!(err.to_string().contains("bad key"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_label_column_on_target_rejected() {
+    let dir = tmpdir("label");
+    write(&dir, "_meta.csv", "target,T\n");
+    // Target relation without the __label column.
+    write(&dir, "T.csv", "id:pk\n1\n");
+    let err = load_dir(&dir).unwrap_err();
+    assert!(err.to_string().contains("missing label"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dangling_fk_reference_in_header_rejected() {
+    let dir = tmpdir("fkref");
+    write(&dir, "_meta.csv", "target,\n");
+    write(&dir, "T.csv", "id:pk,other:fk=Nope\n1,1\n");
+    let err = load_dir(&dir).unwrap_err();
+    assert!(matches!(err, RelationalError::BadForeignKey { .. }), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_lines_tolerated() {
+    let dir = tmpdir("blank");
+    write(&dir, "_meta.csv", "target,T\n");
+    write(&dir, "T.csv", "id:pk,__label:num\n1,1\n\n2,0\n\n");
+    let db = load_dir(&dir).unwrap();
+    assert_eq!(db.num_targets(), 2);
+    assert_eq!(db.labels(), &[ClassLabel(1), ClassLabel(0)]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn save_rejects_relation_name_with_comma() {
+    let mut schema = DatabaseSchema::new();
+    let mut t = RelationSchema::new("Bad,Name");
+    t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+    let tid = schema.add_relation(t).unwrap();
+    schema.set_target(tid);
+    let mut db = Database::new(schema).unwrap();
+    db.push_row(tid, vec![Value::Key(1)]).unwrap();
+    db.push_label(ClassLabel::POS);
+    let dir = tmpdir("relname");
+    let err = save_dir(&db, &dir).unwrap_err();
+    assert!(matches!(err, RelationalError::Csv(_)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn non_target_database_round_trips() {
+    // A database without any target relation (background-only) still saves
+    // and loads.
+    let mut schema = DatabaseSchema::new();
+    let mut t = RelationSchema::new("T");
+    t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+    let tid = schema.add_relation(t).unwrap();
+    let mut db = Database::new(schema).unwrap();
+    db.push_row(tid, vec![Value::Key(7)]).unwrap();
+    let dir = tmpdir("notarget");
+    save_dir(&db, &dir).unwrap();
+    let db2 = load_dir(&dir).unwrap();
+    assert!(db2.target().is_err());
+    assert_eq!(db2.relation(db2.schema.rel_id("T").unwrap()).len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

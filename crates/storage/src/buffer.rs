@@ -1,0 +1,227 @@
+//! A buffer pool over a [`Pager`]: bounded page cache with LRU eviction,
+//! dirty-page write-back, and hit/miss statistics.
+
+use std::collections::HashMap;
+
+use crate::page::Page;
+use crate::pager::{PageId, Pager, Result};
+
+/// Buffer pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Page requests served from memory.
+    pub hits: u64,
+    /// Page requests that went to disk.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Dirty pages written back.
+    pub writebacks: u64,
+}
+
+struct Frame {
+    page: Page,
+    dirty: bool,
+    /// LRU clock: larger = more recently used.
+    last_used: u64,
+}
+
+/// A fixed-capacity page cache with write-back.
+pub struct BufferPool {
+    pager: Pager,
+    capacity: usize,
+    frames: HashMap<PageId, Frame>,
+    tick: u64,
+    stats: BufferStats,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("resident", &self.frames.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Wraps `pager` with a cache of at most `capacity` pages.
+    pub fn new(pager: Pager, capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        BufferPool { pager, capacity, frames: HashMap::new(), tick: 0, stats: BufferStats::default() }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Number of pages currently resident.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Allocates a fresh page (resident and clean).
+    pub fn allocate(&mut self) -> Result<PageId> {
+        let id = self.pager.allocate()?;
+        self.make_room()?;
+        self.tick += 1;
+        self.frames
+            .insert(id, Frame { page: Page::new(), dirty: false, last_used: self.tick });
+        Ok(id)
+    }
+
+    fn make_room(&mut self) -> Result<()> {
+        while self.frames.len() >= self.capacity {
+            let victim = self
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(&id, _)| id)
+                .expect("frames nonempty");
+            let frame = self.frames.remove(&victim).expect("victim resident");
+            if frame.dirty {
+                self.pager.write_page(victim, &frame.page)?;
+                self.stats.writebacks += 1;
+            }
+            self.stats.evictions += 1;
+        }
+        Ok(())
+    }
+
+    fn fault_in(&mut self, id: PageId) -> Result<()> {
+        if self.frames.contains_key(&id) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            let page = self.pager.read_page(id)?;
+            self.make_room()?;
+            self.frames.insert(id, Frame { page, dirty: false, last_used: 0 });
+        }
+        self.tick += 1;
+        self.frames.get_mut(&id).expect("just inserted").last_used = self.tick;
+        Ok(())
+    }
+
+    /// Reads through the cache: calls `f` with the resident page.
+    pub fn with_page<T>(&mut self, id: PageId, f: impl FnOnce(&Page) -> T) -> Result<T> {
+        self.fault_in(id)?;
+        Ok(f(&self.frames.get(&id).expect("resident").page))
+    }
+
+    /// Writes through the cache: calls `f` with the mutable resident page
+    /// and marks it dirty.
+    pub fn with_page_mut<T>(&mut self, id: PageId, f: impl FnOnce(&mut Page) -> T) -> Result<T> {
+        self.fault_in(id)?;
+        let frame = self.frames.get_mut(&id).expect("resident");
+        frame.dirty = true;
+        Ok(f(&mut frame.page))
+    }
+
+    /// Writes every dirty page back and syncs the file.
+    pub fn flush(&mut self) -> Result<()> {
+        let mut dirty: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        dirty.sort();
+        for id in dirty {
+            let frame = self.frames.get_mut(&id).expect("resident");
+            self.pager.write_page(id, &frame.page)?;
+            frame.dirty = false;
+            self.stats.writebacks += 1;
+        }
+        self.pager.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossmine_relational::Value;
+
+    fn pool(tag: &str, capacity: usize) -> (BufferPool, std::path::PathBuf) {
+        let path = std::env::temp_dir()
+            .join(format!("crossmine-buffer-{tag}-{}", std::process::id()));
+        let pager = Pager::create(&path).unwrap();
+        (BufferPool::new(pager, capacity), path)
+    }
+
+    #[test]
+    fn read_your_writes_within_capacity() {
+        let (mut pool, path) = pool("ryw", 4);
+        let a = pool.allocate().unwrap();
+        pool.with_page_mut(a, |p| p.write_cell(0, Value::Key(5))).unwrap();
+        let v = pool.with_page(a, |p| p.read_cell(0)).unwrap();
+        assert_eq!(v, Value::Key(5));
+        assert_eq!(pool.stats().misses, 0, "everything stayed resident");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        // Capacity 2, touch 5 pages: evictions must preserve data.
+        let (mut pool, path) = pool("evict", 2);
+        let ids: Vec<_> = (0..5).map(|_| pool.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            pool.with_page_mut(id, |p| p.write_cell(0, Value::Key(i as u64))).unwrap();
+        }
+        assert!(pool.stats().evictions > 0);
+        for (i, &id) in ids.iter().enumerate() {
+            let v = pool.with_page(id, |p| p.read_cell(0)).unwrap();
+            assert_eq!(v, Value::Key(i as u64), "page {i} survived eviction");
+        }
+        assert!(pool.stats().misses > 0, "re-reads after eviction hit disk");
+        assert!(pool.resident() <= 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let (mut pool, path) = pool("lru", 2);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        // a is older; touching a makes b the LRU victim when c arrives.
+        pool.with_page(a, |_| ()).unwrap();
+        let misses_before = pool.stats().misses;
+        let _c = pool.allocate().unwrap(); // evicts b
+        pool.with_page(a, |_| ()).unwrap(); // still resident -> no new miss
+        assert_eq!(pool.stats().misses, misses_before);
+        pool.with_page(b, |_| ()).unwrap(); // b was evicted -> miss
+        assert_eq!(pool.stats().misses, misses_before + 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_persists_everything() {
+        let path = std::env::temp_dir()
+            .join(format!("crossmine-buffer-flush-{}", std::process::id()));
+        {
+            let pager = Pager::create(&path).unwrap();
+            let mut pool = BufferPool::new(pager, 8);
+            let a = pool.allocate().unwrap();
+            pool.with_page_mut(a, |p| p.write_cell(1, Value::Num(6.5))).unwrap();
+            pool.flush().unwrap();
+        }
+        let mut pager = Pager::open(&path).unwrap();
+        assert_eq!(pager.read_page(PageId(0)).unwrap().read_cell(1), Value::Num(6.5));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let (mut pool, path) = pool("stats", 1);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap(); // evicts a
+        pool.with_page(a, |_| ()).unwrap(); // miss
+        pool.with_page(a, |_| ()).unwrap(); // hit
+        pool.with_page(b, |_| ()).unwrap(); // miss (evicted by a's fault)
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,149 @@
+//! Fixed-size pages holding sequences of cell values.
+//!
+//! Cells are encoded at a fixed width of 9 bytes — a 1-byte tag plus an
+//! 8-byte payload — so a page holds `PAGE_SIZE / 9` cells and any cell can
+//! be addressed by offset arithmetic (the "string of fixed length" storage
+//! §8.1 suggests for propagated data).
+
+use crossmine_relational::Value;
+
+/// Page size in bytes (8 KiB, a common DBMS default).
+pub const PAGE_SIZE: usize = 8192;
+
+/// Encoded width of one cell.
+pub const CELL_WIDTH: usize = 9;
+
+/// Number of cells per page.
+pub const CELLS_PER_PAGE: usize = PAGE_SIZE / CELL_WIDTH;
+
+const TAG_NULL: u8 = 0;
+const TAG_KEY: u8 = 1;
+const TAG_CAT: u8 = 2;
+const TAG_NUM: u8 = 3;
+
+/// One fixed-size page.
+#[derive(Clone)]
+pub struct Page {
+    bytes: Box<[u8; PAGE_SIZE]>,
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page({} cells)", CELLS_PER_PAGE)
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page { bytes: Box::new([0u8; PAGE_SIZE]) }
+    }
+}
+
+impl Page {
+    /// A zeroed page (all cells decode as [`Value::Null`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A page from raw bytes (read from disk).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), PAGE_SIZE);
+        let mut page = Page::new();
+        page.bytes.copy_from_slice(bytes);
+        page
+    }
+
+    /// The raw bytes (written to disk).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..]
+    }
+
+    /// Writes the cell at `slot` (0-based, < [`CELLS_PER_PAGE`]).
+    pub fn write_cell(&mut self, slot: usize, v: Value) {
+        assert!(slot < CELLS_PER_PAGE, "slot {slot} out of page bounds");
+        let off = slot * CELL_WIDTH;
+        let (tag, payload): (u8, u64) = match v {
+            Value::Null => (TAG_NULL, 0),
+            Value::Key(k) => (TAG_KEY, k),
+            Value::Cat(c) => (TAG_CAT, c as u64),
+            Value::Num(x) => (TAG_NUM, x.to_bits()),
+        };
+        self.bytes[off] = tag;
+        self.bytes[off + 1..off + 9].copy_from_slice(&payload.to_le_bytes());
+    }
+
+    /// Reads the cell at `slot`.
+    pub fn read_cell(&self, slot: usize) -> Value {
+        assert!(slot < CELLS_PER_PAGE, "slot {slot} out of page bounds");
+        let off = slot * CELL_WIDTH;
+        let tag = self.bytes[off];
+        let payload = u64::from_le_bytes(
+            self.bytes[off + 1..off + 9].try_into().expect("9-byte cell"),
+        );
+        match tag {
+            TAG_NULL => Value::Null,
+            TAG_KEY => Value::Key(payload),
+            TAG_CAT => Value::Cat(payload as u32),
+            TAG_NUM => Value::Num(f64::from_bits(payload)),
+            other => panic!("corrupt page: unknown cell tag {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_value_kinds() {
+        let mut p = Page::new();
+        let values = [
+            Value::Null,
+            Value::Key(u64::MAX),
+            Value::Key(0),
+            Value::Cat(7),
+            Value::Num(-1.25),
+            Value::Num(f64::MAX),
+            Value::Num(0.0),
+        ];
+        for (i, v) in values.iter().enumerate() {
+            p.write_cell(i, *v);
+        }
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(p.read_cell(i), *v, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn fresh_page_is_all_null() {
+        let p = Page::new();
+        assert_eq!(p.read_cell(0), Value::Null);
+        assert_eq!(p.read_cell(CELLS_PER_PAGE - 1), Value::Null);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut p = Page::new();
+        p.write_cell(3, Value::Num(std::f64::consts::PI));
+        p.write_cell(100, Value::Key(42));
+        let q = Page::from_bytes(p.as_bytes());
+        assert_eq!(q.read_cell(3), Value::Num(std::f64::consts::PI));
+        assert_eq!(q.read_cell(100), Value::Key(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page bounds")]
+    fn out_of_bounds_write_panics() {
+        Page::new().write_cell(CELLS_PER_PAGE, Value::Null);
+    }
+
+    #[test]
+    fn negative_zero_and_nan_bits_preserved() {
+        let mut p = Page::new();
+        p.write_cell(0, Value::Num(-0.0));
+        match p.read_cell(0) {
+            Value::Num(x) => assert!(x == 0.0 && x.is_sign_negative()),
+            v => panic!("expected num, got {v:?}"),
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The pager: a file of fixed-size pages with allocate / read / write.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::page::{Page, PAGE_SIZE};
+
+/// Identifier of one page within a pager file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A page id beyond the allocated range.
+    BadPage(PageId),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage io error: {e}"),
+            StorageError::BadPage(p) => write!(f, "page {} not allocated", p.0),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias for the storage layer.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// A file of pages.
+#[derive(Debug)]
+pub struct Pager {
+    file: File,
+    num_pages: u64,
+}
+
+impl Pager {
+    /// Creates (truncating) a pager file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Pager { file, num_pages: 0 })
+    }
+
+    /// Opens an existing pager file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Pager { file, num_pages: len / PAGE_SIZE as u64 })
+    }
+
+    /// Number of allocated pages.
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    /// Allocates a fresh zeroed page at the end of the file.
+    pub fn allocate(&mut self) -> Result<PageId> {
+        let id = PageId(self.num_pages);
+        self.write_page(id, &Page::new())?;
+        Ok(id)
+    }
+
+    /// Reads page `id` from disk.
+    pub fn read_page(&mut self, id: PageId) -> Result<Page> {
+        if id.0 >= self.num_pages {
+            return Err(StorageError::BadPage(id));
+        }
+        self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file.read_exact(&mut buf)?;
+        Ok(Page::from_bytes(&buf))
+    }
+
+    /// Writes page `id` to disk (extends the file when `id` is the next
+    /// unallocated page).
+    pub fn write_page(&mut self, id: PageId, page: &Page) -> Result<()> {
+        if id.0 > self.num_pages {
+            return Err(StorageError::BadPage(id));
+        }
+        self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        self.file.write_all(page.as_bytes())?;
+        if id.0 == self.num_pages {
+            self.num_pages += 1;
+        }
+        Ok(())
+    }
+
+    /// Flushes the file to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossmine_relational::Value;
+
+    fn tmpfile(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("crossmine-pager-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn allocate_write_read_roundtrip() {
+        let path = tmpfile("rt");
+        let mut pager = Pager::create(&path).unwrap();
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        assert_eq!(pager.num_pages(), 2);
+        let mut p = Page::new();
+        p.write_cell(0, Value::Key(99));
+        pager.write_page(b, &p).unwrap();
+        assert_eq!(pager.read_page(a).unwrap().read_cell(0), Value::Null);
+        assert_eq!(pager.read_page(b).unwrap().read_cell(0), Value::Key(99));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_preserves_pages() {
+        let path = tmpfile("reopen");
+        {
+            let mut pager = Pager::create(&path).unwrap();
+            let id = pager.allocate().unwrap();
+            let mut p = Page::new();
+            p.write_cell(7, Value::Num(2.5));
+            pager.write_page(id, &p).unwrap();
+            pager.sync().unwrap();
+        }
+        let mut pager = Pager::open(&path).unwrap();
+        assert_eq!(pager.num_pages(), 1);
+        assert_eq!(pager.read_page(PageId(0)).unwrap().read_cell(7), Value::Num(2.5));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_read_rejected() {
+        let path = tmpfile("oob");
+        let mut pager = Pager::create(&path).unwrap();
+        assert!(matches!(pager.read_page(PageId(0)), Err(StorageError::BadPage(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,204 @@
+//! Planted-clause generation (§7.1): each clause is a list of complex
+//! literals over the generated schema; each literal falls on an active
+//! relation with probability `fA` and otherwise propagates across a join
+//! edge to a new relation. Clause labels are balanced to within 20%.
+
+use rand::Rng;
+
+use crossmine_relational::{AttrId, DatabaseSchema, JoinEdge, JoinGraph, RelId};
+
+/// One planted literal: an optional join edge from an active relation (the
+/// literal is on the edge's destination, which then becomes active) plus a
+/// categorical constraint. Only categorical literals are planted (§7.1).
+#[derive(Debug, Clone)]
+pub struct PlantedLiteral {
+    /// Edge from an active relation, `None` when the constraint falls on an
+    /// already-active relation.
+    pub join: Option<JoinEdge>,
+    /// The constrained relation (equals `join.to` when `join` is `Some`).
+    pub rel: RelId,
+    /// The constrained categorical attribute.
+    pub attr: AttrId,
+    /// The required dictionary code.
+    pub value: u32,
+}
+
+/// A planted clause: a literal list and the class label it assigns.
+#[derive(Debug, Clone)]
+pub struct PlantedClause {
+    /// The literals, in generation order.
+    pub literals: Vec<PlantedLiteral>,
+    /// Whether tuples generated from this clause are positive.
+    pub positive: bool,
+}
+
+/// Generates `params.num_clauses` planted clauses over `schema`.
+pub fn generate_clauses(
+    schema: &DatabaseSchema,
+    graph: &JoinGraph,
+    params: &crate::params::GenParams,
+    rng: &mut impl Rng,
+) -> Vec<PlantedClause> {
+    let c = params.num_clauses;
+    // "number of positive clauses and that of negative clauses differ by at
+    // most 20%": draw the positive count within c/2 ± c/10.
+    let slack = (c / 10) as i64;
+    let pos_count =
+        ((c / 2) as i64 + rng.gen_range(-slack..=slack)).clamp(1, c as i64 - 1) as usize;
+    let mut clauses = Vec::with_capacity(c);
+    for i in 0..c {
+        let clause = generate_one(schema, graph, params, i < pos_count, rng);
+        clauses.push(clause);
+    }
+    clauses
+}
+
+fn generate_one(
+    schema: &DatabaseSchema,
+    graph: &JoinGraph,
+    params: &crate::params::GenParams,
+    positive: bool,
+    rng: &mut impl Rng,
+) -> PlantedClause {
+    let target = schema.target().expect("generated schema has a target");
+    let length = rng.gen_range(params.min_literals..=params.max_literals);
+    let mut active: Vec<RelId> = vec![target];
+    let mut used: Vec<(RelId, AttrId)> = Vec::new(); // avoid contradictory re-constraint
+    let mut literals = Vec::with_capacity(length);
+
+    'literal: for _ in 0..length {
+        let on_active = rng.gen_bool(params.active_literal_prob);
+        for _attempt in 0..20 {
+            if on_active || active.len() == schema.num_relations() {
+                // Constraint on a random active relation.
+                let rel = active[rng.gen_range(0..active.len())];
+                if let Some((attr, value)) = pick_constraint(schema, rel, &used, rng) {
+                    used.push((rel, attr));
+                    literals.push(PlantedLiteral { join: None, rel, attr, value });
+                    continue 'literal;
+                }
+            } else {
+                // Join from a random active relation to an inactive one.
+                let from = active[rng.gen_range(0..active.len())];
+                let edges: Vec<&JoinEdge> =
+                    graph.edges_from(from).filter(|e| !active.contains(&e.to)).collect();
+                if edges.is_empty() {
+                    continue;
+                }
+                let edge = *edges[rng.gen_range(0..edges.len())];
+                if let Some((attr, value)) = pick_constraint(schema, edge.to, &used, rng) {
+                    active.push(edge.to);
+                    used.push((edge.to, attr));
+                    literals.push(PlantedLiteral {
+                        join: Some(edge),
+                        rel: edge.to,
+                        attr,
+                        value,
+                    });
+                    continue 'literal;
+                }
+            }
+        }
+        break; // no viable literal found; accept a shorter clause
+    }
+    PlantedClause { literals, positive }
+}
+
+fn pick_constraint(
+    schema: &DatabaseSchema,
+    rel: RelId,
+    used: &[(RelId, AttrId)],
+    rng: &mut impl Rng,
+) -> Option<(AttrId, u32)> {
+    let r = schema.relation(rel);
+    let candidates: Vec<AttrId> = r
+        .iter_attrs()
+        .filter(|(aid, a)| a.ty.is_categorical() && !used.contains(&(rel, *aid)))
+        .map(|(aid, _)| aid)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let attr = candidates[rng.gen_range(0..candidates.len())];
+    let card = r.attr(attr).cardinality();
+    Some((attr, rng.gen_range(0..card) as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GenParams;
+    use crate::schema_gen::generate_schema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (DatabaseSchema, JoinGraph, GenParams) {
+        let params = GenParams::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = generate_schema(&params, &mut rng);
+        let graph = JoinGraph::build(&schema);
+        (schema, graph, params)
+    }
+
+    #[test]
+    fn clause_count_and_labels_balanced() {
+        let (schema, graph, params) = setup(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let clauses = generate_clauses(&schema, &graph, &params, &mut rng);
+        assert_eq!(clauses.len(), 10);
+        let pos = clauses.iter().filter(|c| c.positive).count();
+        let neg = clauses.len() - pos;
+        assert!(pos.abs_diff(neg) <= 2, "pos {pos} neg {neg} differ by more than 20%");
+    }
+
+    #[test]
+    fn clause_lengths_in_range() {
+        let (schema, graph, params) = setup(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for c in generate_clauses(&schema, &graph, &params, &mut rng) {
+            assert!(!c.literals.is_empty());
+            assert!(c.literals.len() <= params.max_literals);
+        }
+    }
+
+    #[test]
+    fn literals_are_well_formed() {
+        let (schema, graph, params) = setup(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let target = schema.target().unwrap();
+        for c in generate_clauses(&schema, &graph, &params, &mut rng) {
+            let mut active = vec![target];
+            let mut seen: Vec<(RelId, AttrId)> = Vec::new();
+            for lit in &c.literals {
+                match &lit.join {
+                    None => assert!(active.contains(&lit.rel), "local literal on active rel"),
+                    Some(e) => {
+                        assert!(active.contains(&e.from), "edge starts at active rel");
+                        assert_eq!(e.to, lit.rel);
+                        assert!(!active.contains(&e.to), "no rebinding of active relations");
+                        active.push(e.to);
+                    }
+                }
+                // Constraint is a valid categorical value.
+                let attr = schema.relation(lit.rel).attr(lit.attr);
+                assert!(attr.ty.is_categorical());
+                assert!((lit.value as usize) < attr.cardinality());
+                // No contradictory constraint on the same attribute.
+                assert!(!seen.contains(&(lit.rel, lit.attr)));
+                seen.push((lit.rel, lit.attr));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (schema, graph, params) = setup(7);
+        let a = generate_clauses(&schema, &graph, &params, &mut StdRng::seed_from_u64(8));
+        let b = generate_clauses(&schema, &graph, &params, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.positive, y.positive);
+            assert_eq!(x.literals.len(), y.literals.len());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Parameters of the synthetic database generator — Table 1 of the paper,
+//! with the paper's default values.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp};
+
+/// Table 1: parameters of the data generator. Databases are named
+/// `Rx.Ty.Fz` after the three varied parameters.
+#[derive(Debug, Clone)]
+pub struct GenParams {
+    /// `|R|` — number of relations (the paper's `x`).
+    pub num_relations: usize,
+    /// `Tmin` — minimum number of tuples in each relation (default 50).
+    pub min_tuples: usize,
+    /// `T` — expected number of tuples in each relation (the paper's `y`).
+    pub expected_tuples: usize,
+    /// `Amin` — minimum number of attributes in each relation (default 2).
+    pub min_attributes: usize,
+    /// `A` — expected number of attributes in each relation (default 5).
+    pub expected_attributes: usize,
+    /// `Vmin` — minimum number of values of each attribute (default 2).
+    pub min_values: usize,
+    /// `V` — expected number of values of each attribute (default 10).
+    pub expected_values: usize,
+    /// `Fmin` — minimum number of foreign keys in each relation (default 2;
+    /// clamped to `F` when `F < Fmin`, as in the Fig. 12 `F=1` runs).
+    pub min_foreign_keys: usize,
+    /// `F` — expected number of foreign keys in each relation (the paper's `z`).
+    pub expected_foreign_keys: usize,
+    /// `c` — number of planted clauses (default 10).
+    pub num_clauses: usize,
+    /// `Lmin` — minimum complex literals per clause (default 2).
+    pub min_literals: usize,
+    /// `Lmax` — maximum complex literals per clause (default 6).
+    pub max_literals: usize,
+    /// `fA` — probability that a literal falls on an active relation
+    /// (default 0.25).
+    pub active_literal_prob: f64,
+    /// RNG seed (not in Table 1; determinism for experiments).
+    pub seed: u64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            num_relations: 20,
+            min_tuples: 50,
+            expected_tuples: 500,
+            min_attributes: 2,
+            expected_attributes: 5,
+            min_values: 2,
+            expected_values: 10,
+            min_foreign_keys: 2,
+            expected_foreign_keys: 2,
+            num_clauses: 10,
+            min_literals: 2,
+            max_literals: 6,
+            active_literal_prob: 0.25,
+            seed: 42,
+        }
+    }
+}
+
+impl GenParams {
+    /// The `Rx.Ty.Fz` shorthand the paper names databases with.
+    pub fn name(&self) -> String {
+        format!(
+            "R{}.T{}.F{}",
+            self.num_relations, self.expected_tuples, self.expected_foreign_keys
+        )
+    }
+
+    /// A copy varying the number of relations (Fig. 9 sweeps).
+    pub fn with_relations(&self, r: usize) -> Self {
+        GenParams { num_relations: r, ..self.clone() }
+    }
+
+    /// A copy varying the expected tuples per relation (Fig. 10/11 sweeps).
+    pub fn with_tuples(&self, t: usize) -> Self {
+        GenParams { expected_tuples: t, ..self.clone() }
+    }
+
+    /// A copy varying the expected foreign keys per relation (Fig. 12 sweeps).
+    pub fn with_foreign_keys(&self, f: usize) -> Self {
+        GenParams { expected_foreign_keys: f, ..self.clone() }
+    }
+
+    /// Effective minimum foreign keys: `Fmin` clamped so `F=1` is honoured.
+    pub fn effective_min_fks(&self) -> usize {
+        self.min_foreign_keys.min(self.expected_foreign_keys).max(1)
+    }
+}
+
+/// Samples `max(minimum, round(Exp(mean)))` — Table 1's "obeys exponential
+/// distribution with expectation `mean` and is at least `minimum`".
+pub fn sample_exp_min(mean: usize, minimum: usize, rng: &mut impl Rng) -> usize {
+    if mean == 0 {
+        return minimum;
+    }
+    let exp = Exp::new(1.0 / mean as f64).expect("positive rate");
+    let x = exp.sample(rng).round() as usize;
+    x.max(minimum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn defaults_match_table1() {
+        let p = GenParams::default();
+        assert_eq!(p.min_tuples, 50);
+        assert_eq!(p.min_attributes, 2);
+        assert_eq!(p.expected_attributes, 5);
+        assert_eq!(p.min_values, 2);
+        assert_eq!(p.expected_values, 10);
+        assert_eq!(p.min_foreign_keys, 2);
+        assert_eq!(p.num_clauses, 10);
+        assert_eq!(p.min_literals, 2);
+        assert_eq!(p.max_literals, 6);
+        assert_eq!(p.active_literal_prob, 0.25);
+    }
+
+    #[test]
+    fn naming_scheme() {
+        let p = GenParams::default().with_relations(50).with_tuples(1000).with_foreign_keys(3);
+        assert_eq!(p.name(), "R50.T1000.F3");
+    }
+
+    #[test]
+    fn effective_min_fks_clamps_for_f1() {
+        let p = GenParams::default().with_foreign_keys(1);
+        assert_eq!(p.effective_min_fks(), 1);
+        assert_eq!(GenParams::default().effective_min_fks(), 2);
+    }
+
+    #[test]
+    fn exp_sampling_respects_minimum_and_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<usize> = (0..5000).map(|_| sample_exp_min(10, 2, &mut rng)).collect();
+        assert!(samples.iter().all(|&s| s >= 2));
+        let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
+        // Truncation pushes the mean slightly above 10.
+        assert!(mean > 8.0 && mean < 13.0, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_sampling_zero_mean_degenerates_to_min() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_exp_min(0, 3, &mut rng), 3);
+    }
+}

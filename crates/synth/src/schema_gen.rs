@@ -1,0 +1,168 @@
+//! Random schema generation (§7.1): `R` relations, one the target; per
+//! relation an exponential number of categorical attributes and foreign
+//! keys; the join graph is repaired to keep every relation reachable from
+//! the target (otherwise planted clauses could not touch it).
+
+use rand::Rng;
+
+use crossmine_relational::{
+    AttrType, Attribute, DatabaseSchema, JoinGraph, RelId, RelationSchema,
+};
+
+use crate::params::{sample_exp_min, GenParams};
+
+/// Generates a random schema per Table 1. Relation 0 (`R0`) is the target.
+pub fn generate_schema(params: &GenParams, rng: &mut impl Rng) -> DatabaseSchema {
+    assert!(params.num_relations >= 2, "need at least a target and one other relation");
+    // Decide per-relation attribute/fk counts first.
+    let mut rel_specs: Vec<(usize, Vec<usize>)> = Vec::new(); // (num fks, per-attr value counts)
+    for _ in 0..params.num_relations {
+        let num_attrs = sample_exp_min(params.expected_attributes, params.min_attributes, rng);
+        let values: Vec<usize> = (0..num_attrs)
+            .map(|_| sample_exp_min(params.expected_values, params.min_values, rng))
+            .collect();
+        let num_fks =
+            sample_exp_min(params.expected_foreign_keys, params.effective_min_fks(), rng);
+        rel_specs.push((num_fks, values));
+    }
+
+    // Random fk targets (any other relation).
+    let n = params.num_relations;
+    let mut fk_targets: Vec<Vec<usize>> = rel_specs
+        .iter()
+        .enumerate()
+        .map(|(i, (num_fks, _))| {
+            (0..*num_fks)
+                .map(|_| {
+                    let mut t = rng.gen_range(0..n - 1);
+                    if t >= i {
+                        t += 1; // skip self
+                    }
+                    t
+                })
+                .collect()
+        })
+        .collect();
+
+    // Connectivity repair: every relation must be reachable from the target
+    // in the (bidirectional) join graph. An fk in either direction connects,
+    // so wire each unreachable relation's first fk into the connected
+    // component.
+    loop {
+        let schema = build(&rel_specs, &fk_targets);
+        let graph = JoinGraph::build(&schema);
+        let reachable = graph.reachable_from(RelId(0));
+        if reachable.len() == n {
+            return schema;
+        }
+        let reachable_set: Vec<bool> = {
+            let mut v = vec![false; n];
+            for r in &reachable {
+                v[r.0] = true;
+            }
+            v
+        };
+        let unreachable = (0..n).find(|&i| !reachable_set[i]).expect("some unreachable");
+        let anchor = reachable[rng.gen_range(0..reachable.len())].0;
+        fk_targets[unreachable][0] = anchor;
+    }
+}
+
+fn build(rel_specs: &[(usize, Vec<usize>)], fk_targets: &[Vec<usize>]) -> DatabaseSchema {
+    let mut schema = DatabaseSchema::new();
+    for (i, (_, values)) in rel_specs.iter().enumerate() {
+        let mut rel = RelationSchema::new(format!("R{i}"));
+        rel.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).expect("fresh relation");
+        for (j, &card) in values.iter().enumerate() {
+            let mut a = Attribute::new(format!("a{j}"), AttrType::Categorical);
+            for v in 0..card {
+                a.intern(&format!("v{v}"));
+            }
+            rel.add_attribute(a).expect("unique attr names");
+        }
+        for (k, &t) in fk_targets[i].iter().enumerate() {
+            rel.add_attribute(Attribute::new(
+                format!("fk{k}"),
+                AttrType::ForeignKey { target: format!("R{t}") },
+            ))
+            .expect("unique fk names");
+        }
+        schema.add_relation(rel).expect("unique relation names");
+    }
+    schema.set_target(RelId(0));
+    schema
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schema_is_valid_and_connected() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let params = GenParams::default();
+            let schema = generate_schema(&params, &mut rng);
+            assert_eq!(schema.num_relations(), 20);
+            schema.validate().unwrap();
+            let graph = JoinGraph::build(&schema);
+            assert!(graph.is_connected_from(RelId(0)), "seed {seed} not connected");
+        }
+    }
+
+    #[test]
+    fn respects_minimums() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let params = GenParams::default();
+        let schema = generate_schema(&params, &mut rng);
+        for (_, rel) in schema.iter_relations() {
+            let cats = rel.iter_attrs().filter(|(_, a)| a.ty.is_categorical()).count();
+            assert!(cats >= params.min_attributes);
+            assert!(rel.foreign_keys().len() >= params.effective_min_fks());
+            assert!(rel.primary_key.is_some());
+            for (_, a) in rel.iter_attrs() {
+                if a.ty.is_categorical() {
+                    assert!(a.cardinality() >= params.min_values);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f1_schemas_have_single_fk_minimum() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = GenParams::default().with_foreign_keys(1);
+        let schema = generate_schema(&params, &mut rng);
+        let min_fks = schema
+            .iter_relations()
+            .map(|(_, r)| r.foreign_keys().len())
+            .min()
+            .unwrap();
+        assert!(min_fks >= 1);
+        assert!(JoinGraph::build(&schema).is_connected_from(RelId(0)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = GenParams::default();
+        let a = generate_schema(&params, &mut StdRng::seed_from_u64(5));
+        let b = generate_schema(&params, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.num_relations(), b.num_relations());
+        for (ra, rb) in a.relations.iter().zip(&b.relations) {
+            assert_eq!(ra.arity(), rb.arity());
+            for (aa, ab) in ra.attributes.iter().zip(&rb.attributes) {
+                assert_eq!(aa.ty, ab.ty);
+            }
+        }
+    }
+
+    #[test]
+    fn target_is_r0() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let schema = generate_schema(&GenParams::default(), &mut rng);
+        assert_eq!(schema.target().unwrap(), RelId(0));
+        assert_eq!(schema.relation(RelId(0)).name, "R0");
+    }
+}

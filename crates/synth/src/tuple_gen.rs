@@ -1,0 +1,233 @@
+//! Tuple generation (§7.1): every target tuple is generated *according to a
+//! randomly chosen planted clause* — supporting tuples are created in the
+//! non-target relations so the clause is satisfied — then non-target
+//! relations are padded to their expected sizes and all unset foreign keys
+//! are wired to random existing primary keys (referential integrity).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crossmine_relational::{
+    AttrId, AttrType, ClassLabel, Database, DatabaseSchema, JoinEdge, JoinKind, RelId, Row, Value,
+};
+
+use crate::clause_gen::PlantedClause;
+use crate::params::{sample_exp_min, GenParams};
+
+/// Populates a generated schema with `params.expected_tuples` target tuples
+/// planted from `clauses`, padded and integrity-fixed non-target relations.
+pub fn populate(
+    schema: DatabaseSchema,
+    clauses: &[PlantedClause],
+    params: &GenParams,
+    rng: &mut impl Rng,
+) -> Database {
+    assert!(!clauses.is_empty(), "need at least one planted clause");
+    let mut gen = Generator::new(schema);
+    let target = gen.db.target().expect("schema has target");
+
+    for _ in 0..params.expected_tuples {
+        let clause = &clauses[rng.gen_range(0..clauses.len())];
+        gen.plant_target_tuple(target, clause, rng);
+    }
+
+    // Pad non-target relations to their expected sizes.
+    for rel in 0..gen.db.schema.num_relations() {
+        let rel = RelId(rel);
+        if rel == target {
+            continue;
+        }
+        let want = sample_exp_min(params.expected_tuples, params.min_tuples, rng);
+        while gen.db.relation(rel).len() < want {
+            gen.create_row(rel, rng);
+        }
+    }
+
+    gen.fix_dangling_fks(rng);
+    gen.db
+}
+
+struct Generator {
+    db: Database,
+    next_pk: Vec<u64>,
+}
+
+impl Generator {
+    fn new(schema: DatabaseSchema) -> Self {
+        let n = schema.num_relations();
+        Generator {
+            db: Database::new(schema).expect("generated schema validates"),
+            next_pk: vec![1; n],
+        }
+    }
+
+    /// Creates a tuple in `rel` with a fresh primary key, random categorical
+    /// values, and null foreign keys (wired later).
+    fn create_row(&mut self, rel: RelId, rng: &mut impl Rng) -> Row {
+        let pk = self.next_pk[rel.0];
+        self.next_pk[rel.0] += 1;
+        let tuple: Vec<Value> = self
+            .db
+            .schema
+            .relation(rel)
+            .attributes
+            .iter()
+            .map(|a| match &a.ty {
+                AttrType::PrimaryKey => Value::Key(pk),
+                AttrType::ForeignKey { .. } => Value::Null,
+                AttrType::Categorical => {
+                    Value::Cat(rng.gen_range(0..a.cardinality()) as u32)
+                }
+                AttrType::Numerical => Value::Num(rng.gen_range(0.0..1000.0)),
+            })
+            .collect();
+        self.db.push_row_unchecked(rel, tuple)
+    }
+
+    /// Generates one target tuple satisfying `clause` and labels it.
+    fn plant_target_tuple(&mut self, target: RelId, clause: &PlantedClause, rng: &mut impl Rng) {
+        let row = self.create_row(target, rng);
+        self.db
+            .push_label(if clause.positive { ClassLabel::POS } else { ClassLabel::NEG });
+
+        let mut bindings: HashMap<RelId, Row> = HashMap::new();
+        bindings.insert(target, row);
+        let mut assigned_fk: HashMap<(RelId, AttrId), u64> = HashMap::new();
+        let mut created: HashMap<(RelId, u64), Row> = HashMap::new();
+
+        for lit in &clause.literals {
+            if let Some(edge) = &lit.join {
+                self.wire(edge, &mut bindings, &mut assigned_fk, &mut created, rng);
+            }
+            let bound = *bindings.get(&lit.rel).expect("constraint relation is bound");
+            self.db.set_value(lit.rel, bound, lit.attr, Value::Cat(lit.value));
+        }
+    }
+
+    /// Makes the binding of `edge.to` joinable with the binding of
+    /// `edge.from` across `edge`, creating supporting tuples as needed.
+    fn wire(
+        &mut self,
+        edge: &JoinEdge,
+        bindings: &mut HashMap<RelId, Row>,
+        assigned_fk: &mut HashMap<(RelId, AttrId), u64>,
+        created: &mut HashMap<(RelId, u64), Row>,
+        rng: &mut impl Rng,
+    ) {
+        let from_row = *bindings.get(&edge.from).expect("edge starts at a bound relation");
+        match edge.kind {
+            JoinKind::FkToPk => {
+                // from.fk must equal the pk of a tuple in `to`.
+                let key = (edge.from, edge.from_attr);
+                let to_row = match assigned_fk.get(&key) {
+                    Some(&k) => *created
+                        .get(&(edge.to, k))
+                        .expect("assigned fk value was created for its referenced relation"),
+                    None => {
+                        let row = self.create_row(edge.to, rng);
+                        let k = self.pk_of(edge.to, row);
+                        self.db.set_value(edge.from, from_row, edge.from_attr, Value::Key(k));
+                        assigned_fk.insert(key, k);
+                        created.insert((edge.to, k), row);
+                        row
+                    }
+                };
+                bindings.insert(edge.to, to_row);
+            }
+            JoinKind::PkToFk => {
+                // A new tuple in `to` whose fk points at from's pk.
+                let k = self.pk_of(edge.from, from_row);
+                let row = self.create_row(edge.to, rng);
+                self.db.set_value(edge.to, row, edge.to_attr, Value::Key(k));
+                assigned_fk.insert((edge.to, edge.to_attr), k);
+                bindings.insert(edge.to, row);
+            }
+            JoinKind::FkFk => {
+                // Both fks point to the pk of a shared relation S: give them
+                // the same value, creating the S tuple for integrity.
+                let s = self.fk_referenced_relation(edge.from, edge.from_attr);
+                let key = (edge.from, edge.from_attr);
+                let k = match assigned_fk.get(&key) {
+                    Some(&k) => k,
+                    None => {
+                        // When S is the target relation itself, reuse the
+                        // current target tuple rather than creating an
+                        // unlabeled one (the target has exactly T tuples).
+                        let s_row = match bindings.get(&s) {
+                            Some(&row) => row,
+                            None => self.create_row(s, rng),
+                        };
+                        let k = self.pk_of(s, s_row);
+                        created.insert((s, k), s_row);
+                        self.db.set_value(edge.from, from_row, edge.from_attr, Value::Key(k));
+                        assigned_fk.insert(key, k);
+                        k
+                    }
+                };
+                let row = self.create_row(edge.to, rng);
+                self.db.set_value(edge.to, row, edge.to_attr, Value::Key(k));
+                assigned_fk.insert((edge.to, edge.to_attr), k);
+                bindings.insert(edge.to, row);
+            }
+        }
+    }
+
+    fn pk_of(&self, rel: RelId, row: Row) -> u64 {
+        let pk = self.db.schema.relation(rel).primary_key.expect("generated relations have pks");
+        self.db
+            .relation(rel)
+            .value(row, pk)
+            .as_key()
+            .expect("primary keys are key values")
+    }
+
+    fn fk_referenced_relation(&self, rel: RelId, attr: AttrId) -> RelId {
+        match &self.db.schema.relation(rel).attr(attr).ty {
+            AttrType::ForeignKey { target } => {
+                self.db.schema.rel_id(target).expect("validated schema")
+            }
+            _ => unreachable!("fk-fk edge endpoints are foreign keys"),
+        }
+    }
+
+    /// Replaces every remaining null foreign key with a random primary key of
+    /// the referenced relation.
+    fn fix_dangling_fks(&mut self, rng: &mut impl Rng) {
+        for rel in 0..self.db.schema.num_relations() {
+            let rel = RelId(rel);
+            let fks: Vec<(AttrId, RelId)> = self
+                .db
+                .schema
+                .relation(rel)
+                .iter_attrs()
+                .filter_map(|(aid, a)| match &a.ty {
+                    AttrType::ForeignKey { target } => {
+                        Some((aid, self.db.schema.rel_id(target).expect("validated")))
+                    }
+                    _ => None,
+                })
+                .collect();
+            for (aid, referenced) in fks {
+                let ref_pk_attr =
+                    self.db.schema.relation(referenced).primary_key.expect("pk exists");
+                let ref_len = self.db.relation(referenced).len();
+                debug_assert!(ref_len > 0, "padding guarantees non-empty relations");
+                let nulls: Vec<Row> = self
+                    .db
+                    .relation(rel)
+                    .column(aid)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.is_null())
+                    .map(|(i, _)| Row(i as u32))
+                    .collect();
+                for row in nulls {
+                    let pick = Row(rng.gen_range(0..ref_len) as u32);
+                    let k = self.db.relation(referenced).value(pick, ref_pk_attr);
+                    self.db.set_value(rel, row, aid, k);
+                }
+            }
+        }
+    }
+}

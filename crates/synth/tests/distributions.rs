@@ -1,0 +1,140 @@
+//! Statistical tests of the Table 1 generator: the realized databases must
+//! track the configured expectations, not just satisfy structural
+//! invariants.
+
+use crossmine_relational::ClassLabel;
+use crossmine_synth::{generate, generate_with_clauses, GenParams};
+
+#[test]
+fn non_target_relation_sizes_track_expectation() {
+    // Mean over relations and seeds should be near T (exponential with
+    // expectation T, truncated at Tmin pushes it slightly high).
+    let t = 300usize;
+    let mut sizes = Vec::new();
+    for seed in 0..6 {
+        let params = GenParams {
+            num_relations: 12,
+            expected_tuples: t,
+            min_tuples: 20,
+            seed,
+            ..Default::default()
+        };
+        let db = generate(&params);
+        let target = db.target().unwrap();
+        for (rid, _) in db.schema.iter_relations() {
+            if rid != target {
+                sizes.push(db.relation(rid).len());
+            }
+        }
+    }
+    let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+    assert!(
+        (0.6 * t as f64..1.9 * t as f64).contains(&mean),
+        "mean non-target size {mean:.0} should be near T={t}"
+    );
+    // Exponential spread: some relations well below and well above T.
+    assert!(sizes.iter().any(|&s| s < t / 2), "exponential left tail missing");
+    assert!(sizes.iter().any(|&s| s > 2 * t), "exponential right tail missing");
+}
+
+#[test]
+fn clause_lengths_span_the_configured_range() {
+    let mut lengths = Vec::new();
+    for seed in 0..10 {
+        let params = GenParams {
+            num_relations: 10,
+            expected_tuples: 60,
+            min_tuples: 20,
+            seed,
+            ..Default::default()
+        };
+        let (_, clauses) = generate_with_clauses(&params);
+        lengths.extend(clauses.iter().map(|c| c.literals.len()));
+    }
+    let min = *lengths.iter().min().unwrap();
+    let max = *lengths.iter().max().unwrap();
+    assert!(min >= 1);
+    assert!(max <= 6, "Lmax = 6");
+    assert!(max >= 4, "across 100 clauses some should be long, max {max}");
+    let mean = lengths.iter().sum::<usize>() as f64 / lengths.len() as f64;
+    assert!((2.0..5.5).contains(&mean), "mean clause length {mean:.2}");
+}
+
+#[test]
+fn class_balance_within_twenty_percent_across_seeds() {
+    // "the number of positive clauses and that of negative clauses differ
+    // by at most 20%" — the tuple-level balance inherits this roughly.
+    for seed in 0..8 {
+        let params = GenParams {
+            num_relations: 8,
+            expected_tuples: 400,
+            seed,
+            ..Default::default()
+        };
+        let db = generate(&params);
+        let pos = db.labels().iter().filter(|&&l| l == ClassLabel::POS).count();
+        let frac = pos as f64 / db.num_targets() as f64;
+        assert!(
+            (0.25..=0.75).contains(&frac),
+            "seed {seed}: positive fraction {frac:.2} wildly unbalanced"
+        );
+    }
+}
+
+#[test]
+fn active_literal_probability_shapes_clauses() {
+    // With fA = 1.0 every literal falls on an already-active relation: the
+    // target (and anything reached — nothing, since no joins happen), so
+    // all literals are local to the target relation.
+    let params = GenParams {
+        num_relations: 8,
+        expected_tuples: 50,
+        min_tuples: 20,
+        active_literal_prob: 1.0,
+        seed: 4,
+        ..Default::default()
+    };
+    let (db, clauses) = generate_with_clauses(&params);
+    let target = db.target().unwrap();
+    for c in &clauses {
+        for lit in &c.literals {
+            assert!(lit.join.is_none(), "fA=1.0 must produce only local literals");
+            assert_eq!(lit.rel, target);
+        }
+    }
+    // With fA = 0.0 the first literal of every clause must involve a join.
+    let params = GenParams { active_literal_prob: 0.0, ..params };
+    let (_, clauses) = generate_with_clauses(&params);
+    for c in &clauses {
+        assert!(
+            c.literals.first().map(|l| l.join.is_some()).unwrap_or(true),
+            "fA=0.0: first literal should propagate"
+        );
+    }
+}
+
+#[test]
+fn foreign_key_count_tracks_f() {
+    for f in [1usize, 3, 5] {
+        let params = GenParams {
+            num_relations: 15,
+            expected_tuples: 60,
+            min_tuples: 20,
+            expected_foreign_keys: f,
+            seed: 2,
+            ..Default::default()
+        };
+        let db = generate(&params);
+        let total_fks: usize = db
+            .schema
+            .iter_relations()
+            .map(|(_, r)| r.foreign_keys().len())
+            .sum();
+        let mean = total_fks as f64 / db.schema.num_relations() as f64;
+        assert!(
+            mean >= params.effective_min_fks() as f64,
+            "F={f}: mean fks {mean:.2} below minimum"
+        );
+        assert!(mean < (f as f64 + 3.0) * 1.8, "F={f}: mean fks {mean:.2} too high");
+    }
+}

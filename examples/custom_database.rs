@@ -1,0 +1,115 @@
+//! Bring your own data: build a multi-relational database programmatically
+//! (a tiny university: students, courses, enrollments), save it to CSV,
+//! reload it, and classify with CrossMine — the workflow a downstream user
+//! follows with their own relational data.
+//!
+//! Run with: `cargo run --example custom_database`
+
+use crossmine::relational::csv;
+use crossmine::{
+    AttrType, Attribute, ClassLabel, CrossMine, Database, DatabaseSchema, RelationSchema, Row,
+    Value,
+};
+
+fn main() {
+    // Schema: Student (target: will they pass the qualifier?),
+    // Enrollment (student <-> course), Course.
+    let mut schema = DatabaseSchema::new();
+
+    let mut student = RelationSchema::new("Student");
+    student.add_attribute(Attribute::new("student_id", AttrType::PrimaryKey)).unwrap();
+    student.add_attribute(Attribute::new("admission_score", AttrType::Numerical)).unwrap();
+
+    let mut course = RelationSchema::new("Course");
+    course.add_attribute(Attribute::new("course_id", AttrType::PrimaryKey)).unwrap();
+    let mut level = Attribute::new("level", AttrType::Categorical);
+    let intro = level.intern("intro");
+    let grad = level.intern("graduate");
+    course.add_attribute(level).unwrap();
+
+    let mut enrollment = RelationSchema::new("Enrollment");
+    enrollment.add_attribute(Attribute::new("enroll_id", AttrType::PrimaryKey)).unwrap();
+    enrollment
+        .add_attribute(Attribute::new(
+            "student_id",
+            AttrType::ForeignKey { target: "Student".into() },
+        ))
+        .unwrap();
+    enrollment
+        .add_attribute(Attribute::new(
+            "course_id",
+            AttrType::ForeignKey { target: "Course".into() },
+        ))
+        .unwrap();
+    enrollment.add_attribute(Attribute::new("grade", AttrType::Numerical)).unwrap();
+
+    let student_rel = schema.add_relation(student).unwrap();
+    let course_rel = schema.add_relation(course).unwrap();
+    let enroll_rel = schema.add_relation(enrollment).unwrap();
+    schema.set_target(student_rel);
+
+    let mut db = Database::new(schema).unwrap();
+
+    // Ten courses: 0-4 intro, 5-9 graduate.
+    for c in 0..10u64 {
+        let lv = if c < 5 { intro } else { grad };
+        db.push_row(course_rel, vec![Value::Key(c), Value::Cat(lv)]).unwrap();
+    }
+
+    // Students pass iff their average grade in *graduate* courses >= 3.0 —
+    // a pattern only reachable via Enrollment ⋈ Course.
+    let mut enroll_id = 0u64;
+    for s in 0..90u64 {
+        let strong = s % 3 != 0; // 2/3 pass
+        db.push_row(student_rel, vec![Value::Key(s), Value::Num(50.0 + (s % 7) as f64)])
+            .unwrap();
+        db.push_label(if strong { ClassLabel::POS } else { ClassLabel::NEG });
+        for c in [1u64, 4, 5 + s % 3, 8] {
+            enroll_id += 1;
+            let grad_course = c >= 5;
+            let grade = match (strong, grad_course) {
+                (true, true) => 3.4 + ((s + c) % 5) as f64 * 0.1,
+                (false, true) => 2.0 + ((s + c) % 5) as f64 * 0.1,
+                (_, false) => 2.8 + ((s * c) % 10) as f64 * 0.12,
+            };
+            db.push_row(
+                enroll_rel,
+                vec![Value::Key(enroll_id), Value::Key(s), Value::Key(c), Value::Num(grade)],
+            )
+            .unwrap();
+        }
+    }
+
+    // Persist and reload — the CSV round trip a user's pipeline would do.
+    let dir = std::env::temp_dir().join("crossmine-university");
+    csv::save_dir(&db, &dir).expect("save database");
+    let db = csv::load_dir(&dir).expect("reload database");
+    println!("saved + reloaded database at {}", dir.display());
+    println!(
+        "{} students, {} enrollments, {} courses",
+        db.num_targets(),
+        db.relation(db.schema.rel_id("Enrollment").unwrap()).len(),
+        db.relation(db.schema.rel_id("Course").unwrap()).len()
+    );
+
+    // Train/test split.
+    let target = db.target().expect("target");
+    let rows: Vec<Row> = db.relation(target).iter_rows().collect();
+    let (train, test): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 3 != 2);
+    let model = CrossMine::default().fit(&db, &train);
+
+    println!("\nlearned rules:");
+    for clause in &model.clauses {
+        println!("  {}", clause.display(&db.schema));
+    }
+
+    let preds = model.predict(&db, &test);
+    let correct = preds.iter().zip(&test).filter(|(p, r)| **p == db.label(**r)).count();
+    println!(
+        "\nholdout accuracy: {}/{} = {:.1}%",
+        correct,
+        test.len(),
+        100.0 * correct as f64 / test.len() as f64
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,72 @@
+//! The §9 future-work hybrid: CrossMine learns multi-relational clauses,
+//! then a logistic regression reweighs them as binary features — combining
+//! rule interpretability with calibrated probabilities.
+//!
+//! Run with: `cargo run --release --example hybrid_classifier`
+
+use crossmine::core::features::{propositionalize, CrossMineHybrid};
+use crossmine::core::metrics::ConfusionMatrix;
+use crossmine::{cross_validate, CrossMine, FinancialConfig, Row};
+
+fn main() {
+    let db = crossmine::generate_financial(&FinancialConfig::default());
+    println!(
+        "financial database: {} loans ({} tuples total)\n",
+        db.num_targets(),
+        db.total_tuples()
+    );
+
+    // Train the hybrid on 2/3, inspect the reweighted clauses.
+    let rows: Vec<Row> = db
+        .relation(db.target().expect("target"))
+        .iter_rows()
+        .collect();
+    let (train, test): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 3 != 0);
+    let hybrid = CrossMineHybrid::default();
+    let model = hybrid.fit(&db, &train);
+
+    println!("clause features and their logistic weights:");
+    let mut ranked: Vec<(usize, f64)> = model
+        .head
+        .weights
+        .iter()
+        .copied()
+        .enumerate()
+        .collect();
+    ranked.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+    for (idx, w) in ranked.iter().take(6) {
+        println!("  {w:+.2}  {}", model.clauses.clauses[*idx].display(&db.schema));
+    }
+    println!("  bias {:+.2}", model.head.bias);
+
+    // Calibrated probabilities on the holdout.
+    let probs = model.predict_proba(&db, &test);
+    let preds = model.predict(&db, &test);
+    let matrix = ConfusionMatrix::from_predictions(&db, &test, &preds);
+    println!("\nholdout confusion matrix (hybrid):\n{}", matrix.report());
+    let riskiest = test
+        .iter()
+        .zip(&probs)
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .expect("non-empty test");
+    println!(
+        "riskiest holdout loan: row {} with P(repaid) = {:.2}",
+        riskiest.0 .0, riskiest.1
+    );
+
+    // Head-to-head with the plain decision list, same folds.
+    println!("\n5-fold comparison:");
+    let plain = cross_validate(&CrossMine::default(), &db, 5, 1, 5);
+    let hyb = cross_validate(&hybrid, &db, 5, 1, 5);
+    println!("  CrossMine decision list: {:.1}%", 100.0 * plain.mean_accuracy());
+    println!("  CrossMine + logistic   : {:.1}%", 100.0 * hyb.mean_accuracy());
+
+    // The feature matrix itself, for users who want to feed a different
+    // downstream learner.
+    let x = propositionalize(&model.clauses, &db, &test);
+    println!(
+        "\npropositionalized holdout: {} rows x {} clause features",
+        x.len(),
+        x.first().map(Vec::len).unwrap_or(0)
+    );
+}

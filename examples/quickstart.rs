@@ -1,0 +1,102 @@
+//! Quickstart: build a tiny multi-relational database by hand — the Loan /
+//! Account example of the paper's Figure 2 — train CrossMine on it, and
+//! inspect the learned clauses.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use crossmine::{
+    AttrType, Attribute, ClassLabel, CrossMine, Database, DatabaseSchema, RelationSchema, Row,
+    Value,
+};
+
+fn main() {
+    // 1. Schema: Loan (target) -- account_id --> Account.
+    let mut schema = DatabaseSchema::new();
+
+    let mut loan = RelationSchema::new("Loan");
+    loan.add_attribute(Attribute::new("loan_id", AttrType::PrimaryKey)).unwrap();
+    loan.add_attribute(Attribute::new(
+        "account_id",
+        AttrType::ForeignKey { target: "Account".into() },
+    ))
+    .unwrap();
+    loan.add_attribute(Attribute::new("amount", AttrType::Numerical)).unwrap();
+    loan.add_attribute(Attribute::new("duration", AttrType::Numerical)).unwrap();
+
+    let mut account = RelationSchema::new("Account");
+    account.add_attribute(Attribute::new("account_id", AttrType::PrimaryKey)).unwrap();
+    let mut frequency = Attribute::new("frequency", AttrType::Categorical);
+    let monthly = frequency.intern("monthly");
+    let weekly = frequency.intern("weekly");
+    account.add_attribute(frequency).unwrap();
+
+    let loan_rel = schema.add_relation(loan).unwrap();
+    let account_rel = schema.add_relation(account).unwrap();
+    schema.set_target(loan_rel);
+
+    // 2. Data: the five loans and four accounts of Fig. 2, repeated with
+    //    variation so the learner has enough support.
+    let mut db = Database::new(schema).unwrap();
+    let mut loan_id = 0u64;
+    for copy in 0..12u64 {
+        let base_account = copy * 10;
+        for (acct_off, amount, duration, positive) in [
+            (0u64, 1000.0, 12.0, true),
+            (0, 4000.0, 12.0, true),
+            (1, 10000.0, 24.0, false),
+            (2, 2000.0, 24.0, true),
+            (3, 12000.0, 36.0, false),
+        ] {
+            loan_id += 1;
+            db.push_row(
+                loan_rel,
+                vec![
+                    Value::Key(loan_id),
+                    Value::Key(base_account + acct_off),
+                    Value::Num(amount),
+                    Value::Num(duration),
+                ],
+            )
+            .unwrap();
+            db.push_label(if positive { ClassLabel::POS } else { ClassLabel::NEG });
+        }
+        for (acct_off, freq_val) in [(0u64, monthly), (1, weekly), (2, monthly), (3, weekly)] {
+            db.push_row(
+                account_rel,
+                vec![Value::Key(base_account + acct_off), Value::Cat(freq_val)],
+            )
+            .unwrap();
+        }
+    }
+    println!(
+        "database: {} loans ({} relations, {} tuples total)",
+        db.num_targets(),
+        db.schema.num_relations(),
+        db.total_tuples()
+    );
+
+    // 3. Train on the first 2/3, predict the rest.
+    let rows: Vec<Row> = db.relation(loan_rel).iter_rows().collect();
+    let split = rows.len() * 2 / 3;
+    let (train, test) = rows.split_at(split);
+
+    let model = CrossMine::default().fit(&db, train);
+    println!("\nlearned {} clauses:", model.num_clauses());
+    for clause in &model.clauses {
+        println!(
+            "  {}   (support {}+ / {:.1}-, est. accuracy {:.2})",
+            clause.display(&db.schema),
+            clause.sup_pos,
+            clause.sup_neg,
+            clause.accuracy
+        );
+    }
+
+    let predictions = model.predict(&db, test);
+    let correct = predictions
+        .iter()
+        .zip(test)
+        .filter(|(pred, row)| **pred == db.label(**row))
+        .count();
+    println!("\nholdout accuracy: {}/{} = {:.1}%", correct, test.len(), 100.0 * correct as f64 / test.len() as f64);
+}

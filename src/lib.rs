@@ -1,0 +1,62 @@
+//! # CrossMine
+//!
+//! A complete Rust reproduction of **"CrossMine: Efficient Classification
+//! Across Multiple Database Relations"** (Xiaoxin Yin, Jiawei Han, Jiong
+//! Yang, Philip S. Yu — ICDE 2004).
+//!
+//! CrossMine is a rule-based classifier for data spread across multiple
+//! relations linked by primary/foreign keys. Its core idea is **tuple-ID
+//! propagation**: instead of physically joining relations to evaluate
+//! candidate rule literals (what FOIL and TILDE do), it propagates the IDs
+//! of the target tuples — and with them their class labels — along join
+//! edges, so literals anywhere in the schema can be scored from the
+//! propagated IDs alone.
+//!
+//! ## Crates
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`relational`] | in-memory multi-relational database substrate |
+//! | [`core`] | the CrossMine classifier |
+//! | [`synth`] | the §7.1 synthetic `Rx.Ty.Fz` database generator |
+//! | [`datasets`] | simulated PKDD financial + Mutagenesis benchmarks |
+//! | [`baselines`] | FOIL, TILDE, and label propagation |
+//! | [`storage`] | disk-resident columnar storage + buffer pool (paper §8) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use crossmine::{CrossMine, cross_validate, generate, GenParams};
+//!
+//! // A synthetic multi-relational database with planted clauses.
+//! let db = generate(&GenParams {
+//!     num_relations: 6,
+//!     expected_tuples: 120,
+//!     ..Default::default()
+//! });
+//!
+//! // 10-fold cross-validation of CrossMine with the paper's parameters.
+//! let result = cross_validate(&CrossMine::default(), &db, 10, 42, 10);
+//! assert!(result.mean_accuracy() > 0.5);
+//! ```
+
+pub use crossmine_baselines as baselines;
+pub use crossmine_core as core;
+pub use crossmine_datasets as datasets;
+pub use crossmine_relational as relational;
+pub use crossmine_storage as storage;
+pub use crossmine_synth as synth;
+
+pub use crossmine_baselines::{Foil, FoilParams, Tilde, TildeParams};
+pub use crossmine_core::{
+    cross_validate, Clause, CrossMine, CrossMineModel, CrossMineParams, CvResult,
+    RelationalClassifier,
+};
+pub use crossmine_datasets::{
+    generate_financial, generate_mutagenesis, FinancialConfig, MutagenesisConfig,
+};
+pub use crossmine_relational::{
+    AttrId, AttrType, Attribute, ClassLabel, Database, DatabaseSchema, JoinGraph, RelId,
+    RelationSchema, Row, Value,
+};
+pub use crossmine_synth::{generate, GenParams};

@@ -1,0 +1,297 @@
+//! The `crossmine` command-line tool: train, predict, evaluate and inspect
+//! multi-relational classifiers over CSV-directory databases, and generate
+//! the benchmark databases.
+//!
+//! ```text
+//! crossmine generate <dir> [--relations N] [--tuples N] [--fks N] [--seed N]
+//! crossmine demo <financial|mutagenesis> <dir>
+//! crossmine stats <dir>
+//! crossmine graph <dir>                       # join graph as Graphviz DOT
+//! crossmine train <dir> --model <file> [--sampling] [--min-gain X] [--prune F]
+//! crossmine predict <dir> --model <file>
+//! crossmine cv <dir> [--folds K] [--sampling] [--seed N]
+//! ```
+//!
+//! A "CSV-directory database" is the format of
+//! [`crossmine::relational::csv`]: one `<relation>.csv` per relation plus
+//! `_meta.csv` naming the target relation (see `cargo run --example
+//! custom_database` for producing one).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use crossmine::core::pruning::{fit_with_pruning, PruneConfig};
+use crossmine::core::{explain, model_io};
+use crossmine::relational::{csv, display, stats};
+use crossmine::{
+    cross_validate, CrossMine, CrossMineParams, FinancialConfig, GenParams, MutagenesisConfig,
+    Row,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  crossmine generate <dir> [--relations N] [--tuples N] [--fks N] [--seed N]
+  crossmine demo <financial|mutagenesis> <dir>
+  crossmine stats <dir>
+  crossmine graph <dir>
+  crossmine train <dir> --model <file> [--sampling] [--min-gain X] [--max-length N] [--prune FRACTION]
+  crossmine predict <dir> --model <file>
+  crossmine cv <dir> [--folds K] [--sampling] [--seed N]";
+
+/// Parses `--key value` flags after the positional arguments.
+fn parse_flags(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(key) = a.strip_prefix("--") {
+            // Boolean flags take no value.
+            if key == "sampling" {
+                flags.insert(key, "true");
+            } else {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.insert(key, v.as_str());
+            }
+        } else {
+            positional.push(a);
+        }
+        i += 1;
+    }
+    Ok((positional, flags))
+}
+
+fn parse_num<T: std::str::FromStr>(flags: &HashMap<&str, &str>, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+    }
+}
+
+fn params_from_flags(flags: &HashMap<&str, &str>) -> Result<CrossMineParams, String> {
+    let mut p = if flags.contains_key("sampling") {
+        CrossMineParams::with_sampling()
+    } else {
+        CrossMineParams::default()
+    };
+    p.min_foil_gain = parse_num(flags, "min-gain", p.min_foil_gain)?;
+    p.max_clause_length = parse_num(flags, "max-length", p.max_clause_length)?;
+    p.seed = parse_num(flags, "seed", p.seed)?;
+    Ok(p)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let Some((&command, rest)) = positional.split_first() else {
+        return Err("no command given".into());
+    };
+    match command {
+        "generate" => {
+            let dir = rest.first().ok_or("generate needs a directory")?;
+            let params = GenParams {
+                num_relations: parse_num(&flags, "relations", 10)?,
+                expected_tuples: parse_num(&flags, "tuples", 500)?,
+                expected_foreign_keys: parse_num(&flags, "fks", 2)?,
+                seed: parse_num(&flags, "seed", 42)?,
+                ..Default::default()
+            };
+            let db = crossmine::generate(&params);
+            csv::save_dir(&db, dir).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} ({} relations, {} tuples, {} targets) to {dir}",
+                params.name(),
+                db.schema.num_relations(),
+                db.total_tuples(),
+                db.num_targets()
+            );
+            Ok(())
+        }
+        "demo" => {
+            let which = rest.first().ok_or("demo needs a dataset name")?;
+            let dir = rest.get(1).ok_or("demo needs a directory")?;
+            let db = match *which {
+                "financial" => crossmine::generate_financial(&FinancialConfig::default()),
+                "mutagenesis" => {
+                    crossmine::generate_mutagenesis(&MutagenesisConfig::default())
+                }
+                other => return Err(format!("unknown demo dataset `{other}`")),
+            };
+            csv::save_dir(&db, dir).map_err(|e| e.to_string())?;
+            println!("wrote {which} ({} tuples) to {dir}", db.total_tuples());
+            Ok(())
+        }
+        "stats" => {
+            let dir = rest.first().ok_or("stats needs a directory")?;
+            let db = csv::load_dir(dir).map_err(|e| e.to_string())?;
+            print!("{}", display::schema_text(&db.schema));
+            println!();
+            print!("{}", stats::report(&db));
+            Ok(())
+        }
+        "graph" => {
+            let dir = rest.first().ok_or("graph needs a directory")?;
+            let db = csv::load_dir(dir).map_err(|e| e.to_string())?;
+            let graph = crossmine::JoinGraph::build(&db.schema);
+            print!("{}", display::join_graph_dot(&db.schema, &graph));
+            Ok(())
+        }
+        "train" => {
+            let dir = rest.first().ok_or("train needs a directory")?;
+            let model_path = flags.get("model").ok_or("train needs --model <file>")?;
+            let db = csv::load_dir(dir).map_err(|e| e.to_string())?;
+            let rows: Vec<Row> = db
+                .relation(db.target().map_err(|e| e.to_string())?)
+                .iter_rows()
+                .collect();
+            let params = params_from_flags(&flags)?;
+            let prune_fraction: f64 = parse_num(&flags, "prune", 0.0)?;
+            let model = if prune_fraction > 0.0 {
+                fit_with_pruning(
+                    &CrossMine::new(params),
+                    &db,
+                    &rows,
+                    prune_fraction,
+                    &PruneConfig::default(),
+                )
+            } else {
+                CrossMine::new(params).fit(&db, &rows)
+            };
+            model_io::save(&model, &db.schema, model_path).map_err(|e| e.to_string())?;
+            println!("{}", explain::report(&model, &db, &rows));
+            println!("saved {} clauses to {model_path}", model.num_clauses());
+            Ok(())
+        }
+        "predict" => {
+            let dir = rest.first().ok_or("predict needs a directory")?;
+            let model_path = flags.get("model").ok_or("predict needs --model <file>")?;
+            let db = csv::load_dir(dir).map_err(|e| e.to_string())?;
+            let model = model_io::load(model_path, &db.schema).map_err(|e| e.to_string())?;
+            let rows: Vec<Row> = db
+                .relation(db.target().map_err(|e| e.to_string())?)
+                .iter_rows()
+                .collect();
+            let preds = model.predict(&db, &rows);
+            for (r, p) in rows.iter().zip(&preds) {
+                println!("{} {}", r.0, p);
+            }
+            if db.labels().len() == rows.len() {
+                let matrix =
+                    crossmine::core::metrics::ConfusionMatrix::from_predictions(&db, &rows, &preds);
+                eprintln!("{}", matrix.report());
+            }
+            Ok(())
+        }
+        "cv" => {
+            let dir = rest.first().ok_or("cv needs a directory")?;
+            let db = csv::load_dir(dir).map_err(|e| e.to_string())?;
+            let folds: usize = parse_num(&flags, "folds", 10)?;
+            let seed: u64 = parse_num(&flags, "seed", 1)?;
+            let params = params_from_flags(&flags)?;
+            let result = cross_validate(&CrossMine::new(params), &db, folds, seed, folds);
+            println!(
+                "{}-fold accuracy: {:.2}% (folds: {})",
+                folds,
+                100.0 * result.mean_accuracy(),
+                result
+                    .fold_accuracies
+                    .iter()
+                    .map(|a| format!("{:.2}", a))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            println!("avg fold time: {:?}", result.mean_time());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp(tag: &str) -> String {
+        let d = std::env::temp_dir().join(format!("crossmine-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parse_flags_splits_positional_and_flags() {
+        let args = strs(&["train", "/tmp/db", "--model", "m.txt", "--sampling", "--min-gain", "1.5"]);
+        let (pos, flags) = parse_flags(&args).unwrap();
+        assert_eq!(pos, vec!["train", "/tmp/db"]);
+        assert_eq!(flags.get("model"), Some(&"m.txt"));
+        assert_eq!(flags.get("sampling"), Some(&"true"));
+        assert_eq!(flags.get("min-gain"), Some(&"1.5"));
+    }
+
+    #[test]
+    fn parse_flags_rejects_missing_value() {
+        let args = strs(&["cv", "--folds"]);
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn params_from_flags_applies_overrides() {
+        let args = strs(&["cv", "--sampling", "--min-gain", "3.0", "--max-length", "4"]);
+        let (_, flags) = parse_flags(&args).unwrap();
+        let p = params_from_flags(&flags).unwrap();
+        assert!(p.sampling);
+        assert_eq!(p.min_foil_gain, 3.0);
+        assert_eq!(p.max_clause_length, 4);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&strs(&["frobnicate"])).is_err());
+        assert!(run(&strs(&[])).is_err());
+    }
+
+    #[test]
+    fn generate_stats_train_predict_cv_pipeline() {
+        let dir = tmp("pipeline");
+        run(&strs(&["generate", &dir, "--relations", "5", "--tuples", "80", "--seed", "7"]))
+            .unwrap();
+        run(&strs(&["stats", &dir])).unwrap();
+        run(&strs(&["graph", &dir])).unwrap();
+        let model_path = format!("{dir}/model.txt");
+        run(&strs(&["train", &dir, "--model", &model_path])).unwrap();
+        run(&strs(&["train", &dir, "--model", &model_path, "--prune", "0.25"])).unwrap();
+        run(&strs(&["predict", &dir, "--model", &model_path])).unwrap();
+        run(&strs(&["cv", &dir, "--folds", "3", "--sampling"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn demo_writes_mutagenesis() {
+        let dir = tmp("demo");
+        run(&strs(&["demo", "mutagenesis", &dir])).unwrap();
+        let db = csv::load_dir(&dir).unwrap();
+        assert_eq!(db.num_targets(), 188);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn demo_unknown_dataset_errors() {
+        assert!(run(&strs(&["demo", "nope", "/tmp/x"])).is_err());
+    }
+}

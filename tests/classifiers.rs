@@ -1,0 +1,220 @@
+//! Cross-crate classifier integration tests: CrossMine, FOIL and TILDE on
+//! the same databases, through the shared [`RelationalClassifier`] trait.
+
+use std::time::Duration;
+
+use crossmine::{
+    cross_validate, AttrType, Attribute, ClassLabel, CrossMine, CrossMineParams, Database,
+    DatabaseSchema, Foil, FoilParams, GenParams, MutagenesisConfig, RelationalClassifier,
+    RelationSchema, Row, Tilde, TildeParams, Value,
+};
+
+/// A two-relation, perfectly separable database: the class is decided by a
+/// categorical attribute one join away.
+fn separable_db(n: u64) -> Database {
+    let mut schema = DatabaseSchema::new();
+    let mut t = RelationSchema::new("T");
+    t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+    let mut s = RelationSchema::new("S");
+    s.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+    s.add_attribute(Attribute::new("t_id", AttrType::ForeignKey { target: "T".into() }))
+        .unwrap();
+    let mut d = Attribute::new("d", AttrType::Categorical);
+    d.intern("x");
+    d.intern("y");
+    s.add_attribute(d).unwrap();
+    let tid = schema.add_relation(t).unwrap();
+    let sid = schema.add_relation(s).unwrap();
+    schema.set_target(tid);
+    let mut db = Database::new(schema).unwrap();
+    for i in 0..n {
+        let pos = i % 2 == 0;
+        db.push_row(tid, vec![Value::Key(i)]).unwrap();
+        db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
+        db.push_row(sid, vec![Value::Key(i), Value::Key(i), Value::Cat(pos as u32)]).unwrap();
+    }
+    db
+}
+
+#[test]
+fn all_three_classifiers_solve_separable_data() {
+    let db = separable_db(60);
+    let classifiers: Vec<(&str, Box<dyn RelationalClassifier>)> = vec![
+        ("crossmine", Box::new(CrossMine::default())),
+        ("foil", Box::new(Foil::default())),
+        ("tilde", Box::new(Tilde::default())),
+    ];
+    for (name, clf) in classifiers {
+        let result = cross_validate(&clf, &db, 5, 3, 5);
+        assert!(
+            (result.mean_accuracy() - 1.0).abs() < 1e-12,
+            "{name} should be perfect on separable data, got {:.3}",
+            result.mean_accuracy()
+        );
+    }
+}
+
+#[test]
+fn crossmine_beats_baselines_on_deep_pattern() {
+    // Pattern two joins from the target through an attribute-free link
+    // relation: only look-one-ahead (CrossMine) finds it in one literal;
+    // greedy FOIL has no gain signal at the intermediate hop.
+    let mut schema = DatabaseSchema::new();
+    let mut t = RelationSchema::new("T");
+    t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+    let mut link = RelationSchema::new("Link");
+    link.add_attribute(Attribute::new("t_id", AttrType::ForeignKey { target: "T".into() }))
+        .unwrap();
+    link.add_attribute(Attribute::new("u_id", AttrType::ForeignKey { target: "U".into() }))
+        .unwrap();
+    let mut u = RelationSchema::new("U");
+    u.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+    let mut c = Attribute::new("c", AttrType::Categorical);
+    c.intern("p");
+    c.intern("q");
+    u.add_attribute(c).unwrap();
+    let tid = schema.add_relation(t).unwrap();
+    let lid = schema.add_relation(link).unwrap();
+    let uid = schema.add_relation(u).unwrap();
+    schema.set_target(tid);
+    let mut db = Database::new(schema).unwrap();
+    for i in 0..80u64 {
+        let pos = i % 2 == 0;
+        db.push_row(tid, vec![Value::Key(i)]).unwrap();
+        db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
+        db.push_row(uid, vec![Value::Key(i), Value::Cat(pos as u32)]).unwrap();
+        db.push_row_unchecked(lid, vec![Value::Key(i), Value::Key(i)]);
+    }
+    let cm = cross_validate(&CrossMine::default(), &db, 5, 3, 5);
+    assert!(
+        (cm.mean_accuracy() - 1.0).abs() < 1e-12,
+        "CrossMine must solve the deep pattern, got {:.3}",
+        cm.mean_accuracy()
+    );
+    // FOIL *can* also get there because its untyped-key space joins Link
+    // then U — but only by two greedy steps with no gain at the first; its
+    // accuracy is at chance unless it stumbles. Just require CrossMine >=.
+    let foil = cross_validate(
+        &Foil::new(FoilParams { timeout: Some(Duration::from_secs(60)), ..Default::default() }),
+        &db,
+        5,
+        3,
+        2,
+    );
+    assert!(cm.mean_accuracy() >= foil.mean_accuracy());
+}
+
+#[test]
+fn timeouts_do_not_break_predictions() {
+    let db = separable_db(40);
+    for clf in [
+        Box::new(Foil::new(FoilParams {
+            timeout: Some(Duration::ZERO),
+            ..Default::default()
+        })) as Box<dyn RelationalClassifier>,
+        Box::new(Tilde::new(TildeParams {
+            timeout: Some(Duration::ZERO),
+            ..Default::default()
+        })),
+    ] {
+        let result = cross_validate(&clf, &db, 5, 3, 1);
+        // A timed-out model degenerates to the default class (50% here).
+        assert!(result.mean_accuracy() >= 0.4);
+    }
+}
+
+#[test]
+fn mutagenesis_relative_order_matches_table3() {
+    // Paper Table 3: CrossMine 89.3, TILDE 89.4, FOIL 79.7 — CrossMine and
+    // TILDE comparable, FOIL behind. Require the weak form: CrossMine
+    // within a few points of TILDE, both >= FOIL - small slack.
+    let db = crossmine::generate_mutagenesis(&MutagenesisConfig::default());
+    let cm = cross_validate(&CrossMine::default(), &db, 10, 1, 5).mean_accuracy();
+    let timeout = Some(Duration::from_secs(300));
+    let foil = cross_validate(
+        &Foil::new(FoilParams { timeout, ..Default::default() }),
+        &db,
+        10,
+        1,
+        3,
+    )
+    .mean_accuracy();
+    let tilde = cross_validate(
+        &Tilde::new(TildeParams { timeout, ..Default::default() }),
+        &db,
+        10,
+        1,
+        3,
+    )
+    .mean_accuracy();
+    assert!(cm > 0.8, "CrossMine mutagenesis accuracy {cm:.3}");
+    assert!(cm + 0.08 >= tilde, "CrossMine {cm:.3} vs TILDE {tilde:.3}");
+    assert!(cm + 0.05 >= foil, "CrossMine {cm:.3} vs FOIL {foil:.3}");
+}
+
+#[test]
+fn sampling_faster_than_full_on_imbalanced_synthetic() {
+    // With many negatives per positive, §6 sampling must not be slower and
+    // must stay within a few accuracy points.
+    let params = GenParams {
+        num_relations: 8,
+        expected_tuples: 400,
+        seed: 9,
+        ..Default::default()
+    };
+    let db = crossmine::generate(&params);
+    let full = cross_validate(&CrossMine::default(), &db, 10, 1, 2);
+    let sampled = cross_validate(
+        &CrossMine::new(CrossMineParams::with_sampling()),
+        &db,
+        10,
+        1,
+        2,
+    );
+    assert!(
+        sampled.mean_time() <= full.mean_time().mul_f64(1.5),
+        "sampling should not slow things down: {:?} vs {:?}",
+        sampled.mean_time(),
+        full.mean_time()
+    );
+    assert!(sampled.mean_accuracy() > full.mean_accuracy() - 0.15);
+}
+
+#[test]
+fn fit_is_deterministic() {
+    let params = GenParams {
+        num_relations: 6,
+        expected_tuples: 120,
+        min_tuples: 30,
+        seed: 4,
+        ..Default::default()
+    };
+    let db = crossmine::generate(&params);
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+    let m1 = CrossMine::default().fit(&db, &rows);
+    let m2 = CrossMine::default().fit(&db, &rows);
+    assert_eq!(m1.num_clauses(), m2.num_clauses());
+    for (a, b) in m1.clauses.iter().zip(&m2.clauses) {
+        assert_eq!(a.display(&db.schema), b.display(&db.schema));
+        assert_eq!(a.sup_pos, b.sup_pos);
+    }
+    let p1 = m1.predict(&db, &rows);
+    let p2 = m2.predict(&db, &rows);
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn hybrid_is_competitive_with_plain_crossmine() {
+    // §9 future work: CrossMine clauses + logistic head. On the financial
+    // data the reweighted clauses should be within a few points of the
+    // decision-list model (often slightly better on imbalanced data).
+    use crossmine::core::features::CrossMineHybrid;
+    let db = crossmine::generate_financial(&crossmine::FinancialConfig::small());
+    let plain = cross_validate(&CrossMine::default(), &db, 5, 3, 5).mean_accuracy();
+    let hybrid = cross_validate(&CrossMineHybrid::default(), &db, 5, 3, 5).mean_accuracy();
+    assert!(
+        hybrid > plain - 0.06,
+        "hybrid {hybrid:.3} should be within 6 points of plain {plain:.3}"
+    );
+    assert!(hybrid > 0.7, "hybrid accuracy {hybrid:.3} unreasonably low");
+}

@@ -1,0 +1,108 @@
+//! Full model lifecycle across crates: train → prune → save → load →
+//! predict, with the CSV database round-tripped in between — the exact path
+//! the `crossmine` CLI drives, exercised as a library workflow.
+
+use crossmine::core::model_io;
+use crossmine::core::pruning::{fit_with_pruning, PruneConfig};
+use crossmine::relational::csv;
+use crossmine::{CrossMine, FinancialConfig, Row};
+
+#[test]
+fn train_prune_save_load_predict() {
+    let db = crossmine::generate_financial(&FinancialConfig::small());
+
+    // Round-trip the database itself.
+    let dir = std::env::temp_dir()
+        .join(format!("crossmine-lifecycle-{}", std::process::id()));
+    csv::save_dir(&db, &dir).unwrap();
+    let db = csv::load_dir(&dir).unwrap();
+
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+    let (holdout, train): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 5 == 0);
+
+    // Train with pruning.
+    let pruned = fit_with_pruning(
+        &CrossMine::default(),
+        &db,
+        &train,
+        0.25,
+        &PruneConfig::default(),
+    );
+    assert!(pruned.num_clauses() > 0);
+
+    // Save + reload the model.
+    let model_path = dir.join("model.txt");
+    model_io::save(&pruned, &db.schema, &model_path).unwrap();
+    let reloaded = model_io::load(&model_path, &db.schema).unwrap();
+
+    // Reloaded model predicts identically and respectably.
+    let a = pruned.predict(&db, &holdout);
+    let b = reloaded.predict(&db, &holdout);
+    assert_eq!(a, b, "save/load must not change predictions");
+    let acc = crossmine::core::eval::accuracy(&db, &holdout, &b);
+    assert!(acc > 0.7, "lifecycle accuracy {acc:.3}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pruned_model_not_larger_than_original() {
+    let db = crossmine::generate_financial(&FinancialConfig::small());
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+    let (validation, train): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 4 == 0);
+    let model = CrossMine::default().fit(&db, &train);
+    let pruned =
+        crossmine::core::pruning::prune(&model, &db, &validation, &PruneConfig::default());
+    assert!(pruned.num_clauses() <= model.num_clauses());
+    let orig_literals: usize = model.clauses.iter().map(|c| c.len()).sum();
+    let pruned_literals: usize = pruned.clauses.iter().map(|c| c.len()).sum();
+    assert!(pruned_literals <= orig_literals);
+}
+
+#[test]
+fn multiclass_model_roundtrips() {
+    use crossmine::{AttrType, Attribute, ClassLabel, Database, DatabaseSchema, RelationSchema, Value};
+    let mut schema = DatabaseSchema::new();
+    let mut t = RelationSchema::new("T");
+    t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+    let mut c = Attribute::new("c", AttrType::Categorical);
+    for v in ["a", "b", "c"] {
+        c.intern(v);
+    }
+    t.add_attribute(c).unwrap();
+    let tid = schema.add_relation(t).unwrap();
+    schema.set_target(tid);
+    let mut db = Database::new(schema).unwrap();
+    for i in 0..90u64 {
+        let class = (i % 3) as u32;
+        db.push_row(tid, vec![Value::Key(i), Value::Cat(class)]).unwrap();
+        db.push_label(ClassLabel(class));
+    }
+    let rows: Vec<Row> = db.relation(tid).iter_rows().collect();
+    let model = CrossMine::default().fit(&db, &rows);
+    assert_eq!(model.classes.len(), 3);
+
+    let text = model_io::to_string(&model, &db.schema);
+    let reloaded = model_io::from_str(&text, &db.schema).unwrap();
+    assert_eq!(reloaded.classes, model.classes);
+    assert_eq!(model.predict(&db, &rows), reloaded.predict(&db, &rows));
+}
+
+#[test]
+fn baseline_predictions_are_deterministic() {
+    use crossmine::{Foil, Tilde};
+    let db = crossmine::generate(&crossmine::GenParams {
+        num_relations: 5,
+        expected_tuples: 80,
+        min_tuples: 25,
+        seed: 6,
+        ..Default::default()
+    });
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+    let f1 = Foil::default().fit(&db, &rows);
+    let f2 = Foil::default().fit(&db, &rows);
+    assert_eq!(f1.predict(&db, &rows), f2.predict(&db, &rows));
+    let t1 = Tilde::default().fit(&db, &rows);
+    let t2 = Tilde::default().fit(&db, &rows);
+    assert_eq!(t1.predict(&db, &rows), t2.predict(&db, &rows));
+}

@@ -1,0 +1,202 @@
+//! Cross-crate oracle tests: tuple-ID propagation (the paper's central
+//! claim, Lemmas 1–2) must agree exactly with physically-joined evaluation
+//! on arbitrary generated databases. The oracle re-evaluates every learned
+//! clause with binding tables (`crossmine::relational::physical`), a code
+//! path completely independent of the propagation machinery.
+
+use crossmine::core::idset::{Stamp, TargetSet};
+use crossmine::core::literal::{ComplexLiteral, ConstraintKind};
+use crossmine::core::propagation::ClauseState;
+use crossmine::relational::physical::BindingTable;
+use crossmine::{ClassLabel, CrossMine, Database, GenParams, RelId, Row, Value};
+
+/// Naive oracle: the targets among `rows` satisfying `clause`, computed by
+/// replaying each literal's prop-path with physical joins per target.
+fn oracle_satisfiers(db: &Database, literals: &[ComplexLiteral], rows: &[Row]) -> Vec<Row> {
+    let target = db.target().unwrap();
+    rows.iter()
+        .copied()
+        .filter(|&row| {
+            // Evaluate the literal sequence for a single target, maintaining
+            // one binding table per active relation (the most recent one).
+            let mut tables: Vec<Option<BindingTable>> =
+                vec![None; db.schema.num_relations()];
+            tables[target.0] = Some(BindingTable::from_targets(target, [row]));
+            for lit in literals {
+                // Follow the prop path with physical joins.
+                let mut table = match lit.path.first() {
+                    Some(e) => {
+                        let src = tables[e.from.0].as_ref().expect("source active");
+                        // Join from the most recent binding of the source.
+                        let mut t = src.join(db, slot_of_last(src, e.from), e);
+                        for e2 in &lit.path[1..] {
+                            let s = slot_of_last(&t, e2.from);
+                            t = t.join(db, s, e2);
+                        }
+                        t
+                    }
+                    None => tables[lit.constraint.rel.0].clone().expect("local literal"),
+                };
+                // Apply the constraint.
+                let rel = lit.constraint.rel;
+                let slot = slot_of_last(&table, rel);
+                let store = db.relation(rel);
+                match &lit.constraint.kind {
+                    ConstraintKind::CatEq { attr, value } => {
+                        table =
+                            table.filter(slot, |r| store.value(r, *attr) == Value::Cat(*value));
+                    }
+                    ConstraintKind::Num { attr, op, threshold } => {
+                        table = table.filter(slot, |r| {
+                            matches!(store.value(r, *attr), Value::Num(x) if op.test(x, *threshold))
+                        });
+                    }
+                    ConstraintKind::Agg { agg, attr, op, threshold } => {
+                        // Aggregate over the distinct tuples of `rel`
+                        // joinable with this target.
+                        let mut seen: Vec<Row> =
+                            (0..table.len()).map(|i| table.row(i, slot)).collect();
+                        seen.sort();
+                        seen.dedup();
+                        let mut count = 0u32;
+                        let mut num_count = 0u32;
+                        let mut sum = 0.0;
+                        for r in &seen {
+                            count += 1;
+                            if let Some(a) = attr {
+                                if let Value::Num(x) = store.value(*r, *a) {
+                                    num_count += 1;
+                                    sum += x;
+                                }
+                            }
+                        }
+                        let value = match agg {
+                            crossmine::core::literal::AggOp::Count => {
+                                (count > 0).then_some(count as f64)
+                            }
+                            crossmine::core::literal::AggOp::Sum => {
+                                (num_count > 0).then_some(sum)
+                            }
+                            crossmine::core::literal::AggOp::Avg => {
+                                (num_count > 0).then_some(sum / num_count as f64)
+                            }
+                        };
+                        let pass = value.map(|v| op.test(v, *threshold)).unwrap_or(false);
+                        if !pass {
+                            return false;
+                        }
+                        // Aggregation keeps the rows (per-target predicate);
+                        // table unchanged.
+                    }
+                }
+                if table.is_empty() {
+                    return false;
+                }
+                tables[rel.0] = Some(table);
+            }
+            true
+        })
+        .collect()
+}
+
+/// The slot of the most recent binding of `rel` in `table`.
+fn slot_of_last(table: &BindingTable, rel: RelId) -> usize {
+    *table.slots_of(rel).last().expect("relation must be bound")
+}
+
+/// Evaluates `literals` via tuple-ID propagation.
+fn propagation_satisfiers(db: &Database, literals: &[ComplexLiteral], rows: &[Row]) -> Vec<Row> {
+    let dummy = vec![false; db.num_targets()];
+    let mut stamp = Stamp::new(db.num_targets());
+    let initial = TargetSet::from_rows(&dummy, rows.iter().copied());
+    let mut state = ClauseState::new(db, &dummy, initial);
+    for lit in literals {
+        state.apply_literal(lit, &mut stamp);
+    }
+    state.targets.iter().collect()
+}
+
+/// Learn clauses on a generated database and check every one against the
+/// oracle. Covers categorical, numerical and aggregation literals with
+/// 0-, 1- and 2-edge prop-paths as the learner produces them.
+fn check_seed(seed: u64, num_relations: usize, tuples: usize) {
+    let params = GenParams {
+        num_relations,
+        expected_tuples: tuples,
+        min_tuples: tuples / 3,
+        seed,
+        ..Default::default()
+    };
+    let db = crossmine::generate(&params);
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+    let model = CrossMine::default().fit(&db, &rows);
+    assert!(
+        !model.clauses.is_empty(),
+        "seed {seed}: planted data should produce at least one clause"
+    );
+    for clause in &model.clauses {
+        let via_prop = propagation_satisfiers(&db, &clause.literals, &rows);
+        let via_oracle = oracle_satisfiers(&db, &clause.literals, &rows);
+        assert_eq!(
+            via_prop,
+            via_oracle,
+            "seed {seed}: propagation and physical-join oracle disagree on {}",
+            clause.display(&db.schema)
+        );
+    }
+}
+
+#[test]
+fn propagation_equals_oracle_across_seeds() {
+    for seed in 0..8 {
+        check_seed(seed, 5, 90);
+    }
+}
+
+#[test]
+fn propagation_equals_oracle_larger_schema() {
+    for seed in [11, 23] {
+        check_seed(seed, 12, 120);
+    }
+}
+
+#[test]
+fn propagation_equals_oracle_on_financial() {
+    let db = crossmine::generate_financial(&crossmine::FinancialConfig::small());
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+    let model = CrossMine::default().fit(&db, &rows);
+    for clause in &model.clauses {
+        let via_prop = propagation_satisfiers(&db, &clause.literals, &rows);
+        let via_oracle = oracle_satisfiers(&db, &clause.literals, &rows);
+        assert_eq!(via_prop, via_oracle, "financial: {}", clause.display(&db.schema));
+    }
+}
+
+#[test]
+fn clause_support_matches_propagation_on_training_set() {
+    // The sup_pos recorded at training time must equal re-evaluating the
+    // clause on the full training set and counting positives... for the
+    // FIRST clause only (later clauses were built after covered positives
+    // were removed, so their recorded support is w.r.t. the remainder).
+    let params =
+        GenParams { num_relations: 6, expected_tuples: 100, min_tuples: 30, seed: 5, ..Default::default() };
+    let db = crossmine::generate(&params);
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+    let model = CrossMine::default().fit(&db, &rows);
+    // Find the first clause built for each class: it saw the full set.
+    for class in [ClassLabel::POS, ClassLabel::NEG] {
+        // Clauses are sorted by accuracy; rebuild insertion order is lost.
+        // Instead check an invariant that holds for every clause: recorded
+        // support never exceeds total coverage on the full set.
+        for clause in model.clauses.iter().filter(|c| c.label == class) {
+            let covered = propagation_satisfiers(&db, &clause.literals, &rows);
+            let covered_pos =
+                covered.iter().filter(|r| db.label(**r) == clause.label).count();
+            assert!(
+                clause.sup_pos <= covered_pos,
+                "recorded support {} exceeds full-set coverage {covered_pos}",
+                clause.sup_pos
+            );
+        }
+    }
+}
