@@ -391,9 +391,7 @@ pub fn positivity(db: &Database, label: ClassLabel) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossmine_relational::{
-        AttrType, Attribute, DatabaseSchema, JoinGraph, RelationSchema,
-    };
+    use crossmine_relational::{AttrType, Attribute, DatabaseSchema, JoinGraph, RelationSchema};
 
     /// Fig. 2 Loan/Account with frequency deciding the class imperfectly.
     fn fig2() -> Database {
@@ -451,7 +449,16 @@ mod tests {
         let is_pos = positivity(&db, ClassLabel::POS);
         let mut stamp = Stamp::new(5);
         let table = BindingTable::from_targets(loan, db.relation(loan).iter_rows());
-        let best = best_candidate(&db, &graph, CandidateSpace::SchemaJoins, &table, &is_pos, &mut stamp, || true).unwrap();
+        let best = best_candidate(
+            &db,
+            &graph,
+            CandidateSpace::SchemaJoins,
+            &table,
+            &is_pos,
+            &mut stamp,
+            || true,
+        )
+        .unwrap();
         assert_eq!((best.pos, best.neg), (3, 0));
         match best.candidate.test {
             TestKind::Num { op: CmpOp::Le, threshold, .. } => assert_eq!(threshold, 4000.0),
@@ -472,7 +479,16 @@ mod tests {
         let is_pos = positivity(&db, ClassLabel::POS);
         let mut stamp = Stamp::new(5);
         let table = BindingTable::from_targets(loan, db.relation(loan).iter_rows());
-        let best = best_candidate(&db, &graph, CandidateSpace::SchemaJoins, &table, &is_pos, &mut stamp, || true).unwrap();
+        let best = best_candidate(
+            &db,
+            &graph,
+            CandidateSpace::SchemaJoins,
+            &table,
+            &is_pos,
+            &mut stamp,
+            || true,
+        )
+        .unwrap();
         // frequency = monthly: 3 pos, 1 neg via the Loan⋈Account join.
         assert!(best.candidate.join.is_some());
         assert_eq!((best.pos, best.neg), (3, 1));
@@ -486,7 +502,16 @@ mod tests {
         let is_pos = positivity(&db, ClassLabel::POS);
         let mut stamp = Stamp::new(5);
         let table = BindingTable::from_targets(loan, db.relation(loan).iter_rows());
-        let best = best_candidate(&db, &graph, CandidateSpace::SchemaJoins, &table, &is_pos, &mut stamp, || true).unwrap();
+        let best = best_candidate(
+            &db,
+            &graph,
+            CandidateSpace::SchemaJoins,
+            &table,
+            &is_pos,
+            &mut stamp,
+            || true,
+        )
+        .unwrap();
         let applied = apply_candidate(&db, &table, &best.candidate);
         assert_eq!(table_class_counts(&applied, &is_pos, &mut stamp), (3, 0));
     }
@@ -500,7 +525,15 @@ mod tests {
         let mut stamp = Stamp::new(5);
         let table = BindingTable::from_targets(loan, db.relation(loan).iter_rows());
         // Budget that expires immediately: nothing explored.
-        let res = best_candidate(&db, &graph, CandidateSpace::SchemaJoins, &table, &is_pos, &mut stamp, || false);
+        let res = best_candidate(
+            &db,
+            &graph,
+            CandidateSpace::SchemaJoins,
+            &table,
+            &is_pos,
+            &mut stamp,
+            || false,
+        );
         assert!(res.is_none());
     }
 }
@@ -529,18 +562,27 @@ mod space_tests {
         let target = db.target().unwrap();
         let rows: Vec<Row> = db.relation(target).iter_rows().collect();
         let table = BindingTable::from_targets(target, rows.iter().copied());
-        let is_pos: Vec<bool> = db
-            .labels()
-            .iter()
-            .map(|&l| l == crossmine_relational::ClassLabel::POS)
-            .collect();
+        let is_pos: Vec<bool> =
+            db.labels().iter().map(|&l| l == crossmine_relational::ClassLabel::POS).collect();
         let mut stamp = crossmine_core::idset::Stamp::new(db.num_targets());
 
         let schema_cands = all_candidates(
-            &db, &graph, CandidateSpace::SchemaJoins, &table, &is_pos, &mut stamp, || true,
+            &db,
+            &graph,
+            CandidateSpace::SchemaJoins,
+            &table,
+            &is_pos,
+            &mut stamp,
+            || true,
         );
         let untyped_cands = all_candidates(
-            &db, &graph, CandidateSpace::UntypedKeys, &table, &is_pos, &mut stamp, || true,
+            &db,
+            &graph,
+            CandidateSpace::UntypedKeys,
+            &table,
+            &is_pos,
+            &mut stamp,
+            || true,
         );
         assert!(
             untyped_cands.len() >= schema_cands.len(),
@@ -551,13 +593,10 @@ mod space_tests {
 
         // Both spaces still learn the planted structure.
         for space in [CandidateSpace::SchemaJoins, CandidateSpace::UntypedKeys] {
-            let foil = crate::foil::Foil::new(crate::foil::FoilParams {
-                space,
-                ..Default::default()
-            });
+            let foil =
+                crate::foil::Foil::new(crate::foil::FoilParams { space, ..Default::default() });
             let preds = foil.train_predict(&db, &rows, &rows);
-            let correct =
-                preds.iter().zip(&rows).filter(|(p, r)| **p == db.label(**r)).count();
+            let correct = preds.iter().zip(&rows).filter(|(p, r)| **p == db.label(**r)).count();
             assert!(
                 correct as f64 / rows.len() as f64 > 0.6,
                 "{space:?}: training-set accuracy too low"

@@ -11,13 +11,10 @@ use std::time::{Duration, Instant};
 
 use crossmine_core::gain::laplace_accuracy;
 use crossmine_core::idset::Stamp;
-use crossmine_relational::{
-    BindingTable, ClassLabel, Database, JoinGraph, Row,
-};
+use crossmine_relational::{BindingTable, ClassLabel, Database, JoinGraph, Row};
 
 use crate::common::{
-    apply_candidate, best_candidate, positivity, table_class_counts, Candidate,
-    CandidateSpace,
+    apply_candidate, best_candidate, positivity, table_class_counts, Candidate, CandidateSpace,
 };
 
 /// FOIL hyper-parameters, aligned with CrossMine's for comparability.
@@ -243,9 +240,7 @@ impl crossmine_core::RelationalClassifier for Foil {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossmine_relational::{
-        AttrType, Attribute, DatabaseSchema, RelationSchema, Value,
-    };
+    use crossmine_relational::{AttrType, Attribute, DatabaseSchema, RelationSchema, Value};
 
     fn simple_db(n: u64) -> Database {
         let mut schema = DatabaseSchema::new();
@@ -270,11 +265,9 @@ mod tests {
         for i in 0..n {
             // class determined by the S relation's attribute, one join away.
             let pos = i % 2 == 0;
-            db.push_row(tid, vec![Value::Key(i), Value::Cat(0)])
-                .unwrap();
+            db.push_row(tid, vec![Value::Key(i), Value::Cat(0)]).unwrap();
             db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
-            db.push_row(sid, vec![Value::Key(i), Value::Key(i), Value::Cat(pos as u32)])
-                .unwrap();
+            db.push_row(sid, vec![Value::Key(i), Value::Key(i), Value::Cat(pos as u32)]).unwrap();
         }
         db
     }

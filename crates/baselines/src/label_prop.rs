@@ -60,11 +60,7 @@ impl LabelAnnotation {
 
 /// Propagates label counts across `edge` (summing counts of all joinable
 /// tuples — the double-counting across 1-to-n joins is the point).
-pub fn propagate_labels(
-    db: &Database,
-    from: &LabelAnnotation,
-    edge: &JoinEdge,
-) -> LabelAnnotation {
+pub fn propagate_labels(db: &Database, from: &LabelAnnotation, edge: &JoinEdge) -> LabelAnnotation {
     let from_rel = db.relation(edge.from);
     let to_len = db.relation(edge.to).len();
     let index = db.key_index(edge.to, edge.to_attr);
@@ -92,8 +88,7 @@ mod tests {
     use crossmine_core::idset::{Stamp, TargetSet};
     use crossmine_core::propagation::{propagate, ClauseState};
     use crossmine_relational::{
-        AttrId, AttrType, Attribute, ClassLabel, DatabaseSchema, JoinGraph, RelId,
-        RelationSchema,
+        AttrId, AttrType, Attribute, ClassLabel, DatabaseSchema, JoinGraph, RelId, RelationSchema,
     };
 
     /// The §4.3 counter-example: 10 loans (5+/5−); nine join one account
@@ -127,8 +122,7 @@ mod tests {
         let mut acc_id = 0u64;
         // 4 positive (1..4) and 5 negative loans with one account each.
         for loan_id in 1..10u64 {
-            db.push_row(a, vec![Value::Key(acc_id), Value::Key(loan_id), Value::Cat(0)])
-                .unwrap();
+            db.push_row(a, vec![Value::Key(acc_id), Value::Key(loan_id), Value::Cat(0)]).unwrap();
             acc_id += 1;
         }
         // Loan 0 joins 10 accounts.
@@ -215,9 +209,7 @@ mod tests {
         let account = db.schema.rel_id("Account").unwrap();
         let rel = db.relation(account);
         // Only the 9 single-loan accounts (rows 0..9 have loan 1..9).
-        let counts = prop.literal_counts(|r| {
-            rel.value(r, AttrId(1)).as_key().unwrap() != 0
-        });
+        let counts = prop.literal_counts(|r| rel.value(r, AttrId(1)).as_key().unwrap() != 0);
         assert_eq!(counts.pos, 4.0);
         assert_eq!(counts.neg, 5.0);
         let _ = RelId(0);

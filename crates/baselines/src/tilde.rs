@@ -126,8 +126,7 @@ impl Tilde {
         classes.sort();
         classes.dedup();
         let pos_class = classes.last().copied().unwrap_or(ClassLabel::POS);
-        let neg_class =
-            classes.iter().rev().nth(1).copied().unwrap_or(ClassLabel::NEG);
+        let neg_class = classes.iter().rev().nth(1).copied().unwrap_or(ClassLabel::NEG);
         let is_pos = positivity(db, pos_class);
 
         let start = Instant::now();
@@ -203,8 +202,7 @@ impl Tilde {
             let h = ((py + ny) as f64 / total) * entropy(py, ny)
                 + ((pn + nn) as f64 / total) * entropy(pn, nn);
             let gain = parent_h - h;
-            if gain > self.params.min_gain
-                && best.as_ref().map(|(_, g)| gain > *g).unwrap_or(true)
+            if gain > self.params.min_gain && best.as_ref().map(|(_, g)| gain > *g).unwrap_or(true)
             {
                 best = Some((cand.candidate, gain));
             }
@@ -221,11 +219,27 @@ impl Tilde {
         let no_table = table.retain_targets(|r| !yes_targets.contains(&r.0));
 
         let yes = self.grow(
-            db, graph, yes_table, is_pos, pos_class, neg_class, depth + 1, stamp, deadline,
+            db,
+            graph,
+            yes_table,
+            is_pos,
+            pos_class,
+            neg_class,
+            depth + 1,
+            stamp,
+            deadline,
             timed_out,
         );
         let no = self.grow(
-            db, graph, no_table, is_pos, pos_class, neg_class, depth + 1, stamp, deadline,
+            db,
+            graph,
+            no_table,
+            is_pos,
+            pos_class,
+            neg_class,
+            depth + 1,
+            stamp,
+            deadline,
             timed_out,
         );
         Node::Split { refinement, yes: Box::new(yes), no: Box::new(no) }
@@ -289,9 +303,7 @@ impl crossmine_core::RelationalClassifier for Tilde {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossmine_relational::{
-        AttrType, Attribute, DatabaseSchema, RelationSchema, Value,
-    };
+    use crossmine_relational::{AttrType, Attribute, DatabaseSchema, RelationSchema, Value};
 
     /// Class decided by an attribute one join away (S.d).
     fn one_join_db(n: u64) -> Database {
@@ -318,8 +330,7 @@ mod tests {
             let pos = i % 2 == 0;
             db.push_row(tid, vec![Value::Key(i), Value::Cat(0)]).unwrap();
             db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
-            db.push_row(sid, vec![Value::Key(i), Value::Key(i), Value::Cat(pos as u32)])
-                .unwrap();
+            db.push_row(sid, vec![Value::Key(i), Value::Key(i), Value::Cat(pos as u32)]).unwrap();
         }
         db
     }

@@ -29,14 +29,8 @@ fn bench_learner_ablations(c: &mut Criterion) {
 
     let variants: Vec<(&str, CrossMineParams)> = vec![
         ("full", CrossMineParams::default()),
-        (
-            "no_look_one_ahead",
-            CrossMineParams { look_one_ahead: false, ..Default::default() },
-        ),
-        (
-            "no_aggregation",
-            CrossMineParams { aggregation_literals: false, ..Default::default() },
-        ),
+        ("no_look_one_ahead", CrossMineParams { look_one_ahead: false, ..Default::default() }),
+        ("no_aggregation", CrossMineParams { aggregation_literals: false, ..Default::default() }),
         ("no_fanout_limit", CrossMineParams { max_fanout: None, ..Default::default() }),
         ("with_sampling", CrossMineParams::with_sampling()),
     ];

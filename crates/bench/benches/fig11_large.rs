@@ -14,12 +14,8 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_large");
     group.sample_size(10).measurement_time(Duration::from_secs(4));
     for t in [500usize, 2000, 8000] {
-        let params = GenParams {
-            num_relations: 10,
-            expected_tuples: t,
-            seed: 1,
-            ..Default::default()
-        };
+        let params =
+            GenParams { num_relations: 10, expected_tuples: t, seed: 1, ..Default::default() };
         let db = generate(&params);
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
         group.throughput(criterion::Throughput::Elements(db.total_tuples() as u64));

@@ -7,7 +7,8 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use crossmine_core::idset::{Stamp, TargetSet};
-use crossmine_core::propagation::ClauseState;
+use crossmine_core::learner::{ClauseLearner, SearchScratch};
+use crossmine_core::propagation::{propagate, ClauseState, PropagationScratch};
 use crossmine_core::search::best_constraint_in;
 use crossmine_core::CrossMineParams;
 use crossmine_relational::{BindingTable, ClassLabel, Database, JoinEdge, JoinGraph};
@@ -25,10 +26,7 @@ fn test_db(tuples: usize) -> Database {
 
 fn target_edge(db: &Database, graph: &JoinGraph) -> JoinEdge {
     let target = db.target().unwrap();
-    *graph
-        .edges_from(target)
-        .next()
-        .expect("target has at least one join edge")
+    *graph.edges_from(target).next().expect("target has at least one join edge")
 }
 
 fn bench_propagation(c: &mut Criterion) {
@@ -39,8 +37,7 @@ fn bench_propagation(c: &mut Criterion) {
         db.build_all_indexes();
         let graph = JoinGraph::build(&db.schema);
         let edge = target_edge(&db, &graph);
-        let is_pos: Vec<bool> =
-            db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
+        let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
         let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
         group.bench_with_input(BenchmarkId::new("one_edge", tuples), &tuples, |b, _| {
             b.iter(|| std::hint::black_box(state.propagate_edge(&edge)));
@@ -74,8 +71,7 @@ fn bench_literal_search(c: &mut Criterion) {
         db.build_all_indexes();
         let graph = JoinGraph::build(&db.schema);
         let edge = target_edge(&db, &graph);
-        let is_pos: Vec<bool> =
-            db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
+        let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
         let targets = TargetSet::all(&is_pos);
         let state = ClauseState::new(&db, &is_pos, targets.clone());
         let ann = state.propagate_edge(&edge);
@@ -143,12 +139,68 @@ fn bench_disk_vs_memory_propagation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full Find-Best-Literal calls across worker counts on an R20.T500-class
+/// database — the headline scaling number for the parallel search.
+fn bench_threads_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threads_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let db = generate(&GenParams {
+        num_relations: 20,
+        expected_tuples: 500,
+        min_tuples: 125,
+        seed: 3,
+        ..Default::default()
+    });
+    db.build_all_indexes();
+    let graph = JoinGraph::build(&db.schema);
+    let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
+    for threads in [1usize, 2, 4, 8] {
+        let params = CrossMineParams { num_threads: Some(threads), ..Default::default() };
+        let learner = ClauseLearner::new(&db, &graph, &params, ClassLabel::POS, 2);
+        let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
+        group.bench_with_input(BenchmarkId::new("find_best_literal", threads), &threads, |b, _| {
+            let mut scratch = SearchScratch::for_params(&db, &params);
+            b.iter(|| std::hint::black_box(learner.find_best_literal(&state, &mut scratch)));
+        });
+    }
+    group.finish();
+}
+
+/// Reused CSR scratch vs the allocating wrapper: the scratch path must not
+/// grow the heap per call once its buffers reach steady state.
+fn bench_propagation_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation_alloc");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for tuples in [1000usize, 5000] {
+        let db = test_db(tuples);
+        db.build_all_indexes();
+        let graph = JoinGraph::build(&db.schema);
+        let edge = target_edge(&db, &graph);
+        let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
+        let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
+        let ann = state.annotation(edge.from).unwrap().clone();
+        group.bench_with_input(BenchmarkId::new("allocating", tuples), &tuples, |b, _| {
+            b.iter(|| std::hint::black_box(propagate(&db, &ann, &edge)));
+        });
+        group.bench_with_input(BenchmarkId::new("scratch_reuse", tuples), &tuples, |b, _| {
+            let mut scratch = PropagationScratch::new();
+            b.iter(|| {
+                scratch.propagate_from(&db, ann.view(), &edge);
+                std::hint::black_box(scratch.view().total_ids())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_propagation,
     bench_gain,
     bench_literal_search,
     bench_joins,
-    bench_disk_vs_memory_propagation
+    bench_disk_vs_memory_propagation,
+    bench_threads_scaling,
+    bench_propagation_alloc
 );
 criterion_main!(benches);

@@ -10,7 +10,9 @@
 
 use std::time::Duration;
 
-use crossmine_bench::{ablations, fig10, fig11, fig12, fig9, render, table2, table3, HarnessConfig};
+use crossmine_bench::{
+    ablations, fig10, fig11, fig12, fig9, render, table2, table3, HarnessConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,8 +42,9 @@ fn main() {
                     .iter()
                     .map(|s| s.to_string()),
             ),
-            name @ ("fig9" | "fig10" | "fig11" | "fig12" | "table2" | "table3"
-            | "ablations") => experiments.push(name.to_string()),
+            name @ ("fig9" | "fig10" | "fig11" | "fig12" | "table2" | "table3" | "ablations") => {
+                experiments.push(name.to_string())
+            }
             other => usage(&format!("unknown argument {other:?}")),
         }
         i += 1;
@@ -61,10 +64,9 @@ fn main() {
             "fig9" => {
                 ("Figure 9: runtime & accuracy vs number of relations (Rx.T*.F2)", fig9(&config))
             }
-            "fig10" => (
-                "Figure 10: runtime & accuracy vs tuples per relation (R20.Tx.F2)",
-                fig10(&config),
-            ),
+            "fig10" => {
+                ("Figure 10: runtime & accuracy vs tuples per relation (R20.Tx.F2)", fig10(&config))
+            }
             "fig11" => {
                 ("Figure 11: CrossMine+sampling on large databases (R20.Tx.F2)", fig11(&config))
             }
@@ -72,9 +74,7 @@ fn main() {
                 ("Figure 12: runtime & accuracy vs foreign keys (R20.T*.Fx)", fig12(&config))
             }
             "table2" => ("Table 2: PKDD CUP'99 financial database", table2(&config)),
-            "ablations" => {
-                ("Ablations: CrossMine design choices (DESIGN.md)", ablations(&config))
-            }
+            "ablations" => ("Ablations: CrossMine design choices (DESIGN.md)", ablations(&config)),
             "table3" => ("Table 3: Mutagenesis database", table3(&config)),
             _ => unreachable!("validated above"),
         };

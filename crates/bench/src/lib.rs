@@ -121,11 +121,8 @@ pub fn measure(
 
 /// Figure 9: scalability w.r.t. the number of relations (`Rx.T500.F2`).
 pub fn fig9(config: &HarnessConfig) -> Vec<ExperimentRow> {
-    let (relations, tuples): (Vec<usize>, usize) = if config.full {
-        (vec![10, 20, 50, 100, 200], 500)
-    } else {
-        (vec![10, 20, 50], 300)
-    };
+    let (relations, tuples): (Vec<usize>, usize) =
+        if config.full { (vec![10, 20, 50, 100, 200], 500) } else { (vec![10, 20, 50], 300) };
     let mut rows = Vec::new();
     for r in relations {
         let params = GenParams {

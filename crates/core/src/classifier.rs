@@ -141,9 +141,7 @@ impl CrossMineModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossmine_relational::{
-        AttrType, Attribute, DatabaseSchema, RelationSchema, Value,
-    };
+    use crossmine_relational::{AttrType, Attribute, DatabaseSchema, RelationSchema, Value};
 
     /// Single-relation database where c='a' => POS, else NEG.
     fn simple_db(n: u64) -> Database {
@@ -169,16 +167,11 @@ mod tests {
     fn fit_predict_separable() {
         let db = simple_db(60);
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-        let (train, test): (Vec<Row>, Vec<Row>) =
-            rows.iter().partition(|r| r.0 < 40);
+        let (train, test): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 < 40);
         let model = CrossMine::default().fit(&db, &train);
         assert!(model.num_clauses() >= 1);
         let preds = model.predict(&db, &test);
-        let correct = preds
-            .iter()
-            .zip(&test)
-            .filter(|(p, r)| **p == db.label(**r))
-            .count();
+        let correct = preds.iter().zip(&test).filter(|(p, r)| **p == db.label(**r)).count();
         assert_eq!(correct, test.len(), "separable data must be classified perfectly");
     }
 
@@ -186,9 +179,8 @@ mod tests {
     fn default_label_is_majority() {
         let mut db = simple_db(10);
         // Make labels 7 NEG / 3 POS regardless of attributes.
-        let labels: Vec<ClassLabel> = (0..10)
-            .map(|i| if i < 3 { ClassLabel::POS } else { ClassLabel::NEG })
-            .collect();
+        let labels: Vec<ClassLabel> =
+            (0..10).map(|i| if i < 3 { ClassLabel::POS } else { ClassLabel::NEG }).collect();
         db.set_labels(labels).unwrap();
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
         let model = CrossMine::default().fit(&db, &rows);
@@ -249,11 +241,8 @@ mod tests {
         let db = simple_db(20);
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
         let model = CrossMine::default().fit(&db, &rows);
-        let pos_clause = model
-            .clauses
-            .iter()
-            .find(|c| c.label == ClassLabel::POS)
-            .expect("positive clause");
+        let pos_clause =
+            model.clauses.iter().find(|c| c.label == ClassLabel::POS).expect("positive clause");
         let sat = model.satisfiers(&db, pos_clause, &rows);
         assert_eq!(sat.len(), 10);
         assert!(sat.iter().all(|r| db.label(*r) == ClassLabel::POS));

@@ -15,8 +15,12 @@ use crossmine_relational::{ClassLabel, Database, Row};
 /// baselines crate.
 pub trait RelationalClassifier {
     /// Trains on `train_rows` and returns predictions for `test_rows`.
-    fn train_predict(&self, db: &Database, train_rows: &[Row], test_rows: &[Row])
-        -> Vec<ClassLabel>;
+    fn train_predict(
+        &self,
+        db: &Database,
+        train_rows: &[Row],
+        test_rows: &[Row],
+    ) -> Vec<ClassLabel>;
 }
 
 /// Fraction of `predicted` matching the true labels of `rows`.
@@ -142,9 +146,7 @@ impl RelationalClassifier for crate::classifier::CrossMine {
 mod tests {
     use super::*;
     use crate::classifier::CrossMine;
-    use crossmine_relational::{
-        AttrType, Attribute, DatabaseSchema, RelationSchema, Value,
-    };
+    use crossmine_relational::{AttrType, Attribute, DatabaseSchema, RelationSchema, Value};
 
     fn simple_db(n: u64, frac_pos: f64) -> Database {
         let mut schema = DatabaseSchema::new();
@@ -160,8 +162,7 @@ mod tests {
         let pos_count = (n as f64 * frac_pos) as u64;
         for i in 0..n {
             let pos = i < pos_count;
-            db.push_row(tid, vec![Value::Key(i), Value::Cat(if pos { 0 } else { 1 })])
-                .unwrap();
+            db.push_row(tid, vec![Value::Key(i), Value::Cat(if pos { 0 } else { 1 })]).unwrap();
             db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
         }
         db

@@ -49,11 +49,7 @@ pub struct CrossMineHybrid {
 
 impl Default for CrossMineHybrid {
     fn default() -> Self {
-        CrossMineHybrid {
-            params: CrossMineParams::default(),
-            epochs: 200,
-            learning_rate: 0.5,
-        }
+        CrossMineHybrid { params: CrossMineParams::default(), epochs: 200, learning_rate: 0.5 }
     }
 }
 
@@ -81,10 +77,8 @@ impl CrossMineHybrid {
         let neg_label = labels.first().copied().unwrap_or(ClassLabel::NEG);
 
         let x = propositionalize(&clauses, db, train_rows);
-        let y: Vec<f64> = train_rows
-            .iter()
-            .map(|&r| if db.label(r) == pos_label { 1.0 } else { 0.0 })
-            .collect();
+        let y: Vec<f64> =
+            train_rows.iter().map(|&r| if db.label(r) == pos_label { 1.0 } else { 0.0 }).collect();
         let mut head = LogisticRegression::new(clauses.clauses.len());
         head.fit(&x, &y, self.epochs, self.learning_rate);
         CrossMineHybridModel { clauses, head, pos_label, neg_label }
@@ -122,9 +116,7 @@ impl RelationalClassifier for CrossMineHybrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossmine_relational::{
-        AttrType, Attribute, DatabaseSchema, RelationSchema, Value,
-    };
+    use crossmine_relational::{AttrType, Attribute, DatabaseSchema, RelationSchema, Value};
 
     fn simple_db(n: u64) -> Database {
         let mut schema = DatabaseSchema::new();
@@ -154,8 +146,7 @@ mod tests {
         for (i, feats) in x.iter().enumerate() {
             assert_eq!(feats.len(), model.clauses.len());
             for (j, clause) in model.clauses.iter().enumerate() {
-                let satisfied =
-                    model.satisfiers(&db, clause, &rows).contains(&rows[i]);
+                let satisfied = model.satisfiers(&db, clause, &rows).contains(&rows[i]);
                 assert_eq!(feats[j] == 1.0, satisfied, "row {i} clause {j}");
             }
         }
@@ -168,8 +159,7 @@ mod tests {
         let (train, test): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 3 != 0);
         let model = CrossMineHybrid::default().fit(&db, &train);
         let preds = model.predict(&db, &test);
-        let correct =
-            preds.iter().zip(&test).filter(|(p, r)| **p == db.label(**r)).count();
+        let correct = preds.iter().zip(&test).filter(|(p, r)| **p == db.label(**r)).count();
         assert_eq!(correct, test.len());
     }
 

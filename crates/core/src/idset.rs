@@ -32,6 +32,13 @@ impl IdSet {
         IdSet(ids)
     }
 
+    /// Builds a set from ids that are already sorted and deduplicated
+    /// (e.g. one row's range of a CSR propagation buffer).
+    pub fn from_sorted(ids: Vec<u32>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted+dedup");
+        IdSet(ids)
+    }
+
     /// Number of ids.
     pub fn len(&self) -> usize {
         self.0.len()
@@ -172,11 +179,7 @@ impl TargetSet {
 
     /// Iterator over member rows, ascending.
     pub fn iter(&self) -> impl Iterator<Item = Row> + '_ {
-        self.bits
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(|(i, _)| Row(i as u32))
+        self.bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| Row(i as u32))
     }
 }
 
@@ -317,7 +320,8 @@ mod tests {
         let mut stamp = Stamp::new(4);
         // id 3 inactive; id 0 appears twice but counts once.
         let sets = [IdSet::from_ids(vec![0, 1]), IdSet::from_ids(vec![0, 2, 3])];
-        let (p, n) = count_distinct(sets.iter().map(|s| s.as_slice()), &active, &is_pos, &mut stamp);
+        let (p, n) =
+            count_distinct(sets.iter().map(|s| s.as_slice()), &active, &is_pos, &mut stamp);
         assert_eq!((p, n), (2, 1));
     }
 
@@ -344,8 +348,7 @@ mod tests {
         let is_pos = [true];
         let active = TargetSet::all(&is_pos);
         let mut stamp = Stamp::new(1);
-        let (p, n) =
-            count_distinct(std::iter::empty::<&[u32]>(), &active, &is_pos, &mut stamp);
+        let (p, n) = count_distinct(std::iter::empty::<&[u32]>(), &active, &is_pos, &mut stamp);
         assert_eq!((p, n), (0, 0));
     }
 }

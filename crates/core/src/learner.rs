@@ -1,16 +1,29 @@
 //! Clause generation: Algorithms 1 (Find-Clauses), 2 (Find-A-Clause) and
 //! 3 (Find-Best-Literal), §5.2, plus the §6 sampling hook.
+//!
+//! Find-Best-Literal runs as an *enumerate-then-evaluate* pipeline: the
+//! serial scan order of Algorithm 3 is first flattened into independent
+//! search units — `(active relation)`, `(active relation, edge)` and
+//! `(active relation, edge, edge2)` for look-one-ahead — which a
+//! [`std::thread::scope`] worker pool then evaluates, each worker owning one
+//! [`Stamp`] and two [`PropagationScratch`] buffers ([`SearchScratch`]).
+//! Workers reduce candidates under a total order (gain descending,
+//! prop-path length ascending, unit enumeration index ascending) that is
+//! exactly the serial loop's first-wins tie-breaking, so any
+//! [`CrossMineParams::num_threads`] setting learns byte-identical clauses.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crossmine_relational::{ClassLabel, Database, JoinGraph, JoinKind, Row};
+use crossmine_relational::{ClassLabel, Database, JoinEdge, JoinGraph, JoinKind, RelId, Row};
 
 use crate::clause::Clause;
 use crate::idset::{Stamp, TargetSet};
 use crate::literal::ComplexLiteral;
 use crate::params::CrossMineParams;
-use crate::propagation::{propagate, Annotation, ClauseState};
+use crate::propagation::{AnnView, ClauseState, PropagationScratch};
 use crate::sampling::{safe_negative_estimate, sample_negatives};
 use crate::search::{best_constraint_in, ScoredConstraint};
 
@@ -21,6 +34,91 @@ pub struct ScoredLiteral {
     pub literal: ComplexLiteral,
     /// Foil gain and coverage of the constraint.
     pub score: ScoredConstraint,
+}
+
+/// Reusable per-worker state for the literal search: one [`Stamp`] plus two
+/// propagation scratches (first hop, look-one-ahead hop) per worker. Create
+/// it once per learning run and pass it to every
+/// [`ClauseLearner::find_a_clause`] / [`ClauseLearner::find_best_literal`]
+/// call so the steady-state search performs no per-call heap allocation.
+pub struct SearchScratch {
+    workers: Vec<WorkerScratch>,
+}
+
+struct WorkerScratch {
+    stamp: Stamp,
+    hop1: PropagationScratch,
+    hop2: PropagationScratch,
+}
+
+impl SearchScratch {
+    /// Scratch for `num_workers` workers (floored at one) searching a
+    /// database with `num_targets` target tuples.
+    pub fn new(num_targets: usize, num_workers: usize) -> Self {
+        let workers = (0..num_workers.max(1))
+            .map(|_| WorkerScratch {
+                stamp: Stamp::new(num_targets),
+                hop1: PropagationScratch::new(),
+                hop2: PropagationScratch::new(),
+            })
+            .collect();
+        SearchScratch { workers }
+    }
+
+    /// Scratch sized for `db` with the worker count `params` resolves to.
+    pub fn for_params(db: &Database, params: &CrossMineParams) -> Self {
+        SearchScratch::new(db.num_targets(), params.resolved_threads())
+    }
+
+    /// Number of workers this scratch supports.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A stamp for non-search bookkeeping (applying literals, coverage).
+    pub fn stamp_mut(&mut self) -> &mut Stamp {
+        &mut self.workers[0].stamp
+    }
+}
+
+/// One independent group of search units: an active relation's local
+/// constraint scan, or one outgoing edge together with its look-one-ahead
+/// extensions (which reuse the group's first-hop propagation). `unit` fields
+/// record the serial enumeration index used for deterministic reduction.
+enum UnitGroup {
+    /// Constraint on the active relation itself (empty prop-path).
+    Local { rel: RelId, unit: usize },
+    /// Propagation across `edge` plus its look-one-ahead second hops.
+    Edge { edge: JoinEdge, unit: usize, lookahead: Vec<(JoinEdge, usize)> },
+}
+
+/// A scored literal tagged with its unit index for the total order.
+struct Candidate {
+    unit: usize,
+    literal: ComplexLiteral,
+    score: ScoredConstraint,
+}
+
+/// The deterministic reduction order: gain descending (`total_cmp`, exact),
+/// then prop-path length ascending, then enumeration index ascending. This
+/// reproduces the serial scan's "first candidate wins ties" exactly, so the
+/// reduction result is independent of worker scheduling.
+fn better_than(a: &Candidate, b: &Candidate) -> bool {
+    match a.score.gain.total_cmp(&b.score.gain) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => match a.literal.path.len().cmp(&b.literal.path.len()) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a.unit < b.unit,
+        },
+    }
+}
+
+fn reduce(best: &mut Option<Candidate>, cand: Candidate) {
+    if best.as_ref().is_none_or(|b| better_than(&cand, b)) {
+        *best = Some(cand);
+    }
 }
 
 /// Builds clauses for one positive class over one database.
@@ -61,7 +159,8 @@ impl<'a> ClauseLearner<'a> {
         let orig_pos = remaining.pos();
         let mut clauses = Vec::new();
         let mut rng = StdRng::seed_from_u64(self.params.seed);
-        let mut stamp = Stamp::new(self.db.num_targets());
+        // One pool of per-worker buffers reused across every clause.
+        let mut scratch = SearchScratch::for_params(self.db, self.params);
 
         while remaining.pos() as f64 > self.params.min_pos_fraction * orig_pos as f64
             && clauses.len() < self.params.max_clauses
@@ -74,7 +173,7 @@ impl<'a> ClauseLearner<'a> {
                 (remaining.clone(), full_neg)
             };
 
-            let Some((literals, covered)) = self.find_a_clause(build_set, &mut stamp) else {
+            let Some((literals, covered)) = self.find_a_clause(build_set, &mut scratch) else {
                 break;
             };
             let sup_pos = covered.pos();
@@ -103,15 +202,15 @@ impl<'a> ClauseLearner<'a> {
     pub fn find_a_clause(
         &self,
         initial: TargetSet,
-        stamp: &mut Stamp,
+        scratch: &mut SearchScratch,
     ) -> Option<(Vec<ComplexLiteral>, TargetSet)> {
         let mut state = ClauseState::new(self.db, &self.is_pos, initial);
         let mut literals: Vec<ComplexLiteral> = Vec::new();
-        while let Some(best) = self.find_best_literal(&state, stamp) {
+        while let Some(best) = self.find_best_literal(&state, scratch) {
             if best.score.gain < self.params.min_foil_gain {
                 break;
             }
-            state.apply_literal(&best.literal, stamp);
+            state.apply_literal(&best.literal, scratch.stamp_mut());
             literals.push(best.literal);
             if literals.len() >= self.params.max_clause_length {
                 break;
@@ -127,115 +226,176 @@ impl<'a> ClauseLearner<'a> {
     /// Algorithm 3: scans (1) every active relation, (2) every relation
     /// joinable with an active one — propagating IDs across the edge — and
     /// (3) with look-one-ahead, every relation one more foreign key away.
+    ///
+    /// The scan is flattened into [`UnitGroup`]s and evaluated on up to
+    /// `min(scratch.num_workers(), #groups)` scoped worker threads; with one
+    /// worker everything runs inline on the calling thread. The result is
+    /// identical either way (see [`better_than`]).
     pub fn find_best_literal(
         &self,
         state: &ClauseState<'_>,
-        stamp: &mut Stamp,
+        scratch: &mut SearchScratch,
     ) -> Option<ScoredLiteral> {
-        let mut best: Option<ScoredLiteral> = None;
-        let target_rel = state.target_rel();
+        let groups = self.enumerate_units(state);
+        let num_workers = scratch.workers.len().min(groups.len()).max(1);
 
-        for rel in state.active_relations() {
-            // (1) Constraint on the active relation itself (empty prop-path).
-            let ann = state.annotation(rel).expect("active relation has annotation");
-            let allow_agg = rel != target_rel;
-            if let Some(score) = best_constraint_in(
-                self.db,
-                rel,
-                ann,
-                &state.targets,
-                &self.is_pos,
-                stamp,
-                self.params,
-                allow_agg,
-            ) {
-                consider(&mut best, ComplexLiteral::local(score.constraint.clone()), score);
+        let best = if num_workers == 1 {
+            let ws = &mut scratch.workers[0];
+            let mut best = None;
+            for group in &groups {
+                self.evaluate_group(state, group, ws, &mut best);
             }
+            best
+        } else {
+            let next = AtomicUsize::new(0);
+            let groups = &groups;
+            let worker_bests: Vec<Option<Candidate>> = std::thread::scope(|s| {
+                let handles: Vec<_> = scratch
+                    .workers
+                    .iter_mut()
+                    .take(num_workers)
+                    .map(|ws| {
+                        let next = &next;
+                        s.spawn(move || {
+                            let mut best = None;
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(group) = groups.get(i) else { break };
+                                self.evaluate_group(state, group, ws, &mut best);
+                            }
+                            best
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("literal-search worker panicked"))
+                    .collect()
+            });
+            let mut best = None;
+            for cand in worker_bests.into_iter().flatten() {
+                reduce(&mut best, cand);
+            }
+            best
+        };
 
-            // (2) Propagate to each relation joinable with this active one.
+        best.map(|c| ScoredLiteral { literal: c.literal, score: c.score })
+    }
+
+    /// Flattens Algorithm 3's scan into independent unit groups, assigning
+    /// each search unit its serial enumeration index. Look-one-ahead units
+    /// stay in their first edge's group so the first-hop propagation is
+    /// computed once and shared, exactly as in the serial loop.
+    fn enumerate_units(&self, state: &ClauseState<'_>) -> Vec<UnitGroup> {
+        let mut groups = Vec::new();
+        let mut next_unit = 0usize;
+        for rel in state.active_relations() {
+            groups.push(UnitGroup::Local { rel, unit: next_unit });
+            next_unit += 1;
             for edge in self.graph.edges_from(rel) {
-                let prop = state.propagate_edge(edge);
-                if self.fanout_exceeded(&prop) {
-                    continue;
+                let unit = next_unit;
+                next_unit += 1;
+                let mut lookahead = Vec::new();
+                if self.params.look_one_ahead {
+                    for edge2 in self.graph.edges_from(edge.to) {
+                        if edge2.kind != JoinKind::FkToPk {
+                            continue; // only "a foreign-key pointing to R̄'"
+                        }
+                        if edge2.from_attr == edge.to_attr {
+                            continue; // k' ≠ k: don't reuse the arrival key
+                        }
+                        lookahead.push((*edge2, next_unit));
+                        next_unit += 1;
+                    }
+                }
+                groups.push(UnitGroup::Edge { edge: *edge, unit, lookahead });
+            }
+        }
+        groups
+    }
+
+    /// Evaluates one unit group with one worker's buffers, folding any
+    /// candidates into `best` under the deterministic order.
+    fn evaluate_group(
+        &self,
+        state: &ClauseState<'_>,
+        group: &UnitGroup,
+        ws: &mut WorkerScratch,
+        best: &mut Option<Candidate>,
+    ) {
+        match group {
+            // (1) Constraint on the active relation itself (empty prop-path).
+            UnitGroup::Local { rel, unit } => {
+                let ann = state.annotation(*rel).expect("active relation has annotation");
+                let allow_agg = *rel != state.target_rel();
+                if let Some(score) = best_constraint_in(
+                    self.db,
+                    *rel,
+                    ann,
+                    &state.targets,
+                    &self.is_pos,
+                    &mut ws.stamp,
+                    self.params,
+                    allow_agg,
+                ) {
+                    let literal = ComplexLiteral::local(score.constraint.clone());
+                    reduce(best, Candidate { unit: *unit, literal, score });
+                }
+            }
+            // (2) Propagate across the edge, then (3) look one ahead.
+            UnitGroup::Edge { edge, unit, lookahead } => {
+                let from = state
+                    .annotation(edge.from)
+                    .expect("propagation must start from an active relation");
+                ws.hop1.propagate_from(self.db, from.view(), edge);
+                if self.fanout_exceeded(ws.hop1.view()) {
+                    return; // serial loop `continue`s past the lookahead too
                 }
                 if let Some(score) = best_constraint_in(
                     self.db,
                     edge.to,
-                    &prop,
+                    ws.hop1.view(),
                     &state.targets,
                     &self.is_pos,
-                    stamp,
+                    &mut ws.stamp,
                     self.params,
                     true,
                 ) {
-                    consider(
-                        &mut best,
-                        ComplexLiteral { path: vec![*edge], constraint: score.constraint.clone() },
-                        score,
-                    );
+                    let literal =
+                        ComplexLiteral { path: vec![*edge], constraint: score.constraint.clone() };
+                    reduce(best, Candidate { unit: *unit, literal, score });
                 }
-
-                // (3) Look-one-ahead: follow each *other* foreign key of the
-                // relation just reached (§5.2).
-                if !self.params.look_one_ahead {
-                    continue;
-                }
-                for edge2 in self.graph.edges_from(edge.to) {
-                    if edge2.kind != JoinKind::FkToPk {
-                        continue; // only "a foreign-key pointing to R̄'"
-                    }
-                    if edge2.from_attr == edge.to_attr {
-                        continue; // k' ≠ k: don't reuse the arrival key
-                    }
-                    let prop2 = propagate(self.db, &prop, edge2);
-                    if self.fanout_exceeded(&prop2) {
+                for (edge2, unit2) in lookahead {
+                    ws.hop2.propagate_from(self.db, ws.hop1.view(), edge2);
+                    if self.fanout_exceeded(ws.hop2.view()) {
                         continue;
                     }
                     if let Some(score) = best_constraint_in(
                         self.db,
                         edge2.to,
-                        &prop2,
+                        ws.hop2.view(),
                         &state.targets,
                         &self.is_pos,
-                        stamp,
+                        &mut ws.stamp,
                         self.params,
                         true,
                     ) {
-                        consider(
-                            &mut best,
-                            ComplexLiteral {
-                                path: vec![*edge, *edge2],
-                                constraint: score.constraint.clone(),
-                            },
-                            score,
-                        );
+                        let literal = ComplexLiteral {
+                            path: vec![*edge, *edge2],
+                            constraint: score.constraint.clone(),
+                        };
+                        reduce(best, Candidate { unit: *unit2, literal, score });
                     }
                 }
             }
         }
-        best
     }
 
-    fn fanout_exceeded(&self, ann: &Annotation) -> bool {
+    fn fanout_exceeded(&self, ann: AnnView<'_>) -> bool {
         match self.params.max_fanout {
             Some(limit) => ann.avg_fanout() > limit as f64,
             None => false,
         }
-    }
-}
-
-fn consider(best: &mut Option<ScoredLiteral>, literal: ComplexLiteral, score: ScoredConstraint) {
-    let better = match best {
-        None => true,
-        // Strict improvement, with shorter prop-paths winning ties for
-        // determinism and simpler clauses.
-        Some(b) => {
-            score.gain > b.score.gain
-                || (score.gain == b.score.gain && literal.path.len() < b.literal.path.len())
-        }
-    };
-    if better {
-        *best = Some(ScoredLiteral { literal, score });
     }
 }
 
@@ -277,8 +437,7 @@ mod tests {
             db.push_row(t, vec![Value::Key(i)]).unwrap();
             let pos = i % 2 == 0;
             db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
-            db.push_row(c, vec![Value::Key(i), Value::Num(if pos { 30.0 } else { 60.0 })])
-                .unwrap();
+            db.push_row(c, vec![Value::Key(i), Value::Num(if pos { 30.0 } else { 60.0 })]).unwrap();
             db.push_row_unchecked(h, vec![Value::Key(i), Value::Key(i)]);
         }
         db
@@ -315,8 +474,8 @@ mod tests {
         let learner = ClauseLearner::new(&db, &graph, &params, ClassLabel::POS, 2);
         let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
         let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
-        let mut stamp = Stamp::new(db.num_targets());
-        let best = learner.find_best_literal(&state, &mut stamp);
+        let mut scratch = SearchScratch::for_params(&db, &params);
+        let best = learner.find_best_literal(&state, &mut scratch);
         // The only candidates are Has_Loan (no informative attrs beyond keys)
         // and the bare Loan relation; nothing reaches Client.age.
         if let Some(b) = best {

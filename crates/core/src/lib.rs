@@ -58,13 +58,13 @@ pub mod sampling;
 pub mod search;
 
 pub use classifier::{CrossMine, CrossMineModel};
-pub use features::{propositionalize, CrossMineHybrid, CrossMineHybridModel};
 pub use clause::Clause;
 pub use eval::{cross_validate, CvResult, RelationalClassifier};
-pub use metrics::ConfusionMatrix;
+pub use features::{propositionalize, CrossMineHybrid, CrossMineHybridModel};
 pub use idset::{IdSet, Stamp, TargetSet};
-pub use learner::ClauseLearner;
+pub use learner::{ClauseLearner, ScoredLiteral, SearchScratch};
 pub use literal::{AggOp, CmpOp, ComplexLiteral, Constraint, ConstraintKind};
+pub use metrics::ConfusionMatrix;
 pub use params::CrossMineParams;
-pub use propagation::{propagate, Annotation, ClauseState};
+pub use propagation::{propagate, AnnView, Annotation, ClauseState, PropagationScratch};
 pub use pruning::{fit_with_pruning, prune, PruneConfig};

@@ -213,10 +213,8 @@ mod tests {
     fn constraint_display() {
         let s = schema();
         let account = s.rel_id("Account").unwrap();
-        let cat = Constraint {
-            rel: account,
-            kind: ConstraintKind::CatEq { attr: AttrId(1), value: 0 },
-        };
+        let cat =
+            Constraint { rel: account, kind: ConstraintKind::CatEq { attr: AttrId(1), value: 0 } };
         assert_eq!(cat.display(&s), "Account.frequency = monthly");
         let num = Constraint {
             rel: account,

@@ -34,13 +34,7 @@ impl LogisticRegression {
     /// Predicted probability of the positive class.
     pub fn predict_proba(&self, features: &[f64]) -> f64 {
         debug_assert_eq!(features.len(), self.weights.len());
-        let z = self.bias
-            + self
-                .weights
-                .iter()
-                .zip(features)
-                .map(|(w, x)| w * x)
-                .sum::<f64>();
+        let z = self.bias + self.weights.iter().zip(features).map(|(w, x)| w * x).sum::<f64>();
         sigmoid(z)
     }
 
@@ -102,9 +96,8 @@ mod tests {
     #[test]
     fn learns_a_linearly_separable_problem() {
         // y = 1 iff x0 > x1.
-        let x: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![f64::from(i % 2), f64::from((i + 1) % 2)])
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![f64::from(i % 2), f64::from((i + 1) % 2)]).collect();
         let y: Vec<f64> = (0..40).map(|i| f64::from(i % 2)).collect();
         let mut m = LogisticRegression::new(2);
         let before = m.log_loss(&x, &y);

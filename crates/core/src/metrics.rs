@@ -43,8 +43,7 @@ impl ConfusionMatrix {
 
     /// All classes appearing as truth or prediction, ascending.
     pub fn classes(&self) -> Vec<ClassLabel> {
-        let mut cs: Vec<ClassLabel> =
-            self.counts.keys().flat_map(|&(t, p)| [t, p]).collect();
+        let mut cs: Vec<ClassLabel> = self.counts.keys().flat_map(|&(t, p)| [t, p]).collect();
         cs.sort();
         cs.dedup();
         cs
@@ -55,12 +54,7 @@ impl ConfusionMatrix {
         if self.total == 0 {
             return 0.0;
         }
-        let correct: usize = self
-            .counts
-            .iter()
-            .filter(|((t, p), _)| t == p)
-            .map(|(_, &c)| c)
-            .sum();
+        let correct: usize = self.counts.iter().filter(|((t, p), _)| t == p).map(|(_, &c)| c).sum();
         correct as f64 / self.total as f64
     }
 
@@ -68,12 +62,8 @@ impl ConfusionMatrix {
     /// truly `class`. `None` when nothing was predicted as `class`.
     pub fn precision(&self, class: ClassLabel) -> Option<f64> {
         let tp = self.count(class, class);
-        let predicted: usize = self
-            .counts
-            .iter()
-            .filter(|((_, p), _)| *p == class)
-            .map(|(_, &c)| c)
-            .sum();
+        let predicted: usize =
+            self.counts.iter().filter(|((_, p), _)| *p == class).map(|(_, &c)| c).sum();
         (predicted > 0).then(|| tp as f64 / predicted as f64)
     }
 
@@ -81,12 +71,8 @@ impl ConfusionMatrix {
     /// predicted `class`. `None` when the class never occurs.
     pub fn recall(&self, class: ClassLabel) -> Option<f64> {
         let tp = self.count(class, class);
-        let actual: usize = self
-            .counts
-            .iter()
-            .filter(|((t, _), _)| *t == class)
-            .map(|(_, &c)| c)
-            .sum();
+        let actual: usize =
+            self.counts.iter().filter(|((t, _), _)| *t == class).map(|(_, &c)| c).sum();
         (actual > 0).then(|| tp as f64 / actual as f64)
     }
 

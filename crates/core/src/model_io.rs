@@ -20,9 +20,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use crossmine_relational::{
-    AttrId, ClassLabel, DatabaseSchema, JoinEdge, JoinKind, RelId,
-};
+use crossmine_relational::{AttrId, ClassLabel, DatabaseSchema, JoinEdge, JoinKind, RelId};
 
 use crate::classifier::CrossMineModel;
 use crate::clause::Clause;
@@ -150,9 +148,7 @@ pub fn to_string(model: &CrossMineModel, schema: &DatabaseSchema) -> String {
 /// `schema`.
 pub fn from_str(text: &str, schema: &DatabaseSchema) -> Result<CrossMineModel, ModelIoError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| ModelIoError::BadHeader("empty input".into()))?;
+    let (_, header) = lines.next().ok_or_else(|| ModelIoError::BadHeader("empty input".into()))?;
     if header.trim() != "crossmine-model v1" {
         return Err(ModelIoError::BadHeader(header.to_string()));
     }
@@ -210,16 +206,17 @@ pub fn from_str(text: &str, schema: &DatabaseSchema) -> Result<CrossMineModel, M
                     return Err(perr(lineno, "nested clause"));
                 }
                 // clause <label> sup_pos <p> sup_neg <n> acc <a>
-                if tokens.len() != 8 || tokens[2] != "sup_pos" || tokens[4] != "sup_neg" || tokens[6] != "acc" {
+                if tokens.len() != 8
+                    || tokens[2] != "sup_pos"
+                    || tokens[4] != "sup_neg"
+                    || tokens[6] != "acc"
+                {
                     return Err(perr(lineno, "malformed clause line"));
                 }
-                let label = ClassLabel(
-                    tokens[1].parse().map_err(|_| perr(lineno, "bad clause label"))?,
-                );
-                let sup_pos: usize =
-                    tokens[3].parse().map_err(|_| perr(lineno, "bad sup_pos"))?;
-                let sup_neg: f64 =
-                    tokens[5].parse().map_err(|_| perr(lineno, "bad sup_neg"))?;
+                let label =
+                    ClassLabel(tokens[1].parse().map_err(|_| perr(lineno, "bad clause label"))?);
+                let sup_pos: usize = tokens[3].parse().map_err(|_| perr(lineno, "bad sup_pos"))?;
+                let sup_neg: f64 = tokens[5].parse().map_err(|_| perr(lineno, "bad sup_neg"))?;
                 let acc: f64 = tokens[7].parse().map_err(|_| perr(lineno, "bad acc"))?;
                 current = Some((label, sup_pos, sup_neg, acc));
                 literals = Vec::new();
@@ -233,8 +230,7 @@ pub fn from_str(text: &str, schema: &DatabaseSchema) -> Result<CrossMineModel, M
                 let from_attr = attr_by_name(from, tokens[2])?;
                 let to = rel_by_name(tokens[3])?;
                 let to_attr = attr_by_name(to, tokens[4])?;
-                let kind =
-                    parse_kind(tokens[5]).ok_or_else(|| perr(lineno, "bad join kind"))?;
+                let kind = parse_kind(tokens[5]).ok_or_else(|| perr(lineno, "bad join kind"))?;
                 pending_path.push(JoinEdge { from, from_attr, to, to_attr, kind });
             }
             "cat" | "num" | "agg" => {
@@ -245,16 +241,14 @@ pub fn from_str(text: &str, schema: &DatabaseSchema) -> Result<CrossMineModel, M
                             return Err(perr(lineno, "cat needs 3 fields"));
                         }
                         let attr = attr_by_name(rel, tokens[2])?;
-                        let value = schema
-                            .relation(rel)
-                            .attr(attr)
-                            .code_of(tokens[3])
-                            .ok_or_else(|| {
+                        let value = schema.relation(rel).attr(attr).code_of(tokens[3]).ok_or_else(
+                            || {
                                 ModelIoError::SchemaMismatch(format!(
                                     "label `{}` unknown for {}.{}",
                                     tokens[3], tokens[1], tokens[2]
                                 ))
-                            })?;
+                            },
+                        )?;
                         ConstraintKind::CatEq { attr, value }
                     }
                     "num" => {
@@ -340,8 +334,7 @@ pub fn load(
     path: impl AsRef<Path>,
     schema: &DatabaseSchema,
 ) -> Result<CrossMineModel, ModelIoError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| ModelIoError::Io(e.to_string()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| ModelIoError::Io(e.to_string()))?;
     from_str(&text, schema)
 }
 
@@ -376,8 +369,7 @@ mod tests {
             let pos = i % 2 == 0;
             db.push_row(tid, vec![Value::Key(i), Value::Num((i % 7) as f64)]).unwrap();
             db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
-            db.push_row(sid, vec![Value::Key(i), Value::Key(i), Value::Cat(pos as u32)])
-                .unwrap();
+            db.push_row(sid, vec![Value::Key(i), Value::Key(i), Value::Cat(pos as u32)]).unwrap();
         }
         db
     }
@@ -408,8 +400,7 @@ mod tests {
         let db = db();
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
         let model = CrossMine::default().fit(&db, &rows);
-        let path = std::env::temp_dir()
-            .join(format!("crossmine-model-{}.txt", std::process::id()));
+        let path = std::env::temp_dir().join(format!("crossmine-model-{}.txt", std::process::id()));
         save(&model, &db.schema, &path).unwrap();
         let reloaded = load(&path, &db.schema).unwrap();
         std::fs::remove_file(&path).ok();
@@ -419,10 +410,7 @@ mod tests {
     #[test]
     fn rejects_bad_header() {
         let db = db();
-        assert!(matches!(
-            from_str("not a model\n", &db.schema),
-            Err(ModelIoError::BadHeader(_))
-        ));
+        assert!(matches!(from_str("not a model\n", &db.schema), Err(ModelIoError::BadHeader(_))));
     }
 
     #[test]
@@ -430,10 +418,7 @@ mod tests {
         let db = db();
         let text = "crossmine-model v1\ndefault 0\nclasses 0 1\n\
                     clause 1 sup_pos 1 sup_neg 0 acc 0.5\ncat Nope a x\nendclause\n";
-        assert!(matches!(
-            from_str(text, &db.schema),
-            Err(ModelIoError::SchemaMismatch(_))
-        ));
+        assert!(matches!(from_str(text, &db.schema), Err(ModelIoError::SchemaMismatch(_))));
     }
 
     #[test]
@@ -450,10 +435,7 @@ mod tests {
         let db = db();
         let text = "crossmine-model v1\ndefault 0\nclasses 0 1\n\
                     clause 1 sup_pos 1 sup_neg 0 acc 0.5\ncat S d zebra\nendclause\n";
-        assert!(matches!(
-            from_str(text, &db.schema),
-            Err(ModelIoError::SchemaMismatch(_))
-        ));
+        assert!(matches!(from_str(text, &db.schema), Err(ModelIoError::SchemaMismatch(_))));
     }
 
     #[test]

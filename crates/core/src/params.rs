@@ -35,6 +35,13 @@ pub struct CrossMineParams {
     pub aggregation_literals: bool,
     /// Seed for the negative-sampling RNG (determinism in experiments).
     pub seed: u64,
+    /// Worker threads for the Find-Best-Literal search (Algorithm 3).
+    /// `None` uses [`std::thread::available_parallelism`]; `Some(1)` runs
+    /// the serial path on the calling thread. Any setting learns *exactly*
+    /// the same clauses: candidate search units are reduced with a total
+    /// order (gain desc, prop-path length asc, enumeration index asc), so
+    /// parallel and serial runs are byte-identical.
+    pub num_threads: Option<usize>,
 }
 
 impl Default for CrossMineParams {
@@ -51,6 +58,7 @@ impl Default for CrossMineParams {
             look_one_ahead: true,
             aggregation_literals: true,
             seed: 0x5eed,
+            num_threads: Some(1),
         }
     }
 }
@@ -59,6 +67,14 @@ impl CrossMineParams {
     /// The paper's default configuration with negative sampling enabled.
     pub fn with_sampling() -> Self {
         CrossMineParams { sampling: true, ..Default::default() }
+    }
+
+    /// The number of search workers this configuration resolves to.
+    pub fn resolved_threads(&self) -> usize {
+        match self.num_threads {
+            Some(n) => n.max(1),
+            None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
     }
 }
 
@@ -76,6 +92,22 @@ mod tests {
         assert!(!p.sampling);
         assert!(p.look_one_ahead);
         assert!(p.aggregation_literals);
+        assert_eq!(p.num_threads, Some(1));
+    }
+
+    #[test]
+    fn resolved_threads_floors_at_one() {
+        assert_eq!(
+            CrossMineParams { num_threads: Some(0), ..Default::default() }.resolved_threads(),
+            1
+        );
+        assert_eq!(
+            CrossMineParams { num_threads: Some(4), ..Default::default() }.resolved_threads(),
+            4
+        );
+        assert!(
+            CrossMineParams { num_threads: None, ..Default::default() }.resolved_threads() >= 1
+        );
     }
 
     #[test]

@@ -79,35 +79,239 @@ impl Annotation {
         }
         TargetSet::from_rows(is_pos, rows)
     }
+
+    /// A borrowed view of this annotation for the search hot path.
+    pub fn view(&self) -> AnnView<'_> {
+        AnnView::Sets(&self.idsets)
+    }
+
+    /// Materialises an owned annotation from a CSR buffer pair: row `r`'s
+    /// idset is `ids[offsets[r] as usize..offsets[r + 1] as usize]`, already
+    /// sorted and deduplicated (the invariant [`PropagationScratch`]
+    /// maintains).
+    pub fn from_csr(offsets: &[u32], ids: &[u32]) -> Self {
+        debug_assert!(!offsets.is_empty());
+        let idsets = offsets
+            .windows(2)
+            .map(|w| IdSet::from_sorted(ids[w[0] as usize..w[1] as usize].to_vec()))
+            .collect();
+        Annotation { idsets }
+    }
+}
+
+/// A borrowed, read-only view over per-tuple ID sets: either an owned
+/// [`Annotation`]'s boxed `IdSet`s or one flat CSR buffer produced by
+/// [`PropagationScratch`]. The literal search ([`crate::search`]) operates
+/// on views so propagated annotations never need per-tuple heap
+/// allocations.
+#[derive(Debug, Clone, Copy)]
+pub enum AnnView<'a> {
+    /// Per-tuple `IdSet`s (the owned representation).
+    Sets(&'a [IdSet]),
+    /// CSR layout: row `r`'s ids are `ids[offsets[r]..offsets[r + 1]]`.
+    Csr {
+        /// `num_rows + 1` range boundaries into `ids`.
+        offsets: &'a [u32],
+        /// All ids, row-major; each row's range sorted and deduplicated.
+        ids: &'a [u32],
+    },
+}
+
+impl<'a> From<&'a Annotation> for AnnView<'a> {
+    fn from(ann: &'a Annotation) -> Self {
+        ann.view()
+    }
+}
+
+impl<'a> From<&'a mut Annotation> for AnnView<'a> {
+    fn from(ann: &'a mut Annotation) -> Self {
+        ann.view()
+    }
+}
+
+impl<'a> AnnView<'a> {
+    /// Number of tuples covered by the view.
+    pub fn num_rows(&self) -> usize {
+        match self {
+            AnnView::Sets(sets) => sets.len(),
+            AnnView::Csr { offsets, .. } => offsets.len() - 1,
+        }
+    }
+
+    /// The (sorted, deduplicated) target ids joinable with tuple `row`.
+    #[inline]
+    pub fn ids(&self, row: usize) -> &'a [u32] {
+        match self {
+            AnnView::Sets(sets) => sets[row].as_slice(),
+            AnnView::Csr { offsets, ids } => &ids[offsets[row] as usize..offsets[row + 1] as usize],
+        }
+    }
+
+    /// Total number of propagated IDs.
+    pub fn total_ids(&self) -> usize {
+        match self {
+            AnnView::Sets(sets) => sets.iter().map(IdSet::len).sum(),
+            AnnView::Csr { ids, .. } => ids.len(),
+        }
+    }
+
+    /// Number of tuples with at least one ID.
+    pub fn joinable_tuples(&self) -> usize {
+        (0..self.num_rows()).filter(|&r| !self.ids(r).is_empty()).count()
+    }
+
+    /// Average IDs per joinable tuple (the §4.3 fan-out), zero when nothing
+    /// is joinable.
+    pub fn avg_fanout(&self) -> f64 {
+        let joinable = self.joinable_tuples();
+        if joinable == 0 {
+            0.0
+        } else {
+            self.total_ids() as f64 / joinable as f64
+        }
+    }
+}
+
+/// Reusable buffers for allocation-free tuple-ID propagation.
+///
+/// [`PropagationScratch::propagate_from`] builds the §4 propagated
+/// annotation as one CSR structure in two passes — a count pass into an
+/// offsets array, then a fill pass into a single flat `u32` buffer — and
+/// sorts + deduplicates each row's range in place. All three buffers are
+/// retained between calls, so steady-state propagation performs **zero**
+/// heap allocation; the per-worker scratch in the parallel literal search
+/// lives exactly as long as its worker.
+#[derive(Debug, Clone, Default)]
+pub struct PropagationScratch {
+    /// Range boundaries (`num_rows + 1` entries after a build).
+    offsets: Vec<u32>,
+    /// Flat id buffer, row-major.
+    ids: Vec<u32>,
+    /// Count-pass accumulator / fill-pass cursors.
+    cursors: Vec<u32>,
+}
+
+impl PropagationScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Propagates `from` (an annotation of relation `edge.from`) across
+    /// `edge` into this scratch's CSR buffers (Definition 2: `idset(u) =
+    /// ⋃ idset(t)` over joinable `t`; null join values never match). The
+    /// result is available through [`PropagationScratch::view`] until the
+    /// next call.
+    pub fn propagate_from(&mut self, db: &Database, from: AnnView<'_>, edge: &JoinEdge) {
+        let from_rel = db.relation(edge.from);
+        let to_len = db.relation(edge.to).len();
+        debug_assert_eq!(from.num_rows(), from_rel.len());
+        let index = db.key_index(edge.to, edge.to_attr);
+        let self_join = edge.from == edge.to && edge.from_attr == edge.to_attr;
+
+        // Pass 1: count ids landing on every receiving tuple.
+        self.cursors.clear();
+        self.cursors.resize(to_len, 0);
+        for i in 0..from.num_rows() {
+            let set_len = from.ids(i).len() as u32;
+            if set_len == 0 {
+                continue;
+            }
+            let key = match from_rel.value(Row(i as u32), edge.from_attr) {
+                Value::Key(k) => k,
+                _ => continue,
+            };
+            for &to_row in index.rows(key) {
+                // Self-join edges must not let a tuple inherit its own ids
+                // through a different column of the same row.
+                if self_join && to_row.0 as usize == i {
+                    continue;
+                }
+                self.cursors[to_row.0 as usize] += set_len;
+            }
+        }
+
+        // Prefix sums: offsets[r] = start of row r's range.
+        self.offsets.clear();
+        self.offsets.reserve(to_len + 1);
+        let mut total = 0u32;
+        self.offsets.push(0);
+        for r in 0..to_len {
+            total += self.cursors[r];
+            self.offsets.push(total);
+        }
+
+        // Pass 2: fill, reusing `cursors` as per-row write positions.
+        self.cursors.copy_from_slice(&self.offsets[..to_len]);
+        self.ids.clear();
+        self.ids.resize(total as usize, 0);
+        for i in 0..from.num_rows() {
+            let set = from.ids(i);
+            if set.is_empty() {
+                continue;
+            }
+            let key = match from_rel.value(Row(i as u32), edge.from_attr) {
+                Value::Key(k) => k,
+                _ => continue,
+            };
+            for &to_row in index.rows(key) {
+                let r = to_row.0 as usize;
+                if self_join && r == i {
+                    continue;
+                }
+                let cur = self.cursors[r] as usize;
+                self.ids[cur..cur + set.len()].copy_from_slice(set);
+                self.cursors[r] += set.len() as u32;
+            }
+        }
+
+        // Pass 3: sort + dedup each row's range in place, compacting the
+        // flat buffer front-to-back (writes never overtake unread data).
+        let mut write = 0usize;
+        let mut read_start = 0usize;
+        for r in 0..to_len {
+            let read_end = self.offsets[r + 1] as usize;
+            self.offsets[r] = write as u32;
+            if read_start < read_end {
+                self.ids[read_start..read_end].sort_unstable();
+                let mut prev = u32::MAX;
+                for i in read_start..read_end {
+                    let v = self.ids[i];
+                    if v != prev || (i == read_start && v == u32::MAX) {
+                        self.ids[write] = v;
+                        write += 1;
+                        prev = v;
+                    }
+                }
+            }
+            read_start = read_end;
+        }
+        self.offsets[to_len] = write as u32;
+        self.ids.truncate(write);
+    }
+
+    /// The result of the last [`PropagationScratch::propagate_from`].
+    pub fn view(&self) -> AnnView<'_> {
+        AnnView::Csr { offsets: &self.offsets, ids: &self.ids }
+    }
+
+    /// Materialises the current CSR contents as an owned [`Annotation`].
+    pub fn to_annotation(&self) -> Annotation {
+        Annotation::from_csr(&self.offsets, &self.ids)
+    }
 }
 
 /// Propagates `from_ann` (on relation `edge.from`) across `edge`, producing
 /// the annotation of `edge.to` (Definition 2: `idset(u) = ⋃ idset(t)` over
 /// joinable `t`). Null join values never match.
+///
+/// Convenience wrapper over [`PropagationScratch`] for callers that want an
+/// owned [`Annotation`]; hot paths should hold a scratch and use
+/// [`PropagationScratch::propagate_from`] directly to avoid reallocating.
 pub fn propagate(db: &Database, from_ann: &Annotation, edge: &JoinEdge) -> Annotation {
-    let from_rel = db.relation(edge.from);
-    let to_len = db.relation(edge.to).len();
-    debug_assert_eq!(from_ann.idsets.len(), from_rel.len());
-    let index = db.key_index(edge.to, edge.to_attr);
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); to_len];
-    for (i, set) in from_ann.idsets.iter().enumerate() {
-        if set.is_empty() {
-            continue;
-        }
-        let key = match from_rel.value(Row(i as u32), edge.from_attr) {
-            Value::Key(k) => k,
-            _ => continue,
-        };
-        for &to_row in index.rows(key) {
-            // Self-join edges must not let a tuple inherit its own ids
-            // through a different column of the same row.
-            if edge.from == edge.to && to_row.0 as usize == i && edge.from_attr == edge.to_attr {
-                continue;
-            }
-            buckets[to_row.0 as usize].extend(set.iter());
-        }
-    }
-    Annotation { idsets: buckets.into_iter().map(IdSet::from_ids).collect() }
+    let mut scratch = PropagationScratch::new();
+    scratch.propagate_from(db, from_ann.view(), edge);
+    scratch.to_annotation()
 }
 
 /// Per-target aggregate accumulators for aggregation literals (§5.1: "by
@@ -139,21 +343,23 @@ impl AggStats {
 /// Computes per-target aggregate stats over relation `rel` given its
 /// annotation. `attr` is the aggregated numerical column (`None` for pure
 /// `count`). Only IDs in `targets` accumulate. Indexed by target row.
-pub fn aggregate(
+pub fn aggregate<'a>(
     db: &Database,
     rel: RelId,
     attr: Option<crossmine_relational::AttrId>,
-    ann: &Annotation,
+    ann: impl Into<AnnView<'a>>,
     targets: &TargetSet,
 ) -> Vec<AggStats> {
+    let ann = ann.into();
     let relation = db.relation(rel);
     let mut acc = vec![AggStats::default(); targets.capacity()];
-    for (i, set) in ann.idsets.iter().enumerate() {
+    for i in 0..ann.num_rows() {
+        let set = ann.ids(i);
         if set.is_empty() {
             continue;
         }
         let num = attr.and_then(|a| relation.value(Row(i as u32), a).as_num());
-        for id in set.iter() {
+        for &id in set {
             if !targets.contains(id) {
                 continue;
             }
@@ -201,14 +407,9 @@ impl<'a> ClauseState<'a> {
         self.target_rel
     }
 
-    /// Ids of all active relations.
-    pub fn active_relations(&self) -> Vec<RelId> {
-        self.annotations
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.is_some())
-            .map(|(i, _)| RelId(i))
-            .collect()
+    /// Ids of all active relations, ascending, without allocating.
+    pub fn active_relations(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.annotations.iter().enumerate().filter(|(_, a)| a.is_some()).map(|(i, _)| RelId(i))
     }
 
     /// The annotation of `rel`, when active.
@@ -513,7 +714,7 @@ mod tests {
         let ann = state.propagate_edge(&loan_account_edge(&db));
         assert_eq!(ann.idsets[0].as_slice(), &[0]); // only loan 1 remains on acct 124
         assert_eq!(ann.idsets[2].as_slice(), &[3]);
-        assert_eq!(state.active_relations(), vec![state.target_rel()]);
+        assert_eq!(state.active_relations().collect::<Vec<_>>(), vec![state.target_rel()]);
     }
 
     #[test]

@@ -76,10 +76,8 @@ pub fn prune(
     let mut stamp = Stamp::new(db.num_targets());
 
     // Majority rate on validation = the bar a clause must beat.
-    let majority = validation_rows
-        .iter()
-        .filter(|r| db.label(**r) == model.default_label)
-        .count() as f64
+    let majority = validation_rows.iter().filter(|r| db.label(**r) == model.default_label).count()
+        as f64
         / validation_rows.len().max(1) as f64;
 
     let mut pruned: Vec<Clause> = Vec::new();
@@ -101,8 +99,7 @@ pub fn prune(
                 }
             }
         }
-        if config.drop_weak_clauses && best_acc <= majority && clause.label == model.default_label
-        {
+        if config.drop_weak_clauses && best_acc <= majority && clause.label == model.default_label {
             // Predicting the default label with less confidence than the
             // prior adds nothing.
             continue;
@@ -118,9 +115,7 @@ pub fn prune(
         c.accuracy = best_acc;
         pruned.push(c);
     }
-    pruned.sort_by(|a, b| {
-        b.accuracy.partial_cmp(&a.accuracy).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    pruned.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).unwrap_or(std::cmp::Ordering::Equal));
     CrossMineModel {
         clauses: pruned,
         default_label: model.default_label,
@@ -139,8 +134,7 @@ pub fn fit_with_pruning(
 ) -> CrossMineModel {
     assert!((0.0..1.0).contains(&validation_fraction));
     let stride = (1.0 / validation_fraction.max(1e-9)).round().max(2.0) as u32;
-    let (validation, train): (Vec<Row>, Vec<Row>) =
-        rows.iter().partition(|r| r.0 % stride == 0);
+    let (validation, train): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % stride == 0);
     let model = clf.fit(db, &train);
     prune(&model, db, &validation, config)
 }
@@ -171,11 +165,7 @@ mod tests {
             let pos = i % 2 == 0;
             db.push_row(
                 tid,
-                vec![
-                    Value::Key(i),
-                    Value::Cat(pos as u32),
-                    Value::Num(((i * 37) % 101) as f64),
-                ],
+                vec![Value::Key(i), Value::Cat(pos as u32), Value::Num(((i * 37) % 101) as f64)],
             )
             .unwrap();
             db.push_label(if pos { ClassLabel::POS } else { ClassLabel::NEG });
@@ -226,10 +216,7 @@ mod tests {
         let wrong = Clause::new(
             vec![ComplexLiteral::local(Constraint {
                 rel: tid,
-                kind: ConstraintKind::CatEq {
-                    attr: crossmine_relational::AttrId(1),
-                    value: 0,
-                },
+                kind: ConstraintKind::CatEq { attr: crossmine_relational::AttrId(1), value: 0 },
             })],
             ClassLabel::POS,
             5,
@@ -260,8 +247,7 @@ mod tests {
         );
         let test: Vec<Row> = rows.iter().copied().filter(|r| r.0 % 5 == 1).collect();
         let preds = pruned.predict(&database, &test);
-        let correct =
-            preds.iter().zip(&test).filter(|(p, r)| **p == database.label(**r)).count();
+        let correct = preds.iter().zip(&test).filter(|(p, r)| **p == database.label(**r)).count();
         assert_eq!(correct, test.len(), "separable data survives pruning perfectly");
     }
 

@@ -42,8 +42,7 @@ pub fn sample_negatives(
     if remaining.neg() <= cap {
         return (remaining.clone(), remaining.neg());
     }
-    let mut negatives: Vec<Row> =
-        remaining.iter().filter(|r| !is_pos[r.0 as usize]).collect();
+    let mut negatives: Vec<Row> = remaining.iter().filter(|r| !is_pos[r.0 as usize]).collect();
     negatives.shuffle(rng);
     negatives.truncate(cap);
     let rows: Vec<Row> = remaining
@@ -66,7 +65,7 @@ pub fn safe_negative_estimate(n_obs: usize, n_sampled: usize, n_full: usize) -> 
     }
     let d = n_obs as f64 / n_sampled as f64;
     let k = 1.64 / n_sampled as f64; // 1.28² / N'
-    // (1 + k) x² − (2d + k) x + d² = 0
+                                     // (1 + k) x² − (2d + k) x + d² = 0
     let a = 1.0 + k;
     let b = -(2.0 * d + k);
     let c = d * d;

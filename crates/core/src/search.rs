@@ -14,7 +14,7 @@ use crate::gain::foil_gain;
 use crate::idset::{Stamp, TargetSet};
 use crate::literal::{AggOp, CmpOp, Constraint, ConstraintKind};
 use crate::params::CrossMineParams;
-use crate::propagation::{aggregate, Annotation};
+use crate::propagation::{aggregate, AnnView};
 
 /// A constraint together with its foil gain and coverage.
 #[derive(Debug, Clone)]
@@ -29,21 +29,24 @@ pub struct ScoredConstraint {
     pub neg: usize,
 }
 
-/// Finds the best constraint in `rel` under annotation `ann`, where the
-/// current clause covers `targets`. `allow_aggregation` is false for the
-/// target relation (aggregating a target tuple over itself is meaningless)
-/// and when the params disable aggregation literals.
+/// Finds the best constraint in `rel` under annotation view `ann` (owned
+/// [`crate::propagation::Annotation`]s convert implicitly; the parallel
+/// search passes CSR scratch views), where the current clause covers
+/// `targets`. `allow_aggregation` is false for the target relation
+/// (aggregating a target tuple over itself is meaningless) and when the
+/// params disable aggregation literals.
 #[allow(clippy::too_many_arguments)] // the full search context is irreducible
-pub fn best_constraint_in(
+pub fn best_constraint_in<'a>(
     db: &Database,
     rel: RelId,
-    ann: &Annotation,
+    ann: impl Into<AnnView<'a>>,
     targets: &TargetSet,
     is_pos: &[bool],
     stamp: &mut Stamp,
     params: &CrossMineParams,
     allow_aggregation: bool,
 ) -> Option<ScoredConstraint> {
+    let ann = ann.into();
     let p_c = targets.pos();
     let n_c = targets.neg();
     if p_c == 0 {
@@ -67,12 +70,14 @@ pub fn best_constraint_in(
                     .unwrap_or(0),
             );
             let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); card];
-            for (i, set) in ann.idsets.iter().enumerate() {
+            for i in 0..ann.num_rows() {
+                let set = ann.ids(i);
                 if set.is_empty() {
                     continue;
                 }
                 if let Value::Cat(c) = relation.value(Row(i as u32), aid) {
-                    buckets[c as usize].extend(set.iter().filter(|&id| targets.contains(id)));
+                    buckets[c as usize]
+                        .extend(set.iter().copied().filter(|&id| targets.contains(id)));
                 }
             }
             for (code, ids) in buckets.iter().enumerate() {
@@ -107,19 +112,20 @@ pub fn best_constraint_in(
             // Restrict the sorted index to joinable tuples, gathering the
             // active target ids behind each value.
             let sorted = db.sorted_index(rel, aid);
+            // NaN values fail every `A <= v` / `A >= v` test at apply time,
+            // so they can never be covered; they must also not become
+            // thresholds or the sweep's value-grouping loop (which compares
+            // with `==`) would stall on `NaN != NaN`.
             let entries: Vec<(f64, &[u32])> = sorted
                 .entries
                 .iter()
-                .filter(|(_, row)| !ann.idsets[row.0 as usize].is_empty())
-                .map(|(v, row)| (*v, ann.idsets[row.0 as usize].as_slice()))
+                .filter(|(v, row)| !v.is_nan() && !ann.ids(row.0 as usize).is_empty())
+                .map(|(v, row)| (*v, ann.ids(row.0 as usize)))
                 .collect();
             sweep_numeric(&entries, targets, is_pos, stamp, p_c, n_c, |op, threshold, p, n| {
                 consider(
                     &mut best,
-                    Constraint {
-                        rel,
-                        kind: ConstraintKind::Num { attr: aid, op, threshold },
-                    },
+                    Constraint { rel, kind: ConstraintKind::Num { attr: aid, op, threshold } },
                     p_c,
                     n_c,
                     p,
@@ -263,13 +269,23 @@ fn sweep_per_target(
             continue;
         }
         if let Some(v) = s.value(agg) {
-            vals.push((v, is_pos[id]));
+            // A NaN aggregate (e.g. avg over a NaN-valued attribute) fails
+            // every comparison at apply time: exclude it from coverage and
+            // from the threshold pool, where it would stall the `==`
+            // value-grouping loop.
+            if !v.is_nan() {
+                vals.push((v, is_pos[id]));
+            }
         }
     }
     if vals.is_empty() {
         return;
     }
-    vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp instead of `partial_cmp(..).unwrap_or(Equal)`: with NaNs a
+    // fallback-to-Equal comparator is not a total order, so the sort could
+    // leave the array arbitrarily shuffled and silently break the
+    // sorted-prefix coverage counts below.
+    vals.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Ascending: A <= v.
     let mut p = 0;
     let mut n = 0;
@@ -308,6 +324,7 @@ fn sweep_per_target(
 mod tests {
     use super::*;
     use crate::idset::IdSet;
+    use crate::propagation::Annotation;
     use crossmine_relational::{
         AttrId, AttrType, Attribute, ClassLabel, DatabaseSchema, RelationSchema,
     };
@@ -328,8 +345,7 @@ mod tests {
         schema.set_target(tid);
         let mut db = Database::new(schema).unwrap();
         for (i, (c, x)) in rows.iter().enumerate() {
-            db.push_row(tid, vec![Value::Key(i as u64), Value::Cat(*c), Value::Num(*x)])
-                .unwrap();
+            db.push_row(tid, vec![Value::Key(i as u64), Value::Cat(*c), Value::Num(*x)]).unwrap();
             db.push_label(if labels[i] { ClassLabel::POS } else { ClassLabel::NEG });
         }
         (db, labels.to_vec())
@@ -406,10 +422,7 @@ mod tests {
         // Cross-check the sweep against brute-force evaluation of every
         // threshold on a fixed irregular dataset.
         let rows: Vec<(u32, f64)> =
-            [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0]
-                .iter()
-                .map(|&x| (0u32, x))
-                .collect();
+            [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0].iter().map(|&x| (0u32, x)).collect();
         let labels = [true, false, true, true, false, true, false, false, true, false];
         let (db, is_pos) = single_rel_db(&rows, &labels);
         let targets = TargetSet::all(&is_pos);
@@ -540,8 +553,7 @@ mod tests {
         schema.set_target(tid);
         let mut db = Database::new(schema).unwrap();
         for (i, (c, x)) in rows.iter().enumerate() {
-            db.push_row(tid, vec![Value::Key(i as u64), Value::Cat(*c), Value::Num(*x)])
-                .unwrap();
+            db.push_row(tid, vec![Value::Key(i as u64), Value::Cat(*c), Value::Num(*x)]).unwrap();
         }
         // 4 targets (only first 4 rows are "targets" conceptually; labels len 4).
         let is_pos = labels.to_vec();
@@ -562,17 +574,8 @@ mod tests {
         };
         let mut stamp = Stamp::new(4);
         let params = CrossMineParams::default();
-        let best = best_constraint_in(
-            &db,
-            tid,
-            &ann,
-            &targets,
-            &is_pos,
-            &mut stamp,
-            &params,
-            true,
-        )
-        .unwrap();
+        let best = best_constraint_in(&db, tid, &ann, &targets, &is_pos, &mut stamp, &params, true)
+            .unwrap();
         match best.constraint.kind {
             ConstraintKind::Agg { agg: AggOp::Count, op: CmpOp::Ge, threshold, .. } => {
                 assert_eq!(threshold, 3.0);
@@ -580,5 +583,57 @@ mod tests {
             ref k => panic!("expected count literal, got {k:?}"),
         }
         assert_eq!((best.pos, best.neg), (2, 0));
+    }
+
+    #[test]
+    fn nan_aggregate_values_keep_sweep_deterministic() {
+        // A NaN attribute value makes sum/avg aggregates NaN for its target.
+        // The per-target sweep used to sort with `partial_cmp(..).unwrap_or
+        // (Equal)`, which leaves the array arbitrarily ordered around NaNs
+        // and silently breaks the sorted-prefix coverage counts; `total_cmp`
+        // sorts NaNs to a deterministic end. The perfect discriminator here
+        // is avg(x): 1.5 for the positives vs 50.0/60.0 for the negatives,
+        // and it must still be found with a NaN avg in the pool.
+        let mut schema = DatabaseSchema::new();
+        let mut t = RelationSchema::new("T");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        let mut c = Attribute::new("color", AttrType::Categorical);
+        c.intern("c0");
+        t.add_attribute(c).unwrap();
+        t.add_attribute(Attribute::new("x", AttrType::Numerical)).unwrap();
+        let tid = schema.add_relation(t).unwrap();
+        schema.set_target(tid);
+        let mut db = Database::new(schema).unwrap();
+        // Two rows per target: t0 sums to 3, t1 to 5, t2 to NaN, t3 to 202.
+        // No plain numerical threshold separates the classes (every cut
+        // either covers everything or mixes), but sum(x) <= 5 does.
+        let xs = [1.0, 2.0, 2.0, 3.0, f64::NAN, 1.0, 2.0, 200.0];
+        for (i, x) in xs.iter().enumerate() {
+            db.push_row(tid, vec![Value::Key(i as u64), Value::Cat(0), Value::Num(*x)]).unwrap();
+        }
+        let is_pos = vec![true, true, false, false];
+        let targets = TargetSet::all(&is_pos);
+        let ann = Annotation { idsets: (0..8).map(|i| IdSet::singleton(i / 2)).collect() };
+        let mut stamp = Stamp::new(4);
+        let params = CrossMineParams::default();
+        let run = |stamp: &mut Stamp| {
+            best_constraint_in(&db, tid, &ann, &targets, &is_pos, stamp, &params, true)
+                .expect("a discriminating aggregate literal exists")
+        };
+        let first = run(&mut stamp);
+        let second = run(&mut stamp);
+        assert_eq!(format!("{:?}", first.constraint), format!("{:?}", second.constraint));
+        assert!(first.gain.is_finite());
+        // Coverage counts must stay within the target totals (the broken
+        // sort could double-count prefix entries).
+        assert!(first.pos <= targets.pos() && first.neg <= targets.neg());
+        match first.constraint.kind {
+            ConstraintKind::Agg { agg: AggOp::Sum, op: CmpOp::Le, threshold, .. } => {
+                assert!(threshold.is_finite(), "NaN threshold chosen: {threshold}");
+                assert_eq!(threshold, 5.0);
+            }
+            ref k => panic!("expected sum <= 5 literal, got {k:?}"),
+        }
+        assert_eq!((first.pos, first.neg), (2, 0));
     }
 }

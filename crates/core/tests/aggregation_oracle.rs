@@ -8,8 +8,8 @@ use crossmine_core::propagation::{aggregate, ClauseState};
 use crossmine_core::search::best_constraint_in;
 use crossmine_core::CrossMineParams;
 use crossmine_relational::{
-    AttrId, AttrType, Attribute, ClassLabel, Database, DatabaseSchema, JoinGraph,
-    RelationSchema, Row, Value,
+    AttrId, AttrType, Attribute, ClassLabel, Database, DatabaseSchema, JoinGraph, RelationSchema,
+    Row, Value,
 };
 
 /// T (target) 1-to-n S with a numerical attribute; counts per target vary.
@@ -19,8 +19,7 @@ fn one_to_n_db(seed: u64, n_targets: u64) -> Database {
     t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
     let mut s = RelationSchema::new("S");
     s.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
-    s.add_attribute(Attribute::new("t_id", AttrType::ForeignKey { target: "T".into() }))
-        .unwrap();
+    s.add_attribute(Attribute::new("t_id", AttrType::ForeignKey { target: "T".into() })).unwrap();
     s.add_attribute(Attribute::new("x", AttrType::Numerical)).unwrap();
     let tid = schema.add_relation(t).unwrap();
     let sid = schema.add_relation(s).unwrap();
@@ -68,13 +67,8 @@ fn aggregate_stats_match_bruteforce() {
         let graph = JoinGraph::build(&db.schema);
         let target = db.target().unwrap();
         let sid = db.schema.rel_id("S").unwrap();
-        let edge = *graph
-            .edges()
-            .iter()
-            .find(|e| e.from == target && e.to == sid)
-            .unwrap();
-        let is_pos: Vec<bool> =
-            db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
+        let edge = *graph.edges().iter().find(|e| e.from == target && e.to == sid).unwrap();
+        let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
         let targets = TargetSet::all(&is_pos);
         let state = ClauseState::new(&db, &is_pos, targets.clone());
         let ann = state.propagate_edge(&edge);
@@ -103,19 +97,14 @@ fn best_aggregation_literal_matches_bruteforce_gain() {
     let graph = JoinGraph::build(&db.schema);
     let target = db.target().unwrap();
     let sid = db.schema.rel_id("S").unwrap();
-    let edge = *graph
-        .edges()
-        .iter()
-        .find(|e| e.from == target && e.to == sid)
-        .unwrap();
+    let edge = *graph.edges().iter().find(|e| e.from == target && e.to == sid).unwrap();
     let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
     let targets = TargetSet::all(&is_pos);
     let state = ClauseState::new(&db, &is_pos, targets.clone());
     let ann = state.propagate_edge(&edge);
     let mut stamp = Stamp::new(db.num_targets());
     let params = CrossMineParams::default();
-    let best =
-        best_constraint_in(&db, sid, &ann, &targets, &is_pos, &mut stamp, &params, true);
+    let best = best_constraint_in(&db, sid, &ann, &targets, &is_pos, &mut stamp, &params, true);
 
     // Brute force every aggregation literal: for each (agg, op, threshold
     // drawn from realized aggregate values), count covered pos/neg and
@@ -156,14 +145,9 @@ fn best_aggregation_literal_matches_bruteforce_gain() {
     }
     // Plain numerical literals on S.x compete too; compute their best gain.
     let s = db.relation(sid);
-    let xs: Vec<f64> = s
-        .iter_rows()
-        .map(|r| s.value(r, AttrId(2)).as_num().unwrap())
-        .collect();
-    let owner: Vec<usize> = s
-        .iter_rows()
-        .map(|r| s.value(r, AttrId(1)).as_key().unwrap() as usize)
-        .collect();
+    let xs: Vec<f64> = s.iter_rows().map(|r| s.value(r, AttrId(2)).as_num().unwrap()).collect();
+    let owner: Vec<usize> =
+        s.iter_rows().map(|r| s.value(r, AttrId(1)).as_key().unwrap() as usize).collect();
     for &threshold in &xs {
         for op in [CmpOp::Le, CmpOp::Ge] {
             let mut seen = vec![false; db.num_targets()];
@@ -195,20 +179,12 @@ fn zero_child_targets_never_satisfy_aggregation() {
     let graph = JoinGraph::build(&db.schema);
     let target = db.target().unwrap();
     let sid = db.schema.rel_id("S").unwrap();
-    let edge = *graph
-        .edges()
-        .iter()
-        .find(|e| e.from == target && e.to == sid)
-        .unwrap();
+    let edge = *graph.edges().iter().find(|e| e.from == target && e.to == sid).unwrap();
     let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
     let mut state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
     let brute = brute_aggregates(&db);
-    let childless: Vec<u32> = brute
-        .iter()
-        .enumerate()
-        .filter(|(_, &(c, _))| c == 0)
-        .map(|(t, _)| t as u32)
-        .collect();
+    let childless: Vec<u32> =
+        brute.iter().enumerate().filter(|(_, &(c, _))| c == 0).map(|(t, _)| t as u32).collect();
     assert!(!childless.is_empty(), "want some childless targets in this seed");
 
     // count(*) <= huge threshold still excludes childless targets.

@@ -1,0 +1,144 @@
+//! Property tests for the CSR propagation scratch: the allocation-free
+//! two-pass construction must agree, set for set, with the reference
+//! bucket-and-`IdSet::from_ids` semantics of Definition 2.
+
+use proptest::prelude::*;
+
+use crossmine_core::idset::{IdSet, TargetSet};
+use crossmine_core::propagation::{propagate, Annotation, PropagationScratch};
+use crossmine_relational::{
+    AttrType, Attribute, Database, DatabaseSchema, JoinEdge, JoinGraph, RelationSchema, Row, Value,
+};
+
+/// `T(pk)` ← `S(pk, fk → T)` with `fks[i]` giving S row i's foreign key
+/// (`None` = null). Returns the database and the `T → S` join edge.
+fn two_rel_db(num_targets: usize, fks: &[Option<u64>]) -> (Database, JoinEdge) {
+    let mut schema = DatabaseSchema::new();
+    let mut t = RelationSchema::new("T");
+    t.add_attribute(Attribute::new("t_id", AttrType::PrimaryKey)).unwrap();
+    let mut s = RelationSchema::new("S");
+    s.add_attribute(Attribute::new("s_id", AttrType::PrimaryKey)).unwrap();
+    s.add_attribute(Attribute::new("t_id", AttrType::ForeignKey { target: "T".into() })).unwrap();
+    let tid = schema.add_relation(t).unwrap();
+    let sid = schema.add_relation(s).unwrap();
+    schema.set_target(tid);
+    let mut db = Database::new(schema).unwrap();
+    for i in 0..num_targets as u64 {
+        db.push_row(tid, vec![Value::Key(i)]).unwrap();
+        db.push_label(crossmine_relational::ClassLabel::POS);
+    }
+    for (i, fk) in fks.iter().enumerate() {
+        let fk = fk.map_or(Value::Null, Value::Key);
+        db.push_row(sid, vec![Value::Key(i as u64), fk]).unwrap();
+    }
+    let graph = JoinGraph::build(&db.schema);
+    let edge = *graph.edges_from(tid).find(|e| e.to == sid).expect("schema has a T -> S edge");
+    (db, edge)
+}
+
+/// Reference propagation: the original bucket construction, kept here as the
+/// executable spec the CSR path is checked against.
+fn reference_propagate(db: &Database, from_ann: &Annotation, edge: &JoinEdge) -> Annotation {
+    let from_rel = db.relation(edge.from);
+    let to_rel = db.relation(edge.to);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); to_rel.len()];
+    for (i, set) in from_ann.idsets.iter().enumerate() {
+        if set.is_empty() {
+            continue;
+        }
+        let key = match from_rel.value(Row(i as u32), edge.from_attr) {
+            Value::Key(k) => k,
+            _ => continue,
+        };
+        for (j, bucket) in buckets.iter_mut().enumerate() {
+            if to_rel.value(Row(j as u32), edge.to_attr) != Value::Key(key) {
+                continue;
+            }
+            if edge.from == edge.to && j == i && edge.from_attr == edge.to_attr {
+                continue;
+            }
+            bucket.extend(set.iter());
+        }
+    }
+    Annotation { idsets: buckets.into_iter().map(IdSet::from_ids).collect() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One-hop and round-trip propagation through the CSR scratch equal the
+    /// bucket reference on random fk layouts (nulls, dangling-free keys,
+    /// shared keys forcing per-row dedup).
+    #[test]
+    fn csr_propagation_matches_bucket_reference(
+        num_targets in 1usize..16,
+        raw_fks in prop::collection::vec((0u64..64, 0u32..8), 0..48),
+    ) {
+        let fks: Vec<Option<u64>> = raw_fks
+            .iter()
+            .map(|&(k, null)| (null != 0).then_some(k % num_targets as u64))
+            .collect();
+        let (db, edge) = two_rel_db(num_targets, &fks);
+        let is_pos = vec![true; num_targets];
+        let identity = Annotation::identity(num_targets, &TargetSet::all(&is_pos));
+
+        let fwd = propagate(&db, &identity, &edge);
+        let fwd_ref = reference_propagate(&db, &identity, &edge);
+        prop_assert_eq!(&fwd.idsets, &fwd_ref.idsets);
+
+        // Round trip S -> T: fan-in unions exercise sort + dedup.
+        let back = propagate(&db, &fwd, &edge.reversed());
+        let back_ref = reference_propagate(&db, &fwd_ref, &edge.reversed());
+        prop_assert_eq!(&back.idsets, &back_ref.idsets);
+    }
+
+    /// A scratch reused across propagations produces the same results as
+    /// fresh ones — stale buffer contents must never leak between calls.
+    #[test]
+    fn scratch_reuse_is_stateless(
+        num_targets in 1usize..12,
+        raw_fks in prop::collection::vec((0u64..32, 0u32..4), 1..32),
+    ) {
+        let fks: Vec<Option<u64>> = raw_fks
+            .iter()
+            .map(|&(k, null)| (null != 0).then_some(k % num_targets as u64))
+            .collect();
+        let (db, edge) = two_rel_db(num_targets, &fks);
+        let is_pos = vec![true; num_targets];
+        let identity = Annotation::identity(num_targets, &TargetSet::all(&is_pos));
+
+        let mut reused = PropagationScratch::new();
+        // Dirty the buffers with an unrelated (reversed, empty-source) pass.
+        reused.propagate_from(&db, Annotation::empty(fks.len()).view(), &edge.reversed());
+        reused.propagate_from(&db, identity.view(), &edge);
+        let with_reuse = reused.to_annotation();
+
+        let mut fresh = PropagationScratch::new();
+        fresh.propagate_from(&db, identity.view(), &edge);
+        prop_assert_eq!(&with_reuse.idsets, &fresh.to_annotation().idsets);
+
+        // And both match the free-function wrapper.
+        prop_assert_eq!(&with_reuse.idsets, &propagate(&db, &identity, &edge).idsets);
+    }
+
+    /// `Annotation::from_csr` reconstructs exactly the per-row sets that
+    /// `IdSet::from_ids` builds from the same buckets.
+    #[test]
+    fn from_csr_equals_from_ids(
+        buckets in prop::collection::vec(prop::collection::vec(0u32..40, 0..10), 0..20),
+    ) {
+        let mut offsets = vec![0u32];
+        let mut ids = Vec::new();
+        for b in &buckets {
+            let mut sorted = b.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            ids.extend_from_slice(&sorted);
+            offsets.push(ids.len() as u32);
+        }
+        let ann = Annotation::from_csr(&offsets, &ids);
+        let expected: Vec<IdSet> =
+            buckets.iter().map(|b| IdSet::from_ids(b.clone())).collect();
+        prop_assert_eq!(&ann.idsets, &expected);
+    }
+}

@@ -70,18 +70,15 @@ fn fanout_constraint_blocks_hub_propagation() {
     for clause in &model.clauses {
         for lit in &clause.literals {
             assert_ne!(
-                lit.constraint.rel, noise,
+                lit.constraint.rel,
+                noise,
                 "fan-out-limited learner must not constrain the hub-side Noise relation: {}",
                 clause.display(&db.schema)
             );
         }
     }
     assert!(
-        model
-            .clauses
-            .iter()
-            .flat_map(|c| &c.literals)
-            .any(|l| l.constraint.rel == signal),
+        model.clauses.iter().flat_map(|c| &c.literals).any(|l| l.constraint.rel == signal),
         "the selective Signal literal should be used"
     );
     // Accuracy survives because Signal carries the class.
@@ -112,13 +109,11 @@ fn fk_fk_join_learnable() {
     let mut schema = DatabaseSchema::new();
     let mut t = RelationSchema::new("T");
     t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
-    t.add_attribute(Attribute::new("k", AttrType::ForeignKey { target: "Hub".into() }))
-        .unwrap();
+    t.add_attribute(Attribute::new("k", AttrType::ForeignKey { target: "Hub".into() })).unwrap();
     let mut hub = RelationSchema::new("Hub");
     hub.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
     let mut s = RelationSchema::new("S");
-    s.add_attribute(Attribute::new("k", AttrType::ForeignKey { target: "Hub".into() }))
-        .unwrap();
+    s.add_attribute(Attribute::new("k", AttrType::ForeignKey { target: "Hub".into() })).unwrap();
     let mut c = Attribute::new("c", AttrType::Categorical);
     c.intern("p");
     c.intern("q");
@@ -142,11 +137,7 @@ fn fk_fk_join_learnable() {
     assert_eq!(correct, rows.len(), "fk–fk reachable signal must be learned");
     // And at least one learned literal constrains S (reached via fk–fk or
     // the two-step path through Hub).
-    assert!(model
-        .clauses
-        .iter()
-        .flat_map(|c| &c.literals)
-        .any(|l| l.constraint.rel == sid));
+    assert!(model.clauses.iter().flat_map(|c| &c.literals).any(|l| l.constraint.rel == sid));
 }
 
 #[test]
@@ -154,8 +145,7 @@ fn null_foreign_keys_handled_throughout() {
     let mut schema = DatabaseSchema::new();
     let mut t = RelationSchema::new("T");
     t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
-    t.add_attribute(Attribute::new("s_id", AttrType::ForeignKey { target: "S".into() }))
-        .unwrap();
+    t.add_attribute(Attribute::new("s_id", AttrType::ForeignKey { target: "S".into() })).unwrap();
     let mut s = RelationSchema::new("S");
     s.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
     let mut c = Attribute::new("c", AttrType::Categorical);

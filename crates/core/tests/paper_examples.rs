@@ -16,11 +16,7 @@ fn fig4_propagation_and_fig2_gain() {
     let loan = db.schema.rel_id("Loan").unwrap();
     let account = db.schema.rel_id("Account").unwrap();
     let graph = JoinGraph::build(&db.schema);
-    let edge = *graph
-        .edges()
-        .iter()
-        .find(|e| e.from == loan && e.to == account)
-        .unwrap();
+    let edge = *graph.edges().iter().find(|e| e.from == loan && e.to == account).unwrap();
     let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
     let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
     let ann = state.propagate_edge(&edge);
@@ -73,11 +69,8 @@ fn fig7_clause_shape_is_the_papers() {
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
     let model = CrossMine::default().fit(&db, &rows);
     let client = db.schema.rel_id("Client").unwrap();
-    let pos_clause = model
-        .clauses
-        .iter()
-        .find(|c| c.label == ClassLabel::POS)
-        .expect("positive clause learned");
+    let pos_clause =
+        model.clauses.iter().find(|c| c.label == ClassLabel::POS).expect("positive clause learned");
     let lit = pos_clause
         .literals
         .iter()
@@ -89,10 +82,7 @@ fn fig7_clause_shape_is_the_papers() {
         "Has_Loan",
         "first hop goes through the relationship relation"
     );
-    assert!(matches!(
-        lit.constraint.kind,
-        ConstraintKind::Num { attr: AttrId(1), .. }
-    ));
+    assert!(matches!(lit.constraint.kind, ConstraintKind::Num { attr: AttrId(1), .. }));
     // Rendered form matches the paper's bracket notation structure.
     let display = lit.display(&db.schema);
     assert!(display.contains("Loan.loan_id -> Has_Loan.loan_id"), "{display}");
@@ -106,11 +96,8 @@ fn fig7_unsolvable_without_look_one_ahead_at_length_one() {
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
     // Single-literal clauses without look-one-ahead: Client unreachable,
     // so no clause can clear the gain bar.
-    let params = CrossMineParams {
-        look_one_ahead: false,
-        max_clause_length: 1,
-        ..Default::default()
-    };
+    let params =
+        CrossMineParams { look_one_ahead: false, max_clause_length: 1, ..Default::default() };
     let model = CrossMine::new(params).fit(&db, &rows);
     assert_eq!(
         model.num_clauses(),

@@ -37,7 +37,8 @@ fn recovers_planted_structure_r5() {
 fn recovers_planted_structure_r10() {
     // Paper scale (T=500): the §7.1 synthetic band is ~85–93%; accept a
     // margin for fold/seed noise.
-    let params = GenParams { num_relations: 10, expected_tuples: 500, seed: 33, ..Default::default() };
+    let params =
+        GenParams { num_relations: 10, expected_tuples: 500, seed: 33, ..Default::default() };
     let db = generate(&params);
     let clf = CrossMine::default();
     let result = cross_validate(&clf, &db, 10, 7, 3);
@@ -56,8 +57,7 @@ fn sampling_version_close_to_full_version() {
     };
     let db = generate(&params);
     let full = cross_validate(&CrossMine::default(), &db, 5, 7, 3);
-    let sampled =
-        cross_validate(&CrossMine::new(CrossMineParams::with_sampling()), &db, 5, 7, 3);
+    let sampled = cross_validate(&CrossMine::new(CrossMineParams::with_sampling()), &db, 5, 7, 3);
     // "the sampling method only slightly sacrifices the accuracy"
     assert!(
         sampled.mean_accuracy() > full.mean_accuracy() - 0.12,

@@ -1,0 +1,274 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-definition surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, groups, `bench_with_input`,
+//! `Bencher::iter`) over a plain wall-clock harness: each benchmark is
+//! calibrated to the configured measurement time, run in fixed-size
+//! samples, and reported as `min / mean / max` nanoseconds per iteration
+//! on stdout. No statistics beyond that, no HTML reports.
+//!
+//! CLI behaviour: positional arguments act as substring filters on the
+//! benchmark id; `--test` (what `cargo test --benches` passes) runs every
+//! benchmark body exactly once to check it executes.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filters: Vec<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filters = Vec::new();
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                s if s.starts_with("--") => {} // ignore harness flags
+                s => filters.push(s.to_string()),
+            }
+        }
+        Criterion { filters, test_mode }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.to_string();
+        if !self.selected(&id) {
+            return;
+        }
+        run_one(&id, self.test_mode, 10, Duration::from_secs(1), &mut f);
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.selected(&full) {
+            return;
+        }
+        run_one(&full, self.criterion.test_mode, self.sample_size, self.measurement_time, &mut f);
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark id of the form `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter display form.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Declared throughput of a benchmark (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the code under
+/// test.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Nanoseconds per iteration of each timed sample.
+    samples: Vec<f64>,
+}
+
+enum BenchMode {
+    /// Run the closure once (`--test`).
+    Once,
+    /// Calibrate then time: (samples, time budget).
+    Measure(usize, Duration),
+}
+
+impl Bencher {
+    /// Measures the closure. Results are accumulated into the harness
+    /// report; return values are passed through `black_box` so the work is
+    /// not optimised away.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        match self.mode {
+            BenchMode::Once => {
+                black_box(f());
+            }
+            BenchMode::Measure(samples, budget) => {
+                // Calibrate: how many iterations fit one sample slot?
+                let t0 = Instant::now();
+                black_box(f());
+                let once = t0.elapsed().max(Duration::from_nanos(1));
+                let per_sample = budget.div_duration_f64(once) / samples as f64;
+                let iters = per_sample.clamp(1.0, 1e9) as u64;
+                for _ in 0..samples {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+                    self.samples.push(ns);
+                }
+            }
+        }
+    }
+}
+
+fn run_one(
+    id: &str,
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mode =
+        if test_mode { BenchMode::Once } else { BenchMode::Measure(sample_size, measurement_time) };
+    let mut b = Bencher { mode, samples: Vec::new() };
+    f(&mut b);
+    if test_mode {
+        println!("test {id} ... ok");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{id:<50} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!("{id:<50} [{} {} {}]", format_ns(min), format_ns(mean), format_ns(max));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("prop", 500).to_string(), "prop/500");
+    }
+
+    #[test]
+    fn measure_collects_samples() {
+        let mut b =
+            Bencher { mode: BenchMode::Measure(3, Duration::from_millis(10)), samples: Vec::new() };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&ns| ns > 0.0));
+        assert!(count > 3);
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(2_500.0), "2.50 µs");
+        assert_eq!(format_ns(3_000_000.0), "3.00 ms");
+        assert_eq!(format_ns(1_500_000_000.0), "1.500 s");
+    }
+}

@@ -352,8 +352,7 @@ pub fn generate(config: &FinancialConfig) -> Database {
     // Orders: amounts scale with account wealth.
     for o in 0..config.orders {
         let a = rng.gen_range(0..config.accounts);
-        let amount =
-            (3000.0 + 1800.0 * wealth[a] + 900.0 * normal.sample(&mut rng)).max(100.0);
+        let amount = (3000.0 + 1800.0 * wealth[a] + 900.0 * normal.sample(&mut rng)).max(100.0);
         db.push_row_unchecked(
             ids.order,
             vec![
@@ -398,10 +397,9 @@ pub fn generate(config: &FinancialConfig) -> Database {
         let duration = *[12.0, 24.0, 36.0, 48.0, 60.0].choose(&mut rng).unwrap();
         let freq_monthly = {
             // read back the frequency we stored
-            let v = db.relation(ids.account).value(
-                crossmine_relational::Row(a as u32),
-                crossmine_relational::AttrId(2),
-            );
+            let v = db
+                .relation(ids.account)
+                .value(crossmine_relational::Row(a as u32), crossmine_relational::AttrId(2));
             matches!(v, Value::Cat(0))
         };
         let risk = 2.0 * wealth[a] + if freq_monthly { 0.8 } else { 0.0 }

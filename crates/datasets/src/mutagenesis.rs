@@ -40,7 +40,13 @@ pub struct MutagenesisConfig {
 
 impl Default for MutagenesisConfig {
     fn default() -> Self {
-        MutagenesisConfig { molecules: 188, positives: 124, mean_atoms: 26.0, label_noise: 0.15, seed: 7 }
+        MutagenesisConfig {
+            molecules: 188,
+            positives: 124,
+            mean_atoms: 26.0,
+            label_noise: 0.15,
+            seed: 7,
+        }
     }
 }
 
@@ -146,8 +152,7 @@ pub fn generate(config: &MutagenesisConfig) -> Database {
         let m1 = -1.85 - lumo;
         let m2 = (logp - 3.2).min((aromatic_frac - 0.40) * 6.0);
         let m3 = if ind1 == 1 { -1.2 - lumo } else { f64::NEG_INFINITY };
-        let score =
-            m1.max(m2).max(m3) + config.label_noise * normal.sample(&mut rng);
+        let score = m1.max(m2).max(m3) + config.label_noise * normal.sample(&mut rng);
         mols.push(Mol { logp, lumo, aromatic_frac, ind1, score });
     }
     let mut order: Vec<usize> = (0..mols.len()).collect();

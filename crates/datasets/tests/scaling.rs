@@ -57,7 +57,8 @@ fn financial_noise_monotonically_blurs_signal() {
     // strongest planted feature (order amounts) — sanity that the noise
     // knob does what EXPERIMENTS.md claims.
     let sep = |noise: f64| -> f64 {
-        let db = generate_financial(&FinancialConfig { label_noise: noise, ..FinancialConfig::small() });
+        let db =
+            generate_financial(&FinancialConfig { label_noise: noise, ..FinancialConfig::small() });
         let order = db.schema.rel_id("Order").unwrap();
         let loan = db.schema.rel_id("Loan").unwrap();
         let fk = db.schema.relation(order).attr_id("account_id").unwrap();
@@ -89,12 +90,8 @@ fn financial_noise_monotonically_blurs_signal() {
 
 #[test]
 fn mutagenesis_custom_sizes() {
-    let cfg = MutagenesisConfig {
-        molecules: 50,
-        positives: 30,
-        mean_atoms: 12.0,
-        ..Default::default()
-    };
+    let cfg =
+        MutagenesisConfig { molecules: 50, positives: 30, mean_atoms: 12.0, ..Default::default() };
     let db = generate_mutagenesis(&cfg);
     assert_eq!(db.num_targets(), 50);
     let pos = db.labels().iter().filter(|&&l| l == ClassLabel::POS).count();
@@ -122,10 +119,6 @@ fn bond_self_join_edges_exist() {
     let db = generate_mutagenesis(&MutagenesisConfig::default());
     let graph = JoinGraph::build(&db.schema);
     let bond = db.schema.rel_id("Bond").unwrap();
-    let self_edges = graph
-        .edges()
-        .iter()
-        .filter(|e| e.from == bond && e.to == bond)
-        .count();
+    let self_edges = graph.edges().iter().filter(|e| e.from == bond && e.to == bond).count();
     assert_eq!(self_edges, 2, "atom1=atom2 and atom2=atom1");
 }

@@ -1,0 +1,297 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace ships a
+//! minimal property-testing harness with the same surface the tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`], range and
+//! [`any`] strategies, [`collection::vec`], [`prop_oneof!`], [`Just`], and
+//! `prop_map`. Failing cases report their inputs; there is **no shrinking**
+//! — rerun with the printed inputs to debug.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+pub mod num;
+pub mod strategy;
+
+pub use strategy::{Arbitrary, BoxedStrategy, Just, Strategy};
+
+/// Non-success outcome of one generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(&'static str),
+    /// `prop_assert!`-family failure with its message.
+    Fail(String),
+}
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases each test must accumulate.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-(test, case) generator used by the [`proptest!`]
+/// expansion. Seeded from an FNV-1a hash of the test path and the case
+/// index so every test sees an independent, reproducible stream.
+pub fn test_rng(test_path: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e3779b97f4a7c15))
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+
+    /// Namespaced strategy modules (`prop::num::f64::NORMAL`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests. Each function runs `config.cases` successful
+/// random cases; failures panic with the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    // `#[test]` is captured by the meta repetition (macro_rules cannot match
+    // it literally after an attribute repetition without ambiguity) and
+    // re-emitted verbatim, along with any doc comments or other attributes.
+    (cfg = $cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut successes: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = cfg.cases.saturating_mul(8).max(64);
+                while successes < cfg.cases && attempts < max_attempts {
+                    let mut __rng = $crate::test_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        attempts as u64,
+                    );
+                    attempts += 1;
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                    // Captured before the body, which may consume the inputs.
+                    let __inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(concat!("  ", stringify!($arg), " = "));
+                            s.push_str(&format!("{:?}\n", &$arg));
+                        )+
+                        s
+                    };
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => successes += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => panic!(
+                            "proptest {} failed at case {}:\n{}\ninputs:\n{}",
+                            stringify!($name), attempts, msg, __inputs
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (skipped, not failed) when the condition is
+/// false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Picks uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::boxed_strategy($strat) ),+
+        ])
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, y in -4i32..=4, z in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&z));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u32..10, 2..6), w in crate::collection::vec(any::<bool>(), 4)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![Just(1u32), Just(2u32), (5u32..8).prop_map(|v| v * 10)]) {
+            prop_assert!(x == 1 || x == 2 || (50..80).contains(&x), "unexpected {x}");
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn normal_floats_are_normal(x in crate::num::f64::NORMAL) {
+            prop_assert!(x.is_normal(), "{x} not a normal float");
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic() {
+        use rand::RngCore;
+        let mut a = crate::test_rng("mod::case", 3);
+        let mut b = crate::test_rng("mod::case", 3);
+        let mut c = crate::test_rng("mod::case", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(b.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn prop_assert_failures_surface_as_errors() {
+        // Exercise the Err path of the assert macros directly.
+        fn failing() -> Result<(), crate::TestCaseError> {
+            prop_assert!(1 > 2, "one is not greater than two");
+            Ok(())
+        }
+        match failing() {
+            Err(crate::TestCaseError::Fail(msg)) => {
+                assert!(msg.contains("one is not greater"))
+            }
+            other => panic!("expected Fail, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Numeric strategies (`prop::num`).
+
+/// `f64` strategies.
+pub mod f64 {
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    use crate::strategy::Strategy;
+
+    /// Generates *normal* floats: finite, non-zero, non-subnormal, either
+    /// sign. Mirrors `proptest::num::f64::NORMAL`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormalF64;
+
+    /// The normal-float strategy instance.
+    pub const NORMAL: NormalF64 = NormalF64;
+
+    impl Strategy for NormalF64 {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            let sign = rng.next_u64() & 1;
+            // Biased exponent in [1, 2046]: excludes subnormals/zero (0)
+            // and inf/NaN (2047). Bias the draw toward mid-range exponents
+            // to keep magnitudes testable.
+            let exp = 1 + rng.next_u64() % 2046;
+            let mantissa = rng.next_u64() >> 12;
+            f64::from_bits((sign << 63) | (exp << 52) | mantissa)
+        }
+    }
+}

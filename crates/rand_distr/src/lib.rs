@@ -1,0 +1,112 @@
+//! Offline stand-in for the `rand_distr` crate: the [`Normal`] and [`Exp`]
+//! distributions this workspace's data generators use, over the local
+//! `rand` shim.
+
+use rand::{Rng, RngCore};
+
+/// Types that can draw samples of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Error from invalid distribution parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal distribution; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(ParamError("Normal requires a finite std_dev >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms per sample, second half discarded to keep
+        // the distribution stateless.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE); // avoid ln(0)
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// The exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// An exponential distribution; `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ParamError("Exp requires a finite lambda > 0"));
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-2.0).is_err());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_and_positivity() {
+        let d = Exp::new(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x >= 0.0));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+}

@@ -123,7 +123,12 @@ impl DatabaseBuilder {
 impl Database {
     /// Interns a categorical label on `rel`'s attribute `attr_name`,
     /// returning the code to store. Builder-style convenience.
-    pub fn intern(&mut self, rel: crate::schema::RelId, attr_name: &str, label: &str) -> Result<u32> {
+    pub fn intern(
+        &mut self,
+        rel: crate::schema::RelId,
+        attr_name: &str,
+        label: &str,
+    ) -> Result<u32> {
         let aid = self.schema.relation(rel).attr_id(attr_name).ok_or_else(|| {
             crate::error::RelationalError::UnknownAttribute {
                 relation: self.schema.relation(rel).name.clone(),
@@ -144,10 +149,7 @@ mod tests {
     fn builds_a_valid_database() {
         let mut b = DatabaseBuilder::new();
         b.relation("T").primary_key("id").numerical("x").target();
-        b.relation("S")
-            .primary_key("id")
-            .foreign_key("t_id", "T")
-            .categorical("c");
+        b.relation("S").primary_key("id").foreign_key("t_id", "T").categorical("c");
         let mut db = b.build().unwrap();
         assert_eq!(db.schema.num_relations(), 2);
         let t = db.schema.rel_id("T").unwrap();
@@ -190,9 +192,6 @@ mod tests {
         b.relation("T").primary_key("id").target();
         let mut db = b.build().unwrap();
         let t = db.schema.rel_id("T").unwrap();
-        assert!(matches!(
-            db.intern(t, "nope", "x"),
-            Err(RelationalError::UnknownAttribute { .. })
-        ));
+        assert!(matches!(db.intern(t, "nope", "x"), Err(RelationalError::UnknownAttribute { .. })));
     }
 }

@@ -38,8 +38,7 @@ pub fn save_dir(db: &Database, dir: impl AsRef<Path>) -> Result<()> {
     fs::create_dir_all(dir).map_err(csv_err)?;
     let target = db.schema.target.map(|t| db.schema.relation(t).name.clone());
     {
-        let mut meta =
-            BufWriter::new(fs::File::create(dir.join("_meta.csv")).map_err(csv_err)?);
+        let mut meta = BufWriter::new(fs::File::create(dir.join("_meta.csv")).map_err(csv_err)?);
         writeln!(meta, "target,{}", target.clone().unwrap_or_default()).map_err(csv_err)?;
     }
     for (rid, rschema) in db.schema.iter_relations() {
@@ -229,8 +228,7 @@ mod tests {
         let mut schema = DatabaseSchema::new();
         let mut t = RelationSchema::new("T");
         t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
-        t.add_attribute(Attribute::new("r", AttrType::ForeignKey { target: "S".into() }))
-            .unwrap();
+        t.add_attribute(Attribute::new("r", AttrType::ForeignKey { target: "S".into() })).unwrap();
         t.add_attribute(Attribute::new("x", AttrType::Numerical)).unwrap();
         let mut s = RelationSchema::new("S");
         s.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();

@@ -289,8 +289,7 @@ mod tests {
             (67, weekly, 950101.0),
         ];
         for (aid, f, d) in accounts {
-            db.push_row(account_id, vec![Value::Key(aid), Value::Cat(f), Value::Num(d)])
-                .unwrap();
+            db.push_row(account_id, vec![Value::Key(aid), Value::Cat(f), Value::Num(d)]).unwrap();
         }
         db
     }

@@ -83,11 +83,8 @@ pub fn fig7_loan_client(n: u64) -> Database {
     let mut loan = RelationSchema::new("Loan");
     loan.add_attribute(Attribute::new("loan_id", AttrType::PrimaryKey)).expect("fresh");
     let mut has = RelationSchema::new("Has_Loan");
-    has.add_attribute(Attribute::new(
-        "loan_id",
-        AttrType::ForeignKey { target: "Loan".into() },
-    ))
-    .expect("fresh");
+    has.add_attribute(Attribute::new("loan_id", AttrType::ForeignKey { target: "Loan".into() }))
+        .expect("fresh");
     has.add_attribute(Attribute::new(
         "client_id",
         AttrType::ForeignKey { target: "Client".into() },
@@ -133,22 +130,15 @@ mod tests {
         let loan = db.schema.rel_id("Loan").unwrap();
         let account = db.schema.rel_id("Account").unwrap();
         let graph = JoinGraph::build(&db.schema);
-        let edge = *graph
-            .edges()
-            .iter()
-            .find(|e| e.from == loan && e.to == account)
-            .unwrap();
-        let bt = BindingTable::from_targets(loan, db.relation(loan).iter_rows())
-            .join(&db, 0, &edge);
+        let edge = *graph.edges().iter().find(|e| e.from == loan && e.to == account).unwrap();
+        let bt =
+            BindingTable::from_targets(loan, db.relation(loan).iter_rows()).join(&db, 0, &edge);
         let monthly = db.schema.relation(account).attr(AttrId(1)).code_of("monthly").unwrap();
         let acc_rel = db.relation(account);
-        let sat = bt
-            .filter(1, |r| acc_rel.value(r, AttrId(1)) == Value::Cat(monthly))
-            .distinct_targets();
-        let loan_ids: Vec<u64> = sat
-            .iter()
-            .map(|r| db.relation(loan).value(*r, AttrId(0)).as_key().unwrap())
-            .collect();
+        let sat =
+            bt.filter(1, |r| acc_rel.value(r, AttrId(1)) == Value::Cat(monthly)).distinct_targets();
+        let loan_ids: Vec<u64> =
+            sat.iter().map(|r| db.relation(loan).value(*r, AttrId(0)).as_key().unwrap()).collect();
         assert_eq!(loan_ids, vec![1, 2, 4, 5]);
     }
 
@@ -160,11 +150,7 @@ mod tests {
         assert_eq!(db.dangling_foreign_keys(), 0);
         // Has_Loan has no non-key attributes — the Fig. 7 point.
         let has = db.schema.rel_id("Has_Loan").unwrap();
-        assert!(db
-            .schema
-            .relation(has)
-            .iter_attrs()
-            .all(|(_, a)| a.ty.is_key()));
+        assert!(db.schema.relation(has).iter_attrs().all(|(_, a)| a.ty.is_key()));
         let graph = JoinGraph::build(&db.schema);
         assert!(graph.is_connected_from(db.target().unwrap()));
     }

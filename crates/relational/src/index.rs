@@ -65,7 +65,10 @@ impl SortedIndex {
             .enumerate()
             .filter_map(|(i, v)| v.as_num().map(|x| (x, Row(i as u32))))
             .collect();
-        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        // `partial_cmp(..).unwrap_or(Equal)` is not a total order: one NaN in
+        // the column breaks transitivity and can leave even the finite values
+        // unsorted, corrupting every downstream prefix sweep.
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
         SortedIndex { entries }
     }
 
@@ -99,8 +102,7 @@ mod tests {
     #[test]
     fn key_index_groups_rows() {
         let mut s = RelationSchema::new("T");
-        s.add_attribute(Attribute::new("k", AttrType::ForeignKey { target: "X".into() }))
-            .unwrap();
+        s.add_attribute(Attribute::new("k", AttrType::ForeignKey { target: "X".into() })).unwrap();
         let mut r = Relation::new(&s);
         for k in [5u64, 7, 5, 9, 5, 7] {
             r.push_unchecked(vec![Value::Key(k)]);

@@ -86,7 +86,13 @@ impl JoinGraph {
         // Type 1: fk <-> pk.
         for &(rid, aid, tid) in &fks {
             if let Some(pk) = schema.relation(tid).primary_key {
-                let e = JoinEdge { from: rid, from_attr: aid, to: tid, to_attr: pk, kind: JoinKind::FkToPk };
+                let e = JoinEdge {
+                    from: rid,
+                    from_attr: aid,
+                    to: tid,
+                    to_attr: pk,
+                    kind: JoinKind::FkToPk,
+                };
                 edges.push(e);
                 edges.push(e.reversed());
             }
@@ -95,7 +101,13 @@ impl JoinGraph {
         for (i, &(r1, a1, t1)) in fks.iter().enumerate() {
             for &(r2, a2, t2) in fks.iter().skip(i + 1) {
                 if t1 == t2 {
-                    let e = JoinEdge { from: r1, from_attr: a1, to: r2, to_attr: a2, kind: JoinKind::FkFk };
+                    let e = JoinEdge {
+                        from: r1,
+                        from_attr: a1,
+                        to: r2,
+                        to_attr: a2,
+                        kind: JoinKind::FkFk,
+                    };
                     edges.push(e);
                     edges.push(e.reversed());
                 }

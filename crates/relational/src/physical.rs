@@ -59,12 +59,7 @@ impl BindingTable {
 
     /// Slots binding relation `rel` (a relation can be bound more than once).
     pub fn slots_of(&self, rel: RelId) -> Vec<usize> {
-        self.bound
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| **r == rel)
-            .map(|(i, _)| i)
-            .collect()
+        self.bound.iter().enumerate().filter(|(_, r)| **r == rel).map(|(i, _)| i).collect()
     }
 
     /// Physically joins this table with `edge.to`, matching the join column of
@@ -276,7 +271,8 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert_eq!(a.bound, b.bound);
         let rows_a: Vec<(Row, Row)> = (0..a.len()).map(|i| (a.row(i, 0), a.row(i, 1))).collect();
-        let mut rows_b: Vec<(Row, Row)> = (0..b.len()).map(|i| (b.row(i, 0), b.row(i, 1))).collect();
+        let mut rows_b: Vec<(Row, Row)> =
+            (0..b.len()).map(|i| (b.row(i, 0), b.row(i, 1))).collect();
         let mut rows_a = rows_a;
         rows_a.sort();
         rows_b.sort();

@@ -216,13 +216,12 @@ impl DatabaseSchema {
         for rel in &self.relations {
             for attr in &rel.attributes {
                 if let AttrType::ForeignKey { target } = &attr.ty {
-                    let tid = self.rel_id(target).ok_or_else(|| {
-                        RelationalError::BadForeignKey {
+                    let tid =
+                        self.rel_id(target).ok_or_else(|| RelationalError::BadForeignKey {
                             relation: rel.name.clone(),
                             attribute: attr.name.clone(),
                             reason: format!("referenced relation `{target}` does not exist"),
-                        }
-                    })?;
+                        })?;
                     if self.relation(tid).primary_key.is_none() {
                         return Err(RelationalError::BadForeignKey {
                             relation: rel.name.clone(),

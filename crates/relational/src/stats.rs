@@ -95,8 +95,7 @@ pub fn column_stats(db: &Database, rel: RelId, attr: AttrId, name: &str) -> Colu
             }
         }
     }
-    let is_num =
-        matches!(db.schema.relation(rel).attr(attr).ty, AttrType::Numerical) && nums > 0;
+    let is_num = matches!(db.schema.relation(rel).attr(attr).ty, AttrType::Numerical) && nums > 0;
     ColumnStats {
         name: name.to_string(),
         nulls,

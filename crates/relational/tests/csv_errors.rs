@@ -4,7 +4,7 @@
 
 use crossmine_relational::csv::{load_dir, save_dir};
 use crossmine_relational::{
-    AttrType, Attribute, ClassLabel, Database, DatabaseSchema, RelationalError, RelationSchema,
+    AttrType, Attribute, ClassLabel, Database, DatabaseSchema, RelationSchema, RelationalError,
     Value,
 };
 

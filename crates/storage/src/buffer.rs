@@ -49,7 +49,13 @@ impl BufferPool {
     /// Wraps `pager` with a cache of at most `capacity` pages.
     pub fn new(pager: Pager, capacity: usize) -> Self {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
-        BufferPool { pager, capacity, frames: HashMap::new(), tick: 0, stats: BufferStats::default() }
+        BufferPool {
+            pager,
+            capacity,
+            frames: HashMap::new(),
+            tick: 0,
+            stats: BufferStats::default(),
+        }
     }
 
     /// Current statistics.
@@ -67,8 +73,7 @@ impl BufferPool {
         let id = self.pager.allocate()?;
         self.make_room()?;
         self.tick += 1;
-        self.frames
-            .insert(id, Frame { page: Page::new(), dirty: false, last_used: self.tick });
+        self.frames.insert(id, Frame { page: Page::new(), dirty: false, last_used: self.tick });
         Ok(id)
     }
 
@@ -121,12 +126,8 @@ impl BufferPool {
 
     /// Writes every dirty page back and syncs the file.
     pub fn flush(&mut self) -> Result<()> {
-        let mut dirty: Vec<PageId> = self
-            .frames
-            .iter()
-            .filter(|(_, f)| f.dirty)
-            .map(|(&id, _)| id)
-            .collect();
+        let mut dirty: Vec<PageId> =
+            self.frames.iter().filter(|(_, f)| f.dirty).map(|(&id, _)| id).collect();
         dirty.sort();
         for id in dirty {
             let frame = self.frames.get_mut(&id).expect("resident");
@@ -144,8 +145,8 @@ mod tests {
     use crossmine_relational::Value;
 
     fn pool(tag: &str, capacity: usize) -> (BufferPool, std::path::PathBuf) {
-        let path = std::env::temp_dir()
-            .join(format!("crossmine-buffer-{tag}-{}", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("crossmine-buffer-{tag}-{}", std::process::id()));
         let pager = Pager::create(&path).unwrap();
         (BufferPool::new(pager, capacity), path)
     }
@@ -197,8 +198,8 @@ mod tests {
 
     #[test]
     fn flush_persists_everything() {
-        let path = std::env::temp_dir()
-            .join(format!("crossmine-buffer-flush-{}", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("crossmine-buffer-flush-{}", std::process::id()));
         {
             let pager = Pager::create(&path).unwrap();
             let mut pool = BufferPool::new(pager, 8);

@@ -131,15 +131,13 @@ mod tests {
         let path = tmp("prop");
         let mut disk = DiskDatabase::spill(&db, &path, 3).unwrap();
         let graph = JoinGraph::build(&db.schema);
-        let is_pos: Vec<bool> =
-            db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
+        let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
         let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
         let target = db.target().unwrap();
 
         for edge in graph.edges_from(target) {
             let mem = state.propagate_edge(edge);
-            let dsk = propagate_disk(&mut disk, state.annotation(target).unwrap(), edge)
-                .unwrap();
+            let dsk = propagate_disk(&mut disk, state.annotation(target).unwrap(), edge).unwrap();
             assert_eq!(mem.idsets.len(), dsk.idsets.len());
             for (i, (a, b)) in mem.idsets.iter().zip(&dsk.idsets).enumerate() {
                 assert_eq!(a, b, "row {i} of edge {edge:?}");
@@ -169,8 +167,7 @@ mod tests {
         let path = tmp("counts");
         let mut disk = DiskDatabase::spill(&db, &path, 4).unwrap();
         let graph = JoinGraph::build(&db.schema);
-        let is_pos: Vec<bool> =
-            db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
+        let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
         let targets = TargetSet::all(&is_pos);
         let state = ClauseState::new(&db, &is_pos, targets.clone());
         let target = db.target().unwrap();
@@ -218,18 +215,13 @@ mod tests {
 
     #[test]
     fn bounded_memory_during_propagation() {
-        let params = GenParams {
-            num_relations: 4,
-            expected_tuples: 1500,
-            seed: 8,
-            ..Default::default()
-        };
+        let params =
+            GenParams { num_relations: 4, expected_tuples: 1500, seed: 8, ..Default::default() };
         let db = generate(&params);
         let path = tmp("bounded");
         let mut disk = DiskDatabase::spill(&db, &path, 4).unwrap();
         let graph = JoinGraph::build(&db.schema);
-        let is_pos: Vec<bool> =
-            db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
+        let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
         let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
         let target = db.target().unwrap();
         let edge = *graph.edges_from(target).next().unwrap();

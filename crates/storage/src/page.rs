@@ -77,9 +77,8 @@ impl Page {
         assert!(slot < CELLS_PER_PAGE, "slot {slot} out of page bounds");
         let off = slot * CELL_WIDTH;
         let tag = self.bytes[off];
-        let payload = u64::from_le_bytes(
-            self.bytes[off + 1..off + 9].try_into().expect("9-byte cell"),
-        );
+        let payload =
+            u64::from_le_bytes(self.bytes[off + 1..off + 9].try_into().expect("9-byte cell"));
         match tag {
             TAG_NULL => Value::Null,
             TAG_KEY => Value::Key(payload),

@@ -49,12 +49,8 @@ pub struct Pager {
 impl Pager {
     /// Creates (truncating) a pager file at `path`.
     pub fn create(path: impl AsRef<Path>) -> Result<Self> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         Ok(Pager { file, num_pages: 0 })
     }
 

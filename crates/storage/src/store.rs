@@ -214,10 +214,7 @@ mod tests {
         let pk = AttrId(0);
         // Interleave access across relations to thrash the pool.
         for row in db.relation(target).iter_rows() {
-            assert_eq!(
-                disk.value(target, row, pk).unwrap(),
-                db.relation(target).value(row, pk)
-            );
+            assert_eq!(disk.value(target, row, pk).unwrap(), db.relation(target).value(row, pk));
             let other = RelId(1);
             let r2 = Row(row.0 % db.relation(other).len() as u32);
             assert_eq!(disk.value(other, r2, pk).unwrap(), db.relation(other).value(r2, pk));
@@ -256,12 +253,8 @@ mod tests {
     #[test]
     fn multi_page_columns() {
         // More tuples than fit in one page (CELLS_PER_PAGE = 910).
-        let params = GenParams {
-            num_relations: 2,
-            expected_tuples: 2000,
-            seed: 3,
-            ..Default::default()
-        };
+        let params =
+            GenParams { num_relations: 2, expected_tuples: 2000, seed: 3, ..Default::default() };
         let db = generate(&params);
         let path = tmp("multipage");
         let mut disk = DiskDatabase::spill(&db, &path, 4).unwrap();

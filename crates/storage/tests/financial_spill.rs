@@ -12,8 +12,8 @@ use crossmine_storage::{propagate_disk, DiskDatabase, PAGE_SIZE};
 #[test]
 fn financial_database_spills_and_propagates() {
     let db = generate_financial(&FinancialConfig::small());
-    let path = std::env::temp_dir()
-        .join(format!("crossmine-finspill-{}.pages", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("crossmine-finspill-{}.pages", std::process::id()));
     let pool_pages = 8; // 64 KiB of cache
     let mut disk = DiskDatabase::spill(&db, &path, pool_pages).unwrap();
 
@@ -46,12 +46,7 @@ fn financial_database_spills_and_propagates() {
     for edge2 in graph.edges_from(first.to) {
         let mem2 = propagate(&db, &mem1, edge2);
         let dsk2 = propagate_disk(&mut disk, &dsk1, edge2).unwrap();
-        assert_eq!(
-            mem2.idsets,
-            dsk2.idsets,
-            "Account -> {}",
-            db.schema.relation(edge2.to).name
-        );
+        assert_eq!(mem2.idsets, dsk2.idsets, "Account -> {}", db.schema.relation(edge2.to).name);
         hops += 1;
     }
     assert!(hops >= 3, "Account should reach several relations, got {hops}");

@@ -19,10 +19,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
 }
 
 fn tmpfile(tag: &str, case: u64) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!(
-        "crossmine-storage-prop-{tag}-{}-{case}",
-        std::process::id()
-    ))
+    std::env::temp_dir().join(format!("crossmine-storage-prop-{tag}-{}-{case}", std::process::id()))
 }
 
 proptest! {

@@ -89,12 +89,7 @@ fn generate_one(
                 if let Some((attr, value)) = pick_constraint(schema, edge.to, &used, rng) {
                     active.push(edge.to);
                     used.push((edge.to, attr));
-                    literals.push(PlantedLiteral {
-                        join: Some(edge),
-                        rel: edge.to,
-                        attr,
-                        value,
-                    });
+                    literals.push(PlantedLiteral { join: Some(edge), rel: edge.to, attr, value });
                     continue 'literal;
                 }
             }

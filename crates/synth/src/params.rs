@@ -64,10 +64,7 @@ impl Default for GenParams {
 impl GenParams {
     /// The `Rx.Ty.Fz` shorthand the paper names databases with.
     pub fn name(&self) -> String {
-        format!(
-            "R{}.T{}.F{}",
-            self.num_relations, self.expected_tuples, self.expected_foreign_keys
-        )
+        format!("R{}.T{}.F{}", self.num_relations, self.expected_tuples, self.expected_foreign_keys)
     }
 
     /// A copy varying the number of relations (Fig. 9 sweeps).

@@ -5,9 +5,7 @@
 
 use rand::Rng;
 
-use crossmine_relational::{
-    AttrType, Attribute, DatabaseSchema, JoinGraph, RelId, RelationSchema,
-};
+use crossmine_relational::{AttrType, Attribute, DatabaseSchema, JoinGraph, RelId, RelationSchema};
 
 use crate::params::{sample_exp_min, GenParams};
 
@@ -21,8 +19,7 @@ pub fn generate_schema(params: &GenParams, rng: &mut impl Rng) -> DatabaseSchema
         let values: Vec<usize> = (0..num_attrs)
             .map(|_| sample_exp_min(params.expected_values, params.min_values, rng))
             .collect();
-        let num_fks =
-            sample_exp_min(params.expected_foreign_keys, params.effective_min_fks(), rng);
+        let num_fks = sample_exp_min(params.expected_foreign_keys, params.effective_min_fks(), rng);
         rel_specs.push((num_fks, values));
     }
 
@@ -135,11 +132,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let params = GenParams::default().with_foreign_keys(1);
         let schema = generate_schema(&params, &mut rng);
-        let min_fks = schema
-            .iter_relations()
-            .map(|(_, r)| r.foreign_keys().len())
-            .min()
-            .unwrap();
+        let min_fks = schema.iter_relations().map(|(_, r)| r.foreign_keys().len()).min().unwrap();
         assert!(min_fks >= 1);
         assert!(JoinGraph::build(&schema).is_connected_from(RelId(0)));
     }

@@ -76,9 +76,7 @@ impl Generator {
             .map(|a| match &a.ty {
                 AttrType::PrimaryKey => Value::Key(pk),
                 AttrType::ForeignKey { .. } => Value::Null,
-                AttrType::Categorical => {
-                    Value::Cat(rng.gen_range(0..a.cardinality()) as u32)
-                }
+                AttrType::Categorical => Value::Cat(rng.gen_range(0..a.cardinality()) as u32),
                 AttrType::Numerical => Value::Num(rng.gen_range(0.0..1000.0)),
             })
             .collect();
@@ -88,8 +86,7 @@ impl Generator {
     /// Generates one target tuple satisfying `clause` and labels it.
     fn plant_target_tuple(&mut self, target: RelId, clause: &PlantedClause, rng: &mut impl Rng) {
         let row = self.create_row(target, rng);
-        self.db
-            .push_label(if clause.positive { ClassLabel::POS } else { ClassLabel::NEG });
+        self.db.push_label(if clause.positive { ClassLabel::POS } else { ClassLabel::NEG });
 
         let mut bindings: HashMap<RelId, Row> = HashMap::new();
         bindings.insert(target, row);
@@ -175,11 +172,7 @@ impl Generator {
 
     fn pk_of(&self, rel: RelId, row: Row) -> u64 {
         let pk = self.db.schema.relation(rel).primary_key.expect("generated relations have pks");
-        self.db
-            .relation(rel)
-            .value(row, pk)
-            .as_key()
-            .expect("primary keys are key values")
+        self.db.relation(rel).value(row, pk).as_key().expect("primary keys are key values")
     }
 
     fn fk_referenced_relation(&self, rel: RelId, attr: AttrId) -> RelId {

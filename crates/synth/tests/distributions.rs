@@ -65,12 +65,8 @@ fn class_balance_within_twenty_percent_across_seeds() {
     // "the number of positive clauses and that of negative clauses differ
     // by at most 20%" — the tuple-level balance inherits this roughly.
     for seed in 0..8 {
-        let params = GenParams {
-            num_relations: 8,
-            expected_tuples: 400,
-            seed,
-            ..Default::default()
-        };
+        let params =
+            GenParams { num_relations: 8, expected_tuples: 400, seed, ..Default::default() };
         let db = generate(&params);
         let pos = db.labels().iter().filter(|&&l| l == ClassLabel::POS).count();
         let frac = pos as f64 / db.num_targets() as f64;
@@ -125,11 +121,8 @@ fn foreign_key_count_tracks_f() {
             ..Default::default()
         };
         let db = generate(&params);
-        let total_fks: usize = db
-            .schema
-            .iter_relations()
-            .map(|(_, r)| r.foreign_keys().len())
-            .sum();
+        let total_fks: usize =
+            db.schema.iter_relations().map(|(_, r)| r.foreign_keys().len()).sum();
         let mean = total_fks as f64 / db.schema.num_relations() as f64;
         assert!(
             mean >= params.effective_min_fks() as f64,

@@ -61,8 +61,7 @@ fn main() {
     let mut enroll_id = 0u64;
     for s in 0..90u64 {
         let strong = s % 3 != 0; // 2/3 pass
-        db.push_row(student_rel, vec![Value::Key(s), Value::Num(50.0 + (s % 7) as f64)])
-            .unwrap();
+        db.push_row(student_rel, vec![Value::Key(s), Value::Num(50.0 + (s % 7) as f64)]).unwrap();
         db.push_label(if strong { ClassLabel::POS } else { ClassLabel::NEG });
         for c in [1u64, 4, 5 + s % 3, 8] {
             enroll_id += 1;

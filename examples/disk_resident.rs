@@ -50,11 +50,8 @@ fn main() {
 
         // And a §8.2 one-scan literal count on the first categorical
         // attribute of the reached relation.
-        if let Some((aid, attr)) = db
-            .schema
-            .relation(edge.to)
-            .iter_attrs()
-            .find(|(_, a)| a.ty.is_categorical())
+        if let Some((aid, attr)) =
+            db.schema.relation(edge.to).iter_attrs().find(|(_, a)| a.ty.is_categorical())
         {
             let mut stamp = Stamp::new(db.num_targets());
             let counts = categorical_counts_disk(

@@ -12,9 +12,7 @@ use std::time::Instant;
 
 use crossmine::core::explain;
 use crossmine::core::metrics::ConfusionMatrix;
-use crossmine::{
-    cross_validate, CrossMine, CrossMineParams, FinancialConfig, Row,
-};
+use crossmine::{cross_validate, CrossMine, CrossMineParams, FinancialConfig, Row};
 
 fn main() {
     let t0 = Instant::now();
@@ -28,10 +26,7 @@ fn main() {
     );
 
     // Train on everything once to show the learned risk rules.
-    let rows: Vec<Row> = db
-        .relation(db.target().expect("target"))
-        .iter_rows()
-        .collect();
+    let rows: Vec<Row> = db.relation(db.target().expect("target")).iter_rows().collect();
     let model = CrossMine::default().fit(&db, &rows);
     println!("\ntop risk rules (of {} learned):", model.num_clauses());
     for clause in model.clauses.iter().take(6) {

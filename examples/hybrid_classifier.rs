@@ -17,22 +17,13 @@ fn main() {
     );
 
     // Train the hybrid on 2/3, inspect the reweighted clauses.
-    let rows: Vec<Row> = db
-        .relation(db.target().expect("target"))
-        .iter_rows()
-        .collect();
+    let rows: Vec<Row> = db.relation(db.target().expect("target")).iter_rows().collect();
     let (train, test): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 3 != 0);
     let hybrid = CrossMineHybrid::default();
     let model = hybrid.fit(&db, &train);
 
     println!("clause features and their logistic weights:");
-    let mut ranked: Vec<(usize, f64)> = model
-        .head
-        .weights
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
+    let mut ranked: Vec<(usize, f64)> = model.head.weights.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
     for (idx, w) in ranked.iter().take(6) {
         println!("  {w:+.2}  {}", model.clauses.clauses[*idx].display(&db.schema));
@@ -49,10 +40,7 @@ fn main() {
         .zip(&probs)
         .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .expect("non-empty test");
-    println!(
-        "riskiest holdout loan: row {} with P(repaid) = {:.2}",
-        riskiest.0 .0, riskiest.1
-    );
+    println!("riskiest holdout loan: row {} with P(repaid) = {:.2}", riskiest.0 .0, riskiest.1);
 
     // Head-to-head with the plain decision list, same folds.
     println!("\n5-fold comparison:");

@@ -24,10 +24,7 @@ fn main() {
     );
 
     // Show what CrossMine's clauses look like on molecular data.
-    let rows: Vec<Row> = db
-        .relation(db.target().expect("target"))
-        .iter_rows()
-        .collect();
+    let rows: Vec<Row> = db.relation(db.target().expect("target")).iter_rows().collect();
     let model = CrossMine::default().fit(&db, &rows);
     println!("\nexample activity rules:");
     for clause in model.clauses.iter().take(5) {

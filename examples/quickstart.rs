@@ -93,10 +93,12 @@ fn main() {
     }
 
     let predictions = model.predict(&db, test);
-    let correct = predictions
-        .iter()
-        .zip(test)
-        .filter(|(pred, row)| **pred == db.label(**row))
-        .count();
-    println!("\nholdout accuracy: {}/{} = {:.1}%", correct, test.len(), 100.0 * correct as f64 / test.len() as f64);
+    let correct =
+        predictions.iter().zip(test).filter(|(pred, row)| **pred == db.label(**row)).count();
+    println!(
+        "\nholdout accuracy: {}/{} = {:.1}%",
+        correct,
+        test.len(),
+        100.0 * correct as f64 / test.len() as f64
+    );
 }

@@ -17,22 +17,13 @@ fn main() {
     println!("{:<6} {:>12} {:>12} {:>12}", "R", "CrossMine", "FOIL", "TILDE");
     let timeout = Some(Duration::from_secs(300));
     for r in [10usize, 20, 50] {
-        let params = GenParams {
-            num_relations: r,
-            expected_tuples: 300,
-            seed: 1,
-            ..Default::default()
-        };
+        let params =
+            GenParams { num_relations: r, expected_tuples: 300, seed: 1, ..Default::default() };
         let db = crossmine::generate(&params);
 
         let cm = cross_validate(&CrossMine::default(), &db, 10, 7, 1);
-        let foil = cross_validate(
-            &Foil::new(FoilParams { timeout, ..Default::default() }),
-            &db,
-            10,
-            7,
-            1,
-        );
+        let foil =
+            cross_validate(&Foil::new(FoilParams { timeout, ..Default::default() }), &db, 10, 7, 1);
         let tilde = cross_validate(
             &Tilde::new(TildeParams { timeout, ..Default::default() }),
             &db,

@@ -24,8 +24,7 @@ use crossmine::core::pruning::{fit_with_pruning, PruneConfig};
 use crossmine::core::{explain, model_io};
 use crossmine::relational::{csv, display, stats};
 use crossmine::{
-    cross_validate, CrossMine, CrossMineParams, FinancialConfig, GenParams, MutagenesisConfig,
-    Row,
+    cross_validate, CrossMine, CrossMineParams, FinancialConfig, GenParams, MutagenesisConfig, Row,
 };
 
 fn main() -> ExitCode {
@@ -62,9 +61,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), Stri
                 flags.insert(key, "true");
             } else {
                 i += 1;
-                let v = args
-                    .get(i)
-                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                let v = args.get(i).ok_or_else(|| format!("flag --{key} needs a value"))?;
                 flags.insert(key, v.as_str());
             }
         } else {
@@ -75,7 +72,11 @@ fn parse_flags(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), Stri
     Ok((positional, flags))
 }
 
-fn parse_num<T: std::str::FromStr>(flags: &HashMap<&str, &str>, key: &str, default: T) -> Result<T, String> {
+fn parse_num<T: std::str::FromStr>(
+    flags: &HashMap<&str, &str>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
@@ -125,9 +126,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let dir = rest.get(1).ok_or("demo needs a directory")?;
             let db = match *which {
                 "financial" => crossmine::generate_financial(&FinancialConfig::default()),
-                "mutagenesis" => {
-                    crossmine::generate_mutagenesis(&MutagenesisConfig::default())
-                }
+                "mutagenesis" => crossmine::generate_mutagenesis(&MutagenesisConfig::default()),
                 other => return Err(format!("unknown demo dataset `{other}`")),
             };
             csv::save_dir(&db, dir).map_err(|e| e.to_string())?;
@@ -153,10 +152,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let dir = rest.first().ok_or("train needs a directory")?;
             let model_path = flags.get("model").ok_or("train needs --model <file>")?;
             let db = csv::load_dir(dir).map_err(|e| e.to_string())?;
-            let rows: Vec<Row> = db
-                .relation(db.target().map_err(|e| e.to_string())?)
-                .iter_rows()
-                .collect();
+            let rows: Vec<Row> =
+                db.relation(db.target().map_err(|e| e.to_string())?).iter_rows().collect();
             let params = params_from_flags(&flags)?;
             let prune_fraction: f64 = parse_num(&flags, "prune", 0.0)?;
             let model = if prune_fraction > 0.0 {
@@ -180,10 +177,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let model_path = flags.get("model").ok_or("predict needs --model <file>")?;
             let db = csv::load_dir(dir).map_err(|e| e.to_string())?;
             let model = model_io::load(model_path, &db.schema).map_err(|e| e.to_string())?;
-            let rows: Vec<Row> = db
-                .relation(db.target().map_err(|e| e.to_string())?)
-                .iter_rows()
-                .collect();
+            let rows: Vec<Row> =
+                db.relation(db.target().map_err(|e| e.to_string())?).iter_rows().collect();
             let preds = model.predict(&db, &rows);
             for (r, p) in rows.iter().zip(&preds) {
                 println!("{} {}", r.0, p);
@@ -236,7 +231,8 @@ mod tests {
 
     #[test]
     fn parse_flags_splits_positional_and_flags() {
-        let args = strs(&["train", "/tmp/db", "--model", "m.txt", "--sampling", "--min-gain", "1.5"]);
+        let args =
+            strs(&["train", "/tmp/db", "--model", "m.txt", "--sampling", "--min-gain", "1.5"]);
         let (pos, flags) = parse_flags(&args).unwrap();
         assert_eq!(pos, vec!["train", "/tmp/db"]);
         assert_eq!(flags.get("model"), Some(&"m.txt"));

@@ -5,8 +5,8 @@ use std::time::Duration;
 
 use crossmine::{
     cross_validate, AttrType, Attribute, ClassLabel, CrossMine, CrossMineParams, Database,
-    DatabaseSchema, Foil, FoilParams, GenParams, MutagenesisConfig, RelationalClassifier,
-    RelationSchema, Row, Tilde, TildeParams, Value,
+    DatabaseSchema, Foil, FoilParams, GenParams, MutagenesisConfig, RelationSchema,
+    RelationalClassifier, Row, Tilde, TildeParams, Value,
 };
 
 /// A two-relation, perfectly separable database: the class is decided by a
@@ -17,8 +17,7 @@ fn separable_db(n: u64) -> Database {
     t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
     let mut s = RelationSchema::new("S");
     s.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
-    s.add_attribute(Attribute::new("t_id", AttrType::ForeignKey { target: "T".into() }))
-        .unwrap();
+    s.add_attribute(Attribute::new("t_id", AttrType::ForeignKey { target: "T".into() })).unwrap();
     let mut d = Attribute::new("d", AttrType::Categorical);
     d.intern("x");
     d.intern("y");
@@ -108,14 +107,9 @@ fn crossmine_beats_baselines_on_deep_pattern() {
 fn timeouts_do_not_break_predictions() {
     let db = separable_db(40);
     for clf in [
-        Box::new(Foil::new(FoilParams {
-            timeout: Some(Duration::ZERO),
-            ..Default::default()
-        })) as Box<dyn RelationalClassifier>,
-        Box::new(Tilde::new(TildeParams {
-            timeout: Some(Duration::ZERO),
-            ..Default::default()
-        })),
+        Box::new(Foil::new(FoilParams { timeout: Some(Duration::ZERO), ..Default::default() }))
+            as Box<dyn RelationalClassifier>,
+        Box::new(Tilde::new(TildeParams { timeout: Some(Duration::ZERO), ..Default::default() })),
     ] {
         let result = cross_validate(&clf, &db, 5, 3, 1);
         // A timed-out model degenerates to the default class (50% here).
@@ -131,22 +125,12 @@ fn mutagenesis_relative_order_matches_table3() {
     let db = crossmine::generate_mutagenesis(&MutagenesisConfig::default());
     let cm = cross_validate(&CrossMine::default(), &db, 10, 1, 5).mean_accuracy();
     let timeout = Some(Duration::from_secs(300));
-    let foil = cross_validate(
-        &Foil::new(FoilParams { timeout, ..Default::default() }),
-        &db,
-        10,
-        1,
-        3,
-    )
-    .mean_accuracy();
-    let tilde = cross_validate(
-        &Tilde::new(TildeParams { timeout, ..Default::default() }),
-        &db,
-        10,
-        1,
-        3,
-    )
-    .mean_accuracy();
+    let foil =
+        cross_validate(&Foil::new(FoilParams { timeout, ..Default::default() }), &db, 10, 1, 3)
+            .mean_accuracy();
+    let tilde =
+        cross_validate(&Tilde::new(TildeParams { timeout, ..Default::default() }), &db, 10, 1, 3)
+            .mean_accuracy();
     assert!(cm > 0.8, "CrossMine mutagenesis accuracy {cm:.3}");
     assert!(cm + 0.08 >= tilde, "CrossMine {cm:.3} vs TILDE {tilde:.3}");
     assert!(cm + 0.05 >= foil, "CrossMine {cm:.3} vs FOIL {foil:.3}");
@@ -156,21 +140,11 @@ fn mutagenesis_relative_order_matches_table3() {
 fn sampling_faster_than_full_on_imbalanced_synthetic() {
     // With many negatives per positive, §6 sampling must not be slower and
     // must stay within a few accuracy points.
-    let params = GenParams {
-        num_relations: 8,
-        expected_tuples: 400,
-        seed: 9,
-        ..Default::default()
-    };
+    let params =
+        GenParams { num_relations: 8, expected_tuples: 400, seed: 9, ..Default::default() };
     let db = crossmine::generate(&params);
     let full = cross_validate(&CrossMine::default(), &db, 10, 1, 2);
-    let sampled = cross_validate(
-        &CrossMine::new(CrossMineParams::with_sampling()),
-        &db,
-        10,
-        1,
-        2,
-    );
+    let sampled = cross_validate(&CrossMine::new(CrossMineParams::with_sampling()), &db, 10, 1, 2);
     assert!(
         sampled.mean_time() <= full.mean_time().mul_f64(1.5),
         "sampling should not slow things down: {:?} vs {:?}",

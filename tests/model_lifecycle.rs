@@ -12,8 +12,7 @@ fn train_prune_save_load_predict() {
     let db = crossmine::generate_financial(&FinancialConfig::small());
 
     // Round-trip the database itself.
-    let dir = std::env::temp_dir()
-        .join(format!("crossmine-lifecycle-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("crossmine-lifecycle-{}", std::process::id()));
     csv::save_dir(&db, &dir).unwrap();
     let db = csv::load_dir(&dir).unwrap();
 
@@ -21,13 +20,8 @@ fn train_prune_save_load_predict() {
     let (holdout, train): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 5 == 0);
 
     // Train with pruning.
-    let pruned = fit_with_pruning(
-        &CrossMine::default(),
-        &db,
-        &train,
-        0.25,
-        &PruneConfig::default(),
-    );
+    let pruned =
+        fit_with_pruning(&CrossMine::default(), &db, &train, 0.25, &PruneConfig::default());
     assert!(pruned.num_clauses() > 0);
 
     // Save + reload the model.
@@ -51,8 +45,7 @@ fn pruned_model_not_larger_than_original() {
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
     let (validation, train): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 4 == 0);
     let model = CrossMine::default().fit(&db, &train);
-    let pruned =
-        crossmine::core::pruning::prune(&model, &db, &validation, &PruneConfig::default());
+    let pruned = crossmine::core::pruning::prune(&model, &db, &validation, &PruneConfig::default());
     assert!(pruned.num_clauses() <= model.num_clauses());
     let orig_literals: usize = model.clauses.iter().map(|c| c.len()).sum();
     let pruned_literals: usize = pruned.clauses.iter().map(|c| c.len()).sum();
@@ -61,7 +54,9 @@ fn pruned_model_not_larger_than_original() {
 
 #[test]
 fn multiclass_model_roundtrips() {
-    use crossmine::{AttrType, Attribute, ClassLabel, Database, DatabaseSchema, RelationSchema, Value};
+    use crossmine::{
+        AttrType, Attribute, ClassLabel, Database, DatabaseSchema, RelationSchema, Value,
+    };
     let mut schema = DatabaseSchema::new();
     let mut t = RelationSchema::new("T");
     t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();

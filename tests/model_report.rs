@@ -5,9 +5,7 @@
 
 use crossmine::core::explain::{clause_coverage, feature_usage, report};
 use crossmine::core::metrics::ConfusionMatrix;
-use crossmine::{
-    ClassLabel, CrossMine, FinancialConfig, MutagenesisConfig, Row,
-};
+use crossmine::{ClassLabel, CrossMine, FinancialConfig, MutagenesisConfig, Row};
 
 #[test]
 fn financial_model_uses_join_reachable_features() {
@@ -19,10 +17,7 @@ fn financial_model_uses_join_reachable_features() {
     // The planted risk signal lives outside the Loan relation: at least one
     // literal must traverse a prop-path.
     let off_target = usage.path_lengths[1] + usage.path_lengths[2];
-    assert!(
-        off_target > 0,
-        "financial model should use at least one join literal: {usage:?}"
-    );
+    assert!(off_target > 0, "financial model should use at least one join literal: {usage:?}");
     // And the wealth signal is aggregate-shaped (order amounts, balances).
     assert!(
         usage.literal_kinds.2 > 0,

@@ -19,8 +19,7 @@ fn oracle_satisfiers(db: &Database, literals: &[ComplexLiteral], rows: &[Row]) -
         .filter(|&row| {
             // Evaluate the literal sequence for a single target, maintaining
             // one binding table per active relation (the most recent one).
-            let mut tables: Vec<Option<BindingTable>> =
-                vec![None; db.schema.num_relations()];
+            let mut tables: Vec<Option<BindingTable>> = vec![None; db.schema.num_relations()];
             tables[target.0] = Some(BindingTable::from_targets(target, [row]));
             for lit in literals {
                 // Follow the prop path with physical joins.
@@ -43,8 +42,7 @@ fn oracle_satisfiers(db: &Database, literals: &[ComplexLiteral], rows: &[Row]) -
                 let store = db.relation(rel);
                 match &lit.constraint.kind {
                     ConstraintKind::CatEq { attr, value } => {
-                        table =
-                            table.filter(slot, |r| store.value(r, *attr) == Value::Cat(*value));
+                        table = table.filter(slot, |r| store.value(r, *attr) == Value::Cat(*value));
                     }
                     ConstraintKind::Num { attr, op, threshold } => {
                         table = table.filter(slot, |r| {
@@ -74,9 +72,7 @@ fn oracle_satisfiers(db: &Database, literals: &[ComplexLiteral], rows: &[Row]) -
                             crossmine::core::literal::AggOp::Count => {
                                 (count > 0).then_some(count as f64)
                             }
-                            crossmine::core::literal::AggOp::Sum => {
-                                (num_count > 0).then_some(sum)
-                            }
+                            crossmine::core::literal::AggOp::Sum => (num_count > 0).then_some(sum),
                             crossmine::core::literal::AggOp::Avg => {
                                 (num_count > 0).then_some(sum / num_count as f64)
                             }
@@ -178,8 +174,13 @@ fn clause_support_matches_propagation_on_training_set() {
     // clause on the full training set and counting positives... for the
     // FIRST clause only (later clauses were built after covered positives
     // were removed, so their recorded support is w.r.t. the remainder).
-    let params =
-        GenParams { num_relations: 6, expected_tuples: 100, min_tuples: 30, seed: 5, ..Default::default() };
+    let params = GenParams {
+        num_relations: 6,
+        expected_tuples: 100,
+        min_tuples: 30,
+        seed: 5,
+        ..Default::default()
+    };
     let db = crossmine::generate(&params);
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
     let model = CrossMine::default().fit(&db, &rows);
@@ -190,8 +191,7 @@ fn clause_support_matches_propagation_on_training_set() {
         // support never exceeds total coverage on the full set.
         for clause in model.clauses.iter().filter(|c| c.label == class) {
             let covered = propagation_satisfiers(&db, &clause.literals, &rows);
-            let covered_pos =
-                covered.iter().filter(|r| db.label(**r) == clause.label).count();
+            let covered_pos = covered.iter().filter(|r| db.label(**r) == clause.label).count();
             assert!(
                 clause.sup_pos <= covered_pos,
                 "recorded support {} exceeds full-set coverage {covered_pos}",
