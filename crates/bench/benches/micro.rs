@@ -193,6 +193,35 @@ fn bench_propagation_alloc(c: &mut Criterion) {
     group.finish();
 }
 
+/// `CrossMineModel::predict` vs the compiled-plan batched evaluator at
+/// serving batch sizes: the per-request win of `ServeScratch` reuse shows
+/// up at batch 1; the propagation-amortisation win at 32 and 1024.
+fn bench_serve_batch(c: &mut Criterion) {
+    use crossmine_core::CrossMine;
+    use crossmine_serve::{evaluate_batch, CompiledPlan, ServeScratch};
+
+    let mut group = c.benchmark_group("serve_batch");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let db = test_db(1500);
+    db.build_all_indexes();
+    let target = db.target().unwrap();
+    let rows: Vec<_> = db.relation(target).iter_rows().collect();
+    let model = CrossMine::default().fit(&db, &rows);
+    let plan = CompiledPlan::compile(&model, &db.schema).unwrap();
+    for batch in [1usize, 32, 1024] {
+        let batch = batch.min(rows.len());
+        let chunk = &rows[..batch];
+        group.bench_with_input(BenchmarkId::new("predict", batch), &batch, |b, _| {
+            b.iter(|| std::hint::black_box(model.predict(&db, chunk)));
+        });
+        group.bench_with_input(BenchmarkId::new("compiled_batched", batch), &batch, |b, _| {
+            let mut scratch = ServeScratch::new();
+            b.iter(|| std::hint::black_box(evaluate_batch(&plan, &db, chunk, &mut scratch)));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_propagation,
@@ -201,6 +230,7 @@ criterion_group!(
     bench_joins,
     bench_disk_vs_memory_propagation,
     bench_threads_scaling,
-    bench_propagation_alloc
+    bench_propagation_alloc,
+    bench_serve_batch
 );
 criterion_main!(benches);

@@ -1,0 +1,225 @@
+//! Load generator for the `crossmine-serve` prediction server.
+//!
+//! Trains a model on a synthetic `Rx.Ty.Fz` database, compiles it, starts
+//! the micro-batching server, and drives a fixed number of requests from
+//! concurrent client threads — verifying every reply against
+//! `CrossMineModel::predict` — then prints throughput, latency quantiles,
+//! and the batch-size histogram. A same-model hot swap is injected midway
+//! so the swap path is always exercised (labels are unaffected).
+//!
+//! ```text
+//! cargo run --release -p crossmine-bench --bin loadgen
+//! cargo run --release -p crossmine-bench --bin loadgen -- --smoke
+//! cargo run --release -p crossmine-bench --bin loadgen -- \
+//!     --requests 50000 --workers 4 --clients 8 --batch 64 --wait-us 200
+//! ```
+//!
+//! Exits non-zero on any parity mismatch, delivery error, or lost request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossmine_core::CrossMine;
+use crossmine_relational::{ClassLabel, Database, Row};
+use crossmine_serve::{predict_disk, CompiledPlan, ModelRegistry, PredictionServer, ServerConfig};
+use crossmine_storage::DiskDatabase;
+use crossmine_synth::{generate, GenParams};
+
+struct Args {
+    smoke: bool,
+    requests: usize,
+    workers: usize,
+    clients: usize,
+    max_batch: usize,
+    wait_us: u64,
+    seed: u64,
+    skip_disk: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            smoke: false,
+            requests: 20_000,
+            workers: 2,
+            clients: 4,
+            max_batch: 64,
+            wait_us: 200,
+            seed: 42,
+            skip_disk: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> u64 {
+            *i += 1;
+            argv.get(*i)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| die(&format!("{} needs a numeric value", argv[*i - 1])))
+        };
+        match argv[i].as_str() {
+            "--smoke" => {
+                args.smoke = true;
+                args.requests = 1_000;
+                args.workers = 2;
+            }
+            "--requests" => args.requests = take(&mut i) as usize,
+            "--workers" => args.workers = take(&mut i) as usize,
+            "--clients" => args.clients = take(&mut i) as usize,
+            "--batch" => args.max_batch = take(&mut i) as usize,
+            "--wait-us" => args.wait_us = take(&mut i),
+            "--seed" => args.seed = take(&mut i),
+            "--no-disk" => args.skip_disk = true,
+            other => die(&format!("unknown flag {other} (try --smoke)")),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("loadgen: {msg}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let args = parse_args();
+
+    // The §7.1 R5.T200.F3 workload (a smaller R4.T80 one for --smoke).
+    let params = if args.smoke {
+        GenParams {
+            num_relations: 4,
+            expected_tuples: 80,
+            min_tuples: 25,
+            seed: args.seed,
+            ..Default::default()
+        }
+    } else {
+        GenParams {
+            num_relations: 5,
+            expected_tuples: 200,
+            min_tuples: 60,
+            expected_foreign_keys: 3,
+            seed: args.seed,
+            ..Default::default()
+        }
+    };
+    let db = generate(&params);
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+    println!("database {} ({} target rows)", params.name(), rows.len());
+
+    let fit_start = Instant::now();
+    let model = CrossMine::default().fit(&db, &rows);
+    println!("trained {} clauses in {:?}", model.num_clauses(), fit_start.elapsed());
+    let expected = model.predict(&db, &rows);
+    let plan = match CompiledPlan::compile(&model, &db.schema) {
+        Ok(p) => p,
+        Err(e) => die(&format!("model failed to compile: {e}")),
+    };
+    println!("compiled plan: {}", plan.stats);
+
+    if !args.skip_disk {
+        disk_check(&db, &plan, &rows, &expected);
+    }
+
+    let db = Arc::new(db);
+    let registry = Arc::new(ModelRegistry::new(plan.clone()));
+    let server = PredictionServer::start(
+        Arc::clone(&db),
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: args.workers,
+            max_batch: args.max_batch,
+            max_wait: Duration::from_micros(args.wait_us),
+            queue_capacity: 1024,
+        },
+    );
+    println!(
+        "serving with {} workers, max_batch {}, max_wait {}us, {} client threads",
+        args.workers, args.max_batch, args.wait_us, args.clients
+    );
+
+    let mismatches = AtomicU64::new(0);
+    let answered = AtomicU64::new(0);
+    let per_client = args.requests.div_ceil(args.clients.max(1));
+    let total = per_client * args.clients.max(1);
+    let bench_start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..args.clients.max(1) {
+            let server = &server;
+            let rows = &rows;
+            let expected = &expected;
+            let mismatches = &mismatches;
+            let answered = &answered;
+            scope.spawn(move || {
+                for k in 0..per_client {
+                    let i = (c * per_client + k) % rows.len();
+                    let p = server.predict(rows[i]);
+                    answered.fetch_add(1, Ordering::Relaxed);
+                    if p.label != expected[i] {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // Hot-swap the same model midway: exercises the epoch machinery
+        // without changing any prediction.
+        let registry = &registry;
+        let answered = &answered;
+        let half = (total / 2) as u64;
+        scope.spawn(move || {
+            while answered.load(Ordering::Relaxed) < half {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            registry.install(plan.clone());
+        });
+    });
+    let elapsed = bench_start.elapsed();
+
+    let report = server.shutdown();
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    println!();
+    println!("{} requests in {:?}  ({:.0} req/s)", total, elapsed, throughput);
+    println!("{report}");
+    println!();
+
+    let lost = total as u64 - answered.load(Ordering::Relaxed);
+    let bad = mismatches.load(Ordering::Relaxed);
+    if bad > 0 || lost > 0 || report.errors > 0 || report.swaps != 1 {
+        die(&format!(
+            "FAILED: {bad} mismatches, {lost} lost, {} errors, {} swaps",
+            report.errors, report.swaps
+        ));
+    }
+    println!("OK: all {total} predictions matched CrossMineModel::predict, zero errors");
+}
+
+/// Serve the whole batch against a disk-resident copy through a small
+/// buffer pool: parity with in-memory prediction plus a non-trivial cache
+/// hit rate, reported via the pool's `Display` stats.
+fn disk_check(db: &Database, plan: &CompiledPlan, rows: &[Row], expected: &[ClassLabel]) {
+    let path = std::env::temp_dir().join(format!("crossmine-loadgen-{}.pages", std::process::id()));
+    let mut disk = match DiskDatabase::spill(db, &path, 16) {
+        Ok(d) => d,
+        Err(e) => die(&format!("spill failed: {e:?}")),
+    };
+    let got = match predict_disk(plan, &mut disk, rows) {
+        Ok(g) => g,
+        Err(e) => die(&format!("disk prediction failed: {e:?}")),
+    };
+    let stats = disk.stats();
+    std::fs::remove_file(&path).ok();
+    if got != expected {
+        die("disk-resident prediction diverged from in-memory prediction");
+    }
+    if stats.hits == 0 {
+        die(&format!("disk serving never hit the buffer pool: {stats}"));
+    }
+    println!("disk parity OK through 16-page pool: {stats}");
+}

@@ -127,6 +127,11 @@ impl CrossMineModel {
         let initial = TargetSet::from_rows(&dummy_pos, rows.iter().copied());
         let mut state = ClauseState::new(db, &dummy_pos, initial);
         for lit in &clause.literals {
+            // Same early exit as `predict`: once no target survives, later
+            // literals cannot revive any (and empty batches skip all work).
+            if state.targets.is_empty() {
+                break;
+            }
             state.apply_literal(lit, &mut stamp);
         }
         state.targets.iter().collect()
@@ -197,6 +202,77 @@ mod tests {
         assert_eq!(model.num_clauses(), 0);
         let preds = model.predict(&db, &rows);
         assert!(preds.iter().all(|&p| p == model.default_label));
+    }
+
+    /// Regression for the prediction fallback: a model with *no* clauses and
+    /// a model whose clauses *cover nothing* must both return
+    /// `default_label` for every row, and `satisfiers` must stay consistent
+    /// with `predict` on empty batches.
+    #[test]
+    fn fallback_symmetry_empty_and_uncovering_models() {
+        use crate::literal::{ComplexLiteral, Constraint, ConstraintKind};
+
+        let db = simple_db(20);
+        let target = db.target().unwrap();
+        let rows: Vec<Row> = db.relation(target).iter_rows().collect();
+
+        // 1. Hand-built empty-clause model.
+        let empty = CrossMineModel {
+            clauses: Vec::new(),
+            default_label: ClassLabel::POS,
+            classes: vec![ClassLabel::NEG, ClassLabel::POS],
+        };
+        let preds = empty.predict(&db, &rows);
+        assert_eq!(preds.len(), rows.len());
+        assert!(preds.iter().all(|&p| p == empty.default_label));
+
+        // 2. A model whose single clause covers no row: code 99 was never
+        //    interned for `T.c`, so no tuple satisfies the literal.
+        let impossible = Clause::new(
+            vec![ComplexLiteral::local(Constraint {
+                rel: target,
+                kind: ConstraintKind::CatEq { attr: crossmine_relational::AttrId(1), value: 99 },
+            })],
+            ClassLabel::NEG,
+            0,
+            0.0,
+            2,
+        );
+        let uncovering = CrossMineModel {
+            clauses: vec![impossible],
+            default_label: ClassLabel::POS,
+            classes: vec![ClassLabel::NEG, ClassLabel::POS],
+        };
+        let preds = uncovering.predict(&db, &rows);
+        assert!(preds.iter().all(|&p| p == uncovering.default_label));
+        // The uncovering clause has no satisfiers, matching predict.
+        assert!(uncovering.satisfiers(&db, &uncovering.clauses[0], &rows).is_empty());
+
+        // 3. Empty batches: predict and satisfiers both return empty.
+        assert!(empty.predict(&db, &[]).is_empty());
+        assert!(uncovering.predict(&db, &[]).is_empty());
+        assert!(uncovering.satisfiers(&db, &uncovering.clauses[0], &[]).is_empty());
+    }
+
+    /// `satisfiers` over a whole batch must partition exactly like the
+    /// prediction machinery: every row predicted by clause `c` (and no
+    /// earlier clause) is a satisfier of `c`.
+    #[test]
+    fn satisfiers_consistent_with_predict_per_clause() {
+        let db = simple_db(40);
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let model = CrossMine::default().fit(&db, &rows);
+        let preds = model.predict(&db, &rows);
+        for (ci, clause) in model.clauses.iter().enumerate() {
+            let sat = model.satisfiers(&db, clause, &rows);
+            for (r, &p) in rows.iter().zip(&preds) {
+                let earlier =
+                    model.clauses[..ci].iter().any(|c| model.satisfiers(&db, c, &[*r]).contains(r));
+                if sat.contains(r) && !earlier {
+                    assert_eq!(p, clause.label, "row {} decided by clause {ci}", r.0);
+                }
+            }
+        }
     }
 
     #[test]

@@ -301,6 +301,53 @@ impl PropagationScratch {
     }
 }
 
+/// Two [`PropagationScratch`]es ping-ponged across the edges of a multi-edge
+/// prop-path, so a whole path is propagated with zero steady-state heap
+/// allocation (the final [`Annotation`] materialisation is the only alloc,
+/// and only because the caller stores the result). Produces bit-identical
+/// results to chaining [`propagate`], which runs the same CSR passes.
+#[derive(Debug, Clone, Default)]
+pub struct PathScratch {
+    ping: PropagationScratch,
+    pong: PropagationScratch,
+}
+
+impl PathScratch {
+    /// An empty pair; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Propagates `from` (an annotation of `edges[0].from`) across every
+    /// edge of the path in order, returning the annotation of the final
+    /// relation. `edges` must be non-empty and chained
+    /// (`edges[i].to == edges[i + 1].from`).
+    pub fn propagate_path(
+        &mut self,
+        db: &Database,
+        from: AnnView<'_>,
+        edges: &[JoinEdge],
+    ) -> Annotation {
+        assert!(!edges.is_empty(), "prop-path must have at least one edge");
+        debug_assert!(edges.windows(2).all(|w| w[0].to == w[1].from), "path edges must chain");
+        self.ping.propagate_from(db, from, &edges[0]);
+        let mut in_ping = true;
+        for edge in &edges[1..] {
+            if in_ping {
+                self.pong.propagate_from(db, self.ping.view(), edge);
+            } else {
+                self.ping.propagate_from(db, self.pong.view(), edge);
+            }
+            in_ping = !in_ping;
+        }
+        if in_ping {
+            self.ping.to_annotation()
+        } else {
+            self.pong.to_annotation()
+        }
+    }
+}
+
 /// Propagates `from_ann` (on relation `edge.from`) across `edge`, producing
 /// the annotation of `edge.to` (Definition 2: `idset(u) = ⋃ idset(t)` over
 /// joinable `t`). Null join values never match.
@@ -448,7 +495,37 @@ impl<'a> ClauseState<'a> {
     /// it, refreshes every active annotation, and marks the constrained
     /// relation active (Algorithm 2's inner update).
     pub fn apply_literal(&mut self, lit: &ComplexLiteral, stamp: &mut Stamp) {
-        let mut ann = self.annotation_for(lit);
+        let ann = self.annotation_for(lit);
+        self.finish_literal(lit, ann, stamp);
+    }
+
+    /// [`apply_literal`](Self::apply_literal) with path propagation through
+    /// a caller-owned [`PathScratch`], so repeated clause evaluation (the
+    /// serving hot path) performs no per-edge scratch allocation. Produces
+    /// exactly the same state as `apply_literal`.
+    pub fn apply_literal_scratch(
+        &mut self,
+        lit: &ComplexLiteral,
+        stamp: &mut Stamp,
+        path: &mut PathScratch,
+    ) {
+        let ann = if lit.path.is_empty() {
+            self.annotations[lit.constraint.rel.0]
+                .clone()
+                .expect("local literal on an inactive relation")
+        } else {
+            let from = self.annotations[lit.path[0].from.0]
+                .as_ref()
+                .expect("propagation must start from an active relation");
+            path.propagate_path(self.db, from.view(), &lit.path)
+        };
+        self.finish_literal(lit, ann, stamp);
+    }
+
+    /// Shared tail of the two `apply_literal` variants: constrain, shrink
+    /// the target set, refresh active annotations, activate the constrained
+    /// relation.
+    fn finish_literal(&mut self, lit: &ComplexLiteral, mut ann: Annotation, stamp: &mut Stamp) {
         let surviving = constrain(self.db, &lit.constraint, &mut ann, &self.targets, stamp);
         // Shrink the surviving-target set.
         self.targets.retain(self.is_pos, |id| surviving.is_marked(id));
@@ -715,6 +792,52 @@ mod tests {
         assert_eq!(ann.idsets[0].as_slice(), &[0]); // only loan 1 remains on acct 124
         assert_eq!(ann.idsets[2].as_slice(), &[3]);
         assert_eq!(state.active_relations().collect::<Vec<_>>(), vec![state.target_rel()]);
+    }
+
+    #[test]
+    fn apply_literal_scratch_matches_allocating_path() {
+        // Both the 1-edge categorical literal and the 2-edge aggregation
+        // literal must leave identical state whichever apply variant ran.
+        let (db, is_pos) = fig4();
+        let account = db.schema.rel_id("Account").unwrap();
+        let fwd = loan_account_edge(&db);
+        let lits = [
+            ComplexLiteral {
+                path: vec![fwd],
+                constraint: Constraint {
+                    rel: account,
+                    kind: ConstraintKind::CatEq { attr: AttrId(1), value: 0 },
+                },
+            },
+            ComplexLiteral {
+                path: vec![fwd, fwd.reversed()],
+                constraint: Constraint {
+                    rel: db.schema.rel_id("Loan").unwrap(),
+                    kind: ConstraintKind::Agg {
+                        agg: AggOp::Count,
+                        attr: None,
+                        op: CmpOp::Ge,
+                        threshold: 2.0,
+                    },
+                },
+            },
+        ];
+        let mut stamp = Stamp::new(5);
+        let mut path = PathScratch::new();
+        for lit in &lits {
+            let mut a = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
+            let mut b = a.clone();
+            a.apply_literal(lit, &mut stamp);
+            b.apply_literal_scratch(lit, &mut stamp, &mut path);
+            assert_eq!(a.targets, b.targets);
+            for (x, y) in a.annotations.iter().zip(&b.annotations) {
+                match (x, y) {
+                    (Some(x), Some(y)) => assert_eq!(x.idsets, y.idsets),
+                    (None, None) => {}
+                    _ => panic!("active-relation sets diverged"),
+                }
+            }
+        }
     }
 
     #[test]

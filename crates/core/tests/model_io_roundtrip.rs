@@ -1,0 +1,171 @@
+//! Property test: model serialization is a *fixed point* —
+//! `to_string -> from_str -> to_string` reproduces the text byte-for-byte,
+//! and the reloaded model is structurally identical, over randomly
+//! generated models covering every literal kind (categorical, numerical
+//! thresholds, aggregations with and without an aggregated attribute) and
+//! multi-edge prop-paths. The hand-written fixtures in `model_io`'s unit
+//! tests pin the format; this pins the round-trip on arbitrary content.
+
+use proptest::prelude::*;
+
+use crossmine_core::classifier::CrossMineModel;
+use crossmine_core::clause::Clause;
+use crossmine_core::literal::{AggOp, CmpOp, ComplexLiteral, Constraint, ConstraintKind};
+use crossmine_core::model_io;
+use crossmine_relational::{
+    AttrId, AttrType, Attribute, ClassLabel, DatabaseSchema, JoinEdge, JoinKind,
+};
+
+/// T(id, x) <- S(id, t_id -> T, d in {a,b,c}, v): one pk-fk join each way.
+fn schema() -> DatabaseSchema {
+    let mut s = DatabaseSchema::new();
+    let mut t = RelationSchemaBuilder::new("T");
+    t.pk("id").num("x");
+    let mut sr = RelationSchemaBuilder::new("S");
+    sr.pk("id").fk("t_id", "T").cat("d", &["a", "b", "c"]).num("v");
+    let tid = s.add_relation(t.build()).unwrap();
+    s.add_relation(sr.build()).unwrap();
+    s.set_target(tid);
+    s
+}
+
+/// Tiny local builder so the schema above reads declaratively.
+struct RelationSchemaBuilder(crossmine_relational::RelationSchema);
+
+impl RelationSchemaBuilder {
+    fn new(name: &str) -> Self {
+        RelationSchemaBuilder(crossmine_relational::RelationSchema::new(name))
+    }
+    fn pk(&mut self, name: &str) -> &mut Self {
+        self.0.add_attribute(Attribute::new(name, AttrType::PrimaryKey)).unwrap();
+        self
+    }
+    fn num(&mut self, name: &str) -> &mut Self {
+        self.0.add_attribute(Attribute::new(name, AttrType::Numerical)).unwrap();
+        self
+    }
+    fn fk(&mut self, name: &str, target: &str) -> &mut Self {
+        self.0
+            .add_attribute(Attribute::new(name, AttrType::ForeignKey { target: target.into() }))
+            .unwrap();
+        self
+    }
+    fn cat(&mut self, name: &str, labels: &[&str]) -> &mut Self {
+        let mut a = Attribute::new(name, AttrType::Categorical);
+        for l in labels {
+            a.intern(l);
+        }
+        self.0.add_attribute(a).unwrap();
+        self
+    }
+    fn build(self) -> crossmine_relational::RelationSchema {
+        self.0
+    }
+}
+
+const T: crossmine_relational::RelId = crossmine_relational::RelId(0);
+const S: crossmine_relational::RelId = crossmine_relational::RelId(1);
+
+fn t_to_s() -> JoinEdge {
+    JoinEdge { from: T, from_attr: AttrId(0), to: S, to_attr: AttrId(1), kind: JoinKind::PkToFk }
+}
+
+/// Decodes one generated `(kind, small, x)` triple into a literal exercising
+/// every serializer branch. `x` is an arbitrary normal float, so thresholds
+/// cover the full finite range (Display round-trips shortest-repr exactly).
+fn decode_literal(kind: u32, small: u32, x: f64) -> ComplexLiteral {
+    let op = if small.is_multiple_of(2) { CmpOp::Le } else { CmpOp::Ge };
+    match kind % 5 {
+        // Local numerical literal on the target.
+        0 => ComplexLiteral::local(Constraint {
+            rel: T,
+            kind: ConstraintKind::Num { attr: AttrId(1), op, threshold: x },
+        }),
+        // Categorical on S through the pk-fk edge.
+        1 => ComplexLiteral {
+            path: vec![t_to_s()],
+            constraint: Constraint {
+                rel: S,
+                kind: ConstraintKind::CatEq { attr: AttrId(2), value: small % 3 },
+            },
+        },
+        // Numerical threshold on S.
+        2 => ComplexLiteral {
+            path: vec![t_to_s()],
+            constraint: Constraint {
+                rel: S,
+                kind: ConstraintKind::Num { attr: AttrId(3), op, threshold: x },
+            },
+        },
+        // Aggregation with an aggregated attribute, over the look-one-ahead
+        // style two-edge path S -> T (back through the reversed edge).
+        3 => ComplexLiteral {
+            path: vec![t_to_s(), t_to_s().reversed()],
+            constraint: Constraint {
+                rel: T,
+                kind: ConstraintKind::Agg {
+                    agg: if small.is_multiple_of(2) { AggOp::Sum } else { AggOp::Avg },
+                    attr: Some(AttrId(1)),
+                    op,
+                    threshold: x,
+                },
+            },
+        },
+        // Pure count aggregation (`attr` is None -> serialized as `-`).
+        _ => ComplexLiteral {
+            path: vec![t_to_s()],
+            constraint: Constraint {
+                rel: S,
+                kind: ConstraintKind::Agg { agg: AggOp::Count, attr: None, op, threshold: x },
+            },
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialization_is_a_fixed_point(
+        raw_clauses in prop::collection::vec(
+            (0u32..2, prop::collection::vec((0u32..5, 0u32..64, prop::num::f64::NORMAL), 0..5)),
+            0..6,
+        ),
+        default in 0u32..2,
+        sup in prop::collection::vec((0u32..500, prop::num::f64::NORMAL), 6),
+    ) {
+        let schema = schema();
+        let clauses: Vec<Clause> = raw_clauses
+            .iter()
+            .zip(&sup)
+            .map(|((label, lits), &(sup_pos, neg_raw))| {
+                let literals =
+                    lits.iter().map(|&(k, s, x)| decode_literal(k, s, x)).collect();
+                // sup_neg must be a non-negative finite float.
+                Clause::new(literals, ClassLabel(*label), sup_pos as usize, neg_raw.abs(), 2)
+            })
+            .collect();
+        let model = CrossMineModel {
+            clauses,
+            default_label: ClassLabel(default),
+            classes: vec![ClassLabel(0), ClassLabel(1)],
+        };
+
+        let text = model_io::to_string(&model, &schema);
+        let reloaded = model_io::from_str(&text, &schema).unwrap();
+        let text2 = model_io::to_string(&reloaded, &schema);
+        prop_assert_eq!(&text, &text2, "to_string . from_str must be a fixed point");
+
+        // Structural equality of the reload.
+        prop_assert_eq!(reloaded.default_label, model.default_label);
+        prop_assert_eq!(&reloaded.classes, &model.classes);
+        prop_assert_eq!(reloaded.clauses.len(), model.clauses.len());
+        for (a, b) in model.clauses.iter().zip(&reloaded.clauses) {
+            prop_assert_eq!(a.label, b.label);
+            prop_assert_eq!(a.sup_pos, b.sup_pos);
+            prop_assert_eq!(a.sup_neg.to_bits(), b.sup_neg.to_bits());
+            prop_assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+            prop_assert_eq!(&a.literals, &b.literals);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Batched clause-plan evaluation.
+//!
+//! [`evaluate_batch`] scores N target rows in **one tuple-ID propagation
+//! pass per clause** — the same algorithm as
+//! [`CrossMineModel::predict`](crossmine_core::CrossMineModel::predict),
+//! literal for literal, so results are byte-identical — but all scratch
+//! state ([`ServeScratch`]) lives with the caller (one per server worker)
+//! and path propagation goes through [`PathScratch`]'s reused CSR buffers,
+//! so steady-state evaluation performs no per-request propagation
+//! allocation. The surviving-[`TargetSet`] acts as the early-exit bitmap:
+//! once every batched row has been assigned by an earlier (more accurate)
+//! clause, remaining clauses are skipped outright.
+
+use crossmine_core::idset::{Stamp, TargetSet};
+use crossmine_core::propagation::{ClauseState, PathScratch};
+use crossmine_relational::{ClassLabel, Database, Row};
+
+use crate::plan::CompiledPlan;
+
+/// Per-worker reusable state for [`evaluate_batch`]: positivity dummies,
+/// the distinct-counting stamp, the per-row label assignments, and the CSR
+/// ping-pong buffers for prop-path propagation. All buffers survive across
+/// batches; only a change in the database's target cardinality re-sizes
+/// them.
+#[derive(Debug, Default)]
+pub struct ServeScratch {
+    dummy_pos: Vec<bool>,
+    stamp: Option<Stamp>,
+    label_of: Vec<Option<ClassLabel>>,
+    path: PathScratch,
+}
+
+impl ServeScratch {
+    /// An empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, num_targets: usize) {
+        if self.dummy_pos.len() != num_targets {
+            self.dummy_pos = vec![false; num_targets];
+            self.stamp = Some(Stamp::new(num_targets));
+            self.label_of = vec![None; num_targets];
+        }
+    }
+}
+
+/// Predicts the class of each of `rows` under `plan`, mirroring
+/// [`CrossMineModel::predict`](crossmine_core::CrossMineModel::predict)
+/// exactly: per clause (accuracy-descending), one propagation pass checks
+/// satisfaction of all still-unassigned rows at once; a satisfied row takes
+/// the clause's label; rows no clause covers take the default label.
+///
+/// Labels are assigned per *row*, not per batch slot, so a row that appears
+/// several times in one batch (concurrent clients asking about the same
+/// entity land in the same micro-batch) gets the same — correct — label at
+/// every occurrence, exactly as if each occurrence were predicted alone.
+///
+/// # Panics
+///
+/// Panics when `db` does not match the schema the plan was compiled
+/// against (different relation count or target relation) or when a row id
+/// is out of the target relation's range — both indicate a caller wiring
+/// error, never data-dependent conditions.
+pub fn evaluate_batch(
+    plan: &CompiledPlan,
+    db: &Database,
+    rows: &[Row],
+    scratch: &mut ServeScratch,
+) -> Vec<ClassLabel> {
+    assert_eq!(
+        db.schema.num_relations(),
+        plan.num_relations,
+        "database does not match the schema this plan was compiled for"
+    );
+    assert_eq!(db.target(), Ok(plan.target), "database target differs from the plan's");
+    let num_targets = db.num_targets();
+    scratch.ensure(num_targets);
+    let ServeScratch { dummy_pos, stamp, label_of, path } = scratch;
+    let stamp = stamp.as_mut().expect("ensure() populated the stamp");
+
+    // `TargetSet` is a bitmap, so duplicate occurrences of a row collapse
+    // into one propagated target; `label_of` then fans the result back out
+    // to every batch slot holding that row.
+    let mut unassigned = TargetSet::from_rows(dummy_pos, rows.iter().copied());
+    for clause in &plan.clauses {
+        if unassigned.is_empty() {
+            break;
+        }
+        let mut state = ClauseState::new(db, dummy_pos, unassigned.clone());
+        for lit in &clause.literals {
+            state.apply_literal_scratch(lit, stamp, path);
+            if state.targets.is_empty() {
+                break;
+            }
+        }
+        for r in state.targets.iter() {
+            let slot = &mut label_of[r.0 as usize];
+            if slot.is_none() {
+                *slot = Some(clause.label);
+            }
+            unassigned.remove(r.0, dummy_pos);
+        }
+    }
+
+    let out = rows.iter().map(|r| label_of[r.0 as usize].unwrap_or(plan.default_label)).collect();
+    // Reset only the touched entries so the map stays clean for the next
+    // batch without an O(num_targets) sweep.
+    for r in rows {
+        label_of[r.0 as usize] = None;
+    }
+    out
+}

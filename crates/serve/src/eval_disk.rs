@@ -1,0 +1,218 @@
+//! Compiled-plan prediction over a disk-resident database.
+//!
+//! [`predict_disk`] runs the same clause-by-clause algorithm as
+//! [`evaluate_batch`](crate::eval::evaluate_batch), but every tuple access
+//! goes through the [`DiskDatabase`]'s buffer pool: prop-paths use §8.1's
+//! [`propagate_disk`] (one sequential scan per side of each edge) and
+//! constraints are evaluated with one sequential column scan each, in row
+//! order — which keeps floating-point aggregate sums bit-identical to the
+//! in-memory evaluator. The result must (and is tested to) agree exactly
+//! with in-memory prediction; the buffer pool's hit/miss statistics are the
+//! caller's to report via [`DiskDatabase::stats`].
+
+use crossmine_core::idset::{Stamp, TargetSet};
+use crossmine_core::literal::{ComplexLiteral, ConstraintKind};
+use crossmine_core::propagation::{AggStats, Annotation};
+use crossmine_relational::{ClassLabel, Row, Value};
+use crossmine_storage::pager::Result;
+use crossmine_storage::{propagate_disk, DiskDatabase};
+
+use crate::plan::CompiledPlan;
+
+/// Predicts the class of each of `rows` under `plan`, with all tuple data
+/// read through `disk`'s buffer pool. Semantically identical to
+/// [`evaluate_batch`](crate::eval::evaluate_batch) on the database the disk
+/// image was spilled from.
+pub fn predict_disk(
+    plan: &CompiledPlan,
+    disk: &mut DiskDatabase,
+    rows: &[Row],
+) -> Result<Vec<ClassLabel>> {
+    assert_eq!(
+        disk.schema.num_relations(),
+        plan.num_relations,
+        "disk database does not match the schema this plan was compiled for"
+    );
+    let target = plan.target;
+    let num_targets = disk.num_rows(target);
+    let dummy_pos = vec![false; num_targets];
+    let mut stamp = Stamp::new(num_targets);
+
+    let mut prediction: Vec<Option<ClassLabel>> = vec![None; rows.len()];
+    let mut slot_of: Vec<Option<usize>> = vec![None; num_targets];
+    for (i, r) in rows.iter().enumerate() {
+        slot_of[r.0 as usize] = Some(i);
+    }
+
+    let mut unassigned = TargetSet::from_rows(&dummy_pos, rows.iter().copied());
+    for clause in &plan.clauses {
+        if unassigned.is_empty() {
+            break;
+        }
+        let mut state = DiskClauseState::new(disk, plan, unassigned.clone(), &dummy_pos);
+        for lit in &clause.literals {
+            state.apply_literal(disk, lit, &mut stamp)?;
+            if state.targets.is_empty() {
+                break;
+            }
+        }
+        for r in state.targets.iter() {
+            if let Some(slot) = slot_of[r.0 as usize] {
+                if prediction[slot].is_none() {
+                    prediction[slot] = Some(clause.label);
+                }
+            }
+            unassigned.remove(r.0, &dummy_pos);
+        }
+    }
+    Ok(prediction.into_iter().map(|p| p.unwrap_or(plan.default_label)).collect())
+}
+
+/// Disk-side mirror of [`ClauseState`](crossmine_core::propagation::ClauseState):
+/// surviving targets plus the annotation of every active relation.
+struct DiskClauseState<'a> {
+    targets: TargetSet,
+    annotations: Vec<Option<Annotation>>,
+    is_pos: &'a [bool],
+}
+
+impl<'a> DiskClauseState<'a> {
+    fn new(
+        disk: &DiskDatabase,
+        plan: &CompiledPlan,
+        initial: TargetSet,
+        is_pos: &'a [bool],
+    ) -> Self {
+        let mut annotations: Vec<Option<Annotation>> =
+            (0..disk.schema.num_relations()).map(|_| None).collect();
+        annotations[plan.target.0] =
+            Some(Annotation::identity(disk.num_rows(plan.target), &initial));
+        DiskClauseState { targets: initial, annotations, is_pos }
+    }
+
+    fn apply_literal(
+        &mut self,
+        disk: &mut DiskDatabase,
+        lit: &ComplexLiteral,
+        stamp: &mut Stamp,
+    ) -> Result<()> {
+        let mut ann = if lit.path.is_empty() {
+            self.annotations[lit.constraint.rel.0]
+                .clone()
+                .expect("compiled plan guarantees local literals hit active relations")
+        } else {
+            let from = self.annotations[lit.path[0].from.0]
+                .as_ref()
+                .expect("compiled plan guarantees paths start from active relations");
+            let mut ann = propagate_disk(disk, from, &lit.path[0])?;
+            for edge in &lit.path[1..] {
+                ann = propagate_disk(disk, &ann, edge)?;
+            }
+            ann
+        };
+        constrain_disk(disk, lit, &mut ann, &self.targets, stamp)?;
+        self.targets.retain(self.is_pos, |id| stamp.is_marked(id));
+        for slot in self.annotations.iter_mut().flatten() {
+            slot.restrict_to(&self.targets);
+        }
+        ann.restrict_to(&self.targets);
+        self.annotations[lit.constraint.rel.0] = Some(ann);
+        Ok(())
+    }
+}
+
+/// Applies `lit`'s constraint to `ann` in place, leaving `stamp` marking the
+/// target ids that still satisfy the clause — one sequential scan of the
+/// constrained column (none for pure counts).
+fn constrain_disk(
+    disk: &mut DiskDatabase,
+    lit: &ComplexLiteral,
+    ann: &mut Annotation,
+    targets: &TargetSet,
+    stamp: &mut Stamp,
+) -> Result<()> {
+    let rel = lit.constraint.rel;
+    match &lit.constraint.kind {
+        ConstraintKind::CatEq { attr, value } => {
+            let idsets = &mut ann.idsets;
+            disk.scan_column(rel, *attr, |row, v| {
+                if v != Value::Cat(*value) {
+                    idsets[row].clear();
+                }
+            })?;
+            mark_covered(ann, targets, stamp);
+        }
+        ConstraintKind::Num { attr, op, threshold } => {
+            let idsets = &mut ann.idsets;
+            disk.scan_column(rel, *attr, |row, v| {
+                let keep = matches!(v, Value::Num(x) if op.test(x, *threshold));
+                if !keep {
+                    idsets[row].clear();
+                }
+            })?;
+            mark_covered(ann, targets, stamp);
+        }
+        ConstraintKind::Agg { agg, attr, op, threshold } => {
+            let mut acc = vec![AggStats::default(); targets.capacity()];
+            match attr {
+                // The aggregated column is scanned in row order, matching
+                // the in-memory accumulation order exactly (float sums are
+                // order-sensitive).
+                Some(a) => {
+                    let idsets = &ann.idsets;
+                    disk.scan_column(rel, *a, |row, v| {
+                        accumulate(&mut acc, &idsets[row], v.as_num(), targets);
+                    })?;
+                }
+                // Pure count: no column needed, iterate the annotation.
+                None => {
+                    for set in &ann.idsets {
+                        accumulate(&mut acc, set, None, targets);
+                    }
+                }
+            }
+            stamp.reset();
+            for (id, s) in acc.iter().enumerate() {
+                if let Some(v) = s.value(*agg) {
+                    if op.test(v, *threshold) {
+                        stamp.mark(id as u32);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn accumulate(
+    acc: &mut [AggStats],
+    set: &crossmine_core::idset::IdSet,
+    num: Option<f64>,
+    targets: &TargetSet,
+) {
+    if set.is_empty() {
+        return;
+    }
+    for id in set.iter() {
+        if !targets.contains(id) {
+            continue;
+        }
+        let s = &mut acc[id as usize];
+        s.rows += 1;
+        if let Some(x) = num {
+            s.num_rows += 1;
+            s.sum += x;
+        }
+    }
+}
+
+fn mark_covered(ann: &Annotation, targets: &TargetSet, stamp: &mut Stamp) {
+    stamp.reset();
+    for set in &ann.idsets {
+        for id in set.iter() {
+            if targets.contains(id) {
+                stamp.mark(id);
+            }
+        }
+    }
+}

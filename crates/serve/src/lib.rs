@@ -1,0 +1,64 @@
+//! # crossmine-serve
+//!
+//! The inference subsystem of the CrossMine reproduction: everything needed
+//! to take a trained [`CrossMineModel`](crossmine_core::CrossMineModel)
+//! and serve predictions under concurrent load.
+//!
+//! * [`plan`] — the **clause-plan compiler**: lowers a model against a
+//!   schema into a [`CompiledPlan`], front-loading all validation (join
+//!   edges, path chaining, the active-relation invariant, attribute types,
+//!   dictionary codes) so evaluation is panic-free and revalidation-free.
+//! * [`eval`] — the **batched evaluator**: scores N target rows with one
+//!   tuple-ID-propagation pass per clause through per-worker
+//!   [`ServeScratch`] buffers; byte-identical to
+//!   [`CrossMineModel::predict`](crossmine_core::CrossMineModel::predict).
+//! * [`eval_disk`] — the same evaluation with every tuple access going
+//!   through a [`DiskDatabase`](crossmine_storage::DiskDatabase) buffer
+//!   pool (paper §8).
+//! * [`registry`] — **lock-free model hot-swap**: wait-free epoch-stamped
+//!   snapshots; a batch is always scored under exactly one model.
+//! * [`server`] — the **concurrent micro-batching server**: bounded
+//!   admission queue, worker pool, flush on `max_batch`/`max_wait`,
+//!   drain-based shutdown with zero dropped requests.
+//! * [`metrics`] — lock-free counters and log₂ latency/batch-size
+//!   histograms with a text report.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use crossmine_core::CrossMine;
+//! use crossmine_relational::Row;
+//! use crossmine_serve::{CompiledPlan, ModelRegistry, PredictionServer, ServerConfig};
+//!
+//! let db = crossmine_synth::generate(&crossmine_synth::GenParams {
+//!     num_relations: 3, expected_tuples: 60, min_tuples: 20, ..Default::default()
+//! });
+//! let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+//! let model = CrossMine::default().fit(&db, &rows);
+//! let expected = model.predict(&db, &rows);
+//!
+//! let plan = CompiledPlan::compile(&model, &db.schema).unwrap();
+//! let registry = Arc::new(ModelRegistry::new(plan));
+//! let server = PredictionServer::start(Arc::new(db), registry, ServerConfig::default());
+//! for (i, &row) in rows.iter().enumerate() {
+//!     assert_eq!(server.predict(row).label, expected[i]);
+//! }
+//! let report = server.shutdown();
+//! assert_eq!(report.requests, rows.len() as u64);
+//! assert_eq!(report.errors, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod eval_disk;
+pub mod metrics;
+pub mod plan;
+pub mod registry;
+pub mod server;
+
+pub use eval::{evaluate_batch, ServeScratch};
+pub use eval_disk::predict_disk;
+pub use metrics::{Histogram, MetricsSnapshot, ServeMetrics};
+pub use plan::{CompileError, CompiledClause, CompiledPlan, PlanStats};
+pub use registry::{ModelRegistry, ModelSnapshot};
+pub use server::{Prediction, PredictionServer, ServerConfig};

@@ -1,0 +1,278 @@
+//! Serving metrics: atomic counters plus fixed-bucket log₂ histograms.
+//!
+//! Everything is updated with relaxed atomics on the hot path — a worker
+//! never takes a lock to record a latency — and read with a consistent-ish
+//! [`MetricsSnapshot`] whose [`Display`](std::fmt::Display) is the text
+//! report `loadgen` prints. Quantiles come from a 40-bucket power-of-two
+//! histogram: `quantile(q)` returns the upper bound of the bucket holding
+//! the q-th ranked sample, i.e. an over-estimate by at most 2×, which is
+//! the standard fidelity/footprint trade for serving dashboards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const NUM_BUCKETS: usize = 40;
+
+/// A lock-free histogram with power-of-two buckets: bucket `i > 0` holds
+/// values in `[2^(i-1), 2^i - 1]`; bucket 0 holds zero.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(NUM_BUCKETS - 1)
+}
+
+/// Upper bound of bucket `i` (what `quantile` reports).
+fn upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket the
+    /// ranked sample falls in; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return upper_bound(i);
+            }
+        }
+        self.max()
+    }
+
+    /// Per-bucket counts `(upper_bound, count)` for nonempty buckets.
+    pub fn nonempty_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((upper_bound(i), n))
+            })
+            .collect()
+    }
+}
+
+/// All serving metrics, shared by every worker of one server.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests admitted to the queue.
+    pub requests: AtomicU64,
+    /// Replies that could not be delivered (caller dropped its receiver).
+    pub errors: AtomicU64,
+    /// Batches scored.
+    pub batches: AtomicU64,
+    /// End-to-end request latency (enqueue → reply), microseconds.
+    pub latency_us: Histogram,
+    /// Scored batch sizes.
+    pub batch_size: Histogram,
+    /// Queue depth observed at each admission.
+    pub queue_depth: Histogram,
+}
+
+impl ServeMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A point-in-time snapshot (counters are read relaxed; per-field skew
+    /// of a few in-flight requests is acceptable for reporting).
+    pub fn snapshot(&self, swaps: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            latency_p50_us: self.latency_us.quantile(0.50),
+            latency_p95_us: self.latency_us.quantile(0.95),
+            latency_p99_us: self.latency_us.quantile(0.99),
+            latency_max_us: self.latency_us.max(),
+            mean_batch: self.batch_size.mean(),
+            max_batch: self.batch_size.max(),
+            batch_buckets: self.batch_size.nonempty_buckets(),
+            max_queue_depth: self.queue_depth.max(),
+            swaps,
+        }
+    }
+}
+
+/// A rendered view of [`ServeMetrics`] at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests admitted.
+    pub requests: u64,
+    /// Undeliverable replies.
+    pub errors: u64,
+    /// Batches scored.
+    pub batches: u64,
+    /// Median end-to-end latency (µs, bucket upper bound).
+    pub latency_p50_us: u64,
+    /// 95th-percentile latency (µs).
+    pub latency_p95_us: u64,
+    /// 99th-percentile latency (µs).
+    pub latency_p99_us: u64,
+    /// Worst observed latency (µs, exact).
+    pub latency_max_us: u64,
+    /// Mean batch size.
+    pub mean_batch: f64,
+    /// Largest batch scored.
+    pub max_batch: u64,
+    /// Batch-size distribution as `(bucket upper bound, count)`.
+    pub batch_buckets: Vec<(u64, u64)>,
+    /// Deepest queue observed at admission.
+    pub max_queue_depth: u64,
+    /// Model hot-swaps performed.
+    pub swaps: u64,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests: {}  errors: {}  batches: {}",
+            self.requests, self.errors, self.batches
+        )?;
+        writeln!(
+            f,
+            "latency  p50: {}us  p95: {}us  p99: {}us  max: {}us",
+            self.latency_p50_us, self.latency_p95_us, self.latency_p99_us, self.latency_max_us
+        )?;
+        writeln!(
+            f,
+            "batch    mean: {:.1}  max: {}  queue depth max: {}  swaps: {}",
+            self.mean_batch, self.max_batch, self.max_queue_depth, self.swaps
+        )?;
+        write!(f, "batch-size histogram (<=bound: count):")?;
+        for (bound, n) in &self.batch_buckets {
+            write!(f, " <={bound}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_with_zero_special_cased() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(upper_bound(0), 0);
+        assert_eq!(upper_bound(1), 1);
+        assert_eq!(upper_bound(3), 7);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile(0.5), 1);
+        // The 100 sample sits in bucket [64, 127] -> upper bound 127.
+        assert_eq!(h.quantile(0.99), 127);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 10.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_one_bucket_of_error() {
+        let h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let est = h.quantile(q) as f64;
+            let exact = q * 999.0;
+            assert!(est >= exact, "quantile {q} must not under-report: {est} < {exact}");
+            assert!(est <= exact.max(1.0) * 2.0, "at most 2x over: {est} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn snapshot_renders_report() {
+        let m = ServeMetrics::new();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.batches.fetch_add(2, Ordering::Relaxed);
+        m.latency_us.record(80);
+        m.latency_us.record(120);
+        m.latency_us.record(2000);
+        m.batch_size.record(1);
+        m.batch_size.record(2);
+        m.queue_depth.record(5);
+        let snap = m.snapshot(4);
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.swaps, 4);
+        assert_eq!(snap.max_queue_depth, 5);
+        assert!((snap.mean_batch - 1.5).abs() < 1e-9);
+        let text = snap.to_string();
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("swaps: 4"), "{text}");
+        assert!(text.contains("batch-size histogram"), "{text}");
+    }
+}

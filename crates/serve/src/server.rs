@@ -1,0 +1,266 @@
+//! The in-process concurrent prediction server.
+//!
+//! Architecture: a **bounded admission queue** (mutex + two condvars:
+//! `not_empty` wakes workers, `not_full` back-pressures submitters) feeding
+//! a pool of `std::thread` workers. Each worker **micro-batches**: it takes
+//! the first waiting request, then keeps draining the queue until either
+//! `max_batch` requests are in hand or `max_wait` has elapsed since it
+//! started collecting, then scores the whole batch with **one**
+//! [`evaluate_batch`] call against **one** [`ModelRegistry`] snapshot. The
+//! snapshot-per-batch discipline is what makes hot swaps safe: a batch is
+//! never scored under a mix of models, and responses carry the epoch that
+//! scored them.
+//!
+//! Shutdown is drain-based: no request that was accepted by
+//! [`PredictionServer::submit`] is ever dropped — workers keep scoring
+//! until the queue is empty, then exit.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossmine_relational::{ClassLabel, Database, Row};
+
+use crate::eval::{evaluate_batch, ServeScratch};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::registry::ModelRegistry;
+
+/// Tunables of a [`PredictionServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads scoring batches.
+    pub workers: usize,
+    /// Largest batch one worker scores at once.
+    pub max_batch: usize,
+    /// How long a worker waits for the batch to fill before flushing.
+    pub max_wait: Duration,
+    /// Admission-queue capacity; submitters block when it is full.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// One scored request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// The target row that was scored.
+    pub row: Row,
+    /// Its predicted class.
+    pub label: ClassLabel,
+    /// Epoch of the model snapshot that scored it.
+    pub epoch: u64,
+}
+
+struct Request {
+    row: Row,
+    enqueued: Instant,
+    reply: mpsc::Sender<Prediction>,
+}
+
+struct QueueState {
+    queue: VecDeque<Request>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// A concurrent, micro-batching, hot-swappable prediction server over one
+/// in-memory [`Database`].
+pub struct PredictionServer {
+    shared: Arc<Shared>,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<ServeMetrics>,
+    config: ServerConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PredictionServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictionServer")
+            .field("workers", &self.workers.len())
+            .field("config", &self.config)
+            .field("registry", &self.registry)
+            .finish()
+    }
+}
+
+impl PredictionServer {
+    /// Starts the worker pool serving `registry`'s current (and future)
+    /// models over `db`.
+    pub fn start(db: Arc<Database>, registry: Arc<ModelRegistry>, config: ServerConfig) -> Self {
+        assert!(config.workers >= 1, "server needs at least one worker");
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.queue_capacity >= 1, "queue_capacity must be at least 1");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        let metrics = Arc::new(ServeMetrics::new());
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let registry = Arc::clone(&registry);
+                let metrics = Arc::clone(&metrics);
+                let db = Arc::clone(&db);
+                let config = config.clone();
+                std::thread::spawn(move || worker_loop(&shared, &registry, &metrics, &db, &config))
+            })
+            .collect();
+        PredictionServer { shared, registry, metrics, config, workers }
+    }
+
+    /// Enqueues one row for scoring, blocking while the queue is full.
+    /// Returns the receiver the [`Prediction`] will arrive on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after [`shutdown`](Self::shutdown) began (the
+    /// drain guarantee only covers requests accepted before shutdown).
+    pub fn submit(&self, row: Row) -> mpsc::Receiver<Prediction> {
+        let (tx, rx) = mpsc::channel();
+        let mut st = self.shared.state.lock().expect("server queue poisoned");
+        while st.queue.len() >= self.config.queue_capacity && !st.shutdown {
+            st = self.shared.not_full.wait(st).expect("server queue poisoned");
+        }
+        assert!(!st.shutdown, "submit after shutdown");
+        st.queue.push_back(Request { row, enqueued: Instant::now(), reply: tx });
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.queue_depth.record(st.queue.len() as u64);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        rx
+    }
+
+    /// Synchronous convenience: submit and wait for the prediction.
+    pub fn predict(&self, row: Row) -> Prediction {
+        self.submit(row).recv().expect("worker pool delivered no reply")
+    }
+
+    /// The registry this server snapshots from (for hot swaps).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Current metrics, including the registry's swap count.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.registry.swap_count())
+    }
+
+    /// Stops accepting requests, drains the queue, joins every worker, and
+    /// returns the final metrics. Every request accepted before this call
+    /// is scored and answered.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.begin_shutdown();
+        for h in self.workers.drain(..) {
+            h.join().expect("server worker panicked");
+        }
+        self.metrics()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut st = self.shared.state.lock().expect("server queue poisoned");
+        st.shutdown = true;
+        drop(st);
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+}
+
+impl Drop for PredictionServer {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.begin_shutdown();
+            for h in self.workers.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    shared: &Shared,
+    registry: &ModelRegistry,
+    metrics: &ServeMetrics,
+    db: &Database,
+    config: &ServerConfig,
+) {
+    let mut scratch = ServeScratch::new();
+    let mut batch: Vec<Request> = Vec::with_capacity(config.max_batch);
+    let mut rows: Vec<Row> = Vec::with_capacity(config.max_batch);
+    loop {
+        batch.clear();
+        rows.clear();
+        {
+            let mut st = shared.state.lock().expect("server queue poisoned");
+            // Wait for the first request (or a fully-drained shutdown).
+            loop {
+                if !st.queue.is_empty() {
+                    break;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.not_empty.wait(st).expect("server queue poisoned");
+            }
+            // Micro-batch: drain until full, shutdown, or the flush deadline.
+            let deadline = Instant::now() + config.max_wait;
+            loop {
+                while batch.len() < config.max_batch {
+                    match st.queue.pop_front() {
+                        Some(r) => batch.push(r),
+                        None => break,
+                    }
+                }
+                if batch.len() >= config.max_batch || st.shutdown {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = shared
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .expect("server queue poisoned");
+                st = guard;
+                if timeout.timed_out() && st.queue.is_empty() {
+                    break;
+                }
+            }
+        }
+        shared.not_full.notify_all();
+
+        // One registry snapshot scores the whole batch: no torn reads, and
+        // a concurrent install affects only later batches.
+        let snap = registry.snapshot();
+        rows.extend(batch.iter().map(|r| r.row));
+        let labels = evaluate_batch(&snap.plan, db, &rows, &mut scratch);
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        metrics.batch_size.record(batch.len() as u64);
+        for (req, label) in batch.drain(..).zip(labels) {
+            let latency = req.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            metrics.latency_us.record(latency);
+            let sent = req.reply.send(Prediction { row: req.row, label, epoch: snap.epoch });
+            if sent.is_err() {
+                metrics.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The serving correctness bar: compiled-plan evaluation is byte-identical
+//! to [`CrossMineModel::predict`] — under any batch size, any worker count,
+//! and a model hot-swap injected mid-stream.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use crossmine_core::classifier::{CrossMine, CrossMineModel};
+use crossmine_relational::{ClassLabel, Database, Row};
+use crossmine_serve::{
+    evaluate_batch, CompiledPlan, ModelRegistry, PredictionServer, ServeScratch, ServerConfig,
+};
+use crossmine_synth::{generate, GenParams};
+
+struct Fixture {
+    db: Arc<Database>,
+    model: CrossMineModel,
+    rows: Vec<Row>,
+    expected: Vec<ClassLabel>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let db = generate(&GenParams {
+            num_relations: 5,
+            expected_tuples: 120,
+            min_tuples: 40,
+            seed: 23,
+            ..Default::default()
+        });
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let model = CrossMine::default().fit(&db, &rows);
+        assert!(model.num_clauses() >= 1, "fixture model must have learned something");
+        let expected = model.predict(&db, &rows);
+        Fixture { db: Arc::new(db), model, rows, expected }
+    })
+}
+
+/// A second model with visibly different predictions: no clauses, default
+/// label flipped to a minority class. Compiles trivially and predicts a
+/// constant — unmistakable from the fixture model's output.
+fn alternate_model(f: &Fixture) -> CrossMineModel {
+    let alt_default = f
+        .model
+        .classes
+        .iter()
+        .copied()
+        .find(|&c| c != f.model.default_label)
+        .expect("fixture has at least two classes");
+    CrossMineModel {
+        clauses: Vec::new(),
+        default_label: alt_default,
+        classes: f.model.classes.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chunked batched evaluation over an arbitrary (deduplicated) row
+    /// subset equals full-batch `predict` element-for-element, for batch
+    /// sizes 1, 7, 64, and the full subset. Per-row independence of the
+    /// prediction procedure is exactly what this pins down.
+    #[test]
+    fn batched_evaluation_matches_predict(
+        picks in prop::collection::vec(0usize..120, 1..80),
+        size_sel in 0usize..4,
+    ) {
+        let f = fixture();
+        let mut idx = picks.clone();
+        idx.retain(|&i| i < f.rows.len());
+        idx.sort_unstable();
+        idx.dedup();
+        prop_assume!(!idx.is_empty());
+        let rows: Vec<Row> = idx.iter().map(|&i| f.rows[i]).collect();
+        let expected = f.model.predict(&f.db, &rows);
+
+        let plan = CompiledPlan::compile(&f.model, &f.db.schema).unwrap();
+        let chunk = [1usize, 7, 64, rows.len()][size_sel].min(rows.len());
+        let mut scratch = ServeScratch::new();
+        let mut got = Vec::with_capacity(rows.len());
+        for c in rows.chunks(chunk) {
+            got.extend(evaluate_batch(&plan, &f.db, c, &mut scratch));
+        }
+        prop_assert_eq!(&got, &expected, "chunk size {}", chunk);
+    }
+}
+
+/// A row appearing several times in ONE batch (concurrent clients asking
+/// about the same entity get micro-batched together) must get its true
+/// per-row label at every occurrence — not the default-label fallback that
+/// `predict`'s last-occurrence-wins slot map would hand earlier duplicates.
+#[test]
+fn duplicate_rows_in_a_batch_all_get_their_true_label() {
+    let f = fixture();
+    let plan = CompiledPlan::compile(&f.model, &f.db.schema).unwrap();
+    let mut scratch = ServeScratch::new();
+    // Every row singly, to have the per-row ground truth.
+    let singles = evaluate_batch(&plan, &f.db, &f.rows, &mut scratch);
+    assert_eq!(singles, f.expected);
+    // Each row three times, interleaved, in one batch.
+    let tripled: Vec<Row> = (0..3).flat_map(|_| f.rows.iter().copied()).collect();
+    let got = evaluate_batch(&plan, &f.db, &tripled, &mut scratch);
+    for (k, (&row_label, got_label)) in
+        std::iter::repeat_n(f.expected.iter(), 3).flatten().zip(&got).enumerate()
+    {
+        assert_eq!(row_label, *got_label, "occurrence {k} diverged");
+    }
+}
+
+/// The server end-to-end: every worker-count × batch-config combination
+/// returns exactly `predict`'s labels, with zero errors and no lost
+/// requests.
+#[test]
+fn server_matches_predict_across_workers_and_batch_sizes() {
+    let f = fixture();
+    let plan = CompiledPlan::compile(&f.model, &f.db.schema).unwrap();
+    for workers in [1usize, 4] {
+        for max_batch in [1usize, 7, 64, f.rows.len()] {
+            let registry = Arc::new(ModelRegistry::new(plan.clone()));
+            let server = PredictionServer::start(
+                Arc::clone(&f.db),
+                registry,
+                ServerConfig {
+                    workers,
+                    max_batch,
+                    max_wait: Duration::from_micros(100),
+                    queue_capacity: 256,
+                },
+            );
+            // Submit everything first (exercises batching), then collect.
+            let receivers: Vec<_> = f.rows.iter().map(|&r| server.submit(r)).collect();
+            for (i, rx) in receivers.into_iter().enumerate() {
+                let p = rx.recv().expect("reply delivered");
+                assert_eq!(p.row, f.rows[i]);
+                assert_eq!(
+                    p.label, f.expected[i],
+                    "row {} under workers={workers} max_batch={max_batch}",
+                    f.rows[i].0
+                );
+                assert_eq!(p.epoch, 0, "no swap installed");
+            }
+            let report = server.shutdown();
+            assert_eq!(report.requests, f.rows.len() as u64);
+            assert_eq!(report.errors, 0);
+            assert!(report.batches >= 1);
+            assert!(report.max_batch as usize <= max_batch);
+        }
+    }
+}
+
+/// Hot swap injected mid-stream: requests scored before the install carry
+/// epoch 0 and the old model's labels; requests submitted after it carry
+/// epoch 1 and the new model's labels. Nothing is dropped or torn.
+#[test]
+fn hot_swap_mid_stream_is_epoch_consistent() {
+    let f = fixture();
+    let plan_a = CompiledPlan::compile(&f.model, &f.db.schema).unwrap();
+    let model_b = alternate_model(f);
+    let plan_b = CompiledPlan::compile(&model_b, &f.db.schema).unwrap();
+    let expected_b = model_b.predict(&f.db, &f.rows);
+
+    for workers in [1usize, 4] {
+        let registry = Arc::new(ModelRegistry::new(plan_a.clone()));
+        let server = PredictionServer::start(
+            Arc::clone(&f.db),
+            Arc::clone(&registry),
+            ServerConfig {
+                workers,
+                max_batch: 8,
+                max_wait: Duration::from_micros(50),
+                queue_capacity: 64,
+            },
+        );
+        let half = f.rows.len() / 2;
+
+        // Phase 1: settle the first half fully under the old model.
+        for (i, &row) in f.rows[..half].iter().enumerate() {
+            let p = server.predict(row);
+            assert_eq!(p.epoch, 0);
+            assert_eq!(p.label, f.expected[i], "pre-swap row {}", row.0);
+        }
+
+        // Swap. Install's Release store happens-before every subsequent
+        // submit, so phase-2 batches must snapshot the new model.
+        let epoch = registry.install(plan_b.clone());
+        assert_eq!(epoch, 1);
+
+        for (i, &row) in f.rows[half..].iter().enumerate() {
+            let p = server.predict(row);
+            assert_eq!(p.epoch, 1, "post-swap request scored under the old model");
+            assert_eq!(p.label, expected_b[half + i], "post-swap row {}", row.0);
+        }
+
+        let report = server.shutdown();
+        assert_eq!(report.requests, f.rows.len() as u64);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.swaps, 1);
+    }
+}
+
+/// Swap racing in-flight traffic: a writer thread installs the new model
+/// while the main thread streams every row through the server. Each reply
+/// must be *wholly* consistent with the model its epoch names — the
+/// no-torn-reads guarantee.
+#[test]
+fn concurrent_swap_never_tears_a_batch() {
+    let f = fixture();
+    let plan_a = CompiledPlan::compile(&f.model, &f.db.schema).unwrap();
+    let model_b = alternate_model(f);
+    let plan_b = CompiledPlan::compile(&model_b, &f.db.schema).unwrap();
+    let expected_b = model_b.predict(&f.db, &f.rows);
+
+    let registry = Arc::new(ModelRegistry::new(plan_a.clone()));
+    let server = PredictionServer::start(
+        Arc::clone(&f.db),
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 4,
+            max_batch: 8,
+            max_wait: Duration::from_micros(50),
+            queue_capacity: 32,
+        },
+    );
+
+    let swapper = {
+        let registry = Arc::clone(&registry);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            registry.install(plan_b)
+        })
+    };
+
+    // Stream several passes over all rows while the swap lands.
+    let mut checked_old = 0u32;
+    let mut checked_new = 0u32;
+    for _pass in 0..6 {
+        let receivers: Vec<_> = f.rows.iter().map(|&r| server.submit(r)).collect();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let p = rx.recv().expect("reply delivered");
+            match p.epoch {
+                0 => {
+                    assert_eq!(p.label, f.expected[i], "epoch-0 reply must match model A");
+                    checked_old += 1;
+                }
+                1 => {
+                    assert_eq!(p.label, expected_b[i], "epoch-1 reply must match model B");
+                    checked_new += 1;
+                }
+                e => panic!("impossible epoch {e}"),
+            }
+        }
+    }
+    assert_eq!(swapper.join().expect("swapper thread"), 1);
+    assert!(checked_new > 0, "swap must have landed within the stream");
+    let report = server.shutdown();
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.swaps, 1);
+    assert_eq!(u64::from(checked_old + checked_new), report.requests);
+}

@@ -19,6 +19,33 @@ pub struct BufferStats {
     pub writebacks: u64,
 }
 
+impl BufferStats {
+    /// Fraction of page requests served from memory (0 when nothing was
+    /// requested yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for BufferStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} evictions={} writebacks={} hit_rate={:.1}%",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.writebacks,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
 struct Frame {
     page: Page,
     dirty: bool,

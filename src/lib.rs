@@ -22,6 +22,7 @@
 //! | [`datasets`] | simulated PKDD financial + Mutagenesis benchmarks |
 //! | [`baselines`] | FOIL, TILDE, and label propagation |
 //! | [`storage`] | disk-resident columnar storage + buffer pool (paper §8) |
+//! | [`serve`] | compiled clause plans + concurrent batched prediction server |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub use crossmine_baselines as baselines;
 pub use crossmine_core as core;
 pub use crossmine_datasets as datasets;
 pub use crossmine_relational as relational;
+pub use crossmine_serve as serve;
 pub use crossmine_storage as storage;
 pub use crossmine_synth as synth;
 
@@ -58,5 +60,8 @@ pub use crossmine_datasets::{
 pub use crossmine_relational::{
     AttrId, AttrType, Attribute, ClassLabel, Database, DatabaseSchema, JoinGraph, RelId,
     RelationSchema, Row, Value,
+};
+pub use crossmine_serve::{
+    CompiledPlan, ModelRegistry, Prediction, PredictionServer, ServerConfig,
 };
 pub use crossmine_synth::{generate, GenParams};
