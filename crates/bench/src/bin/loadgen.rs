@@ -12,7 +12,15 @@
 //! cargo run --release -p crossmine-bench --bin loadgen -- --smoke
 //! cargo run --release -p crossmine-bench --bin loadgen -- \
 //!     --requests 50000 --workers 4 --clients 8 --batch 64 --wait-us 200
+//! cargo run --release -p crossmine-bench --bin loadgen -- \
+//!     --report --jsonl /tmp/obs.jsonl
 //! ```
+//!
+//! `--report` attaches enabled `crossmine-obs` handles to training and
+//! serving (training additionally turns on §6 negative sampling so the
+//! sampling hooks are exercised) and prints the train/serve span tables
+//! and counters after the run; `--jsonl PATH` exports the same metrics as
+//! JSON lines.
 //!
 //! Exits non-zero on any parity mismatch, delivery error, or lost request.
 
@@ -20,7 +28,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossmine_core::CrossMine;
+use crossmine_core::{CrossMine, CrossMineParams};
+use crossmine_obs::{ObsHandle, ServeReport, TrainReport};
 use crossmine_relational::{ClassLabel, Database, Row};
 use crossmine_serve::{predict_disk, CompiledPlan, ModelRegistry, PredictionServer, ServerConfig};
 use crossmine_storage::DiskDatabase;
@@ -35,6 +44,8 @@ struct Args {
     wait_us: u64,
     seed: u64,
     skip_disk: bool,
+    report: bool,
+    jsonl: Option<String>,
 }
 
 impl Default for Args {
@@ -48,6 +59,8 @@ impl Default for Args {
             wait_us: 200,
             seed: 42,
             skip_disk: false,
+            report: false,
+            jsonl: None,
         }
     }
 }
@@ -76,6 +89,12 @@ fn parse_args() -> Args {
             "--wait-us" => args.wait_us = take(&mut i),
             "--seed" => args.seed = take(&mut i),
             "--no-disk" => args.skip_disk = true,
+            "--report" => args.report = true,
+            "--jsonl" => {
+                i += 1;
+                let path = argv.get(i).unwrap_or_else(|| die("--jsonl needs a file path"));
+                args.jsonl = Some(path.clone());
+            }
             other => die(&format!("unknown flag {other} (try --smoke)")),
         }
         i += 1;
@@ -114,8 +133,26 @@ fn main() {
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
     println!("database {} ({} target rows)", params.name(), rows.len());
 
+    // `--report`/`--jsonl` attach enabled obs handles; otherwise both stay
+    // no-ops and every hook below costs one branch.
+    let obs_on = args.report || args.jsonl.is_some();
+    let train_obs = if obs_on { ObsHandle::enabled() } else { ObsHandle::noop() };
+    let serve_obs = if obs_on { ObsHandle::enabled() } else { ObsHandle::noop() };
+    let classifier = if obs_on {
+        // Negative sampling (§6) on, so the sampling hooks show up in the
+        // span table. Parity below is against this same model, so the
+        // different clause set changes nothing about the checks.
+        CrossMine::new(CrossMineParams {
+            sampling: true,
+            obs: train_obs.clone(),
+            ..Default::default()
+        })
+    } else {
+        CrossMine::default()
+    };
+
     let fit_start = Instant::now();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = classifier.fit(&db, &rows);
     println!("trained {} clauses in {:?}", model.num_clauses(), fit_start.elapsed());
     let expected = model.predict(&db, &rows);
     let plan = match CompiledPlan::compile(&model, &db.schema) {
@@ -138,6 +175,7 @@ fn main() {
             max_batch: args.max_batch,
             max_wait: Duration::from_micros(args.wait_us),
             queue_capacity: 1024,
+            obs: serve_obs.clone(),
         },
     );
     println!(
@@ -189,6 +227,15 @@ fn main() {
     println!("{report}");
     println!();
 
+    if args.report {
+        println!("{}", TrainReport::from_handle(&train_obs));
+        println!("{}", ServeReport::from_handle(&serve_obs));
+    }
+    if let Some(path) = &args.jsonl {
+        export_jsonl(path, &train_obs, &serve_obs);
+        println!("obs metrics exported to {path}");
+    }
+
     let lost = total as u64 - answered.load(Ordering::Relaxed);
     let bad = mismatches.load(Ordering::Relaxed);
     if bad > 0 || lost > 0 || report.errors > 0 || report.swaps != 1 {
@@ -198,6 +245,21 @@ fn main() {
         ));
     }
     println!("OK: all {total} predictions matched CrossMineModel::predict, zero errors");
+}
+
+/// Writes every train-side then serve-side metric as one JSON object per
+/// line (the `crossmine-obs` JSONL schema).
+fn export_jsonl(path: &str, train_obs: &ObsHandle, serve_obs: &ObsHandle) {
+    let file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => die(&format!("cannot create {path}: {e}")),
+    };
+    let mut w = std::io::BufWriter::new(file);
+    for obs in [train_obs, serve_obs] {
+        if let Err(e) = obs.write_metrics_jsonl(&mut w) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+    }
 }
 
 /// Serve the whole batch against a disk-resident copy through a small

@@ -1,0 +1,83 @@
+//! Measures the wall-clock cost of observability on training.
+//!
+//! Trains the §7.1 `R5.T200.F3` workload repeatedly with the default no-op
+//! [`ObsHandle`] and again with an enabled (aggregate-only) handle —
+//! *identical* parameters otherwise, so the learned clauses are the same —
+//! and reports both means and the relative overhead. The acceptance target
+//! is < 5% overhead for the enabled aggregate path; the no-op path is
+//! additionally covered by allocation-count tests in `crossmine-core`.
+//!
+//! ```text
+//! cargo run --release -p crossmine-bench --bin obs_overhead
+//! cargo run --release -p crossmine-bench --bin obs_overhead -- --reps 20
+//! ```
+
+use std::time::{Duration, Instant};
+
+use crossmine_core::{CrossMine, CrossMineParams};
+use crossmine_obs::ObsHandle;
+use crossmine_relational::Row;
+use crossmine_synth::{generate, GenParams};
+
+fn main() {
+    let mut reps = 10usize;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--reps" => {
+                i += 1;
+                reps = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--reps needs a positive integer");
+            }
+            other => panic!("unknown flag {other} (try --reps N)"),
+        }
+        i += 1;
+    }
+
+    let db = generate(&GenParams {
+        num_relations: 5,
+        expected_tuples: 200,
+        min_tuples: 60,
+        expected_foreign_keys: 3,
+        seed: 42,
+        ..Default::default()
+    });
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+    println!("R5.T200.F3 ({} target rows), {reps} reps per configuration", rows.len());
+
+    let fit = |obs: ObsHandle| -> (Duration, usize) {
+        let cm = CrossMine::new(CrossMineParams { sampling: true, obs, ..Default::default() });
+        let start = Instant::now();
+        let model = cm.fit(&db, &rows);
+        (start.elapsed(), model.num_clauses())
+    };
+
+    // Interleave configurations so drift (thermal, cache) hits both evenly;
+    // one untimed warmup each.
+    let (_, baseline_clauses) = fit(ObsHandle::noop());
+    let (_, instrumented_clauses) = fit(ObsHandle::enabled());
+    assert_eq!(
+        baseline_clauses, instrumented_clauses,
+        "observability must not change what is learned"
+    );
+    let mut noop = Duration::ZERO;
+    let mut enabled = Duration::ZERO;
+    for _ in 0..reps {
+        noop += fit(ObsHandle::noop()).0;
+        enabled += fit(ObsHandle::enabled()).0;
+    }
+    let noop_mean = noop / reps as u32;
+    let enabled_mean = enabled / reps as u32;
+    let overhead = enabled_mean.as_secs_f64() / noop_mean.as_secs_f64() - 1.0;
+    println!("no-op handle:    {noop_mean:?} mean");
+    println!("enabled handle:  {enabled_mean:?} mean");
+    println!("overhead:        {:+.1}%", overhead * 100.0);
+    if overhead > 0.05 {
+        eprintln!("obs_overhead: WARNING: overhead above the 5% target");
+        std::process::exit(1);
+    }
+    println!("OK: within the 5% overhead target");
+}

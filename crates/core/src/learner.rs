@@ -155,6 +155,8 @@ impl<'a> ClauseLearner<'a> {
     /// clauses until at most `min_pos_fraction` of the original positives
     /// remain uncovered (or no further clause clears `min_foil_gain`).
     pub fn find_clauses(&self, train_rows: &[Row]) -> Vec<Clause> {
+        let obs = &self.params.obs;
+        let _covering = obs.span("learner.sequential_covering");
         let mut remaining = TargetSet::from_rows(&self.is_pos, train_rows.iter().copied());
         let orig_pos = remaining.pos();
         let mut clauses = Vec::new();
@@ -165,9 +167,11 @@ impl<'a> ClauseLearner<'a> {
         while remaining.pos() as f64 > self.params.min_pos_fraction * orig_pos as f64
             && clauses.len() < self.params.max_clauses
         {
+            let _clause = obs.span("learner.clause");
             // §6: down-sample negatives before building the clause.
             let full_neg = remaining.neg();
             let (build_set, sampled_neg) = if self.params.sampling {
+                let _sampling = obs.span("learner.sampling");
                 sample_negatives(&remaining, &self.is_pos, self.params, &mut rng)
             } else {
                 (remaining.clone(), full_neg)
@@ -186,6 +190,8 @@ impl<'a> ClauseLearner<'a> {
                 covered.neg() as f64
             };
             clauses.push(Clause::new(literals, self.label, sup_pos, sup_neg, self.num_classes));
+            obs.add("learner.clauses_learned", 1);
+            obs.add("learner.positives_covered", sup_pos as u64);
             // Remove the positive tuples the clause covers; negatives stay.
             for r in covered.iter() {
                 if self.is_pos[r.0 as usize] {
@@ -236,7 +242,10 @@ impl<'a> ClauseLearner<'a> {
         state: &ClauseState<'_>,
         scratch: &mut SearchScratch,
     ) -> Option<ScoredLiteral> {
+        let obs = &self.params.obs;
+        let _search = obs.span("search.find_best_literal");
         let groups = self.enumerate_units(state);
+        obs.add("search.unit_groups", groups.len() as u64);
         let num_workers = scratch.workers.len().min(groups.len()).max(1);
 
         let best = if num_workers == 1 {
@@ -278,6 +287,20 @@ impl<'a> ClauseLearner<'a> {
             }
             best
         };
+
+        // Drain the propagation counters every worker accumulated during
+        // this search (cheap plain-u64 adds in the hot path) into the obs
+        // registry. Skipped entirely on the no-op handle.
+        if obs.is_enabled() {
+            let mut stats = crate::propagation::PropStats::default();
+            for ws in &mut scratch.workers {
+                stats.merge(ws.hop1.take_stats());
+                stats.merge(ws.hop2.take_stats());
+            }
+            obs.add("propagation.passes", stats.passes);
+            obs.add("propagation.ids_propagated", stats.ids_propagated);
+            obs.add("propagation.csr_capacity_hits", stats.capacity_hits);
+        }
 
         best.map(|c| ScoredLiteral { literal: c.literal, score: c.score })
     }
@@ -323,6 +346,8 @@ impl<'a> ClauseLearner<'a> {
         ws: &mut WorkerScratch,
         best: &mut Option<Candidate>,
     ) {
+        let obs = &self.params.obs;
+        let _candidate = obs.span("search.candidate_relation");
         match group {
             // (1) Constraint on the active relation itself (empty prop-path).
             UnitGroup::Local { rel, unit } => {
@@ -365,6 +390,12 @@ impl<'a> ClauseLearner<'a> {
                         ComplexLiteral { path: vec![*edge], constraint: score.constraint.clone() };
                     reduce(best, Candidate { unit: *unit, literal, score });
                 }
+                let _lookahead = if lookahead.is_empty() {
+                    crossmine_obs::SpanGuard::disabled()
+                } else {
+                    obs.add("search.lookahead_units", lookahead.len() as u64);
+                    obs.span("search.look_one_ahead")
+                };
                 for (edge2, unit2) in lookahead {
                     ws.hop2.propagate_from(self.db, ws.hop1.view(), edge2);
                     if self.fanout_exceeded(ws.hop2.view()) {

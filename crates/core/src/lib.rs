@@ -66,5 +66,7 @@ pub use learner::{ClauseLearner, ScoredLiteral, SearchScratch};
 pub use literal::{AggOp, CmpOp, ComplexLiteral, Constraint, ConstraintKind};
 pub use metrics::ConfusionMatrix;
 pub use params::CrossMineParams;
-pub use propagation::{propagate, AnnView, Annotation, ClauseState, PropagationScratch};
+pub use propagation::{
+    propagate, AnnView, Annotation, ClauseState, PathScratch, PropStats, PropagationScratch,
+};
 pub use pruning::{fit_with_pruning, prune, PruneConfig};

@@ -1,5 +1,7 @@
 //! Tunable parameters of the CrossMine learner.
 
+use crossmine_obs::ObsHandle;
+
 /// Hyper-parameters of CrossMine. Defaults are the values used throughout the
 /// paper's experiments (§7): `MIN_FOIL_GAIN = 2.5`, `MAX_CLAUSE_LENGTH = 6`,
 /// `NEG_POS_RATIO = 1`, `MAX_NUM_NEGATIVE = 600`. The paper reports that
@@ -42,6 +44,11 @@ pub struct CrossMineParams {
     /// order (gain desc, prop-path length asc, enumeration index asc), so
     /// parallel and serial runs are byte-identical.
     pub num_threads: Option<usize>,
+    /// Observability handle (`crossmine-obs`). The default no-op handle
+    /// costs one branch per instrumentation point and never allocates; an
+    /// enabled handle aggregates per-clause / per-pass spans and counters
+    /// the caller can render with `TrainReport`.
+    pub obs: ObsHandle,
 }
 
 impl Default for CrossMineParams {
@@ -59,6 +66,7 @@ impl Default for CrossMineParams {
             aggregation_literals: true,
             seed: 0x5eed,
             num_threads: Some(1),
+            obs: ObsHandle::noop(),
         }
     }
 }
@@ -93,6 +101,7 @@ mod tests {
         assert!(p.look_one_ahead);
         assert!(p.aggregation_literals);
         assert_eq!(p.num_threads, Some(1));
+        assert!(!p.obs.is_enabled(), "observability defaults to the no-op handle");
     }
 
     #[test]

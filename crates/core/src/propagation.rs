@@ -172,6 +172,33 @@ impl<'a> AnnView<'a> {
     }
 }
 
+/// Cheap propagation statistics kept inside every scratch: a handful of
+/// plain `u64` adds per pass, always maintained (no branch on an
+/// observability handle in the hot loop). Callers holding an enabled
+/// `crossmine_obs::ObsHandle` drain them with
+/// [`PropagationScratch::take_stats`] / [`PathScratch::take_stats`] and
+/// flush to counters; everyone else pays only the adds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PropStats {
+    /// Number of [`PropagationScratch::propagate_from`] calls.
+    pub passes: u64,
+    /// Total tuple-IDs copied across edges (pre-deduplication — the work
+    /// the fill pass actually does).
+    pub ids_propagated: u64,
+    /// Passes served entirely from retained buffer capacity (no buffer had
+    /// to grow): the steady-state, allocation-free case.
+    pub capacity_hits: u64,
+}
+
+impl PropStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: PropStats) {
+        self.passes += other.passes;
+        self.ids_propagated += other.ids_propagated;
+        self.capacity_hits += other.capacity_hits;
+    }
+}
+
 /// Reusable buffers for allocation-free tuple-ID propagation.
 ///
 /// [`PropagationScratch::propagate_from`] builds the §4 propagated
@@ -189,6 +216,8 @@ pub struct PropagationScratch {
     ids: Vec<u32>,
     /// Count-pass accumulator / fill-pass cursors.
     cursors: Vec<u32>,
+    /// Pass/volume/reuse counters since the last [`Self::take_stats`].
+    stats: PropStats,
 }
 
 impl PropagationScratch {
@@ -208,6 +237,7 @@ impl PropagationScratch {
         debug_assert_eq!(from.num_rows(), from_rel.len());
         let index = db.key_index(edge.to, edge.to_attr);
         let self_join = edge.from == edge.to && edge.from_attr == edge.to_attr;
+        let caps = (self.offsets.capacity(), self.ids.capacity(), self.cursors.capacity());
 
         // Pass 1: count ids landing on every receiving tuple.
         self.cursors.clear();
@@ -288,6 +318,12 @@ impl PropagationScratch {
         }
         self.offsets[to_len] = write as u32;
         self.ids.truncate(write);
+
+        self.stats.passes += 1;
+        self.stats.ids_propagated += total as u64;
+        if caps == (self.offsets.capacity(), self.ids.capacity(), self.cursors.capacity()) {
+            self.stats.capacity_hits += 1;
+        }
     }
 
     /// The result of the last [`PropagationScratch::propagate_from`].
@@ -298,6 +334,16 @@ impl PropagationScratch {
     /// Materialises the current CSR contents as an owned [`Annotation`].
     pub fn to_annotation(&self) -> Annotation {
         Annotation::from_csr(&self.offsets, &self.ids)
+    }
+
+    /// Counters accumulated since the last [`Self::take_stats`].
+    pub fn stats(&self) -> PropStats {
+        self.stats
+    }
+
+    /// Returns and resets the accumulated counters.
+    pub fn take_stats(&mut self) -> PropStats {
+        std::mem::take(&mut self.stats)
     }
 }
 
@@ -345,6 +391,13 @@ impl PathScratch {
         } else {
             self.pong.to_annotation()
         }
+    }
+
+    /// Returns and resets the counters of both halves, combined.
+    pub fn take_stats(&mut self) -> PropStats {
+        let mut s = self.ping.take_stats();
+        s.merge(self.pong.take_stats());
+        s
     }
 }
 
@@ -838,6 +891,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn prop_stats_count_passes_volume_and_reuse() {
+        let (db, is_pos) = fig4();
+        let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
+        let edge = loan_account_edge(&db);
+        let from = state.annotation(state.target_rel()).unwrap().view();
+
+        let mut scratch = PropagationScratch::new();
+        scratch.propagate_from(&db, from, &edge);
+        let first = scratch.stats();
+        assert_eq!(first.passes, 1);
+        // Fig. 4 propagates 5 loan ids onto accounts.
+        assert_eq!(first.ids_propagated, 5);
+        // Fresh buffers had to grow: not a capacity hit.
+        assert_eq!(first.capacity_hits, 0);
+
+        // Same propagation again: buffers are warm, so the pass is served
+        // entirely from retained capacity.
+        scratch.propagate_from(&db, from, &edge);
+        let both = scratch.take_stats();
+        assert_eq!(both, PropStats { passes: 2, ids_propagated: 10, capacity_hits: 1 });
+        // take_stats resets.
+        assert_eq!(scratch.stats(), PropStats::default());
+
+        // PathScratch merges both halves across a 2-edge path.
+        let mut path = PathScratch::new();
+        let _ = path.propagate_path(&db, from, &[edge, edge.reversed()]);
+        let merged = path.take_stats();
+        assert_eq!(merged.passes, 2);
+        // 5 copies forward; back, each account's set lands on every loan
+        // sharing the account: 2·2 + 1·1 + 2·2 = 9 pre-dedup copies.
+        assert_eq!(merged.ids_propagated, 5 + 9);
+        assert_eq!(path.take_stats(), PropStats::default());
     }
 
     #[test]

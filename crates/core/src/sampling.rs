@@ -40,6 +40,7 @@ pub fn sample_negatives(
 ) -> (TargetSet, usize) {
     let cap = negative_cap(remaining.pos(), params);
     if remaining.neg() <= cap {
+        params.obs.add("sampling.rounds_skipped", 1);
         return (remaining.clone(), remaining.neg());
     }
     let mut negatives: Vec<Row> = remaining.iter().filter(|r| !is_pos[r.0 as usize]).collect();
@@ -52,6 +53,9 @@ pub fn sample_negatives(
         .collect();
     let sampled = TargetSet::from_rows(is_pos, rows);
     let kept = sampled.neg();
+    params.obs.add("sampling.rounds", 1);
+    params.obs.add("sampling.negatives_dropped", (remaining.neg() - kept) as u64);
+    params.obs.record("sampling.negatives_kept", kept as u64);
     (sampled, kept)
 }
 

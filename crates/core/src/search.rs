@@ -53,6 +53,9 @@ pub fn best_constraint_in<'a>(
         return None;
     }
     let mut best: Option<ScoredConstraint> = None;
+    // Candidate literals evaluated in this relation; flushed to the obs
+    // counter once at the end (a single add, not one per candidate).
+    let mut considered = 0u64;
     let schema = db.schema.relation(rel);
     let relation = db.relation(rel);
 
@@ -98,6 +101,7 @@ pub fn best_constraint_in<'a>(
                 }
                 consider(
                     &mut best,
+                    &mut considered,
                     Constraint {
                         rel,
                         kind: ConstraintKind::CatEq { attr: aid, value: code as u32 },
@@ -125,6 +129,7 @@ pub fn best_constraint_in<'a>(
             sweep_numeric(&entries, targets, is_pos, stamp, p_c, n_c, |op, threshold, p, n| {
                 consider(
                     &mut best,
+                    &mut considered,
                     Constraint { rel, kind: ConstraintKind::Num { attr: aid, op, threshold } },
                     p_c,
                     n_c,
@@ -141,6 +146,7 @@ pub fn best_constraint_in<'a>(
         sweep_per_target(&count_stats, AggOp::Count, targets, is_pos, p_c, n_c, |op, thr, p, n| {
             consider(
                 &mut best,
+                &mut considered,
                 Constraint {
                     rel,
                     kind: ConstraintKind::Agg { agg: AggOp::Count, attr: None, op, threshold: thr },
@@ -161,6 +167,7 @@ pub fn best_constraint_in<'a>(
                 sweep_per_target(&stats, agg, targets, is_pos, p_c, n_c, |op, thr, p, n| {
                     consider(
                         &mut best,
+                        &mut considered,
                         Constraint {
                             rel,
                             kind: ConstraintKind::Agg { agg, attr: Some(aid), op, threshold: thr },
@@ -175,17 +182,20 @@ pub fn best_constraint_in<'a>(
         }
     }
 
+    params.obs.add("search.literals_considered", considered);
     best
 }
 
 fn consider(
     best: &mut Option<ScoredConstraint>,
+    considered: &mut u64,
     constraint: Constraint,
     p_c: usize,
     n_c: usize,
     p: usize,
     n: usize,
 ) {
+    *considered += 1;
     if p == 0 {
         return;
     }

@@ -1,0 +1,83 @@
+//! Training with an enabled observability handle must surface the
+//! algorithm's anatomy: sequential-covering / clause / sampling /
+//! find-best-literal spans, propagation counters, and literal counts — and
+//! the handle must not change what is learned.
+
+use crossmine_core::{ClauseLearner, CrossMineParams};
+use crossmine_obs::{ObsHandle, TrainReport};
+use crossmine_relational::{ClassLabel, JoinGraph, Row};
+use crossmine_synth::{generate, GenParams};
+
+fn train(params: &CrossMineParams) -> Vec<String> {
+    let db = generate(&GenParams {
+        num_relations: 5,
+        expected_tuples: 200,
+        min_tuples: 50,
+        seed: 21,
+        ..Default::default()
+    });
+    let graph = JoinGraph::build(&db.schema);
+    let learner = ClauseLearner::new(&db, &graph, params, ClassLabel::POS, 2);
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+    learner.find_clauses(&rows).iter().map(|c| format!("{c:?}")).collect()
+}
+
+#[test]
+fn enabled_handle_covers_the_algorithm_and_changes_nothing() {
+    let obs = ObsHandle::enabled();
+    let instrumented =
+        train(&CrossMineParams { sampling: true, obs: obs.clone(), ..Default::default() });
+    let plain = train(&CrossMineParams { sampling: true, ..Default::default() });
+    assert_eq!(instrumented, plain, "observability must not alter learning");
+    assert!(!instrumented.is_empty(), "planted data must yield clauses");
+
+    let registry = obs.registry().unwrap();
+    let span_names: Vec<&str> = registry.span_snapshots().iter().map(|s| s.name).collect();
+    for required in [
+        "learner.sequential_covering",
+        "learner.clause",
+        "learner.sampling",
+        "search.find_best_literal",
+        "search.candidate_relation",
+    ] {
+        assert!(span_names.contains(&required), "missing span {required} in {span_names:?}");
+    }
+
+    let counters = registry.counter_values();
+    let get = |name: &str| counters.iter().find(|(n, _)| *n == name).map(|(_, v)| *v);
+    let passes = get("propagation.passes").expect("propagation.passes counter");
+    assert!(passes > 0);
+    let hits = get("propagation.csr_capacity_hits").unwrap_or(0);
+    assert!(hits <= passes, "capacity hits cannot exceed passes");
+    assert!(get("propagation.ids_propagated").unwrap_or(0) > 0);
+    assert!(get("search.literals_considered").unwrap_or(0) > 0);
+    assert!(get("search.unit_groups").unwrap_or(0) > 0);
+    assert_eq!(get("learner.clauses_learned"), Some(instrumented.len() as u64));
+
+    // Span counts are consistent: one covering containing every clause.
+    let span = |name: &str| {
+        registry.span_snapshots().into_iter().find(|s| s.name == name).expect("span exists")
+    };
+    assert_eq!(span("learner.sequential_covering").count, 1);
+    assert!(span("learner.clause").count >= instrumented.len() as u64);
+
+    // The report renders every section.
+    let text = TrainReport::from_handle(&obs).to_string();
+    assert!(text.contains("crossmine-obs report: train"), "{text}");
+    assert!(text.contains("learner.sequential_covering"), "{text}");
+    assert!(text.contains("propagation.passes"), "{text}");
+}
+
+#[test]
+fn parallel_training_records_the_same_structure() {
+    // Worker threads must feed the same registry without losing counts.
+    let obs = ObsHandle::enabled();
+    let parallel =
+        train(&CrossMineParams { num_threads: Some(4), obs: obs.clone(), ..Default::default() });
+    let serial = train(&CrossMineParams::default());
+    assert_eq!(parallel, serial, "threading plus obs must stay deterministic");
+    let registry = obs.registry().unwrap();
+    assert!(registry.counter_values().iter().any(|(n, _)| *n == "propagation.passes"));
+    let spans = registry.span_snapshots();
+    assert!(spans.iter().any(|s| s.name == "search.candidate_relation" && s.count > 0));
+}

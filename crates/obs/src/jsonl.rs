@@ -1,0 +1,396 @@
+//! JSONL wire format for trace events: a hand-rolled writer and a matching
+//! minimal parser, so exported traces can be round-tripped (and tested)
+//! without any external JSON dependency.
+//!
+//! One event is one line:
+//!
+//! ```text
+//! {"seq":3,"thread":0,"depth":1,"kind":"exit","name":"learner.clause",
+//!  "elapsed_ns":8123,"fields":{"literals":2}}
+//! ```
+//!
+//! The parser accepts exactly the subset the writer emits (flat object,
+//! one optional nested `fields` object, no arrays), which is all a trace
+//! consumer needs.
+
+use crate::trace::{Event, EventKind, FieldValue};
+
+/// Escapes `s` into `out` as JSON string contents (no surrounding quotes).
+pub fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_field_value(v: &FieldValue, out: &mut String) {
+    match v {
+        FieldValue::U64(x) => out.push_str(&x.to_string()),
+        FieldValue::I64(x) => out.push_str(&x.to_string()),
+        FieldValue::F64(x) => {
+            if x.is_finite() {
+                // Always keep a decimal point so the parser can tell floats
+                // from integers.
+                let s = format!("{x:?}");
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') {
+                    out.push_str(".0");
+                }
+            } else {
+                // JSON has no NaN/inf; encode as null like serde_json does.
+                out.push_str("null");
+            }
+        }
+        FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        FieldValue::Str(s) => {
+            out.push('"');
+            escape_json(s, out);
+            out.push('"');
+        }
+    }
+}
+
+/// Renders one event as a single JSON line (no trailing newline).
+pub fn event_to_json(ev: &Event) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"seq\":");
+    out.push_str(&ev.seq.to_string());
+    out.push_str(",\"thread\":");
+    out.push_str(&ev.thread.to_string());
+    out.push_str(",\"depth\":");
+    out.push_str(&ev.depth.to_string());
+    out.push_str(",\"kind\":\"");
+    out.push_str(ev.kind.as_str());
+    out.push_str("\",\"name\":\"");
+    escape_json(ev.name, &mut out);
+    out.push('"');
+    if let Some(ns) = ev.elapsed_ns {
+        out.push_str(",\"elapsed_ns\":");
+        out.push_str(&ns.to_string());
+    }
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in ev.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(k, &mut out);
+        out.push_str("\":");
+        push_field_value(v, &mut out);
+    }
+    out.push_str("}}");
+    out
+}
+
+/// An owned field value produced by the parser ([`FieldValue`] with owned
+/// strings).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// JSON null (non-finite floats encode as null).
+    Null,
+}
+
+impl ParsedValue {
+    /// Whether this parsed value is the wire form of `v`.
+    pub fn matches(&self, v: &FieldValue) -> bool {
+        match (self, v) {
+            (ParsedValue::U64(a), FieldValue::U64(b)) => a == b,
+            (ParsedValue::I64(a), FieldValue::I64(b)) => a == b,
+            // Non-negative i64s serialize without a sign and parse as U64.
+            (ParsedValue::U64(a), FieldValue::I64(b)) => *b >= 0 && *a == *b as u64,
+            (ParsedValue::F64(a), FieldValue::F64(b)) => a == b,
+            (ParsedValue::Null, FieldValue::F64(b)) => !b.is_finite(),
+            (ParsedValue::Bool(a), FieldValue::Bool(b)) => a == b,
+            (ParsedValue::Str(a), FieldValue::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// One event read back from its JSONL line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEvent {
+    /// Global emission order.
+    pub seq: u64,
+    /// Emitting thread ordinal.
+    pub thread: u64,
+    /// Span nesting depth at emission.
+    pub depth: u16,
+    /// "enter" / "exit" / "instant".
+    pub kind: String,
+    /// Span or trace-point name.
+    pub name: String,
+    /// Span duration for exit events.
+    pub elapsed_ns: Option<u64>,
+    /// Structured payload.
+    pub fields: Vec<(String, ParsedValue)>,
+}
+
+impl ParsedEvent {
+    /// The [`EventKind`] this event's `kind` string names, if valid.
+    pub fn event_kind(&self) -> Option<EventKind> {
+        match self.kind.as_str() {
+            "enter" => Some(EventKind::Enter),
+            "exit" => Some(EventKind::Exit),
+            "instant" => Some(EventKind::Instant),
+            _ => None,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && (self.s[self.i] as char).is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        self.skip_ws();
+        if self.i < self.s.len() && self.s[self.i] == c {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.s.get(self.i)?;
+            self.i += 1;
+            match c {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let e = *self.s.get(self.i)?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.s.get(self.i..self.i + 4)?;
+                            self.i += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                c => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    let start = self.i - 1;
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let bytes = self.s.get(start..start + len)?;
+                    self.i = start + len;
+                    out.push_str(std::str::from_utf8(bytes).ok()?);
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Option<ParsedValue> {
+        match self.peek()? {
+            b'"' => Some(ParsedValue::Str(self.string()?)),
+            b't' => {
+                self.literal("true")?;
+                Some(ParsedValue::Bool(true))
+            }
+            b'f' => {
+                self.literal("false")?;
+                Some(ParsedValue::Bool(false))
+            }
+            b'n' => {
+                self.literal("null")?;
+                Some(ParsedValue::Null)
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Option<()> {
+        self.skip_ws();
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn number(&mut self) -> Option<ParsedValue> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.s.len()
+            && matches!(self.s[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).ok()?;
+        if text.is_empty() {
+            return None;
+        }
+        if text.contains('.') || text.contains('e') || text.contains('E') {
+            Some(ParsedValue::F64(text.parse().ok()?))
+        } else if text.starts_with('-') {
+            Some(ParsedValue::I64(text.parse().ok()?))
+        } else {
+            Some(ParsedValue::U64(text.parse().ok()?))
+        }
+    }
+}
+
+/// Parses one line previously produced by [`event_to_json`]. Returns `None`
+/// on any malformed input.
+pub fn parse_event(line: &str) -> Option<ParsedEvent> {
+    let mut c = Cursor { s: line.trim().as_bytes(), i: 0 };
+    c.eat(b'{')?;
+    let mut seq = None;
+    let mut thread = None;
+    let mut depth = None;
+    let mut kind = None;
+    let mut name = None;
+    let mut elapsed_ns = None;
+    let mut fields = Vec::new();
+    loop {
+        if c.peek()? == b'}' {
+            c.eat(b'}')?;
+            break;
+        }
+        let key = c.string()?;
+        c.eat(b':')?;
+        match key.as_str() {
+            "seq" | "thread" | "depth" | "elapsed_ns" => {
+                let ParsedValue::U64(v) = c.number()? else { return None };
+                match key.as_str() {
+                    "seq" => seq = Some(v),
+                    "thread" => thread = Some(v),
+                    "depth" => depth = Some(u16::try_from(v).ok()?),
+                    _ => elapsed_ns = Some(v),
+                }
+            }
+            "kind" => kind = Some(c.string()?),
+            "name" => name = Some(c.string()?),
+            "fields" => {
+                c.eat(b'{')?;
+                loop {
+                    if c.peek()? == b'}' {
+                        c.eat(b'}')?;
+                        break;
+                    }
+                    let k = c.string()?;
+                    c.eat(b':')?;
+                    let v = c.value()?;
+                    fields.push((k, v));
+                    if c.peek()? == b',' {
+                        c.eat(b',')?;
+                    }
+                }
+            }
+            _ => return None,
+        }
+        if c.peek() == Some(b',') {
+            c.eat(b',')?;
+        }
+    }
+    Some(ParsedEvent {
+        seq: seq?,
+        thread: thread?,
+        depth: depth?,
+        kind: kind?,
+        name: name?,
+        elapsed_ns,
+        fields,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_control_and_quote() {
+        let mut out = String::new();
+        escape_json("a\"b\\c\nd\te\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn event_renders_and_parses() {
+        let ev = Event {
+            seq: 7,
+            thread: 2,
+            depth: 1,
+            kind: EventKind::Exit,
+            name: "propagation.pass",
+            elapsed_ns: Some(12_345),
+            fields: vec![
+                ("ids", FieldValue::U64(42)),
+                ("rel", FieldValue::Str("Loan")),
+                ("gain", FieldValue::F64(2.5)),
+                ("ok", FieldValue::Bool(true)),
+                ("delta", FieldValue::I64(-3)),
+            ],
+        };
+        let line = event_to_json(&ev);
+        let parsed = parse_event(&line).expect("line parses");
+        assert_eq!(parsed.seq, 7);
+        assert_eq!(parsed.thread, 2);
+        assert_eq!(parsed.depth, 1);
+        assert_eq!(parsed.event_kind(), Some(EventKind::Exit));
+        assert_eq!(parsed.name, "propagation.pass");
+        assert_eq!(parsed.elapsed_ns, Some(12_345));
+        assert_eq!(parsed.fields.len(), ev.fields.len());
+        for ((pk, pv), (k, v)) in parsed.fields.iter().zip(&ev.fields) {
+            assert_eq!(pk, k);
+            assert!(pv.matches(v), "{pk}: {pv:?} vs {v:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_event("").is_none());
+        assert!(parse_event("{").is_none());
+        assert!(parse_event("{\"seq\":1}").is_none(), "missing required keys");
+        assert!(parse_event("{\"seq\":1,\"thread\":0,\"depth\":0,\"kind\":\"exit\"}").is_none());
+    }
+}

@@ -1,0 +1,402 @@
+//! # crossmine-obs
+//!
+//! Unified, zero-dependency observability for the CrossMine workspace:
+//! one layer shared by the learner (per-clause spans, literal-search and
+//! propagation counters), the sampler, and the serving stack (batch spans,
+//! queue-wait histograms) — so the efficiency the paper claims (Figures
+//! 9–12) is measurable on every run instead of asserted.
+//!
+//! Three pieces:
+//!
+//! * [`trace`] — a span/event tracing core: [`ObsHandle::span`] returns an
+//!   RAII guard with monotonic timing; a thread-safe
+//!   [`Recorder`](trace::Recorder) streams structured events to pluggable
+//!   sinks (in-memory [`RingSink`](trace::RingSink), line-oriented
+//!   [`JsonlSink`](trace::JsonlSink), [`NoopSink`](trace::NoopSink)).
+//! * [`metrics`] — counters, gauges, and the log₂
+//!   [`Histogram`](metrics::Histogram) (grown out of `crossmine-serve`,
+//!   which now re-exports it), interned by name in a
+//!   [`MetricsRegistry`](metrics::MetricsRegistry).
+//! * [`report`] — [`TrainReport`]/[`ServeReport`] text rendering (span
+//!   table with count/total/p50/p99, counters, histograms) plus JSONL
+//!   export for reproducible experiment artifacts.
+//!
+//! ## Cost model
+//!
+//! The hot loops must pay nothing when observability is off. The default
+//! handle, [`ObsHandle::noop`], is a `None` — every instrumentation call
+//! is one branch on an `Option` discriminant, takes no clock reading, and
+//! performs **zero allocation** (asserted by a counting-allocator test).
+//! [`ObsHandle::enabled`] aggregates span timings into lock-free
+//! histograms without emitting events; sink-backed handles additionally
+//! stream every event. The [`span!`]/[`trace!`] macros compile to nothing
+//! under the `compile-out` feature for builds that want the branch gone
+//! too.
+//!
+//! ```
+//! use crossmine_obs::{ObsHandle, TrainReport};
+//!
+//! let obs = ObsHandle::enabled();
+//! {
+//!     let _clause = obs.span("learner.clause");
+//!     obs.add("propagation.passes", 3);
+//! }
+//! let report = TrainReport::from_handle(&obs);
+//! assert!(report.to_string().contains("learner.clause"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod jsonl;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use trace::{pop_depth, push_depth, EventKind, Recorder, RingSink, Sink};
+
+pub use report::{Report, ServeReport, TrainReport};
+pub use trace::{Event, FieldValue};
+
+/// Everything one enabled handle owns; shared by all clones.
+#[derive(Debug)]
+struct ObsInner {
+    registry: MetricsRegistry,
+    recorder: Recorder,
+    /// Whether span enter/exit and `trace!` points become sink events (in
+    /// addition to the always-on aggregated histograms).
+    events: bool,
+}
+
+/// A cheaply cloneable handle to one observability session — or a no-op.
+///
+/// The no-op handle (also the [`Default`]) is what every
+/// `CrossMineParams`/`ServerConfig` carries unless the caller opts in, so
+/// instrumented code paths are free in ordinary runs. All methods are safe
+/// to call from any thread.
+#[derive(Clone, Default)]
+pub struct ObsHandle(Option<Arc<ObsInner>>);
+
+impl std::fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => f.write_str("ObsHandle(noop)"),
+            Some(inner) => {
+                write!(f, "ObsHandle(enabled, events: {})", inner.events)
+            }
+        }
+    }
+}
+
+impl ObsHandle {
+    /// The no-op handle: every call is a branch and nothing else.
+    pub fn noop() -> Self {
+        ObsHandle(None)
+    }
+
+    /// An aggregating handle: span timings, counters, gauges, and
+    /// histograms accumulate lock-free; no events are emitted. This is the
+    /// lowest-overhead *enabled* mode and what `--report` uses.
+    pub fn enabled() -> Self {
+        ObsHandle(Some(Arc::new(ObsInner {
+            registry: MetricsRegistry::new(),
+            recorder: Recorder::new(Arc::new(trace::NoopSink)),
+            events: false,
+        })))
+    }
+
+    /// An event-streaming handle: everything `enabled` does, plus every
+    /// span enter/exit and [`trace!`] point goes to `sink`.
+    pub fn with_sink(sink: Arc<dyn Sink>) -> Self {
+        ObsHandle(Some(Arc::new(ObsInner {
+            registry: MetricsRegistry::new(),
+            recorder: Recorder::new(sink),
+            events: true,
+        })))
+    }
+
+    /// An event-streaming handle over an in-memory ring of `capacity`
+    /// events; returns the ring so callers can drain it.
+    pub fn with_ring(capacity: usize) -> (Self, Arc<RingSink>) {
+        let ring = Arc::new(RingSink::new(capacity));
+        (Self::with_sink(Arc::clone(&ring) as Arc<dyn Sink>), ring)
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The metrics registry, when enabled.
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.0.as_deref().map(|i| &i.registry)
+    }
+
+    /// Starts a span named `name`; the returned guard records its duration
+    /// into the span histogram (and emits enter/exit events on
+    /// event-streaming handles) when dropped.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.span_with(name, &[])
+    }
+
+    /// [`span`](Self::span) with structured fields attached to the enter
+    /// event (fields are dropped on aggregate-only handles, which emit no
+    /// events).
+    #[inline]
+    pub fn span_with(
+        &self,
+        name: &'static str,
+        fields: &[(&'static str, FieldValue)],
+    ) -> SpanGuard<'_> {
+        match &self.0 {
+            None => SpanGuard { inner: None },
+            Some(inner) => {
+                if inner.events {
+                    inner.recorder.emit(EventKind::Enter, name, None, fields);
+                }
+                let depth = push_depth();
+                SpanGuard {
+                    inner: Some(ActiveSpan { obs: inner, name, start: Instant::now(), depth }),
+                }
+            }
+        }
+    }
+
+    /// Emits one instant event (only on event-streaming handles) and
+    /// counts it under `name` in the registry.
+    pub fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        if let Some(inner) = &self.0 {
+            if inner.events {
+                inner.recorder.emit(EventKind::Instant, name, None, fields);
+            }
+            inner.registry.counter(name).add(1);
+        }
+    }
+
+    /// Adds `v` to the counter named `name`.
+    #[inline]
+    pub fn add(&self, name: &'static str, v: u64) {
+        if let Some(inner) = &self.0 {
+            inner.registry.counter(name).add(v);
+        }
+    }
+
+    /// Sets the gauge named `name` to `v`.
+    #[inline]
+    pub fn gauge_set(&self, name: &'static str, v: i64) {
+        if let Some(inner) = &self.0 {
+            inner.registry.gauge(name).set(v);
+        }
+    }
+
+    /// Records `v` into the value histogram named `name`.
+    #[inline]
+    pub fn record(&self, name: &'static str, v: u64) {
+        if let Some(inner) = &self.0 {
+            inner.registry.histogram(name).record(v);
+        }
+    }
+
+    /// The counter named `name`, for hot paths that want to skip the
+    /// per-call name lookup. `None` on a no-op handle.
+    pub fn counter(&self, name: &'static str) -> Option<Arc<Counter>> {
+        self.0.as_deref().map(|i| i.registry.counter(name))
+    }
+
+    /// The gauge named `name` (see [`counter`](Self::counter)).
+    pub fn gauge(&self, name: &'static str) -> Option<Arc<Gauge>> {
+        self.0.as_deref().map(|i| i.registry.gauge(name))
+    }
+
+    /// The value histogram named `name` (see [`counter`](Self::counter)).
+    pub fn histogram(&self, name: &'static str) -> Option<Arc<Histogram>> {
+        self.0.as_deref().map(|i| i.registry.histogram(name))
+    }
+
+    /// Flushes the event sink (meaningful for [`JsonlSink`](trace::JsonlSink)).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.0 {
+            inner.recorder.flush();
+        }
+    }
+
+    /// Writes the registry's metrics as JSONL (no-op handles write
+    /// nothing).
+    pub fn write_metrics_jsonl(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        match self.registry() {
+            Some(r) => r.write_jsonl(w),
+            None => Ok(()),
+        }
+    }
+}
+
+struct ActiveSpan<'a> {
+    obs: &'a ObsInner,
+    name: &'static str,
+    start: Instant,
+    depth: u16,
+}
+
+/// RAII guard returned by [`ObsHandle::span`]: on drop, records the span's
+/// duration (nanoseconds) into the handle's span histogram and restores
+/// the thread's nesting depth. The disabled guard does nothing.
+pub struct SpanGuard<'a> {
+    inner: Option<ActiveSpan<'a>>,
+}
+
+impl SpanGuard<'_> {
+    /// A guard that records nothing (what [`span!`] expands to under the
+    /// `compile-out` feature).
+    pub fn disabled() -> SpanGuard<'static> {
+        SpanGuard { inner: None }
+    }
+
+    /// Whether this guard will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(span) = self.inner.take() {
+            let ns = span.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            pop_depth(span.depth);
+            span.obs.registry.span_histogram(span.name).record(ns);
+            if span.obs.events {
+                span.obs.recorder.emit(EventKind::Exit, span.name, Some(ns), &[]);
+            }
+        }
+    }
+}
+
+/// Starts a span on an [`ObsHandle`]; expands to a disabled guard under
+/// the `compile-out` feature. Bind the result (`let _span = span!(…)`) so
+/// the guard lives to the end of the scope being timed.
+///
+/// ```
+/// use crossmine_obs::{span, ObsHandle};
+/// let obs = ObsHandle::enabled();
+/// let _s = span!(obs, "work", items = 3usize);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $name:expr $(,)?) => {{
+        #[cfg(feature = "compile-out")]
+        {
+            $crate::SpanGuard::disabled()
+        }
+        #[cfg(not(feature = "compile-out"))]
+        {
+            $obs.span($name)
+        }
+    }};
+    ($obs:expr, $name:expr, $($k:ident = $v:expr),+ $(,)?) => {{
+        #[cfg(feature = "compile-out")]
+        {
+            $crate::SpanGuard::disabled()
+        }
+        #[cfg(not(feature = "compile-out"))]
+        {
+            $obs.span_with($name, &[$((stringify!($k), $crate::FieldValue::from($v))),+])
+        }
+    }};
+}
+
+/// Emits an instant event with structured fields; expands to nothing under
+/// the `compile-out` feature.
+///
+/// ```
+/// use crossmine_obs::{trace, ObsHandle};
+/// let obs = ObsHandle::enabled();
+/// trace!(obs, "sampling.done", kept = 10usize);
+/// ```
+#[macro_export]
+macro_rules! trace {
+    ($obs:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {{
+        #[cfg(not(feature = "compile-out"))]
+        $obs.event($name, &[$((stringify!($k), $crate::FieldValue::from($v))),*]);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_records_nothing() {
+        let obs = ObsHandle::noop();
+        assert!(!obs.is_enabled());
+        {
+            let g = obs.span("x");
+            assert!(!g.is_recording());
+        }
+        obs.add("c", 1);
+        obs.record("h", 1);
+        obs.gauge_set("g", 1);
+        obs.event("e", &[]);
+        assert!(obs.registry().is_none());
+        assert!(obs.counter("c").is_none());
+    }
+
+    #[test]
+    fn enabled_handle_aggregates_without_events() {
+        let obs = ObsHandle::enabled();
+        {
+            let _g = obs.span("learner.clause");
+        }
+        obs.add("passes", 2);
+        let reg = obs.registry().unwrap();
+        let spans = reg.span_snapshots();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "learner.clause");
+        assert_eq!(spans[0].count, 1);
+        assert_eq!(reg.counter_values(), vec![("passes", 2)]);
+    }
+
+    #[test]
+    fn ring_handle_streams_enter_and_exit() {
+        let (obs, ring) = ObsHandle::with_ring(16);
+        {
+            let _g = obs.span_with("outer", &[("k", FieldValue::U64(1))]);
+        }
+        obs.event("point", &[("v", FieldValue::U64(7))]);
+        let events = ring.drain();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![EventKind::Enter, EventKind::Exit, EventKind::Instant]);
+        assert_eq!(events[0].fields, vec![("k", FieldValue::U64(1))]);
+        assert!(events[1].elapsed_ns.is_some());
+        // `event` also counts under the registry.
+        assert_eq!(obs.registry().unwrap().counter_values(), vec![("point", 1)]);
+    }
+
+    #[test]
+    #[cfg(not(feature = "compile-out"))]
+    fn macros_compile_and_record() {
+        let obs = ObsHandle::enabled();
+        {
+            let _s = span!(obs, "macro.span");
+            let _t = span!(obs, "macro.span2", n = 3usize, label = "x");
+        }
+        trace!(obs, "macro.trace");
+        let names: Vec<_> =
+            obs.registry().unwrap().span_snapshots().iter().map(|s| s.name).collect();
+        assert!(names.contains(&"macro.span"));
+        assert!(names.contains(&"macro.span2"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = ObsHandle::enabled();
+        let clone = obs.clone();
+        clone.add("shared", 4);
+        assert_eq!(obs.registry().unwrap().counter_values(), vec![("shared", 4)]);
+        assert_eq!(format!("{obs:?}"), "ObsHandle(enabled, events: false)");
+        assert_eq!(format!("{:?}", ObsHandle::noop()), "ObsHandle(noop)");
+    }
+}

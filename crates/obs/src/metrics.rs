@@ -1,0 +1,401 @@
+//! Lock-free metric primitives — counters, gauges, and fixed-bucket log₂
+//! histograms — plus the name-keyed [`MetricsRegistry`] that aggregates
+//! them for reporting.
+//!
+//! Everything is updated with relaxed atomics on the hot path — a worker
+//! never takes a lock to record a sample — and read with point-in-time
+//! snapshot accessors. Quantiles come from a 40-bucket power-of-two
+//! histogram: `quantile(q)` returns the upper bound of the bucket holding
+//! the q-th ranked sample, i.e. an over-estimate by at most 2×, which is
+//! the standard fidelity/footprint trade for serving dashboards. The
+//! histogram began life private to `crossmine-serve`; it lives here so the
+//! learner, the propagation layer, and the server all share one
+//! implementation (serve re-exports it for compatibility).
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of power-of-two histogram buckets (covers `0..=u64::MAX`).
+pub const NUM_BUCKETS: usize = 40;
+
+/// The bucket index of value `v`: bucket `i > 0` holds `[2^(i-1), 2^i - 1]`;
+/// bucket 0 holds zero.
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(NUM_BUCKETS - 1)
+}
+
+/// Upper bound of bucket `i` (what [`Histogram::quantile`] reports).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A lock-free histogram with power-of-two buckets: bucket `i > 0` holds
+/// values in `[2^(i-1), 2^i - 1]`; bucket 0 holds zero.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket the
+    /// ranked sample falls in; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        self.max()
+    }
+
+    /// Per-bucket counts `(upper_bound, count)` for nonempty buckets.
+    pub fn nonempty_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_upper_bound(i), n))
+            })
+            .collect()
+    }
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the count.
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed instantaneous value (e.g. "positives remaining").
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `v` (may be negative) to the gauge.
+    pub fn add(&self, v: i64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time rendering of one histogram, used by the report and the
+/// JSONL export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    fn of(name: &'static str, h: &Histogram) -> Self {
+        HistSnapshot {
+            name,
+            count: h.count(),
+            sum: h.sum(),
+            p50: h.quantile(0.50),
+            p99: h.quantile(0.99),
+            max: h.max(),
+        }
+    }
+}
+
+/// Name-keyed storage for counters, gauges, value histograms, and span
+/// timing histograms. Lookup takes a read lock; first use of a name takes a
+/// write lock once. Hot paths that record repeatedly should hold the
+/// returned `Arc` instead of re-looking-up.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+    /// Span duration histograms (nanoseconds), kept apart from value
+    /// histograms so the report can render them as a timing table.
+    spans: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(
+    map: &RwLock<BTreeMap<&'static str, Arc<T>>>,
+    name: &'static str,
+) -> Arc<T> {
+    if let Some(v) = map.read().expect("metrics registry poisoned").get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().expect("metrics registry poisoned");
+    Arc::clone(w.entry(name).or_default())
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The value histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// The span-duration histogram (nanoseconds) named `name`, created on
+    /// first use.
+    pub fn span_histogram(&self, name: &'static str) -> Arc<Histogram> {
+        get_or_insert(&self.spans, name)
+    }
+
+    /// All counters as `(name, value)`, name-ascending.
+    pub fn counter_values(&self) -> Vec<(&'static str, u64)> {
+        let m = self.counters.read().expect("metrics registry poisoned");
+        m.iter().map(|(&n, c)| (n, c.get())).collect()
+    }
+
+    /// All gauges as `(name, value)`, name-ascending.
+    pub fn gauge_values(&self) -> Vec<(&'static str, i64)> {
+        let m = self.gauges.read().expect("metrics registry poisoned");
+        m.iter().map(|(&n, g)| (n, g.get())).collect()
+    }
+
+    /// Snapshots of all value histograms, name-ascending.
+    pub fn histogram_snapshots(&self) -> Vec<HistSnapshot> {
+        let m = self.histograms.read().expect("metrics registry poisoned");
+        m.iter().map(|(&n, h)| HistSnapshot::of(n, h)).collect()
+    }
+
+    /// Snapshots of all span-duration histograms, name-ascending.
+    pub fn span_snapshots(&self) -> Vec<HistSnapshot> {
+        let m = self.spans.read().expect("metrics registry poisoned");
+        m.iter().map(|(&n, h)| HistSnapshot::of(n, h)).collect()
+    }
+
+    /// Writes every metric as one JSON line (`{"metric":"counter",...}`),
+    /// the machine-readable counterpart of the text report.
+    pub fn write_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        for (name, v) in self.counter_values() {
+            writeln!(w, "{{\"metric\":\"counter\",\"name\":\"{name}\",\"value\":{v}}}")?;
+        }
+        for (name, v) in self.gauge_values() {
+            writeln!(w, "{{\"metric\":\"gauge\",\"name\":\"{name}\",\"value\":{v}}}")?;
+        }
+        for (kind, snaps) in
+            [("histogram", self.histogram_snapshots()), ("span", self.span_snapshots())]
+        {
+            for s in snaps {
+                writeln!(
+                    w,
+                    "{{\"metric\":\"{kind}\",\"name\":\"{}\",\"count\":{},\"sum\":{},\
+                     \"p50\":{},\"p99\":{},\"max\":{}}}",
+                    s.name, s.count, s.sum, s.p50, s.p99, s.max
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_with_zero_special_cased() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(3), 7);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile(0.5), 1);
+        // The 100 sample sits in bucket [64, 127] -> upper bound 127.
+        assert_eq!(h.quantile(0.99), 127);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 10.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_one_bucket_of_error() {
+        let h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let est = h.quantile(q) as f64;
+            let exact = q * 999.0;
+            assert!(est >= exact, "quantile {q} must not under-report: {est} < {exact}");
+            assert!(est <= exact.max(1.0) * 2.0, "at most 2x over: {est} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn registry_interns_by_name() {
+        let r = MetricsRegistry::new();
+        r.counter("a").add(1);
+        r.counter("a").add(2);
+        r.counter("b").add(5);
+        assert_eq!(r.counter_values(), vec![("a", 3), ("b", 5)]);
+        r.gauge("g").set(-2);
+        assert_eq!(r.gauge_values(), vec![("g", -2)]);
+        r.histogram("h").record(9);
+        let snaps = r.histogram_snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!((snaps[0].name, snaps[0].count, snaps[0].max), ("h", 1, 9));
+        // Span histograms live in their own namespace.
+        r.span_histogram("h").record(1);
+        assert_eq!(r.histogram_snapshots()[0].count, 1);
+        assert_eq!(r.span_snapshots()[0].count, 1);
+    }
+
+    #[test]
+    fn jsonl_export_lists_every_metric() {
+        let r = MetricsRegistry::new();
+        r.counter("c").add(2);
+        r.gauge("g").set(-1);
+        r.histogram("h").record(5);
+        r.span_histogram("s").record(1000);
+        let mut out = Vec::new();
+        r.write_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("{\"metric\":\"counter\",\"name\":\"c\",\"value\":2}"));
+        assert!(text.contains("{\"metric\":\"gauge\",\"name\":\"g\",\"value\":-1}"));
+        assert!(text.contains("\"metric\":\"histogram\",\"name\":\"h\""));
+        assert!(text.contains("\"metric\":\"span\",\"name\":\"s\""));
+    }
+}

@@ -1,0 +1,192 @@
+//! Human-readable reporting: a table of span timings (count / total / p50 /
+//! p99 / max) plus counters, gauges, and value histograms, rendered from a
+//! [`MetricsRegistry`](crate::metrics::MetricsRegistry) snapshot.
+//!
+//! [`TrainReport`] and [`ServeReport`] are thin titled wrappers over the
+//! same [`Report`]; the titles keep the two phases apart when a binary
+//! (like `loadgen`) prints both. The machine-readable counterpart is
+//! [`MetricsRegistry::write_jsonl`](crate::metrics::MetricsRegistry::write_jsonl).
+
+use crate::metrics::HistSnapshot;
+use crate::ObsHandle;
+
+/// Formats a nanosecond quantity with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// A point-in-time, renderable view of one observability handle.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Report title (printed in the header).
+    pub title: String,
+    /// Span timing rows, total-duration descending.
+    pub spans: Vec<HistSnapshot>,
+    /// Counter values, name-ascending.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauge values, name-ascending.
+    pub gauges: Vec<(&'static str, i64)>,
+    /// Value-histogram snapshots, name-ascending.
+    pub histograms: Vec<HistSnapshot>,
+}
+
+impl Report {
+    /// Snapshots `obs` under `title`. A no-op handle yields an empty report
+    /// (rendered with an explanatory line rather than an empty table).
+    pub fn from_handle(obs: &ObsHandle, title: &str) -> Self {
+        let mut report = Report { title: title.to_string(), ..Default::default() };
+        let Some(registry) = obs.registry() else {
+            return report;
+        };
+        report.spans = registry.span_snapshots();
+        report.spans.sort_by(|a, b| b.sum.cmp(&a.sum).then(a.name.cmp(b.name)));
+        report.counters = registry.counter_values();
+        report.gauges = registry.gauge_values();
+        report.histograms = registry.histogram_snapshots();
+        report
+    }
+
+    /// Whether the report holds no data at all.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== crossmine-obs report: {} ==", self.title)?;
+        if self.is_empty() {
+            return write!(f, "(no instrumentation recorded: handle is a no-op)");
+        }
+        if !self.spans.is_empty() {
+            writeln!(
+                f,
+                "{:<34} {:>9} {:>10} {:>9} {:>9} {:>9}",
+                "span", "count", "total", "p50", "p99", "max"
+            )?;
+            for s in &self.spans {
+                writeln!(
+                    f,
+                    "{:<34} {:>9} {:>10} {:>9} {:>9} {:>9}",
+                    s.name,
+                    s.count,
+                    fmt_ns(s.sum),
+                    fmt_ns(s.p50),
+                    fmt_ns(s.p99),
+                    fmt_ns(s.max)
+                )?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            for h in &self.histograms {
+                writeln!(
+                    f,
+                    "  {:<32} count {}  p50 {}  p99 {}  max {}",
+                    h.name, h.count, h.p50, h.p99, h.max
+                )?;
+            }
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (name, v) in &self.counters {
+                writeln!(f, "  {name:<32} {v}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (name, v) in &self.gauges {
+                writeln!(f, "  {name:<32} {v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`Report`] over a training run (titled "train").
+#[derive(Debug, Clone)]
+pub struct TrainReport(pub Report);
+
+impl TrainReport {
+    /// Snapshots `obs` as a training report.
+    pub fn from_handle(obs: &ObsHandle) -> Self {
+        TrainReport(Report::from_handle(obs, "train"))
+    }
+}
+
+impl std::fmt::Display for TrainReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A [`Report`] over a serving run (titled "serve").
+#[derive(Debug, Clone)]
+pub struct ServeReport(pub Report);
+
+impl ServeReport {
+    /// Snapshots `obs` as a serving report.
+    pub fn from_handle(obs: &ObsHandle) -> Self {
+        ServeReport(Report::from_handle(obs, "serve"))
+    }
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_picks_unit() {
+        assert_eq!(fmt_ns(900), "900ns");
+        assert_eq!(fmt_ns(25_000), "25.0us");
+        assert_eq!(fmt_ns(25_000_000), "25.0ms");
+        assert_eq!(fmt_ns(25_000_000_000), "25.00s");
+    }
+
+    #[test]
+    fn noop_handle_renders_placeholder() {
+        let r = Report::from_handle(&ObsHandle::noop(), "train");
+        assert!(r.is_empty());
+        let text = r.to_string();
+        assert!(text.contains("crossmine-obs report: train"), "{text}");
+        assert!(text.contains("no-op"), "{text}");
+    }
+
+    #[test]
+    fn report_orders_spans_by_total_and_lists_counters() {
+        let obs = ObsHandle::enabled();
+        {
+            let _a = obs.span("short");
+        }
+        obs.registry().unwrap().span_histogram("long").record(1_000_000_000);
+        obs.add("things.counted", 5);
+        obs.gauge_set("level", -2);
+        obs.record("sizes", 64);
+        let r = Report::from_handle(&obs, "train");
+        assert_eq!(r.spans[0].name, "long", "largest total first");
+        assert!(r.spans.iter().any(|s| s.name == "short"));
+        assert_eq!(r.counters, vec![("things.counted", 5)]);
+        assert_eq!(r.gauges, vec![("level", -2)]);
+        let text = r.to_string();
+        for needle in ["span", "count", "total", "p50", "p99", "things.counted", "level", "sizes"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

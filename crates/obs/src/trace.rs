@@ -1,0 +1,338 @@
+//! The span/event tracing core: structured [`Event`]s with monotonic
+//! timings, a thread-safe [`Recorder`] with pluggable [`Sink`]s (in-memory
+//! ring buffer, JSONL writer, no-op), and per-thread span nesting depth.
+//!
+//! Events are optional detail on top of the always-aggregated span
+//! histograms in [`crate::metrics::MetricsRegistry`]: an
+//! [`ObsHandle`](crate::ObsHandle) built with
+//! [`enabled`](crate::ObsHandle::enabled) aggregates timings lock-free and
+//! emits no events at all; one built with
+//! [`with_sink`](crate::ObsHandle::with_sink) /
+//! [`with_ring`](crate::ObsHandle::with_ring) additionally streams every
+//! span enter/exit and `trace!` point to its sink.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::jsonl;
+
+/// One structured field value. `Str` is `&'static str` so that building a
+/// field never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Static string.
+    Str(&'static str),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// What an [`Event`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span began.
+    Enter,
+    /// A span ended; `elapsed_ns` holds its duration.
+    Exit,
+    /// A point event from `trace!`.
+    Instant,
+}
+
+impl EventKind {
+    /// The wire name used in JSONL ("enter"/"exit"/"instant").
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Enter => "enter",
+            EventKind::Exit => "exit",
+            EventKind::Instant => "instant",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global emission order (per recorder).
+    pub seq: u64,
+    /// Ordinal of the emitting thread (stable within a process).
+    pub thread: u64,
+    /// Span nesting depth on the emitting thread at emission time.
+    pub depth: u16,
+    /// Enter / exit / instant.
+    pub kind: EventKind,
+    /// Span or trace-point name.
+    pub name: &'static str,
+    /// Span duration, set on [`EventKind::Exit`].
+    pub elapsed_ns: Option<u64>,
+    /// Structured key=value payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ORDINAL: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+/// The ordinal of the calling thread (assigned on first use).
+pub fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|t| *t)
+}
+
+/// The calling thread's current span nesting depth.
+pub fn current_depth() -> u16 {
+    DEPTH.with(Cell::get)
+}
+
+pub(crate) fn push_depth() -> u16 {
+    DEPTH.with(|d| {
+        let cur = d.get();
+        d.set(cur.saturating_add(1));
+        cur
+    })
+}
+
+pub(crate) fn pop_depth(restore: u16) {
+    DEPTH.with(|d| d.set(restore));
+}
+
+/// Where events go. Implementations must be cheap enough to call from
+/// worker threads and must not panic.
+pub trait Sink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: &Event);
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards every event (aggregated span timings still accumulate).
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// A bounded in-memory ring: keeps the most recent `capacity` events and
+/// counts how many older ones were evicted.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    inner: Mutex<RingState>,
+}
+
+#[derive(Debug, Default)]
+struct RingState {
+    events: VecDeque<Event>,
+    evicted: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink { capacity: capacity.max(1), inner: Mutex::new(RingState::default()) }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring sink poisoned").events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events were evicted to stay within capacity.
+    pub fn evicted(&self) -> u64 {
+        self.inner.lock().expect("ring sink poisoned").evicted
+    }
+
+    /// Removes and returns all buffered events, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut st = self.inner.lock().expect("ring sink poisoned");
+        st.events.drain(..).collect()
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, event: &Event) {
+        let mut st = self.inner.lock().expect("ring sink poisoned");
+        if st.events.len() >= self.capacity {
+            st.events.pop_front();
+            st.evicted += 1;
+        }
+        st.events.push_back(event.clone());
+    }
+}
+
+/// Streams each event as one JSON line to a writer (a file, a `Vec<u8>`…).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    inner: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// A sink writing to `w`.
+    pub fn new(w: W) -> Self {
+        JsonlSink { inner: Mutex::new(w) }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.inner.into_inner().expect("jsonl sink poisoned")
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, event: &Event) {
+        let line = jsonl::event_to_json(event);
+        let mut w = self.inner.lock().expect("jsonl sink poisoned");
+        // A full disk must not take the workload down with it.
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.inner.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// Thread-safe event recorder: stamps each event with a global sequence
+/// number, the emitting thread's ordinal, and its current nesting depth,
+/// then hands it to the sink.
+pub struct Recorder {
+    sink: Arc<dyn Sink>,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").field("seq", &self.seq).finish_non_exhaustive()
+    }
+}
+
+impl Recorder {
+    /// A recorder feeding `sink`.
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        Recorder { sink, seq: AtomicU64::new(0) }
+    }
+
+    /// Emits one event.
+    pub fn emit(
+        &self,
+        kind: EventKind,
+        name: &'static str,
+        elapsed_ns: Option<u64>,
+        fields: &[(&'static str, FieldValue)],
+    ) {
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            thread: thread_ordinal(),
+            depth: current_depth(),
+            kind,
+            name,
+            elapsed_ns,
+            fields: fields.to_vec(),
+        };
+        self.sink.record(&event);
+    }
+
+    /// Number of events emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&self) {
+        self.sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_evictions() {
+        let ring = RingSink::new(2);
+        let rec = Recorder::new(Arc::new(NoopSink));
+        for i in 0..4u64 {
+            let ev = Event {
+                seq: i,
+                thread: 0,
+                depth: 0,
+                kind: EventKind::Instant,
+                name: "e",
+                elapsed_ns: None,
+                fields: Vec::new(),
+            };
+            ring.record(&ev);
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.evicted(), 2);
+        let drained = ring.drain();
+        assert_eq!(drained.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3]);
+        assert!(ring.is_empty());
+        drop(rec);
+    }
+
+    #[test]
+    fn recorder_stamps_sequence_and_thread() {
+        let ring = Arc::new(RingSink::new(16));
+        let rec = Recorder::new(Arc::clone(&ring) as Arc<dyn Sink>);
+        rec.emit(EventKind::Instant, "a", None, &[("k", FieldValue::U64(1))]);
+        rec.emit(EventKind::Exit, "b", Some(42), &[]);
+        assert_eq!(rec.emitted(), 2);
+        let evs = ring.drain();
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[1].seq, 1);
+        assert_eq!(evs[0].thread, evs[1].thread);
+        assert_eq!(evs[1].elapsed_ns, Some(42));
+        assert_eq!(evs[0].fields, vec![("k", FieldValue::U64(1))]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the log₂ histogram: quantiles are monotone in `q`,
+//! every reported quantile is a valid bucket upper bound that brackets the
+//! true (exact) quantile from above by at most 2×, and recorded values
+//! always land inside their bucket's bounds.
+
+use proptest::prelude::*;
+
+use crossmine_obs::metrics::{bucket_of, bucket_upper_bound, Histogram, NUM_BUCKETS};
+
+/// Exact `q`-quantile over the raw samples, matching the histogram's rank
+/// convention (`rank = ceil(q * n)` clamped to `1..=n`, 1-indexed).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn p50_le_p99_and_quantiles_bracket_truth(
+        // Stay below the saturating top bucket so the 2x bound is exact.
+        values in proptest::collection::vec(0u64..(1 << 37), 1..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        prop_assert!(p50 <= p99, "p50 {p50} > p99 {p99} for {values:?}");
+        prop_assert!(p99 <= h.quantile(1.0));
+
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            let est = h.quantile(q);
+            let truth = exact_quantile(&sorted, q);
+            // The estimate is the upper bound of the bucket holding the
+            // ranked sample: never below the truth, and (for non-saturated
+            // buckets) less than 2x above it.
+            prop_assert!(est >= truth, "q={q}: est {est} < truth {truth}");
+            prop_assert!(
+                est <= truth.saturating_mul(2).max(1),
+                "q={q}: est {est} > 2x truth {truth}"
+            );
+            // And it is an actual bucket upper bound of a nonempty bucket.
+            prop_assert!(
+                h.nonempty_buckets().iter().any(|&(ub, _)| ub == est),
+                "q={q}: est {est} is not a nonempty bucket bound"
+            );
+        }
+
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn values_fall_inside_their_bucket_bounds(v in 0u64..u64::MAX) {
+        let b = bucket_of(v);
+        prop_assert!(b < NUM_BUCKETS);
+        // Bucket lower bound: 0 for bucket 0, else 2^(b-1).
+        let lower = if b == 0 { 0 } else { 1u64 << (b - 1) };
+        prop_assert!(v >= lower, "v {v} below bucket {b} lower bound {lower}");
+        if b < NUM_BUCKETS - 1 {
+            prop_assert!(
+                v <= bucket_upper_bound(b),
+                "v {v} above bucket {b} upper bound {}",
+                bucket_upper_bound(b)
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        values in proptest::collection::vec(0u64..u64::MAX, 1..100),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+    }
+}
+
+#[test]
+fn empty_histogram_reports_zero() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.quantile(0.5), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.mean(), 0.0);
+}
+
+#[test]
+fn top_bucket_saturates() {
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    assert_eq!(h.quantile(1.0), bucket_upper_bound(NUM_BUCKETS - 1));
+    // `max` still reports the exact extreme, even though the bucket caps.
+    assert_eq!(h.max(), u64::MAX);
+}

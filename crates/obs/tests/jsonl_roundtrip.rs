@@ -1,0 +1,134 @@
+//! JSONL sink round-trip: events streamed through a [`JsonlSink`] must
+//! parse back (via the crate's own parser) into exactly what was emitted —
+//! sequence, thread, depth, kind, name, duration, and every field value.
+
+use std::sync::{Arc, Mutex};
+
+use crossmine_obs::jsonl::{parse_event, ParsedValue};
+use crossmine_obs::trace::{EventKind, JsonlSink};
+use crossmine_obs::{FieldValue, ObsHandle};
+
+/// A `Write` target the test can read back after the sink is dropped.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn events_round_trip_through_jsonl() {
+    let buf = SharedBuf::default();
+    let obs = ObsHandle::with_sink(Arc::new(JsonlSink::new(buf.clone())));
+
+    {
+        let _span = obs.span_with(
+            "train.clause",
+            &[
+                ("relation", FieldValue::Str("Loan")),
+                ("tuples", FieldValue::U64(200)),
+                ("gain", FieldValue::F64(3.25)),
+                ("negated", FieldValue::Bool(false)),
+                ("delta", FieldValue::I64(-7)),
+            ],
+        );
+        obs.event("inner.point", &[("n", FieldValue::U64(42))]);
+    }
+    obs.flush();
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "enter + instant + exit:\n{text}");
+
+    let parsed: Vec<_> = lines
+        .iter()
+        .map(|l| parse_event(l).unwrap_or_else(|| panic!("unparseable line: {l}")))
+        .collect();
+
+    // Enter event carries all five field types, values intact.
+    let enter = &parsed[0];
+    assert_eq!(enter.event_kind(), Some(EventKind::Enter));
+    assert_eq!(enter.name, "train.clause");
+    assert_eq!(enter.seq, 0);
+    assert_eq!(enter.depth, 0);
+    let emitted = [
+        ("relation", FieldValue::Str("Loan")),
+        ("tuples", FieldValue::U64(200)),
+        ("gain", FieldValue::F64(3.25)),
+        ("negated", FieldValue::Bool(false)),
+        ("delta", FieldValue::I64(-7)),
+    ];
+    assert_eq!(enter.fields.len(), emitted.len());
+    for ((pk, pv), (ek, ev)) in enter.fields.iter().zip(emitted.iter()) {
+        assert_eq!(pk, ek);
+        assert!(pv.matches(ev), "field {pk}: parsed {pv:?} != emitted {ev:?}");
+    }
+
+    // The instant point is stamped inside the span (depth 1).
+    let point = &parsed[1];
+    assert_eq!(point.event_kind(), Some(EventKind::Instant));
+    assert_eq!(point.name, "inner.point");
+    assert_eq!(point.depth, 1);
+    assert_eq!(point.fields, vec![("n".to_string(), ParsedValue::U64(42))]);
+
+    // Exit closes the span with a measured duration.
+    let exit = &parsed[2];
+    assert_eq!(exit.event_kind(), Some(EventKind::Exit));
+    assert_eq!(exit.name, "train.clause");
+    assert!(exit.elapsed_ns.is_some());
+    assert_eq!(exit.seq, 2);
+}
+
+#[test]
+fn awkward_strings_survive_escaping() {
+    // Names and string fields with quotes, backslashes, control characters,
+    // and non-ASCII must parse back identically.
+    let buf = SharedBuf::default();
+    let obs = ObsHandle::with_sink(Arc::new(JsonlSink::new(buf.clone())));
+    obs.event(
+        "weird \"name\"\\with\tstuff",
+        &[("msg", FieldValue::Str("line1\nline2 \u{1F980} \"q\" \\"))],
+    );
+    obs.flush();
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let line = String::from_utf8(bytes).unwrap();
+    let ev = parse_event(line.trim_end()).expect("escaped line parses");
+    assert_eq!(ev.name, "weird \"name\"\\with\tstuff");
+    assert_eq!(
+        ev.fields,
+        vec![("msg".to_string(), ParsedValue::Str("line1\nline2 \u{1F980} \"q\" \\".to_string()))]
+    );
+}
+
+#[test]
+fn metrics_jsonl_export_is_parseable_json_lines() {
+    let obs = ObsHandle::enabled();
+    {
+        let _s = obs.span("learner.clause");
+    }
+    obs.add("propagation.passes", 3);
+    obs.record("batch.size", 17);
+    obs.gauge_set("queue.depth", 4);
+
+    let mut out = Vec::new();
+    obs.write_metrics_jsonl(&mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        // Minimal shape check: each line is a JSON object naming a metric.
+        assert!(line.starts_with('{') && line.ends_with('}'), "not an object: {line}");
+        assert!(line.contains("\"name\":"), "unnamed metric line: {line}");
+    }
+    assert!(text.contains("propagation.passes"));
+    assert!(text.contains("learner.clause"));
+    assert!(text.contains("batch.size"));
+    assert!(text.contains("queue.depth"));
+}

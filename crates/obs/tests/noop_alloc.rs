@@ -1,0 +1,70 @@
+//! The no-op handle's cost contract: instrumentation calls on
+//! [`ObsHandle::noop`] perform **zero heap allocation**. This is what makes
+//! it safe to leave spans and counters in the learner's hot loops.
+//!
+//! Uses a counting wrapper around the system allocator; the binary is its
+//! own test target so the global allocator doesn't leak into other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn noop_handle_allocates_nothing() {
+    let obs = crossmine_obs::ObsHandle::noop();
+    let clone = obs.clone();
+
+    // Warm up any lazy runtime state (thread-locals, fmt machinery).
+    {
+        let _g = obs.span("warmup");
+    }
+    obs.add("warmup", 1);
+
+    let before = alloc_count();
+    for i in 0..10_000u64 {
+        let _span = obs.span("propagation.pass");
+        let _nested = clone.span_with("search.candidate", &[("i", i.into())]);
+        obs.add("propagation.ids_propagated", i);
+        obs.record("batch.size", i);
+        obs.gauge_set("queue.depth", i as i64);
+        obs.event("tick", &[("i", i.into())]);
+        crossmine_obs::trace!(obs, "point", i = i);
+        let _m = crossmine_obs::span!(obs, "macro.span", i = i);
+    }
+    let after = alloc_count();
+    assert_eq!(after - before, 0, "no-op instrumentation must not allocate");
+
+    // Cloning and dropping the no-op handle is also free. Kept in the same
+    // test: concurrent tests would race on the process-global counter.
+    let before = alloc_count();
+    for _ in 0..1_000 {
+        let c = obs.clone();
+        drop(c);
+    }
+    let after = alloc_count();
+    assert_eq!(after - before, 0, "cloning a no-op handle must not allocate");
+}

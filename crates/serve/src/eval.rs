@@ -13,6 +13,7 @@
 
 use crossmine_core::idset::{Stamp, TargetSet};
 use crossmine_core::propagation::{ClauseState, PathScratch};
+use crossmine_obs::ObsHandle;
 use crossmine_relational::{ClassLabel, Database, Row};
 
 use crate::plan::CompiledPlan;
@@ -28,12 +29,20 @@ pub struct ServeScratch {
     stamp: Option<Stamp>,
     label_of: Vec<Option<ClassLabel>>,
     path: PathScratch,
+    obs: ObsHandle,
 }
 
 impl ServeScratch {
     /// An empty scratch; buffers size themselves on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A scratch whose [`evaluate_batch`] calls report per-batch spans,
+    /// row/clause counters, and propagation stats through `obs`. The
+    /// default (no-op) handle makes every hook free.
+    pub fn with_obs(obs: ObsHandle) -> Self {
+        ServeScratch { obs, ..Default::default() }
     }
 
     fn ensure(&mut self, num_targets: usize) {
@@ -76,17 +85,21 @@ pub fn evaluate_batch(
     assert_eq!(db.target(), Ok(plan.target), "database target differs from the plan's");
     let num_targets = db.num_targets();
     scratch.ensure(num_targets);
-    let ServeScratch { dummy_pos, stamp, label_of, path } = scratch;
+    let obs = scratch.obs.clone();
+    let _batch = obs.span("serve.evaluate_batch");
+    let ServeScratch { dummy_pos, stamp, label_of, path, .. } = scratch;
     let stamp = stamp.as_mut().expect("ensure() populated the stamp");
 
     // `TargetSet` is a bitmap, so duplicate occurrences of a row collapse
     // into one propagated target; `label_of` then fans the result back out
     // to every batch slot holding that row.
     let mut unassigned = TargetSet::from_rows(dummy_pos, rows.iter().copied());
+    let mut clauses_evaluated = 0u64;
     for clause in &plan.clauses {
         if unassigned.is_empty() {
             break;
         }
+        clauses_evaluated += 1;
         let mut state = ClauseState::new(db, dummy_pos, unassigned.clone());
         for lit in &clause.literals {
             state.apply_literal_scratch(lit, stamp, path);
@@ -101,6 +114,14 @@ pub fn evaluate_batch(
             }
             unassigned.remove(r.0, dummy_pos);
         }
+    }
+    if obs.is_enabled() {
+        obs.add("serve.rows_scored", rows.len() as u64);
+        obs.add("serve.clauses_evaluated", clauses_evaluated);
+        let stats = path.take_stats();
+        obs.add("propagation.passes", stats.passes);
+        obs.add("propagation.ids_propagated", stats.ids_propagated);
+        obs.add("propagation.csr_capacity_hits", stats.capacity_hits);
     }
 
     let out = rows.iter().map(|r| label_of[r.0 as usize].unwrap_or(plan.default_label)).collect();

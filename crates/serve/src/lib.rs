@@ -56,6 +56,7 @@ pub mod plan;
 pub mod registry;
 pub mod server;
 
+pub use crossmine_obs::{ObsHandle, ServeReport};
 pub use eval::{evaluate_batch, ServeScratch};
 pub use eval_disk::predict_disk;
 pub use metrics::{Histogram, MetricsSnapshot, ServeMetrics};

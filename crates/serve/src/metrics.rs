@@ -7,109 +7,15 @@
 //! histogram: `quantile(q)` returns the upper bound of the bucket holding
 //! the q-th ranked sample, i.e. an over-estimate by at most 2×, which is
 //! the standard fidelity/footprint trade for serving dashboards.
+//!
+//! The histogram itself (along with counters and gauges) now lives in
+//! `crossmine-obs`, where the learner shares it; this module re-exports it
+//! so existing serve callers keep compiling, and keeps the serve-specific
+//! [`ServeMetrics`] aggregate and its report format unchanged.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-const NUM_BUCKETS: usize = 40;
-
-/// A lock-free histogram with power-of-two buckets: bucket `i > 0` holds
-/// values in `[2^(i-1), 2^i - 1]`; bucket 0 holds zero.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; NUM_BUCKETS],
-    count: AtomicU64,
-    sum: AtomicU64,
-    max: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-            max: AtomicU64::new(0),
-        }
-    }
-}
-
-fn bucket_of(v: u64) -> usize {
-    (64 - v.leading_zeros() as usize).min(NUM_BUCKETS - 1)
-}
-
-/// Upper bound of bucket `i` (what `quantile` reports).
-fn upper_bound(i: usize) -> u64 {
-    if i == 0 {
-        0
-    } else {
-        (1u64 << i) - 1
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one sample.
-    pub fn record(&self, v: u64) {
-        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean sample (0 when empty).
-    pub fn mean(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-
-    /// Largest sample seen.
-    pub fn max(&self) -> u64 {
-        self.max.load(Ordering::Relaxed)
-    }
-
-    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket the
-    /// ranked sample falls in; 0 when empty.
-    pub fn quantile(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return upper_bound(i);
-            }
-        }
-        self.max()
-    }
-
-    /// Per-bucket counts `(upper_bound, count)` for nonempty buckets.
-    pub fn nonempty_buckets(&self) -> Vec<(u64, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter_map(|(i, b)| {
-                let n = b.load(Ordering::Relaxed);
-                (n > 0).then_some((upper_bound(i), n))
-            })
-            .collect()
-    }
-}
+pub use crossmine_obs::metrics::{bucket_of, bucket_upper_bound, Histogram, NUM_BUCKETS};
 
 /// All serving metrics, shared by every worker of one server.
 #[derive(Debug, Default)]
@@ -214,15 +120,17 @@ mod tests {
 
     #[test]
     fn buckets_are_log2_with_zero_special_cased() {
+        // The bucket math lives in crossmine-obs now; this pins the exact
+        // semantics serve's report format was built on.
         assert_eq!(bucket_of(0), 0);
         assert_eq!(bucket_of(1), 1);
         assert_eq!(bucket_of(2), 2);
         assert_eq!(bucket_of(3), 2);
         assert_eq!(bucket_of(4), 3);
         assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
-        assert_eq!(upper_bound(0), 0);
-        assert_eq!(upper_bound(1), 1);
-        assert_eq!(upper_bound(3), 7);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(3), 7);
     }
 
     #[test]

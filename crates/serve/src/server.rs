@@ -22,6 +22,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crossmine_obs::ObsHandle;
 use crossmine_relational::{ClassLabel, Database, Row};
 
 use crate::eval::{evaluate_batch, ServeScratch};
@@ -39,6 +40,12 @@ pub struct ServerConfig {
     pub max_wait: Duration,
     /// Admission-queue capacity; submitters block when it is full.
     pub queue_capacity: usize,
+    /// Observability handle shared by every worker. The default no-op
+    /// handle disables all tracing; an enabled handle adds per-batch
+    /// `serve.evaluate_batch` spans, serve counters, and a
+    /// `serve.queue_wait_us` histogram of how long requests sat in the
+    /// admission queue before their batch started scoring.
+    pub obs: ObsHandle,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +55,7 @@ impl Default for ServerConfig {
             max_batch: 64,
             max_wait: Duration::from_micros(200),
             queue_capacity: 1024,
+            obs: ObsHandle::noop(),
         }
     }
 }
@@ -201,7 +209,10 @@ fn worker_loop(
     db: &Database,
     config: &ServerConfig,
 ) {
-    let mut scratch = ServeScratch::new();
+    let mut scratch = ServeScratch::with_obs(config.obs.clone());
+    // Cache the histogram handle once per worker so the per-request record
+    // is a couple of relaxed atomic adds, never a registry lookup.
+    let queue_wait_us = config.obs.histogram("serve.queue_wait_us");
     let mut batch: Vec<Request> = Vec::with_capacity(config.max_batch);
     let mut rows: Vec<Row> = Vec::with_capacity(config.max_batch);
     loop {
@@ -250,6 +261,13 @@ fn worker_loop(
         // One registry snapshot scores the whole batch: no torn reads, and
         // a concurrent install affects only later batches.
         let snap = registry.snapshot();
+        if let Some(h) = &queue_wait_us {
+            // Queue wait ends here: the batch is collected and about to
+            // score; the remaining latency is evaluation + reply delivery.
+            for req in &batch {
+                h.record(req.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            }
+        }
         rows.extend(batch.iter().map(|r| r.row));
         let labels = evaluate_batch(&snap.plan, db, &rows, &mut scratch);
         metrics.batches.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,65 @@
+//! Regression guard for the serve metrics report format.
+//!
+//! The log₂ histogram moved from `crossmine-serve` into `crossmine-obs`;
+//! these tests pin that the move changed nothing observable: the
+//! re-exported types are the obs types, the bucket math is bit-identical,
+//! and `MetricsSnapshot`'s `Display` output is **byte-for-byte** what it
+//! was before the move.
+
+use std::sync::atomic::Ordering;
+
+use crossmine_serve::metrics::{bucket_of, bucket_upper_bound, NUM_BUCKETS};
+use crossmine_serve::{Histogram, ServeMetrics};
+
+#[test]
+fn histogram_reexport_is_the_obs_type() {
+    // A serve Histogram must be accepted wherever the obs type is wanted
+    // (and vice versa) — proof the re-export is the same type, not a copy.
+    fn takes_obs(h: &crossmine_obs::metrics::Histogram) -> u64 {
+        h.count()
+    }
+    let h: Histogram = Histogram::new();
+    h.record(7);
+    assert_eq!(takes_obs(&h), 1);
+    assert_eq!(NUM_BUCKETS, crossmine_obs::metrics::NUM_BUCKETS);
+    for v in [0u64, 1, 2, 3, 1000, u64::MAX] {
+        assert_eq!(bucket_of(v), crossmine_obs::metrics::bucket_of(v));
+    }
+    for b in 0..NUM_BUCKETS {
+        assert_eq!(bucket_upper_bound(b), crossmine_obs::metrics::bucket_upper_bound(b));
+    }
+}
+
+#[test]
+fn snapshot_display_is_byte_compatible() {
+    let m = ServeMetrics::new();
+    m.requests.fetch_add(3, Ordering::Relaxed);
+    m.batches.fetch_add(2, Ordering::Relaxed);
+    for v in [80u64, 120, 2000] {
+        m.latency_us.record(v);
+    }
+    m.batch_size.record(1);
+    m.batch_size.record(2);
+    m.queue_depth.record(5);
+    let snap = m.snapshot(4);
+
+    // Hand-derived from the bucket math: 80 → bucket [64,127] (bound 127),
+    // 120 → same bucket, 2000 → bucket [1024,2047] (bound 2047). p50 of 3
+    // samples is rank 2 → 127; p95/p99 are rank 3 → 2047; max is exact.
+    // Batch sizes 1 and 2 land in buckets with bounds 1 and 3.
+    let expected = "requests: 3  errors: 0  batches: 2\n\
+                    latency  p50: 127us  p95: 2047us  p99: 2047us  max: 2000us\n\
+                    batch    mean: 1.5  max: 2  queue depth max: 5  swaps: 4\n\
+                    batch-size histogram (<=bound: count): <=1: 1 <=3: 1";
+    assert_eq!(snap.to_string(), expected);
+}
+
+#[test]
+fn empty_snapshot_display_is_byte_compatible() {
+    let snap = ServeMetrics::new().snapshot(0);
+    let expected = "requests: 0  errors: 0  batches: 0\n\
+                    latency  p50: 0us  p95: 0us  p99: 0us  max: 0us\n\
+                    batch    mean: 0.0  max: 0  queue depth max: 0  swaps: 0\n\
+                    batch-size histogram (<=bound: count):";
+    assert_eq!(snap.to_string(), expected);
+}

@@ -1,0 +1,61 @@
+//! Serving-side observability: an enabled handle on [`ServerConfig`] must
+//! surface per-batch spans, row counters, and queue-wait latencies without
+//! changing a single prediction.
+
+use std::sync::Arc;
+
+use crossmine_core::CrossMine;
+use crossmine_relational::Row;
+use crossmine_serve::{
+    CompiledPlan, ModelRegistry, ObsHandle, PredictionServer, ServeReport, ServerConfig,
+};
+use crossmine_synth::{generate, GenParams};
+
+#[test]
+fn enabled_handle_traces_serving_and_changes_no_prediction() {
+    let db = generate(&GenParams {
+        num_relations: 4,
+        expected_tuples: 120,
+        min_tuples: 40,
+        seed: 9,
+        ..Default::default()
+    });
+    let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+    let model = CrossMine::default().fit(&db, &rows);
+    let expected = model.predict(&db, &rows);
+
+    let obs = ObsHandle::enabled();
+    let plan = CompiledPlan::compile(&model, &db.schema).unwrap();
+    let registry = Arc::new(ModelRegistry::new(plan));
+    let config = ServerConfig { workers: 2, obs: obs.clone(), ..Default::default() };
+    let server = PredictionServer::start(Arc::new(db), registry, config);
+    for (i, &row) in rows.iter().enumerate() {
+        assert_eq!(server.predict(row).label, expected[i], "obs must not change predictions");
+    }
+    let report = server.shutdown();
+    assert_eq!(report.errors, 0);
+
+    let registry = obs.registry().unwrap();
+    let spans = registry.span_snapshots();
+    let batch_span =
+        spans.iter().find(|s| s.name == "serve.evaluate_batch").expect("per-batch span recorded");
+    assert_eq!(batch_span.count, report.batches, "one span per scored batch");
+
+    let counters = registry.counter_values();
+    let get = |name: &str| counters.iter().find(|(n, _)| *n == name).map(|(_, v)| *v);
+    assert_eq!(get("serve.rows_scored"), Some(rows.len() as u64));
+    assert!(get("serve.clauses_evaluated").unwrap_or(0) > 0);
+
+    // Every admitted request sat in the queue exactly once before scoring.
+    let hists = registry.histogram_snapshots();
+    let wait = hists
+        .iter()
+        .find(|h| h.name == "serve.queue_wait_us")
+        .expect("queue-wait histogram recorded");
+    assert_eq!(wait.count, report.requests);
+
+    let text = ServeReport::from_handle(&obs).to_string();
+    assert!(text.contains("crossmine-obs report: serve"), "{text}");
+    assert!(text.contains("serve.evaluate_batch"), "{text}");
+    assert!(text.contains("serve.queue_wait_us"), "{text}");
+}

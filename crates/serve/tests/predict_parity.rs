@@ -129,6 +129,7 @@ fn server_matches_predict_across_workers_and_batch_sizes() {
                     max_batch,
                     max_wait: Duration::from_micros(100),
                     queue_capacity: 256,
+                    ..Default::default()
                 },
             );
             // Submit everything first (exercises batching), then collect.
@@ -173,6 +174,7 @@ fn hot_swap_mid_stream_is_epoch_consistent() {
                 max_batch: 8,
                 max_wait: Duration::from_micros(50),
                 queue_capacity: 64,
+                ..Default::default()
             },
         );
         let half = f.rows.len() / 2;
@@ -223,6 +225,7 @@ fn concurrent_swap_never_tears_a_batch() {
             max_batch: 8,
             max_wait: Duration::from_micros(50),
             queue_capacity: 32,
+            ..Default::default()
         },
     );
 

@@ -7,12 +7,23 @@
 //! experiment harness: `cargo run --release -p crossmine-bench --bin experiments`.
 //!
 //! Run with: `cargo run --release --example synthetic_scaling`
+//!
+//! Pass `--report` to attach an enabled `crossmine-obs` handle to every
+//! CrossMine fold and print the aggregated training span table and
+//! counters at the end.
 
 use std::time::Duration;
 
-use crossmine::{cross_validate, CrossMine, Foil, FoilParams, GenParams, Tilde, TildeParams};
+use crossmine::{
+    cross_validate, CrossMine, CrossMineParams, Foil, FoilParams, GenParams, ObsHandle, Tilde,
+    TildeParams, TrainReport,
+};
 
 fn main() {
+    let report = std::env::args().skip(1).any(|a| a == "--report");
+    let obs = if report { ObsHandle::enabled() } else { ObsHandle::noop() };
+    let crossmine = CrossMine::new(CrossMineParams { obs: obs.clone(), ..Default::default() });
+
     println!("Rx.T300.F2, one fold of 10-fold CV per point\n");
     println!("{:<6} {:>12} {:>12} {:>12}", "R", "CrossMine", "FOIL", "TILDE");
     let timeout = Some(Duration::from_secs(300));
@@ -21,7 +32,7 @@ fn main() {
             GenParams { num_relations: r, expected_tuples: 300, seed: 1, ..Default::default() };
         let db = crossmine::generate(&params);
 
-        let cm = cross_validate(&CrossMine::default(), &db, 10, 7, 1);
+        let cm = cross_validate(&crossmine, &db, 10, 7, 1);
         let foil =
             cross_validate(&Foil::new(FoilParams { timeout, ..Default::default() }), &db, 10, 7, 1);
         let tilde = cross_validate(
@@ -45,4 +56,9 @@ fn main() {
     println!("\nCrossMine's runtime is driven by the active relations of each");
     println!("clause, not the schema size; the baselines pay a nested-loop join");
     println!("per candidate literal per relation.");
+
+    if report {
+        println!();
+        println!("{}", TrainReport::from_handle(&obs));
+    }
 }

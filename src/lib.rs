@@ -23,6 +23,7 @@
 //! | [`baselines`] | FOIL, TILDE, and label propagation |
 //! | [`storage`] | disk-resident columnar storage + buffer pool (paper §8) |
 //! | [`serve`] | compiled clause plans + concurrent batched prediction server |
+//! | [`obs`] | zero-dependency tracing, metrics, and profiling layer |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@
 pub use crossmine_baselines as baselines;
 pub use crossmine_core as core;
 pub use crossmine_datasets as datasets;
+pub use crossmine_obs as obs;
 pub use crossmine_relational as relational;
 pub use crossmine_serve as serve;
 pub use crossmine_storage as storage;
@@ -57,6 +59,7 @@ pub use crossmine_core::{
 pub use crossmine_datasets::{
     generate_financial, generate_mutagenesis, FinancialConfig, MutagenesisConfig,
 };
+pub use crossmine_obs::{ObsHandle, ServeReport, TrainReport};
 pub use crossmine_relational::{
     AttrId, AttrType, Attribute, ClassLabel, Database, DatabaseSchema, JoinGraph, RelId,
     RelationSchema, Row, Value,
