@@ -29,9 +29,9 @@ fn bench_learner_ablations(c: &mut Criterion) {
 
     let variants: Vec<(&str, CrossMineParams)> = vec![
         ("full", CrossMineParams::default()),
-        ("no_look_one_ahead", CrossMineParams { look_one_ahead: false, ..Default::default() }),
-        ("no_aggregation", CrossMineParams { aggregation_literals: false, ..Default::default() }),
-        ("no_fanout_limit", CrossMineParams { max_fanout: None, ..Default::default() }),
+        ("no_look_one_ahead", CrossMineParams::builder().look_one_ahead(false).build().unwrap()),
+        ("no_aggregation", CrossMineParams::builder().aggregation_literals(false).build().unwrap()),
+        ("no_fanout_limit", CrossMineParams::builder().max_fanout(None).build().unwrap()),
         ("with_sampling", CrossMineParams::with_sampling()),
     ];
 

@@ -155,7 +155,7 @@ fn bench_threads_scaling(c: &mut Criterion) {
     let graph = JoinGraph::build(&db.schema);
     let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
     for threads in [1usize, 2, 4, 8] {
-        let params = CrossMineParams { num_threads: Some(threads), ..Default::default() };
+        let params = CrossMineParams::builder().num_threads(Some(threads)).build().unwrap();
         let learner = ClauseLearner::new(&db, &graph, &params, ClassLabel::POS, 2);
         let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
         group.bench_with_input(BenchmarkId::new("find_best_literal", threads), &threads, |b, _| {
@@ -206,13 +206,13 @@ fn bench_serve_batch(c: &mut Criterion) {
     db.build_all_indexes();
     let target = db.target().unwrap();
     let rows: Vec<_> = db.relation(target).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     let plan = CompiledPlan::compile(&model, &db.schema).unwrap();
     for batch in [1usize, 32, 1024] {
         let batch = batch.min(rows.len());
         let chunk = &rows[..batch];
         group.bench_with_input(BenchmarkId::new("predict", batch), &batch, |b, _| {
-            b.iter(|| std::hint::black_box(model.predict(&db, chunk)));
+            b.iter(|| std::hint::black_box(model.predict(&db, chunk).unwrap()));
         });
         group.bench_with_input(BenchmarkId::new("compiled_batched", batch), &batch, |b, _| {
             let mut scratch = ServeScratch::new();

@@ -14,6 +14,7 @@
 //!     --requests 50000 --workers 4 --clients 8 --batch 64 --wait-us 200
 //! cargo run --release -p crossmine-bench --bin loadgen -- \
 //!     --report --jsonl /tmp/obs.jsonl
+//! cargo run --release -p crossmine-bench --bin loadgen -- --chaos --smoke
 //! ```
 //!
 //! `--report` attaches enabled `crossmine-obs` handles to training and
@@ -22,16 +23,29 @@
 //! and counters after the run; `--jsonl PATH` exports the same metrics as
 //! JSON lines.
 //!
+//! `--chaos` turns on the fault-injection harness: workers stall, panic,
+//! and score oversized batches on a fixed schedule
+//! (`ChaosConfig::standard()`), the registry is swapped repeatedly
+//! mid-stream, every fourth request carries a tight deadline, and clients
+//! retry retryable errors through `crossmine_bench::serve_client`. The run
+//! passes iff every request is eventually answered correctly, at least one
+//! injected worker panic was survived, and the server shuts down cleanly —
+//! degradations (sheds, expiries, restarts) are expected and reported, but
+//! crashes, deadlocks, and wrong answers are not.
+//!
 //! Exits non-zero on any parity mismatch, delivery error, or lost request.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crossmine_bench::serve_client::submit_with_retry;
 use crossmine_core::{CrossMine, CrossMineParams};
 use crossmine_obs::{ObsHandle, ServeReport, TrainReport};
 use crossmine_relational::{ClassLabel, Database, Row};
-use crossmine_serve::{predict_disk, CompiledPlan, ModelRegistry, PredictionServer, ServerConfig};
+use crossmine_serve::{
+    predict_disk, ChaosConfig, CompiledPlan, ModelRegistry, PredictionServer, ServerConfig,
+};
 use crossmine_storage::DiskDatabase;
 use crossmine_synth::{generate, GenParams};
 
@@ -46,6 +60,7 @@ struct Args {
     skip_disk: bool,
     report: bool,
     jsonl: Option<String>,
+    chaos: bool,
 }
 
 impl Default for Args {
@@ -61,6 +76,7 @@ impl Default for Args {
             skip_disk: false,
             report: false,
             jsonl: None,
+            chaos: false,
         }
     }
 }
@@ -90,6 +106,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = take(&mut i),
             "--no-disk" => args.skip_disk = true,
             "--report" => args.report = true,
+            "--chaos" => args.chaos = true,
             "--jsonl" => {
                 i += 1;
                 let path = argv.get(i).unwrap_or_else(|| die("--jsonl needs a file path"));
@@ -142,19 +159,17 @@ fn main() {
         // Negative sampling (§6) on, so the sampling hooks show up in the
         // span table. Parity below is against this same model, so the
         // different clause set changes nothing about the checks.
-        CrossMine::new(CrossMineParams {
-            sampling: true,
-            obs: train_obs.clone(),
-            ..Default::default()
-        })
+        CrossMine::new(
+            CrossMineParams::builder().sampling(true).obs(train_obs.clone()).build().unwrap(),
+        )
     } else {
         CrossMine::default()
     };
 
     let fit_start = Instant::now();
-    let model = classifier.fit(&db, &rows);
+    let model = classifier.fit(&db, &rows).unwrap();
     println!("trained {} clauses in {:?}", model.num_clauses(), fit_start.elapsed());
-    let expected = model.predict(&db, &rows);
+    let expected = model.predict(&db, &rows).unwrap();
     let plan = match CompiledPlan::compile(&model, &db.schema) {
         Ok(p) => p,
         Err(e) => die(&format!("model failed to compile: {e}")),
@@ -174,10 +189,28 @@ fn main() {
             workers: args.workers,
             max_batch: args.max_batch,
             max_wait: Duration::from_micros(args.wait_us),
-            queue_capacity: 1024,
+            // Tiny under chaos so worker stalls actually fill it and force
+            // sheds; big enough otherwise that the healthy path never
+            // rejects.
+            queue_capacity: if args.chaos { 2 } else { 1024 },
             obs: serve_obs.clone(),
+            chaos: if args.chaos { ChaosConfig::standard() } else { ChaosConfig::off() },
         },
-    );
+    )
+    .unwrap_or_else(|e| die(&format!("server failed to start: {e}")));
+    if args.chaos {
+        println!("chaos mode: stalls, worker panics, oversized batches, repeated hot swaps");
+        // Injected panics are expected by the hundreds; silence their
+        // default printout so real panics stay visible in the output.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected =
+                info.payload().downcast_ref::<&str>().is_some_and(|s| s.starts_with("chaos:"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    }
     println!(
         "serving with {} workers, max_batch {}, max_wait {}us, {} client threads",
         args.workers, args.max_batch, args.wait_us, args.clients
@@ -185,8 +218,11 @@ fn main() {
 
     let mismatches = AtomicU64::new(0);
     let answered = AtomicU64::new(0);
+    let retried = AtomicU64::new(0);
     let per_client = args.requests.div_ceil(args.clients.max(1));
     let total = per_client * args.clients.max(1);
+    let chaos = args.chaos;
+    let swap_plan = plan.clone();
     let bench_start = Instant::now();
     std::thread::scope(|scope| {
         for c in 0..args.clients.max(1) {
@@ -195,10 +231,17 @@ fn main() {
             let expected = &expected;
             let mismatches = &mismatches;
             let answered = &answered;
+            let retried = &retried;
             scope.spawn(move || {
                 for k in 0..per_client {
                     let i = (c * per_client + k) % rows.len();
-                    let p = server.predict(rows[i]);
+                    let p = if chaos {
+                        chaos_request(server, rows[i], k, retried)
+                    } else {
+                        server
+                            .predict(rows[i])
+                            .unwrap_or_else(|e| die(&format!("healthy-path request failed: {e}")))
+                    };
                     answered.fetch_add(1, Ordering::Relaxed);
                     if p.label != expected[i] {
                         mismatches.fetch_add(1, Ordering::Relaxed);
@@ -206,17 +249,31 @@ fn main() {
                 }
             });
         }
-        // Hot-swap the same model midway: exercises the epoch machinery
-        // without changing any prediction.
-        let registry = &registry;
-        let answered = &answered;
-        let half = (total / 2) as u64;
-        scope.spawn(move || {
-            while answered.load(Ordering::Relaxed) < half {
-                std::thread::sleep(Duration::from_micros(200));
-            }
-            registry.install(plan.clone());
-        });
+        if chaos {
+            // Mid-batch registry swaps, the fourth chaos dimension: keep
+            // reinstalling the same plan until the clients finish. Answers
+            // must stay correct across every swap.
+            let registry = &registry;
+            let answered = &answered;
+            scope.spawn(move || {
+                while answered.load(Ordering::Relaxed) < total as u64 {
+                    registry.install(swap_plan.clone());
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        } else {
+            // Hot-swap the same model midway: exercises the epoch machinery
+            // without changing any prediction.
+            let registry = &registry;
+            let answered = &answered;
+            let half = (total / 2) as u64;
+            scope.spawn(move || {
+                while answered.load(Ordering::Relaxed) < half {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                registry.install(plan.clone());
+            });
+        }
     });
     let elapsed = bench_start.elapsed();
 
@@ -238,13 +295,64 @@ fn main() {
 
     let lost = total as u64 - answered.load(Ordering::Relaxed);
     let bad = mismatches.load(Ordering::Relaxed);
-    if bad > 0 || lost > 0 || report.errors > 0 || report.swaps != 1 {
-        die(&format!(
-            "FAILED: {bad} mismatches, {lost} lost, {} errors, {} swaps",
-            report.errors, report.swaps
-        ));
+    if args.chaos {
+        // Under fault injection, degradations are the point: errors, sheds,
+        // expiries, and restarts are expected. What must hold is that every
+        // request was eventually answered correctly, that the injected
+        // panics actually fired (and were survived), and that shutdown
+        // completed — reaching this line proves no deadlock or crash.
+        let degraded = retried.load(Ordering::Relaxed);
+        if bad > 0 || lost > 0 {
+            die(&format!("FAILED under chaos: {bad} mismatches, {lost} lost"));
+        }
+        if report.worker_restarts == 0 {
+            die("FAILED under chaos: no worker panic was injected — harness inert");
+        }
+        println!(
+            "OK under chaos: all {total} predictions matched after {degraded} degraded \
+             attempts ({} sheds, {} expiries, {} restarts survived)",
+            report.shed, report.deadline_expired, report.worker_restarts
+        );
+    } else {
+        if bad > 0 || lost > 0 || report.errors > 0 || report.swaps != 1 {
+            die(&format!(
+                "FAILED: {bad} mismatches, {lost} lost, {} errors, {} swaps",
+                report.errors, report.swaps
+            ));
+        }
+        println!("OK: all {total} predictions matched CrossMineModel::predict, zero errors");
     }
-    println!("OK: all {total} predictions matched CrossMineModel::predict, zero errors");
+}
+
+/// One client request under chaos: every fourth first attempt carries a
+/// tight deadline (exercising queue-side expiry), and every retryable
+/// degradation — shed, expired, worker panic — is retried with backoff
+/// until the request is answered. Increments `retried` once per degraded
+/// attempt.
+fn chaos_request(
+    server: &PredictionServer,
+    row: Row,
+    k: usize,
+    retried: &AtomicU64,
+) -> crossmine_serve::Prediction {
+    const MAX_ATTEMPTS: usize = 1000;
+    for attempt in 0..MAX_ATTEMPTS {
+        let submitted = if attempt == 0 && k.is_multiple_of(4) {
+            server.submit_with_deadline(row, Duration::from_micros(300))
+        } else {
+            submit_with_retry(server, row, 100)
+        };
+        let outcome = submitted.and_then(|h| h.wait());
+        match outcome {
+            Ok(p) => return p,
+            Err(e) if e.is_retryable() => {
+                retried.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(100 * (attempt as u64 + 1)));
+            }
+            Err(e) => die(&format!("non-retryable error under chaos: {e}")),
+        }
+    }
+    die("request starved: not answered within the chaos retry budget")
 }
 
 /// Writes every train-side then serve-side metric as one JSON object per

@@ -49,9 +49,10 @@ fn main() {
     println!("R5.T200.F3 ({} target rows), {reps} reps per configuration", rows.len());
 
     let fit = |obs: ObsHandle| -> (Duration, usize) {
-        let cm = CrossMine::new(CrossMineParams { sampling: true, obs, ..Default::default() });
+        let cm =
+            CrossMine::new(CrossMineParams::builder().sampling(true).obs(obs).build().unwrap());
         let start = Instant::now();
-        let model = cm.fit(&db, &rows);
+        let model = cm.fit(&db, &rows).expect("generated database is valid");
         (start.elapsed(), model.num_clauses())
     };
 

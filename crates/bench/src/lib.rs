@@ -246,9 +246,9 @@ pub fn table3(config: &HarnessConfig) -> Vec<ExperimentRow> {
 pub fn ablations(config: &HarnessConfig) -> Vec<ExperimentRow> {
     let variants: Vec<(&str, CrossMineParams)> = vec![
         ("full", CrossMineParams::default()),
-        ("no look-one-ahead", CrossMineParams { look_one_ahead: false, ..Default::default() }),
-        ("no aggregation", CrossMineParams { aggregation_literals: false, ..Default::default() }),
-        ("no fan-out limit", CrossMineParams { max_fanout: None, ..Default::default() }),
+        ("no look-one-ahead", CrossMineParams::builder().look_one_ahead(false).build().unwrap()),
+        ("no aggregation", CrossMineParams::builder().aggregation_literals(false).build().unwrap()),
+        ("no fan-out limit", CrossMineParams::builder().max_fanout(None).build().unwrap()),
         ("with sampling", CrossMineParams::with_sampling()),
     ];
     let synth_params = GenParams {
@@ -303,6 +303,61 @@ pub fn ablations(config: &HarnessConfig) -> Vec<ExperimentRow> {
     rows
 }
 
+/// Client-side retry discipline for the prediction server's typed
+/// admission errors.
+///
+/// The server never blocks a submitter: under overload it sheds with
+/// [`ServeError::Overloaded`], and post-admission degradations surface
+/// from [`PredictionHandle::wait`]. A well-behaved client therefore
+/// retries *retryable* errors with exponential backoff (so a shedding
+/// server gets room to drain) and propagates the rest.
+///
+/// [`ServeError::Overloaded`]: crossmine_serve::ServeError::Overloaded
+/// [`PredictionHandle::wait`]: crossmine_serve::PredictionHandle::wait
+pub mod serve_client {
+    use std::time::Duration;
+
+    use crossmine_relational::Row;
+    use crossmine_serve::{PredictionHandle, PredictionServer, ServeError};
+
+    /// Backoff ceiling: long enough for a stalled worker to clear a batch,
+    /// short enough to not dominate smoke-test latency.
+    const MAX_BACKOFF: Duration = Duration::from_millis(5);
+
+    /// Runs `attempt` until it succeeds, fails with a non-retryable error,
+    /// or exhausts `max_retries` retries; sleeps with doubling backoff
+    /// (starting at `base_backoff`, capped at 5 ms) between attempts.
+    pub fn retry_with_backoff<T>(
+        mut attempt: impl FnMut() -> Result<T, ServeError>,
+        max_retries: usize,
+        base_backoff: Duration,
+    ) -> Result<T, ServeError> {
+        let mut backoff = base_backoff;
+        let mut retries = 0;
+        loop {
+            match attempt() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && retries < max_retries => {
+                    retries += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(MAX_BACKOFF);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// [`PredictionServer::submit`] with shed-aware retry: re-submits on
+    /// `Overloaded` (backing off each time) up to `max_retries` times.
+    pub fn submit_with_retry(
+        server: &PredictionServer,
+        row: Row,
+        max_retries: usize,
+    ) -> Result<PredictionHandle, ServeError> {
+        retry_with_backoff(|| server.submit(row), max_retries, Duration::from_micros(50))
+    }
+}
+
 /// Renders rows as an aligned text table.
 pub fn render(title: &str, rows: &[ExperimentRow]) -> String {
     let mut out = String::new();
@@ -349,6 +404,54 @@ mod tests {
         assert_eq!(row.folds, 1);
         assert!(row.accuracy >= 0.0 && row.accuracy <= 1.0);
         assert_eq!(row.workload, "R4.T60.F2");
+    }
+
+    #[test]
+    fn retry_with_backoff_retries_transient_and_stops_on_fatal() {
+        use crossmine_serve::ServeError;
+        use serve_client::retry_with_backoff;
+
+        // Succeeds on the third attempt.
+        let mut calls = 0;
+        let r = retry_with_backoff(
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err(ServeError::Overloaded { queue_depth: 1, capacity: 1 })
+                } else {
+                    Ok(calls)
+                }
+            },
+            5,
+            Duration::from_micros(1),
+        );
+        assert_eq!(r, Ok(3));
+
+        // Non-retryable errors propagate immediately.
+        let mut calls = 0;
+        let r: Result<(), _> = retry_with_backoff(
+            || {
+                calls += 1;
+                Err(ServeError::ShuttingDown)
+            },
+            5,
+            Duration::from_micros(1),
+        );
+        assert_eq!(r, Err(ServeError::ShuttingDown));
+        assert_eq!(calls, 1);
+
+        // Retry budget is honored: max_retries = 2 means 3 attempts total.
+        let mut calls = 0;
+        let r: Result<(), _> = retry_with_backoff(
+            || {
+                calls += 1;
+                Err(ServeError::WorkerPanicked)
+            },
+            2,
+            Duration::from_micros(1),
+        );
+        assert_eq!(r, Err(ServeError::WorkerPanicked));
+        assert_eq!(calls, 3);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The trained CrossMine model and its prediction procedure (§5.3).
 
-use crossmine_relational::{ClassLabel, Database, JoinGraph, Row};
+use crossmine_relational::{ClassLabel, DataError, Database, JoinGraph, RelationalError, Row};
 
 use crate::clause::Clause;
 use crate::idset::{Stamp, TargetSet};
@@ -36,19 +36,45 @@ impl CrossMine {
 
     /// Trains on the target tuples `train_rows` of `db`. For each class `C`,
     /// tuples of `C` are the positives and all others negatives (§5.3).
-    pub fn fit(&self, db: &Database, train_rows: &[Row]) -> CrossMineModel {
+    ///
+    /// # Errors
+    ///
+    /// * [`SchemaError::NoTarget`](crossmine_relational::SchemaError::NoTarget)
+    ///   when the database has no target relation.
+    /// * [`DataError::EmptyTrainingSet`] when `train_rows` is empty.
+    /// * [`DataError::MissingLabels`] when the target relation's row and
+    ///   label counts disagree.
+    /// * [`DataError::RowOutOfRange`] when a training row id is outside the
+    ///   target relation.
+    pub fn fit(
+        &self,
+        db: &Database,
+        train_rows: &[Row],
+    ) -> Result<CrossMineModel, RelationalError> {
         let graph = JoinGraph::build(&db.schema);
         self.fit_with_graph(db, train_rows, &graph)
     }
 
     /// [`fit`](Self::fit) with a pre-built join graph (avoids rebuilding it
-    /// across folds).
+    /// across folds). Same errors as [`fit`](Self::fit).
     pub fn fit_with_graph(
         &self,
         db: &Database,
         train_rows: &[Row],
         graph: &JoinGraph,
-    ) -> CrossMineModel {
+    ) -> Result<CrossMineModel, RelationalError> {
+        let target = db.target()?;
+        if train_rows.is_empty() {
+            return Err(DataError::EmptyTrainingSet.into());
+        }
+        let target_rows = db.relation(target).len();
+        if target_rows != db.num_targets() {
+            return Err(
+                DataError::MissingLabels { rows: target_rows, labels: db.num_targets() }.into()
+            );
+        }
+        check_rows_in_range(train_rows, db.num_targets())?;
+
         let mut class_counts: Vec<(ClassLabel, usize)> = Vec::new();
         for &r in train_rows {
             let l = db.label(r);
@@ -73,16 +99,32 @@ impl CrossMine {
         clauses.sort_by(|a, b| {
             b.accuracy.partial_cmp(&a.accuracy).unwrap_or(std::cmp::Ordering::Equal)
         });
-        CrossMineModel { clauses, default_label, classes }
+        Ok(CrossMineModel { clauses, default_label, classes })
     }
+}
+
+/// Validates that every row id indexes the target relation.
+fn check_rows_in_range(rows: &[Row], num_targets: usize) -> Result<(), RelationalError> {
+    for &r in rows {
+        if r.0 as usize >= num_targets {
+            return Err(DataError::RowOutOfRange { row: r.0 as u64, num_targets }.into());
+        }
+    }
+    Ok(())
 }
 
 impl CrossMineModel {
     /// Predicts the class of each row: the label of the most accurate clause
     /// it satisfies, else the default label (§5.3). Clause satisfaction is
     /// computed with tuple-ID propagation, all rows at once per clause.
-    pub fn predict(&self, db: &Database, rows: &[Row]) -> Vec<ClassLabel> {
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::RowOutOfRange`] when a row id is outside the target
+    /// relation of `db`.
+    pub fn predict(&self, db: &Database, rows: &[Row]) -> Result<Vec<ClassLabel>, RelationalError> {
         let num_targets = db.num_targets();
+        check_rows_in_range(rows, num_targets)?;
         // Positivity flags are irrelevant for satisfaction checking.
         let dummy_pos = vec![false; num_targets];
         let mut stamp = Stamp::new(num_targets);
@@ -115,7 +157,7 @@ impl CrossMineModel {
                 unassigned.remove(r.0, &dummy_pos);
             }
         }
-        prediction.into_iter().map(|p| p.unwrap_or(self.default_label)).collect()
+        Ok(prediction.into_iter().map(|p| p.unwrap_or(self.default_label)).collect())
     }
 
     /// The rows among `rows` satisfying `clause` (exposed for diagnostics
@@ -173,9 +215,9 @@ mod tests {
         let db = simple_db(60);
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
         let (train, test): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 < 40);
-        let model = CrossMine::default().fit(&db, &train);
+        let model = CrossMine::default().fit(&db, &train).unwrap();
         assert!(model.num_clauses() >= 1);
-        let preds = model.predict(&db, &test);
+        let preds = model.predict(&db, &test).unwrap();
         let correct = preds.iter().zip(&test).filter(|(p, r)| **p == db.label(**r)).count();
         assert_eq!(correct, test.len(), "separable data must be classified perfectly");
     }
@@ -188,7 +230,7 @@ mod tests {
             (0..10).map(|i| if i < 3 { ClassLabel::POS } else { ClassLabel::NEG }).collect();
         db.set_labels(labels).unwrap();
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-        let model = CrossMine::default().fit(&db, &rows);
+        let model = CrossMine::default().fit(&db, &rows).unwrap();
         assert_eq!(model.default_label, ClassLabel::NEG);
     }
 
@@ -197,10 +239,10 @@ mod tests {
         let db = simple_db(20);
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
         // Train with an impossible gain threshold: no clauses at all.
-        let cm = CrossMine::new(CrossMineParams { min_foil_gain: 1e9, ..Default::default() });
-        let model = cm.fit(&db, &rows);
+        let cm = CrossMine::new(CrossMineParams::builder().min_foil_gain(1e9).build().unwrap());
+        let model = cm.fit(&db, &rows).unwrap();
         assert_eq!(model.num_clauses(), 0);
-        let preds = model.predict(&db, &rows);
+        let preds = model.predict(&db, &rows).unwrap();
         assert!(preds.iter().all(|&p| p == model.default_label));
     }
 
@@ -222,7 +264,7 @@ mod tests {
             default_label: ClassLabel::POS,
             classes: vec![ClassLabel::NEG, ClassLabel::POS],
         };
-        let preds = empty.predict(&db, &rows);
+        let preds = empty.predict(&db, &rows).unwrap();
         assert_eq!(preds.len(), rows.len());
         assert!(preds.iter().all(|&p| p == empty.default_label));
 
@@ -243,14 +285,14 @@ mod tests {
             default_label: ClassLabel::POS,
             classes: vec![ClassLabel::NEG, ClassLabel::POS],
         };
-        let preds = uncovering.predict(&db, &rows);
+        let preds = uncovering.predict(&db, &rows).unwrap();
         assert!(preds.iter().all(|&p| p == uncovering.default_label));
         // The uncovering clause has no satisfiers, matching predict.
         assert!(uncovering.satisfiers(&db, &uncovering.clauses[0], &rows).is_empty());
 
         // 3. Empty batches: predict and satisfiers both return empty.
-        assert!(empty.predict(&db, &[]).is_empty());
-        assert!(uncovering.predict(&db, &[]).is_empty());
+        assert!(empty.predict(&db, &[]).unwrap().is_empty());
+        assert!(uncovering.predict(&db, &[]).unwrap().is_empty());
         assert!(uncovering.satisfiers(&db, &uncovering.clauses[0], &[]).is_empty());
     }
 
@@ -261,8 +303,8 @@ mod tests {
     fn satisfiers_consistent_with_predict_per_clause() {
         let db = simple_db(40);
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-        let model = CrossMine::default().fit(&db, &rows);
-        let preds = model.predict(&db, &rows);
+        let model = CrossMine::default().fit(&db, &rows).unwrap();
+        let preds = model.predict(&db, &rows).unwrap();
         for (ci, clause) in model.clauses.iter().enumerate() {
             let sat = model.satisfiers(&db, clause, &rows);
             for (r, &p) in rows.iter().zip(&preds) {
@@ -279,7 +321,7 @@ mod tests {
     fn clauses_sorted_by_accuracy() {
         let db = simple_db(60);
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-        let model = CrossMine::default().fit(&db, &rows);
+        let model = CrossMine::default().fit(&db, &rows).unwrap();
         for w in model.clauses.windows(2) {
             assert!(w[0].accuracy >= w[1].accuracy);
         }
@@ -305,9 +347,9 @@ mod tests {
             db.push_label(ClassLabel(code));
         }
         let rows: Vec<Row> = db.relation(tid).iter_rows().collect();
-        let model = CrossMine::default().fit(&db, &rows);
+        let model = CrossMine::default().fit(&db, &rows).unwrap();
         assert_eq!(model.classes.len(), 3);
-        let preds = model.predict(&db, &rows);
+        let preds = model.predict(&db, &rows).unwrap();
         let correct = preds.iter().zip(&rows).filter(|(p, r)| **p == db.label(**r)).count();
         assert_eq!(correct, rows.len());
     }
@@ -316,11 +358,73 @@ mod tests {
     fn satisfiers_match_prediction_machinery() {
         let db = simple_db(20);
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-        let model = CrossMine::default().fit(&db, &rows);
+        let model = CrossMine::default().fit(&db, &rows).unwrap();
         let pos_clause =
             model.clauses.iter().find(|c| c.label == ClassLabel::POS).expect("positive clause");
         let sat = model.satisfiers(&db, pos_clause, &rows);
         assert_eq!(sat.len(), 10);
         assert!(sat.iter().all(|r| db.label(*r) == ClassLabel::POS));
+    }
+
+    #[test]
+    fn fit_rejects_empty_training_set() {
+        let db = simple_db(10);
+        let err = CrossMine::default().fit(&db, &[]).unwrap_err();
+        assert!(matches!(err, RelationalError::Data(DataError::EmptyTrainingSet)));
+    }
+
+    #[test]
+    fn fit_rejects_out_of_range_rows() {
+        let db = simple_db(10);
+        let err = CrossMine::default().fit(&db, &[Row(10)]).unwrap_err();
+        assert!(matches!(
+            err,
+            RelationalError::Data(DataError::RowOutOfRange { row: 10, num_targets: 10 })
+        ));
+    }
+
+    #[test]
+    fn fit_rejects_missing_target() {
+        use crossmine_relational::SchemaError;
+        let mut schema = DatabaseSchema::new();
+        let mut t = RelationSchema::new("T");
+        t.add_attribute(Attribute::new("id", AttrType::PrimaryKey)).unwrap();
+        schema.add_relation(t).unwrap();
+        // No set_target: Database::new with a target-less schema is itself an
+        // error, so build via the schema that lacks a target.
+        let err = Database::new(schema).map(|db| CrossMine::default().fit(&db, &[Row(0)]));
+        match err {
+            Err(e) => {
+                assert!(matches!(e, RelationalError::Schema(SchemaError::NoTarget)))
+            }
+            Ok(inner) => {
+                assert!(matches!(
+                    inner.unwrap_err(),
+                    RelationalError::Schema(SchemaError::NoTarget)
+                ))
+            }
+        }
+    }
+
+    #[test]
+    fn predict_rejects_out_of_range_rows() {
+        let db = simple_db(10);
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let model = CrossMine::default().fit(&db, &rows).unwrap();
+        let err = model.predict(&db, &[Row(99)]).unwrap_err();
+        assert!(matches!(err, RelationalError::Data(DataError::RowOutOfRange { row: 99, .. })));
+    }
+
+    #[test]
+    fn fit_rejects_unlabeled_rows() {
+        let mut db = simple_db(10);
+        let tid = db.target().unwrap();
+        // An extra target row without a matching label.
+        db.push_row(tid, vec![Value::Key(10), Value::Cat(0)]).unwrap();
+        let err = CrossMine::default().fit(&db, &[Row(0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            RelationalError::Data(DataError::MissingLabels { rows: 11, labels: 10 })
+        ));
     }
 }

@@ -137,8 +137,10 @@ impl RelationalClassifier for crate::classifier::CrossMine {
         train_rows: &[Row],
         test_rows: &[Row],
     ) -> Vec<ClassLabel> {
-        let model = self.fit(db, train_rows);
-        model.predict(db, test_rows)
+        // The trait is infallible by design (harness code hands it validated
+        // folds); the inherent methods validate and return `Result`.
+        let model = self.fit(db, train_rows).expect("cross-validation folds are valid rows");
+        model.predict(db, test_rows).expect("cross-validation folds are valid rows")
     }
 }
 

@@ -161,7 +161,7 @@ mod tests {
     fn usage_counts_literals() {
         let db = db();
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-        let model = CrossMine::default().fit(&db, &rows);
+        let model = CrossMine::default().fit(&db, &rows).unwrap();
         let usage = feature_usage(&model, &db);
         assert!(usage.literal_kinds.0 >= 2, "both classes use the categorical attribute");
         assert_eq!(usage.literal_kinds.1 + usage.literal_kinds.2, 0);
@@ -173,7 +173,7 @@ mod tests {
     fn coverage_matches_labels_on_separable_data() {
         let db = db();
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-        let model = CrossMine::default().fit(&db, &rows);
+        let model = CrossMine::default().fit(&db, &rows).unwrap();
         for cov in clause_coverage(&model, &db, &rows) {
             assert_eq!(cov.covered, 20);
             assert_eq!(cov.correct, 20);
@@ -184,7 +184,7 @@ mod tests {
     fn report_renders() {
         let db = db();
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-        let model = CrossMine::default().fit(&db, &rows);
+        let model = CrossMine::default().fit(&db, &rows).unwrap();
         let r = report(&model, &db, &rows);
         assert!(r.contains("CrossMine model:"));
         assert!(r.contains("constrained attributes:"));

@@ -68,8 +68,17 @@ pub struct CrossMineHybridModel {
 
 impl CrossMineHybrid {
     /// Trains clauses then the logistic head on their indicators.
-    pub fn fit(&self, db: &Database, train_rows: &[Row]) -> CrossMineHybridModel {
-        let clauses = CrossMine::new(self.params.clone()).fit(db, train_rows);
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`CrossMine::fit`]: no target relation, empty
+    /// training set, unlabeled or out-of-range rows.
+    pub fn fit(
+        &self,
+        db: &Database,
+        train_rows: &[Row],
+    ) -> Result<CrossMineHybridModel, crossmine_relational::RelationalError> {
+        let clauses = CrossMine::new(self.params.clone()).fit(db, train_rows)?;
         let mut labels: Vec<ClassLabel> = train_rows.iter().map(|&r| db.label(r)).collect();
         labels.sort();
         labels.dedup();
@@ -81,7 +90,7 @@ impl CrossMineHybrid {
             train_rows.iter().map(|&r| if db.label(r) == pos_label { 1.0 } else { 0.0 }).collect();
         let mut head = LogisticRegression::new(clauses.clauses.len());
         head.fit(&x, &y, self.epochs, self.learning_rate);
-        CrossMineHybridModel { clauses, head, pos_label, neg_label }
+        Ok(CrossMineHybridModel { clauses, head, pos_label, neg_label })
     }
 }
 
@@ -108,7 +117,9 @@ impl RelationalClassifier for CrossMineHybrid {
         train_rows: &[Row],
         test_rows: &[Row],
     ) -> Vec<ClassLabel> {
-        let model = self.fit(db, train_rows);
+        // The trait is infallible by design (harness code hands it validated
+        // folds); the inherent `fit` validates and returns `Result`.
+        let model = self.fit(db, train_rows).expect("cross-validation folds are valid rows");
         model.predict(db, test_rows)
     }
 }
@@ -140,7 +151,7 @@ mod tests {
     fn features_are_clause_indicators() {
         let db = simple_db(40);
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-        let model = CrossMine::default().fit(&db, &rows);
+        let model = CrossMine::default().fit(&db, &rows).unwrap();
         let x = propositionalize(&model, &db, &rows);
         assert_eq!(x.len(), rows.len());
         for (i, feats) in x.iter().enumerate() {
@@ -157,7 +168,7 @@ mod tests {
         let db = simple_db(60);
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
         let (train, test): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 3 != 0);
-        let model = CrossMineHybrid::default().fit(&db, &train);
+        let model = CrossMineHybrid::default().fit(&db, &train).unwrap();
         let preds = model.predict(&db, &test);
         let correct = preds.iter().zip(&test).filter(|(p, r)| **p == db.label(**r)).count();
         assert_eq!(correct, test.len());
@@ -167,7 +178,7 @@ mod tests {
     fn probabilities_are_calibrated_direction() {
         let db = simple_db(60);
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-        let model = CrossMineHybrid::default().fit(&db, &rows);
+        let model = CrossMineHybrid::default().fit(&db, &rows).unwrap();
         let probs = model.predict_proba(&db, &rows);
         for (r, p) in rows.iter().zip(&probs) {
             if db.label(*r) == ClassLabel::POS {
@@ -183,10 +194,10 @@ mod tests {
         let db = simple_db(20);
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
         let hybrid = CrossMineHybrid {
-            params: CrossMineParams { min_foil_gain: 1e9, ..Default::default() },
+            params: CrossMineParams::builder().min_foil_gain(1e9).build().unwrap(),
             ..Default::default()
         };
-        let model = hybrid.fit(&db, &rows);
+        let model = hybrid.fit(&db, &rows).unwrap();
         assert_eq!(model.clauses.num_clauses(), 0);
         // With no features the head predicts the bias; predictions are a
         // single constant class.

@@ -501,7 +501,7 @@ mod tests {
     fn without_look_one_ahead_client_is_unreachable_in_one_literal() {
         let db = fig7_like(40);
         let graph = JoinGraph::build(&db.schema);
-        let params = CrossMineParams { look_one_ahead: false, ..Default::default() };
+        let params = CrossMineParams::builder().look_one_ahead(false).build().unwrap();
         let learner = ClauseLearner::new(&db, &graph, &params, ClassLabel::POS, 2);
         let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == ClassLabel::POS).collect();
         let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
@@ -621,7 +621,7 @@ mod tests {
     fn max_clause_length_respected() {
         let db = fig7_like(40);
         let graph = JoinGraph::build(&db.schema);
-        let params = CrossMineParams { max_clause_length: 1, ..Default::default() };
+        let params = CrossMineParams::builder().max_clause_length(1).build().unwrap();
         let learner = ClauseLearner::new(&db, &graph, &params, ClassLabel::POS, 2);
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
         for c in learner.find_clauses(&rows) {

@@ -65,7 +65,7 @@ pub use idset::{IdSet, Stamp, TargetSet};
 pub use learner::{ClauseLearner, ScoredLiteral, SearchScratch};
 pub use literal::{AggOp, CmpOp, ComplexLiteral, Constraint, ConstraintKind};
 pub use metrics::ConfusionMatrix;
-pub use params::CrossMineParams;
+pub use params::{CrossMineParams, CrossMineParamsBuilder, ParamError};
 pub use propagation::{
     propagate, AnnView, Annotation, ClauseState, PathScratch, PropStats, PropagationScratch,
 };

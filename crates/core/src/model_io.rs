@@ -378,7 +378,7 @@ mod tests {
     fn roundtrip_preserves_model_and_predictions() {
         let db = db();
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-        let model = CrossMine::default().fit(&db, &rows);
+        let model = CrossMine::default().fit(&db, &rows).unwrap();
         assert!(model.num_clauses() > 0);
 
         let text = to_string(&model, &db.schema);
@@ -392,14 +392,14 @@ mod tests {
             assert_eq!(a.sup_pos, b.sup_pos);
             assert!((a.accuracy - b.accuracy).abs() < 1e-12);
         }
-        assert_eq!(model.predict(&db, &rows), reloaded.predict(&db, &rows));
+        assert_eq!(model.predict(&db, &rows).unwrap(), reloaded.predict(&db, &rows).unwrap());
     }
 
     #[test]
     fn file_roundtrip() {
         let db = db();
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-        let model = CrossMine::default().fit(&db, &rows);
+        let model = CrossMine::default().fit(&db, &rows).unwrap();
         let path = std::env::temp_dir().join(format!("crossmine-model-{}.txt", std::process::id()));
         save(&model, &db.schema, &path).unwrap();
         let reloaded = load(&path, &db.schema).unwrap();

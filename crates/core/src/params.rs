@@ -1,4 +1,9 @@
 //! Tunable parameters of the CrossMine learner.
+//!
+//! [`CrossMineParams`] is `#[non_exhaustive]`: construct it through
+//! [`CrossMineParams::builder`], which range-checks every knob and returns
+//! a typed [`ParamError`] instead of letting an out-of-range value surface
+//! later as a panic or a silent mis-training deep inside the learner.
 
 use crossmine_obs::ObsHandle;
 
@@ -6,7 +11,12 @@ use crossmine_obs::ObsHandle;
 /// paper's experiments (§7): `MIN_FOIL_GAIN = 2.5`, `MAX_CLAUSE_LENGTH = 6`,
 /// `NEG_POS_RATIO = 1`, `MAX_NUM_NEGATIVE = 600`. The paper reports that
 /// accuracy and runtime are not sensitive to these.
+///
+/// The struct is `#[non_exhaustive]`; build instances with
+/// [`CrossMineParams::builder`] (validated) or start from
+/// [`CrossMineParams::default`] and mutate fields.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct CrossMineParams {
     /// Minimum foil gain for a literal to be appended (Algorithm 2).
     pub min_foil_gain: f64,
@@ -72,6 +82,11 @@ impl Default for CrossMineParams {
 }
 
 impl CrossMineParams {
+    /// A validated builder starting from the paper's defaults.
+    pub fn builder() -> CrossMineParamsBuilder {
+        CrossMineParamsBuilder::default()
+    }
+
     /// The paper's default configuration with negative sampling enabled.
     pub fn with_sampling() -> Self {
         CrossMineParams { sampling: true, ..Default::default() }
@@ -83,6 +98,198 @@ impl CrossMineParams {
             Some(n) => n.max(1),
             None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         }
+    }
+}
+
+/// Why a parameter set was rejected by [`CrossMineParamsBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParamError {
+    /// A floating-point knob was NaN or infinite.
+    NotFinite {
+        /// The parameter name.
+        param: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A knob was outside its valid range.
+    OutOfRange {
+        /// The parameter name.
+        param: &'static str,
+        /// The rejected value, rendered.
+        value: String,
+        /// The constraint that was violated.
+        constraint: &'static str,
+    },
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::NotFinite { param, value } => {
+                write!(f, "parameter `{param}` must be finite, got {value}")
+            }
+            ParamError::OutOfRange { param, value, constraint } => {
+                write!(f, "parameter `{param}` = {value} out of range: {constraint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Builder for [`CrossMineParams`] with range validation at
+/// [`build`](CrossMineParamsBuilder::build) time.
+///
+/// ```
+/// use crossmine_core::CrossMineParams;
+///
+/// let params = CrossMineParams::builder()
+///     .min_foil_gain(3.0)
+///     .sampling(true)
+///     .num_threads(Some(2))
+///     .build()
+///     .unwrap();
+/// assert_eq!(params.resolved_threads(), 2);
+/// assert!(CrossMineParams::builder().min_foil_gain(f64::NAN).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CrossMineParamsBuilder {
+    params: CrossMineParams,
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(mut self, v: $ty) -> Self {
+            self.params.$name = v;
+            self
+        }
+    };
+}
+
+impl CrossMineParamsBuilder {
+    setter!(
+        /// Minimum foil gain for a literal to be appended. Must be finite.
+        min_foil_gain: f64
+    );
+    setter!(
+        /// Maximum number of complex literals per clause. Must be ≥ 1.
+        max_clause_length: usize
+    );
+    setter!(
+        /// Sequential-covering stop fraction. Must be finite and in `[0, 1]`.
+        min_pos_fraction: f64
+    );
+    setter!(
+        /// Safety cap on the number of clauses per class. Must be ≥ 1.
+        max_clauses: usize
+    );
+    setter!(
+        /// Enables negative-tuple sampling (§6).
+        sampling: bool
+    );
+    setter!(
+        /// Maximum negative-to-positive ratio before a clause is built.
+        /// Must be finite and > 0.
+        neg_pos_ratio: f64
+    );
+    setter!(
+        /// Hard cap on negative tuples before a clause is built. Must be ≥ 1.
+        max_num_negative: usize
+    );
+    setter!(
+        /// Fan-out constraint (§4.3); `Some(0)` is rejected.
+        max_fanout: Option<usize>
+    );
+    setter!(
+        /// Enables look-one-ahead search (§5.2).
+        look_one_ahead: bool
+    );
+    setter!(
+        /// Enables aggregation literals (§3.2).
+        aggregation_literals: bool
+    );
+    setter!(
+        /// Seed for the negative-sampling RNG.
+        seed: u64
+    );
+    setter!(
+        /// Worker threads for Find-Best-Literal; `Some(0)` is rejected,
+        /// `None` auto-detects.
+        num_threads: Option<usize>
+    );
+    setter!(
+        /// Observability handle shared by the learner's hooks.
+        obs: ObsHandle
+    );
+
+    /// Validates every knob and returns the parameter set, or the first
+    /// violation found.
+    pub fn build(self) -> Result<CrossMineParams, ParamError> {
+        let p = self.params;
+        if !p.min_foil_gain.is_finite() {
+            return Err(ParamError::NotFinite { param: "min_foil_gain", value: p.min_foil_gain });
+        }
+        if !p.min_pos_fraction.is_finite() {
+            return Err(ParamError::NotFinite {
+                param: "min_pos_fraction",
+                value: p.min_pos_fraction,
+            });
+        }
+        if !(0.0..=1.0).contains(&p.min_pos_fraction) {
+            return Err(ParamError::OutOfRange {
+                param: "min_pos_fraction",
+                value: p.min_pos_fraction.to_string(),
+                constraint: "must be within [0, 1]",
+            });
+        }
+        if !p.neg_pos_ratio.is_finite() {
+            return Err(ParamError::NotFinite { param: "neg_pos_ratio", value: p.neg_pos_ratio });
+        }
+        if p.neg_pos_ratio <= 0.0 {
+            return Err(ParamError::OutOfRange {
+                param: "neg_pos_ratio",
+                value: p.neg_pos_ratio.to_string(),
+                constraint: "must be positive",
+            });
+        }
+        if p.max_clause_length == 0 {
+            return Err(ParamError::OutOfRange {
+                param: "max_clause_length",
+                value: "0".into(),
+                constraint: "must be at least 1",
+            });
+        }
+        if p.max_clauses == 0 {
+            return Err(ParamError::OutOfRange {
+                param: "max_clauses",
+                value: "0".into(),
+                constraint: "must be at least 1",
+            });
+        }
+        if p.max_num_negative == 0 {
+            return Err(ParamError::OutOfRange {
+                param: "max_num_negative",
+                value: "0".into(),
+                constraint: "must be at least 1",
+            });
+        }
+        if p.max_fanout == Some(0) {
+            return Err(ParamError::OutOfRange {
+                param: "max_fanout",
+                value: "Some(0)".into(),
+                constraint: "must be at least 1 (or None to disable)",
+            });
+        }
+        if p.num_threads == Some(0) {
+            return Err(ParamError::OutOfRange {
+                param: "num_threads",
+                value: "Some(0)".into(),
+                constraint: "must be at least 1 (or None to auto-detect)",
+            });
+        }
+        Ok(p)
     }
 }
 
@@ -105,18 +312,77 @@ mod tests {
     }
 
     #[test]
+    fn builder_defaults_equal_default() {
+        let b = CrossMineParams::builder().build().unwrap();
+        let d = CrossMineParams::default();
+        assert_eq!(b.min_foil_gain, d.min_foil_gain);
+        assert_eq!(b.max_clause_length, d.max_clause_length);
+        assert_eq!(b.num_threads, d.num_threads);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        assert!(matches!(
+            CrossMineParams::builder().min_foil_gain(f64::NAN).build(),
+            Err(ParamError::NotFinite { param: "min_foil_gain", .. })
+        ));
+        assert!(matches!(
+            CrossMineParams::builder().min_foil_gain(f64::INFINITY).build(),
+            Err(ParamError::NotFinite { .. })
+        ));
+        assert!(matches!(
+            CrossMineParams::builder().min_pos_fraction(1.5).build(),
+            Err(ParamError::OutOfRange { param: "min_pos_fraction", .. })
+        ));
+        assert!(matches!(
+            CrossMineParams::builder().neg_pos_ratio(0.0).build(),
+            Err(ParamError::OutOfRange { param: "neg_pos_ratio", .. })
+        ));
+        assert!(matches!(
+            CrossMineParams::builder().max_clause_length(0).build(),
+            Err(ParamError::OutOfRange { param: "max_clause_length", .. })
+        ));
+        assert!(matches!(
+            CrossMineParams::builder().max_clauses(0).build(),
+            Err(ParamError::OutOfRange { param: "max_clauses", .. })
+        ));
+        assert!(matches!(
+            CrossMineParams::builder().max_num_negative(0).build(),
+            Err(ParamError::OutOfRange { param: "max_num_negative", .. })
+        ));
+        assert!(matches!(
+            CrossMineParams::builder().max_fanout(Some(0)).build(),
+            Err(ParamError::OutOfRange { param: "max_fanout", .. })
+        ));
+        assert!(matches!(
+            CrossMineParams::builder().num_threads(Some(0)).build(),
+            Err(ParamError::OutOfRange { param: "num_threads", .. })
+        ));
+        let err = CrossMineParams::builder().num_threads(Some(0)).build().unwrap_err();
+        assert!(err.to_string().contains("num_threads"), "{err}");
+    }
+
+    #[test]
+    fn builder_accepts_boundary_values() {
+        assert!(CrossMineParams::builder()
+            .min_pos_fraction(0.0)
+            .max_clause_length(1)
+            .neg_pos_ratio(f64::MIN_POSITIVE)
+            .max_fanout(None)
+            .num_threads(None)
+            .build()
+            .is_ok());
+        assert!(CrossMineParams::builder().min_pos_fraction(1.0).build().is_ok());
+    }
+
+    #[test]
     fn resolved_threads_floors_at_one() {
-        assert_eq!(
-            CrossMineParams { num_threads: Some(0), ..Default::default() }.resolved_threads(),
-            1
-        );
-        assert_eq!(
-            CrossMineParams { num_threads: Some(4), ..Default::default() }.resolved_threads(),
-            4
-        );
-        assert!(
-            CrossMineParams { num_threads: None, ..Default::default() }.resolved_threads() >= 1
-        );
+        let mut p = CrossMineParams { num_threads: Some(0), ..Default::default() };
+        assert_eq!(p.resolved_threads(), 1);
+        p.num_threads = Some(4);
+        assert_eq!(p.resolved_threads(), 4);
+        p.num_threads = None;
+        assert!(p.resolved_threads() >= 1);
     }
 
     #[test]

@@ -125,18 +125,23 @@ pub fn prune(
 
 /// Convenience: split `rows` into train/validation by `validation_fraction`
 /// (deterministic striping by row id), fit, prune, return the pruned model.
+///
+/// # Errors
+///
+/// Same validation as [`CrossMine::fit`](crate::classifier::CrossMine::fit);
+/// note the training half of the split must be non-empty.
 pub fn fit_with_pruning(
     clf: &crate::classifier::CrossMine,
     db: &Database,
     rows: &[Row],
     validation_fraction: f64,
     config: &PruneConfig,
-) -> CrossMineModel {
+) -> Result<CrossMineModel, crossmine_relational::RelationalError> {
     assert!((0.0..1.0).contains(&validation_fraction));
     let stride = (1.0 / validation_fraction.max(1e-9)).round().max(2.0) as u32;
     let (validation, train): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % stride == 0);
-    let model = clf.fit(db, &train);
-    prune(&model, db, &validation, config)
+    let model = clf.fit(db, &train)?;
+    Ok(prune(&model, db, &validation, config))
 }
 
 #[cfg(test)]
@@ -244,9 +249,10 @@ mod tests {
             &rows,
             0.25,
             &PruneConfig::default(),
-        );
+        )
+        .unwrap();
         let test: Vec<Row> = rows.iter().copied().filter(|r| r.0 % 5 == 1).collect();
-        let preds = pruned.predict(&database, &test);
+        let preds = pruned.predict(&database, &test).unwrap();
         let correct = preds.iter().zip(&test).filter(|(p, r)| **p == database.label(**r)).count();
         assert_eq!(correct, test.len(), "separable data survives pruning perfectly");
     }
@@ -256,7 +262,7 @@ mod tests {
         let database = db(60);
         let tid = database.target().unwrap();
         let rows: Vec<Row> = database.relation(tid).iter_rows().collect();
-        let model = CrossMine::default().fit(&database, &rows);
+        let model = CrossMine::default().fit(&database, &rows).unwrap();
         let config = PruneConfig { truncate_literals: false, drop_weak_clauses: false };
         let pruned = prune(&model, &database, &rows, &config);
         assert_eq!(pruned.clauses.len(), model.clauses.len());

@@ -89,7 +89,7 @@ mod tests {
         let p = CrossMineParams::default(); // ratio 1.0, max 600
         assert_eq!(negative_cap(50, &p), 50);
         assert_eq!(negative_cap(1000, &p), 600);
-        let p2 = CrossMineParams { neg_pos_ratio: 2.0, ..Default::default() };
+        let p2 = CrossMineParams::builder().neg_pos_ratio(2.0).build().unwrap();
         assert_eq!(negative_cap(100, &p2), 200);
     }
 

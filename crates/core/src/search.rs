@@ -373,7 +373,7 @@ mod tests {
         let (db, is_pos) = single_rel_db(&rows, &labels);
         let targets = TargetSet::all(&is_pos);
         let mut stamp = Stamp::new(4);
-        let params = CrossMineParams { aggregation_literals: false, ..Default::default() };
+        let params = CrossMineParams::builder().aggregation_literals(false).build().unwrap();
         let best = best_constraint_in(
             &db,
             db.target().unwrap(),
@@ -405,7 +405,7 @@ mod tests {
         let (db, is_pos) = single_rel_db(&rows, &labels);
         let targets = TargetSet::all(&is_pos);
         let mut stamp = Stamp::new(4);
-        let params = CrossMineParams { aggregation_literals: false, ..Default::default() };
+        let params = CrossMineParams::builder().aggregation_literals(false).build().unwrap();
         let best = best_constraint_in(
             &db,
             db.target().unwrap(),
@@ -437,7 +437,7 @@ mod tests {
         let (db, is_pos) = single_rel_db(&rows, &labels);
         let targets = TargetSet::all(&is_pos);
         let mut stamp = Stamp::new(10);
-        let params = CrossMineParams { aggregation_literals: false, ..Default::default() };
+        let params = CrossMineParams::builder().aggregation_literals(false).build().unwrap();
         let best = best_constraint_in(
             &db,
             db.target().unwrap(),
@@ -502,7 +502,7 @@ mod tests {
         let (db, is_pos) = single_rel_db(&rows, &labels);
         let targets = TargetSet::all(&is_pos);
         let mut stamp = Stamp::new(2);
-        let params = CrossMineParams { aggregation_literals: false, ..Default::default() };
+        let params = CrossMineParams::builder().aggregation_literals(false).build().unwrap();
         let best = best_constraint_in(
             &db,
             db.target().unwrap(),
@@ -529,7 +529,7 @@ mod tests {
             idsets: vec![IdSet::singleton(0), IdSet::singleton(0), IdSet::singleton(1)],
         };
         let mut stamp = Stamp::new(3);
-        let params = CrossMineParams { aggregation_literals: false, ..Default::default() };
+        let params = CrossMineParams::builder().aggregation_literals(false).build().unwrap();
         let best = best_constraint_in(
             &db,
             db.target().unwrap(),

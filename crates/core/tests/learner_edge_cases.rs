@@ -62,8 +62,8 @@ fn fanout_constraint_blocks_hub_propagation() {
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
     // With a tight fan-out limit, the learner cannot propagate through the
     // hub; it must find the Signal literal instead.
-    let cm = CrossMine::new(CrossMineParams { max_fanout: Some(5), ..Default::default() });
-    let model = cm.fit(&db, &rows);
+    let cm = CrossMine::new(CrossMineParams::builder().max_fanout(Some(5)).build().unwrap());
+    let model = cm.fit(&db, &rows).unwrap();
     assert!(model.num_clauses() > 0);
     let signal = db.schema.rel_id("Signal").unwrap();
     let noise = db.schema.rel_id("Noise").unwrap();
@@ -82,7 +82,7 @@ fn fanout_constraint_blocks_hub_propagation() {
         "the selective Signal literal should be used"
     );
     // Accuracy survives because Signal carries the class.
-    let preds = model.predict(&db, &rows);
+    let preds = model.predict(&db, &rows).unwrap();
     let correct = preds.iter().zip(&rows).filter(|(p, r)| **p == db.label(**r)).count();
     assert_eq!(correct, rows.len());
 }
@@ -94,9 +94,9 @@ fn unlimited_fanout_may_visit_the_hub() {
     // uninformative here — but propagation must not be skipped).
     let db = hub_db(20);
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-    let cm = CrossMine::new(CrossMineParams { max_fanout: None, ..Default::default() });
-    let model = cm.fit(&db, &rows);
-    let preds = model.predict(&db, &rows);
+    let cm = CrossMine::new(CrossMineParams::builder().max_fanout(None).build().unwrap());
+    let model = cm.fit(&db, &rows).unwrap();
+    let preds = model.predict(&db, &rows).unwrap();
     let correct = preds.iter().zip(&rows).filter(|(p, r)| **p == db.label(**r)).count();
     assert_eq!(correct, rows.len());
 }
@@ -131,8 +131,8 @@ fn fk_fk_join_learnable() {
         db.push_row_unchecked(sid, vec![Value::Key(i), Value::Cat(pos as u32)]);
     }
     let rows: Vec<Row> = db.relation(tid).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
-    let preds = model.predict(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
+    let preds = model.predict(&db, &rows).unwrap();
     let correct = preds.iter().zip(&rows).filter(|(p, r)| **p == db.label(**r)).count();
     assert_eq!(correct, rows.len(), "fk–fk reachable signal must be learned");
     // And at least one learned literal constrains S (reached via fk–fk or
@@ -165,8 +165,8 @@ fn null_foreign_keys_handled_throughout() {
         db.push_row(sid, vec![Value::Key(i), Value::Cat(pos as u32)]).unwrap();
     }
     let rows: Vec<Row> = db.relation(tid).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
-    let preds = model.predict(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
+    let preds = model.predict(&db, &rows).unwrap();
     assert_eq!(preds.len(), rows.len());
     // Tuples with links are classifiable; overall accuracy must beat chance
     // comfortably (null-linked tuples fall to clause absence / default).
@@ -187,9 +187,9 @@ fn single_class_training_yields_default_only() {
         db.push_label(ClassLabel::POS);
     }
     let rows: Vec<Row> = db.relation(tid).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     assert_eq!(model.default_label, ClassLabel::POS);
-    let preds = model.predict(&db, &rows);
+    let preds = model.predict(&db, &rows).unwrap();
     assert!(preds.iter().all(|&p| p == ClassLabel::POS));
 }
 
@@ -212,9 +212,9 @@ fn four_class_problem() {
         db.push_label(ClassLabel(class));
     }
     let rows: Vec<Row> = db.relation(tid).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     assert_eq!(model.classes.len(), 4);
-    let preds = model.predict(&db, &rows);
+    let preds = model.predict(&db, &rows).unwrap();
     let correct = preds.iter().zip(&rows).filter(|(p, r)| **p == db.label(**r)).count();
     assert_eq!(correct, rows.len());
 }

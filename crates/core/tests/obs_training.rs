@@ -26,8 +26,8 @@ fn train(params: &CrossMineParams) -> Vec<String> {
 fn enabled_handle_covers_the_algorithm_and_changes_nothing() {
     let obs = ObsHandle::enabled();
     let instrumented =
-        train(&CrossMineParams { sampling: true, obs: obs.clone(), ..Default::default() });
-    let plain = train(&CrossMineParams { sampling: true, ..Default::default() });
+        train(&CrossMineParams::builder().sampling(true).obs(obs.clone()).build().unwrap());
+    let plain = train(&CrossMineParams::builder().sampling(true).build().unwrap());
     assert_eq!(instrumented, plain, "observability must not alter learning");
     assert!(!instrumented.is_empty(), "planted data must yield clauses");
 
@@ -73,7 +73,7 @@ fn parallel_training_records_the_same_structure() {
     // Worker threads must feed the same registry without losing counts.
     let obs = ObsHandle::enabled();
     let parallel =
-        train(&CrossMineParams { num_threads: Some(4), obs: obs.clone(), ..Default::default() });
+        train(&CrossMineParams::builder().num_threads(Some(4)).obs(obs.clone()).build().unwrap());
     let serial = train(&CrossMineParams::default());
     assert_eq!(parallel, serial, "threading plus obs must stay deterministic");
     let registry = obs.registry().unwrap();

@@ -67,7 +67,7 @@ fn fig7_clause_shape_is_the_papers() {
     // Client.birthdate < ...]" — one complex literal with a 2-edge path.
     let db = fig7_loan_client(40);
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     let client = db.schema.rel_id("Client").unwrap();
     let pos_clause =
         model.clauses.iter().find(|c| c.label == ClassLabel::POS).expect("positive clause learned");
@@ -97,18 +97,18 @@ fn fig7_unsolvable_without_look_one_ahead_at_length_one() {
     // Single-literal clauses without look-one-ahead: Client unreachable,
     // so no clause can clear the gain bar.
     let params =
-        CrossMineParams { look_one_ahead: false, max_clause_length: 1, ..Default::default() };
-    let model = CrossMine::new(params).fit(&db, &rows);
+        CrossMineParams::builder().look_one_ahead(false).max_clause_length(1).build().unwrap();
+    let model = CrossMine::new(params).fit(&db, &rows).unwrap();
     assert_eq!(
         model.num_clauses(),
         0,
         "without look-one-ahead nothing informative is one literal away"
     );
     // With it, one complex literal suffices (the paper's point).
-    let params = CrossMineParams { max_clause_length: 1, ..Default::default() };
-    let model = CrossMine::new(params).fit(&db, &rows);
+    let params = CrossMineParams::builder().max_clause_length(1).build().unwrap();
+    let model = CrossMine::new(params).fit(&db, &rows).unwrap();
     assert!(model.num_clauses() > 0);
-    let preds = model.predict(&db, &rows);
+    let preds = model.predict(&db, &rows).unwrap();
     let correct = preds.iter().zip(&rows).filter(|(p, r)| **p == db.label(**r)).count();
     assert_eq!(correct, rows.len());
 }

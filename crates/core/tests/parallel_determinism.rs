@@ -36,12 +36,16 @@ fn model_fingerprint(db: &Database, params: &CrossMineParams) -> String {
 fn serial_and_parallel_learn_identical_clauses() {
     for seed in [3u64, 11, 42] {
         let db = synth_db(seed);
-        let serial =
-            model_fingerprint(&db, &CrossMineParams { num_threads: Some(1), ..Default::default() });
-        let par4 =
-            model_fingerprint(&db, &CrossMineParams { num_threads: Some(4), ..Default::default() });
+        let serial = model_fingerprint(
+            &db,
+            &CrossMineParams::builder().num_threads(Some(1)).build().unwrap(),
+        );
+        let par4 = model_fingerprint(
+            &db,
+            &CrossMineParams::builder().num_threads(Some(4)).build().unwrap(),
+        );
         let auto =
-            model_fingerprint(&db, &CrossMineParams { num_threads: None, ..Default::default() });
+            model_fingerprint(&db, &CrossMineParams::builder().num_threads(None).build().unwrap());
         assert_eq!(serial, par4, "seed {seed}: 4 workers diverged from serial");
         assert_eq!(serial, auto, "seed {seed}: auto workers diverged from serial");
         assert_ne!(serial, "[]", "seed {seed}: oracle is vacuous without clauses");
@@ -55,11 +59,11 @@ fn sampling_path_is_thread_count_invariant() {
     let db = synth_db(7);
     let serial = model_fingerprint(
         &db,
-        &CrossMineParams { num_threads: Some(1), ..CrossMineParams::with_sampling() },
+        &CrossMineParams::builder().sampling(true).num_threads(Some(1)).build().unwrap(),
     );
     let par = model_fingerprint(
         &db,
-        &CrossMineParams { num_threads: Some(4), ..CrossMineParams::with_sampling() },
+        &CrossMineParams::builder().sampling(true).num_threads(Some(4)).build().unwrap(),
     );
     assert_eq!(serial, par);
 }
@@ -74,7 +78,7 @@ fn single_literal_search_is_thread_count_invariant() {
 
     let mut results = Vec::new();
     for threads in [1usize, 2, 4, 64] {
-        let params = CrossMineParams { num_threads: Some(threads), ..Default::default() };
+        let params = CrossMineParams::builder().num_threads(Some(threads)).build().unwrap();
         let learner = ClauseLearner::new(&db, &graph, &params, ClassLabel::POS, 2);
         let state = ClauseState::new(&db, &is_pos, TargetSet::all(&is_pos));
         let mut scratch = SearchScratch::for_params(&db, &params);

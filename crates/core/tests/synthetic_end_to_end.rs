@@ -79,9 +79,9 @@ fn train_on_subset_predict_on_rest() {
     let db = generate(&params);
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
     let (train, test): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 3 != 0);
-    let model = CrossMine::default().fit(&db, &train);
+    let model = CrossMine::default().fit(&db, &train).unwrap();
     assert!(model.num_clauses() > 0, "planted data must yield clauses");
-    let preds = model.predict(&db, &test);
+    let preds = model.predict(&db, &test).unwrap();
     assert_eq!(preds.len(), test.len());
     let acc = crossmine_core::eval::accuracy(&db, &test, &preds);
     assert!(acc > 0.6, "holdout accuracy {acc:.3}");
@@ -98,7 +98,7 @@ fn model_clauses_have_consistent_metadata() {
     };
     let db = generate(&params);
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     for clause in &model.clauses {
         assert!(!clause.literals.is_empty());
         assert!(clause.len() <= CrossMineParams::default().max_clause_length);

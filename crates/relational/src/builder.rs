@@ -130,10 +130,10 @@ impl Database {
         label: &str,
     ) -> Result<u32> {
         let aid = self.schema.relation(rel).attr_id(attr_name).ok_or_else(|| {
-            crate::error::RelationalError::UnknownAttribute {
+            crate::error::RelationalError::from(crate::error::SchemaError::UnknownAttribute {
                 relation: self.schema.relation(rel).name.clone(),
                 attribute: attr_name.to_string(),
-            }
+            })
         })?;
         Ok(self.schema.relation_mut(rel).attr_mut(aid).intern(label))
     }
@@ -167,7 +167,10 @@ mod tests {
         let mut b = DatabaseBuilder::new();
         b.relation("T").primary_key("id").numerical("id");
         let err = b.build().unwrap_err();
-        assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
+        assert!(matches!(
+            err,
+            RelationalError::Schema(crate::error::SchemaError::DuplicateAttribute { .. })
+        ));
     }
 
     #[test]
@@ -175,7 +178,10 @@ mod tests {
         let mut b = DatabaseBuilder::new();
         b.relation("T").primary_key("id").foreign_key("x_id", "Nope").target();
         let err = b.build().unwrap_err();
-        assert!(matches!(err, RelationalError::BadForeignKey { .. }));
+        assert!(matches!(
+            err,
+            RelationalError::Schema(crate::error::SchemaError::BadForeignKey { .. })
+        ));
     }
 
     #[test]
@@ -192,6 +198,9 @@ mod tests {
         b.relation("T").primary_key("id").target();
         let mut db = b.build().unwrap();
         let t = db.schema.rel_id("T").unwrap();
-        assert!(matches!(db.intern(t, "nope", "x"), Err(RelationalError::UnknownAttribute { .. })));
+        assert!(matches!(
+            db.intern(t, "nope", "x"),
+            Err(RelationalError::Schema(crate::error::SchemaError::UnknownAttribute { .. }))
+        ));
     }
 }

@@ -9,25 +9,60 @@
 //!
 //! The format is deliberately simple (no quoting): cells containing commas or
 //! newlines are rejected at save time.
+//!
+//! Loading is **fallible by design**: every malformed input — truncated
+//! rows, unparsable numbers, duplicate primary keys, and (under
+//! [`LoadOptions::strict`]) foreign keys that match no primary key — surfaces
+//! as a typed [`DataError`] carrying the file and 1-based line, never a
+//! panic. This is the admission boundary for external data (the CTU-style
+//! messy relational CSV exports the ROADMAP targets).
 
+use std::collections::HashSet;
 use std::fs;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use crate::database::Database;
-use crate::error::{RelationalError, Result};
+use crate::error::{DataError, RelationalError, Result};
 use crate::schema::{AttrId, Attribute, DatabaseSchema, RelationSchema};
 use crate::value::{AttrType, ClassLabel, Value};
 
 const LABEL_COLUMN: &str = "__label";
 
-fn csv_err(e: impl std::fmt::Display) -> RelationalError {
-    RelationalError::Csv(e.to_string())
+/// Options controlling how strictly [`load_dir_with`] validates the data.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Reject a second occurrence of a primary-key value
+    /// ([`DataError::DuplicateKey`]). Default `true`.
+    pub check_duplicate_keys: bool,
+    /// Reject foreign-key values that match no primary key in the
+    /// referenced relation ([`DataError::DanglingForeignKey`]). Default
+    /// `false`: real exports routinely contain dangling references, so this
+    /// is opt-in.
+    pub check_foreign_keys: bool,
 }
 
-fn check_cell(cell: &str) -> Result<()> {
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions { check_duplicate_keys: true, check_foreign_keys: false }
+    }
+}
+
+impl LoadOptions {
+    /// Every check on: duplicate primary keys and dangling foreign keys
+    /// both rejected.
+    pub fn strict() -> Self {
+        LoadOptions { check_duplicate_keys: true, check_foreign_keys: true }
+    }
+}
+
+fn csv_err(file: &str, line: Option<usize>, reason: impl std::fmt::Display) -> RelationalError {
+    DataError::Csv { file: file.to_string(), line, reason: reason.to_string() }.into()
+}
+
+fn check_cell(file: &str, cell: &str) -> Result<()> {
     if cell.contains(',') || cell.contains('\n') {
-        return Err(csv_err(format!("cell contains separator: {cell:?}")));
+        return Err(csv_err(file, None, format!("cell contains separator: {cell:?}")));
     }
     Ok(())
 }
@@ -35,20 +70,24 @@ fn check_cell(cell: &str) -> Result<()> {
 /// Saves `db` under directory `dir` (created if missing).
 pub fn save_dir(db: &Database, dir: impl AsRef<Path>) -> Result<()> {
     let dir = dir.as_ref();
-    fs::create_dir_all(dir).map_err(csv_err)?;
+    fs::create_dir_all(dir).map_err(|e| csv_err("_meta.csv", None, e))?;
     let target = db.schema.target.map(|t| db.schema.relation(t).name.clone());
     {
-        let mut meta = BufWriter::new(fs::File::create(dir.join("_meta.csv")).map_err(csv_err)?);
-        writeln!(meta, "target,{}", target.clone().unwrap_or_default()).map_err(csv_err)?;
+        let mut meta = BufWriter::new(
+            fs::File::create(dir.join("_meta.csv")).map_err(|e| csv_err("_meta.csv", None, e))?,
+        );
+        writeln!(meta, "target,{}", target.clone().unwrap_or_default())
+            .map_err(|e| csv_err("_meta.csv", None, e))?;
     }
     for (rid, rschema) in db.schema.iter_relations() {
-        check_cell(&rschema.name)?;
-        let path = dir.join(format!("{}.csv", rschema.name));
-        let mut out = BufWriter::new(fs::File::create(path).map_err(csv_err)?);
+        let fname = format!("{}.csv", rschema.name);
+        check_cell(&fname, &rschema.name)?;
+        let path = dir.join(&fname);
+        let mut out = BufWriter::new(fs::File::create(path).map_err(|e| csv_err(&fname, None, e))?);
         let is_target = db.schema.target == Some(rid);
         let mut header: Vec<String> = Vec::new();
         for attr in &rschema.attributes {
-            check_cell(&attr.name)?;
+            check_cell(&fname, &attr.name)?;
             let ty = match &attr.ty {
                 AttrType::PrimaryKey => "pk".to_string(),
                 AttrType::ForeignKey { target } => format!("fk={target}"),
@@ -60,7 +99,7 @@ pub fn save_dir(db: &Database, dir: impl AsRef<Path>) -> Result<()> {
         if is_target {
             header.push(format!("{LABEL_COLUMN}:num"));
         }
-        writeln!(out, "{}", header.join(",")).map_err(csv_err)?;
+        writeln!(out, "{}", header.join(",")).map_err(|e| csv_err(&fname, None, e))?;
         let rel = db.relation(rid);
         for row in rel.iter_rows() {
             let mut cells: Vec<String> = Vec::with_capacity(rschema.arity() + 1);
@@ -71,12 +110,16 @@ pub fn save_dir(db: &Database, dir: impl AsRef<Path>) -> Result<()> {
                     Value::Num(x) => format!("{x:?}"), // round-trippable f64
                     Value::Cat(c) => {
                         let label = attr.label_of(c).ok_or_else(|| {
-                            csv_err(format!(
-                                "categorical code {c} out of dictionary in {}.{}",
-                                rschema.name, attr.name
-                            ))
+                            csv_err(
+                                &fname,
+                                None,
+                                format!(
+                                    "categorical code {c} out of dictionary in {}.{}",
+                                    rschema.name, attr.name
+                                ),
+                            )
                         })?;
-                        check_cell(label)?;
+                        check_cell(&fname, label)?;
                         label.to_string()
                     }
                 };
@@ -85,17 +128,27 @@ pub fn save_dir(db: &Database, dir: impl AsRef<Path>) -> Result<()> {
             if is_target {
                 cells.push(db.label(row).0.to_string());
             }
-            writeln!(out, "{}", cells.join(",")).map_err(csv_err)?;
+            writeln!(out, "{}", cells.join(",")).map_err(|e| csv_err(&fname, None, e))?;
         }
-        out.flush().map_err(csv_err)?;
+        out.flush().map_err(|e| csv_err(&fname, None, e))?;
     }
     Ok(())
 }
 
-/// Loads a database previously written by [`save_dir`].
+/// Loads a database previously written by [`save_dir`] with default
+/// [`LoadOptions`] (duplicate primary keys rejected, dangling foreign keys
+/// tolerated).
 pub fn load_dir(dir: impl AsRef<Path>) -> Result<Database> {
+    load_dir_with(dir, &LoadOptions::default())
+}
+
+/// Loads a database previously written by [`save_dir`], validating as much
+/// as `options` asks for. Every malformed input yields a typed error; this
+/// function never panics on bad data.
+pub fn load_dir_with(dir: impl AsRef<Path>, options: &LoadOptions) -> Result<Database> {
     let dir = dir.as_ref();
-    let meta = fs::read_to_string(dir.join("_meta.csv")).map_err(csv_err)?;
+    let meta =
+        fs::read_to_string(dir.join("_meta.csv")).map_err(|e| csv_err("_meta.csv", None, e))?;
     let target_name = meta
         .lines()
         .find_map(|l| l.strip_prefix("target,"))
@@ -105,8 +158,8 @@ pub fn load_dir(dir: impl AsRef<Path>) -> Result<Database> {
 
     // Pass 1: build the schema from every relation file's header.
     let mut names: Vec<String> = Vec::new();
-    for entry in fs::read_dir(dir).map_err(csv_err)? {
-        let entry = entry.map_err(csv_err)?;
+    for entry in fs::read_dir(dir).map_err(|e| csv_err("_meta.csv", None, e))? {
+        let entry = entry.map_err(|e| csv_err("_meta.csv", None, e))?;
         let fname = entry.file_name().to_string_lossy().to_string();
         if let Some(stem) = fname.strip_suffix(".csv") {
             if !stem.starts_with('_') {
@@ -118,18 +171,19 @@ pub fn load_dir(dir: impl AsRef<Path>) -> Result<Database> {
     let mut schema = DatabaseSchema::new();
     let mut label_cols: Vec<Option<usize>> = Vec::new();
     for name in &names {
-        let file = fs::File::open(dir.join(format!("{name}.csv"))).map_err(csv_err)?;
+        let fname = format!("{name}.csv");
+        let file = fs::File::open(dir.join(&fname)).map_err(|e| csv_err(&fname, None, e))?;
         let mut lines = BufReader::new(file).lines();
         let header = lines
             .next()
-            .ok_or_else(|| csv_err(format!("{name}.csv is empty")))?
-            .map_err(csv_err)?;
+            .ok_or_else(|| csv_err(&fname, Some(1), "file is empty"))?
+            .map_err(|e| csv_err(&fname, Some(1), e))?;
         let mut rel = RelationSchema::new(name.clone());
         let mut label_col = None;
         for (i, col) in header.split(',').enumerate() {
             let (attr_name, ty) = col
                 .split_once(':')
-                .ok_or_else(|| csv_err(format!("bad header column {col:?} in {name}.csv")))?;
+                .ok_or_else(|| csv_err(&fname, Some(1), format!("bad header column {col:?}")))?;
             if attr_name == LABEL_COLUMN {
                 label_col = Some(i);
                 continue;
@@ -140,7 +194,9 @@ pub fn load_dir(dir: impl AsRef<Path>) -> Result<Database> {
                 "num" => AttrType::Numerical,
                 other => match other.strip_prefix("fk=") {
                     Some(t) => AttrType::ForeignKey { target: t.to_string() },
-                    None => return Err(csv_err(format!("unknown type {ty:?} in {name}.csv"))),
+                    None => {
+                        return Err(csv_err(&fname, Some(1), format!("unknown type {ty:?}")));
+                    }
                 },
             };
             rel.add_attribute(Attribute::new(attr_name, ty))?;
@@ -155,12 +211,16 @@ pub fn load_dir(dir: impl AsRef<Path>) -> Result<Database> {
     // Pass 2: load tuples.
     let mut db = Database::new(schema)?;
     for (ri, name) in names.iter().enumerate() {
+        let fname = format!("{name}.csv");
         let rid = db.schema.rel_id(name).expect("registered above");
         let is_target = db.schema.target == Some(rid);
         let label_col = label_cols[ri];
-        let file = fs::File::open(dir.join(format!("{name}.csv"))).map_err(csv_err)?;
+        let pk = db.schema.relation(rid).primary_key;
+        let mut seen_keys: HashSet<u64> = HashSet::new();
+        let file = fs::File::open(dir.join(&fname)).map_err(|e| csv_err(&fname, None, e))?;
         for (lineno, line) in BufReader::new(file).lines().enumerate().skip(1) {
-            let line = line.map_err(csv_err)?;
+            let lineno = lineno + 1; // 1-based for error reporting
+            let line = line.map_err(|e| csv_err(&fname, Some(lineno), e))?;
             if line.is_empty() {
                 continue;
             }
@@ -168,20 +228,20 @@ pub fn load_dir(dir: impl AsRef<Path>) -> Result<Database> {
             let arity = db.schema.relation(rid).arity();
             let expected = arity + usize::from(label_col.is_some());
             if cells.len() != expected {
-                return Err(csv_err(format!(
-                    "{name}.csv line {}: expected {expected} cells, got {}",
-                    lineno + 1,
-                    cells.len()
-                )));
+                return Err(csv_err(
+                    &fname,
+                    Some(lineno),
+                    format!("expected {expected} cells, got {}", cells.len()),
+                ));
             }
             let mut tuple: Vec<Value> = Vec::with_capacity(arity);
             let mut attr_idx = 0;
             let mut label: Option<ClassLabel> = None;
             for (i, cell) in cells.iter().enumerate() {
                 if Some(i) == label_col {
-                    let c: u32 = cell
-                        .parse()
-                        .map_err(|_| csv_err(format!("bad label {cell:?} in {name}.csv")))?;
+                    let c: u32 = cell.parse().map_err(|_| {
+                        csv_err(&fname, Some(lineno), format!("bad label {cell:?}"))
+                    })?;
                     label = Some(ClassLabel(c));
                     continue;
                 }
@@ -193,14 +253,14 @@ pub fn load_dir(dir: impl AsRef<Path>) -> Result<Database> {
                 }
                 let ty = db.schema.relation(rid).attr(aid).ty.clone();
                 let v = match ty {
-                    AttrType::PrimaryKey | AttrType::ForeignKey { .. } => Value::Key(
-                        cell.parse::<u64>()
-                            .map_err(|_| csv_err(format!("bad key {cell:?} in {name}.csv")))?,
-                    ),
-                    AttrType::Numerical => Value::Num(
-                        cell.parse::<f64>()
-                            .map_err(|_| csv_err(format!("bad number {cell:?} in {name}.csv")))?,
-                    ),
+                    AttrType::PrimaryKey | AttrType::ForeignKey { .. } => {
+                        Value::Key(cell.parse::<u64>().map_err(|_| {
+                            csv_err(&fname, Some(lineno), format!("bad key {cell:?}"))
+                        })?)
+                    }
+                    AttrType::Numerical => Value::Num(cell.parse::<f64>().map_err(|_| {
+                        csv_err(&fname, Some(lineno), format!("bad number {cell:?}"))
+                    })?),
                     AttrType::Categorical => {
                         let code = db.schema.relation_mut(rid).attr_mut(aid).intern(cell);
                         Value::Cat(code)
@@ -208,15 +268,58 @@ pub fn load_dir(dir: impl AsRef<Path>) -> Result<Database> {
                 };
                 tuple.push(v);
             }
+            if options.check_duplicate_keys {
+                if let Some(pk) = pk {
+                    if let Some(Value::Key(k)) = tuple.get(pk.0) {
+                        if !seen_keys.insert(*k) {
+                            return Err(DataError::DuplicateKey {
+                                relation: name.clone(),
+                                key: *k,
+                            }
+                            .into());
+                        }
+                    }
+                }
+            }
             db.push_row_unchecked(rid, tuple);
             if is_target {
                 db.push_label(label.ok_or_else(|| {
-                    csv_err(format!("missing label column in target relation {name}"))
+                    csv_err(&fname, Some(lineno), "missing label column in target relation")
                 })?);
             }
         }
     }
+    if options.check_foreign_keys {
+        check_foreign_keys(&db)?;
+    }
     Ok(db)
+}
+
+/// Referential-integrity pass for strict loads: the first non-null foreign
+/// key matching no primary key in the referenced relation is reported.
+fn check_foreign_keys(db: &Database) -> Result<()> {
+    for (rid, rschema) in db.schema.iter_relations() {
+        for (aid, attr) in rschema.iter_attrs() {
+            if let AttrType::ForeignKey { target } = &attr.ty {
+                let Some(tid) = db.schema.rel_id(target) else { continue };
+                let Some(pk) = db.schema.relation(tid).primary_key else { continue };
+                let pk_index = db.key_index(tid, pk);
+                for v in db.relation(rid).column(aid) {
+                    if let Value::Key(k) = v {
+                        if pk_index.rows(*k).is_empty() {
+                            return Err(DataError::DanglingForeignKey {
+                                relation: rschema.name.clone(),
+                                attribute: attr.name.clone(),
+                                key: *k,
+                            }
+                            .into());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -260,7 +363,8 @@ mod tests {
         let db = sample_db();
         let dir = tmpdir("roundtrip");
         save_dir(&db, &dir).unwrap();
-        let db2 = load_dir(&dir).unwrap();
+        // Strict mode also passes: the sample data is referentially intact.
+        let db2 = load_dir_with(&dir, &LoadOptions::strict()).unwrap();
 
         assert_eq!(db2.schema.num_relations(), 2);
         let tid = db2.schema.rel_id("T").unwrap();
@@ -303,7 +407,7 @@ mod tests {
         db.push_row(sid, vec![Value::Key(12), Value::Cat(code)]).unwrap();
         let dir = tmpdir("comma");
         let err = save_dir(&db, &dir).unwrap_err();
-        assert!(matches!(err, RelationalError::Csv(_)));
+        assert!(matches!(err, RelationalError::Data(DataError::Csv { .. })));
         let _ = fs::remove_dir_all(&dir);
     }
 

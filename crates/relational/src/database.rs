@@ -3,7 +3,7 @@
 
 use std::sync::OnceLock;
 
-use crate::error::{RelationalError, Result};
+use crate::error::{DataError, Result};
 use crate::index::{KeyIndex, SortedIndex};
 use crate::relation::{Relation, Row};
 use crate::schema::{AttrId, DatabaseSchema, RelId};
@@ -90,10 +90,9 @@ impl Database {
         if let Some(pk) = schema.primary_key {
             if let Some(Value::Key(k)) = tuple.get(pk.0) {
                 if !self.key_index(rel, pk).rows(*k).is_empty() {
-                    return Err(RelationalError::DuplicateKey {
-                        relation: schema.name.clone(),
-                        key: *k,
-                    });
+                    return Err(
+                        DataError::DuplicateKey { relation: schema.name.clone(), key: *k }.into()
+                    );
                 }
             }
         }
@@ -128,11 +127,11 @@ impl Database {
     pub fn set_labels(&mut self, labels: Vec<ClassLabel>) -> Result<()> {
         let target = self.target()?;
         if labels.len() != self.relations[target.0].len() {
-            return Err(RelationalError::ArityMismatch {
-                relation: self.schema.relation(target).name.clone(),
-                expected: self.relations[target.0].len(),
-                got: labels.len(),
-            });
+            return Err(DataError::MissingLabels {
+                rows: self.relations[target.0].len(),
+                labels: labels.len(),
+            }
+            .into());
         }
         self.labels = labels;
         Ok(())
@@ -232,6 +231,7 @@ impl Database {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::RelationalError;
     use crate::schema::{Attribute, RelationSchema};
     use crate::value::AttrType;
 
@@ -319,14 +319,14 @@ mod tests {
                 ],
             )
             .unwrap_err();
-        assert!(matches!(err, RelationalError::DuplicateKey { key: 1, .. }));
+        assert!(matches!(err, RelationalError::Data(DataError::DuplicateKey { key: 1, .. })));
     }
 
     #[test]
     fn label_length_mismatch_rejected() {
         let mut db = fig2_database();
         let err = db.set_labels(vec![ClassLabel::POS]).unwrap_err();
-        assert!(matches!(err, RelationalError::ArityMismatch { .. }));
+        assert!(matches!(err, RelationalError::Data(DataError::MissingLabels { .. })));
     }
 
     #[test]

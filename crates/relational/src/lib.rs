@@ -52,8 +52,9 @@ pub mod stats;
 pub mod value;
 
 pub use builder::DatabaseBuilder;
+pub use csv::LoadOptions;
 pub use database::Database;
-pub use error::{RelationalError, Result};
+pub use error::{DataError, RelationalError, Result, SchemaError};
 pub use index::{KeyIndex, SortedIndex};
 pub use joins::{JoinEdge, JoinGraph, JoinKind};
 pub use physical::BindingTable;

@@ -4,7 +4,7 @@
 //! (`Vec<Value>` per attribute) so literal evaluation scans one contiguous
 //! column at a time, as CrossMine's per-attribute search (§5.1) expects.
 
-use crate::error::{RelationalError, Result};
+use crate::error::{DataError, Result};
 use crate::schema::{AttrId, RelationSchema};
 use crate::value::{AttrType, Value};
 
@@ -39,11 +39,12 @@ impl Relation {
     /// agreement against `schema`.
     pub fn push_checked(&mut self, schema: &RelationSchema, tuple: Vec<Value>) -> Result<Row> {
         if tuple.len() != self.columns.len() {
-            return Err(RelationalError::ArityMismatch {
+            return Err(DataError::ArityMismatch {
                 relation: schema.name.clone(),
                 expected: self.columns.len(),
                 got: tuple.len(),
-            });
+            }
+            .into());
         }
         for (i, v) in tuple.iter().enumerate() {
             let attr = schema.attr(AttrId(i));
@@ -55,7 +56,7 @@ impl Relation {
                     | (AttrType::Numerical, Value::Num(_))
             );
             if !ok {
-                return Err(RelationalError::TypeMismatch {
+                return Err(DataError::TypeMismatch {
                     relation: schema.name.clone(),
                     attribute: attr.name.clone(),
                     expected: match attr.ty {
@@ -63,7 +64,8 @@ impl Relation {
                         AttrType::Categorical => "categorical",
                         AttrType::Numerical => "numerical",
                     },
-                });
+                }
+                .into());
             }
         }
         Ok(self.push_unchecked(tuple))
@@ -143,7 +145,14 @@ mod tests {
         let s = schema();
         let mut rel = Relation::new(&s);
         let err = rel.push_checked(&s, vec![Value::Key(1)]).unwrap_err();
-        assert!(matches!(err, RelationalError::ArityMismatch { expected: 3, got: 1, .. }));
+        assert!(matches!(
+            err,
+            crate::error::RelationalError::Data(DataError::ArityMismatch {
+                expected: 3,
+                got: 1,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -153,7 +162,7 @@ mod tests {
         let err = rel
             .push_checked(&s, vec![Value::Key(1), Value::Num(0.0), Value::Num(0.0)])
             .unwrap_err();
-        assert!(matches!(err, RelationalError::TypeMismatch { .. }));
+        assert!(matches!(err, crate::error::RelationalError::Data(DataError::TypeMismatch { .. })));
     }
 
     #[test]

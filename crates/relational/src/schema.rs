@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use crate::error::{RelationalError, Result};
+use crate::error::{Result, SchemaError};
 use crate::value::AttrType;
 
 /// Dense index of a relation within a database schema.
@@ -89,18 +89,20 @@ impl RelationSchema {
     /// Appends an attribute; errors on duplicate names or a second primary key.
     pub fn add_attribute(&mut self, attr: Attribute) -> Result<AttrId> {
         if self.attr_lookup.contains_key(&attr.name) {
-            return Err(RelationalError::DuplicateAttribute {
+            return Err(SchemaError::DuplicateAttribute {
                 relation: self.name.clone(),
                 attribute: attr.name,
-            });
+            }
+            .into());
         }
         let id = AttrId(self.attributes.len());
         if attr.ty == AttrType::PrimaryKey {
             if self.primary_key.is_some() {
-                return Err(RelationalError::DuplicateAttribute {
+                return Err(SchemaError::DuplicateAttribute {
                     relation: self.name.clone(),
                     attribute: format!("{} (second primary key)", attr.name),
-                });
+                }
+                .into());
             }
             self.primary_key = Some(id);
         }
@@ -167,7 +169,7 @@ impl DatabaseSchema {
     /// Registers a relation schema; errors on duplicate names.
     pub fn add_relation(&mut self, rel: RelationSchema) -> Result<RelId> {
         if self.rel_lookup.contains_key(&rel.name) {
-            return Err(RelationalError::DuplicateRelation(rel.name));
+            return Err(SchemaError::DuplicateRelation(rel.name).into());
         }
         let id = RelId(self.relations.len());
         self.rel_lookup.insert(rel.name.clone(), id);
@@ -182,7 +184,7 @@ impl DatabaseSchema {
 
     /// The target relation id, or an error when unset.
     pub fn target(&self) -> Result<RelId> {
-        self.target.ok_or(RelationalError::NoTarget)
+        self.target.ok_or(SchemaError::NoTarget.into())
     }
 
     /// Finds a relation by name.
@@ -216,18 +218,21 @@ impl DatabaseSchema {
         for rel in &self.relations {
             for attr in &rel.attributes {
                 if let AttrType::ForeignKey { target } = &attr.ty {
-                    let tid =
-                        self.rel_id(target).ok_or_else(|| RelationalError::BadForeignKey {
+                    let tid = self
+                        .rel_id(target)
+                        .ok_or_else(|| SchemaError::BadForeignKey {
                             relation: rel.name.clone(),
                             attribute: attr.name.clone(),
                             reason: format!("referenced relation `{target}` does not exist"),
-                        })?;
+                        })
+                        .map_err(crate::error::RelationalError::from)?;
                     if self.relation(tid).primary_key.is_none() {
-                        return Err(RelationalError::BadForeignKey {
+                        return Err(SchemaError::BadForeignKey {
                             relation: rel.name.clone(),
                             attribute: attr.name.clone(),
                             reason: format!("referenced relation `{target}` has no primary key"),
-                        });
+                        }
+                        .into());
                     }
                 }
             }
@@ -239,6 +244,7 @@ impl DatabaseSchema {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::RelationalError;
 
     fn loan_schema() -> RelationSchema {
         let mut r = RelationSchema::new("Loan");
@@ -281,14 +287,14 @@ mod tests {
     fn duplicate_attribute_rejected() {
         let mut r = loan_schema();
         let err = r.add_attribute(Attribute::new("amount", AttrType::Numerical)).unwrap_err();
-        assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
+        assert!(matches!(err, RelationalError::Schema(SchemaError::DuplicateAttribute { .. })));
     }
 
     #[test]
     fn second_primary_key_rejected() {
         let mut r = loan_schema();
         let err = r.add_attribute(Attribute::new("pk2", AttrType::PrimaryKey)).unwrap_err();
-        assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
+        assert!(matches!(err, RelationalError::Schema(SchemaError::DuplicateAttribute { .. })));
     }
 
     #[test]
@@ -301,7 +307,7 @@ mod tests {
 
         // Loan.account_id references a missing relation.
         let err = db.validate().unwrap_err();
-        assert!(matches!(err, RelationalError::BadForeignKey { .. }));
+        assert!(matches!(err, RelationalError::Schema(SchemaError::BadForeignKey { .. })));
 
         let mut acc = RelationSchema::new("Account");
         acc.add_attribute(Attribute::new("account_id", AttrType::PrimaryKey)).unwrap();
@@ -316,7 +322,7 @@ mod tests {
         let acc = RelationSchema::new("Account"); // no primary key
         db.add_relation(acc).unwrap();
         let err = db.validate().unwrap_err();
-        assert!(matches!(err, RelationalError::BadForeignKey { .. }));
+        assert!(matches!(err, RelationalError::Schema(SchemaError::BadForeignKey { .. })));
     }
 
     #[test]
@@ -324,6 +330,6 @@ mod tests {
         let mut db = DatabaseSchema::new();
         db.add_relation(RelationSchema::new("X")).unwrap();
         let err = db.add_relation(RelationSchema::new("X")).unwrap_err();
-        assert_eq!(err, RelationalError::DuplicateRelation("X".into()));
+        assert_eq!(err, SchemaError::DuplicateRelation("X".into()).into());
     }
 }

@@ -4,8 +4,8 @@
 
 use crossmine_relational::csv::{load_dir, save_dir};
 use crossmine_relational::{
-    AttrType, Attribute, ClassLabel, Database, DatabaseSchema, RelationSchema, RelationalError,
-    Value,
+    AttrType, Attribute, ClassLabel, DataError, Database, DatabaseSchema, RelationSchema,
+    RelationalError, SchemaError, Value,
 };
 
 fn tmpdir(tag: &str) -> std::path::PathBuf {
@@ -25,7 +25,7 @@ fn bad_header_column_rejected() {
     write(&dir, "_meta.csv", "target,T\n");
     write(&dir, "T.csv", "id-without-type\n1\n");
     let err = load_dir(&dir).unwrap_err();
-    assert!(matches!(err, RelationalError::Csv(_)), "{err}");
+    assert!(matches!(err, RelationalError::Data(DataError::Csv { .. })), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -86,7 +86,7 @@ fn dangling_fk_reference_in_header_rejected() {
     write(&dir, "_meta.csv", "target,\n");
     write(&dir, "T.csv", "id:pk,other:fk=Nope\n1,1\n");
     let err = load_dir(&dir).unwrap_err();
-    assert!(matches!(err, RelationalError::BadForeignKey { .. }), "{err}");
+    assert!(matches!(err, RelationalError::Schema(SchemaError::BadForeignKey { .. })), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -113,7 +113,7 @@ fn save_rejects_relation_name_with_comma() {
     db.push_label(ClassLabel::POS);
     let dir = tmpdir("relname");
     let err = save_dir(&db, &dir).unwrap_err();
-    assert!(matches!(err, RelationalError::Csv(_)));
+    assert!(matches!(err, RelationalError::Data(DataError::Csv { .. })));
     std::fs::remove_dir_all(&dir).ok();
 }
 

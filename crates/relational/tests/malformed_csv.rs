@@ -1,0 +1,152 @@
+//! The malformed-CSV corpus: a fixed set of broken databases that external
+//! exports actually produce, each of which must surface as a *typed* error
+//! — the right [`DataError`] variant, carrying the offending file and
+//! (where known) 1-based line — and never as a panic or a silently wrong
+//! database.
+
+use crossmine_relational::csv::{load_dir, load_dir_with, save_dir, LoadOptions};
+use crossmine_relational::{DataError, Database, RelationalError};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("crossmine-malformed-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) {
+    std::fs::write(dir.join(name), content).unwrap();
+}
+
+/// A two-relation corpus base: target `Loan` with a foreign key into
+/// `Account`. Each test corrupts one aspect of it.
+fn write_base(dir: &std::path::Path) {
+    write(dir, "_meta.csv", "target,Loan\n");
+    write(dir, "Account.csv", "id:pk,balance:num\n1,100.0\n2,250.5\n");
+    write(
+        dir,
+        "Loan.csv",
+        "id:pk,account:fk=Account,amount:num,__label:num\n1,1,500.0,1\n2,2,80.0,0\n",
+    );
+}
+
+#[test]
+fn well_formed_base_loads_strictly() {
+    // The corpus base itself must be clean, so every failure below is
+    // attributable to the one corruption the test introduces.
+    let dir = tmpdir("base");
+    write_base(&dir);
+    let db = load_dir_with(&dir, &LoadOptions::strict()).unwrap();
+    assert_eq!(db.num_targets(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_row_is_a_typed_csv_error_with_location() {
+    let dir = tmpdir("truncated");
+    write_base(&dir);
+    // Row 2 of Loan.csv lost its last two cells (a truncated export).
+    write(&dir, "Loan.csv", "id:pk,account:fk=Account,amount:num,__label:num\n1,1,500.0,1\n2,2\n");
+    let err = load_dir(&dir).unwrap_err();
+    let RelationalError::Data(DataError::Csv { file, line, reason }) = err else {
+        panic!("expected DataError::Csv, got {err:?}");
+    };
+    assert_eq!(file, "Loan.csv");
+    assert_eq!(line, Some(3), "header is line 1, truncated row is line 3");
+    assert!(reason.contains("expected 4 cells"), "{reason}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_numeric_cell_is_a_typed_csv_error_with_location() {
+    let dir = tmpdir("badnum");
+    write_base(&dir);
+    write(&dir, "Account.csv", "id:pk,balance:num\n1,100.0\n2,12..5\n");
+    let err = load_dir(&dir).unwrap_err();
+    let RelationalError::Data(DataError::Csv { file, line, reason }) = err else {
+        panic!("expected DataError::Csv, got {err:?}");
+    };
+    assert_eq!(file, "Account.csv");
+    assert_eq!(line, Some(3));
+    assert!(reason.contains("bad number"), "{reason}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_fk_value_is_dangling_under_strict_and_tolerated_by_default() {
+    let dir = tmpdir("unknownfk");
+    write_base(&dir);
+    // Loan 2 references account 99, which does not exist.
+    write(
+        &dir,
+        "Loan.csv",
+        "id:pk,account:fk=Account,amount:num,__label:num\n1,1,500.0,1\n2,99,80.0,0\n",
+    );
+    let err = load_dir_with(&dir, &LoadOptions::strict()).unwrap_err();
+    let RelationalError::Data(DataError::DanglingForeignKey { relation, attribute, key }) = err
+    else {
+        panic!("expected DataError::DanglingForeignKey, got {err:?}");
+    };
+    assert_eq!(relation, "Loan");
+    assert_eq!(attribute, "account");
+    assert_eq!(key, 99);
+    // Real exports routinely dangle, so the default loader accepts it.
+    let db: Database = load_dir(&dir).unwrap();
+    assert_eq!(db.num_targets(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn duplicate_primary_key_is_typed_and_opt_out() {
+    let dir = tmpdir("duppk");
+    write_base(&dir);
+    write(&dir, "Account.csv", "id:pk,balance:num\n1,100.0\n1,250.5\n");
+    let err = load_dir(&dir).unwrap_err();
+    let RelationalError::Data(DataError::DuplicateKey { relation, key }) = err else {
+        panic!("expected DataError::DuplicateKey, got {err:?}");
+    };
+    assert_eq!(relation, "Account");
+    assert_eq!(key, 1);
+    // The check is on by default but can be disabled for dirty exports.
+    let lax = LoadOptions { check_duplicate_keys: false, ..Default::default() };
+    assert!(load_dir_with(&dir, &lax).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_corruption_displays_without_panicking() {
+    // Smoke over the whole corpus: `Display` and `source()` of each typed
+    // error must work (they feed CLI error messages).
+    use std::error::Error;
+    let corruptions: &[(&str, &str, &str)] = &[
+        ("d1", "Loan.csv", "id:pk,account:fk=Account,amount:num,__label:num\n1\n"),
+        ("d2", "Account.csv", "id:pk,balance:num\n1,nan-ish\n"),
+        ("d3", "Account.csv", "id:pk,balance:num\n7,1.0\n7,2.0\n"),
+        ("d4", "Loan.csv", "id:pk,account:fk=Account,amount:num,__label:num\n1,42,1.0,1\n"),
+    ];
+    for (tag, file, content) in corruptions {
+        let dir = tmpdir(tag);
+        write_base(&dir);
+        write(&dir, file, content);
+        let err = load_dir_with(&dir, &LoadOptions::strict()).unwrap_err();
+        assert!(!err.to_string().is_empty());
+        assert!(err.source().is_some(), "categories wrap a concrete error");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn round_trip_survives_strict_reload() {
+    // save_dir output must always satisfy the strict loader — the writer
+    // and the validating reader agree on the format.
+    let dir = tmpdir("roundtrip");
+    write_base(&dir);
+    let db = load_dir_with(&dir, &LoadOptions::strict()).unwrap();
+    let dir2 = tmpdir("roundtrip2");
+    save_dir(&db, &dir2).unwrap();
+    let db2 = load_dir_with(&dir2, &LoadOptions::strict()).unwrap();
+    assert_eq!(db2.num_targets(), db.num_targets());
+    assert_eq!(db2.labels(), db.labels());
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}

@@ -1,0 +1,157 @@
+//! Fault injection for the prediction server.
+//!
+//! [`ChaosConfig`] is carried inside [`ServerConfig`](crate::server::ServerConfig)
+//! and consulted by every worker once per batch, driven by a shared
+//! monotonic tick counter. The default configuration injects nothing and
+//! costs one atomic increment plus a few integer compares per batch, so it
+//! is always compiled in — a cargo feature would be unified into tier-1
+//! builds by the workspace anyway, and a runtime default-off knob is both
+//! simpler and testable from `loadgen --chaos` without a rebuild.
+//!
+//! Injectable faults, matching the degradations the server must survive:
+//!
+//! * **stall** — the worker sleeps mid-batch, simulating a slow model or a
+//!   page-cache miss storm; under load this fills the admission queue and
+//!   must surface as `Overloaded` sheds and `DeadlineExceeded` expiries,
+//!   never as blocked submitters.
+//! * **panic** — the worker panics inside the scoring region, simulating a
+//!   poisoned model or data bug; the server must answer the batch with
+//!   `WorkerPanicked`, restart the worker loop, and keep serving.
+//! * **oversize** — the batch is scored with every row duplicated
+//!   `oversize_factor`×, simulating an oversized batch handed to the
+//!   evaluator; extra results are discarded and answers must stay correct.
+//!
+//! Mid-batch registry swaps — the fourth chaos dimension — need no hook
+//! here: they are driven externally (tests / `loadgen --chaos` swap the
+//! [`ModelRegistry`](crate::registry::ModelRegistry) from another thread)
+//! and the snapshot-per-batch discipline must keep every answer internally
+//! consistent.
+
+use std::time::Duration;
+
+/// Runtime fault-injection knobs. `Default` injects nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Stall the worker on every Nth batch (0 = never).
+    pub stall_every: u64,
+    /// How long a stalled worker sleeps.
+    pub stall_for: Duration,
+    /// Panic inside the scoring region on every Nth batch (0 = never).
+    pub panic_every: u64,
+    /// Score every Nth batch with duplicated rows (0 = never).
+    pub oversize_every: u64,
+    /// Row-duplication factor for oversized batches (≥ 2 to have effect).
+    pub oversize_factor: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            stall_every: 0,
+            stall_for: Duration::from_millis(10),
+            panic_every: 0,
+            oversize_every: 0,
+            oversize_factor: 4,
+        }
+    }
+}
+
+/// What a worker was told to inject for one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Sleep for the given duration before scoring.
+    Stall(Duration),
+    /// Panic inside the scoring region.
+    Panic,
+    /// Duplicate every row this many times for the evaluator call.
+    Oversize(usize),
+}
+
+impl ChaosConfig {
+    /// A configuration injecting nothing (same as `Default`).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// The standard chaos mix used by `loadgen --chaos` and the chaos test
+    /// suite: frequent stalls, occasional panics, occasional oversized
+    /// batches.
+    pub fn standard() -> Self {
+        ChaosConfig {
+            stall_every: 5,
+            stall_for: Duration::from_millis(2),
+            panic_every: 7,
+            oversize_every: 3,
+            oversize_factor: 4,
+        }
+    }
+
+    /// Whether any fault is configured.
+    pub fn is_active(&self) -> bool {
+        self.stall_every > 0 || self.panic_every > 0 || self.oversize_every > 0
+    }
+
+    /// The fault (if any) to inject on batch number `tick` (0-based,
+    /// global across workers). At most one fault fires per batch; panics
+    /// take precedence, then stalls, then oversizing — a panic tick must
+    /// not be consumed by a milder fault or rare faults would never fire.
+    pub fn action(&self, tick: u64) -> Option<ChaosAction> {
+        if self.panic_every > 0 && tick % self.panic_every == self.panic_every - 1 {
+            return Some(ChaosAction::Panic);
+        }
+        if self.stall_every > 0 && tick % self.stall_every == self.stall_every - 1 {
+            return Some(ChaosAction::Stall(self.stall_for));
+        }
+        if self.oversize_every > 0 && tick % self.oversize_every == self.oversize_every - 1 {
+            return Some(ChaosAction::Oversize(self.oversize_factor.max(2)));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inert() {
+        let c = ChaosConfig::default();
+        assert!(!c.is_active());
+        for t in 0..1000 {
+            assert_eq!(c.action(t), None);
+        }
+    }
+
+    #[test]
+    fn actions_fire_on_schedule() {
+        let c = ChaosConfig {
+            stall_every: 5,
+            stall_for: Duration::from_millis(1),
+            panic_every: 7,
+            oversize_every: 3,
+            oversize_factor: 4,
+        };
+        assert!(c.is_active());
+        assert_eq!(c.action(6), Some(ChaosAction::Panic)); // tick 6: 7th batch
+        assert_eq!(c.action(4), Some(ChaosAction::Stall(Duration::from_millis(1))));
+        assert_eq!(c.action(2), Some(ChaosAction::Oversize(4)));
+        assert_eq!(c.action(0), None);
+        // Tick 34 is both a stall (5) and panic (7) tick: panic wins.
+        assert_eq!(c.action(34), Some(ChaosAction::Panic));
+    }
+
+    #[test]
+    fn every_fault_kind_fires_within_one_lcm_period() {
+        let c = ChaosConfig::standard();
+        let mut saw = (false, false, false);
+        for t in 0..105 {
+            match c.action(t) {
+                Some(ChaosAction::Stall(_)) => saw.0 = true,
+                Some(ChaosAction::Panic) => saw.1 = true,
+                Some(ChaosAction::Oversize(_)) => saw.2 = true,
+                None => {}
+            }
+        }
+        assert!(saw.0 && saw.1 && saw.2, "all fault kinds must fire: {saw:?}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Typed serving errors: every way the [`PredictionServer`] degrades
+//! instead of crashing.
+//!
+//! The admission-control state machine behind these variants:
+//!
+//! ```text
+//!           submit()                 queue full          shutdown begun
+//!   caller ──────────► [admitted] ◄─────────────┐  ┌──────────────────┐
+//!                          │          Overloaded│  │ShuttingDown      │
+//!                          ▼ (batched)          │  │                  │
+//!                      [collected]──deadline────┼──┼──► DeadlineExceeded
+//!                          │        expired     │  │
+//!                          ▼ (scored)           │  │
+//!                      [answered]     caller ───┴──┴──► typed Err, no panic
+//! ```
+//!
+//! [`PredictionServer`]: crate::server::PredictionServer
+
+use std::time::Duration;
+
+/// Why a request was rejected or abandoned by the prediction server.
+///
+/// All variants are *degradations*, not bugs: a correctly operating server
+/// under overload returns [`Overloaded`](ServeError::Overloaded) rather
+/// than blocking, expires stale work with
+/// [`DeadlineExceeded`](ServeError::DeadlineExceeded), and survives a
+/// scoring panic by answering the batch with
+/// [`WorkerPanicked`](ServeError::WorkerPanicked) and restarting the
+/// worker loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The admission queue was full; the request was shed, not queued.
+    /// Clients should back off and retry (see `crossmine-bench`'s
+    /// `submit_with_retry`).
+    Overloaded {
+        /// Queue depth observed at rejection.
+        queue_depth: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The request sat in the queue past its deadline and was answered
+    /// with this error instead of being scored.
+    DeadlineExceeded {
+        /// How long the request actually waited before expiry was noticed.
+        waited: Duration,
+    },
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+    /// The worker scoring this request's batch panicked; the batch was
+    /// answered with this error and the worker restarted.
+    WorkerPanicked,
+    /// The server was started with an invalid [`ServerConfig`]
+    /// (zero workers, zero batch size, zero queue capacity, ...).
+    ///
+    /// [`ServerConfig`]: crate::server::ServerConfig
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_depth, capacity } => {
+                write!(f, "request shed: admission queue full ({queue_depth}/{capacity})")
+            }
+            ServeError::DeadlineExceeded { waited } => {
+                write!(f, "deadline exceeded after {waited:?} in queue")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::WorkerPanicked => {
+                write!(f, "scoring worker panicked; batch answered with error and worker restarted")
+            }
+            ServeError::InvalidConfig(reason) => write!(f, "invalid server config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl ServeError {
+    /// Whether a client retry (with backoff) can plausibly succeed.
+    /// `Overloaded` and `DeadlineExceeded` are transient; `ShuttingDown`
+    /// and `InvalidConfig` are not. `WorkerPanicked` is retryable: the
+    /// worker restarts and a model swap may have fixed the cause.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Overloaded { .. }
+                | ServeError::DeadlineExceeded { .. }
+                | ServeError::WorkerPanicked
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ServeError::Overloaded { queue_depth: 8, capacity: 8 };
+        assert_eq!(e.to_string(), "request shed: admission queue full (8/8)");
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting down"));
+        assert!(ServeError::DeadlineExceeded { waited: Duration::from_millis(5) }
+            .to_string()
+            .contains("deadline exceeded"));
+        assert!(ServeError::InvalidConfig("workers = 0".into()).to_string().contains("workers"));
+    }
+
+    #[test]
+    fn retryability_matches_transience() {
+        assert!(ServeError::Overloaded { queue_depth: 1, capacity: 1 }.is_retryable());
+        assert!(ServeError::DeadlineExceeded { waited: Duration::ZERO }.is_retryable());
+        assert!(ServeError::WorkerPanicked.is_retryable());
+        assert!(!ServeError::ShuttingDown.is_retryable());
+        assert!(!ServeError::InvalidConfig("x".into()).is_retryable());
+    }
+}

@@ -22,6 +22,12 @@
 //!   drain-based shutdown with zero dropped requests.
 //! * [`metrics`] — lock-free counters and log₂ latency/batch-size
 //!   histograms with a text report.
+//! * [`error`] — the typed [`ServeError`] contract: overload shedding,
+//!   per-request deadlines, worker restarts, drain-based shutdown — every
+//!   degradation is a value, never a crash.
+//! * [`chaos`] — runtime fault injection ([`ChaosConfig`]): stalls,
+//!   scoring panics, oversized batches, exercised by `loadgen --chaos`
+//!   and the chaos test suite.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -33,22 +39,26 @@
 //!     num_relations: 3, expected_tuples: 60, min_tuples: 20, ..Default::default()
 //! });
 //! let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-//! let model = CrossMine::default().fit(&db, &rows);
-//! let expected = model.predict(&db, &rows);
+//! let model = CrossMine::default().fit(&db, &rows).unwrap();
+//! let expected = model.predict(&db, &rows).unwrap();
 //!
 //! let plan = CompiledPlan::compile(&model, &db.schema).unwrap();
 //! let registry = Arc::new(ModelRegistry::new(plan));
-//! let server = PredictionServer::start(Arc::new(db), registry, ServerConfig::default());
+//! let server = PredictionServer::start(Arc::new(db), registry, ServerConfig::default())
+//!     .expect("default config is valid");
 //! for (i, &row) in rows.iter().enumerate() {
-//!     assert_eq!(server.predict(row).label, expected[i]);
+//!     assert_eq!(server.predict(row).unwrap().label, expected[i]);
 //! }
 //! let report = server.shutdown();
 //! assert_eq!(report.requests, rows.len() as u64);
 //! assert_eq!(report.errors, 0);
+//! assert_eq!(report.shed + report.deadline_expired + report.worker_restarts, 0);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod error;
 pub mod eval;
 pub mod eval_disk;
 pub mod metrics;
@@ -56,10 +66,14 @@ pub mod plan;
 pub mod registry;
 pub mod server;
 
+pub use chaos::{ChaosAction, ChaosConfig};
 pub use crossmine_obs::{ObsHandle, ServeReport};
+pub use error::ServeError;
 pub use eval::{evaluate_batch, ServeScratch};
 pub use eval_disk::predict_disk;
 pub use metrics::{Histogram, MetricsSnapshot, ServeMetrics};
-pub use plan::{CompileError, CompiledClause, CompiledPlan, PlanStats};
+#[allow(deprecated)]
+pub use plan::CompileError;
+pub use plan::{CompiledClause, CompiledPlan, PlanError, PlanStats};
 pub use registry::{ModelRegistry, ModelSnapshot};
-pub use server::{Prediction, PredictionServer, ServerConfig};
+pub use server::{Prediction, PredictionHandle, PredictionServer, ServerConfig};

@@ -26,6 +26,12 @@ pub struct ServeMetrics {
     pub errors: AtomicU64,
     /// Batches scored.
     pub batches: AtomicU64,
+    /// Requests shed at admission (queue full).
+    pub shed: AtomicU64,
+    /// Requests answered with `DeadlineExceeded` instead of being scored.
+    pub deadline_expired: AtomicU64,
+    /// Worker restarts after a caught scoring panic.
+    pub worker_restarts: AtomicU64,
     /// End-to-end request latency (enqueue → reply), microseconds.
     pub latency_us: Histogram,
     /// Scored batch sizes.
@@ -47,6 +53,9 @@ impl ServeMetrics {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
             latency_p50_us: self.latency_us.quantile(0.50),
             latency_p95_us: self.latency_us.quantile(0.95),
             latency_p99_us: self.latency_us.quantile(0.99),
@@ -69,6 +78,12 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Batches scored.
     pub batches: u64,
+    /// Requests shed at admission (queue full).
+    pub shed: u64,
+    /// Requests answered with `DeadlineExceeded`.
+    pub deadline_expired: u64,
+    /// Worker restarts after caught scoring panics.
+    pub worker_restarts: u64,
     /// Median end-to-end latency (µs, bucket upper bound).
     pub latency_p50_us: u64,
     /// 95th-percentile latency (µs).
@@ -95,6 +110,11 @@ impl std::fmt::Display for MetricsSnapshot {
             f,
             "requests: {}  errors: {}  batches: {}",
             self.requests, self.errors, self.batches
+        )?;
+        writeln!(
+            f,
+            "degraded shed: {}  deadline_expired: {}  worker_restarts: {}",
+            self.shed, self.deadline_expired, self.worker_restarts
         )?;
         writeln!(
             f,

@@ -16,7 +16,8 @@ use crossmine_relational::{AttrId, ClassLabel, DatabaseSchema, JoinGraph, RelId}
 
 /// Why a model failed to compile against a schema.
 #[derive(Debug, Clone, PartialEq)]
-pub enum CompileError {
+#[non_exhaustive]
+pub enum PlanError {
     /// The schema has no target relation.
     NoTarget,
     /// A literal references a relation outside the schema.
@@ -77,40 +78,44 @@ pub enum CompileError {
     },
 }
 
-impl std::fmt::Display for CompileError {
+impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CompileError::NoTarget => write!(f, "schema has no target relation"),
-            CompileError::UnknownRelation { clause, rel } => {
+            PlanError::NoTarget => write!(f, "schema has no target relation"),
+            PlanError::UnknownRelation { clause, rel } => {
                 write!(f, "clause {clause}: relation {} not in schema", rel.0)
             }
-            CompileError::UnknownEdge { clause, literal } => {
+            PlanError::UnknownEdge { clause, literal } => {
                 write!(f, "clause {clause} literal {literal}: edge is not a join edge")
             }
-            CompileError::BrokenChain { clause, literal } => {
+            PlanError::BrokenChain { clause, literal } => {
                 write!(f, "clause {clause} literal {literal}: prop-path edges do not chain")
             }
-            CompileError::InactiveSource { clause, literal, rel } => {
+            PlanError::InactiveSource { clause, literal, rel } => {
                 write!(
                     f,
                     "clause {clause} literal {literal}: relation {} inactive at this point",
                     rel.0
                 )
             }
-            CompileError::PathEndMismatch { clause, literal } => {
+            PlanError::PathEndMismatch { clause, literal } => {
                 write!(f, "clause {clause} literal {literal}: constraint not at path end")
             }
-            CompileError::BadAttribute { clause, literal, reason } => {
+            PlanError::BadAttribute { clause, literal, reason } => {
                 write!(f, "clause {clause} literal {literal}: {reason}")
             }
-            CompileError::CatCodeOutOfRange { clause, literal, code } => {
+            PlanError::CatCodeOutOfRange { clause, literal, code } => {
                 write!(f, "clause {clause} literal {literal}: categorical code {code} not interned")
             }
         }
     }
 }
 
-impl std::error::Error for CompileError {}
+impl std::error::Error for PlanError {}
+
+/// Former name of [`PlanError`], kept for one release.
+#[deprecated(since = "0.2.0", note = "renamed to PlanError")]
+pub type CompileError = PlanError;
 
 /// One clause of a compiled plan: the validated literals plus the ranking
 /// metadata prediction needs.
@@ -185,8 +190,8 @@ impl CompiledPlan {
     /// returned plan's clauses are in the model's (accuracy-descending)
     /// order, so evaluation semantics match [`CrossMineModel::predict`]
     /// exactly.
-    pub fn compile(model: &CrossMineModel, schema: &DatabaseSchema) -> Result<Self, CompileError> {
-        let target = schema.target().map_err(|_| CompileError::NoTarget)?;
+    pub fn compile(model: &CrossMineModel, schema: &DatabaseSchema) -> Result<Self, PlanError> {
+        let target = schema.target().map_err(|_| PlanError::NoTarget)?;
         let graph = JoinGraph::build(schema);
         let num_relations = schema.num_relations();
 
@@ -238,41 +243,41 @@ fn validate_literal(
     ci: usize,
     li: usize,
     lit: &ComplexLiteral,
-) -> Result<(), CompileError> {
+) -> Result<(), PlanError> {
     let rel = lit.constraint.rel;
     if rel.0 >= schema.num_relations() {
-        return Err(CompileError::UnknownRelation { clause: ci, rel });
+        return Err(PlanError::UnknownRelation { clause: ci, rel });
     }
     if lit.path.is_empty() {
         if !active[rel.0] {
-            return Err(CompileError::InactiveSource { clause: ci, literal: li, rel });
+            return Err(PlanError::InactiveSource { clause: ci, literal: li, rel });
         }
     } else {
         let src = lit.path[0].from;
         if src.0 >= schema.num_relations() {
-            return Err(CompileError::UnknownRelation { clause: ci, rel: src });
+            return Err(PlanError::UnknownRelation { clause: ci, rel: src });
         }
         if !active[src.0] {
-            return Err(CompileError::InactiveSource { clause: ci, literal: li, rel: src });
+            return Err(PlanError::InactiveSource { clause: ci, literal: li, rel: src });
         }
         for (i, edge) in lit.path.iter().enumerate() {
             if !graph.edges().contains(edge) {
-                return Err(CompileError::UnknownEdge { clause: ci, literal: li });
+                return Err(PlanError::UnknownEdge { clause: ci, literal: li });
             }
             if i > 0 && lit.path[i - 1].to != edge.from {
-                return Err(CompileError::BrokenChain { clause: ci, literal: li });
+                return Err(PlanError::BrokenChain { clause: ci, literal: li });
             }
         }
         if lit.path.last().expect("nonempty").to != rel {
-            return Err(CompileError::PathEndMismatch { clause: ci, literal: li });
+            return Err(PlanError::PathEndMismatch { clause: ci, literal: li });
         }
     }
 
     // Attribute existence + type + dictionary checks.
     let rschema = schema.relation(rel);
-    let check_attr = |attr: AttrId, want: &str| -> Result<(), CompileError> {
+    let check_attr = |attr: AttrId, want: &str| -> Result<(), PlanError> {
         if attr.0 >= rschema.arity() {
-            return Err(CompileError::BadAttribute {
+            return Err(PlanError::BadAttribute {
                 clause: ci,
                 literal: li,
                 reason: format!("attribute {} out of range for {}", attr.0, rschema.name),
@@ -284,7 +289,7 @@ fn validate_literal(
             _ => a.ty.is_numerical(),
         };
         if !ok {
-            return Err(CompileError::BadAttribute {
+            return Err(PlanError::BadAttribute {
                 clause: ci,
                 literal: li,
                 reason: format!("{}.{} is not {want}", rschema.name, a.name),
@@ -296,11 +301,7 @@ fn validate_literal(
         ConstraintKind::CatEq { attr, value } => {
             check_attr(*attr, "categorical")?;
             if *value as usize >= rschema.attr(*attr).cardinality() {
-                return Err(CompileError::CatCodeOutOfRange {
-                    clause: ci,
-                    literal: li,
-                    code: *value,
-                });
+                return Err(PlanError::CatCodeOutOfRange { clause: ci, literal: li, code: *value });
             }
         }
         ConstraintKind::Num { attr, .. } => check_attr(*attr, "numerical")?,
@@ -457,7 +458,7 @@ mod tests {
             kind: ConstraintKind::Num { attr: AttrId(3), op: CmpOp::Le, threshold: 0.0 },
         });
         let err = CompiledPlan::compile(&model_of(vec![lit]), &schema()).unwrap_err();
-        assert_eq!(err, CompileError::InactiveSource { clause: 0, literal: 0, rel: S });
+        assert_eq!(err, PlanError::InactiveSource { clause: 0, literal: 0, rel: S });
     }
 
     #[test]
@@ -478,7 +479,7 @@ mod tests {
             },
         };
         let err = CompiledPlan::compile(&model_of(vec![lit]), &schema()).unwrap_err();
-        assert_eq!(err, CompileError::UnknownEdge { clause: 0, literal: 0 });
+        assert_eq!(err, PlanError::UnknownEdge { clause: 0, literal: 0 });
 
         // Two valid edges that do not chain (S -> T then S -> T again).
         let lit = ComplexLiteral {
@@ -489,7 +490,7 @@ mod tests {
             },
         };
         let err = CompiledPlan::compile(&model_of(vec![lit]), &schema()).unwrap_err();
-        assert_eq!(err, CompileError::BrokenChain { clause: 0, literal: 0 });
+        assert_eq!(err, PlanError::BrokenChain { clause: 0, literal: 0 });
     }
 
     #[test]
@@ -503,7 +504,7 @@ mod tests {
             },
         };
         let err = CompiledPlan::compile(&model_of(vec![lit]), &schema()).unwrap_err();
-        assert_eq!(err, CompileError::PathEndMismatch { clause: 0, literal: 0 });
+        assert_eq!(err, PlanError::PathEndMismatch { clause: 0, literal: 0 });
     }
 
     #[test]
@@ -517,7 +518,7 @@ mod tests {
             },
         };
         let err = CompiledPlan::compile(&model_of(vec![lit]), &schema()).unwrap_err();
-        assert!(matches!(err, CompileError::BadAttribute { clause: 0, literal: 0, .. }), "{err}");
+        assert!(matches!(err, PlanError::BadAttribute { clause: 0, literal: 0, .. }), "{err}");
 
         // Categorical code beyond the dictionary.
         let lit = ComplexLiteral {
@@ -528,7 +529,7 @@ mod tests {
             },
         };
         let err = CompiledPlan::compile(&model_of(vec![lit]), &schema()).unwrap_err();
-        assert_eq!(err, CompileError::CatCodeOutOfRange { clause: 0, literal: 0, code: 99 });
+        assert_eq!(err, PlanError::CatCodeOutOfRange { clause: 0, literal: 0, code: 99 });
         assert!(err.to_string().contains("99"));
     }
 
@@ -537,6 +538,6 @@ mod tests {
         let mut s = schema();
         s.target = None;
         let err = CompiledPlan::compile(&model_of(Vec::new()), &s).unwrap_err();
-        assert_eq!(err, CompileError::NoTarget);
+        assert_eq!(err, PlanError::NoTarget);
     }
 }

@@ -1,8 +1,7 @@
-//! The in-process concurrent prediction server.
+//! The in-process concurrent prediction server, with admission control.
 //!
-//! Architecture: a **bounded admission queue** (mutex + two condvars:
-//! `not_empty` wakes workers, `not_full` back-pressures submitters) feeding
-//! a pool of `std::thread` workers. Each worker **micro-batches**: it takes
+//! Architecture: a **bounded admission queue** (mutex + condvar) feeding a
+//! pool of `std::thread` workers. Each worker **micro-batches**: it takes
 //! the first waiting request, then keeps draining the queue until either
 //! `max_batch` requests are in hand or `max_wait` has elapsed since it
 //! started collecting, then scores the whole batch with **one**
@@ -11,20 +10,44 @@
 //! never scored under a mix of models, and responses carry the epoch that
 //! scored them.
 //!
-//! Shutdown is drain-based: no request that was accepted by
-//! [`PredictionServer::submit`] is ever dropped — workers keep scoring
-//! until the queue is empty, then exit.
+//! Admission control (the fallible-by-design contract):
+//!
+//! * **Load shedding** — [`PredictionServer::submit`] never blocks. When
+//!   the queue is full the request is rejected with
+//!   [`ServeError::Overloaded`] and counted (`serve.requests_shed`);
+//!   clients retry with backoff (`crossmine-bench::submit_with_retry`).
+//! * **Deadlines** — [`PredictionServer::submit_with_deadline`] carries a
+//!   per-request deadline through the queue. Workers check it when they
+//!   collect a batch: an expired request is answered with
+//!   [`ServeError::DeadlineExceeded`] instead of being scored
+//!   (`serve.deadline_exceeded`).
+//! * **Worker restarts** — a panic inside the scoring region is caught;
+//!   the in-flight batch is answered with [`ServeError::WorkerPanicked`]
+//!   and the worker continues with fresh scratch
+//!   (`serve.worker_restarts`). A poisoned queue mutex is tolerated the
+//!   same way: the queue state is plain data, valid regardless of where a
+//!   panic happened.
+//! * **Drain-based shutdown** — after [`PredictionServer::shutdown`] new
+//!   submissions get [`ServeError::ShuttingDown`], but every request
+//!   accepted before is scored (or deadline-expired) and answered.
+//!
+//! Fault injection ([`ChaosConfig`]) rides the same paths: stalls fill the
+//! queue until shedding starts, injected panics exercise the restart path,
+//! oversized batches stress the evaluator — all observable through
+//! [`MetricsSnapshot`] and the `serve.*` obs counters.
 
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossmine_obs::ObsHandle;
 use crossmine_relational::{ClassLabel, Database, Row};
 
+use crate::chaos::{ChaosAction, ChaosConfig};
+use crate::error::ServeError;
 use crate::eval::{evaluate_batch, ServeScratch};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::registry::ModelRegistry;
@@ -38,14 +61,18 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// How long a worker waits for the batch to fill before flushing.
     pub max_wait: Duration,
-    /// Admission-queue capacity; submitters block when it is full.
+    /// Admission-queue capacity; submissions are shed with
+    /// [`ServeError::Overloaded`] when it is full.
     pub queue_capacity: usize,
     /// Observability handle shared by every worker. The default no-op
     /// handle disables all tracing; an enabled handle adds per-batch
-    /// `serve.evaluate_batch` spans, serve counters, and a
-    /// `serve.queue_wait_us` histogram of how long requests sat in the
-    /// admission queue before their batch started scoring.
+    /// `serve.evaluate_batch` spans, serve counters (including
+    /// `serve.requests_shed`, `serve.deadline_exceeded`,
+    /// `serve.worker_restarts`), and a `serve.queue_wait_us` histogram of
+    /// how long requests sat in the admission queue.
     pub obs: ObsHandle,
+    /// Fault injection (default: off). See [`ChaosConfig`].
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +83,7 @@ impl Default for ServerConfig {
             max_wait: Duration::from_micros(200),
             queue_capacity: 1024,
             obs: ObsHandle::noop(),
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -71,10 +99,57 @@ pub struct Prediction {
     pub epoch: u64,
 }
 
+/// A pending reply to an admitted request.
+///
+/// Obtained from [`PredictionServer::submit`] /
+/// [`PredictionServer::submit_with_deadline`]. Dropping the handle is
+/// allowed: the request is still scored and its reply discarded (counted
+/// under `errors` in the metrics).
+#[derive(Debug)]
+pub struct PredictionHandle {
+    row: Row,
+    rx: mpsc::Receiver<Result<Prediction, ServeError>>,
+}
+
+impl PredictionHandle {
+    /// The row this handle is waiting on.
+    pub fn row(&self) -> Row {
+        self.row
+    }
+
+    /// Blocks until the server answers.
+    ///
+    /// # Errors
+    ///
+    /// Whatever degradation the server answered with
+    /// ([`ServeError::DeadlineExceeded`], [`ServeError::WorkerPanicked`]).
+    /// A severed channel (worker thread died outright) also maps to
+    /// [`ServeError::WorkerPanicked`] — the caller cannot tell the
+    /// difference and should not have to.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        match self.rx.recv() {
+            Ok(reply) => reply,
+            Err(mpsc::RecvError) => Err(ServeError::WorkerPanicked),
+        }
+    }
+
+    /// Like [`wait`](Self::wait) but gives up after `timeout`, returning
+    /// `None` when no reply arrived in time (the request remains in
+    /// flight; the reply is discarded when it eventually arrives).
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Result<Prediction, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => Some(reply),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::WorkerPanicked)),
+        }
+    }
+}
+
 struct Request {
     row: Row,
     enqueued: Instant,
-    reply: mpsc::Sender<Prediction>,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Result<Prediction, ServeError>>,
 }
 
 struct QueueState {
@@ -85,7 +160,17 @@ struct QueueState {
 struct Shared {
     state: Mutex<QueueState>,
     not_empty: Condvar,
-    not_full: Condvar,
+    /// Global batch counter driving deterministic chaos schedules.
+    chaos_ticks: AtomicU64,
+}
+
+/// Locks the queue state, tolerating poison: the state is plain data
+/// (a `VecDeque` and a flag), valid no matter where a worker panicked, and
+/// the panic itself is handled by the restart path — abandoning the whole
+/// server because of a poisoned mutex would turn a survivable fault into
+/// an outage.
+fn lock_state(shared: &Shared) -> MutexGuard<'_, QueueState> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A concurrent, micro-batching, hot-swappable prediction server over one
@@ -111,14 +196,29 @@ impl std::fmt::Debug for PredictionServer {
 impl PredictionServer {
     /// Starts the worker pool serving `registry`'s current (and future)
     /// models over `db`.
-    pub fn start(db: Arc<Database>, registry: Arc<ModelRegistry>, config: ServerConfig) -> Self {
-        assert!(config.workers >= 1, "server needs at least one worker");
-        assert!(config.max_batch >= 1, "max_batch must be at least 1");
-        assert!(config.queue_capacity >= 1, "queue_capacity must be at least 1");
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] when `workers`, `max_batch`, or
+    /// `queue_capacity` is zero.
+    pub fn start(
+        db: Arc<Database>,
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+    ) -> Result<Self, ServeError> {
+        if config.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be at least 1".into()));
+        }
+        if config.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be at least 1".into()));
+        }
+        if config.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig("queue_capacity must be at least 1".into()));
+        }
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
             not_empty: Condvar::new(),
-            not_full: Condvar::new(),
+            chaos_ticks: AtomicU64::new(0),
         });
         let metrics = Arc::new(ServeMetrics::new());
         let workers = (0..config.workers)
@@ -131,34 +231,71 @@ impl PredictionServer {
                 std::thread::spawn(move || worker_loop(&shared, &registry, &metrics, &db, &config))
             })
             .collect();
-        PredictionServer { shared, registry, metrics, config, workers }
+        Ok(PredictionServer { shared, registry, metrics, config, workers })
     }
 
-    /// Enqueues one row for scoring, blocking while the queue is full.
-    /// Returns the receiver the [`Prediction`] will arrive on.
+    /// Enqueues one row for scoring without a deadline. Never blocks.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when called after [`shutdown`](Self::shutdown) began (the
-    /// drain guarantee only covers requests accepted before shutdown).
-    pub fn submit(&self, row: Row) -> mpsc::Receiver<Prediction> {
+    /// * [`ServeError::Overloaded`] — the queue is full; the request was
+    ///   shed. Back off and retry.
+    /// * [`ServeError::ShuttingDown`] — [`shutdown`](Self::shutdown) has
+    ///   begun.
+    pub fn submit(&self, row: Row) -> Result<PredictionHandle, ServeError> {
+        self.admit(row, None)
+    }
+
+    /// Enqueues one row that must start scoring within `deadline` of now.
+    /// If it is still queued when a worker collects it past the deadline,
+    /// it is answered with [`ServeError::DeadlineExceeded`] instead of
+    /// being scored. Same admission errors as [`submit`](Self::submit).
+    pub fn submit_with_deadline(
+        &self,
+        row: Row,
+        deadline: Duration,
+    ) -> Result<PredictionHandle, ServeError> {
+        self.admit(row, Some(Instant::now() + deadline))
+    }
+
+    fn admit(&self, row: Row, deadline: Option<Instant>) -> Result<PredictionHandle, ServeError> {
         let (tx, rx) = mpsc::channel();
-        let mut st = self.shared.state.lock().expect("server queue poisoned");
-        while st.queue.len() >= self.config.queue_capacity && !st.shutdown {
-            st = self.shared.not_full.wait(st).expect("server queue poisoned");
+        let mut st = lock_state(&self.shared);
+        if st.shutdown {
+            return Err(ServeError::ShuttingDown);
         }
-        assert!(!st.shutdown, "submit after shutdown");
-        st.queue.push_back(Request { row, enqueued: Instant::now(), reply: tx });
+        if st.queue.len() >= self.config.queue_capacity {
+            let queue_depth = st.queue.len();
+            drop(st);
+            self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            self.config.obs.add("serve.requests_shed", 1);
+            return Err(ServeError::Overloaded {
+                queue_depth,
+                capacity: self.config.queue_capacity,
+            });
+        }
+        st.queue.push_back(Request { row, enqueued: Instant::now(), deadline, reply: tx });
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         self.metrics.queue_depth.record(st.queue.len() as u64);
         drop(st);
         self.shared.not_empty.notify_one();
-        rx
+        Ok(PredictionHandle { row, rx })
     }
 
     /// Synchronous convenience: submit and wait for the prediction.
-    pub fn predict(&self, row: Row) -> Prediction {
-        self.submit(row).recv().expect("worker pool delivered no reply")
+    ///
+    /// # Errors
+    ///
+    /// Admission errors from [`submit`](Self::submit) plus whatever the
+    /// server answered with (see [`PredictionHandle::wait`]).
+    pub fn predict(&self, row: Row) -> Result<Prediction, ServeError> {
+        self.submit(row)?.wait()
+    }
+
+    /// Synchronous convenience with a deadline: submit with `deadline` and
+    /// wait for the prediction (or its expiry).
+    pub fn predict_within(&self, row: Row, deadline: Duration) -> Result<Prediction, ServeError> {
+        self.submit_with_deadline(row, deadline)?.wait()
     }
 
     /// The registry this server snapshots from (for hot swaps).
@@ -173,21 +310,26 @@ impl PredictionServer {
 
     /// Stops accepting requests, drains the queue, joins every worker, and
     /// returns the final metrics. Every request accepted before this call
-    /// is scored and answered.
+    /// is answered — scored, or deadline-expired with a typed error.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.begin_shutdown();
         for h in self.workers.drain(..) {
-            h.join().expect("server worker panicked");
+            let _ = h.join();
         }
         self.metrics()
     }
 
-    fn begin_shutdown(&self) {
-        let mut st = self.shared.state.lock().expect("server queue poisoned");
+    /// Stops admission without consuming the server: subsequent
+    /// [`submit`](Self::submit) calls get [`ServeError::ShuttingDown`],
+    /// while already-admitted requests are still drained and answered.
+    /// Call [`shutdown`](Self::shutdown) afterwards (or drop the server)
+    /// to join the workers; use this first when other threads still hold
+    /// references and must see admission close before the drain completes.
+    pub fn begin_shutdown(&self) {
+        let mut st = lock_state(&self.shared);
         st.shutdown = true;
         drop(st);
         self.shared.not_empty.notify_all();
-        self.shared.not_full.notify_all();
     }
 }
 
@@ -219,7 +361,7 @@ fn worker_loop(
         batch.clear();
         rows.clear();
         {
-            let mut st = shared.state.lock().expect("server queue poisoned");
+            let mut st = lock_state(shared);
             // Wait for the first request (or a fully-drained shutdown).
             loop {
                 if !st.queue.is_empty() {
@@ -228,10 +370,10 @@ fn worker_loop(
                 if st.shutdown {
                     return;
                 }
-                st = shared.not_empty.wait(st).expect("server queue poisoned");
+                st = shared.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
             // Micro-batch: drain until full, shutdown, or the flush deadline.
-            let deadline = Instant::now() + config.max_wait;
+            let flush_deadline = Instant::now() + config.max_wait;
             loop {
                 while batch.len() < config.max_batch {
                     match st.queue.pop_front() {
@@ -243,20 +385,36 @@ fn worker_loop(
                     break;
                 }
                 let now = Instant::now();
-                if now >= deadline {
+                if now >= flush_deadline {
                     break;
                 }
                 let (guard, timeout) = shared
                     .not_empty
-                    .wait_timeout(st, deadline - now)
-                    .expect("server queue poisoned");
+                    .wait_timeout(st, flush_deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
                 st = guard;
                 if timeout.timed_out() && st.queue.is_empty() {
                     break;
                 }
             }
         }
-        shared.not_full.notify_all();
+
+        // Expire requests whose deadline passed while they queued: they are
+        // answered (drain guarantee) but not scored.
+        let now = Instant::now();
+        batch.retain(|req| match req.deadline {
+            Some(d) if now >= d => {
+                metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                config.obs.add("serve.deadline_exceeded", 1);
+                let waited = now.duration_since(req.enqueued);
+                let _ = req.reply.send(Err(ServeError::DeadlineExceeded { waited }));
+                false
+            }
+            _ => true,
+        });
+        if batch.is_empty() {
+            continue;
+        }
 
         // One registry snapshot scores the whole batch: no torn reads, and
         // a concurrent install affects only later batches.
@@ -269,15 +427,60 @@ fn worker_loop(
             }
         }
         rows.extend(batch.iter().map(|r| r.row));
-        let labels = evaluate_batch(&snap.plan, db, &rows, &mut scratch);
-        metrics.batches.fetch_add(1, Ordering::Relaxed);
-        metrics.batch_size.record(batch.len() as u64);
-        for (req, label) in batch.drain(..).zip(labels) {
-            let latency = req.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-            metrics.latency_us.record(latency);
-            let sent = req.reply.send(Prediction { row: req.row, label, epoch: snap.epoch });
-            if sent.is_err() {
-                metrics.errors.fetch_add(1, Ordering::Relaxed);
+
+        let chaos = config
+            .chaos
+            .is_active()
+            .then(|| config.chaos.action(shared.chaos_ticks.fetch_add(1, Ordering::Relaxed)))
+            .flatten();
+        if let Some(ChaosAction::Stall(d)) = chaos {
+            std::thread::sleep(d);
+        }
+        let oversize = match chaos {
+            Some(ChaosAction::Oversize(f)) => f,
+            _ => 1,
+        };
+        if oversize > 1 {
+            let n = rows.len();
+            for _ in 1..oversize {
+                rows.extend_from_within(..n);
+            }
+        }
+
+        // The scoring region: the one place arbitrary model/data bugs (and
+        // injected chaos panics) can fire. A panic here must cost exactly
+        // one batch, not the server.
+        let scored = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(ChaosAction::Panic) = chaos {
+                panic!("chaos: injected worker panic");
+            }
+            evaluate_batch(&snap.plan, db, &rows, &mut scratch)
+        }));
+        match scored {
+            Ok(labels) => {
+                metrics.batches.fetch_add(1, Ordering::Relaxed);
+                metrics.batch_size.record(batch.len() as u64);
+                for (req, label) in batch.drain(..).zip(labels) {
+                    let latency =
+                        req.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    metrics.latency_us.record(latency);
+                    let sent =
+                        req.reply.send(Ok(Prediction { row: req.row, label, epoch: snap.epoch }));
+                    if sent.is_err() {
+                        metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(_panic) => {
+                // Restart path: answer the batch with a typed error, drop
+                // the possibly-inconsistent scratch, keep serving.
+                metrics.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                config.obs.add("serve.worker_restarts", 1);
+                for req in batch.drain(..) {
+                    let _ = req.reply.send(Err(ServeError::WorkerPanicked));
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                scratch = ServeScratch::with_obs(config.obs.clone());
             }
         }
     }

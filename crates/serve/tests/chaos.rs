@@ -1,0 +1,168 @@
+//! The chaos suite: 20 iterations of the full fault mix — worker stalls,
+//! injected scoring panics, oversized batches, mid-batch registry swaps,
+//! tight deadlines, and a queue small enough to shed — against concurrent
+//! retrying clients. The server must degrade (typed errors, counted) but
+//! never crash, deadlock, or answer wrong: every request is eventually
+//! answered with the label `CrossMineModel::predict` would give, and every
+//! degradation is visible in the metrics and the obs `ServeReport`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use crossmine_core::classifier::{CrossMine, CrossMineModel};
+use crossmine_obs::{ObsHandle, ServeReport};
+use crossmine_relational::{ClassLabel, Database, Row};
+use crossmine_serve::{ChaosConfig, CompiledPlan, ModelRegistry, PredictionServer, ServerConfig};
+use crossmine_synth::{generate, GenParams};
+
+const ITERATIONS: usize = 20;
+const CLIENTS: usize = 3;
+const REQUESTS_PER_CLIENT: usize = 40;
+
+struct Fixture {
+    db: Arc<Database>,
+    plan: CompiledPlan,
+    rows: Vec<Row>,
+    expected: Vec<ClassLabel>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        // Injected panics fire by the hundreds across the suite; keep the
+        // default hook's printout for real panics only.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected =
+                info.payload().downcast_ref::<&str>().is_some_and(|s| s.starts_with("chaos:"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+        let db = generate(&GenParams {
+            num_relations: 4,
+            expected_tuples: 70,
+            min_tuples: 25,
+            seed: 31,
+            ..Default::default()
+        });
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let model: CrossMineModel = CrossMine::default().fit(&db, &rows).unwrap();
+        let expected = model.predict(&db, &rows).unwrap();
+        let plan = CompiledPlan::compile(&model, &db.schema).unwrap();
+        Fixture { db: Arc::new(db), plan, rows, expected }
+    })
+}
+
+/// One request under chaos, the way a well-behaved client drives it: every
+/// fourth request carries a tight deadline on its first attempt, and every
+/// retryable degradation is retried with growing backoff.
+fn chaos_request(server: &PredictionServer, row: Row, k: usize) -> Result<ClassLabel, String> {
+    for attempt in 0..500 {
+        let submitted = if attempt == 0 && k.is_multiple_of(4) {
+            server.submit_with_deadline(row, Duration::from_micros(300))
+        } else {
+            server.submit(row)
+        };
+        match submitted.and_then(|h| h.wait()) {
+            Ok(p) => return Ok(p.label),
+            Err(e) if e.is_retryable() => {
+                std::thread::sleep(Duration::from_micros(50 * (attempt as u64 + 1)));
+            }
+            Err(e) => return Err(format!("non-retryable error: {e}")),
+        }
+    }
+    Err("request starved past the retry budget".into())
+}
+
+/// Runs one full chaos iteration and returns the final metrics snapshot.
+/// Panics (failing the test) on any wrong answer or lost request.
+fn run_iteration(f: &'static Fixture, obs: ObsHandle) -> crossmine_serve::MetricsSnapshot {
+    let registry = Arc::new(ModelRegistry::new(f.plan.clone()));
+    let server = PredictionServer::start(
+        Arc::clone(&f.db),
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 2,
+            max_batch: 8,
+            max_wait: Duration::from_micros(100),
+            queue_capacity: 2,
+            obs,
+            chaos: ChaosConfig::standard(),
+        },
+    )
+    .unwrap();
+
+    let answered = AtomicU64::new(0);
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let server = &server;
+            let answered = &answered;
+            scope.spawn(move || {
+                for k in 0..REQUESTS_PER_CLIENT {
+                    let i = (c * REQUESTS_PER_CLIENT + k) % f.rows.len();
+                    let label = chaos_request(server, f.rows[i], k)
+                        .unwrap_or_else(|e| panic!("request {i} failed: {e}"));
+                    assert_eq!(label, f.expected[i], "wrong answer for row {i} under chaos");
+                    answered.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // The fourth chaos dimension: swap the registry mid-batch, over and
+        // over, until the clients are done.
+        let registry = &registry;
+        let answered = &answered;
+        scope.spawn(move || {
+            while answered.load(Ordering::Relaxed) < total {
+                registry.install(f.plan.clone());
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        });
+    });
+    assert_eq!(answered.load(Ordering::Relaxed), total, "no request may be lost");
+    server.shutdown()
+}
+
+#[test]
+fn twenty_chaos_iterations_degrade_but_never_crash() {
+    let f = fixture();
+    let mut restarts = 0u64;
+    let mut sheds = 0u64;
+    let mut expiries = 0u64;
+    for _ in 0..ITERATIONS {
+        let report = run_iteration(f, ObsHandle::noop());
+        restarts += report.worker_restarts;
+        sheds += report.shed;
+        expiries += report.deadline_expired;
+    }
+    // The mix must actually have injected faults — an inert harness passing
+    // trivially would be a bug in the test, not a healthy server.
+    assert!(restarts > 0, "standard chaos must inject at least one worker panic in 20 runs");
+    assert!(sheds + expiries + restarts > 0, "degradations must be observable across the suite");
+}
+
+#[test]
+fn degradations_are_visible_in_the_obs_serve_report() {
+    let f = fixture();
+    let obs = ObsHandle::enabled();
+    let report = run_iteration(f, obs.clone());
+    // The snapshot and the obs registry must agree on what happened.
+    let rendered = ServeReport::from_handle(&obs).to_string();
+    if report.worker_restarts > 0 {
+        assert!(rendered.contains("serve.worker_restarts"), "missing restarts:\n{rendered}");
+    }
+    if report.shed > 0 {
+        assert!(rendered.contains("serve.requests_shed"), "missing sheds:\n{rendered}");
+    }
+    if report.deadline_expired > 0 {
+        assert!(rendered.contains("serve.deadline_exceeded"), "missing expiries:\n{rendered}");
+    }
+    // With the standard mix and a 2-slot queue at least one of the three
+    // always fires; the usual outcome is all three.
+    assert!(
+        report.worker_restarts + report.shed + report.deadline_expired > 0,
+        "iteration was inert: {report}"
+    );
+}

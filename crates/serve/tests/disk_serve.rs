@@ -22,9 +22,9 @@ fn disk_prediction_matches_memory_and_reports_hits() {
         ..Default::default()
     });
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     assert!(model.num_clauses() >= 1);
-    let expected = model.predict(&db, &rows);
+    let expected = model.predict(&db, &rows).unwrap();
     let plan = CompiledPlan::compile(&model, &db.schema).unwrap();
 
     let path = tmp("parity");
@@ -52,8 +52,8 @@ fn disk_prediction_small_batches_and_tiny_pool() {
         ..Default::default()
     });
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
-    let expected = model.predict(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
+    let expected = model.predict(&db, &rows).unwrap();
     let plan = CompiledPlan::compile(&model, &db.schema).unwrap();
 
     let path = tmp("tiny");

@@ -1,0 +1,84 @@
+//! Property: `CompiledPlan::compile` → `evaluate_batch` never panics and
+//! always returns one label per input row — for arbitrary in-range row
+//! multisets (any order, any duplication, including the empty batch), any
+//! chunking, and both a learned model and the degenerate clauseless one.
+//! This is the no-panic half of the serving contract; the server's
+//! `catch_unwind` is the backstop for bugs this property would catch first.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+
+use crossmine_core::classifier::{CrossMine, CrossMineModel};
+use crossmine_relational::{Database, Row};
+use crossmine_serve::{evaluate_batch, CompiledPlan, ServeScratch};
+use crossmine_synth::{generate, GenParams};
+
+struct Fixture {
+    db: Arc<Database>,
+    learned: CompiledPlan,
+    clauseless: CompiledPlan,
+    num_rows: usize,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let db = generate(&GenParams {
+            num_relations: 5,
+            expected_tuples: 90,
+            min_tuples: 30,
+            seed: 77,
+            ..Default::default()
+        });
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let model: CrossMineModel = CrossMine::default().fit(&db, &rows).unwrap();
+        let learned = CompiledPlan::compile(&model, &db.schema).unwrap();
+        let degenerate = CrossMineModel {
+            clauses: Vec::new(),
+            default_label: model.default_label,
+            classes: model.classes.clone(),
+        };
+        let clauseless = CompiledPlan::compile(&degenerate, &db.schema).unwrap();
+        Fixture { db: Arc::new(db), learned, clauseless, num_rows: rows.len() }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn compile_then_evaluate_batch_never_panics(
+        picks in prop::collection::vec(0usize..1000, 0..150),
+        chunk_sel in 0usize..4,
+        degenerate in any::<bool>(),
+        reuse_scratch in any::<bool>(),
+    ) {
+        let f = fixture();
+        // Arbitrary multiset of valid rows: duplicates and any order are
+        // exactly what concurrent micro-batching produces.
+        let rows: Vec<Row> = picks.iter().map(|&p| Row((p % f.num_rows) as u32)).collect();
+        let plan = if degenerate { &f.clauseless } else { &f.learned };
+
+        let chunk = [1usize, 3, 17, usize::MAX][chunk_sel].min(rows.len().max(1));
+        let mut scratch = ServeScratch::new();
+        let mut labels = Vec::with_capacity(rows.len());
+        if rows.is_empty() {
+            // The empty batch is legal and must yield the empty answer.
+            labels.extend(evaluate_batch(plan, &f.db, &rows, &mut scratch));
+        }
+        for c in rows.chunks(chunk) {
+            if !reuse_scratch {
+                scratch = ServeScratch::new();
+            }
+            labels.extend(evaluate_batch(plan, &f.db, c, &mut scratch));
+        }
+        prop_assert_eq!(labels.len(), rows.len(), "one label per row, always");
+        if degenerate {
+            // A clauseless plan can only ever answer the default label.
+            for l in &labels {
+                prop_assert_eq!(*l, f.clauseless.default_label);
+            }
+        }
+    }
+}

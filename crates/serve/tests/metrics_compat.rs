@@ -3,8 +3,9 @@
 //! The log₂ histogram moved from `crossmine-serve` into `crossmine-obs`;
 //! these tests pin that the move changed nothing observable: the
 //! re-exported types are the obs types, the bucket math is bit-identical,
-//! and `MetricsSnapshot`'s `Display` output is **byte-for-byte** what it
-//! was before the move.
+//! and `MetricsSnapshot`'s `Display` output is **byte-for-byte** pinned
+//! (the only change since the move is the `degraded` line added with
+//! admission control).
 
 use std::sync::atomic::Ordering;
 
@@ -41,6 +42,9 @@ fn snapshot_display_is_byte_compatible() {
     m.batch_size.record(1);
     m.batch_size.record(2);
     m.queue_depth.record(5);
+    m.shed.fetch_add(2, Ordering::Relaxed);
+    m.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    m.worker_restarts.fetch_add(1, Ordering::Relaxed);
     let snap = m.snapshot(4);
 
     // Hand-derived from the bucket math: 80 → bucket [64,127] (bound 127),
@@ -48,6 +52,7 @@ fn snapshot_display_is_byte_compatible() {
     // samples is rank 2 → 127; p95/p99 are rank 3 → 2047; max is exact.
     // Batch sizes 1 and 2 land in buckets with bounds 1 and 3.
     let expected = "requests: 3  errors: 0  batches: 2\n\
+                    degraded shed: 2  deadline_expired: 1  worker_restarts: 1\n\
                     latency  p50: 127us  p95: 2047us  p99: 2047us  max: 2000us\n\
                     batch    mean: 1.5  max: 2  queue depth max: 5  swaps: 4\n\
                     batch-size histogram (<=bound: count): <=1: 1 <=3: 1";
@@ -58,6 +63,7 @@ fn snapshot_display_is_byte_compatible() {
 fn empty_snapshot_display_is_byte_compatible() {
     let snap = ServeMetrics::new().snapshot(0);
     let expected = "requests: 0  errors: 0  batches: 0\n\
+                    degraded shed: 0  deadline_expired: 0  worker_restarts: 0\n\
                     latency  p50: 0us  p95: 0us  p99: 0us  max: 0us\n\
                     batch    mean: 0.0  max: 0  queue depth max: 0  swaps: 0\n\
                     batch-size histogram (<=bound: count):";

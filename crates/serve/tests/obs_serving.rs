@@ -21,16 +21,20 @@ fn enabled_handle_traces_serving_and_changes_no_prediction() {
         ..Default::default()
     });
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
-    let expected = model.predict(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
+    let expected = model.predict(&db, &rows).unwrap();
 
     let obs = ObsHandle::enabled();
     let plan = CompiledPlan::compile(&model, &db.schema).unwrap();
     let registry = Arc::new(ModelRegistry::new(plan));
     let config = ServerConfig { workers: 2, obs: obs.clone(), ..Default::default() };
-    let server = PredictionServer::start(Arc::new(db), registry, config);
+    let server = PredictionServer::start(Arc::new(db), registry, config).unwrap();
     for (i, &row) in rows.iter().enumerate() {
-        assert_eq!(server.predict(row).label, expected[i], "obs must not change predictions");
+        assert_eq!(
+            server.predict(row).unwrap().label,
+            expected[i],
+            "obs must not change predictions"
+        );
     }
     let report = server.shutdown();
     assert_eq!(report.errors, 0);

@@ -10,7 +10,8 @@ use proptest::prelude::*;
 use crossmine_core::classifier::{CrossMine, CrossMineModel};
 use crossmine_relational::{ClassLabel, Database, Row};
 use crossmine_serve::{
-    evaluate_batch, CompiledPlan, ModelRegistry, PredictionServer, ServeScratch, ServerConfig,
+    evaluate_batch, CompiledPlan, ModelRegistry, PredictionServer, ServeError, ServeScratch,
+    ServerConfig,
 };
 use crossmine_synth::{generate, GenParams};
 
@@ -32,9 +33,9 @@ fn fixture() -> &'static Fixture {
             ..Default::default()
         });
         let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-        let model = CrossMine::default().fit(&db, &rows);
+        let model = CrossMine::default().fit(&db, &rows).unwrap();
         assert!(model.num_clauses() >= 1, "fixture model must have learned something");
-        let expected = model.predict(&db, &rows);
+        let expected = model.predict(&db, &rows).unwrap();
         Fixture { db: Arc::new(db), model, rows, expected }
     })
 }
@@ -76,7 +77,7 @@ proptest! {
         idx.dedup();
         prop_assume!(!idx.is_empty());
         let rows: Vec<Row> = idx.iter().map(|&i| f.rows[i]).collect();
-        let expected = f.model.predict(&f.db, &rows);
+        let expected = f.model.predict(&f.db, &rows).unwrap();
 
         let plan = CompiledPlan::compile(&f.model, &f.db.schema).unwrap();
         let chunk = [1usize, 7, 64, rows.len()][size_sel].min(rows.len());
@@ -131,11 +132,13 @@ fn server_matches_predict_across_workers_and_batch_sizes() {
                     queue_capacity: 256,
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
             // Submit everything first (exercises batching), then collect.
-            let receivers: Vec<_> = f.rows.iter().map(|&r| server.submit(r)).collect();
+            let receivers: Vec<_> =
+                f.rows.iter().map(|&r| server.submit(r).expect("capacity fits")).collect();
             for (i, rx) in receivers.into_iter().enumerate() {
-                let p = rx.recv().expect("reply delivered");
+                let p = rx.wait().expect("reply delivered");
                 assert_eq!(p.row, f.rows[i]);
                 assert_eq!(
                     p.label, f.expected[i],
@@ -162,7 +165,7 @@ fn hot_swap_mid_stream_is_epoch_consistent() {
     let plan_a = CompiledPlan::compile(&f.model, &f.db.schema).unwrap();
     let model_b = alternate_model(f);
     let plan_b = CompiledPlan::compile(&model_b, &f.db.schema).unwrap();
-    let expected_b = model_b.predict(&f.db, &f.rows);
+    let expected_b = model_b.predict(&f.db, &f.rows).unwrap();
 
     for workers in [1usize, 4] {
         let registry = Arc::new(ModelRegistry::new(plan_a.clone()));
@@ -176,12 +179,13 @@ fn hot_swap_mid_stream_is_epoch_consistent() {
                 queue_capacity: 64,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let half = f.rows.len() / 2;
 
         // Phase 1: settle the first half fully under the old model.
         for (i, &row) in f.rows[..half].iter().enumerate() {
-            let p = server.predict(row);
+            let p = server.predict(row).expect("scored");
             assert_eq!(p.epoch, 0);
             assert_eq!(p.label, f.expected[i], "pre-swap row {}", row.0);
         }
@@ -192,7 +196,7 @@ fn hot_swap_mid_stream_is_epoch_consistent() {
         assert_eq!(epoch, 1);
 
         for (i, &row) in f.rows[half..].iter().enumerate() {
-            let p = server.predict(row);
+            let p = server.predict(row).expect("scored");
             assert_eq!(p.epoch, 1, "post-swap request scored under the old model");
             assert_eq!(p.label, expected_b[half + i], "post-swap row {}", row.0);
         }
@@ -214,7 +218,7 @@ fn concurrent_swap_never_tears_a_batch() {
     let plan_a = CompiledPlan::compile(&f.model, &f.db.schema).unwrap();
     let model_b = alternate_model(f);
     let plan_b = CompiledPlan::compile(&model_b, &f.db.schema).unwrap();
-    let expected_b = model_b.predict(&f.db, &f.rows);
+    let expected_b = model_b.predict(&f.db, &f.rows).unwrap();
 
     let registry = Arc::new(ModelRegistry::new(plan_a.clone()));
     let server = PredictionServer::start(
@@ -227,7 +231,8 @@ fn concurrent_swap_never_tears_a_batch() {
             queue_capacity: 32,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
 
     let swapper = {
         let registry = Arc::clone(&registry);
@@ -241,9 +246,22 @@ fn concurrent_swap_never_tears_a_batch() {
     let mut checked_old = 0u32;
     let mut checked_new = 0u32;
     for _pass in 0..6 {
-        let receivers: Vec<_> = f.rows.iter().map(|&r| server.submit(r)).collect();
+        // The queue (capacity 32) is smaller than one pass (120 rows), so
+        // admission control sheds under this submit-all pattern; spin-retry
+        // like a real client until every row is admitted.
+        let receivers: Vec<_> = f
+            .rows
+            .iter()
+            .map(|&r| loop {
+                match server.submit(r) {
+                    Ok(h) => break h,
+                    Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
+                    Err(e) => panic!("unexpected admission error: {e}"),
+                }
+            })
+            .collect();
         for (i, rx) in receivers.into_iter().enumerate() {
-            let p = rx.recv().expect("reply delivered");
+            let p = rx.wait().expect("reply delivered");
             match p.epoch {
                 0 => {
                     assert_eq!(p.label, f.expected[i], "epoch-0 reply must match model A");

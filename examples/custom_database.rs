@@ -95,14 +95,14 @@ fn main() {
     let target = db.target().expect("target");
     let rows: Vec<Row> = db.relation(target).iter_rows().collect();
     let (train, test): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 3 != 2);
-    let model = CrossMine::default().fit(&db, &train);
+    let model = CrossMine::default().fit(&db, &train).unwrap();
 
     println!("\nlearned rules:");
     for clause in &model.clauses {
         println!("  {}", clause.display(&db.schema));
     }
 
-    let preds = model.predict(&db, &test);
+    let preds = model.predict(&db, &test).unwrap();
     let correct = preds.iter().zip(&test).filter(|(p, r)| **p == db.label(**r)).count();
     println!(
         "\nholdout accuracy: {}/{} = {:.1}%",

@@ -27,7 +27,7 @@ fn main() {
 
     // Train on everything once to show the learned risk rules.
     let rows: Vec<Row> = db.relation(db.target().expect("target")).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     println!("\ntop risk rules (of {} learned):", model.num_clauses());
     for clause in model.clauses.iter().take(6) {
         println!(
@@ -56,8 +56,8 @@ fn main() {
     // Confusion matrix on a holdout third: accuracy alone hides the
     // imbalance (324+/76-).
     let (train, test): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 3 != 0);
-    let holdout_model = CrossMine::default().fit(&db, &train);
-    let preds = holdout_model.predict(&db, &test);
+    let holdout_model = CrossMine::default().fit(&db, &train).unwrap();
+    let preds = holdout_model.predict(&db, &test).unwrap();
     let matrix = ConfusionMatrix::from_predictions(&db, &test, &preds);
     println!("\nholdout confusion matrix:\n{}", matrix.report());
 

@@ -20,7 +20,7 @@ fn main() {
     let rows: Vec<Row> = db.relation(db.target().expect("target")).iter_rows().collect();
     let (train, test): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 3 != 0);
     let hybrid = CrossMineHybrid::default();
-    let model = hybrid.fit(&db, &train);
+    let model = hybrid.fit(&db, &train).unwrap();
 
     println!("clause features and their logistic weights:");
     let mut ranked: Vec<(usize, f64)> = model.head.weights.iter().copied().enumerate().collect();

@@ -25,7 +25,7 @@ fn main() {
 
     // Show what CrossMine's clauses look like on molecular data.
     let rows: Vec<Row> = db.relation(db.target().expect("target")).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     println!("\nexample activity rules:");
     for clause in model.clauses.iter().take(5) {
         println!("  {}", clause.display(&db.schema));

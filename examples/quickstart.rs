@@ -80,7 +80,7 @@ fn main() {
     let split = rows.len() * 2 / 3;
     let (train, test) = rows.split_at(split);
 
-    let model = CrossMine::default().fit(&db, train);
+    let model = CrossMine::default().fit(&db, train).unwrap();
     println!("\nlearned {} clauses:", model.num_clauses());
     for clause in &model.clauses {
         println!(
@@ -92,7 +92,7 @@ fn main() {
         );
     }
 
-    let predictions = model.predict(&db, test);
+    let predictions = model.predict(&db, test).unwrap();
     let correct =
         predictions.iter().zip(test).filter(|(pred, row)| **pred == db.label(**row)).count();
     println!(

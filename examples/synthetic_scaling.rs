@@ -22,7 +22,7 @@ use crossmine::{
 fn main() {
     let report = std::env::args().skip(1).any(|a| a == "--report");
     let obs = if report { ObsHandle::enabled() } else { ObsHandle::noop() };
-    let crossmine = CrossMine::new(CrossMineParams { obs: obs.clone(), ..Default::default() });
+    let crossmine = CrossMine::new(CrossMineParams::builder().obs(obs.clone()).build().unwrap());
 
     println!("Rx.T300.F2, one fold of 10-fold CV per point\n");
     println!("{:<6} {:>12} {:>12} {:>12}", "R", "CrossMine", "FOIL", "TILDE");

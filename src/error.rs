@@ -1,0 +1,151 @@
+//! The workspace-level error type: everything a `crossmine` entry point
+//! can return, in one matchable enum.
+//!
+//! Each member crate owns its own error hierarchy —
+//! [`RelationalError`] (split into [`SchemaError`] / [`DataError`]) for the
+//! substrate, [`ParamError`] for parameter validation, [`PlanError`] for
+//! clause compilation, and [`ServeError`] for the prediction server's
+//! degradations. [`CrossMineError`] is the union, with `From` impls so `?`
+//! lifts any of them; applications that drive the whole pipeline can carry
+//! one error type end to end while libraries keep the precise ones.
+//!
+//! [`SchemaError`]: crate::relational::SchemaError
+//! [`DataError`]: crate::relational::DataError
+
+use std::fmt;
+
+use crossmine_core::ParamError;
+use crossmine_relational::{DataError, RelationalError, SchemaError};
+use crossmine_serve::{PlanError, ServeError};
+
+/// Any error produced by the CrossMine workspace, by origin.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CrossMineError {
+    /// The relational substrate rejected a schema or its data.
+    Relational(RelationalError),
+    /// A [`CrossMineParams`](crate::CrossMineParams) builder value was out
+    /// of range.
+    Param(ParamError),
+    /// A trained model failed to compile against a schema.
+    Plan(PlanError),
+    /// The prediction server shed, expired, or abandoned a request.
+    Serve(ServeError),
+}
+
+impl fmt::Display for CrossMineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossMineError::Relational(e) => e.fmt(f),
+            CrossMineError::Param(e) => e.fmt(f),
+            CrossMineError::Plan(e) => e.fmt(f),
+            CrossMineError::Serve(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CrossMineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CrossMineError::Relational(e) => Some(e),
+            CrossMineError::Param(e) => Some(e),
+            CrossMineError::Plan(e) => Some(e),
+            CrossMineError::Serve(e) => Some(e),
+        }
+    }
+}
+
+impl From<RelationalError> for CrossMineError {
+    fn from(e: RelationalError) -> Self {
+        CrossMineError::Relational(e)
+    }
+}
+
+impl From<SchemaError> for CrossMineError {
+    fn from(e: SchemaError) -> Self {
+        CrossMineError::Relational(e.into())
+    }
+}
+
+impl From<DataError> for CrossMineError {
+    fn from(e: DataError) -> Self {
+        CrossMineError::Relational(e.into())
+    }
+}
+
+impl From<ParamError> for CrossMineError {
+    fn from(e: ParamError) -> Self {
+        CrossMineError::Param(e)
+    }
+}
+
+impl From<PlanError> for CrossMineError {
+    fn from(e: PlanError) -> Self {
+        CrossMineError::Plan(e)
+    }
+}
+
+impl From<ServeError> for CrossMineError {
+    fn from(e: ServeError) -> Self {
+        CrossMineError::Serve(e)
+    }
+}
+
+impl CrossMineError {
+    /// Whether a retry (with backoff) can plausibly succeed. Only serving
+    /// degradations are transient; schema, data, parameter, and plan
+    /// errors are deterministic and will recur.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            CrossMineError::Serve(e) => e.is_retryable(),
+            _ => false,
+        }
+    }
+}
+
+/// Convenience alias for workspace-level fallible APIs.
+pub type Result<T> = std::result::Result<T, CrossMineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn end_to_end() -> Result<()> {
+        // `?` must lift every member hierarchy, including the inner
+        // SchemaError/DataError split.
+        Err(SchemaError::NoTarget)?;
+        unreachable!()
+    }
+
+    #[test]
+    fn question_mark_lifts_every_hierarchy() {
+        assert_eq!(
+            end_to_end(),
+            Err(CrossMineError::Relational(RelationalError::Schema(SchemaError::NoTarget)))
+        );
+        let e: CrossMineError = DataError::EmptyTrainingSet.into();
+        assert!(matches!(e, CrossMineError::Relational(_)));
+        let e: CrossMineError = PlanError::NoTarget.into();
+        assert!(matches!(e, CrossMineError::Plan(_)));
+        let e: CrossMineError = ServeError::ShuttingDown.into();
+        assert!(matches!(e, CrossMineError::Serve(_)));
+    }
+
+    #[test]
+    fn display_and_source_delegate() {
+        use std::error::Error;
+        let e: CrossMineError = SchemaError::UnknownRelation("Loan".into()).into();
+        assert_eq!(e.to_string(), "unknown relation `Loan`");
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn only_serving_degradations_are_retryable() {
+        let e: CrossMineError = ServeError::Overloaded { queue_depth: 8, capacity: 8 }.into();
+        assert!(e.is_retryable());
+        let e: CrossMineError = ServeError::ShuttingDown.into();
+        assert!(!e.is_retryable());
+        let e: CrossMineError = SchemaError::NoTarget.into();
+        assert!(!e.is_retryable());
+    }
+}

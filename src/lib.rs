@@ -42,6 +42,9 @@
 //! assert!(result.mean_accuracy() > 0.5);
 //! ```
 
+pub mod error;
+pub mod prelude;
+
 pub use crossmine_baselines as baselines;
 pub use crossmine_core as core;
 pub use crossmine_datasets as datasets;
@@ -51,20 +54,23 @@ pub use crossmine_serve as serve;
 pub use crossmine_storage as storage;
 pub use crossmine_synth as synth;
 
+pub use error::CrossMineError;
+
 pub use crossmine_baselines::{Foil, FoilParams, Tilde, TildeParams};
 pub use crossmine_core::{
-    cross_validate, Clause, CrossMine, CrossMineModel, CrossMineParams, CvResult,
-    RelationalClassifier,
+    cross_validate, Clause, CrossMine, CrossMineModel, CrossMineParams, CrossMineParamsBuilder,
+    CvResult, ParamError, RelationalClassifier,
 };
 pub use crossmine_datasets::{
     generate_financial, generate_mutagenesis, FinancialConfig, MutagenesisConfig,
 };
 pub use crossmine_obs::{ObsHandle, ServeReport, TrainReport};
 pub use crossmine_relational::{
-    AttrId, AttrType, Attribute, ClassLabel, Database, DatabaseSchema, JoinGraph, RelId,
-    RelationSchema, Row, Value,
+    AttrId, AttrType, Attribute, ClassLabel, DataError, Database, DatabaseSchema, JoinGraph, RelId,
+    RelationSchema, RelationalError, Row, SchemaError, Value,
 };
 pub use crossmine_serve::{
-    CompiledPlan, ModelRegistry, Prediction, PredictionServer, ServerConfig,
+    ChaosConfig, CompiledPlan, ModelRegistry, PlanError, Prediction, PredictionHandle,
+    PredictionServer, ServeError, ServerConfig,
 };
 pub use crossmine_synth::{generate, GenParams};

@@ -84,15 +84,14 @@ fn parse_num<T: std::str::FromStr>(
 }
 
 fn params_from_flags(flags: &HashMap<&str, &str>) -> Result<CrossMineParams, String> {
-    let mut p = if flags.contains_key("sampling") {
-        CrossMineParams::with_sampling()
-    } else {
-        CrossMineParams::default()
-    };
-    p.min_foil_gain = parse_num(flags, "min-gain", p.min_foil_gain)?;
-    p.max_clause_length = parse_num(flags, "max-length", p.max_clause_length)?;
-    p.seed = parse_num(flags, "seed", p.seed)?;
-    Ok(p)
+    let d = CrossMineParams::default();
+    CrossMineParams::builder()
+        .sampling(flags.contains_key("sampling"))
+        .min_foil_gain(parse_num(flags, "min-gain", d.min_foil_gain)?)
+        .max_clause_length(parse_num(flags, "max-length", d.max_clause_length)?)
+        .seed(parse_num(flags, "seed", d.seed)?)
+        .build()
+        .map_err(|e| e.to_string())
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -164,8 +163,9 @@ fn run(args: &[String]) -> Result<(), String> {
                     prune_fraction,
                     &PruneConfig::default(),
                 )
+                .map_err(|e| e.to_string())?
             } else {
-                CrossMine::new(params).fit(&db, &rows)
+                CrossMine::new(params).fit(&db, &rows).map_err(|e| e.to_string())?
             };
             model_io::save(&model, &db.schema, model_path).map_err(|e| e.to_string())?;
             println!("{}", explain::report(&model, &db, &rows));
@@ -179,7 +179,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let model = model_io::load(model_path, &db.schema).map_err(|e| e.to_string())?;
             let rows: Vec<Row> =
                 db.relation(db.target().map_err(|e| e.to_string())?).iter_rows().collect();
-            let preds = model.predict(&db, &rows);
+            let preds = model.predict(&db, &rows).map_err(|e| e.to_string())?;
             for (r, p) in rows.iter().zip(&preds) {
                 println!("{} {}", r.0, p);
             }

@@ -1,0 +1,33 @@
+//! One-line import for the common CrossMine workflow:
+//!
+//! ```
+//! use crossmine::prelude::*;
+//!
+//! let db = generate(&GenParams { num_relations: 5, expected_tuples: 80, ..Default::default() });
+//! let rows: Vec<Row> = db.relation(db.target()?).iter_rows().collect();
+//! let model = CrossMine::default().fit(&db, &rows)?;
+//! let _labels = model.predict(&db, &rows)?;
+//! # Ok::<(), CrossMineError>(())
+//! ```
+//!
+//! The prelude pulls in the classifier and its parameters (builder
+//! included), the relational substrate types needed to construct and query
+//! databases, the serving layer, and the full error hierarchy so `?` works
+//! against [`CrossMineError`] out of the box. Anything rarer stays behind
+//! the explicit crate paths ([`crate::core`], [`crate::relational`], ...).
+
+pub use crate::error::{CrossMineError, Result};
+
+pub use crossmine_core::{
+    cross_validate, Clause, CrossMine, CrossMineModel, CrossMineParams, CrossMineParamsBuilder,
+    CvResult, ParamError, RelationalClassifier,
+};
+pub use crossmine_relational::{
+    AttrId, AttrType, Attribute, ClassLabel, DataError, Database, DatabaseBuilder, DatabaseSchema,
+    JoinGraph, RelId, RelationSchema, RelationalError, Row, SchemaError, Value,
+};
+pub use crossmine_serve::{
+    ChaosConfig, CompiledPlan, ModelRegistry, PlanError, Prediction, PredictionHandle,
+    PredictionServer, ServeError, ServerConfig,
+};
+pub use crossmine_synth::{generate, GenParams};

@@ -165,15 +165,15 @@ fn fit_is_deterministic() {
     };
     let db = crossmine::generate(&params);
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-    let m1 = CrossMine::default().fit(&db, &rows);
-    let m2 = CrossMine::default().fit(&db, &rows);
+    let m1 = CrossMine::default().fit(&db, &rows).unwrap();
+    let m2 = CrossMine::default().fit(&db, &rows).unwrap();
     assert_eq!(m1.num_clauses(), m2.num_clauses());
     for (a, b) in m1.clauses.iter().zip(&m2.clauses) {
         assert_eq!(a.display(&db.schema), b.display(&db.schema));
         assert_eq!(a.sup_pos, b.sup_pos);
     }
-    let p1 = m1.predict(&db, &rows);
-    let p2 = m2.predict(&db, &rows);
+    let p1 = m1.predict(&db, &rows).unwrap();
+    let p2 = m2.predict(&db, &rows).unwrap();
     assert_eq!(p1, p2);
 }
 

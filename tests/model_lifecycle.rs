@@ -21,7 +21,8 @@ fn train_prune_save_load_predict() {
 
     // Train with pruning.
     let pruned =
-        fit_with_pruning(&CrossMine::default(), &db, &train, 0.25, &PruneConfig::default());
+        fit_with_pruning(&CrossMine::default(), &db, &train, 0.25, &PruneConfig::default())
+            .unwrap();
     assert!(pruned.num_clauses() > 0);
 
     // Save + reload the model.
@@ -30,8 +31,8 @@ fn train_prune_save_load_predict() {
     let reloaded = model_io::load(&model_path, &db.schema).unwrap();
 
     // Reloaded model predicts identically and respectably.
-    let a = pruned.predict(&db, &holdout);
-    let b = reloaded.predict(&db, &holdout);
+    let a = pruned.predict(&db, &holdout).unwrap();
+    let b = reloaded.predict(&db, &holdout).unwrap();
     assert_eq!(a, b, "save/load must not change predictions");
     let acc = crossmine::core::eval::accuracy(&db, &holdout, &b);
     assert!(acc > 0.7, "lifecycle accuracy {acc:.3}");
@@ -44,7 +45,7 @@ fn pruned_model_not_larger_than_original() {
     let db = crossmine::generate_financial(&FinancialConfig::small());
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
     let (validation, train): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 4 == 0);
-    let model = CrossMine::default().fit(&db, &train);
+    let model = CrossMine::default().fit(&db, &train).unwrap();
     let pruned = crossmine::core::pruning::prune(&model, &db, &validation, &PruneConfig::default());
     assert!(pruned.num_clauses() <= model.num_clauses());
     let orig_literals: usize = model.clauses.iter().map(|c| c.len()).sum();
@@ -74,13 +75,13 @@ fn multiclass_model_roundtrips() {
         db.push_label(ClassLabel(class));
     }
     let rows: Vec<Row> = db.relation(tid).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     assert_eq!(model.classes.len(), 3);
 
     let text = model_io::to_string(&model, &db.schema);
     let reloaded = model_io::from_str(&text, &db.schema).unwrap();
     assert_eq!(reloaded.classes, model.classes);
-    assert_eq!(model.predict(&db, &rows), reloaded.predict(&db, &rows));
+    assert_eq!(model.predict(&db, &rows).unwrap(), reloaded.predict(&db, &rows).unwrap());
 }
 
 #[test]

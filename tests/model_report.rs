@@ -11,7 +11,7 @@ use crossmine::{ClassLabel, CrossMine, FinancialConfig, MutagenesisConfig, Row};
 fn financial_model_uses_join_reachable_features() {
     let db = crossmine::generate_financial(&FinancialConfig::small());
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     assert!(model.num_clauses() > 0);
     let usage = feature_usage(&model, &db);
     // The planted risk signal lives outside the Loan relation: at least one
@@ -29,7 +29,7 @@ fn financial_model_uses_join_reachable_features() {
 fn mutagenesis_model_reads_molecule_numerics() {
     let db = crossmine::generate_mutagenesis(&MutagenesisConfig::default());
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     let usage = feature_usage(&model, &db);
     // The planted DNF rules are driven by lumo/logp — numerical literals.
     assert!(usage.literal_kinds.1 > 0, "expected numerical literals: {usage:?}");
@@ -45,7 +45,7 @@ fn mutagenesis_model_reads_molecule_numerics() {
 fn clause_coverage_sums_are_sane() {
     let db = crossmine::generate_financial(&FinancialConfig::small());
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     for cov in clause_coverage(&model, &db, &rows) {
         assert!(cov.correct <= cov.covered);
         assert!(cov.covered <= rows.len());
@@ -60,8 +60,8 @@ fn confusion_matrix_consistent_with_accuracy() {
     let db = crossmine::generate_mutagenesis(&MutagenesisConfig::default());
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
     let (train, test): (Vec<Row>, Vec<Row>) = rows.iter().partition(|r| r.0 % 4 != 0);
-    let model = CrossMine::default().fit(&db, &train);
-    let preds = model.predict(&db, &test);
+    let model = CrossMine::default().fit(&db, &train).unwrap();
+    let preds = model.predict(&db, &test).unwrap();
     let matrix = ConfusionMatrix::from_predictions(&db, &test, &preds);
     let plain = crossmine::core::eval::accuracy(&db, &test, &preds);
     assert!((matrix.accuracy() - plain).abs() < 1e-12);

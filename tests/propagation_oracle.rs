@@ -125,7 +125,7 @@ fn check_seed(seed: u64, num_relations: usize, tuples: usize) {
     };
     let db = crossmine::generate(&params);
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     assert!(
         !model.clauses.is_empty(),
         "seed {seed}: planted data should produce at least one clause"
@@ -160,7 +160,7 @@ fn propagation_equals_oracle_larger_schema() {
 fn propagation_equals_oracle_on_financial() {
     let db = crossmine::generate_financial(&crossmine::FinancialConfig::small());
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     for clause in &model.clauses {
         let via_prop = propagation_satisfiers(&db, &clause.literals, &rows);
         let via_oracle = oracle_satisfiers(&db, &clause.literals, &rows);
@@ -183,7 +183,7 @@ fn clause_support_matches_propagation_on_training_set() {
     };
     let db = crossmine::generate(&params);
     let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
-    let model = CrossMine::default().fit(&db, &rows);
+    let model = CrossMine::default().fit(&db, &rows).unwrap();
     // Find the first clause built for each class: it saw the full set.
     for class in [ClassLabel::POS, ClassLabel::NEG] {
         // Clauses are sorted by accuracy; rebuild insertion order is lost.

@@ -127,7 +127,7 @@ proptest! {
         let is_pos: Vec<bool> = labels.to_vec();
         let targets = TargetSet::all(&is_pos);
         let mut stamp = Stamp::new(n);
-        let params = CrossMineParams { aggregation_literals: false, ..Default::default() };
+        let params = CrossMineParams::builder().aggregation_literals(false).build().unwrap();
         let ann = crossmine::core::propagation::Annotation {
             idsets: (0..n as u32).map(IdSet::singleton).collect(),
         };
