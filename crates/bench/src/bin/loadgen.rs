@@ -15,6 +15,8 @@
 //! cargo run --release -p crossmine-bench --bin loadgen -- \
 //!     --report --jsonl /tmp/obs.jsonl
 //! cargo run --release -p crossmine-bench --bin loadgen -- --chaos --smoke
+//! cargo run --release -p crossmine-bench --bin loadgen -- \
+//!     --prom 127.0.0.1:0 --explain 3
 //! ```
 //!
 //! `--report` attaches enabled `crossmine-obs` handles to training and
@@ -32,6 +34,14 @@
 //! injected worker panic was survived, and the server shuts down cleanly —
 //! degradations (sheds, expiries, restarts) are expected and reported, but
 //! crashes, deadlocks, and wrong answers are not.
+//!
+//! `--prom ADDR` binds the live telemetry endpoint
+//! (`ServerConfig::telemetry_addr`) and scrapes `GET /metrics` from it
+//! over real TCP midway through the run — proving the Prometheus surface
+//! works under production load — then prints the second-half delta of the
+//! server's own metrics via `MetricsSnapshot::diff`. `--explain N` prints
+//! full provenance (fired clauses, matched literals, prop-path lengths)
+//! for the first N rows as JSONL after the run.
 //!
 //! Exits non-zero on any parity mismatch, delivery error, or lost request.
 
@@ -61,6 +71,8 @@ struct Args {
     report: bool,
     jsonl: Option<String>,
     chaos: bool,
+    prom: Option<String>,
+    explain: usize,
 }
 
 impl Default for Args {
@@ -77,6 +89,8 @@ impl Default for Args {
             report: false,
             jsonl: None,
             chaos: false,
+            prom: None,
+            explain: 0,
         }
     }
 }
@@ -112,6 +126,14 @@ fn parse_args() -> Args {
                 let path = argv.get(i).unwrap_or_else(|| die("--jsonl needs a file path"));
                 args.jsonl = Some(path.clone());
             }
+            "--prom" => {
+                i += 1;
+                let addr = argv
+                    .get(i)
+                    .unwrap_or_else(|| die("--prom needs an address (e.g. 127.0.0.1:0)"));
+                args.prom = Some(addr.clone());
+            }
+            "--explain" => args.explain = take(&mut i) as usize,
             other => die(&format!("unknown flag {other} (try --smoke)")),
         }
         i += 1;
@@ -195,9 +217,16 @@ fn main() {
             queue_capacity: if args.chaos { 2 } else { 1024 },
             obs: serve_obs.clone(),
             chaos: if args.chaos { ChaosConfig::standard() } else { ChaosConfig::off() },
+            telemetry_addr: args.prom.as_ref().map(|a| {
+                a.parse().unwrap_or_else(|e| die(&format!("--prom: invalid address {a:?}: {e}")))
+            }),
         },
     )
     .unwrap_or_else(|e| die(&format!("server failed to start: {e}")));
+    if args.prom.is_some() {
+        let addr = server.telemetry_addr().expect("--prom was given, so telemetry is on");
+        println!("telemetry live at http://{addr} (/metrics /healthz /buildinfo)");
+    }
     if args.chaos {
         println!("chaos mode: stalls, worker panics, oversized batches, repeated hot swaps");
         // Injected panics are expected by the hundreds; silence their
@@ -223,6 +252,10 @@ fn main() {
     let total = per_client * args.clients.max(1);
     let chaos = args.chaos;
     let swap_plan = plan.clone();
+    // `--prom`: filled midway through the run by the scrape thread with
+    // (server metrics at the scrape instant, raw /metrics body).
+    let scrape: std::sync::Mutex<Option<(crossmine_serve::MetricsSnapshot, String)>> =
+        std::sync::Mutex::new(None);
     let bench_start = Instant::now();
     std::thread::scope(|scope| {
         for c in 0..args.clients.max(1) {
@@ -247,6 +280,23 @@ fn main() {
                         mismatches.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+            });
+        }
+        if let Some(addr) = server.telemetry_addr() {
+            // Scrape the live endpoint over real TCP while clients are
+            // mid-flight — the point of `--prom` is proving the Prometheus
+            // surface under production load, not after it.
+            let server = &server;
+            let answered = &answered;
+            let scrape = &scrape;
+            let half = (total / 2) as u64;
+            scope.spawn(move || {
+                while answered.load(Ordering::Relaxed) < half {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                let mid = server.metrics();
+                let body = http_get(addr, "/metrics");
+                *scrape.lock().unwrap_or_else(|e| e.into_inner()) = Some((mid, body));
             });
         }
         if chaos {
@@ -276,6 +326,29 @@ fn main() {
         }
     });
     let elapsed = bench_start.elapsed();
+
+    if let Some((mid, body)) = scrape.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        let samples = body.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count();
+        if !body.contains("crossmine_serve_requests_total") {
+            die("scraped /metrics is missing crossmine_serve_requests_total");
+        }
+        println!();
+        println!("mid-run /metrics scrape: {samples} samples, {} bytes", body.len());
+        println!("second half only (now minus mid-run scrape):");
+        println!("{}", server.metrics().diff(&mid));
+    }
+
+    if args.explain > 0 {
+        let n = args.explain.min(rows.len());
+        println!();
+        println!("provenance for the first {n} rows (JSONL):");
+        for &row in &rows[..n] {
+            match server.predict_explained(row) {
+                Ok(p) => println!("{}", p.explanation.to_json()),
+                Err(e) => die(&format!("--explain failed on row {}: {e}", row.0)),
+            }
+        }
+    }
 
     let report = server.shutdown();
     let throughput = total as f64 / elapsed.as_secs_f64();
@@ -353,6 +426,30 @@ fn chaos_request(
         }
     }
     die("request starved: not answered within the chaos retry budget")
+}
+
+/// One blocking HTTP/1.1 GET against the telemetry endpoint, returning
+/// the response body. Any failure is fatal: `--prom` exists to prove the
+/// endpoint works, so a scrape error is a result, not an inconvenience.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .unwrap_or_else(|e| die(&format!("scrape: connect {addr}: {e}")));
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(2))).ok();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap_or_else(|e| die(&format!("scrape: send: {e}")));
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap_or_else(|e| die(&format!("scrape: read: {e}")));
+    let (head, body) =
+        response.split_once("\r\n\r\n").unwrap_or_else(|| die("scrape: malformed HTTP response"));
+    if !head.starts_with("HTTP/1.1 200") {
+        die(&format!("scrape: GET {path} answered {}", head.lines().next().unwrap_or("")));
+    }
+    body.to_string()
 }
 
 /// Writes every train-side then serve-side metric as one JSON object per

@@ -1,0 +1,109 @@
+//! The continuous-bench suite and its regression gate.
+//!
+//! Runs the pinned benchmark suite (learner fits, warm propagation, the
+//! serve evaluator, and end-to-end serve latency), aggregates every
+//! benchmark into median-of-N with a MAD noise band, and optionally
+//! writes the schema-versioned report or gates it against a committed
+//! baseline:
+//!
+//! ```text
+//! cargo run --release -p crossmine-bench --bin suite
+//! cargo run --release -p crossmine-bench --bin suite -- --out BENCH_crossmine.json
+//! cargo run --release -p crossmine-bench --bin suite -- --smoke --check BENCH_crossmine.json
+//! ```
+//!
+//! `--check FILE` exits non-zero when any benchmark's fresh median
+//! exceeds `baseline × 1.15 + 3 × MAD` — more than 15 % slower and
+//! outside the baseline's noise band. When the baseline was recorded on
+//! a different kind of machine (fingerprint mismatch) regressions are
+//! printed as warnings and the gate passes: absolute times don't
+//! transfer across hardware. `--smoke` skips the expensive fit so CI can
+//! run the gate on every push; the remaining benchmark names still match
+//! a full baseline.
+
+use crossmine_bench::suite::{check, run_suite, BenchReport, SuiteConfig};
+
+struct Args {
+    config: SuiteConfig,
+    out: Option<String>,
+    check_against: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut config = SuiteConfig::default();
+    let mut out = None;
+    let mut check_against = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take_num = |i: &mut usize| -> u64 {
+            *i += 1;
+            argv.get(*i)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| die(&format!("{} needs a numeric value", argv[*i - 1])))
+        };
+        let take_str = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| die(&format!("{} needs a value", argv[*i - 1])))
+        };
+        match argv[i].as_str() {
+            "--smoke" => {
+                let samples = config.samples;
+                config = SuiteConfig::smoke();
+                // An explicit --samples before --smoke still wins.
+                if samples != SuiteConfig::default().samples {
+                    config.samples = samples;
+                }
+            }
+            "--samples" => config.samples = take_num(&mut i) as usize,
+            "--requests" => config.serve_requests = take_num(&mut i) as usize,
+            "--seed" => config.seed = take_num(&mut i),
+            "--only" => config.only = Some(take_str(&mut i)),
+            "--out" => out = Some(take_str(&mut i)),
+            "--check" => check_against = Some(take_str(&mut i)),
+            other => die(&format!("unknown flag {other} (try --smoke, --out, --check)")),
+        }
+        i += 1;
+    }
+    if config.samples == 0 {
+        die("--samples must be at least 1");
+    }
+    Args { config, out, check_against }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("suite: {msg}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let args = parse_args();
+    let mode = if args.config.smoke { "smoke" } else { "full" };
+    println!(
+        "continuous-bench suite ({mode}, {} samples per bench, {} serve requests)",
+        args.config.samples, args.config.serve_requests
+    );
+    let report = run_suite(&args.config, |line| println!("  {line}"));
+
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &args.check_against {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read baseline {path}: {e}")));
+        let baseline =
+            BenchReport::from_json(&text).unwrap_or_else(|e| die(&format!("baseline {path}: {e}")));
+        let outcome = check(&baseline, &report);
+        println!("gate against {path}:");
+        print!("{}", outcome.render());
+        if outcome.failed() {
+            eprintln!("suite: regression gate FAILED");
+            std::process::exit(1);
+        }
+        println!("regression gate passed");
+    }
+}

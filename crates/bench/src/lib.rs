@@ -19,6 +19,9 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod suite;
+
 use std::time::Duration;
 
 use crossmine_baselines::common::CandidateSpace;

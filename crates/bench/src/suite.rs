@@ -1,0 +1,682 @@
+//! The continuous-bench regression gate.
+//!
+//! [`run_suite`] executes a pinned suite of end-to-end benchmarks —
+//! learner fits on the §7.1 synthetic workloads, a warm tuple-ID
+//! propagation pass, the serve-layer batched evaluator, and the
+//! prediction server's end-to-end latency under client load — and folds
+//! each into a [`BenchSample`]: the **median of N runs** plus the **median
+//! absolute deviation (MAD)** as a noise band. The whole suite serializes
+//! to a schema-versioned JSON document (`BENCH_crossmine.json`) carrying a
+//! machine fingerprint, and [`check`] compares a fresh run against such a
+//! committed baseline:
+//!
+//! > a benchmark **regresses** when
+//! > `new_median > baseline_median × 1.15 + 3 × baseline_MAD`
+//!
+//! i.e. more than 15 % slower *and* outside three noise bands. Only names
+//! present in both reports are compared, so a smoke run (which skips the
+//! expensive fit) still gates against a full baseline. When the machine
+//! fingerprint differs, regressions are downgraded to warnings — absolute
+//! times from another box prove nothing.
+//!
+//! The serve benchmarks take a [`ChaosConfig`], which is how the test
+//! suite proves the gate actually fires: injecting a per-batch stall
+//! slows the server measurably, and `check` must flag it.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossmine_core::CrossMine;
+use crossmine_relational::{Database, Row};
+use crossmine_serve::{
+    evaluate_batch, ChaosConfig, CompiledPlan, ModelRegistry, PredictionServer, ServeScratch,
+    ServerConfig,
+};
+use crossmine_synth::{generate, GenParams};
+
+use crate::json::Json;
+
+/// Current on-disk schema version of the suite report.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Regression threshold: a benchmark fails when its fresh median exceeds
+/// `baseline × REGRESSION_FACTOR + NOISE_BANDS × MAD`.
+pub const REGRESSION_FACTOR: f64 = 1.15;
+/// How many baseline MADs of slack the gate grants on top of the factor.
+pub const NOISE_BANDS: f64 = 3.0;
+
+/// Knobs of one suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Runs per benchmark; the sample is the median, the noise band the MAD.
+    pub samples: usize,
+    /// Skip the expensive benchmarks (the R10.T500.F5 fit). Smoke runs
+    /// share every other benchmark name with full runs so `check` still
+    /// compares them against a full baseline.
+    pub smoke: bool,
+    /// Requests issued per serve-latency sample.
+    pub serve_requests: usize,
+    /// RNG seed for workload generation.
+    pub seed: u64,
+    /// Fault injection for the serve benchmarks. Off by default; the
+    /// regression-gate test injects stalls here to prove `check` fires.
+    pub chaos: ChaosConfig,
+    /// When set, only benchmarks whose name starts with this prefix run.
+    pub only: Option<String>,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            samples: 5,
+            smoke: false,
+            serve_requests: 2000,
+            seed: 42,
+            chaos: ChaosConfig::off(),
+            only: None,
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// The fast configuration CI runs on every push.
+    pub fn smoke() -> Self {
+        SuiteConfig { samples: 3, smoke: true, serve_requests: 300, ..SuiteConfig::default() }
+    }
+}
+
+/// One benchmark's aggregated measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSample {
+    /// Stable benchmark name, e.g. `learner.fit.R5.T200.F3`.
+    pub name: String,
+    /// Unit of every number in this sample (`ms` or `us`).
+    pub unit: String,
+    /// Median across runs.
+    pub median: f64,
+    /// Median absolute deviation across runs — the noise band.
+    pub mad: f64,
+    /// The raw per-run measurements, in run order.
+    pub samples: Vec<f64>,
+}
+
+/// Where a report was produced. Comparing absolute medians across
+/// machines is meaningless, so [`check`] downgrades regressions to
+/// warnings when fingerprints differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Target architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// Available parallelism at run time.
+    pub parallelism: u64,
+}
+
+impl Fingerprint {
+    /// The fingerprint of this machine, right now.
+    pub fn current() -> Self {
+        Fingerprint {
+            arch: std::env::consts::ARCH.to_string(),
+            os: std::env::consts::OS.to_string(),
+            parallelism: std::thread::available_parallelism().map(|p| p.get() as u64).unwrap_or(1),
+        }
+    }
+}
+
+/// A full suite run: what was measured, where, and under which schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// On-disk schema version; bumped on incompatible changes.
+    pub schema_version: u64,
+    /// The machine that produced the numbers.
+    pub fingerprint: Fingerprint,
+    /// Whether this was a smoke run.
+    pub smoke: bool,
+    /// Runs per benchmark.
+    pub samples_per_bench: usize,
+    /// The measurements, in suite order.
+    pub results: Vec<BenchSample>,
+}
+
+/// One name-by-name comparison from [`check`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Benchmark name present in both reports.
+    pub name: String,
+    /// Baseline median.
+    pub base_median: f64,
+    /// Baseline noise band (MAD).
+    pub base_mad: f64,
+    /// Fresh median.
+    pub new_median: f64,
+    /// `new_median / base_median` (`inf` when the baseline is 0).
+    pub ratio: f64,
+    /// Whether the regression rule fired for this benchmark.
+    pub regressed: bool,
+}
+
+/// The outcome of gating a fresh report against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Per-benchmark comparisons over the name intersection.
+    pub comparisons: Vec<Comparison>,
+    /// Whether both reports came from the same kind of machine.
+    pub fingerprint_match: bool,
+    /// Names present in the baseline but missing from the fresh run
+    /// (informational — smoke runs legitimately skip benchmarks).
+    pub missing: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the gate should fail the build: at least one regression on
+    /// a matching machine. On a foreign machine regressions are warnings.
+    pub fn failed(&self) -> bool {
+        self.fingerprint_match && self.comparisons.iter().any(|c| c.regressed)
+    }
+
+    /// All comparisons that fired the rule, regardless of fingerprint.
+    pub fn regressions(&self) -> impl Iterator<Item = &Comparison> {
+        self.comparisons.iter().filter(|c| c.regressed)
+    }
+
+    /// Human-readable gate summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.comparisons {
+            let verdict = if !c.regressed {
+                "ok"
+            } else if self.fingerprint_match {
+                "REGRESSED"
+            } else {
+                "regressed (foreign baseline — warning only)"
+            };
+            out.push_str(&format!(
+                "  {:<32} base {:>10.1} (mad {:>6.1})  now {:>10.1}  x{:.2}  {}\n",
+                c.name, c.base_median, c.base_mad, c.new_median, c.ratio, verdict
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("  {name:<32} not measured in this run (skipped)\n"));
+        }
+        if !self.fingerprint_match {
+            out.push_str(
+                "  note: baseline fingerprint differs; regressions do not fail the gate\n",
+            );
+        }
+        out
+    }
+}
+
+/// Median of a slice (averaging the middle pair for even lengths).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("bench samples are finite"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation around the median.
+pub fn mad(values: &[f64]) -> f64 {
+    let m = median(values);
+    let deviations: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
+    median(&deviations)
+}
+
+fn sample_from(name: &str, unit: &str, runs: Vec<f64>) -> BenchSample {
+    BenchSample {
+        name: name.to_string(),
+        unit: unit.to_string(),
+        median: median(&runs),
+        mad: mad(&runs),
+        samples: runs,
+    }
+}
+
+fn workload_r5(seed: u64) -> GenParams {
+    GenParams {
+        num_relations: 5,
+        expected_tuples: 200,
+        min_tuples: 60,
+        expected_foreign_keys: 3,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn workload_r10(seed: u64) -> GenParams {
+    GenParams {
+        num_relations: 10,
+        expected_tuples: 500,
+        min_tuples: 150,
+        expected_foreign_keys: 5,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn target_rows(db: &Database) -> Vec<Row> {
+    db.relation(db.target().expect("synthetic databases always set a target")).iter_rows().collect()
+}
+
+fn wants(config: &SuiteConfig, name: &str) -> bool {
+    config.only.as_deref().map(|p| name.starts_with(p)).unwrap_or(true)
+}
+
+/// Run the pinned suite and aggregate every benchmark into median + MAD.
+///
+/// `progress` receives one line per finished benchmark (pass
+/// `|_| {}` to stay silent, or hook it to stderr from the binary).
+pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchReport {
+    let mut results = Vec::new();
+
+    // -- Learner: end-to-end fit on the §7.1 workloads ------------------
+    let mut fit_bench = |name: &str, params: &GenParams, results: &mut Vec<BenchSample>| {
+        if !wants(config, name) {
+            return;
+        }
+        let db = generate(params);
+        let rows = target_rows(&db);
+        let mut runs = Vec::with_capacity(config.samples);
+        for _ in 0..config.samples {
+            let start = Instant::now();
+            let model = CrossMine::default().fit(&db, &rows).expect("fit on pinned workload");
+            runs.push(start.elapsed().as_secs_f64() * 1e3);
+            std::hint::black_box(model.num_clauses());
+        }
+        let sample = sample_from(name, "ms", runs);
+        progress(&format!(
+            "{:<32} median {:.1} ms (mad {:.1})",
+            sample.name, sample.median, sample.mad
+        ));
+        results.push(sample);
+    };
+    fit_bench("learner.fit.R5.T200.F3", &workload_r5(config.seed), &mut results);
+    if !config.smoke {
+        fit_bench("learner.fit.R10.T500.F5", &workload_r10(config.seed), &mut results);
+    }
+
+    // -- Shared model for the propagation / serve benchmarks ------------
+    let db = Arc::new(generate(&workload_r5(config.seed)));
+    let rows = target_rows(&db);
+    let model = CrossMine::default().fit(&db, &rows).expect("fit on pinned workload");
+    let plan = CompiledPlan::compile(&model, &db.schema).expect("plan compiles");
+
+    // -- Propagation: a warm in-core predict pass ------------------------
+    if wants(config, "propagation.predict.R5.T200.F3") {
+        let mut runs = Vec::with_capacity(config.samples);
+        // One warmup pass so the first sample doesn't pay cold caches.
+        std::hint::black_box(model.predict(&db, &rows).expect("predict"));
+        for _ in 0..config.samples {
+            let start = Instant::now();
+            let labels = model.predict(&db, &rows).expect("predict");
+            runs.push(start.elapsed().as_secs_f64() * 1e6);
+            std::hint::black_box(labels.len());
+        }
+        let sample = sample_from("propagation.predict.R5.T200.F3", "us", runs);
+        progress(&format!(
+            "{:<32} median {:.1} us (mad {:.1})",
+            sample.name, sample.median, sample.mad
+        ));
+        results.push(sample);
+    }
+
+    // -- Serve: the batched evaluator over reusable scratch --------------
+    if wants(config, "serve.eval_batch.R5.T200.F3") {
+        let mut scratch = ServeScratch::new();
+        std::hint::black_box(evaluate_batch(&plan, &db, &rows, &mut scratch));
+        let mut runs = Vec::with_capacity(config.samples);
+        for _ in 0..config.samples {
+            let start = Instant::now();
+            let labels = evaluate_batch(&plan, &db, &rows, &mut scratch);
+            runs.push(start.elapsed().as_secs_f64() * 1e6);
+            std::hint::black_box(labels.len());
+        }
+        let sample = sample_from("serve.eval_batch.R5.T200.F3", "us", runs);
+        progress(&format!(
+            "{:<32} median {:.1} us (mad {:.1})",
+            sample.name, sample.median, sample.mad
+        ));
+        results.push(sample);
+    }
+
+    // -- Serve: end-to-end request latency under the micro-batcher -------
+    let want_p50 = wants(config, "serve.latency_p50");
+    let want_p99 = wants(config, "serve.latency_p99");
+    if want_p50 || want_p99 {
+        let mut p50_runs = Vec::with_capacity(config.samples);
+        let mut p99_runs = Vec::with_capacity(config.samples);
+        for _ in 0..config.samples {
+            let registry = Arc::new(ModelRegistry::new(plan.clone()));
+            let server = PredictionServer::start(
+                Arc::clone(&db),
+                registry,
+                ServerConfig { chaos: config.chaos.clone(), ..ServerConfig::default() },
+            )
+            .expect("default server config is valid");
+            let mut latencies_us = Vec::with_capacity(config.serve_requests);
+            for i in 0..config.serve_requests {
+                let row = rows[i % rows.len()];
+                let start = Instant::now();
+                server.predict(row).expect("serve bench runs without panics or deadlines");
+                latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+            }
+            server.shutdown();
+            // Exact client-side quantiles — deliberately NOT the server's
+            // log2-bucketed histogram, whose bucket bounds quantize medians
+            // too coarsely (2x steps) for a 15 % gate.
+            latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let q = |f: f64| {
+                let idx = ((latencies_us.len() - 1) as f64 * f).round() as usize;
+                latencies_us[idx]
+            };
+            p50_runs.push(q(0.50));
+            p99_runs.push(q(0.99));
+        }
+        if want_p50 {
+            let sample = sample_from("serve.latency_p50", "us", p50_runs);
+            progress(&format!(
+                "{:<32} median {:.1} us (mad {:.1})",
+                sample.name, sample.median, sample.mad
+            ));
+            results.push(sample);
+        }
+        if want_p99 {
+            let sample = sample_from("serve.latency_p99", "us", p99_runs);
+            progress(&format!(
+                "{:<32} median {:.1} us (mad {:.1})",
+                sample.name, sample.median, sample.mad
+            ));
+            results.push(sample);
+        }
+    }
+
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        fingerprint: Fingerprint::current(),
+        smoke: config.smoke,
+        samples_per_bench: config.samples,
+        results,
+    }
+}
+
+/// Gate a fresh report against a committed baseline.
+///
+/// Compares the intersection of benchmark names; each fails when
+/// `new_median > base_median × 1.15 + 3 × base_MAD`. A fingerprint
+/// mismatch keeps the comparisons but [`GateOutcome::failed`] stays
+/// `false` — foreign absolute times only warn.
+pub fn check(baseline: &BenchReport, current: &BenchReport) -> GateOutcome {
+    let fingerprint_match = baseline.fingerprint == current.fingerprint;
+    let mut comparisons = Vec::new();
+    let mut missing = Vec::new();
+    for base in &baseline.results {
+        match current.results.iter().find(|s| s.name == base.name) {
+            None => missing.push(base.name.clone()),
+            Some(cur) => {
+                let threshold = base.median * REGRESSION_FACTOR + NOISE_BANDS * base.mad;
+                let ratio =
+                    if base.median > 0.0 { cur.median / base.median } else { f64::INFINITY };
+                comparisons.push(Comparison {
+                    name: base.name.clone(),
+                    base_median: base.median,
+                    base_mad: base.mad,
+                    new_median: cur.median,
+                    ratio,
+                    regressed: cur.median > threshold,
+                });
+            }
+        }
+    }
+    GateOutcome { comparisons, fingerprint_match, missing }
+}
+
+// ---------------------------------------------------------------------
+// JSON (de)serialization
+// ---------------------------------------------------------------------
+
+/// Why a baseline document could not be loaded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportError {
+    /// The document is not valid JSON.
+    Parse(String),
+    /// The document parses but does not match the report schema.
+    Schema(String),
+    /// The document's `schema_version` is one this build cannot read.
+    Version(u64),
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::Parse(e) => write!(f, "invalid JSON: {e}"),
+            ReportError::Schema(e) => write!(f, "schema mismatch: {e}"),
+            ReportError::Version(v) => {
+                write!(f, "unsupported schema_version {v} (this build reads {SCHEMA_VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl BenchReport {
+    /// Serialize to the pretty, committed `BENCH_crossmine.json` form.
+    pub fn to_json(&self) -> String {
+        let results = self
+            .results
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(s.name.clone())),
+                    ("unit".into(), Json::Str(s.unit.clone())),
+                    ("median".into(), Json::Num(s.median)),
+                    ("mad".into(), Json::Num(s.mad)),
+                    (
+                        "samples".into(),
+                        Json::Arr(s.samples.iter().map(|&v| Json::Num(v)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Num(self.schema_version as f64)),
+            (
+                "fingerprint".into(),
+                Json::Obj(vec![
+                    ("arch".into(), Json::Str(self.fingerprint.arch.clone())),
+                    ("os".into(), Json::Str(self.fingerprint.os.clone())),
+                    ("parallelism".into(), Json::Num(self.fingerprint.parallelism as f64)),
+                ]),
+            ),
+            ("smoke".into(), Json::Bool(self.smoke)),
+            ("samples_per_bench".into(), Json::Num(self.samples_per_bench as f64)),
+            ("results".into(), Json::Arr(results)),
+        ])
+        .render_pretty()
+    }
+
+    /// Parse a document produced by [`BenchReport::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, ReportError> {
+        let doc = Json::parse(text).map_err(|e| ReportError::Parse(e.to_string()))?;
+        let field = |name: &str| {
+            doc.get(name).ok_or_else(|| ReportError::Schema(format!("missing field '{name}'")))
+        };
+        let version = field("schema_version")?
+            .as_u64()
+            .ok_or_else(|| ReportError::Schema("schema_version must be an integer".into()))?;
+        if version != SCHEMA_VERSION {
+            return Err(ReportError::Version(version));
+        }
+        let fp = field("fingerprint")?;
+        let fp_str = |name: &str| {
+            fp.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ReportError::Schema(format!("fingerprint.{name} must be a string")))
+        };
+        let fingerprint = Fingerprint {
+            arch: fp_str("arch")?,
+            os: fp_str("os")?,
+            parallelism: fp
+                .get("parallelism")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ReportError::Schema("fingerprint.parallelism".into()))?,
+        };
+        let mut results = Vec::new();
+        for entry in field("results")?
+            .as_arr()
+            .ok_or_else(|| ReportError::Schema("results must be an array".into()))?
+        {
+            let str_of =
+                |name: &str| {
+                    entry.get(name).and_then(Json::as_str).map(str::to_string).ok_or_else(|| {
+                        ReportError::Schema(format!("result.{name} must be a string"))
+                    })
+                };
+            let num_of = |name: &str| {
+                entry
+                    .get(name)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| ReportError::Schema(format!("result.{name} must be a number")))
+            };
+            let samples = entry
+                .get("samples")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| ReportError::Schema("result.samples must be an array".into()))?
+                .iter()
+                .map(|v| {
+                    v.as_f64().ok_or_else(|| ReportError::Schema("samples must be numbers".into()))
+                })
+                .collect::<Result<Vec<f64>, _>>()?;
+            results.push(BenchSample {
+                name: str_of("name")?,
+                unit: str_of("unit")?,
+                median: num_of("median")?,
+                mad: num_of("mad")?,
+                samples,
+            });
+        }
+        Ok(BenchReport {
+            schema_version: version,
+            fingerprint,
+            smoke: field("smoke")?
+                .as_bool()
+                .ok_or_else(|| ReportError::Schema("smoke must be a bool".into()))?,
+            samples_per_bench: field("samples_per_bench")?
+                .as_u64()
+                .ok_or_else(|| ReportError::Schema("samples_per_bench".into()))?
+                as usize,
+            results,
+        })
+    }
+}
+
+/// A stall long enough to dominate any single-request serve latency on
+/// any plausible machine — used by tests and docs to demonstrate the gate.
+pub fn slowdown_chaos() -> ChaosConfig {
+    ChaosConfig { stall_every: 1, stall_for: Duration::from_millis(5), ..ChaosConfig::off() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(samples: Vec<BenchSample>) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            fingerprint: Fingerprint::current(),
+            smoke: false,
+            samples_per_bench: 5,
+            results: samples,
+        }
+    }
+
+    fn bench(name: &str, median: f64, mad: f64) -> BenchSample {
+        BenchSample { name: name.into(), unit: "us".into(), median, mad, samples: vec![median] }
+    }
+
+    #[test]
+    fn median_and_mad_basics() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 100.0]), 1.0);
+    }
+
+    #[test]
+    fn threshold_rule_is_exact() {
+        // base 100, mad 2 → threshold 100*1.15 + 3*2 ≈ 121 (up to f64
+        // rounding of 1.15 — probe either side with clear margins).
+        let base = report_with(vec![bench("x", 100.0, 2.0)]);
+        let pass = report_with(vec![bench("x", 120.9, 0.0)]);
+        assert!(!check(&base, &pass).failed(), "below the threshold is not a regression");
+        let fail = report_with(vec![bench("x", 121.1, 0.0)]);
+        let outcome = check(&base, &fail);
+        assert!(outcome.failed());
+        assert_eq!(outcome.regressions().count(), 1);
+    }
+
+    #[test]
+    fn foreign_fingerprint_downgrades_to_warning() {
+        let base = BenchReport {
+            fingerprint: Fingerprint {
+                arch: "quantum9000".into(),
+                os: "templeos".into(),
+                parallelism: 512,
+            },
+            ..report_with(vec![bench("x", 1.0, 0.0)])
+        };
+        let current = report_with(vec![bench("x", 1000.0, 0.0)]);
+        let outcome = check(&base, &current);
+        assert!(!outcome.fingerprint_match);
+        assert_eq!(outcome.regressions().count(), 1, "comparison still reported");
+        assert!(!outcome.failed(), "foreign baselines only warn");
+        assert!(outcome.render().contains("warning only"));
+    }
+
+    #[test]
+    fn missing_names_are_reported_not_failed() {
+        let base = report_with(vec![bench("kept", 10.0, 0.0), bench("skipped", 10.0, 0.0)]);
+        let current = report_with(vec![bench("kept", 10.0, 0.0)]);
+        let outcome = check(&base, &current);
+        assert!(!outcome.failed());
+        assert_eq!(outcome.missing, vec!["skipped".to_string()]);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = report_with(vec![
+            BenchSample {
+                name: "learner.fit.R5.T200.F3".into(),
+                unit: "ms".into(),
+                median: 123.456,
+                mad: 1.25,
+                samples: vec![122.0, 123.456, 125.5],
+            },
+            bench("serve.latency_p99", 850.0, 40.0),
+        ]);
+        let text = report.to_json();
+        let parsed = BenchReport::from_json(&text).expect("roundtrip");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn version_and_schema_errors_are_typed() {
+        let mut report = report_with(vec![]);
+        report.schema_version = 999;
+        // to_json writes whatever version the struct carries…
+        let text = report.to_json();
+        // …and from_json rejects versions it cannot read.
+        assert_eq!(BenchReport::from_json(&text), Err(ReportError::Version(999)));
+        assert!(matches!(BenchReport::from_json("{}"), Err(ReportError::Schema(_))));
+        assert!(matches!(BenchReport::from_json("not json"), Err(ReportError::Parse(_))));
+    }
+}

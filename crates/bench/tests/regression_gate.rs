@@ -1,0 +1,148 @@
+//! End-to-end contract of the continuous-bench regression gate:
+//!
+//! * an unmodified tree benched twice stays within the noise bands — the
+//!   gate passes;
+//! * a genuine slowdown — injected here as a per-batch worker stall via
+//!   [`ChaosConfig`] — blows past `baseline × 1.15 + 3 × MAD` on the
+//!   serve-latency benchmarks and the gate demonstrably fails;
+//! * the report written by one run parses back bit-identically, so the
+//!   committed `BENCH_crossmine.json` is a valid baseline.
+//!
+//! The suite here runs in smoke mode with few samples/requests: the gate
+//! logic under test is identical, only the absolute numbers shrink.
+
+use std::sync::Mutex;
+
+use crossmine_bench::suite::{check, run_suite, slowdown_chaos, BenchReport, SuiteConfig};
+
+/// These tests time real work; running them concurrently on one box would
+/// have them regress *each other*. One lock serializes the binary.
+static BENCH_LOCK: Mutex<()> = Mutex::new(());
+
+/// A fast configuration for gating tests: serve benches only (the fit and
+/// propagation benches don't react to server chaos and just cost time).
+fn serve_only(samples: usize, requests: usize) -> SuiteConfig {
+    SuiteConfig {
+        samples,
+        smoke: true,
+        serve_requests: requests,
+        only: Some("serve.latency".to_string()),
+        ..SuiteConfig::default()
+    }
+}
+
+/// Rebuild one report whose per-bench samples are the medians of several
+/// runs. Used to *interleave* baseline and fresh measurements: sequential
+/// blocks drift systematically (allocator state, CPU throttling —
+/// especially under the debug profile), which is exactly what
+/// alternating run assignment cancels.
+fn merged(runs: &[BenchReport]) -> BenchReport {
+    use crossmine_bench::suite::{mad, median};
+    let mut proto = runs[0].clone();
+    for sample in &mut proto.results {
+        let values: Vec<f64> = runs
+            .iter()
+            .map(|r| {
+                r.results
+                    .iter()
+                    .find(|s| s.name == sample.name)
+                    .expect("one config measures one set of names")
+                    .median
+            })
+            .collect();
+        sample.median = median(&values);
+        sample.mad = mad(&values);
+        sample.samples = values;
+    }
+    proto
+}
+
+#[test]
+fn unmodified_tree_passes_the_gate() {
+    let _serial = BENCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config =
+        SuiteConfig { samples: 1, smoke: true, serve_requests: 100, ..SuiteConfig::default() };
+    let mut baseline_runs = Vec::new();
+    let mut fresh_runs = Vec::new();
+    for i in 0..6 {
+        let run = run_suite(&config, |_| {});
+        assert!(!run.results.is_empty());
+        if i % 2 == 0 { &mut baseline_runs } else { &mut fresh_runs }.push(run);
+    }
+    let mut baseline = merged(&baseline_runs);
+    let mut fresh = merged(&fresh_runs);
+    // The warm-propagation bench is bimodal under the *debug* profile
+    // (~8ms vs ~13ms depending on where the freshly generated CSR lands
+    // in the heap — pointer-chasing cost the optimizer normally hides),
+    // so median-vs-median comparison of debug runs is a coin flip for it.
+    // Release builds measure it with ~2% MAD; the release-profile gate in
+    // CI (`suite --smoke --check`) covers it. Everything else holds here.
+    let debug_bimodal = "propagation.predict.R5.T200.F3";
+    baseline.results.retain(|s| s.name != debug_bimodal);
+    fresh.results.retain(|s| s.name != debug_bimodal);
+    assert_eq!(
+        baseline.results.iter().map(|s| &s.name).collect::<Vec<_>>(),
+        fresh.results.iter().map(|s| &s.name).collect::<Vec<_>>(),
+        "the suite is pinned: every run of one config measures the same names"
+    );
+
+    let outcome = check(&baseline, &fresh);
+    assert!(outcome.fingerprint_match, "same process, same machine");
+    assert_eq!(outcome.comparisons.len(), baseline.results.len());
+    assert!(
+        !outcome.failed(),
+        "interleaved runs of an unmodified tree must stay within the noise \
+         bands:\n{}",
+        outcome.render()
+    );
+}
+
+#[test]
+fn injected_stall_fails_the_gate() {
+    let _serial = BENCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = run_suite(&serve_only(3, 60), |_| {});
+    assert!(
+        baseline.results.iter().any(|s| s.name == "serve.latency_p50"),
+        "the filter must keep the serve latency benches"
+    );
+
+    // A 5 ms stall before every batch dwarfs any real serve latency on any
+    // machine; this is the synthetic 2x-plus slowdown of the acceptance
+    // criteria, injected through the server's own fault-injection hooks.
+    let slowed_config = SuiteConfig { chaos: slowdown_chaos(), ..serve_only(2, 40) };
+    let slowed = run_suite(&slowed_config, |_| {});
+
+    let outcome = check(&baseline, &slowed);
+    assert!(outcome.fingerprint_match);
+    assert!(
+        outcome.failed(),
+        "a per-batch stall must trip the regression gate:\n{}",
+        outcome.render()
+    );
+    let p50 = outcome.regressions().find(|c| c.name == "serve.latency_p50").unwrap_or_else(|| {
+        panic!("the stall hits every request, so the median must regress:\n{}", outcome.render())
+    });
+    // The median is where the 2x-plus claim is robust: every request eats
+    // the full stall. (Tail quantiles are already stall-dominated in the
+    // baseline of slow debug builds, so their ratio can sit near 1.)
+    assert!(
+        p50.ratio > 2.0,
+        "a 5 ms per-batch stall should slow the median far beyond 2x, measured x{:.2}",
+        p50.ratio
+    );
+}
+
+#[test]
+fn suite_report_is_a_valid_committable_baseline() {
+    let _serial = BENCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let report = run_suite(&serve_only(2, 40), |_| {});
+    let text = report.to_json();
+    assert!(text.ends_with('\n'), "committed files end with a newline");
+    let parsed = BenchReport::from_json(&text).expect("suite output parses back");
+    assert_eq!(parsed, report);
+
+    // And it gates cleanly against itself.
+    let outcome = check(&parsed, &report);
+    assert!(!outcome.failed());
+    assert!(outcome.missing.is_empty());
+}

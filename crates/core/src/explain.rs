@@ -1,14 +1,21 @@
 //! Model introspection: which relations and attributes the learned clauses
-//! use, per-clause coverage on a dataset, and a text report. CrossMine's
-//! clauses are its main interpretability asset — this module turns a
-//! [`CrossMineModel`] into something a domain expert can read.
+//! use, per-clause coverage on a dataset, per-prediction provenance
+//! ([`RowExplanation`]), and a text report. CrossMine's clauses are its
+//! main interpretability asset — this module turns a [`CrossMineModel`]
+//! into something a domain expert can read, and each individual prediction
+//! into a record of *why*: which clauses fired, which literals matched
+//! along which prop-paths, and what the winning clause's training-time
+//! accuracy was.
 
 use std::collections::BTreeMap;
 
-use crossmine_relational::{Database, Row};
+use crossmine_relational::{ClassLabel, Database, Row};
 
 use crate::classifier::CrossMineModel;
+use crate::clause::Clause;
+use crate::idset::{Stamp, TargetSet};
 use crate::literal::ConstraintKind;
+use crate::propagation::ClauseState;
 
 /// How often the model's clauses touch each relation/attribute.
 #[derive(Debug, Clone, Default)]
@@ -55,6 +62,191 @@ pub fn feature_usage(model: &CrossMineModel, db: &Database) -> FeatureUsage {
         }
     }
     usage
+}
+
+/// One literal a row satisfied, rendered for provenance: the bracketed
+/// display string (prop-path included) plus the path length in edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiteralMatch {
+    /// The literal's display string, e.g. `[T→A] A.amount ≤ 3200`.
+    pub literal: String,
+    /// Prop-path length in join edges (0 = a local constraint).
+    pub path_len: usize,
+}
+
+/// One clause that *fired* for a row: every literal was satisfied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClauseFire {
+    /// Index of the clause in the model's (accuracy-descending) order.
+    pub clause_index: usize,
+    /// The class the clause predicts.
+    pub label: ClassLabel,
+    /// Laplace accuracy recorded at training time — the ranking score that
+    /// decided whether this clause won.
+    pub accuracy: f64,
+    /// The matched literals, in application order. A clause fires only
+    /// when *all* its literals hold, so this is the clause's full body.
+    pub literals: Vec<LiteralMatch>,
+}
+
+/// Full provenance of one prediction: the label and every clause that
+/// fired for the row, in rank order. The first fire is the winner — its
+/// label *is* the prediction; an empty list means the default label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowExplanation {
+    /// The explained target row.
+    pub row: Row,
+    /// The predicted label (identical to what
+    /// [`CrossMineModel::predict`] returns for this row).
+    pub label: ClassLabel,
+    /// Every clause that fired, most accurate first.
+    pub fired: Vec<ClauseFire>,
+    /// True when no clause fired and the model's default label was used.
+    pub default_used: bool,
+}
+
+impl RowExplanation {
+    /// The clause that decided the prediction, when one fired.
+    pub fn winning(&self) -> Option<&ClauseFire> {
+        self.fired.first()
+    }
+
+    /// Renders the explanation as one JSON object (no trailing newline) —
+    /// the JSONL record format `loadgen --explain` and external tooling
+    /// consume. Hand-rolled because the workspace is dependency-free; the
+    /// only dynamic strings are literal displays, which are escaped.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str(&format!(
+            "{{\"row\":{},\"label\":{},\"default_used\":{},\"fired\":[",
+            self.row.0, self.label.0, self.default_used
+        ));
+        for (i, fire) in self.fired.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"clause\":{},\"label\":{},\"accuracy\":{:.4},\"literals\":[",
+                fire.clause_index, fire.label.0, fire.accuracy
+            ));
+            for (j, lit) in fire.literals.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"literal\":\"{}\",\"path_len\":{}}}",
+                    escape_json(&lit.literal),
+                    lit.path_len
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds the [`ClauseFire`] record for `clause` at rank `clause_index`.
+pub(crate) fn clause_fire(db: &Database, clause_index: usize, clause: &Clause) -> ClauseFire {
+    ClauseFire {
+        clause_index,
+        label: clause.label,
+        accuracy: clause.accuracy,
+        literals: clause
+            .literals
+            .iter()
+            .map(|lit| LiteralMatch { literal: lit.display(&db.schema), path_len: lit.path.len() })
+            .collect(),
+    }
+}
+
+impl CrossMineModel {
+    /// [`predict`](CrossMineModel::predict) with full provenance: for each
+    /// row, the predicted label plus *every* clause that fired (not just
+    /// the winner — downstream consumers rank-compare alternatives), each
+    /// with its matched literals and prop-paths.
+    ///
+    /// The label always equals what [`predict`](CrossMineModel::predict)
+    /// returns: clause satisfaction is computed per target independently,
+    /// and the winner is the first (most accurate) firing clause. The only
+    /// difference is that evaluation cannot stop at the first fire, so
+    /// explained prediction costs one propagation pass per clause
+    /// regardless of coverage.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::RowOutOfRange`](crossmine_relational::DataError::RowOutOfRange)
+    /// when a row id is outside the target relation of `db`.
+    pub fn predict_explained(
+        &self,
+        db: &Database,
+        rows: &[Row],
+    ) -> Result<Vec<RowExplanation>, crossmine_relational::RelationalError> {
+        let num_targets = db.num_targets();
+        for &r in rows {
+            if r.0 as usize >= num_targets {
+                return Err(crossmine_relational::DataError::RowOutOfRange {
+                    row: r.0 as u64,
+                    num_targets,
+                }
+                .into());
+            }
+        }
+        let dummy_pos = vec![false; num_targets];
+        let mut stamp = Stamp::new(num_targets);
+        // slot lists per target row id (a row may appear more than once).
+        let mut fired_of: Vec<Vec<usize>> = vec![Vec::new(); rows.len()];
+        let mut slots_of: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (i, r) in rows.iter().enumerate() {
+            slots_of.entry(r.0).or_default().push(i);
+        }
+
+        for (ci, clause) in self.clauses.iter().enumerate() {
+            let initial = TargetSet::from_rows(&dummy_pos, rows.iter().copied());
+            let mut state = ClauseState::new(db, &dummy_pos, initial);
+            for lit in &clause.literals {
+                if state.targets.is_empty() {
+                    break;
+                }
+                state.apply_literal(lit, &mut stamp);
+            }
+            for r in state.targets.iter() {
+                if let Some(slots) = slots_of.get(&r.0) {
+                    for &s in slots {
+                        fired_of[s].push(ci);
+                    }
+                }
+            }
+        }
+
+        Ok(rows
+            .iter()
+            .zip(fired_of)
+            .map(|(&row, fired_idx)| {
+                let fired: Vec<ClauseFire> =
+                    fired_idx.iter().map(|&ci| clause_fire(db, ci, &self.clauses[ci])).collect();
+                let label = fired.first().map_or(self.default_label, |f| f.label);
+                RowExplanation { row, label, default_used: fired.is_empty(), fired }
+            })
+            .collect())
+    }
 }
 
 /// Per-clause coverage of a row set: how many of `rows` satisfy each clause

@@ -20,6 +20,10 @@
 //! * [`report`] — [`TrainReport`]/[`ServeReport`] text rendering (span
 //!   table with count/total/p50/p99, counters, histograms) plus JSONL
 //!   export for reproducible experiment artifacts.
+//! * [`expose`] — Prometheus text exposition ([`render_registry`],
+//!   [`PromWriter`]): the same registry rendered as `_total` counters,
+//!   gauges, and cumulative `le`-labelled histogram buckets for a
+//!   `GET /metrics` scrape endpoint (wired up by `crossmine-serve`).
 //!
 //! ## Cost model
 //!
@@ -47,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod expose;
 pub mod jsonl;
 pub mod metrics;
 pub mod report;
@@ -58,6 +63,7 @@ use std::time::Instant;
 use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use trace::{pop_depth, push_depth, EventKind, Recorder, RingSink, Sink};
 
+pub use expose::{render_registry, PromWriter};
 pub use report::{Report, ServeReport, TrainReport};
 pub use trace::{Event, FieldValue};
 

@@ -113,6 +113,12 @@ impl Histogram {
         self.max()
     }
 
+    /// All per-bucket counts, index-aligned with [`bucket_upper_bound`].
+    /// The exposition layer cumulates these into Prometheus `le` buckets.
+    pub fn bucket_counts(&self) -> [u64; NUM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
     /// Per-bucket counts `(upper_bound, count)` for nonempty buckets.
     pub fn nonempty_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -266,6 +272,21 @@ impl MetricsRegistry {
     pub fn gauge_values(&self) -> Vec<(&'static str, i64)> {
         let m = self.gauges.read().expect("metrics registry poisoned");
         m.iter().map(|(&n, g)| (n, g.get())).collect()
+    }
+
+    /// Handles to all value histograms, name-ascending — for renderers
+    /// (like the Prometheus exposition) that need full bucket contents,
+    /// not just the [`HistSnapshot`] quantile digest.
+    pub fn histogram_handles(&self) -> Vec<(&'static str, Arc<Histogram>)> {
+        let m = self.histograms.read().expect("metrics registry poisoned");
+        m.iter().map(|(&n, h)| (n, Arc::clone(h))).collect()
+    }
+
+    /// Handles to all span-duration histograms, name-ascending (see
+    /// [`histogram_handles`](Self::histogram_handles)).
+    pub fn span_handles(&self) -> Vec<(&'static str, Arc<Histogram>)> {
+        let m = self.spans.read().expect("metrics registry poisoned");
+        m.iter().map(|(&n, h)| (n, Arc::clone(h))).collect()
     }
 
     /// Snapshots of all value histograms, name-ascending.

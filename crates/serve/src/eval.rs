@@ -11,12 +11,13 @@
 //! once every batched row has been assigned by an earlier (more accurate)
 //! clause, remaining clauses are skipped outright.
 
+use crossmine_core::explain::{ClauseFire, LiteralMatch, RowExplanation};
 use crossmine_core::idset::{Stamp, TargetSet};
 use crossmine_core::propagation::{ClauseState, PathScratch};
 use crossmine_obs::ObsHandle;
 use crossmine_relational::{ClassLabel, Database, Row};
 
-use crate::plan::CompiledPlan;
+use crate::plan::{CompiledClause, CompiledPlan};
 
 /// Per-worker reusable state for [`evaluate_batch`]: positivity dummies,
 /// the distinct-counting stamp, the per-row label assignments, and the CSR
@@ -131,4 +132,95 @@ pub fn evaluate_batch(
         label_of[r.0 as usize] = None;
     }
     out
+}
+
+/// Builds the provenance record for a compiled clause at rank `index`.
+fn compiled_clause_fire(db: &Database, index: usize, clause: &CompiledClause) -> ClauseFire {
+    ClauseFire {
+        clause_index: index,
+        label: clause.label,
+        accuracy: clause.accuracy,
+        literals: clause
+            .literals
+            .iter()
+            .map(|lit| LiteralMatch { literal: lit.display(&db.schema), path_len: lit.path.len() })
+            .collect(),
+    }
+}
+
+/// [`evaluate_batch`] with full per-row provenance: returns one
+/// [`RowExplanation`] per batch slot carrying the predicted label, every
+/// clause that fired (most accurate first) with its matched literals and
+/// prop-paths, and whether the default label was used.
+///
+/// The labels always equal [`evaluate_batch`]'s (clause satisfaction is
+/// per-target-independent and the winner is the first firing clause), but
+/// tracing cannot stop once every row is assigned — an explanation lists
+/// *all* fires, so every clause costs its propagation pass. This is the
+/// price of provenance; serve it out-of-band
+/// ([`PredictionServer::predict_explained`](crate::server::PredictionServer::predict_explained)),
+/// not on the batch hot path.
+///
+/// # Panics
+///
+/// Same wiring-error panics as [`evaluate_batch`].
+pub fn evaluate_batch_traced(
+    plan: &CompiledPlan,
+    db: &Database,
+    rows: &[Row],
+    scratch: &mut ServeScratch,
+) -> Vec<RowExplanation> {
+    assert_eq!(
+        db.schema.num_relations(),
+        plan.num_relations,
+        "database does not match the schema this plan was compiled for"
+    );
+    assert_eq!(db.target(), Ok(plan.target), "database target differs from the plan's");
+    let num_targets = db.num_targets();
+    scratch.ensure(num_targets);
+    let obs = scratch.obs.clone();
+    let _batch = obs.span("serve.evaluate_batch_traced");
+    let ServeScratch { dummy_pos, stamp, path, .. } = scratch;
+    let stamp = stamp.as_mut().expect("ensure() populated the stamp");
+
+    // Which clause indices fired per batch slot. A row appearing in
+    // several slots fires identically in each: satisfaction depends only
+    // on the row, so the fan-out is a plain copy.
+    let mut fired_of: Vec<Vec<usize>> = vec![Vec::new(); rows.len()];
+    for (ci, clause) in plan.clauses.iter().enumerate() {
+        let initial = TargetSet::from_rows(dummy_pos, rows.iter().copied());
+        let mut state = ClauseState::new(db, dummy_pos, initial);
+        for lit in &clause.literals {
+            if state.targets.is_empty() {
+                break;
+            }
+            state.apply_literal_scratch(lit, stamp, path);
+        }
+        for r in state.targets.iter() {
+            for (slot, row) in rows.iter().enumerate() {
+                if *row == r {
+                    fired_of[slot].push(ci);
+                }
+            }
+        }
+    }
+    if obs.is_enabled() {
+        obs.add("serve.rows_explained", rows.len() as u64);
+        let stats = path.take_stats();
+        obs.add("propagation.passes", stats.passes);
+        obs.add("propagation.ids_propagated", stats.ids_propagated);
+        obs.add("propagation.csr_capacity_hits", stats.capacity_hits);
+    }
+
+    rows.iter()
+        .zip(fired_of)
+        .map(|(&row, fired_idx)| {
+            let fired: Vec<ClauseFire> = fired_idx
+                .iter()
+                .map(|&ci| compiled_clause_fire(db, ci, &plan.clauses[ci]))
+                .collect();
+            let label = fired.first().map_or(plan.default_label, |f| f.label);
+            RowExplanation { row, label, default_used: fired.is_empty(), fired }
+        })
+        .collect()
 }

@@ -28,6 +28,11 @@
 //! * [`chaos`] — runtime fault injection ([`ChaosConfig`]): stalls,
 //!   scoring panics, oversized batches, exercised by `loadgen --chaos`
 //!   and the chaos test suite.
+//! * [`telemetry`] — the opt-in **live telemetry endpoint**
+//!   ([`ServerConfig::telemetry_addr`]): `GET /metrics` in Prometheus
+//!   text format, `GET /healthz` tracking the admission state machine,
+//!   `GET /buildinfo`, served by one `std::net` thread with zero cost
+//!   when disabled.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -65,15 +70,20 @@ pub mod metrics;
 pub mod plan;
 pub mod registry;
 pub mod server;
+pub mod telemetry;
 
 pub use chaos::{ChaosAction, ChaosConfig};
+pub use crossmine_core::explain::{ClauseFire, LiteralMatch, RowExplanation};
 pub use crossmine_obs::{ObsHandle, ServeReport};
 pub use error::ServeError;
-pub use eval::{evaluate_batch, ServeScratch};
+pub use eval::{evaluate_batch, evaluate_batch_traced, ServeScratch};
 pub use eval_disk::predict_disk;
 pub use metrics::{Histogram, MetricsSnapshot, ServeMetrics};
 #[allow(deprecated)]
 pub use plan::CompileError;
 pub use plan::{CompiledClause, CompiledPlan, PlanError, PlanStats};
 pub use registry::{ModelRegistry, ModelSnapshot};
-pub use server::{Prediction, PredictionHandle, PredictionServer, ServerConfig};
+pub use server::{
+    ExplainedPrediction, Prediction, PredictionHandle, PredictionServer, ServerConfig,
+};
+pub use telemetry::{BuildInfo, HealthState};

@@ -104,6 +104,49 @@ pub struct MetricsSnapshot {
     pub swaps: u64,
 }
 
+impl MetricsSnapshot {
+    /// The delta between this snapshot and an `earlier` one of the same
+    /// server — what happened *between* the two scrapes.
+    ///
+    /// Monotonic counters (`requests`, `errors`, `batches`, `shed`,
+    /// `deadline_expired`, `worker_restarts`, `swaps`) and the batch-size
+    /// bucket counts are subtracted (saturating, so a snapshot pair from
+    /// different servers degrades to zeros rather than nonsense).
+    /// Distribution digests (latency quantiles/max, mean/max batch, max
+    /// queue depth) cannot be un-merged from a quantile summary, so the
+    /// delta carries `self`'s point-in-time values for those — the
+    /// standard trade for scrape-interval dashboards.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let batch_buckets = self
+            .batch_buckets
+            .iter()
+            .map(|&(bound, n)| {
+                let before =
+                    earlier.batch_buckets.iter().find(|&&(b, _)| b == bound).map_or(0, |&(_, n)| n);
+                (bound, n.saturating_sub(before))
+            })
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        MetricsSnapshot {
+            requests: self.requests.saturating_sub(earlier.requests),
+            errors: self.errors.saturating_sub(earlier.errors),
+            batches: self.batches.saturating_sub(earlier.batches),
+            shed: self.shed.saturating_sub(earlier.shed),
+            deadline_expired: self.deadline_expired.saturating_sub(earlier.deadline_expired),
+            worker_restarts: self.worker_restarts.saturating_sub(earlier.worker_restarts),
+            latency_p50_us: self.latency_p50_us,
+            latency_p95_us: self.latency_p95_us,
+            latency_p99_us: self.latency_p99_us,
+            latency_max_us: self.latency_max_us,
+            mean_batch: self.mean_batch,
+            max_batch: self.max_batch,
+            batch_buckets,
+            max_queue_depth: self.max_queue_depth,
+            swaps: self.swaps.saturating_sub(earlier.swaps),
+        }
+    }
+}
+
 impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
@@ -180,6 +223,34 @@ mod tests {
             assert!(est >= exact, "quantile {q} must not under-report: {est} < {exact}");
             assert!(est <= exact.max(1.0) * 2.0, "at most 2x over: {est} vs {exact}");
         }
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_buckets() {
+        let m = ServeMetrics::new();
+        m.requests.fetch_add(10, Ordering::Relaxed);
+        m.batches.fetch_add(4, Ordering::Relaxed);
+        m.batch_size.record(1);
+        let earlier = m.snapshot(1);
+        m.requests.fetch_add(5, Ordering::Relaxed);
+        m.shed.fetch_add(2, Ordering::Relaxed);
+        m.batch_size.record(1);
+        m.batch_size.record(2);
+        m.latency_us.record(100);
+        let later = m.snapshot(3);
+
+        let delta = later.diff(&earlier);
+        assert_eq!(delta.requests, 5);
+        assert_eq!(delta.batches, 0);
+        assert_eq!(delta.shed, 2);
+        assert_eq!(delta.swaps, 2);
+        // Bucket deltas: one more size-1 batch (bound 1), one size-2
+        // (bound 3); the pre-existing size-1 count is subtracted out.
+        assert_eq!(delta.batch_buckets, vec![(1, 1), (3, 1)]);
+        // Distribution digests are point-in-time from the later snapshot.
+        assert_eq!(delta.latency_max_us, later.latency_max_us);
+        // Mismatched order saturates to zero instead of wrapping.
+        assert_eq!(earlier.diff(&later).requests, 0);
     }
 
     #[test]

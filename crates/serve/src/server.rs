@@ -37,8 +37,9 @@
 //! [`MetricsSnapshot`] and the `serve.*` obs counters.
 
 use std::collections::VecDeque;
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -46,11 +47,14 @@ use std::time::{Duration, Instant};
 use crossmine_obs::ObsHandle;
 use crossmine_relational::{ClassLabel, Database, Row};
 
+use crossmine_core::explain::RowExplanation;
+
 use crate::chaos::{ChaosAction, ChaosConfig};
 use crate::error::ServeError;
-use crate::eval::{evaluate_batch, ServeScratch};
+use crate::eval::{evaluate_batch, evaluate_batch_traced, ServeScratch};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::registry::ModelRegistry;
+use crate::telemetry::{TelemetryHandle, TelemetryShared};
 
 /// Tunables of a [`PredictionServer`].
 #[derive(Debug, Clone)]
@@ -73,6 +77,12 @@ pub struct ServerConfig {
     pub obs: ObsHandle,
     /// Fault injection (default: off). See [`ChaosConfig`].
     pub chaos: ChaosConfig,
+    /// Address for the live telemetry endpoint (`GET /metrics`,
+    /// `/healthz`, `/buildinfo`). `None` (the default) spawns no thread
+    /// and binds no socket — telemetry is strictly opt-in and free when
+    /// off. Bind to port 0 to let the OS pick; read the actual address
+    /// back with [`PredictionServer::telemetry_addr`].
+    pub telemetry_addr: Option<SocketAddr>,
 }
 
 impl Default for ServerConfig {
@@ -84,8 +94,23 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             obs: ObsHandle::noop(),
             chaos: ChaosConfig::default(),
+            telemetry_addr: None,
         }
     }
+}
+
+/// One scored request with full provenance: which clauses fired, which
+/// literals matched along which prop-paths, and what the winning clause's
+/// training-time accuracy was. Produced by
+/// [`PredictionServer::predict_explained`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainedPrediction {
+    /// The provenance record; `explanation.label` is the prediction and is
+    /// always identical to what [`PredictionServer::predict`] returns for
+    /// the same row under the same model.
+    pub explanation: RowExplanation,
+    /// Epoch of the model snapshot that scored it.
+    pub epoch: u64,
 }
 
 /// One scored request.
@@ -181,6 +206,14 @@ pub struct PredictionServer {
     metrics: Arc<ServeMetrics>,
     config: ServerConfig,
     workers: Vec<JoinHandle<()>>,
+    /// The database workers score against; kept so single-row provenance
+    /// ([`predict_explained`](Self::predict_explained)) can evaluate
+    /// against the same data the batch path uses.
+    db: Arc<Database>,
+    /// Mirrors `QueueState::shutdown` for lock-free reads by the telemetry
+    /// thread (`/healthz` must not contend on the admission mutex).
+    admission_closed: Arc<AtomicBool>,
+    telemetry: Option<TelemetryHandle>,
 }
 
 impl std::fmt::Debug for PredictionServer {
@@ -200,7 +233,8 @@ impl PredictionServer {
     /// # Errors
     ///
     /// [`ServeError::InvalidConfig`] when `workers`, `max_batch`, or
-    /// `queue_capacity` is zero.
+    /// `queue_capacity` is zero, or when `telemetry_addr` is set but
+    /// cannot be bound.
     pub fn start(
         db: Arc<Database>,
         registry: Arc<ModelRegistry>,
@@ -221,6 +255,24 @@ impl PredictionServer {
             chaos_ticks: AtomicU64::new(0),
         });
         let metrics = Arc::new(ServeMetrics::new());
+        let admission_closed = Arc::new(AtomicBool::new(false));
+        let telemetry = match config.telemetry_addr {
+            Some(addr) => {
+                let tshared = Arc::new(TelemetryShared {
+                    metrics: Arc::clone(&metrics),
+                    registry: Arc::clone(&registry),
+                    obs: config.obs.clone(),
+                    admission_closed: Arc::clone(&admission_closed),
+                    started: Instant::now(),
+                    stop: AtomicBool::new(false),
+                });
+                let handle = TelemetryHandle::start(addr, tshared).map_err(|e| {
+                    ServeError::InvalidConfig(format!("cannot bind telemetry_addr {addr}: {e}"))
+                })?;
+                Some(handle)
+            }
+            None => None,
+        };
         let workers = (0..config.workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
@@ -231,7 +283,16 @@ impl PredictionServer {
                 std::thread::spawn(move || worker_loop(&shared, &registry, &metrics, &db, &config))
             })
             .collect();
-        Ok(PredictionServer { shared, registry, metrics, config, workers })
+        Ok(PredictionServer {
+            shared,
+            registry,
+            metrics,
+            config,
+            workers,
+            db,
+            admission_closed,
+            telemetry,
+        })
     }
 
     /// Enqueues one row for scoring without a deadline. Never blocks.
@@ -298,9 +359,55 @@ impl PredictionServer {
         self.submit_with_deadline(row, deadline)?.wait()
     }
 
+    /// Scores `row` with full provenance: the predicted label plus every
+    /// clause that fired with its matched literals and prop-paths.
+    ///
+    /// Runs **out-of-band** on the calling thread against the same model
+    /// snapshot and database the workers use — provenance needs one
+    /// propagation pass per clause (no early exit once the row is
+    /// assigned), so it would bloat batch latency if it rode the queue.
+    /// The label is always identical to [`predict`](Self::predict)'s for
+    /// the same row under the same model epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] after
+    /// [`begin_shutdown`](Self::begin_shutdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is outside the target relation — the same
+    /// caller-wiring contract as the batch evaluator.
+    pub fn predict_explained(&self, row: Row) -> Result<ExplainedPrediction, ServeError> {
+        Ok(self.explain_batch(&[row])?.pop().expect("one explanation per input row"))
+    }
+
+    /// [`predict_explained`](Self::predict_explained) for a whole slice of
+    /// rows at once: one propagation pass per clause covers all of them.
+    /// Returns one [`ExplainedPrediction`] per input row, in order.
+    pub fn explain_batch(&self, rows: &[Row]) -> Result<Vec<ExplainedPrediction>, ServeError> {
+        if self.admission_closed.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let snap = self.registry.snapshot();
+        let mut scratch = ServeScratch::with_obs(self.config.obs.clone());
+        let explanations = evaluate_batch_traced(&snap.plan, &self.db, rows, &mut scratch);
+        self.config.obs.add("serve.predictions_explained", explanations.len() as u64);
+        Ok(explanations
+            .into_iter()
+            .map(|explanation| ExplainedPrediction { explanation, epoch: snap.epoch })
+            .collect())
+    }
+
     /// The registry this server snapshots from (for hot swaps).
     pub fn registry(&self) -> &Arc<ModelRegistry> {
         &self.registry
+    }
+
+    /// The address the telemetry endpoint actually bound, when
+    /// [`ServerConfig::telemetry_addr`] was set. Useful with port 0.
+    pub fn telemetry_addr(&self) -> Option<SocketAddr> {
+        self.telemetry.as_ref().map(|t| t.addr)
     }
 
     /// Current metrics, including the registry's swap count.
@@ -316,6 +423,12 @@ impl PredictionServer {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // Stop telemetry only after the drain: an external prober watching
+        // `/healthz` sees `shutting-down` for the whole drain window
+        // instead of a connection refused.
+        if let Some(mut t) = self.telemetry.take() {
+            t.stop();
+        }
         self.metrics()
     }
 
@@ -329,6 +442,9 @@ impl PredictionServer {
         let mut st = lock_state(&self.shared);
         st.shutdown = true;
         drop(st);
+        // Release pairs with the Acquire load in the telemetry thread so a
+        // `/healthz` probe after this call reports `shutting-down`.
+        self.admission_closed.store(true, Ordering::Release);
         self.shared.not_empty.notify_all();
     }
 }
@@ -340,6 +456,9 @@ impl Drop for PredictionServer {
             for h in self.workers.drain(..) {
                 let _ = h.join();
             }
+        }
+        if let Some(mut t) = self.telemetry.take() {
+            t.stop();
         }
     }
 }

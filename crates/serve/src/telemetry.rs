@@ -1,0 +1,367 @@
+//! The live telemetry surface: a minimal HTTP/1.1 endpoint exposing the
+//! server's metrics, health, and build metadata to anything that can
+//! speak `curl` — Prometheus scrapers first among them.
+//!
+//! Off by default: [`ServerConfig::telemetry_addr`] is `None`, no thread
+//! is spawned, and the request path pays nothing. When an address is
+//! configured, [`PredictionServer::start`] binds a
+//! [`std::net::TcpListener`] and spawns **one** telemetry thread that
+//! serves three routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the serve aggregate
+//!   ([`ServeMetrics`] counters, latency/batch/queue histograms with
+//!   cumulative `le` buckets, quantile gauges), the model registry's swap
+//!   count, `serve_uptime_seconds`, `crossmine_buildinfo`, and — when the
+//!   server runs with an enabled [`ObsHandle`] — every metric of the obs
+//!   registry.
+//! * `GET /healthz` — the admission state machine, one word:
+//!   `serving` (200), `degraded` (200; degradation events — sheds,
+//!   deadline expiries, worker restarts — occurred since the previous
+//!   health probe), or `shutting-down` (503; `begin_shutdown` has closed
+//!   admission and the queue is draining).
+//! * `GET /buildinfo` — JSON build + process metadata: version, git SHA,
+//!   uptime, current model epoch, swap count.
+//!
+//! The thread polls a nonblocking accept loop (5 ms idle sleep — scrape
+//! endpoints are latency-insensitive) and exits when the owning
+//! [`PredictionServer`] is shut down or dropped. It intentionally keeps
+//! serving *during* the drain phase so an external prober watching
+//! `/healthz` observes the `shutting-down` state instead of a vanished
+//! endpoint.
+//!
+//! [`ServerConfig::telemetry_addr`]: crate::server::ServerConfig::telemetry_addr
+//! [`PredictionServer`]: crate::server::PredictionServer
+//! [`PredictionServer::start`]: crate::server::PredictionServer::start
+//! [`ObsHandle`]: crossmine_obs::ObsHandle
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossmine_obs::{ObsHandle, PromWriter};
+
+use crate::metrics::ServeMetrics;
+use crate::registry::ModelRegistry;
+
+/// Compile-time build metadata exposed through `/buildinfo` and the
+/// `crossmine_buildinfo` info metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Crate version (`CARGO_PKG_VERSION`).
+    pub version: &'static str,
+    /// Git commit SHA, when the build set `CROSSMINE_GIT_SHA`; otherwise
+    /// `"unknown"`.
+    pub git_sha: &'static str,
+}
+
+impl BuildInfo {
+    /// The metadata baked into this binary.
+    pub fn current() -> Self {
+        BuildInfo {
+            version: env!("CARGO_PKG_VERSION"),
+            git_sha: option_env!("CROSSMINE_GIT_SHA").unwrap_or("unknown"),
+        }
+    }
+}
+
+impl std::fmt::Display for BuildInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "crossmine {} ({})", self.version, self.git_sha)
+    }
+}
+
+/// The admission state machine as `/healthz` reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Admission open, no recent degradation events.
+    Serving,
+    /// Admission open, but degradation events (sheds, deadline expiries,
+    /// worker restarts) occurred since the previous health probe.
+    Degraded,
+    /// `begin_shutdown` has closed admission; the queue is draining.
+    ShuttingDown,
+}
+
+impl HealthState {
+    /// The one-word body `/healthz` answers with.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Serving => "serving",
+            HealthState::Degraded => "degraded",
+            HealthState::ShuttingDown => "shutting-down",
+        }
+    }
+
+    /// The HTTP status `/healthz` answers with: a draining server is not
+    /// ready for new work (503); a degraded one still is (200).
+    pub fn http_status(self) -> u32 {
+        match self {
+            HealthState::Serving | HealthState::Degraded => 200,
+            HealthState::ShuttingDown => 503,
+        }
+    }
+}
+
+/// Everything the telemetry thread reads; shared with the owning server.
+pub(crate) struct TelemetryShared {
+    pub(crate) metrics: Arc<ServeMetrics>,
+    pub(crate) registry: Arc<ModelRegistry>,
+    pub(crate) obs: ObsHandle,
+    /// Set by `begin_shutdown`; flips `/healthz` to `shutting-down`.
+    pub(crate) admission_closed: Arc<AtomicBool>,
+    /// Server start time, for `serve_uptime_seconds`.
+    pub(crate) started: Instant,
+    /// Set by the owning server to stop the accept loop.
+    pub(crate) stop: AtomicBool,
+}
+
+impl TelemetryShared {
+    fn degradations(&self) -> u64 {
+        self.metrics.shed.load(Ordering::Relaxed)
+            + self.metrics.deadline_expired.load(Ordering::Relaxed)
+            + self.metrics.worker_restarts.load(Ordering::Relaxed)
+    }
+
+    /// The current health state, given the degradation count observed at
+    /// the previous probe.
+    fn health(&self, prev_degradations: u64) -> HealthState {
+        if self.admission_closed.load(Ordering::Acquire) {
+            HealthState::ShuttingDown
+        } else if self.degradations() > prev_degradations {
+            HealthState::Degraded
+        } else {
+            HealthState::Serving
+        }
+    }
+
+    fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Renders the full `/metrics` document.
+    pub(crate) fn render_metrics(&self) -> String {
+        let m = &self.metrics;
+        let mut w = PromWriter::new();
+        w.write_counter("serve.requests", "requests admitted", m.requests.load(Ordering::Relaxed));
+        w.write_counter("serve.errors", "undeliverable replies", m.errors.load(Ordering::Relaxed));
+        w.write_counter("serve.batches", "batches scored", m.batches.load(Ordering::Relaxed));
+        w.write_counter(
+            "serve.requests_shed",
+            "requests shed at admission (queue full)",
+            m.shed.load(Ordering::Relaxed),
+        );
+        w.write_counter(
+            "serve.deadline_exceeded",
+            "requests expired in queue",
+            m.deadline_expired.load(Ordering::Relaxed),
+        );
+        w.write_counter(
+            "serve.worker_restarts",
+            "workers restarted after caught scoring panics",
+            m.worker_restarts.load(Ordering::Relaxed),
+        );
+        w.write_counter("serve.model_swaps", "model hot swaps", self.registry.swap_count());
+        w.write_gauge(
+            "serve.model_epoch",
+            "epoch of the currently served model",
+            self.registry.current_epoch() as i64,
+        );
+        w.write_histogram(
+            "serve.latency_us",
+            "end-to-end request latency (enqueue to reply), microseconds",
+            &m.latency_us,
+        );
+        w.write_histogram("serve.batch_size", "scored batch sizes", &m.batch_size);
+        w.write_histogram(
+            "serve.queue_depth",
+            "queue depth observed at each admission",
+            &m.queue_depth,
+        );
+        let uptime = self.uptime_seconds();
+        w.write_gauge_f64("serve.uptime_seconds", "seconds since the server started", uptime);
+        // Mirror the uptime into the obs registry (when enabled) so
+        // ServeReport and the JSONL export carry it too.
+        self.obs.gauge_set("serve.uptime_seconds", uptime as i64);
+        let build = BuildInfo::current();
+        w.write_info(
+            "buildinfo",
+            "build metadata",
+            &[("version", build.version), ("git_sha", build.git_sha)],
+        );
+        if let Some(registry) = self.obs.registry() {
+            // Quantities already rendered above from the serve aggregate
+            // (the more authoritative source — maintained even with a noop
+            // handle) must not appear twice in one exposition document.
+            w.write_registry_except(
+                registry,
+                &[
+                    "serve.requests_shed",
+                    "serve.deadline_exceeded",
+                    "serve.worker_restarts",
+                    "serve.uptime_seconds",
+                ],
+            );
+        }
+        w.finish()
+    }
+
+    fn render_buildinfo(&self) -> String {
+        let build = BuildInfo::current();
+        format!(
+            "{{\"version\":\"{}\",\"git_sha\":\"{}\",\"uptime_seconds\":{:.3},\
+             \"model_epoch\":{},\"model_swaps\":{}}}\n",
+            build.version,
+            build.git_sha,
+            self.uptime_seconds(),
+            self.registry.current_epoch(),
+            self.registry.swap_count()
+        )
+    }
+}
+
+/// A running telemetry endpoint, owned by the server.
+pub(crate) struct TelemetryHandle {
+    pub(crate) shared: Arc<TelemetryShared>,
+    pub(crate) addr: SocketAddr,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TelemetryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryHandle").field("addr", &self.addr).finish()
+    }
+}
+
+impl TelemetryHandle {
+    /// Binds `addr` and spawns the accept loop. Binding to port 0 picks a
+    /// free port; the actual address is in `self.addr`.
+    pub(crate) fn start(
+        addr: SocketAddr,
+        shared: Arc<TelemetryShared>,
+    ) -> std::io::Result<TelemetryHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("crossmine-telemetry".into())
+            .spawn(move || accept_loop(&listener, &thread_shared))?;
+        Ok(TelemetryHandle { shared, addr: bound, thread: Some(thread) })
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub(crate) fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TelemetryHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &TelemetryShared) {
+    // Degradation count at the previous health probe: `/healthz` reports
+    // `degraded` only when events occurred since the last probe, so a
+    // single historical shed doesn't condemn the server forever.
+    let mut prev_degradations = 0u64;
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_connection(stream, shared, &mut prev_degradations),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // Transient accept errors (e.g. aborted handshakes) are not
+            // worth killing the endpoint over.
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &TelemetryShared, prev_degradations: &mut u64) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 1024];
+    let mut len = 0usize;
+    // Read until the request line is complete; telemetry requests are tiny
+    // and bodyless, so the first newline is all that matters.
+    while len < buf.len() {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].contains(&b'\n') {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let request_line = match std::str::from_utf8(&buf[..len]) {
+        Ok(s) => s.lines().next().unwrap_or(""),
+        Err(_) => "",
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (405, "text/plain", "method not allowed\n".to_string())
+    } else {
+        match path {
+            "/metrics" => {
+                (200, "text/plain; version=0.0.4; charset=utf-8", shared.render_metrics())
+            }
+            "/healthz" => {
+                let health = shared.health(*prev_degradations);
+                *prev_degradations = shared.degradations();
+                (health.http_status(), "text/plain", format!("{}\n", health.as_str()))
+            }
+            "/buildinfo" => (200, "application/json", shared.render_buildinfo()),
+            _ => (404, "text/plain", "not found (try /metrics, /healthz, /buildinfo)\n".into()),
+        }
+    };
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Service Unavailable",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buildinfo_has_version() {
+        let b = BuildInfo::current();
+        assert_eq!(b.version, env!("CARGO_PKG_VERSION"));
+        assert!(!b.git_sha.is_empty());
+        assert!(b.to_string().contains(b.version));
+    }
+
+    #[test]
+    fn health_states_map_to_words_and_statuses() {
+        assert_eq!(HealthState::Serving.as_str(), "serving");
+        assert_eq!(HealthState::Degraded.as_str(), "degraded");
+        assert_eq!(HealthState::ShuttingDown.as_str(), "shutting-down");
+        assert_eq!(HealthState::Serving.http_status(), 200);
+        assert_eq!(HealthState::Degraded.http_status(), 200);
+        assert_eq!(HealthState::ShuttingDown.http_status(), 503);
+    }
+}

@@ -90,6 +90,7 @@ fn run_iteration(f: &'static Fixture, obs: ObsHandle) -> crossmine_serve::Metric
             queue_capacity: 2,
             obs,
             chaos: ChaosConfig::standard(),
+            ..ServerConfig::default()
         },
     )
     .unwrap();

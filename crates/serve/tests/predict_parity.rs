@@ -10,8 +10,8 @@ use proptest::prelude::*;
 use crossmine_core::classifier::{CrossMine, CrossMineModel};
 use crossmine_relational::{ClassLabel, Database, Row};
 use crossmine_serve::{
-    evaluate_batch, CompiledPlan, ModelRegistry, PredictionServer, ServeError, ServeScratch,
-    ServerConfig,
+    evaluate_batch, evaluate_batch_traced, CompiledPlan, ModelRegistry, PredictionServer,
+    ServeError, ServeScratch, ServerConfig,
 };
 use crossmine_synth::{generate, GenParams};
 
@@ -88,6 +88,69 @@ proptest! {
         }
         prop_assert_eq!(&got, &expected, "chunk size {}", chunk);
     }
+
+    /// Provenance never changes the answer: `evaluate_batch_traced`'s label
+    /// equals `evaluate_batch`'s for every row of an arbitrary subset, the
+    /// winner fire carries the predicted label, and a non-default
+    /// prediction always names at least one fired clause.
+    #[test]
+    fn traced_evaluation_matches_plain(picks in prop::collection::vec(0usize..120, 1..60)) {
+        let f = fixture();
+        let rows: Vec<Row> =
+            picks.iter().filter(|&&i| i < f.rows.len()).map(|&i| f.rows[i]).collect();
+        prop_assume!(!rows.is_empty());
+        let plan = CompiledPlan::compile(&f.model, &f.db.schema).unwrap();
+        let mut scratch = ServeScratch::new();
+        let plain = evaluate_batch(&plan, &f.db, &rows, &mut scratch);
+        let traced = evaluate_batch_traced(&plan, &f.db, &rows, &mut scratch);
+        prop_assert_eq!(traced.len(), plain.len());
+        for (exp, &label) in traced.iter().zip(&plain) {
+            prop_assert_eq!(exp.label, label, "row {}", exp.row.0);
+            if exp.default_used {
+                prop_assert!(exp.fired.is_empty());
+                prop_assert_eq!(exp.label, plan.default_label);
+            } else {
+                let win = exp.winning().expect("non-default prediction names a fired clause");
+                prop_assert_eq!(win.label, exp.label);
+                prop_assert_eq!(
+                    win.literals.len(),
+                    plan.clauses[win.clause_index].literals.len()
+                );
+            }
+        }
+    }
+}
+
+/// The server's out-of-band provenance path agrees with its queued batch
+/// path for every row, and survives a hot swap with the right epoch.
+#[test]
+fn server_predict_explained_matches_predict() {
+    let f = fixture();
+    let plan = CompiledPlan::compile(&f.model, &f.db.schema).unwrap();
+    let registry = Arc::new(ModelRegistry::new(plan));
+    let server =
+        PredictionServer::start(Arc::clone(&f.db), Arc::clone(&registry), ServerConfig::default())
+            .unwrap();
+    for (i, &row) in f.rows.iter().enumerate() {
+        let plain = server.predict(row).expect("predict");
+        let explained = server.predict_explained(row).expect("predict_explained");
+        assert_eq!(explained.explanation.label, plain.label, "row {}", row.0);
+        assert_eq!(explained.explanation.row, row);
+        assert_eq!(explained.epoch, plain.epoch);
+        assert_eq!(plain.label, f.expected[i]);
+    }
+
+    // After a swap, explanations come from the new model and say so.
+    let model_b = alternate_model(f);
+    let plan_b = CompiledPlan::compile(&model_b, &f.db.schema).unwrap();
+    registry.install(plan_b);
+    let explained = server.predict_explained(f.rows[0]).expect("post-swap explain");
+    assert_eq!(explained.epoch, 1);
+    assert!(explained.explanation.default_used, "model B has no clauses");
+    assert_eq!(explained.explanation.label, model_b.default_label);
+
+    server.begin_shutdown();
+    assert!(matches!(server.predict_explained(f.rows[0]), Err(ServeError::ShuttingDown)));
 }
 
 /// A row appearing several times in ONE batch (concurrent clients asking

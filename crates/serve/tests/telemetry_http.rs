@@ -1,0 +1,162 @@
+//! End-to-end tests of the live telemetry endpoint: a real
+//! `PredictionServer` with `telemetry_addr` bound to a loopback port,
+//! probed over actual TCP exactly the way `curl` or a Prometheus scraper
+//! would.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossmine_core::CrossMine;
+use crossmine_obs::ObsHandle;
+use crossmine_relational::Row;
+use crossmine_serve::{CompiledPlan, ModelRegistry, PredictionServer, ServerConfig};
+use crossmine_synth::GenParams;
+
+struct Fixture {
+    db: Arc<crossmine_relational::Database>,
+    plan: CompiledPlan,
+    rows: Vec<Row>,
+}
+
+fn fixture() -> Fixture {
+    let db = crossmine_synth::generate(&GenParams {
+        num_relations: 3,
+        expected_tuples: 80,
+        min_tuples: 30,
+        ..Default::default()
+    });
+    let rows: Vec<Row> = db.relation(db.target().expect("target set")).iter_rows().collect();
+    let model = CrossMine::default().fit(&db, &rows).expect("fit");
+    let plan = CompiledPlan::compile(&model, &db.schema).expect("compile");
+    Fixture { db: Arc::new(db), plan, rows }
+}
+
+fn start_server(obs: ObsHandle) -> (PredictionServer, Vec<Row>, SocketAddr) {
+    let f = fixture();
+    let registry = Arc::new(ModelRegistry::new(f.plan));
+    let server = PredictionServer::start(
+        f.db,
+        registry,
+        ServerConfig {
+            obs,
+            telemetry_addr: Some("127.0.0.1:0".parse().expect("literal addr")),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.telemetry_addr().expect("telemetry bound");
+    (server, f.rows, addr)
+}
+
+/// A one-shot HTTP GET, the way `curl` does it: returns (status, body).
+fn http_get(addr: SocketAddr, path: &str) -> (u32, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to telemetry endpoint");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("read timeout");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u32 =
+        response.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status line");
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_exposition() {
+    let (server, rows, addr) = start_server(ObsHandle::enabled());
+    for &row in rows.iter().take(20) {
+        server.predict(row).expect("predict");
+    }
+    let (status, body) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    // Counters from the serve aggregate, prefixed and suffixed per
+    // Prometheus conventions.
+    assert!(body.contains("# TYPE crossmine_serve_requests_total counter"), "{body}");
+    assert!(body.contains("crossmine_serve_requests_total 20"), "{body}");
+    assert!(body.contains("# TYPE crossmine_serve_latency_us histogram"), "{body}");
+    // Every histogram ends in +Inf and carries _sum/_count.
+    assert!(body.contains("crossmine_serve_latency_us_bucket{le=\"+Inf\"} 20"), "{body}");
+    assert!(body.contains("crossmine_serve_latency_us_count 20"), "{body}");
+    assert!(body.contains("crossmine_serve_uptime_seconds"), "{body}");
+    assert!(body.contains("crossmine_buildinfo{"), "{body}");
+    // The obs registry rides along when the handle is enabled: the workers
+    // record per-batch spans under serve.evaluate_batch.
+    assert!(body.contains("crossmine_serve_evaluate_batch_ns"), "{body}");
+
+    // Exposition-format sanity: every non-comment line is `name[{labels}] value`.
+    for line in body.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let value = line.rsplit(' ').next().expect("value field");
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "unparseable sample value in line: {line}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn healthz_flips_to_shutting_down_during_drain() {
+    let (server, rows, addr) = start_server(ObsHandle::noop());
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!((status, body.trim()), (200, "serving"));
+
+    for &row in rows.iter().take(5) {
+        server.predict(row).expect("predict");
+    }
+    server.begin_shutdown();
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!((status, body.trim()), (503, "shutting-down"));
+    // The endpoint stays up through the drain; only `shutdown` (or drop)
+    // takes it down.
+    let (status, _) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    server.shutdown();
+    assert!(TcpStream::connect(addr).is_err(), "endpoint must stop after shutdown");
+}
+
+#[test]
+fn healthz_reports_degraded_after_deadline_expiry_then_recovers() {
+    let (server, rows, addr) = start_server(ObsHandle::noop());
+    // Baseline probe: establishes the degradation watermark.
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!((status, body.trim()), (200, "serving"));
+
+    // A zero deadline is already expired when a worker collects it: a
+    // deterministic degradation event.
+    let err =
+        server.predict_within(rows[0], Duration::ZERO).expect_err("zero deadline must expire");
+    assert!(matches!(err, crossmine_serve::ServeError::DeadlineExceeded { .. }), "{err:?}");
+
+    // Degraded once (events since last probe), then back to serving.
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!((status, body.trim()), (200, "degraded"));
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!((status, body.trim()), (200, "serving"));
+    server.shutdown();
+}
+
+#[test]
+fn buildinfo_reports_version_and_unknown_routes_get_404() {
+    let (server, _rows, addr) = start_server(ObsHandle::noop());
+    let (status, body) = http_get(addr, "/buildinfo");
+    assert_eq!(status, 200);
+    assert!(body.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))), "{body}");
+    assert!(body.contains("\"git_sha\":"), "{body}");
+    assert!(body.contains("\"model_epoch\":0"), "{body}");
+
+    let (status, _) = http_get(addr, "/nope");
+    assert_eq!(status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn telemetry_disabled_by_default() {
+    let f = fixture();
+    let registry = Arc::new(ModelRegistry::new(f.plan));
+    let server = PredictionServer::start(f.db, registry, ServerConfig::default()).expect("start");
+    assert_eq!(server.telemetry_addr(), None);
+    server.shutdown();
+}
