@@ -19,7 +19,9 @@
 //! printed as warnings and the gate passes: absolute times don't
 //! transfer across hardware. `--smoke` skips the expensive fit so CI can
 //! run the gate on every push; the remaining benchmark names still match
-//! a full baseline.
+//! a full baseline. `--cache-budget N` pins the learner's count-store
+//! budget in bytes (0 disables it and skips the plain fit benches, which
+//! would duplicate the always-disabled `.nocache` variants).
 
 use crossmine_bench::suite::{check, run_suite, BenchReport, SuiteConfig};
 
@@ -49,16 +51,19 @@ fn parse_args() -> Args {
         match argv[i].as_str() {
             "--smoke" => {
                 let samples = config.samples;
+                let cache_budget = config.cache_budget;
                 config = SuiteConfig::smoke();
-                // An explicit --samples before --smoke still wins.
+                // Explicit --samples / --cache-budget before --smoke still win.
                 if samples != SuiteConfig::default().samples {
                     config.samples = samples;
                 }
+                config.cache_budget = cache_budget;
             }
             "--samples" => config.samples = take_num(&mut i) as usize,
             "--requests" => config.serve_requests = take_num(&mut i) as usize,
             "--seed" => config.seed = take_num(&mut i),
             "--only" => config.only = Some(take_str(&mut i)),
+            "--cache-budget" => config.cache_budget = Some(take_num(&mut i) as usize),
             "--out" => out = Some(take_str(&mut i)),
             "--check" => check_against = Some(take_str(&mut i)),
             other => die(&format!("unknown flag {other} (try --smoke, --out, --check)")),

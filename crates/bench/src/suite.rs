@@ -63,6 +63,10 @@ pub struct SuiteConfig {
     pub chaos: ChaosConfig,
     /// When set, only benchmarks whose name starts with this prefix run.
     pub only: Option<String>,
+    /// Count-store byte budget for the learner-fit benchmarks (`None`
+    /// keeps the library default; `Some(0)` disables caching). The
+    /// `.nocache` fit variants always run with a budget of 0 regardless.
+    pub cache_budget: Option<usize>,
 }
 
 impl Default for SuiteConfig {
@@ -74,6 +78,7 @@ impl Default for SuiteConfig {
             seed: 42,
             chaos: ChaosConfig::off(),
             only: None,
+            cache_budget: None,
         }
     }
 }
@@ -278,29 +283,60 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
     let mut results = Vec::new();
 
     // -- Learner: end-to-end fit on the §7.1 workloads ------------------
-    let mut fit_bench = |name: &str, params: &GenParams, results: &mut Vec<BenchSample>| {
-        if !wants(config, name) {
-            return;
-        }
-        let db = generate(params);
-        let rows = target_rows(&db);
-        let mut runs = Vec::with_capacity(config.samples);
-        for _ in 0..config.samples {
-            let start = Instant::now();
-            let model = CrossMine::default().fit(&db, &rows).expect("fit on pinned workload");
-            runs.push(start.elapsed().as_secs_f64() * 1e3);
-            std::hint::black_box(model.num_clauses());
-        }
-        let sample = sample_from(name, "ms", runs);
-        progress(&format!(
-            "{:<32} median {:.1} ms (mad {:.1})",
-            sample.name, sample.median, sample.mad
-        ));
-        results.push(sample);
-    };
-    fit_bench("learner.fit.R5.T200.F3", &workload_r5(config.seed), &mut results);
+    // Each sample fits a fresh classifier (fresh count store), so the
+    // cache-on numbers measure one cold fit with intra-fit reuse only.
+    let mut fit_bench =
+        |name: &str, params: &GenParams, budget: Option<usize>, results: &mut Vec<BenchSample>| {
+            if !wants(config, name) {
+                return;
+            }
+            let db = generate(params);
+            let rows = target_rows(&db);
+            let make = || {
+                let mut clf = CrossMine::default();
+                if let Some(b) = budget {
+                    clf.params.stats_cache_budget_bytes = b;
+                }
+                clf
+            };
+            // Warmup fit excluded from the samples: builds the database's
+            // lazy key/sorted indexes and faults in the allocator, so no
+            // sample pays a one-off cold-start cost.
+            let warm = make().fit(&db, &rows).expect("fit on pinned workload");
+            std::hint::black_box(warm.num_clauses());
+            let mut runs = Vec::with_capacity(config.samples);
+            for _ in 0..config.samples {
+                let clf = make();
+                let start = Instant::now();
+                let model = clf.fit(&db, &rows).expect("fit on pinned workload");
+                runs.push(start.elapsed().as_secs_f64() * 1e3);
+                std::hint::black_box(model.num_clauses());
+            }
+            let sample = sample_from(name, "ms", runs);
+            progress(&format!(
+                "{:<32} median {:.1} ms (mad {:.1})",
+                sample.name, sample.median, sample.mad
+            ));
+            results.push(sample);
+        };
+    // With an explicit budget of 0 the plain variants would duplicate the
+    // `.nocache` ones and be gated against cache-on baselines, so skip them;
+    // the gate reports them as "not measured" (non-fatal).
+    let budget = config.cache_budget;
+    if budget != Some(0) {
+        fit_bench("learner.fit.R5.T200.F3", &workload_r5(config.seed), budget, &mut results);
+    }
+    fit_bench("learner.fit.R5.T200.F3.nocache", &workload_r5(config.seed), Some(0), &mut results);
     if !config.smoke {
-        fit_bench("learner.fit.R10.T500.F5", &workload_r10(config.seed), &mut results);
+        if budget != Some(0) {
+            fit_bench("learner.fit.R10.T500.F5", &workload_r10(config.seed), budget, &mut results);
+        }
+        fit_bench(
+            "learner.fit.R10.T500.F5.nocache",
+            &workload_r10(config.seed),
+            Some(0),
+            &mut results,
+        );
     }
 
     // -- Shared model for the propagation / serve benchmarks ------------
@@ -312,8 +348,11 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
     // -- Propagation: a warm in-core predict pass ------------------------
     if wants(config, "propagation.predict.R5.T200.F3") {
         let mut runs = Vec::with_capacity(config.samples);
-        // One warmup pass so the first sample doesn't pay cold caches.
-        std::hint::black_box(model.predict(&db, &rows).expect("predict"));
+        // Warmup passes (excluded from samples) so no sample pays cold
+        // caches, lazy indexes, or first-touch page faults.
+        for _ in 0..2 {
+            std::hint::black_box(model.predict(&db, &rows).expect("predict"));
+        }
         for _ in 0..config.samples {
             let start = Instant::now();
             let labels = model.predict(&db, &rows).expect("predict");
@@ -331,7 +370,10 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
     // -- Serve: the batched evaluator over reusable scratch --------------
     if wants(config, "serve.eval_batch.R5.T200.F3") {
         let mut scratch = ServeScratch::new();
-        std::hint::black_box(evaluate_batch(&plan, &db, &rows, &mut scratch));
+        // Warmup passes excluded from samples (see propagation.predict).
+        for _ in 0..2 {
+            std::hint::black_box(evaluate_batch(&plan, &db, &rows, &mut scratch));
+        }
         let mut runs = Vec::with_capacity(config.samples);
         for _ in 0..config.samples {
             let start = Instant::now();
@@ -361,6 +403,12 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
                 ServerConfig { chaos: config.chaos.clone(), ..ServerConfig::default() },
             )
             .expect("default server config is valid");
+            // Warm the fresh server (thread spin-up, first-batch plan
+            // touch) before measuring.
+            for i in 0..(config.serve_requests / 10).clamp(8, 64) {
+                let row = rows[i % rows.len()];
+                server.predict(row).expect("serve warmup runs without panics or deadlines");
+            }
             let mut latencies_us = Vec::with_capacity(config.serve_requests);
             for i in 0..config.serve_requests {
                 let row = rows[i % rows.len()];

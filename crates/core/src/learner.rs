@@ -13,6 +13,7 @@
 //! [`CrossMineParams::num_threads`] setting learns byte-identical clauses.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,7 +26,8 @@ use crate::literal::ComplexLiteral;
 use crate::params::CrossMineParams;
 use crate::propagation::{AnnView, ClauseState, PropagationScratch};
 use crate::sampling::{safe_negative_estimate, sample_negatives};
-use crate::search::{best_constraint_in, ScoredConstraint};
+use crate::search::{best_constraint_cached, best_constraint_in, ScoredConstraint};
+use crate::stats::{filtered_fanout, CachedEntry, PathKey, SourceSig};
 
 /// A candidate complex literal with its score.
 #[derive(Debug, Clone)]
@@ -99,6 +101,32 @@ struct Candidate {
     score: ScoredConstraint,
 }
 
+/// One count-store lookup resolved during the single locked prepare pass:
+/// the canonical key plus the entry, when cached.
+struct Prepared {
+    key: PathKey,
+    entry: Option<Arc<CachedEntry>>,
+}
+
+/// A [`UnitGroup`]'s count-store plan: one lookup per search unit, resolved
+/// up front so workers touch no lock on the hit path.
+enum GroupPlan {
+    /// Plan for [`UnitGroup::Local`].
+    Local(Prepared),
+    /// Plan for [`UnitGroup::Edge`]: the first hop plus one lookup per
+    /// look-one-ahead second hop.
+    Edge { hop1: Prepared, lookahead: Vec<Prepared> },
+}
+
+/// A freshly computed entry awaiting insertion, tagged with its unit index:
+/// workers collect these locally and the round inserts them in unit order,
+/// so store contents and LRU eviction are scheduling-independent.
+struct PendingInsert {
+    unit: usize,
+    key: PathKey,
+    entry: Arc<CachedEntry>,
+}
+
 /// The deterministic reduction order: gain descending (`total_cmp`, exact),
 /// then prop-path length ascending, then enumeration index ascending. This
 /// reproduces the serial scan's "first candidate wins ties" exactly, so the
@@ -130,6 +158,13 @@ pub struct ClauseLearner<'a> {
     is_pos: Vec<bool>,
     num_classes: usize,
     label: ClassLabel,
+    /// Every target id, for building unfiltered count-store tables.
+    all_targets: TargetSet,
+    /// The full identity annotation of the target relation as flat CSR
+    /// buffers (`offsets`, `ids`), the propagation source for
+    /// [`SourceSig::Identity`] entries. Built only when the count store is
+    /// enabled and the database has a target relation.
+    identity: Option<(Vec<u32>, Vec<u32>)>,
 }
 
 impl<'a> ClauseLearner<'a> {
@@ -142,8 +177,14 @@ impl<'a> ClauseLearner<'a> {
         label: ClassLabel,
         num_classes: usize,
     ) -> Self {
-        let is_pos = db.labels().iter().map(|&l| l == label).collect();
-        ClauseLearner { db, graph, params, is_pos, num_classes, label }
+        let is_pos: Vec<bool> = db.labels().iter().map(|&l| l == label).collect();
+        let all_targets = TargetSet::all(&is_pos);
+        let identity =
+            (params.stats_cache_budget_bytes > 0).then(|| db.target().ok()).flatten().map(|t| {
+                let n = db.relation(t).len() as u32;
+                ((0..=n).collect::<Vec<u32>>(), (0..n).collect::<Vec<u32>>())
+            });
+        ClauseLearner { db, graph, params, is_pos, num_classes, label, all_targets, identity }
     }
 
     /// The positivity flags this learner uses.
@@ -210,17 +251,31 @@ impl<'a> ClauseLearner<'a> {
         initial: TargetSet,
         scratch: &mut SearchScratch,
     ) -> Option<(Vec<ComplexLiteral>, TargetSet)> {
+        let caching = self.params.stats_cache_budget_bytes > 0;
         let mut state = ClauseState::new(self.db, &self.is_pos, initial);
         let mut literals: Vec<ComplexLiteral> = Vec::new();
         while let Some(best) = self.find_best_literal(&state, scratch) {
             if best.score.gain < self.params.min_foil_gain {
                 break;
             }
+            let constrained = best.literal.constraint.rel;
+            let old_epoch = state.epoch(constrained);
             state.apply_literal(&best.literal, scratch.stamp_mut());
+            if caching {
+                // The constrained relation's annotation was rebuilt, not
+                // merely restricted: entries sourced from its old epoch can
+                // no longer reproduce live counts. Everything else survives.
+                self.params.stats.retire_source(state.state_id(), constrained, old_epoch);
+            }
             literals.push(best.literal);
             if literals.len() >= self.params.max_clause_length {
                 break;
             }
+        }
+        if caching {
+            // The next clause gets a fresh state id (new covering set /
+            // negative sample); identity-keyed entries carry over.
+            self.params.stats.retire_state(state.state_id());
         }
         if literals.is_empty() {
             None
@@ -247,18 +302,35 @@ impl<'a> ClauseLearner<'a> {
         let groups = self.enumerate_units(state);
         obs.add("search.unit_groups", groups.len() as u64);
         let num_workers = scratch.workers.len().min(groups.len()).max(1);
+        let budget = self.params.stats_cache_budget_bytes;
+        // One locked pass resolves every count-store key for this round, in
+        // group/unit order (deterministic LRU recency); the per-group hit
+        // path below is then lock-free.
+        let plans: Option<Vec<GroupPlan>> =
+            (budget > 0).then(|| self.prepare_plans(state, &groups));
 
-        let best = if num_workers == 1 {
+        let (best, mut pending) = if num_workers == 1 {
             let ws = &mut scratch.workers[0];
             let mut best = None;
-            for group in &groups {
-                self.evaluate_group(state, group, ws, &mut best);
+            let mut pending = Vec::new();
+            match &plans {
+                None => {
+                    for group in &groups {
+                        self.evaluate_group(state, group, ws, &mut best);
+                    }
+                }
+                Some(plans) => {
+                    for (group, plan) in groups.iter().zip(plans) {
+                        self.evaluate_group_cached(state, group, plan, ws, &mut best, &mut pending);
+                    }
+                }
             }
-            best
+            (best, pending)
         } else {
             let next = AtomicUsize::new(0);
             let groups = &groups;
-            let worker_bests: Vec<Option<Candidate>> = std::thread::scope(|s| {
+            let plans_ref = plans.as_deref();
+            let results: Vec<(Option<Candidate>, Vec<PendingInsert>)> = std::thread::scope(|s| {
                 let handles: Vec<_> = scratch
                     .workers
                     .iter_mut()
@@ -267,12 +339,23 @@ impl<'a> ClauseLearner<'a> {
                         let next = &next;
                         s.spawn(move || {
                             let mut best = None;
+                            let mut pending = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(group) = groups.get(i) else { break };
-                                self.evaluate_group(state, group, ws, &mut best);
+                                match plans_ref {
+                                    None => self.evaluate_group(state, group, ws, &mut best),
+                                    Some(plans) => self.evaluate_group_cached(
+                                        state,
+                                        group,
+                                        &plans[i],
+                                        ws,
+                                        &mut best,
+                                        &mut pending,
+                                    ),
+                                }
                             }
-                            best
+                            (best, pending)
                         })
                     })
                     .collect();
@@ -282,11 +365,29 @@ impl<'a> ClauseLearner<'a> {
                     .collect()
             });
             let mut best = None;
-            for cand in worker_bests.into_iter().flatten() {
-                reduce(&mut best, cand);
+            let mut pending = Vec::new();
+            for (cand, worker_pending) in results {
+                if let Some(cand) = cand {
+                    reduce(&mut best, cand);
+                }
+                pending.extend(worker_pending);
             }
-            best
+            (best, pending)
         };
+
+        if plans.is_some() {
+            // Insert this round's fresh entries in unit order so store
+            // contents (and eviction order) don't depend on scheduling.
+            pending.sort_by_key(|p| p.unit);
+            self.params.stats.insert_batch(pending.into_iter().map(|p| (p.key, p.entry)), budget);
+            if obs.is_enabled() {
+                let (hits, misses, evictions, bytes) = self.params.stats.drain_report();
+                obs.add("stats.cache_hits", hits);
+                obs.add("stats.cache_misses", misses);
+                obs.add("stats.cache_evictions", evictions);
+                obs.gauge_set("stats.cache_bytes", bytes as i64);
+            }
+        }
 
         // Drain the propagation counters every worker accumulated during
         // this search (cheap plain-u64 adds in the hot path) into the obs
@@ -426,6 +527,246 @@ impl<'a> ClauseLearner<'a> {
         match self.params.max_fanout {
             Some(limit) => ann.avg_fanout() > limit as f64,
             None => false,
+        }
+    }
+
+    /// The §4.3 fan-out check against a count-store entry: the entry is a
+    /// superset of the live annotation, so its fan-out *filtered through the
+    /// live targets* equals the live `avg_fanout` — same skip decisions as
+    /// the uncached path.
+    fn filtered_fanout_exceeded(&self, ann: AnnView<'_>, targets: &TargetSet) -> bool {
+        match self.params.max_fanout {
+            Some(limit) => filtered_fanout(ann, targets) > limit as f64,
+            None => false,
+        }
+    }
+
+    /// The count-store source signature of active relation `rel` in `state`:
+    /// the shareable [`SourceSig::Identity`] while the target relation is
+    /// unconstrained, else this state's `(state_id, rel, epoch)`.
+    fn source_sig(&self, state: &ClauseState<'_>, rel: RelId) -> SourceSig {
+        if rel == state.target_rel() && state.epoch(rel) == 0 {
+            SourceSig::Identity
+        } else {
+            SourceSig::State { state: state.state_id(), rel, epoch: state.epoch(rel) }
+        }
+    }
+
+    /// The annotation a [`SourceSig`] names, to propagate from on a miss:
+    /// the full identity CSR for [`SourceSig::Identity`] (a superset of
+    /// every target set the entry may later serve), or the live annotation
+    /// for state-scoped sources (a superset of every later round at the
+    /// same epoch).
+    fn source_view<'s>(
+        &'s self,
+        state: &'s ClauseState<'_>,
+        sig: &SourceSig,
+        rel: RelId,
+    ) -> AnnView<'s> {
+        match sig {
+            SourceSig::Identity => {
+                let (offsets, ids) =
+                    self.identity.as_ref().expect("identity CSR built when the store is enabled");
+                AnnView::Csr { offsets, ids }
+            }
+            SourceSig::State { .. } => {
+                state.annotation(rel).expect("state source is an active relation").view()
+            }
+        }
+    }
+
+    /// Resolves every group's count-store lookups in one locked pass (see
+    /// [`crate::stats::StatsCache::prepare`]), in unit order.
+    fn prepare_plans(&self, state: &ClauseState<'_>, groups: &[UnitGroup]) -> Vec<GroupPlan> {
+        let mut keys = Vec::new();
+        for group in groups {
+            match group {
+                UnitGroup::Local { rel, .. } => {
+                    keys.push(PathKey { source: self.source_sig(state, *rel), path: Vec::new() });
+                }
+                UnitGroup::Edge { edge, lookahead, .. } => {
+                    let source = self.source_sig(state, edge.from);
+                    keys.push(PathKey { source, path: vec![*edge] });
+                    for (edge2, _) in lookahead {
+                        keys.push(PathKey { source, path: vec![*edge, *edge2] });
+                    }
+                }
+            }
+        }
+        let entries = self.params.stats.prepare(self.db.cache_stamp(), &keys);
+        let mut resolved = keys.into_iter().zip(entries);
+        let mut next = || {
+            let (key, entry) = resolved.next().expect("one resolved key per search unit");
+            Prepared { key, entry }
+        };
+        groups
+            .iter()
+            .map(|group| match group {
+                UnitGroup::Local { .. } => GroupPlan::Local(next()),
+                UnitGroup::Edge { lookahead, .. } => GroupPlan::Edge {
+                    hop1: next(),
+                    lookahead: lookahead.iter().map(|_| next()).collect(),
+                },
+            })
+            .collect()
+    }
+
+    /// [`Self::evaluate_group`] through the count store: hits score straight
+    /// from cached tables (no propagation, no lock); misses propagate from
+    /// the key's superset source, score through the same cached-table code
+    /// path, and queue the entry for the post-round batch insert.
+    fn evaluate_group_cached(
+        &self,
+        state: &ClauseState<'_>,
+        group: &UnitGroup,
+        plan: &GroupPlan,
+        ws: &mut WorkerScratch,
+        best: &mut Option<Candidate>,
+        pending: &mut Vec<PendingInsert>,
+    ) {
+        let obs = &self.params.obs;
+        let _candidate = obs.span("search.candidate_relation");
+        match (group, plan) {
+            (UnitGroup::Local { rel, unit }, GroupPlan::Local(prep)) => {
+                let allow_agg = *rel != state.target_rel();
+                let entry = match &prep.entry {
+                    Some(e) => Arc::clone(e),
+                    None => {
+                        let src = self.source_view(state, &prep.key.source, *rel);
+                        let entry = Arc::new(CachedEntry::build(
+                            self.db,
+                            *rel,
+                            src,
+                            &self.all_targets,
+                            true,
+                            allow_agg && self.params.aggregation_literals,
+                        ));
+                        pending.push(PendingInsert {
+                            unit: *unit,
+                            key: prep.key.clone(),
+                            entry: Arc::clone(&entry),
+                        });
+                        entry
+                    }
+                };
+                if let Some(score) = best_constraint_cached(
+                    self.db,
+                    *rel,
+                    &entry,
+                    &state.targets,
+                    &self.is_pos,
+                    &mut ws.stamp,
+                    self.params,
+                    allow_agg,
+                ) {
+                    let literal = ComplexLiteral::local(score.constraint.clone());
+                    reduce(best, Candidate { unit: *unit, literal, score });
+                }
+            }
+            (
+                UnitGroup::Edge { edge, unit, lookahead },
+                GroupPlan::Edge { hop1, lookahead: lookahead_plans },
+            ) => {
+                let hop1_entry = match &hop1.entry {
+                    Some(e) => Arc::clone(e),
+                    None => {
+                        let src = self.source_view(state, &hop1.key.source, edge.from);
+                        ws.hop1.propagate_from(self.db, src, edge);
+                        // Tables are only worth building when this round will
+                        // score them; a fan-out-exceeded propagation caches
+                        // just the CSR so the skip itself replays for free.
+                        let exceeded =
+                            self.filtered_fanout_exceeded(ws.hop1.view(), &state.targets);
+                        let entry = Arc::new(CachedEntry::build(
+                            self.db,
+                            edge.to,
+                            ws.hop1.view(),
+                            &self.all_targets,
+                            !exceeded,
+                            self.params.aggregation_literals,
+                        ));
+                        pending.push(PendingInsert {
+                            unit: *unit,
+                            key: hop1.key.clone(),
+                            entry: Arc::clone(&entry),
+                        });
+                        entry
+                    }
+                };
+                if self.filtered_fanout_exceeded(hop1_entry.view(), &state.targets) {
+                    return; // serial loop `continue`s past the lookahead too
+                }
+                if let Some(score) = best_constraint_cached(
+                    self.db,
+                    edge.to,
+                    &hop1_entry,
+                    &state.targets,
+                    &self.is_pos,
+                    &mut ws.stamp,
+                    self.params,
+                    true,
+                ) {
+                    let literal =
+                        ComplexLiteral { path: vec![*edge], constraint: score.constraint.clone() };
+                    reduce(best, Candidate { unit: *unit, literal, score });
+                }
+                let _lookahead = if lookahead.is_empty() {
+                    crossmine_obs::SpanGuard::disabled()
+                } else {
+                    obs.add("search.lookahead_units", lookahead.len() as u64);
+                    obs.span("search.look_one_ahead")
+                };
+                for ((edge2, unit2), prep2) in lookahead.iter().zip(lookahead_plans) {
+                    let hop2_entry = match &prep2.entry {
+                        Some(e) => Arc::clone(e),
+                        None => {
+                            // Propagate from the cached hop-1 entry: it is a
+                            // superset of the live hop-1 annotation, and
+                            // propagation commutes with target restriction,
+                            // so the result is superset-valid too.
+                            ws.hop2.propagate_from(self.db, hop1_entry.view(), edge2);
+                            let exceeded =
+                                self.filtered_fanout_exceeded(ws.hop2.view(), &state.targets);
+                            let entry = Arc::new(CachedEntry::build(
+                                self.db,
+                                edge2.to,
+                                ws.hop2.view(),
+                                &self.all_targets,
+                                !exceeded,
+                                self.params.aggregation_literals,
+                            ));
+                            pending.push(PendingInsert {
+                                unit: *unit2,
+                                key: prep2.key.clone(),
+                                entry: Arc::clone(&entry),
+                            });
+                            entry
+                        }
+                    };
+                    if self.filtered_fanout_exceeded(hop2_entry.view(), &state.targets) {
+                        continue;
+                    }
+                    if let Some(score) = best_constraint_cached(
+                        self.db,
+                        edge2.to,
+                        &hop2_entry,
+                        &state.targets,
+                        &self.is_pos,
+                        &mut ws.stamp,
+                        self.params,
+                        true,
+                    ) {
+                        let literal = ComplexLiteral {
+                            path: vec![*edge, *edge2],
+                            constraint: score.constraint.clone(),
+                        };
+                        reduce(best, Candidate { unit: *unit2, literal, score });
+                    }
+                }
+            }
+            // enumerate_units and prepare_plans walk the same group list, so
+            // the shapes always line up.
+            _ => unreachable!("group/plan shape mismatch"),
         }
     }
 }

@@ -56,6 +56,7 @@ pub mod propagation;
 pub mod pruning;
 pub mod sampling;
 pub mod search;
+pub mod stats;
 
 pub use classifier::{CrossMine, CrossMineModel};
 pub use clause::Clause;
@@ -70,3 +71,4 @@ pub use propagation::{
     propagate, AnnView, Annotation, ClauseState, PathScratch, PropStats, PropagationScratch,
 };
 pub use pruning::{fit_with_pruning, prune, PruneConfig};
+pub use stats::{CacheStats, CachedEntry, PathKey, SourceSig, StatsCache};

@@ -7,6 +7,11 @@
 
 use crossmine_obs::ObsHandle;
 
+use crate::stats::StatsCache;
+
+/// Default byte budget for the sufficient-statistics count store (64 MiB).
+pub const DEFAULT_STATS_CACHE_BUDGET_BYTES: usize = 64 << 20;
+
 /// Hyper-parameters of CrossMine. Defaults are the values used throughout the
 /// paper's experiments (§7): `MIN_FOIL_GAIN = 2.5`, `MAX_CLAUSE_LENGTH = 6`,
 /// `NEG_POS_RATIO = 1`, `MAX_NUM_NEGATIVE = 600`. The paper reports that
@@ -59,6 +64,19 @@ pub struct CrossMineParams {
     /// enabled handle aggregates per-clause / per-pass spans and counters
     /// the caller can render with `TrainReport`.
     pub obs: ObsHandle,
+    /// Byte budget for the sufficient-statistics count store
+    /// ([`StatsCache`]): cached prop-path annotations and contingency
+    /// tables consulted by Find-Best-Literal before propagating. Entries
+    /// are evicted LRU-by-bytes once the store outgrows the budget; `0`
+    /// disables the store entirely (the search runs the legacy
+    /// propagate-and-count path). Defaults to
+    /// [`DEFAULT_STATS_CACHE_BUDGET_BYTES`].
+    pub stats_cache_budget_bytes: usize,
+    /// The count store itself. Cloning the params shares the store (like
+    /// [`ObsHandle`]), so one fit's statistics are reused by later fits,
+    /// classes, and cross-validation folds over the same database; the
+    /// default is a fresh, empty store.
+    pub stats: StatsCache,
 }
 
 impl Default for CrossMineParams {
@@ -77,6 +95,8 @@ impl Default for CrossMineParams {
             seed: 0x5eed,
             num_threads: Some(1),
             obs: ObsHandle::noop(),
+            stats_cache_budget_bytes: DEFAULT_STATS_CACHE_BUDGET_BYTES,
+            stats: StatsCache::new(),
         }
     }
 }
@@ -223,6 +243,16 @@ impl CrossMineParamsBuilder {
         /// Observability handle shared by the learner's hooks.
         obs: ObsHandle
     );
+    setter!(
+        /// Byte budget for the sufficient-statistics count store;
+        /// `0` disables caching.
+        stats_cache_budget_bytes: usize
+    );
+    setter!(
+        /// The count store to consult and fill (share one across fits to
+        /// reuse statistics).
+        stats: StatsCache
+    );
 
     /// Validates every knob and returns the parameter set, or the first
     /// violation found.
@@ -309,6 +339,18 @@ mod tests {
         assert!(p.aggregation_literals);
         assert_eq!(p.num_threads, Some(1));
         assert!(!p.obs.is_enabled(), "observability defaults to the no-op handle");
+        assert_eq!(p.stats_cache_budget_bytes, DEFAULT_STATS_CACHE_BUDGET_BYTES);
+        assert_eq!(p.stats.stats().entries, 0, "count store starts empty");
+    }
+
+    #[test]
+    fn cloned_params_share_the_count_store() {
+        let p = CrossMineParams::default();
+        let q = p.clone();
+        q.stats.insert_batch(std::iter::empty(), usize::MAX);
+        assert_eq!(p.stats.stats().entries, q.stats.stats().entries);
+        // A budget of zero is a valid (disabled) configuration.
+        assert!(CrossMineParams::builder().stats_cache_budget_bytes(0).build().is_ok());
     }
 
     #[test]

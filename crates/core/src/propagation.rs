@@ -8,6 +8,8 @@
 //! relations are *active* with which annotations — exactly the state
 //! maintained by Algorithm 2 ("update IDs on every active relation").
 
+use std::sync::atomic;
+
 use crossmine_relational::{Database, JoinEdge, RelId, Row, Value};
 
 use crate::idset::{IdSet, Stamp, TargetSet};
@@ -477,7 +479,7 @@ pub fn aggregate<'a>(
 /// The evolving state of one clause: surviving targets plus the annotation
 /// of every active relation. Used both while *building* a clause
 /// (Algorithm 2) and while *evaluating* one on unseen tuples (§5.3).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ClauseState<'a> {
     /// The database being classified.
     pub db: &'a Database,
@@ -488,6 +490,28 @@ pub struct ClauseState<'a> {
     /// Positivity flags used only to maintain [`TargetSet`] counts.
     is_pos: &'a [bool],
     target_rel: RelId,
+    /// Unique id of this state, keying its entries in the count store.
+    state_id: u64,
+    /// `epochs[rel]` counts how many literals have *constrained* `rel`
+    /// (constraining clears idsets, invalidating cached statistics sourced
+    /// from that relation; mere target restriction does not).
+    epochs: Vec<u32>,
+}
+
+impl Clone for ClauseState<'_> {
+    /// Clones get a fresh `state_id`: the copy diverges from the original,
+    /// so they must not share count-store entries keyed by state.
+    fn clone(&self) -> Self {
+        ClauseState {
+            db: self.db,
+            targets: self.targets.clone(),
+            annotations: self.annotations.clone(),
+            is_pos: self.is_pos,
+            target_rel: self.target_rel,
+            state_id: crate::stats::NEXT_STATE_ID.fetch_add(1, atomic::Ordering::Relaxed),
+            epochs: self.epochs.clone(),
+        }
+    }
 }
 
 impl<'a> ClauseState<'a> {
@@ -495,16 +519,35 @@ impl<'a> ClauseState<'a> {
     /// identity over `initial` targets.
     pub fn new(db: &'a Database, is_pos: &'a [bool], initial: TargetSet) -> Self {
         let target_rel = db.target().expect("database must have a target relation");
-        let mut annotations: Vec<Option<Annotation>> =
-            (0..db.schema.num_relations()).map(|_| None).collect();
+        let num_relations = db.schema.num_relations();
+        let mut annotations: Vec<Option<Annotation>> = (0..num_relations).map(|_| None).collect();
         annotations[target_rel.0] =
             Some(Annotation::identity(db.relation(target_rel).len(), &initial));
-        ClauseState { db, targets: initial, annotations, is_pos, target_rel }
+        ClauseState {
+            db,
+            targets: initial,
+            annotations,
+            is_pos,
+            target_rel,
+            state_id: crate::stats::NEXT_STATE_ID.fetch_add(1, atomic::Ordering::Relaxed),
+            epochs: vec![0; num_relations],
+        }
     }
 
     /// The target relation id.
     pub fn target_rel(&self) -> RelId {
         self.target_rel
+    }
+
+    /// This state's unique id (count-store keying; fresh per clause and
+    /// per clone).
+    pub fn state_id(&self) -> u64 {
+        self.state_id
+    }
+
+    /// How many literals have constrained `rel` so far (count-store epoch).
+    pub fn epoch(&self, rel: RelId) -> u32 {
+        self.epochs[rel.0]
     }
 
     /// Ids of all active relations, ascending, without allocating.
@@ -588,6 +631,9 @@ impl<'a> ClauseState<'a> {
         }
         ann.restrict_to(&self.targets);
         self.annotations[lit.constraint.rel.0] = Some(ann);
+        // The constrained relation's annotation was rebuilt from a literal,
+        // not merely restricted: cached statistics sourced there are stale.
+        self.epochs[lit.constraint.rel.0] += 1;
     }
 }
 

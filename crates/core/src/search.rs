@@ -186,6 +186,162 @@ pub fn best_constraint_in<'a>(
     best
 }
 
+/// [`best_constraint_in`] over a count-store entry: identical candidate
+/// enumeration order, but categorical buckets, numerical sweep inputs, and
+/// per-target aggregates come from the entry's precomputed tables instead of
+/// a fresh propagation pass.
+///
+/// Parity with the live search: the entry was built from a *superset* of
+/// the live annotation, and every tally below filters through the live
+/// `targets`. Filtered categorical groups equal the live buckets exactly.
+/// The numerical/aggregate sweeps may see extra ("phantom") rows whose ids
+/// all filter out: a phantom distinct value emits the same `(p, n)` as the
+/// previous emission (a gain tie, which the strict `>` in [`consider`] never
+/// prefers) or `p == 0` (skipped), so the chosen constraint and score are
+/// byte-identical — only the `literals_considered` counter can differ.
+///
+/// Falls back to [`best_constraint_in`] over the entry's cached annotation
+/// when the tables are absent (fan-out-exceeded at build time) or lack the
+/// aggregate side this query needs.
+#[allow(clippy::too_many_arguments)] // mirrors best_constraint_in
+pub(crate) fn best_constraint_cached(
+    db: &Database,
+    rel: RelId,
+    entry: &crate::stats::CachedEntry,
+    targets: &TargetSet,
+    is_pos: &[bool],
+    stamp: &mut Stamp,
+    params: &CrossMineParams,
+    allow_aggregation: bool,
+) -> Option<ScoredConstraint> {
+    let want_aggs = allow_aggregation && params.aggregation_literals;
+    let tables = match &entry.tables {
+        Some(t) if !(want_aggs && t.aggs.is_none()) => t,
+        // No tables (or no aggregate tables where this query needs them):
+        // re-count from the cached annotation, which is parity-safe by the
+        // same superset argument and still skips the propagation pass.
+        _ => {
+            return best_constraint_in(
+                db,
+                rel,
+                entry.view(),
+                targets,
+                is_pos,
+                stamp,
+                params,
+                allow_aggregation,
+            );
+        }
+    };
+    let p_c = targets.pos();
+    let n_c = targets.neg();
+    if p_c == 0 {
+        return None;
+    }
+    let mut best: Option<ScoredConstraint> = None;
+    let mut considered = 0u64;
+    let schema = db.schema.relation(rel);
+    let mut cat_i = 0usize;
+    let mut num_i = 0usize;
+
+    for (aid, attr) in schema.iter_attrs() {
+        if attr.ty.is_categorical() {
+            let (taid, table) = &tables.cats[cat_i];
+            cat_i += 1;
+            debug_assert_eq!(*taid, aid, "cat table order must match schema order");
+            for (code, &(a, b)) in table.ranges.iter().enumerate() {
+                stamp.reset();
+                let mut p = 0;
+                let mut n = 0;
+                for &id in &table.ids[a as usize..b as usize] {
+                    if targets.contains(id) && stamp.mark(id) {
+                        if is_pos[id as usize] {
+                            p += 1;
+                        } else {
+                            n += 1;
+                        }
+                    }
+                }
+                if p + n == 0 {
+                    continue; // the live bucket would have been empty
+                }
+                consider(
+                    &mut best,
+                    &mut considered,
+                    Constraint {
+                        rel,
+                        kind: ConstraintKind::CatEq { attr: aid, value: code as u32 },
+                    },
+                    p_c,
+                    n_c,
+                    p,
+                    n,
+                );
+            }
+        } else if attr.ty.is_numerical() {
+            let (taid, table) = &tables.nums[num_i];
+            num_i += 1;
+            debug_assert_eq!(*taid, aid, "num table order must match schema order");
+            let entries: Vec<(f64, &[u32])> = table
+                .values
+                .iter()
+                .zip(&table.ranges)
+                .map(|(&v, &(a, b))| (v, &table.ids[a as usize..b as usize]))
+                .collect();
+            sweep_numeric(&entries, targets, is_pos, stamp, p_c, n_c, |op, threshold, p, n| {
+                consider(
+                    &mut best,
+                    &mut considered,
+                    Constraint { rel, kind: ConstraintKind::Num { attr: aid, op, threshold } },
+                    p_c,
+                    n_c,
+                    p,
+                    n,
+                );
+            });
+        }
+    }
+
+    if want_aggs {
+        let aggs = tables.aggs.as_ref().expect("aggregate tables checked present above");
+        sweep_per_target(&aggs.count, AggOp::Count, targets, is_pos, p_c, n_c, |op, thr, p, n| {
+            consider(
+                &mut best,
+                &mut considered,
+                Constraint {
+                    rel,
+                    kind: ConstraintKind::Agg { agg: AggOp::Count, attr: None, op, threshold: thr },
+                },
+                p_c,
+                n_c,
+                p,
+                n,
+            );
+        });
+        for (aid, stats) in &aggs.per_attr {
+            for agg in [AggOp::Sum, AggOp::Avg] {
+                sweep_per_target(stats, agg, targets, is_pos, p_c, n_c, |op, thr, p, n| {
+                    consider(
+                        &mut best,
+                        &mut considered,
+                        Constraint {
+                            rel,
+                            kind: ConstraintKind::Agg { agg, attr: Some(*aid), op, threshold: thr },
+                        },
+                        p_c,
+                        n_c,
+                        p,
+                        n,
+                    );
+                });
+            }
+        }
+    }
+
+    params.obs.add("search.literals_considered", considered);
+    best
+}
+
 fn consider(
     best: &mut Option<ScoredConstraint>,
     considered: &mut u64,

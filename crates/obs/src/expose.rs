@@ -291,6 +291,23 @@ mod tests {
     }
 
     #[test]
+    fn count_store_metrics_export_under_stable_names() {
+        // The learner flushes its sufficient-statistics count store into
+        // these exact metric names; dashboards scrape the sanitized forms,
+        // so renames here are breaking changes.
+        let r = MetricsRegistry::new();
+        r.counter("stats.cache_hits").add(12);
+        r.counter("stats.cache_misses").add(4);
+        r.counter("stats.cache_evictions").add(1);
+        r.gauge("stats.cache_bytes").set(65_536);
+        let text = render_registry(&r);
+        assert!(text.contains("crossmine_stats_cache_hits_total 12"), "{text}");
+        assert!(text.contains("crossmine_stats_cache_misses_total 4"), "{text}");
+        assert!(text.contains("crossmine_stats_cache_evictions_total 1"), "{text}");
+        assert!(text.contains("crossmine_stats_cache_bytes 65536"), "{text}");
+    }
+
+    #[test]
     fn registry_renders_every_metric_kind() {
         let r = MetricsRegistry::new();
         r.counter("c.one").add(3);

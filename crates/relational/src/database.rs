@@ -1,9 +1,13 @@
 //! The [`Database`]: schema + per-relation tuple storage + target labels,
 //! with lazily built access-path indexes.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use crate::error::{DataError, Result};
+
+/// Monotonic source of database identities (see [`Database::cache_stamp`]).
+static NEXT_DB_UID: AtomicU64 = AtomicU64::new(1);
 use crate::index::{KeyIndex, SortedIndex};
 use crate::relation::{Relation, Row};
 use crate::schema::{AttrId, DatabaseSchema, RelId};
@@ -23,17 +27,27 @@ pub struct Database {
     labels: Vec<ClassLabel>,
     key_indexes: Vec<Vec<OnceLock<KeyIndex>>>,
     sorted_indexes: Vec<Vec<OnceLock<SortedIndex>>>,
+    /// Process-unique identity of this `Database` value (clones get fresh
+    /// ones), paired with a mutation counter in [`Database::cache_stamp`].
+    uid: u64,
+    /// Bumped by every mutating call, so derived caches can detect that
+    /// previously computed statistics no longer describe this data.
+    version: u64,
 }
 
 impl Clone for Database {
     fn clone(&self) -> Self {
-        // Indexes are caches; a clone starts cold.
+        // Indexes are caches; a clone starts cold. The clone is a distinct
+        // value, so it gets a fresh uid: caches keyed by the original's
+        // stamp never match the clone.
         let mut db = Database {
             schema: self.schema.clone(),
             relations: self.relations.clone(),
             labels: self.labels.clone(),
             key_indexes: Vec::new(),
             sorted_indexes: Vec::new(),
+            uid: NEXT_DB_UID.fetch_add(1, Ordering::Relaxed),
+            version: 0,
         };
         db.reset_index_slots();
         db
@@ -52,9 +66,22 @@ impl Database {
             labels: Vec::new(),
             key_indexes: Vec::new(),
             sorted_indexes: Vec::new(),
+            uid: NEXT_DB_UID.fetch_add(1, Ordering::Relaxed),
+            version: 0,
         };
         db.reset_index_slots();
         Ok(db)
+    }
+
+    /// An identity stamp for caches derived from this database's contents:
+    /// `(uid, version)`. The uid is process-unique per `Database` value
+    /// (clones differ); the version is bumped by every mutating call
+    /// ([`Database::push_row`], [`Database::set_value`],
+    /// [`Database::set_labels`], …). A cache keyed by a stamp is valid
+    /// exactly as long as the same stamp is observed again.
+    #[inline]
+    pub fn cache_stamp(&self) -> (u64, u64) {
+        (self.uid, self.version)
     }
 
     fn reset_index_slots(&mut self) {
@@ -115,6 +142,7 @@ impl Database {
     }
 
     fn invalidate(&mut self, rel: RelId) {
+        self.version = self.version.wrapping_add(1);
         for slot in &mut self.key_indexes[rel.0] {
             *slot = OnceLock::new();
         }
@@ -134,12 +162,14 @@ impl Database {
             .into());
         }
         self.labels = labels;
+        self.version = self.version.wrapping_add(1);
         Ok(())
     }
 
     /// Appends one label (generators adding target tuples incrementally).
     pub fn push_label(&mut self, label: ClassLabel) {
         self.labels.push(label);
+        self.version = self.version.wrapping_add(1);
     }
 
     /// The full label column.
@@ -356,6 +386,22 @@ mod tests {
         .unwrap();
         db.push_label(ClassLabel::NEG);
         assert_eq!(db.dangling_foreign_keys(), 1);
+    }
+
+    #[test]
+    fn cache_stamp_tracks_identity_and_mutation() {
+        let mut db = fig2_database();
+        let stamp = db.cache_stamp();
+        assert_eq!(db.cache_stamp(), stamp, "reads do not move the stamp");
+        let account = db.schema.rel_id("Account").unwrap();
+        db.push_row(account, vec![Value::Key(201), Value::Cat(0), Value::Num(0.0)]).unwrap();
+        let stamp2 = db.cache_stamp();
+        assert_ne!(stamp2, stamp, "mutation bumps the version");
+        assert_eq!(stamp2.0, stamp.0, "mutation keeps the uid");
+        let clone = db.clone();
+        assert_ne!(clone.cache_stamp().0, db.cache_stamp().0, "clones are distinct values");
+        let other = fig2_database();
+        assert_ne!(other.cache_stamp().0, db.cache_stamp().0);
     }
 
     #[test]
