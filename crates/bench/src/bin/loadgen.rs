@@ -35,6 +35,16 @@
 //! degradations (sheds, expiries, restarts) are expected and reported, but
 //! crashes, deadlocks, and wrong answers are not.
 //!
+//! `--net ADDR` (e.g. `--net 127.0.0.1:0`) binds the `crossmine-net`
+//! wire front end on ADDR and drives the whole run over real TCP instead
+//! of in-process calls: `--conns` keep-alive connections (default 8
+//! under `--smoke`, 200 otherwise — hundreds, as production would see),
+//! each pipelining windows of requests and verifying every label.
+//! `--net-proto http|binary|both` picks the wire protocol (`both`
+//! alternates per connection, exercising the sniffer). Wire clients
+//! retry retryable statuses (429/504/500+Retry-After) with backoff, so
+//! `--net --chaos` proves typed overload answers under fault injection.
+//!
 //! `--prom ADDR` binds the live telemetry endpoint
 //! (`ServerConfig::telemetry_addr`) and scrapes `GET /metrics` from it
 //! over real TCP midway through the run — proving the Prometheus surface
@@ -49,12 +59,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crossmine_bench::net_client::{NetClient, NetProto};
 use crossmine_bench::serve_client::submit_with_retry;
 use crossmine_core::{CrossMine, CrossMineParams};
 use crossmine_obs::{ObsHandle, ServeReport, TrainReport};
 use crossmine_relational::{ClassLabel, Database, Row};
 use crossmine_serve::{
-    predict_disk, ChaosConfig, CompiledPlan, ModelRegistry, PredictionServer, ServerConfig,
+    predict_disk, ChaosConfig, CompiledPlan, ModelRegistry, NetConfig, PredictionServer,
+    ServerConfig,
 };
 use crossmine_storage::DiskDatabase;
 use crossmine_synth::{generate, GenParams};
@@ -73,6 +85,19 @@ struct Args {
     chaos: bool,
     prom: Option<String>,
     explain: usize,
+    net: Option<String>,
+    conns: usize,
+    net_proto: NetProtoArg,
+}
+
+/// `--net-proto`: which protocol the wire clients speak.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum NetProtoArg {
+    Http,
+    Binary,
+    /// Alternate per connection — half HTTP, half binary, so both
+    /// decoders and the sniffer run in every `--net` invocation.
+    Both,
 }
 
 impl Default for Args {
@@ -91,6 +116,9 @@ impl Default for Args {
             chaos: false,
             prom: None,
             explain: 0,
+            net: None,
+            conns: 0,
+            net_proto: NetProtoArg::Both,
         }
     }
 }
@@ -134,6 +162,22 @@ fn parse_args() -> Args {
                 args.prom = Some(addr.clone());
             }
             "--explain" => args.explain = take(&mut i) as usize,
+            "--net" => {
+                i += 1;
+                let addr =
+                    argv.get(i).unwrap_or_else(|| die("--net needs an address (e.g. 127.0.0.1:0)"));
+                args.net = Some(addr.clone());
+            }
+            "--conns" => args.conns = take(&mut i) as usize,
+            "--net-proto" => {
+                i += 1;
+                args.net_proto = match argv.get(i).map(String::as_str) {
+                    Some("http") => NetProtoArg::Http,
+                    Some("binary") => NetProtoArg::Binary,
+                    Some("both") => NetProtoArg::Both,
+                    _ => die("--net-proto needs one of: http, binary, both"),
+                };
+            }
             other => die(&format!("unknown flag {other} (try --smoke)")),
         }
         i += 1;
@@ -220,6 +264,10 @@ fn main() {
             telemetry_addr: args.prom.as_ref().map(|a| {
                 a.parse().unwrap_or_else(|e| die(&format!("--prom: invalid address {a:?}: {e}")))
             }),
+            net: args
+                .net
+                .as_ref()
+                .map(|addr| NetConfig { addr: addr.clone(), ..Default::default() }),
         },
     )
     .unwrap_or_else(|e| die(&format!("server failed to start: {e}")));
@@ -245,11 +293,28 @@ fn main() {
         args.workers, args.max_batch, args.wait_us, args.clients
     );
 
+    // `--net`: the run goes socket-to-socket. One unit of work is then a
+    // wire request (a batch of WIRE_BATCH_ROWS rows) instead of a single
+    // in-process row, driven by `conns` keep-alive connections.
+    let wire_addr = args.net.as_ref().map(|_| {
+        let addr = server.net_addr().expect("--net was given, so the wire front end is on");
+        println!("wire front end live at {addr} (HTTP + binary on one port)");
+        addr
+    });
+    let conns = if args.conns > 0 {
+        args.conns
+    } else if args.smoke {
+        8
+    } else {
+        200
+    };
+
     let mismatches = AtomicU64::new(0);
     let answered = AtomicU64::new(0);
     let retried = AtomicU64::new(0);
-    let per_client = args.requests.div_ceil(args.clients.max(1));
-    let total = per_client * args.clients.max(1);
+    let units = if wire_addr.is_some() { conns } else { args.clients.max(1) };
+    let per_client = args.requests.div_ceil(units);
+    let total = per_client * units;
     let chaos = args.chaos;
     let swap_plan = plan.clone();
     // `--prom`: filled midway through the run by the scrape thread with
@@ -258,29 +323,56 @@ fn main() {
         std::sync::Mutex::new(None);
     let bench_start = Instant::now();
     std::thread::scope(|scope| {
-        for c in 0..args.clients.max(1) {
-            let server = &server;
-            let rows = &rows;
-            let expected = &expected;
-            let mismatches = &mismatches;
-            let answered = &answered;
-            let retried = &retried;
-            scope.spawn(move || {
-                for k in 0..per_client {
-                    let i = (c * per_client + k) % rows.len();
-                    let p = if chaos {
-                        chaos_request(server, rows[i], k, retried)
-                    } else {
-                        server
-                            .predict(rows[i])
-                            .unwrap_or_else(|e| die(&format!("healthy-path request failed: {e}")))
-                    };
-                    answered.fetch_add(1, Ordering::Relaxed);
-                    if p.label != expected[i] {
-                        mismatches.fetch_add(1, Ordering::Relaxed);
+        if let Some(addr) = wire_addr {
+            for c in 0..conns {
+                let proto = match args.net_proto {
+                    NetProtoArg::Http => NetProto::Http,
+                    NetProtoArg::Binary => NetProto::Binary,
+                    NetProtoArg::Both => {
+                        if c % 2 == 0 {
+                            NetProto::Http
+                        } else {
+                            NetProto::Binary
+                        }
                     }
-                }
-            });
+                };
+                let rows = &rows;
+                let expected = &expected;
+                let mismatches = &mismatches;
+                let answered = &answered;
+                let retried = &retried;
+                scope.spawn(move || {
+                    wire_client(
+                        addr, proto, c, per_client, rows, expected, chaos, answered, mismatches,
+                        retried,
+                    );
+                });
+            }
+        } else {
+            for c in 0..args.clients.max(1) {
+                let server = &server;
+                let rows = &rows;
+                let expected = &expected;
+                let mismatches = &mismatches;
+                let answered = &answered;
+                let retried = &retried;
+                scope.spawn(move || {
+                    for k in 0..per_client {
+                        let i = (c * per_client + k) % rows.len();
+                        let p = if chaos {
+                            chaos_request(server, rows[i], k, retried)
+                        } else {
+                            server.predict(rows[i]).unwrap_or_else(|e| {
+                                die(&format!("healthy-path request failed: {e}"))
+                            })
+                        };
+                        answered.fetch_add(1, Ordering::Relaxed);
+                        if p.label != expected[i] {
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
         }
         if let Some(addr) = server.telemetry_addr() {
             // Scrape the live endpoint over real TCP while clients are
@@ -350,11 +442,26 @@ fn main() {
         }
     }
 
+    let wire_stats = server.net_metrics().map(|m| m.snapshot());
     let report = server.shutdown();
     let throughput = total as f64 / elapsed.as_secs_f64();
     println!();
     println!("{} requests in {:?}  ({:.0} req/s)", total, elapsed, throughput);
     println!("{report}");
+    if let Some(s) = &wire_stats {
+        println!(
+            "wire: {} conns accepted ({} http, {} binary), {} http + {} binary requests, \
+             {} wire errors, {} B in, {} B out",
+            s.accepted,
+            s.http_conns,
+            s.binary_conns,
+            s.http_requests,
+            s.binary_requests,
+            s.wire_errors,
+            s.bytes_read,
+            s.bytes_written
+        );
+    }
     println!();
 
     if args.report {
@@ -386,6 +493,23 @@ fn main() {
              attempts ({} sheds, {} expiries, {} restarts survived)",
             report.shed, report.deadline_expired, report.worker_restarts
         );
+    } else if args.net.is_some() {
+        // Over the wire the client is remote: the server may shed under
+        // the connection storm and the client retries — that's the
+        // contract. What must hold is that every batch was eventually
+        // answered with the right labels.
+        if bad > 0 || lost > 0 || report.swaps != 1 {
+            die(&format!(
+                "FAILED over the wire: {bad} mismatches, {lost} lost, {} swaps",
+                report.swaps
+            ));
+        }
+        println!(
+            "OK over the wire: all {total} batches matched after {} retried replies \
+             ({} sheds server-side)",
+            retried.load(Ordering::Relaxed),
+            report.shed
+        );
     } else {
         if bad > 0 || lost > 0 || report.errors > 0 || report.swaps != 1 {
             die(&format!(
@@ -394,6 +518,102 @@ fn main() {
             ));
         }
         println!("OK: all {total} predictions matched CrossMineModel::predict, zero errors");
+    }
+}
+
+/// Rows per wire request: big enough that batch decode matters, small
+/// enough that hundreds of pipelined connections don't dwarf the queue.
+const WIRE_BATCH_ROWS: usize = 8;
+/// Requests written back-to-back before reading any reply.
+const WIRE_PIPELINE: usize = 4;
+
+/// One wire connection's share of the run: `per_conn` keep-alive
+/// requests in pipelined windows, every label verified against the
+/// in-process model, retryable statuses resent (after the window is
+/// fully drained, so pipelined FIFO order is never violated).
+#[allow(clippy::too_many_arguments)]
+fn wire_client(
+    addr: std::net::SocketAddr,
+    proto: NetProto,
+    conn_idx: usize,
+    per_conn: usize,
+    rows: &[Row],
+    expected: &[ClassLabel],
+    chaos: bool,
+    answered: &AtomicU64,
+    mismatches: &AtomicU64,
+    retried: &AtomicU64,
+) {
+    let mut client = NetClient::connect(addr, proto)
+        .unwrap_or_else(|e| die(&format!("wire connect {addr} ({}): {e}", proto.name())));
+    let verify = |g: usize, labels: &[u32]| {
+        if labels.len() != WIRE_BATCH_ROWS {
+            mismatches.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        for (j, &label) in labels.iter().enumerate() {
+            let i = (g * WIRE_BATCH_ROWS + j) % rows.len();
+            if label != expected[i].0 {
+                mismatches.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    };
+    let mut k = 0;
+    while k < per_conn {
+        let window = (per_conn - k).min(WIRE_PIPELINE);
+        let batches: Vec<Vec<u32>> = (0..window)
+            .map(|w| {
+                let g = conn_idx * per_conn + k + w;
+                (0..WIRE_BATCH_ROWS)
+                    .map(|j| rows[(g * WIRE_BATCH_ROWS + j) % rows.len()].0)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u32]> = batches.iter().map(Vec::as_slice).collect();
+        // Every fourth chaos window carries a tight deadline so the wire
+        // deadline field (and the 504 path) is exercised.
+        let deadline = if chaos && (k / WIRE_PIPELINE).is_multiple_of(4) { Some(5) } else { None };
+        let replies = client
+            .pipelined(&refs, deadline)
+            .unwrap_or_else(|e| die(&format!("wire pipeline ({}): {e}", proto.name())));
+        // First pass: drain the whole window (keeps FIFO order intact),
+        // remembering which slots need a resend.
+        let mut resend = Vec::new();
+        for (w, reply) in replies.into_iter().enumerate() {
+            if reply.status == 200 {
+                verify(conn_idx * per_conn + k + w, &reply.labels);
+                answered.fetch_add(1, Ordering::Relaxed);
+            } else if reply.is_retryable() {
+                resend.push(w);
+            } else {
+                die(&format!("non-retryable wire status {} ({})", reply.status, proto.name()));
+            }
+        }
+        // Second pass: one request in flight at a time, so each reply
+        // read is unambiguously ours.
+        for w in resend {
+            let mut attempt = 0u64;
+            loop {
+                retried.fetch_add(1, Ordering::Relaxed);
+                attempt += 1;
+                if attempt > 1000 {
+                    die("wire request starved: not answered within the retry budget");
+                }
+                std::thread::sleep(Duration::from_micros(100 * attempt.min(50)));
+                let reply = client
+                    .request(refs[w], None)
+                    .unwrap_or_else(|e| die(&format!("wire retry ({}): {e}", proto.name())));
+                if reply.status == 200 {
+                    verify(conn_idx * per_conn + k + w, &reply.labels);
+                    answered.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                if !reply.is_retryable() {
+                    die(&format!("non-retryable wire status {} on retry", reply.status));
+                }
+            }
+        }
+        k += window;
     }
 }
 

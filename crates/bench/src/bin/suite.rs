@@ -1,7 +1,8 @@
 //! The continuous-bench suite and its regression gate.
 //!
 //! Runs the pinned benchmark suite (learner fits, warm propagation, the
-//! serve evaluator, and end-to-end serve latency), aggregates every
+//! serve evaluator, end-to-end serve latency, and socket-to-socket wire
+//! latency through the `crossmine-net` front end), aggregates every
 //! benchmark into median-of-N with a MAD noise band, and optionally
 //! writes the schema-versioned report or gates it against a committed
 //! baseline:

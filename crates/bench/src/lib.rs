@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod net_client;
 pub mod suite;
 
 use std::time::Duration;

@@ -1,0 +1,252 @@
+//! Blocking socket client for the `crossmine-net` wire front end, shared
+//! by `loadgen --net` and the socket-path benches in the regression
+//! suite.
+//!
+//! One [`NetClient`] owns one keep-alive TCP connection speaking either
+//! wire protocol ([`NetProto`]); [`NetClient::pipelined`] writes a window
+//! of requests back-to-back before reading any reply, exercising the
+//! server's pipelining path. The client is deliberately simple and
+//! blocking — the nonblocking complexity under test lives on the server
+//! side.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crossmine_net::frame::{decode_response, encode_request};
+use crossmine_net::http::format_predict_request;
+
+/// Which wire protocol this connection speaks. Both run on the same
+/// port; the server sniffs the first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetProto {
+    /// `POST /predict` with a JSON body, HTTP/1.1 keep-alive.
+    Http,
+    /// Length-prefixed binary frames.
+    Binary,
+}
+
+impl NetProto {
+    /// Display name used in bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetProto::Http => "http",
+            NetProto::Binary => "binary",
+        }
+    }
+}
+
+/// One decoded wire reply, protocol-independent.
+#[derive(Debug, Clone)]
+pub struct WireReply {
+    /// HTTP status code / binary status field (200 on success).
+    pub status: u16,
+    /// Retry hint in seconds, present exactly on retryable failures.
+    pub retry_after_s: Option<u16>,
+    /// Model epoch the batch was scored under (0 on failure).
+    pub epoch: u64,
+    /// One label per submitted row (empty on failure).
+    pub labels: Vec<u32>,
+}
+
+impl WireReply {
+    /// True for statuses the client should back off and resend.
+    pub fn is_retryable(&self) -> bool {
+        self.retry_after_s.is_some()
+    }
+}
+
+/// One keep-alive connection to the wire front end.
+pub struct NetClient {
+    stream: TcpStream,
+    proto: NetProto,
+    rbuf: Vec<u8>,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects and fixes the protocol this connection will speak.
+    pub fn connect(addr: SocketAddr, proto: NetProto) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(NetClient { stream, proto, rbuf: Vec::new(), next_id: 1 })
+    }
+
+    /// The protocol this connection speaks.
+    pub fn proto(&self) -> NetProto {
+        self.proto
+    }
+
+    /// One request, one reply.
+    pub fn request(&mut self, rows: &[u32], deadline_ms: Option<u64>) -> io::Result<WireReply> {
+        let mut replies = self.pipelined(&[rows], deadline_ms)?;
+        Ok(replies.pop().expect("one request yields one reply"))
+    }
+
+    /// Writes every batch back-to-back, then reads the replies in order
+    /// — the pipelining pattern the server must answer in FIFO order.
+    pub fn pipelined(
+        &mut self,
+        batches: &[&[u32]],
+        deadline_ms: Option<u64>,
+    ) -> io::Result<Vec<WireReply>> {
+        let mut wire = Vec::new();
+        for rows in batches {
+            match self.proto {
+                NetProto::Http => {
+                    wire.extend_from_slice(&format_predict_request(rows, deadline_ms, true));
+                }
+                NetProto::Binary => {
+                    encode_request(self.next_id, deadline_ms, rows, &mut wire);
+                    self.next_id += 1;
+                }
+            }
+        }
+        self.stream.write_all(&wire)?;
+        let mut replies = Vec::with_capacity(batches.len());
+        for _ in batches {
+            replies.push(self.read_reply()?);
+        }
+        Ok(replies)
+    }
+
+    /// Blocks until one full reply is buffered, then decodes it.
+    fn read_reply(&mut self) -> io::Result<WireReply> {
+        loop {
+            if let Some((reply, consumed)) = self.try_decode()? {
+                self.rbuf.drain(..consumed);
+                return Ok(reply);
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed mid-reply",
+                ));
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    fn try_decode(&self) -> io::Result<Option<(WireReply, usize)>> {
+        match self.proto {
+            NetProto::Binary => match decode_response(&self.rbuf, 1 << 24) {
+                Ok(Some((frame, consumed))) => {
+                    let retry = (frame.retry_after_s > 0).then_some(frame.retry_after_s);
+                    Ok(Some((
+                        WireReply {
+                            status: frame.status,
+                            retry_after_s: retry,
+                            epoch: frame.epoch,
+                            labels: frame.labels,
+                        },
+                        consumed,
+                    )))
+                }
+                Ok(None) => Ok(None),
+                Err(e) => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad binary reply: {e:?}"),
+                )),
+            },
+            NetProto::Http => parse_http_reply(&self.rbuf),
+        }
+    }
+}
+
+/// Parses one buffered HTTP/1.1 response; `Ok(None)` means incomplete.
+fn parse_http_reply(buf: &[u8]) -> io::Result<Option<(WireReply, usize)>> {
+    let Some(head_end) = find_crlf_crlf(buf) else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    let mut retry_after_s = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("retry-after") {
+            retry_after_s = value.parse().ok();
+        }
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None);
+    }
+    let body = &buf[body_start..body_start + content_length];
+    let body = std::str::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+    let reply = WireReply {
+        status,
+        retry_after_s,
+        epoch: extract_u64(body, "\"epoch\":").unwrap_or(0),
+        labels: extract_labels(body),
+    };
+    Ok(Some((reply, body_start + content_length)))
+}
+
+fn find_crlf_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn extract_u64(body: &str, key: &str) -> Option<u64> {
+    let rest = &body[body.find(key)? + key.len()..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn extract_labels(body: &str) -> Vec<u32> {
+    let Some(start) = body.find("\"labels\":[") else { return Vec::new() };
+    let rest = &body[start + "\"labels\":[".len()..];
+    let Some(end) = rest.find(']') else { return Vec::new() };
+    rest[..end].split(',').filter_map(|s| s.trim().parse().ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn http_reply_parsing_is_incremental_and_typed() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 31\r\n\r\n{\"epoch\":7,\"labels\":[1,0,2,15]}";
+        for cut in 0..wire.len() {
+            assert!(parse_http_reply(&wire[..cut]).unwrap().is_none(), "cut {cut}");
+        }
+        let (reply, consumed) = parse_http_reply(wire).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.epoch, 7);
+        assert_eq!(reply.labels, vec![1, 0, 2, 15]);
+        assert!(!reply.is_retryable());
+    }
+
+    #[test]
+    fn http_429_carries_the_retry_hint() {
+        let body = "{\"error\":\"full\",\"code\":429,\"retryable\":true}";
+        let wire = format!(
+            "HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let (reply, _) = parse_http_reply(wire.as_bytes()).unwrap().unwrap();
+        assert_eq!(reply.status, 429);
+        assert_eq!(reply.retry_after_s, Some(1));
+        assert!(reply.is_retryable());
+        assert!(reply.labels.is_empty());
+    }
+}

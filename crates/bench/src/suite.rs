@@ -29,12 +29,13 @@ use std::time::{Duration, Instant};
 use crossmine_core::CrossMine;
 use crossmine_relational::{Database, Row};
 use crossmine_serve::{
-    evaluate_batch, ChaosConfig, CompiledPlan, ModelRegistry, PredictionServer, ServeScratch,
-    ServerConfig,
+    evaluate_batch, ChaosConfig, CompiledPlan, ModelRegistry, NetConfig, PredictionServer,
+    ServeScratch, ServerConfig,
 };
 use crossmine_synth::{generate, GenParams};
 
 use crate::json::Json;
+use crate::net_client::{NetClient, NetProto};
 
 /// Current on-disk schema version of the suite report.
 pub const SCHEMA_VERSION: u64 = 1;
@@ -438,6 +439,76 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
         }
         if want_p99 {
             let sample = sample_from("serve.latency_p99", "us", p99_runs);
+            progress(&format!(
+                "{:<32} median {:.1} us (mad {:.1})",
+                sample.name, sample.median, sample.mad
+            ));
+            results.push(sample);
+        }
+    }
+
+    // -- Net: socket-to-socket latency over each wire protocol -----------
+    // Same server, same model, but the request crosses the crossmine-net
+    // front end over real TCP: sniff, parse/decode, admission, scoring,
+    // encode, write. One keep-alive connection, one row per request —
+    // the closest wire analog of `serve.latency_*`.
+    for proto in [NetProto::Http, NetProto::Binary] {
+        let p50_name = format!("net.{}_p50", proto.name());
+        let p99_name = format!("net.{}_p99", proto.name());
+        let want_p50 = wants(config, &p50_name);
+        let want_p99 = wants(config, &p99_name);
+        if !want_p50 && !want_p99 {
+            continue;
+        }
+        let mut p50_runs = Vec::with_capacity(config.samples);
+        let mut p99_runs = Vec::with_capacity(config.samples);
+        for _ in 0..config.samples {
+            let registry = Arc::new(ModelRegistry::new(plan.clone()));
+            let server = PredictionServer::start(
+                Arc::clone(&db),
+                registry,
+                ServerConfig {
+                    chaos: config.chaos.clone(),
+                    net: Some(NetConfig::default()),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("default server config with net is valid");
+            let addr = server.net_addr().expect("net was configured");
+            let mut client =
+                NetClient::connect(addr, proto).expect("bench client connects to the front end");
+            // Warm the server threads, the connection, and the sniffed
+            // protocol before measuring.
+            for i in 0..(config.serve_requests / 10).clamp(8, 64) {
+                let row = rows[i % rows.len()].0;
+                let reply = client.request(&[row], None).expect("net bench warmup");
+                assert_eq!(reply.status, 200, "warmup must not shed: one serial client");
+            }
+            let mut latencies_us = Vec::with_capacity(config.serve_requests);
+            for i in 0..config.serve_requests {
+                let row = rows[i % rows.len()].0;
+                let start = Instant::now();
+                let reply = client.request(&[row], None).expect("net bench request");
+                latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+                assert_eq!(reply.status, 200, "bench must not shed: one serial client");
+                std::hint::black_box(reply.labels.len());
+            }
+            drop(client);
+            server.shutdown();
+            latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let q = |f: f64| {
+                let idx = ((latencies_us.len() - 1) as f64 * f).round() as usize;
+                latencies_us[idx]
+            };
+            p50_runs.push(q(0.50));
+            p99_runs.push(q(0.99));
+        }
+        for (want, name, runs) in [(want_p50, &p50_name, p50_runs), (want_p99, &p99_name, p99_runs)]
+        {
+            if !want {
+                continue;
+            }
+            let sample = sample_from(name, "us", runs);
             progress(&format!(
                 "{:<32} median {:.1} us (mad {:.1})",
                 sample.name, sample.median, sample.mad

@@ -1,0 +1,726 @@
+//! Per-connection protocol state machine — pure bytes in, bytes out.
+//!
+//! A [`Connection`] owns everything about one client except the socket
+//! and the backend: the read buffer, protocol sniffing, request parsing
+//! (both protocols), the in-order pipeline of outstanding requests, and
+//! the write buffer with partial-write continuation. The listener feeds
+//! it bytes and a `submit` closure; the tests feed it bytes and
+//! assertions. No I/O happens here, which is what makes the whole
+//! lifecycle (sniff → parse → backpressure → reply → drain → close)
+//! unit-testable without opening a socket.
+//!
+//! Pipelining invariant: responses are flushed strictly in request
+//! order. A completed reply sits in its pipeline slot until every
+//! earlier slot has completed and been flushed.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use crossmine_relational::Row;
+
+use crate::frame;
+use crate::http::{self, HttpLimits};
+use crate::json;
+use crate::sniff::{sniff, Sniff};
+use crate::wire::{BatchReply, WireStatus};
+
+/// Parsing and buffering limits for one connection.
+#[derive(Debug, Clone)]
+pub struct NetLimits {
+    /// HTTP header/body size caps.
+    pub http: HttpLimits,
+    /// Maximum binary frame payload size.
+    pub max_frame_bytes: usize,
+    /// Maximum rows per predict batch (either protocol).
+    pub max_batch_rows: usize,
+    /// Maximum pipelined requests in flight per connection; beyond this
+    /// the connection stops reading (TCP backpressure) instead of
+    /// buffering unboundedly.
+    pub max_pipeline: usize,
+}
+
+impl Default for NetLimits {
+    fn default() -> Self {
+        NetLimits {
+            http: HttpLimits::default(),
+            max_frame_bytes: 1024 * 1024,
+            max_batch_rows: 4096,
+            max_pipeline: 64,
+        }
+    }
+}
+
+/// A rejected request: the status plus a human-readable detail that the
+/// HTTP side embeds in the JSON error body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireReject {
+    /// Protocol-neutral status.
+    pub status: WireStatus,
+    /// One-line diagnostic, safe to show clients.
+    pub detail: String,
+}
+
+impl WireReject {
+    /// Convenience constructor.
+    pub fn new(status: WireStatus, detail: impl Into<String>) -> Self {
+        WireReject { status, detail: detail.into() }
+    }
+}
+
+/// How a request's reply must be framed back to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplyCtx {
+    Http { keep_alive: bool },
+    Binary { request_id: u64 },
+}
+
+enum SlotState {
+    Waiting,
+    Done(Result<BatchReply, WireReject>),
+}
+
+struct Slot {
+    id: u64,
+    ctx: ReplyCtx,
+    state: SlotState,
+}
+
+/// Which protocol the connection settled on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Not enough bytes yet to sniff.
+    Undecided,
+    /// HTTP/1.1 (keep-alive, pipelining).
+    Http,
+    /// Length-prefixed binary frames.
+    Binary,
+}
+
+/// The outcome the listener's `submit` closure reports for one parsed
+/// predict request.
+pub type SubmitOutcome = Result<(), WireReject>;
+
+/// One client connection's protocol state (no socket inside).
+pub struct Connection {
+    proto: Protocol,
+    rbuf: Vec<u8>,
+    roff: usize,
+    wbuf: Vec<u8>,
+    woff: usize,
+    scratch: Vec<Row>,
+    pending: VecDeque<Slot>,
+    next_slot: u64,
+    /// Flush what is buffered, then close (half-broken stream, explicit
+    /// `Connection: close`, or fatal parse error already answered).
+    close_after_flush: bool,
+    /// Drop immediately without writing (unknown protocol).
+    dead: bool,
+    last_activity: Instant,
+    /// Cumulative (ok, error) replies encoded, for the listener's
+    /// per-protocol counters.
+    encoded_ok: u64,
+    encoded_err: u64,
+}
+
+impl Connection {
+    /// A fresh connection, with `now` as its first activity timestamp.
+    pub fn new(now: Instant) -> Self {
+        Connection {
+            proto: Protocol::Undecided,
+            rbuf: Vec::new(),
+            roff: 0,
+            wbuf: Vec::new(),
+            woff: 0,
+            scratch: Vec::new(),
+            pending: VecDeque::new(),
+            next_slot: 0,
+            close_after_flush: false,
+            dead: false,
+            last_activity: now,
+            encoded_ok: 0,
+            encoded_err: 0,
+        }
+    }
+
+    /// The peer half-closed its read side (EOF on read): finish the
+    /// in-flight responses, flush, then close — never drop work already
+    /// admitted.
+    pub fn mark_peer_closed(&mut self) {
+        self.close_after_flush = true;
+    }
+
+    /// Cumulative `(ok, error)` replies encoded onto the wire so far.
+    pub fn encoded_counts(&self) -> (u64, u64) {
+        (self.encoded_ok, self.encoded_err)
+    }
+
+    /// Which protocol the connection sniffed to (for metrics/tests).
+    pub fn protocol(&self) -> Protocol {
+        self.proto
+    }
+
+    /// Appends bytes read from the socket.
+    pub fn push_bytes(&mut self, bytes: &[u8], now: Instant) {
+        self.rbuf.extend_from_slice(bytes);
+        self.last_activity = now;
+    }
+
+    /// Whether the listener should keep polling this socket for reads.
+    /// False once closing, or while the pipeline is full (backpressure:
+    /// the kernel buffer fills and the client blocks, instead of this
+    /// process buffering unboundedly).
+    pub fn wants_read(&self, limits: &NetLimits) -> bool {
+        !self.dead && !self.close_after_flush && self.pending.len() < limits.max_pipeline
+    }
+
+    /// Unwritten response bytes (empty when nothing to send).
+    pub fn write_slice(&self) -> &[u8] {
+        &self.wbuf[self.woff..]
+    }
+
+    /// Records `n` bytes accepted by the socket — partial-write
+    /// continuation: the remainder stays queued for the next writable
+    /// readiness.
+    pub fn advance_write(&mut self, n: usize, now: Instant) {
+        self.woff = (self.woff + n).min(self.wbuf.len());
+        if self.woff == self.wbuf.len() {
+            self.wbuf.clear();
+            self.woff = 0;
+        } else if self.woff > 64 * 1024 {
+            self.wbuf.drain(..self.woff);
+            self.woff = 0;
+        }
+        self.last_activity = now;
+    }
+
+    /// True when the connection should be dropped now: fatal state, or
+    /// it finished flushing everything after a close was requested.
+    pub fn should_close(&self) -> bool {
+        self.dead
+            || (self.close_after_flush && self.pending.is_empty() && self.woff == self.wbuf.len())
+    }
+
+    /// True when nothing is buffered or in flight and the connection has
+    /// been silent longer than `timeout`.
+    pub fn is_idle(&self, now: Instant, timeout: Duration) -> bool {
+        self.pending.is_empty()
+            && self.woff == self.wbuf.len()
+            && now.duration_since(self.last_activity) >= timeout
+    }
+
+    /// Outstanding pipelined requests (for tests and shed decisions).
+    pub fn in_flight(&self) -> usize {
+        self.pending.iter().filter(|s| matches!(s.state, SlotState::Waiting)).count()
+    }
+
+    /// Parses as many complete requests as the pipeline allows, calling
+    /// `submit(slot, rows, deadline)` for each well-formed predict
+    /// request. The closure returns `Ok(())` when the backend accepted
+    /// the batch (the listener will later call [`complete`]) or a
+    /// [`WireReject`] to answer immediately. When `draining` is set,
+    /// new predict requests are answered `503 Service Unavailable`
+    /// without touching the backend.
+    ///
+    /// Malformed input is answered with a typed `400` (where the
+    /// protocol still permits a response) and the connection is marked
+    /// to close after flushing; bytes that are neither protocol kill the
+    /// connection without a response.
+    ///
+    /// [`complete`]: Connection::complete
+    pub fn pump<F>(&mut self, limits: &NetLimits, draining: bool, mut submit: F)
+    where
+        F: FnMut(u64, &[Row], Option<Duration>) -> SubmitOutcome,
+    {
+        loop {
+            if self.dead || self.close_after_flush {
+                break;
+            }
+            if self.pending.len() >= limits.max_pipeline {
+                break;
+            }
+            self.compact_rbuf();
+            let buf = &self.rbuf[self.roff..];
+            if self.proto == Protocol::Undecided {
+                match sniff(buf) {
+                    Sniff::NeedMore => break,
+                    Sniff::Http => self.proto = Protocol::Http,
+                    Sniff::Binary => self.proto = Protocol::Binary,
+                    Sniff::Unknown => {
+                        self.dead = true;
+                        break;
+                    }
+                }
+            }
+            let made_progress = match self.proto {
+                Protocol::Http => self.pump_http(limits, draining, &mut submit),
+                Protocol::Binary => self.pump_binary(limits, draining, &mut submit),
+                Protocol::Undecided => unreachable!("sniffed above"),
+            };
+            if !made_progress {
+                break;
+            }
+        }
+        self.flush_ready();
+    }
+
+    /// One HTTP request attempt; true if bytes were consumed.
+    fn pump_http<F>(&mut self, limits: &NetLimits, draining: bool, submit: &mut F) -> bool
+    where
+        F: FnMut(u64, &[Row], Option<Duration>) -> SubmitOutcome,
+    {
+        let buf = &self.rbuf[self.roff..];
+        let (req, consumed) = match http::parse_request(buf, &limits.http) {
+            Ok(Some(pair)) => pair,
+            Ok(None) => return false,
+            Err(e) => {
+                // Framing is broken; answer once and close.
+                let slot = self.open_slot(ReplyCtx::Http { keep_alive: false });
+                self.finish_slot(
+                    slot,
+                    Err(WireReject::new(WireStatus::bad_request(), e.to_string())),
+                );
+                self.close_after_flush = true;
+                return false;
+            }
+        };
+        self.roff += consumed;
+        let keep_alive = req.keep_alive();
+        if !keep_alive {
+            // Last request on this connection; respond, flush, close.
+            self.close_after_flush = true;
+        }
+        let ctx = ReplyCtx::Http { keep_alive };
+        if req.path != "/predict" {
+            let slot = self.open_slot(ctx);
+            self.finish_slot(slot, Err(WireReject::new(WireStatus::not_found(), "unknown path")));
+            return true;
+        }
+        if req.method != "POST" {
+            let slot = self.open_slot(ctx);
+            self.finish_slot(
+                slot,
+                Err(WireReject::new(WireStatus::method_not_allowed(), "use POST /predict")),
+            );
+            return true;
+        }
+        let body =
+            match json::parse_predict_body(&req.body, limits.max_batch_rows, &mut self.scratch) {
+                Ok(b) => b,
+                Err(e) => {
+                    // The request was well-framed, so keep-alive survives a
+                    // semantically bad body.
+                    let slot = self.open_slot(ctx);
+                    self.finish_slot(
+                        slot,
+                        Err(WireReject::new(WireStatus::bad_request(), e.to_string())),
+                    );
+                    return true;
+                }
+            };
+        // An explicit header overrides the body field.
+        let deadline_ms = match header_deadline(&req) {
+            Ok(h) => h.or(body.deadline_ms),
+            Err(reject) => {
+                let slot = self.open_slot(ctx);
+                self.finish_slot(slot, Err(reject));
+                return true;
+            }
+        };
+        self.dispatch(ctx, deadline_ms, draining, submit);
+        true
+    }
+
+    /// One binary frame attempt; true if bytes were consumed.
+    fn pump_binary<F>(&mut self, limits: &NetLimits, draining: bool, submit: &mut F) -> bool
+    where
+        F: FnMut(u64, &[Row], Option<Duration>) -> SubmitOutcome,
+    {
+        let buf = &self.rbuf[self.roff..];
+        match frame::decode_request(
+            buf,
+            limits.max_frame_bytes,
+            limits.max_batch_rows,
+            &mut self.scratch,
+        ) {
+            Ok(Some((head, consumed))) => {
+                self.roff += consumed;
+                let ctx = ReplyCtx::Binary { request_id: head.request_id };
+                self.dispatch(ctx, head.deadline_ms, draining, submit);
+                true
+            }
+            Ok(None) => false,
+            Err(e) => {
+                // The stream cannot be re-synchronized after a bad
+                // frame; answer with request id 0 and close.
+                let slot = self.open_slot(ReplyCtx::Binary { request_id: 0 });
+                self.finish_slot(
+                    slot,
+                    Err(WireReject::new(WireStatus::bad_request(), e.to_string())),
+                );
+                self.close_after_flush = true;
+                false
+            }
+        }
+    }
+
+    /// Routes one parsed predict batch: drain-rejected, backend-rejected,
+    /// or accepted into a waiting slot.
+    fn dispatch<F>(
+        &mut self,
+        ctx: ReplyCtx,
+        deadline_ms: Option<u64>,
+        draining: bool,
+        submit: &mut F,
+    ) where
+        F: FnMut(u64, &[Row], Option<Duration>) -> SubmitOutcome,
+    {
+        let slot = self.open_slot(ctx);
+        if draining {
+            self.finish_slot(
+                slot,
+                Err(WireReject::new(WireStatus::shutting_down(), "server is draining")),
+            );
+            return;
+        }
+        let deadline = deadline_ms.map(Duration::from_millis);
+        match submit(slot, &self.scratch, deadline) {
+            Ok(()) => {}
+            Err(reject) => self.finish_slot(slot, Err(reject)),
+        }
+    }
+
+    /// Resolves a waiting slot with the backend's verdict. Unknown slot
+    /// ids are ignored (the connection may have died and been replaced).
+    pub fn complete(&mut self, slot: u64, result: Result<BatchReply, WireReject>) {
+        if let Some(s) = self.pending.iter_mut().find(|s| s.id == slot) {
+            if matches!(s.state, SlotState::Waiting) {
+                s.state = SlotState::Done(result);
+            }
+        }
+        self.flush_ready();
+    }
+
+    fn open_slot(&mut self, ctx: ReplyCtx) -> u64 {
+        let id = self.next_slot;
+        self.next_slot += 1;
+        self.pending.push_back(Slot { id, ctx, state: SlotState::Waiting });
+        id
+    }
+
+    fn finish_slot(&mut self, slot: u64, result: Result<BatchReply, WireReject>) {
+        if let Some(s) = self.pending.iter_mut().find(|s| s.id == slot) {
+            s.state = SlotState::Done(result);
+        }
+    }
+
+    /// Encodes every head-of-line completed slot into the write buffer —
+    /// this is what enforces pipelined response ordering.
+    fn flush_ready(&mut self) {
+        while matches!(self.pending.front(), Some(Slot { state: SlotState::Done(_), .. })) {
+            let Some(slot) = self.pending.pop_front() else { break };
+            if let SlotState::Done(result) = slot.state {
+                self.encode_reply(slot.ctx, &result);
+            }
+        }
+    }
+
+    fn encode_reply(&mut self, ctx: ReplyCtx, result: &Result<BatchReply, WireReject>) {
+        match result {
+            Ok(_) => self.encoded_ok += 1,
+            Err(_) => self.encoded_err += 1,
+        }
+        match ctx {
+            ReplyCtx::Http { keep_alive } => {
+                let mut body = Vec::new();
+                match result {
+                    Ok(reply) => {
+                        json::render_reply(reply.epoch, &reply.labels, &mut body);
+                        http::write_response(
+                            &mut self.wbuf,
+                            200,
+                            WireStatus::ok().reason(),
+                            "application/json",
+                            &[],
+                            &body,
+                            keep_alive,
+                        );
+                    }
+                    Err(reject) => {
+                        json::render_error(reject.status, &reject.detail, &mut body);
+                        let retry = reject.status.retry_after_secs().map(|s| s.to_string());
+                        let mut extra: Vec<(&str, &str)> = Vec::new();
+                        if let Some(r) = retry.as_deref() {
+                            extra.push(("Retry-After", r));
+                        }
+                        http::write_response(
+                            &mut self.wbuf,
+                            reject.status.code,
+                            reject.status.reason(),
+                            "application/json",
+                            &extra,
+                            &body,
+                            keep_alive,
+                        );
+                    }
+                }
+            }
+            ReplyCtx::Binary { request_id } => match result {
+                Ok(reply) => {
+                    frame::encode_reply(request_id, reply.epoch, &reply.labels, &mut self.wbuf)
+                }
+                Err(reject) => frame::encode_error(request_id, reject.status, &mut self.wbuf),
+            },
+        }
+    }
+
+    /// Drops consumed bytes from the front of the read buffer once the
+    /// dead prefix is large enough to be worth the move.
+    fn compact_rbuf(&mut self) {
+        if self.roff > 0 && (self.roff == self.rbuf.len() || self.roff > 16 * 1024) {
+            self.rbuf.drain(..self.roff);
+            self.roff = 0;
+        }
+    }
+}
+
+/// Parses the optional `x-deadline-ms` request header.
+fn header_deadline(req: &http::HttpRequest) -> Result<Option<u64>, WireReject> {
+    match req.header("x-deadline-ms") {
+        None => Ok(None),
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Ok(Some(ms)),
+            Err(_) => Err(WireReject::new(
+                WireStatus::bad_request(),
+                "x-deadline-ms must be a non-negative integer",
+            )),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{decode_response, encode_request};
+    use crate::http::format_predict_request;
+
+    fn now() -> Instant {
+        Instant::now()
+    }
+
+    fn accept_all(
+        replies: &mut Vec<(u64, Vec<Row>)>,
+    ) -> impl FnMut(u64, &[Row], Option<Duration>) -> SubmitOutcome + '_ {
+        |slot, rows, _deadline| {
+            replies.push((slot, rows.to_vec()));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn http_request_flows_to_submit_and_reply() {
+        let limits = NetLimits::default();
+        let mut conn = Connection::new(now());
+        conn.push_bytes(&format_predict_request(&[1, 2, 3], Some(100), true), now());
+        let mut seen = Vec::new();
+        conn.pump(&limits, false, accept_all(&mut seen));
+        assert_eq!(conn.protocol(), Protocol::Http);
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].1, vec![Row(1), Row(2), Row(3)]);
+        assert!(conn.write_slice().is_empty(), "no reply before completion");
+        conn.complete(seen[0].0, Ok(BatchReply { epoch: 4, labels: vec![0, 1, 0] }));
+        let out = String::from_utf8_lossy(conn.write_slice()).to_string();
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+        assert!(out.contains("\"epoch\":4"), "{out}");
+        assert!(out.contains("\"labels\":[0,1,0]"), "{out}");
+        assert!(!conn.should_close(), "keep-alive survives");
+    }
+
+    #[test]
+    fn pipelined_responses_flush_in_request_order() {
+        let limits = NetLimits::default();
+        let mut conn = Connection::new(now());
+        let mut wire = format_predict_request(&[1], None, true);
+        wire.extend_from_slice(&format_predict_request(&[2], None, true));
+        conn.push_bytes(&wire, now());
+        let mut seen = Vec::new();
+        conn.pump(&limits, false, accept_all(&mut seen));
+        assert_eq!(seen.len(), 2);
+        // Second request completes first: nothing may flush yet.
+        conn.complete(seen[1].0, Ok(BatchReply { epoch: 1, labels: vec![7] }));
+        assert!(conn.write_slice().is_empty(), "head-of-line blocks the later reply");
+        conn.complete(seen[0].0, Ok(BatchReply { epoch: 1, labels: vec![5] }));
+        let out = String::from_utf8_lossy(conn.write_slice()).to_string();
+        let first = out.find("\"labels\":[5]").expect("first reply present");
+        let second = out.find("\"labels\":[7]").expect("second reply present");
+        assert!(first < second, "replies in request order: {out}");
+    }
+
+    #[test]
+    fn binary_request_roundtrip_with_partial_write() {
+        let limits = NetLimits::default();
+        let mut conn = Connection::new(now());
+        let mut wire = Vec::new();
+        encode_request(99, Some(50), &[4, 5], &mut wire);
+        // Feed the frame one byte at a time: incremental decode.
+        let mut seen = Vec::new();
+        for b in wire {
+            conn.push_bytes(&[b], now());
+            conn.pump(&limits, false, accept_all(&mut seen));
+        }
+        assert_eq!(conn.protocol(), Protocol::Binary);
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].1, vec![Row(4), Row(5)]);
+        conn.complete(seen[0].0, Ok(BatchReply { epoch: 2, labels: vec![1, 0] }));
+        // Drain the write buffer in 3-byte sips: partial-write continuation.
+        let mut got = Vec::new();
+        while !conn.write_slice().is_empty() {
+            let n = conn.write_slice().len().min(3);
+            got.extend_from_slice(&conn.write_slice()[..n]);
+            conn.advance_write(n, now());
+        }
+        let (resp, _) = decode_response(&got, 1 << 20).expect("well-formed").expect("complete");
+        assert_eq!(resp.request_id, 99);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.labels, vec![1, 0]);
+    }
+
+    #[test]
+    fn unknown_protocol_dies_without_a_response() {
+        let limits = NetLimits::default();
+        let mut conn = Connection::new(now());
+        conn.push_bytes(&[0x16, 0x03, 0x01], now()); // TLS ClientHello
+        conn.pump(&limits, false, |_, _, _| panic!("must not submit"));
+        assert!(conn.should_close());
+        assert!(conn.write_slice().is_empty());
+    }
+
+    #[test]
+    fn bad_binary_frame_answers_400_then_closes() {
+        let limits = NetLimits::default();
+        let mut conn = Connection::new(now());
+        let mut wire = Vec::new();
+        encode_request(1, None, &[1], &mut wire);
+        wire[5] = 200; // corrupt the version byte
+        conn.push_bytes(&wire, now());
+        conn.pump(&limits, false, |_, _, _| panic!("must not submit"));
+        let (resp, _) =
+            decode_response(conn.write_slice(), 1 << 20).expect("well-formed").expect("complete");
+        assert_eq!(resp.status, 400);
+        conn.advance_write(conn.write_slice().len(), now());
+        assert!(conn.should_close());
+    }
+
+    #[test]
+    fn http_overload_maps_to_429_with_retry_after() {
+        let limits = NetLimits::default();
+        let mut conn = Connection::new(now());
+        conn.push_bytes(&format_predict_request(&[1], None, true), now());
+        conn.pump(&limits, false, |_, _, _| {
+            Err(WireReject::new(WireStatus::overloaded(), "queue full"))
+        });
+        let out = String::from_utf8_lossy(conn.write_slice()).to_string();
+        assert!(out.starts_with("HTTP/1.1 429 Too Many Requests"), "{out}");
+        assert!(out.contains("Retry-After: 1"), "{out}");
+        assert!(out.contains("\"retryable\":true"), "{out}");
+    }
+
+    #[test]
+    fn draining_rejects_new_work_with_503() {
+        let limits = NetLimits::default();
+        let mut conn = Connection::new(now());
+        conn.push_bytes(&format_predict_request(&[1], None, true), now());
+        conn.pump(&limits, true, |_, _, _| panic!("draining must not submit"));
+        let out = String::from_utf8_lossy(conn.write_slice()).to_string();
+        assert!(out.starts_with("HTTP/1.1 503 Service Unavailable"), "{out}");
+        assert!(!out.contains("Retry-After"), "shutdown is not retryable against this instance");
+    }
+
+    #[test]
+    fn pipeline_limit_applies_read_backpressure() {
+        let limits = NetLimits { max_pipeline: 2, ..NetLimits::default() };
+        let mut conn = Connection::new(now());
+        let mut wire = Vec::new();
+        for _ in 0..3 {
+            wire.extend_from_slice(&format_predict_request(&[1], None, true));
+        }
+        conn.push_bytes(&wire, now());
+        let mut seen = Vec::new();
+        conn.pump(&limits, false, accept_all(&mut seen));
+        assert_eq!(seen.len(), 2, "third request waits in the buffer");
+        assert!(!conn.wants_read(&limits), "full pipeline stops reading");
+        conn.complete(seen[0].0, Ok(BatchReply { epoch: 1, labels: vec![0] }));
+        assert!(conn.wants_read(&limits));
+        let mut more = Vec::new();
+        conn.pump(&limits, false, accept_all(&mut more));
+        assert_eq!(more.len(), 1, "buffered request parses once a slot frees");
+    }
+
+    #[test]
+    fn connection_close_header_flushes_then_closes() {
+        let limits = NetLimits::default();
+        let mut conn = Connection::new(now());
+        conn.push_bytes(&format_predict_request(&[1], None, false), now());
+        let mut seen = Vec::new();
+        conn.pump(&limits, false, accept_all(&mut seen));
+        conn.complete(seen[0].0, Ok(BatchReply { epoch: 1, labels: vec![0] }));
+        assert!(!conn.should_close(), "response still buffered");
+        conn.advance_write(conn.write_slice().len(), now());
+        assert!(conn.should_close());
+    }
+
+    #[test]
+    fn idle_detection() {
+        let limits = NetLimits::default();
+        let t0 = now();
+        let conn = Connection::new(t0);
+        assert!(!conn.is_idle(t0, Duration::from_secs(5)));
+        assert!(conn.is_idle(t0 + Duration::from_secs(6), Duration::from_secs(5)));
+        let mut busy = Connection::new(t0);
+        busy.push_bytes(&format_predict_request(&[1], None, true), t0);
+        let mut seen = Vec::new();
+        busy.pump(&limits, false, accept_all(&mut seen));
+        assert!(
+            !busy.is_idle(t0 + Duration::from_secs(6), Duration::from_secs(5)),
+            "in-flight request is never idle"
+        );
+    }
+
+    #[test]
+    fn http_get_metrics_is_not_found_here() {
+        let limits = NetLimits::default();
+        let mut conn = Connection::new(now());
+        conn.push_bytes(b"GET /metrics HTTP/1.1\r\n\r\n", now());
+        conn.pump(&limits, false, |_, _, _| panic!("must not submit"));
+        let out = String::from_utf8_lossy(conn.write_slice()).to_string();
+        assert!(out.starts_with("HTTP/1.1 404 Not Found"), "{out}");
+    }
+
+    #[test]
+    fn http_wrong_method_is_405() {
+        let limits = NetLimits::default();
+        let mut conn = Connection::new(now());
+        conn.push_bytes(b"GET /predict HTTP/1.1\r\n\r\n", now());
+        conn.pump(&limits, false, |_, _, _| panic!("must not submit"));
+        let out = String::from_utf8_lossy(conn.write_slice()).to_string();
+        assert!(out.starts_with("HTTP/1.1 405 Method Not Allowed"), "{out}");
+    }
+
+    #[test]
+    fn header_deadline_overrides_body() {
+        let limits = NetLimits::default();
+        let mut conn = Connection::new(now());
+        let body = b"{\"rows\":[1],\"deadline_ms\":5000}";
+        let req = format!(
+            "POST /predict HTTP/1.1\r\nx-deadline-ms: 250\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        conn.push_bytes(req.as_bytes(), now());
+        conn.push_bytes(body, now());
+        let mut deadlines = Vec::new();
+        conn.pump(&limits, false, |_, _, d| {
+            deadlines.push(d);
+            Ok(())
+        });
+        assert_eq!(deadlines, vec![Some(Duration::from_millis(250))]);
+    }
+}

@@ -1,0 +1,330 @@
+//! The length-prefixed binary protocol: the low-overhead lane for
+//! machine clients.
+//!
+//! Wire grammar (all integers little-endian; see DESIGN §3g):
+//!
+//! ```text
+//! request  = 0xCE len:u32 payload            ; len = payload length
+//! payload  = ver:u8(=1) request_id:u64 deadline_ms:u32 nrows:u32 row:u32 × nrows
+//! response = 0xCF len:u32 rpayload
+//! rpayload = ver:u8(=1) request_id:u64 status:u16 retry_after_s:u16
+//!            epoch:u64 nlabels:u32 label:u32 × nlabels
+//! ```
+//!
+//! `deadline_ms = 0` means "no deadline". `status = 200` means success;
+//! any other value is a [`WireStatus`] code with `nlabels = 0`.
+//! `retry_after_s = 0` means no retry hint.
+//!
+//! Decoding is incremental (`NeedMore` until the whole frame arrived) and
+//! the row batch is decoded **straight from the read buffer into a
+//! caller-owned scratch `Vec<Row>`** — one bounded copy, no intermediate
+//! allocation, reused across requests so the steady state allocates
+//! nothing.
+
+use crossmine_relational::Row;
+
+use crate::wire::WireStatus;
+
+/// First byte of every binary request frame.
+pub const REQ_MAGIC: u8 = 0xCE;
+/// First byte of every binary response frame.
+pub const RESP_MAGIC: u8 = 0xCF;
+/// The one protocol version this build speaks.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Fixed request-payload bytes before the row array.
+const REQ_FIXED: usize = 1 + 8 + 4 + 4;
+/// Fixed response-payload bytes before the label array.
+const RESP_FIXED: usize = 1 + 8 + 2 + 2 + 8 + 4;
+
+/// Why a frame was rejected. All variants map to a `400`-class error
+/// frame (when the request id is known) followed by connection close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// First byte is not the expected magic.
+    BadMagic,
+    /// The version byte is not [`FRAME_VERSION`].
+    BadVersion,
+    /// The length prefix exceeds the configured limit.
+    FrameTooLarge,
+    /// The payload length disagrees with the row/label count.
+    LengthMismatch,
+    /// The row count is zero (empty batches are meaningless) or exceeds
+    /// the batch limit.
+    BadRowCount,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::BadVersion => write!(f, "unsupported frame version"),
+            FrameError::FrameTooLarge => write!(f, "frame exceeds size limit"),
+            FrameError::LengthMismatch => write!(f, "frame length disagrees with row count"),
+            FrameError::BadRowCount => write!(f, "row count is zero or over the batch limit"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A decoded request frame's header fields (rows go to the scratch vec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestHead {
+    /// Client-chosen correlation id, echoed in the response.
+    pub request_id: u64,
+    /// Per-request deadline in milliseconds; `None` on the wire as 0.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Incrementally decodes one request frame from the front of `buf`,
+/// appending the rows to `out_rows` (cleared first, capacity reused).
+///
+/// Returns `Ok(Some((head, consumed)))` for a complete frame and
+/// `Ok(None)` when more bytes are needed.
+///
+/// # Errors
+///
+/// A typed [`FrameError`] as soon as the prefix is provably invalid —
+/// oversized or malformed frames are rejected without buffering them.
+pub fn decode_request(
+    buf: &[u8],
+    max_frame_bytes: usize,
+    max_rows: usize,
+    out_rows: &mut Vec<Row>,
+) -> Result<Option<(RequestHead, usize)>, FrameError> {
+    let Some((&magic, rest)) = buf.split_first() else {
+        return Ok(None);
+    };
+    if magic != REQ_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if rest.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    if len > max_frame_bytes {
+        return Err(FrameError::FrameTooLarge);
+    }
+    if len < REQ_FIXED {
+        return Err(FrameError::LengthMismatch);
+    }
+    let payload = &rest[4..];
+    if payload.len() < len {
+        return Ok(None);
+    }
+    let payload = &payload[..len];
+    if payload[0] != FRAME_VERSION {
+        return Err(FrameError::BadVersion);
+    }
+    let request_id = u64::from_le_bytes(payload[1..9].try_into().expect("fixed slice"));
+    let deadline_ms = u32::from_le_bytes(payload[9..13].try_into().expect("fixed slice"));
+    let nrows = u32::from_le_bytes(payload[13..17].try_into().expect("fixed slice")) as usize;
+    if nrows == 0 || nrows > max_rows {
+        return Err(FrameError::BadRowCount);
+    }
+    if len != REQ_FIXED + nrows * 4 {
+        return Err(FrameError::LengthMismatch);
+    }
+    out_rows.clear();
+    out_rows.reserve(nrows);
+    for chunk in payload[REQ_FIXED..].chunks_exact(4) {
+        out_rows.push(Row(u32::from_le_bytes(chunk.try_into().expect("fixed chunk"))));
+    }
+    let head = RequestHead {
+        request_id,
+        deadline_ms: (deadline_ms > 0).then_some(u64::from(deadline_ms)),
+    };
+    Ok(Some((head, 1 + 4 + len)))
+}
+
+/// Encodes one request frame (the client half, shared by `loadgen --net`
+/// and the tests).
+pub fn encode_request(request_id: u64, deadline_ms: Option<u64>, rows: &[u32], out: &mut Vec<u8>) {
+    let len = REQ_FIXED + rows.len() * 4;
+    out.reserve(1 + 4 + len);
+    out.push(REQ_MAGIC);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(FRAME_VERSION);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    let d = deadline_ms.map_or(0u32, |d| u32::try_from(d).unwrap_or(u32::MAX));
+    out.extend_from_slice(&d.to_le_bytes());
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for &r in rows {
+        out.extend_from_slice(&r.to_le_bytes());
+    }
+}
+
+/// Encodes a success response frame.
+pub fn encode_reply(request_id: u64, epoch: u64, labels: &[u32], out: &mut Vec<u8>) {
+    let len = RESP_FIXED + labels.len() * 4;
+    out.reserve(1 + 4 + len);
+    out.push(RESP_MAGIC);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(FRAME_VERSION);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&200u16.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(labels.len() as u32).to_le_bytes());
+    for &l in labels {
+        out.extend_from_slice(&l.to_le_bytes());
+    }
+}
+
+/// Encodes an error response frame carrying a [`WireStatus`].
+pub fn encode_error(request_id: u64, status: WireStatus, out: &mut Vec<u8>) {
+    out.reserve(1 + 4 + RESP_FIXED);
+    out.push(RESP_MAGIC);
+    out.extend_from_slice(&(RESP_FIXED as u32).to_le_bytes());
+    out.push(FRAME_VERSION);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&status.code.to_le_bytes());
+    let retry = status.retry_after_secs().map_or(0u16, |s| u16::try_from(s).unwrap_or(u16::MAX));
+    out.extend_from_slice(&retry.to_le_bytes());
+    out.extend_from_slice(&0u64.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+}
+
+/// A decoded response frame (the client half).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseFrame {
+    /// Echoed correlation id.
+    pub request_id: u64,
+    /// `200` on success, else a [`WireStatus`] code.
+    pub status: u16,
+    /// Retry hint in seconds (0 = absent).
+    pub retry_after_s: u16,
+    /// Model epoch that scored the batch (0 on errors).
+    pub epoch: u64,
+    /// Predicted labels, empty on errors.
+    pub labels: Vec<u32>,
+}
+
+/// Incrementally decodes one response frame from the front of `buf`;
+/// `Ok(None)` means more bytes are needed.
+///
+/// # Errors
+///
+/// [`FrameError`] when the bytes cannot be a valid response frame.
+pub fn decode_response(
+    buf: &[u8],
+    max_frame_bytes: usize,
+) -> Result<Option<(ResponseFrame, usize)>, FrameError> {
+    let Some((&magic, rest)) = buf.split_first() else {
+        return Ok(None);
+    };
+    if magic != RESP_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if rest.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    if len > max_frame_bytes {
+        return Err(FrameError::FrameTooLarge);
+    }
+    if len < RESP_FIXED {
+        return Err(FrameError::LengthMismatch);
+    }
+    let payload = &rest[4..];
+    if payload.len() < len {
+        return Ok(None);
+    }
+    let payload = &payload[..len];
+    if payload[0] != FRAME_VERSION {
+        return Err(FrameError::BadVersion);
+    }
+    let request_id = u64::from_le_bytes(payload[1..9].try_into().expect("fixed slice"));
+    let status = u16::from_le_bytes(payload[9..11].try_into().expect("fixed slice"));
+    let retry_after_s = u16::from_le_bytes(payload[11..13].try_into().expect("fixed slice"));
+    let epoch = u64::from_le_bytes(payload[13..21].try_into().expect("fixed slice"));
+    let nlabels = u32::from_le_bytes(payload[21..25].try_into().expect("fixed slice")) as usize;
+    if len != RESP_FIXED + nlabels * 4 {
+        return Err(FrameError::LengthMismatch);
+    }
+    let labels = payload[RESP_FIXED..]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("fixed chunk")))
+        .collect();
+    Ok(Some((ResponseFrame { request_id, status, retry_after_s, epoch, labels }, 1 + 4 + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_and_incrementality() {
+        let mut wire = Vec::new();
+        encode_request(7, Some(250), &[1, 2, 3], &mut wire);
+        encode_request(8, None, &[9], &mut wire);
+        let mut rows = Vec::new();
+        // Incomplete prefixes decode to NeedMore, never an error.
+        let first_len = 1 + 4 + REQ_FIXED + 3 * 4;
+        for cut in 0..first_len {
+            assert_eq!(
+                decode_request(&wire[..cut], 1 << 20, 1 << 16, &mut rows).unwrap(),
+                None,
+                "cut {cut}"
+            );
+        }
+        let (h1, c1) = decode_request(&wire, 1 << 20, 1 << 16, &mut rows).unwrap().unwrap();
+        assert_eq!((h1.request_id, h1.deadline_ms), (7, Some(250)));
+        assert_eq!(rows, vec![Row(1), Row(2), Row(3)]);
+        let (h2, c2) = decode_request(&wire[c1..], 1 << 20, 1 << 16, &mut rows).unwrap().unwrap();
+        assert_eq!((h2.request_id, h2.deadline_ms), (8, None));
+        assert_eq!(rows, vec![Row(9)]);
+        assert_eq!(c1 + c2, wire.len());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut wire = Vec::new();
+        encode_reply(42, 3, &[0, 1, 0], &mut wire);
+        encode_error(43, WireStatus::overloaded(), &mut wire);
+        let (r1, c1) = decode_response(&wire, 1 << 20).unwrap().unwrap();
+        assert_eq!(r1.request_id, 42);
+        assert_eq!(r1.status, 200);
+        assert_eq!(r1.epoch, 3);
+        assert_eq!(r1.labels, vec![0, 1, 0]);
+        let (r2, c2) = decode_response(&wire[c1..], 1 << 20).unwrap().unwrap();
+        assert_eq!(r2.request_id, 43);
+        assert_eq!(r2.status, 429);
+        assert_eq!(r2.retry_after_s, 1, "retryable carries a retry hint");
+        assert!(r2.labels.is_empty());
+        assert_eq!(c1 + c2, wire.len());
+    }
+
+    #[test]
+    fn typed_decode_errors() {
+        let mut rows = Vec::new();
+        assert_eq!(
+            decode_request(&[0x00, 1, 2, 3, 4, 5], 1 << 20, 16, &mut rows),
+            Err(FrameError::BadMagic)
+        );
+        // Oversized length prefix rejected before the payload arrives.
+        let mut huge = vec![REQ_MAGIC];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&huge, 1 << 20, 16, &mut rows), Err(FrameError::FrameTooLarge));
+        // Wrong version.
+        let mut wire = Vec::new();
+        encode_request(1, None, &[5], &mut wire);
+        wire[5] = 99;
+        assert_eq!(decode_request(&wire, 1 << 20, 16, &mut rows), Err(FrameError::BadVersion));
+        // Row count over the limit.
+        let mut wire = Vec::new();
+        encode_request(1, None, &[1, 2, 3, 4], &mut wire);
+        assert_eq!(decode_request(&wire, 1 << 20, 3, &mut rows), Err(FrameError::BadRowCount));
+        // Zero rows.
+        let mut wire = Vec::new();
+        encode_request(1, None, &[], &mut wire);
+        assert_eq!(decode_request(&wire, 1 << 20, 16, &mut rows), Err(FrameError::BadRowCount));
+        // Length prefix disagreeing with nrows.
+        let mut wire = Vec::new();
+        encode_request(1, None, &[1, 2], &mut wire);
+        let bad_n = 3u32.to_le_bytes();
+        wire[18..22].copy_from_slice(&bad_n);
+        assert_eq!(decode_request(&wire, 1 << 20, 16, &mut rows), Err(FrameError::LengthMismatch));
+    }
+}

@@ -1,0 +1,368 @@
+//! The workspace's one HTTP/1.1 parser and response writer.
+//!
+//! Serves two masters: the wire front end (`POST /predict` with
+//! keep-alive and pipelining) and the telemetry endpoint in
+//! `crossmine-serve` (tiny bodyless `GET`s), so the repo has exactly one
+//! implementation of request parsing.
+//!
+//! The parser is **incremental and pipelining-aware**: [`parse_request`]
+//! inspects a byte buffer, returns `Ok(None)` while the request is still
+//! incomplete, and on success reports how many bytes it consumed so the
+//! caller can slice them off and parse the next pipelined request from
+//! the remainder. It never blocks, never panics on arbitrary bytes, and
+//! enforces explicit header/body size limits.
+//!
+//! Grammar accepted (a deliberate HTTP/1.1 subset — see DESIGN §3g):
+//!
+//! ```text
+//! request  = method SP path SP "HTTP/1." ("0" | "1") CRLF *header CRLF [body]
+//! header   = token ":" OWS value CRLF        ; names case-insensitive
+//! body     = exactly Content-Length bytes    ; no chunked encoding
+//! ```
+
+/// A parsed HTTP request. Header names are lowercased at parse time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The method token, verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request path with any query string split off into nothing —
+    /// callers route on the path only.
+    pub path: String,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
+    pub http11: bool,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of `name` (case-insensitive; pass lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after the response:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Why a request could not be parsed. All variants map to `400` except
+/// where noted; the connection is closed after responding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line is not `METHOD SP PATH SP HTTP/1.x`.
+    BadRequestLine,
+    /// A header line has no `:` or a malformed name.
+    BadHeader,
+    /// `Content-Length` is present but not a decimal integer.
+    BadContentLength,
+    /// The header block exceeds the configured limit.
+    HeadersTooLarge,
+    /// The declared body exceeds the configured limit.
+    BodyTooLarge,
+    /// `Transfer-Encoding` was sent; this subset requires
+    /// `Content-Length` framing.
+    UnsupportedTransferEncoding,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequestLine => write!(f, "malformed request line"),
+            HttpError::BadHeader => write!(f, "malformed header"),
+            HttpError::BadContentLength => write!(f, "malformed Content-Length"),
+            HttpError::HeadersTooLarge => write!(f, "headers exceed limit"),
+            HttpError::BodyTooLarge => write!(f, "body exceeds limit"),
+            HttpError::UnsupportedTransferEncoding => {
+                write!(f, "Transfer-Encoding unsupported; use Content-Length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Size limits enforced during parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers (terminator included).
+    pub max_header_bytes: usize,
+    /// Maximum `Content-Length` accepted.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits { max_header_bytes: 8 * 1024, max_body_bytes: 1024 * 1024 }
+    }
+}
+
+/// Incrementally parses one request from the front of `buf`.
+///
+/// Returns `Ok(Some((request, consumed)))` when a full request is
+/// available, `Ok(None)` when more bytes are needed.
+///
+/// # Errors
+///
+/// A typed [`HttpError`] as soon as the bytes read so far cannot be a
+/// valid request — malformed framing is detected without waiting for
+/// more input where possible.
+pub fn parse_request(
+    buf: &[u8],
+    limits: &HttpLimits,
+) -> Result<Option<(HttpRequest, usize)>, HttpError> {
+    // Find the end of the header block.
+    let head_end = match find_subslice(buf, b"\r\n\r\n") {
+        Some(i) => i,
+        None => {
+            if buf.len() > limits.max_header_bytes {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            return Ok(None);
+        }
+    };
+    if head_end + 4 > limits.max_header_bytes {
+        return Err(HttpError::HeadersTooLarge);
+    }
+    let head = &buf[..head_end];
+    let mut lines = head.split(|&b| b == b'\n').map(|l| l.strip_suffix(b"\r").unwrap_or(l));
+    let request_line = lines.next().unwrap_or(b"");
+    let request_line = std::str::from_utf8(request_line).map_err(|_| HttpError::BadRequestLine)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty()
+        || !method.bytes().all(|b| b.is_ascii_uppercase())
+        || target.is_empty()
+        || parts.next().is_some()
+    {
+        return Err(HttpError::BadRequestLine);
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    let mut content_length: usize = 0;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let line = std::str::from_utf8(line).map_err(|_| HttpError::BadHeader)?;
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadHeader);
+        }
+        let name = name.to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            let n: usize = value.parse().map_err(|_| HttpError::BadContentLength)?;
+            if n > limits.max_body_bytes {
+                return Err(HttpError::BodyTooLarge);
+            }
+            content_length = n;
+        }
+        if name == "transfer-encoding" {
+            return Err(HttpError::UnsupportedTransferEncoding);
+        }
+        headers.push((name, value));
+    }
+
+    let body_start = head_end + 4;
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let request = HttpRequest {
+        method: method.to_string(),
+        path,
+        http11,
+        headers,
+        body: buf[body_start..total].to_vec(),
+    };
+    Ok(Some((request, total)))
+}
+
+/// Serializes one response into `out`. `extra` headers are emitted
+/// verbatim after the standard set; `keep_alive` controls the
+/// `Connection` header.
+pub fn write_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) {
+    out.extend_from_slice(b"HTTP/1.1 ");
+    let mut code = [0u8; 3];
+    code[0] = b'0' + ((status / 100) % 10) as u8;
+    code[1] = b'0' + ((status / 10) % 10) as u8;
+    code[2] = b'0' + (status % 10) as u8;
+    out.extend_from_slice(&code);
+    out.push(b' ');
+    out.extend_from_slice(reason.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Type: ");
+    out.extend_from_slice(content_type.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Length: ");
+    out.extend_from_slice(body.len().to_string().as_bytes());
+    for (name, value) in extra {
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+    }
+    out.extend_from_slice(if keep_alive {
+        b"\r\nConnection: keep-alive\r\n\r\n" as &[u8]
+    } else {
+        b"\r\nConnection: close\r\n\r\n" as &[u8]
+    });
+    out.extend_from_slice(body);
+}
+
+/// Renders a `POST /predict` request — the client half of the protocol,
+/// shared by `loadgen --net`, the suite benches, and the tests.
+pub fn format_predict_request(rows: &[u32], deadline_ms: Option<u64>, keep_alive: bool) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32 + rows.len() * 8);
+    body.extend_from_slice(b"{\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push(b',');
+        }
+        body.extend_from_slice(r.to_string().as_bytes());
+    }
+    body.push(b']');
+    if let Some(d) = deadline_ms {
+        body.extend_from_slice(b",\"deadline_ms\":");
+        body.extend_from_slice(d.to_string().as_bytes());
+    }
+    body.push(b'}');
+    let mut out = Vec::with_capacity(128 + body.len());
+    out.extend_from_slice(b"POST /predict HTTP/1.1\r\nContent-Type: application/json\r\n");
+    if !keep_alive {
+        out.extend_from_slice(b"Connection: close\r\n");
+    }
+    out.extend_from_slice(b"Content-Length: ");
+    out.extend_from_slice(body.len().to_string().as_bytes());
+    out.extend_from_slice(b"\r\n\r\n");
+    out.extend_from_slice(&body);
+    out
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> HttpLimits {
+        HttpLimits::default()
+    }
+
+    #[test]
+    fn parses_a_full_post_with_body() {
+        let raw = b"POST /predict HTTP/1.1\r\nContent-Length: 12\r\nX-Deadline-Ms: 50\r\n\r\n{\"rows\":[1]}";
+        let (req, consumed) = parse_request(raw, &limits()).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert!(req.http11);
+        assert_eq!(req.header("x-deadline-ms"), Some("50"));
+        assert_eq!(req.body, b"{\"rows\":[1]}");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn incremental_and_pipelined() {
+        let a = format_predict_request(&[1], None, true);
+        let b = format_predict_request(&[2, 3], Some(9), false);
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        // Byte-at-a-time: None until the first request completes.
+        for cut in 1..a.len() {
+            assert_eq!(parse_request(&stream[..cut], &limits()).unwrap(), None, "cut {cut}");
+        }
+        let (r1, c1) = parse_request(&stream, &limits()).unwrap().unwrap();
+        assert_eq!(c1, a.len());
+        assert!(r1.keep_alive());
+        let (r2, c2) = parse_request(&stream[c1..], &limits()).unwrap().unwrap();
+        assert_eq!(c1 + c2, stream.len());
+        assert!(!r2.keep_alive(), "Connection: close honored");
+        assert!(r2.body.windows(3).any(|w| w == b"2,3"));
+    }
+
+    #[test]
+    fn query_strings_are_stripped_and_http10_closes() {
+        let raw = b"GET /metrics?name=x HTTP/1.0\r\n\r\n";
+        let (req, _) = parse_request(raw, &limits()).unwrap().unwrap();
+        assert_eq!(req.path, "/metrics");
+        assert!(!req.http11);
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn typed_parse_errors() {
+        let l = limits();
+        assert_eq!(parse_request(b"NOT-A-REQUEST\r\n\r\n", &l), Err(HttpError::BadRequestLine));
+        assert_eq!(parse_request(b"POST /x HTTP/2.0\r\n\r\n", &l), Err(HttpError::BadRequestLine));
+        assert_eq!(
+            parse_request(b"POST /x HTTP/1.1\r\nbad header\r\n\r\n", &l),
+            Err(HttpError::BadHeader)
+        );
+        assert_eq!(
+            parse_request(b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n", &l),
+            Err(HttpError::BadContentLength)
+        );
+        assert_eq!(
+            parse_request(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", &l),
+            Err(HttpError::UnsupportedTransferEncoding)
+        );
+        let small = HttpLimits { max_header_bytes: 16, max_body_bytes: 4 };
+        assert_eq!(
+            parse_request(b"POST /averylongpathname HTTP/1.1\r\n\r\n", &small),
+            Err(HttpError::HeadersTooLarge)
+        );
+        let tiny_body = HttpLimits { max_header_bytes: 128, max_body_bytes: 4 };
+        assert_eq!(
+            parse_request(b"POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\n", &tiny_body),
+            Err(HttpError::BodyTooLarge)
+        );
+        // Oversized headers fail even before the terminator arrives.
+        let unterminated = vec![b'A'; 64];
+        assert_eq!(parse_request(&unterminated, &small), Err(HttpError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn response_writer_shapes() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "Too Many Requests",
+            "application/json",
+            &[("Retry-After", "1")],
+            b"{}",
+            true,
+        );
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{s}");
+        assert!(s.contains("Retry-After: 1\r\n"), "{s}");
+        assert!(s.contains("Connection: keep-alive\r\n"), "{s}");
+        assert!(s.ends_with("\r\n\r\n{}"), "{s}");
+    }
+}

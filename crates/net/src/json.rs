@@ -1,0 +1,450 @@
+//! A minimal, hostile-input-safe JSON reader for `/predict` bodies.
+//!
+//! The HTTP side of the wire protocol accepts exactly one document shape:
+//!
+//! ```json
+//! {"rows": [0, 17, 42], "deadline_ms": 250}
+//! ```
+//!
+//! `rows` is required (non-empty, each element a `u32` row id);
+//! `deadline_ms` is optional. Unknown keys are skipped structurally so
+//! clients may attach extra metadata. The parser is a recursive-descent
+//! scanner with an explicit depth limit — arbitrary bytes must never
+//! panic, recurse unboundedly, or allocate proportionally to claimed (as
+//! opposed to actual) sizes; they yield a typed [`JsonError`] which the
+//! connection layer turns into a `400`.
+
+use crossmine_relational::Row;
+
+/// Why a predict body was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonError {
+    /// The bytes are not a well-formed JSON document.
+    Syntax,
+    /// Nesting exceeds the depth limit (defends the stack).
+    TooDeep,
+    /// The document is well-formed but not `{"rows": [u32, ...], ...}`.
+    Shape,
+    /// `rows` is present but empty — an empty batch is meaningless.
+    EmptyRows,
+    /// A row id or deadline is negative, fractional, or out of range.
+    Range,
+    /// `rows` has more elements than the configured batch limit.
+    TooManyRows,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::Syntax => write!(f, "malformed JSON"),
+            JsonError::TooDeep => write!(f, "JSON nested too deeply"),
+            JsonError::Shape => write!(f, "body must be {{\"rows\": [row ids...]}}"),
+            JsonError::EmptyRows => write!(f, "rows must be non-empty"),
+            JsonError::Range => write!(f, "row ids and deadline_ms must be non-negative integers"),
+            JsonError::TooManyRows => write!(f, "rows exceeds the batch limit"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+const MAX_DEPTH: usize = 32;
+
+/// The fields extracted from a valid predict body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictBody {
+    /// Target rows to score, decoded into `out_rows` by the caller.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses a `/predict` JSON body, appending the decoded rows to
+/// `out_rows` (cleared first, capacity reused across requests).
+///
+/// # Errors
+///
+/// A [`JsonError`] describing the first problem found; `out_rows` content
+/// is unspecified on error.
+pub fn parse_predict_body(
+    bytes: &[u8],
+    max_rows: usize,
+    out_rows: &mut Vec<Row>,
+) -> Result<PredictBody, JsonError> {
+    out_rows.clear();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    if p.next_byte() != Some(b'{') {
+        return Err(JsonError::Shape);
+    }
+    p.pos += 1;
+    let mut saw_rows = false;
+    let mut deadline_ms = None;
+    p.skip_ws();
+    if p.next_byte() == Some(b'}') {
+        return Err(JsonError::Shape);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.parse_string()?;
+        p.skip_ws();
+        if p.next_byte() != Some(b':') {
+            return Err(JsonError::Syntax);
+        }
+        p.pos += 1;
+        p.skip_ws();
+        match key.as_str() {
+            "rows" => {
+                saw_rows = true;
+                p.parse_row_array(max_rows, out_rows)?;
+            }
+            "deadline_ms" => {
+                deadline_ms = Some(p.parse_u64()?);
+            }
+            _ => p.skip_value(0)?,
+        }
+        p.skip_ws();
+        match p.next_byte() {
+            Some(b',') => p.pos += 1,
+            Some(b'}') => {
+                p.pos += 1;
+                break;
+            }
+            _ => return Err(JsonError::Syntax),
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::Syntax);
+    }
+    if !saw_rows {
+        return Err(JsonError::Shape);
+    }
+    if out_rows.is_empty() {
+        return Err(JsonError::EmptyRows);
+    }
+    Ok(PredictBody { deadline_ms })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn next_byte(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.next_byte(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Parses a JSON string, resolving only the escapes we might see in
+    /// keys; the value itself is discarded for unknown keys anyway.
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        if self.next_byte() != Some(b'"') {
+            return Err(JsonError::Syntax);
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.next_byte() {
+                None => return Err(JsonError::Syntax),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.next_byte() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            // \uXXXX — decoded permissively (lone
+                            // surrogates map to the replacement char).
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(JsonError::Syntax);
+                            }
+                            let hex = &self.bytes[self.pos + 1..self.pos + 5];
+                            let s = std::str::from_utf8(hex).map_err(|_| JsonError::Syntax)?;
+                            let v = u32::from_str_radix(s, 16).map_err(|_| JsonError::Syntax)?;
+                            out.push(char::from_u32(v).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(JsonError::Syntax),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(JsonError::Syntax),
+                Some(_) => {
+                    // Copy a run of plain bytes, validating UTF-8 at the
+                    // run boundary.
+                    let start = self.pos;
+                    while let Some(c) = self.next_byte() {
+                        if c == b'"' || c == b'\\' || c < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| JsonError::Syntax)?;
+                    out.push_str(run);
+                }
+            }
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, JsonError> {
+        let start = self.pos;
+        while matches!(self.next_byte(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            // A minus sign, fraction, or non-number lands here.
+            return Err(JsonError::Range);
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError::Syntax)?;
+        // A fractional part after the digits means a non-integer value.
+        if matches!(self.next_byte(), Some(b'.' | b'e' | b'E')) {
+            return Err(JsonError::Range);
+        }
+        s.parse().map_err(|_| JsonError::Range)
+    }
+
+    fn parse_row_array(&mut self, max_rows: usize, out: &mut Vec<Row>) -> Result<(), JsonError> {
+        if self.next_byte() != Some(b'[') {
+            return Err(JsonError::Shape);
+        }
+        self.pos += 1;
+        self.skip_ws();
+        if self.next_byte() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let v = self.parse_u64()?;
+            let id = u32::try_from(v).map_err(|_| JsonError::Range)?;
+            if out.len() >= max_rows {
+                return Err(JsonError::TooManyRows);
+            }
+            out.push(Row(id));
+            self.skip_ws();
+            match self.next_byte() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(JsonError::Syntax),
+            }
+        }
+    }
+
+    /// Skips one JSON value of any type (for unknown keys), bounded by
+    /// `MAX_DEPTH`.
+    fn skip_value(&mut self, depth: usize) -> Result<(), JsonError> {
+        if depth >= MAX_DEPTH {
+            return Err(JsonError::TooDeep);
+        }
+        self.skip_ws();
+        match self.next_byte() {
+            Some(b'"') => {
+                self.parse_string()?;
+                Ok(())
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.next_byte() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.parse_string()?;
+                    self.skip_ws();
+                    if self.next_byte() != Some(b':') {
+                        return Err(JsonError::Syntax);
+                    }
+                    self.pos += 1;
+                    self.skip_value(depth + 1)?;
+                    self.skip_ws();
+                    match self.next_byte() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(JsonError::Syntax),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.next_byte() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value(depth + 1)?;
+                    self.skip_ws();
+                    match self.next_byte() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(JsonError::Syntax),
+                    }
+                }
+            }
+            Some(b't') => self.expect_literal(b"true"),
+            Some(b'f') => self.expect_literal(b"false"),
+            Some(b'n') => self.expect_literal(b"null"),
+            Some(b'-' | b'0'..=b'9') => {
+                // Scan a number permissively; precision does not matter
+                // for skipped values.
+                self.pos += 1;
+                while matches!(
+                    self.next_byte(),
+                    Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                ) {
+                    self.pos += 1;
+                }
+                Ok(())
+            }
+            _ => Err(JsonError::Syntax),
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &[u8]) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(JsonError::Syntax)
+        }
+    }
+}
+
+/// Renders the success body: `{"epoch":E,"labels":[...]}`.
+pub fn render_reply(epoch: u64, labels: &[u32], out: &mut Vec<u8>) {
+    out.extend_from_slice(b"{\"epoch\":");
+    push_u64(out, epoch);
+    out.extend_from_slice(b",\"labels\":[");
+    for (i, &l) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        push_u64(out, u64::from(l));
+    }
+    out.extend_from_slice(b"]}");
+}
+
+/// Renders an error body: `{"error":"...","code":N,"retryable":bool}`.
+pub fn render_error(status: crate::wire::WireStatus, detail: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(b"{\"error\":\"");
+    for c in detail.chars() {
+        match c {
+            '"' => out.extend_from_slice(b"\\\""),
+            '\\' => out.extend_from_slice(b"\\\\"),
+            '\n' => out.extend_from_slice(b"\\n"),
+            c if (c as u32) < 0x20 => out.extend_from_slice(b"?"),
+            c => {
+                let mut buf = [0u8; 4];
+                out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            }
+        }
+    }
+    out.extend_from_slice(b"\",\"code\":");
+    push_u64(out, u64::from(status.code));
+    out.extend_from_slice(if status.retry_after.is_some() {
+        b",\"retryable\":true}"
+    } else {
+        b",\"retryable\":false}"
+    });
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&buf[i..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<(Vec<u32>, Option<u64>), JsonError> {
+        let mut rows = Vec::new();
+        parse_predict_body(s.as_bytes(), 1 << 20, &mut rows)
+            .map(|b| (rows.iter().map(|r| r.0).collect(), b.deadline_ms))
+    }
+
+    #[test]
+    fn happy_paths() {
+        assert_eq!(parse(r#"{"rows":[1,2,3]}"#), Ok((vec![1, 2, 3], None)));
+        assert_eq!(
+            parse(r#" { "rows" : [ 0 ] , "deadline_ms" : 250 } "#),
+            Ok((vec![0], Some(250)))
+        );
+        // Unknown keys of any JSON type are skipped.
+        assert_eq!(
+            parse(r#"{"tag":{"a":[1,{"b":null}]},"rows":[7],"x":"yA"}"#),
+            Ok((vec![7], None))
+        );
+    }
+
+    #[test]
+    fn rejections_are_typed() {
+        assert_eq!(parse(r#"{"rows":[]}"#), Err(JsonError::EmptyRows));
+        assert_eq!(parse(r#"{"deadline_ms":5}"#), Err(JsonError::Shape));
+        assert_eq!(parse(r#"[1,2]"#), Err(JsonError::Shape));
+        assert_eq!(parse(r#"{"rows":[-1]}"#), Err(JsonError::Range));
+        assert_eq!(parse(r#"{"rows":[1.5]}"#), Err(JsonError::Range));
+        assert_eq!(parse(r#"{"rows":[4294967296]}"#), Err(JsonError::Range));
+        assert_eq!(parse(r#"{"rows":[1],}"#), Err(JsonError::Syntax));
+        assert_eq!(parse(r#"{"rows":[1]} trailing"#), Err(JsonError::Syntax));
+        assert_eq!(parse(""), Err(JsonError::Shape));
+        let deep = format!("{{\"x\":{}{}, \"rows\":[1]}}", "[".repeat(64), "]".repeat(64));
+        assert_eq!(parse(&deep), Err(JsonError::TooDeep));
+    }
+
+    #[test]
+    fn row_limit_enforced() {
+        let mut rows = Vec::new();
+        let err = parse_predict_body(br#"{"rows":[1,2,3]}"#, 2, &mut rows);
+        assert_eq!(err, Err(JsonError::TooManyRows));
+    }
+
+    #[test]
+    fn reply_and_error_render() {
+        let mut out = Vec::new();
+        render_reply(3, &[1, 0, 2], &mut out);
+        assert_eq!(out, br#"{"epoch":3,"labels":[1,0,2]}"#);
+        out.clear();
+        render_error(crate::wire::WireStatus::overloaded(), "queue \"full\"", &mut out);
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains(r#""code":429"#), "{s}");
+        assert!(s.contains(r#""retryable":true"#), "{s}");
+        assert!(s.contains(r#"queue \"full\""#), "{s}");
+    }
+}

@@ -1,0 +1,711 @@
+//! The nonblocking listener: one poll thread, many sockets, no
+//! external dependencies.
+//!
+//! All sockets run in nonblocking mode and a single thread sweeps them
+//! in a readiness loop: accept burst → read+parse per connection →
+//! backend completion poll → write burst → reaping. `WouldBlock` means
+//! "not ready, move on"; when a full sweep makes no progress the thread
+//! sleeps ~1 ms so an idle listener costs nothing measurable. The poll
+//! thread never blocks on I/O, the backend, or a lock held across
+//! requests — overload answers `429` from the admission check, it never
+//! stalls `accept(2)`.
+//!
+//! Protocol work (sniffing, parsing, pipelining, response encoding)
+//! lives in [`Connection`]; this module only moves bytes and tickets.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossmine_obs::ObsHandle;
+use crossmine_relational::Row;
+
+use crate::conn::{Connection, NetLimits, Protocol, WireReject};
+use crate::metrics::{
+    NetCountersSnapshot, NetMetrics, STAGE_ACCEPT_US, STAGE_DECODE_US, STAGE_READ_US,
+    STAGE_WRITE_US,
+};
+use crate::wire::BatchReply;
+
+/// What the wire front end plugs into: an admission-controlled
+/// prediction queue. Implemented by the serve crate; the tests use
+/// in-memory fakes. Both methods MUST be nonblocking — the poll thread
+/// calls them inline.
+pub trait Backend: Send + Sync + 'static {
+    /// An in-flight batch the backend is still scoring.
+    type Pending: Send;
+
+    /// Admits one batch, or rejects it with a typed wire status
+    /// (e.g. `429` when the queue is full). Must not block.
+    ///
+    /// # Errors
+    ///
+    /// A [`WireReject`] carrying the status to answer with.
+    fn submit(&self, rows: &[Row], deadline: Option<Duration>)
+        -> Result<Self::Pending, WireReject>;
+
+    /// Polls an in-flight batch; `Some` when it finished (either way).
+    /// Must not block.
+    fn poll(&self, pending: &mut Self::Pending) -> Option<Result<BatchReply, WireReject>>;
+}
+
+/// Listener configuration; hangs off the serve crate's `ServerConfig`.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Connection-table cap; connections beyond it are accepted and
+    /// immediately closed (shed) so the backlog cannot grow unboundedly.
+    pub max_connections: usize,
+    /// Idle connections (nothing buffered, nothing in flight) older than
+    /// this are reaped.
+    pub idle_timeout: Duration,
+    /// During shutdown, how long to wait for in-flight responses to
+    /// flush before force-closing.
+    pub drain_timeout: Duration,
+    /// Per-connection parsing and pipelining limits.
+    pub limits: NetLimits,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 1024,
+            idle_timeout: Duration::from_secs(60),
+            drain_timeout: Duration::from_secs(5),
+            limits: NetLimits::default(),
+        }
+    }
+}
+
+struct Control {
+    /// New predict requests are answered `503`; in-flight work finishes.
+    draining: AtomicBool,
+    /// The poll thread should drain and exit.
+    stopping: AtomicBool,
+}
+
+/// Handle to the running poll thread.
+pub struct NetListener {
+    addr: SocketAddr,
+    control: Arc<Control>,
+    thread: Option<thread::JoinHandle<()>>,
+    metrics: Arc<NetMetrics>,
+}
+
+impl NetListener {
+    /// Binds `config.addr` and starts the poll thread. The caller
+    /// supplies the counters so it can keep exporting them (e.g. through
+    /// a metrics endpoint) independent of the listener's lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures from the OS.
+    pub fn start<B: Backend>(
+        config: NetConfig,
+        backend: Arc<B>,
+        obs: ObsHandle,
+        metrics: Arc<NetMetrics>,
+    ) -> io::Result<NetListener> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let control = Arc::new(Control {
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+        });
+        let thread = {
+            let control = Arc::clone(&control);
+            let metrics = Arc::clone(&metrics);
+            thread::Builder::new()
+                .name("crossmine-net".to_string())
+                .spawn(move || poll_loop(listener, config, backend, obs, control, metrics))?
+        };
+        Ok(NetListener { addr, control, thread: Some(thread), metrics })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters (for tests and the serve metrics endpoint).
+    pub fn metrics(&self) -> Arc<NetMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Enters drain mode: connections stay open and in-flight work
+    /// finishes, but new predict requests are answered `503`.
+    pub fn begin_drain(&self) {
+        self.control.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops the poll thread: drains in-flight responses (bounded by
+    /// `drain_timeout`), closes every socket, and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.control.draining.store(true, Ordering::SeqCst);
+        self.control.stopping.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Whether the poll thread is still running (false after shutdown).
+    pub fn is_running(&self) -> bool {
+        self.thread.as_ref().is_some_and(|t| !t.is_finished())
+    }
+}
+
+impl Drop for NetListener {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One connection's socket-side state.
+struct ConnEntry<B: Backend> {
+    stream: TcpStream,
+    conn: Connection,
+    /// In-flight backend tickets, keyed by pipeline slot.
+    pendings: Vec<(u64, B::Pending)>,
+    /// Whether the sniffed protocol was already counted.
+    proto_counted: bool,
+    /// Last (ok, err) reply counts mirrored into the metrics.
+    last_encoded: (u64, u64),
+}
+
+const READ_CHUNK: usize = 16 * 1024;
+const IDLE_SLEEP: Duration = Duration::from_millis(1);
+/// Sleep while backend work is in flight: long enough to not spin the
+/// core, short enough that reply latency isn't dominated by the sweep
+/// cadence (the backend resolves on its own worker threads).
+const BUSY_SLEEP: Duration = Duration::from_micros(20);
+const PUBLISH_EVERY: Duration = Duration::from_millis(100);
+
+fn poll_loop<B: Backend>(
+    listener: TcpListener,
+    config: NetConfig,
+    backend: Arc<B>,
+    obs: ObsHandle,
+    control: Arc<Control>,
+    metrics: Arc<NetMetrics>,
+) {
+    let mut conns: Vec<Option<ConnEntry<B>>> = Vec::new();
+    let mut buf = vec![0u8; READ_CHUNK];
+    let mut last_publish = Instant::now();
+    let mut last_snapshot = NetCountersSnapshot::default();
+    let mut drain_deadline: Option<Instant> = None;
+    let mut backoff = BUSY_SLEEP;
+
+    loop {
+        let now = Instant::now();
+        let stopping = control.stopping.load(Ordering::SeqCst);
+        let draining = stopping || control.draining.load(Ordering::SeqCst);
+        if stopping && drain_deadline.is_none() {
+            drain_deadline = Some(now + config.drain_timeout);
+        }
+        let mut progress = false;
+
+        // 1. Accept burst (skipped once stopping).
+        if !stopping {
+            progress |= accept_burst(&listener, &config, &mut conns, &metrics, &obs, now);
+        }
+
+        // 2. Read + parse per connection.
+        for entry in conns.iter_mut().flatten() {
+            progress |=
+                service_reads(entry, &config, &backend, &metrics, &obs, &mut buf, draining, now);
+        }
+
+        // 3. Poll in-flight backend work.
+        for entry in conns.iter_mut().flatten() {
+            let mut i = 0;
+            while i < entry.pendings.len() {
+                if let Some(result) = backend.poll(&mut entry.pendings[i].1) {
+                    let (slot, _) = entry.pendings.swap_remove(i);
+                    entry.conn.complete(slot, result);
+                    progress = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // 4. Write burst. Reply counts mirror into the metrics *before*
+        // the bytes go out: a client that has read a reply must observe
+        // it in the counters, never a sweep later.
+        for entry in conns.iter_mut().flatten() {
+            mirror_reply_counts(entry, &metrics);
+            progress |= service_writes(entry, &metrics, &obs, now);
+        }
+
+        // 5. Reap finished and idle connections.
+        for slot in conns.iter_mut() {
+            let Some(entry) = slot.as_mut() else { continue };
+            let idle = entry.conn.is_idle(now, config.idle_timeout);
+            if entry.conn.should_close() || idle {
+                if idle && !entry.conn.should_close() {
+                    NetMetrics::inc(&metrics.idle_closed);
+                }
+                close_entry(slot, &metrics);
+                progress = true;
+            }
+        }
+
+        // 6. Periodic metrics publish.
+        if now.duration_since(last_publish) >= PUBLISH_EVERY {
+            metrics.publish(&obs, &mut last_snapshot);
+            last_publish = now;
+        }
+
+        // 7. Exit once drained (or the drain deadline passed).
+        if stopping {
+            let flushed = conns.iter().flatten().all(|e| {
+                e.pendings.is_empty() && e.conn.in_flight() == 0 && e.conn.write_slice().is_empty()
+            });
+            let expired = drain_deadline.is_some_and(|d| now >= d);
+            if flushed || expired {
+                for slot in conns.iter_mut() {
+                    if slot.is_some() {
+                        close_entry(slot, &metrics);
+                    }
+                }
+                metrics.publish(&obs, &mut last_snapshot);
+                return;
+            }
+        }
+
+        if progress {
+            backoff = BUSY_SLEEP;
+        } else {
+            // Adaptive poll cadence: a sweep that moved nothing re-checks
+            // quickly at first (a reply lands, or the next keep-alive
+            // request arrives, microseconds later), doubling toward the
+            // 1 ms idle tick so a quiet listener costs nothing measurable.
+            // In-flight backend work pins the cadence at the fast end.
+            let busy = conns.iter().flatten().any(|e| !e.pendings.is_empty());
+            let wait = if busy { BUSY_SLEEP } else { backoff };
+            thread::sleep(wait);
+            backoff = (backoff * 2).min(IDLE_SLEEP);
+        }
+    }
+}
+
+fn accept_burst<B: Backend>(
+    listener: &TcpListener,
+    config: &NetConfig,
+    conns: &mut Vec<Option<ConnEntry<B>>>,
+    metrics: &NetMetrics,
+    obs: &ObsHandle,
+    now: Instant,
+) -> bool {
+    let mut progress = false;
+    loop {
+        let started = Instant::now();
+        match listener.accept() {
+            Ok((stream, _)) => {
+                progress = true;
+                NetMetrics::inc(&metrics.accepted);
+                let open = conns.iter().filter(|c| c.is_some()).count();
+                if open >= config.max_connections {
+                    // Shed: close immediately rather than queueing.
+                    NetMetrics::inc(&metrics.accept_shed);
+                    NetMetrics::inc(&metrics.closed);
+                    drop(stream);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    NetMetrics::inc(&metrics.closed);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let entry = ConnEntry {
+                    stream,
+                    conn: Connection::new(now),
+                    pendings: Vec::new(),
+                    proto_counted: false,
+                    last_encoded: (0, 0),
+                };
+                obs.record(
+                    STAGE_ACCEPT_US,
+                    started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                );
+                match conns.iter_mut().position(|c| c.is_none()) {
+                    Some(i) => conns[i] = Some(entry),
+                    None => conns.push(Some(entry)),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    progress
+}
+
+#[allow(clippy::too_many_arguments)]
+fn service_reads<B: Backend>(
+    entry: &mut ConnEntry<B>,
+    config: &NetConfig,
+    backend: &Arc<B>,
+    metrics: &NetMetrics,
+    obs: &ObsHandle,
+    buf: &mut [u8],
+    draining: bool,
+    now: Instant,
+) -> bool {
+    if !entry.conn.wants_read(&config.limits) {
+        return false;
+    }
+    let started = Instant::now();
+    let mut total = 0usize;
+    let mut peer_closed = false;
+    let mut broken = false;
+    loop {
+        match entry.stream.read(buf) {
+            Ok(0) => {
+                peer_closed = true;
+                break;
+            }
+            Ok(n) => {
+                entry.conn.push_bytes(&buf[..n], now);
+                total += n;
+                if total >= READ_CHUNK * 4 {
+                    break; // Cap the burst so one chatty peer cannot starve the sweep.
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                broken = true;
+                break;
+            }
+        }
+    }
+    if total > 0 {
+        NetMetrics::add(&metrics.bytes_read, total as u64);
+        obs.record(STAGE_READ_US, started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        let decode_started = Instant::now();
+        let proto = &mut entry.proto_counted;
+        let conn = &mut entry.conn;
+        let pendings = &mut entry.pendings;
+        conn.pump(&config.limits, draining, |slot, rows, deadline| {
+            match backend.submit(rows, deadline) {
+                Ok(pending) => {
+                    pendings.push((slot, pending));
+                    Ok(())
+                }
+                Err(reject) => Err(reject),
+            }
+        });
+        count_protocol_and_requests(conn, proto, metrics);
+        obs.record(
+            STAGE_DECODE_US,
+            decode_started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        );
+    }
+    if peer_closed {
+        entry.conn.mark_peer_closed();
+    }
+    if broken {
+        // The read side is gone for good; stop waiting on anything.
+        entry.conn.mark_peer_closed();
+    }
+    total > 0 || peer_closed || broken
+}
+
+fn count_protocol_and_requests(conn: &Connection, counted: &mut bool, metrics: &NetMetrics) {
+    if !*counted {
+        match conn.protocol() {
+            Protocol::Http => {
+                NetMetrics::inc(&metrics.http_conns);
+                *counted = true;
+            }
+            Protocol::Binary => {
+                NetMetrics::inc(&metrics.binary_conns);
+                *counted = true;
+            }
+            Protocol::Undecided => {
+                if conn.should_close() {
+                    NetMetrics::inc(&metrics.unknown_conns);
+                    *counted = true;
+                }
+            }
+        }
+    }
+}
+
+fn service_writes<B: Backend>(
+    entry: &mut ConnEntry<B>,
+    metrics: &NetMetrics,
+    obs: &ObsHandle,
+    now: Instant,
+) -> bool {
+    if entry.conn.write_slice().is_empty() {
+        return false;
+    }
+    let started = Instant::now();
+    let mut total = 0usize;
+    loop {
+        let pending = entry.conn.write_slice();
+        if pending.is_empty() {
+            break;
+        }
+        match entry.stream.write(pending) {
+            Ok(0) => break,
+            Ok(n) => {
+                entry.conn.advance_write(n, now);
+                total += n;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Peer vanished mid-write; nothing more to deliver.
+                entry.conn.mark_peer_closed();
+                let len = entry.conn.write_slice().len();
+                entry.conn.advance_write(len, now);
+                break;
+            }
+        }
+    }
+    if total > 0 {
+        NetMetrics::add(&metrics.bytes_written, total as u64);
+        obs.record(STAGE_WRITE_US, started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+    total > 0
+}
+
+fn mirror_reply_counts<B: Backend>(entry: &mut ConnEntry<B>, metrics: &NetMetrics) {
+    let (ok, err) = entry.conn.encoded_counts();
+    let (last_ok, last_err) = entry.last_encoded;
+    let new_ok = ok - last_ok;
+    let new_err = err - last_err;
+    if new_ok + new_err > 0 {
+        match entry.conn.protocol() {
+            Protocol::Http => NetMetrics::add(&metrics.http_requests, new_ok + new_err),
+            Protocol::Binary => NetMetrics::add(&metrics.binary_requests, new_ok + new_err),
+            Protocol::Undecided => {}
+        }
+        NetMetrics::add(&metrics.wire_errors, new_err);
+        entry.last_encoded = (ok, err);
+    }
+}
+
+fn close_entry<B: Backend>(slot: &mut Option<ConnEntry<B>>, metrics: &NetMetrics) {
+    if let Some(entry) = slot.take() {
+        NetMetrics::inc(&metrics.closed);
+        let _ = entry.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame;
+    use crate::http::format_predict_request;
+    use std::io::{BufRead, BufReader};
+    use std::sync::Mutex;
+
+    /// Scores batches instantly: label = row id % 2, epoch = 7.
+    struct EchoBackend {
+        submitted: Mutex<Vec<usize>>,
+    }
+
+    impl EchoBackend {
+        fn new() -> Arc<Self> {
+            Arc::new(EchoBackend { submitted: Mutex::new(Vec::new()) })
+        }
+    }
+
+    impl Backend for EchoBackend {
+        type Pending = BatchReply;
+
+        fn submit(
+            &self,
+            rows: &[Row],
+            _deadline: Option<Duration>,
+        ) -> Result<Self::Pending, WireReject> {
+            if let Ok(mut s) = self.submitted.lock() {
+                s.push(rows.len());
+            }
+            Ok(BatchReply { epoch: 7, labels: rows.iter().map(|r| r.0 % 2).collect() })
+        }
+
+        fn poll(&self, pending: &mut Self::Pending) -> Option<Result<BatchReply, WireReject>> {
+            Some(Ok(pending.clone()))
+        }
+    }
+
+    /// Always sheds with 429.
+    struct ShedBackend;
+
+    impl Backend for ShedBackend {
+        type Pending = ();
+
+        fn submit(&self, _: &[Row], _: Option<Duration>) -> Result<Self::Pending, WireReject> {
+            Err(WireReject::new(crate::wire::WireStatus::overloaded(), "queue full"))
+        }
+
+        fn poll(&self, _: &mut Self::Pending) -> Option<Result<BatchReply, WireReject>> {
+            Some(Err(WireReject::new(crate::wire::WireStatus::overloaded(), "queue full")))
+        }
+    }
+
+    fn start_with<B: Backend>(config: NetConfig, backend: Arc<B>) -> (NetListener, SocketAddr) {
+        let listener =
+            NetListener::start(config, backend, ObsHandle::noop(), Arc::default()).expect("bind");
+        let addr = listener.local_addr();
+        (listener, addr)
+    }
+
+    fn start_echo() -> (NetListener, SocketAddr) {
+        start_with(NetConfig::default(), EchoBackend::new())
+    }
+
+    fn read_http_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).expect("status line");
+        let code: u16 =
+            status_line.split(' ').nth(1).and_then(|c| c.parse().ok()).expect("status code");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header line");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().expect("length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+        (code, String::from_utf8_lossy(&body).to_string())
+    }
+
+    #[test]
+    fn http_keep_alive_roundtrip_over_a_real_socket() {
+        let (listener, addr) = start_echo();
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        for round in 0..3 {
+            writer
+                .write_all(&format_predict_request(&[round, round + 1], None, true))
+                .expect("send");
+            let (code, body) = read_http_response(&mut reader);
+            assert_eq!(code, 200, "round {round}: {body}");
+            assert!(body.contains("\"epoch\":7"), "{body}");
+        }
+        let m = listener.metrics();
+        assert_eq!(NetMetrics::get(&m.http_requests), 3);
+        assert_eq!(NetMetrics::get(&m.http_conns), 1);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn binary_roundtrip_over_a_real_socket() {
+        let (listener, addr) = start_echo();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut wire = Vec::new();
+        frame::encode_request(11, Some(1000), &[2, 3, 4], &mut wire);
+        stream.write_all(&wire).expect("send");
+        let mut got = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            match frame::decode_response(&got, 1 << 20).expect("well-formed") {
+                Some((resp, _)) => {
+                    assert_eq!(resp.request_id, 11);
+                    assert_eq!(resp.status, 200);
+                    assert_eq!(resp.labels, vec![0, 1, 0]);
+                    break;
+                }
+                None => {
+                    let n = stream.read(&mut chunk).expect("read");
+                    assert!(n > 0, "server closed early");
+                    got.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+        listener.shutdown();
+    }
+
+    #[test]
+    fn overload_answers_429_and_keeps_accepting() {
+        let (listener, addr) = start_with(NetConfig::default(), Arc::new(ShedBackend));
+        for _ in 0..2 {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            writer.write_all(&format_predict_request(&[1], None, true)).expect("send");
+            let (code, body) = read_http_response(&mut reader);
+            assert_eq!(code, 429, "{body}");
+            assert!(body.contains("\"retryable\":true"), "{body}");
+        }
+        let m = listener.metrics();
+        assert_eq!(NetMetrics::get(&m.wire_errors), 2);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn drain_mode_answers_503_and_shutdown_joins() {
+        let (listener, addr) = start_echo();
+        listener.begin_drain();
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        writer.write_all(&format_predict_request(&[1], None, true)).expect("send");
+        let (code, _) = read_http_response(&mut reader);
+        assert_eq!(code, 503);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn max_connections_sheds_extras() {
+        let config = NetConfig { max_connections: 1, ..NetConfig::default() };
+        let (listener, addr) = start_with(config, EchoBackend::new());
+        let keeper = TcpStream::connect(addr).expect("connect");
+        keeper.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut writer = keeper.try_clone().expect("clone");
+        let mut reader = BufReader::new(keeper);
+        // Prove the first connection is registered before racing a second.
+        writer.write_all(&format_predict_request(&[1], None, true)).expect("send");
+        let (code, _) = read_http_response(&mut reader);
+        assert_eq!(code, 200);
+        let extra = TcpStream::connect(addr).expect("connect");
+        extra.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut extra = extra;
+        // The shed socket is closed without a response: read returns 0.
+        let mut tmp = [0u8; 64];
+        let n = extra.read(&mut tmp).expect("read on shed conn");
+        assert_eq!(n, 0, "shed connection closes cleanly");
+        let m = listener.metrics();
+        assert!(NetMetrics::get(&m.accept_shed) >= 1);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn garbage_first_byte_closes_without_response() {
+        let (listener, addr) = start_echo();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        stream.write_all(&[0x16, 0x03, 0x01, 0x00]).expect("send");
+        let mut tmp = [0u8; 64];
+        let n = stream.read(&mut tmp).expect("read");
+        assert_eq!(n, 0, "no bytes for unknown protocols");
+        listener.shutdown();
+    }
+}

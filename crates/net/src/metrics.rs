@@ -1,0 +1,179 @@
+//! Network-path metrics: per-connection and per-protocol counters plus
+//! stage latency histograms, all flowing through `crossmine-obs` so the
+//! existing `/metrics` endpoint exports them as `crossmine_net_*`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crossmine_obs::ObsHandle;
+
+/// Relaxed-ordering counters for the hot poll loop, mirrored into the
+/// obs registry for export. Counters are monotonic; gauges are derived
+/// (`open = accepted - closed`).
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Connections closed (any reason).
+    pub closed: AtomicU64,
+    /// Connections shed at accept because the connection table was full.
+    pub accept_shed: AtomicU64,
+    /// Connections reaped by the idle timeout.
+    pub idle_closed: AtomicU64,
+    /// Connections that sniffed as HTTP.
+    pub http_conns: AtomicU64,
+    /// Connections that sniffed as binary.
+    pub binary_conns: AtomicU64,
+    /// Connections whose first byte was neither protocol.
+    pub unknown_conns: AtomicU64,
+    /// Predict requests parsed off HTTP connections.
+    pub http_requests: AtomicU64,
+    /// Predict requests parsed off binary connections.
+    pub binary_requests: AtomicU64,
+    /// Requests answered with a non-200 status (any protocol).
+    pub wire_errors: AtomicU64,
+    /// Bytes read from sockets.
+    pub bytes_read: AtomicU64,
+    /// Bytes written to sockets.
+    pub bytes_written: AtomicU64,
+}
+
+impl NetMetrics {
+    /// Bumps a counter.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Mirrors every counter into the obs handle (called periodically by
+    /// the poll thread; obs counters are set via delta to stay monotonic).
+    pub fn publish(&self, obs: &ObsHandle, last: &mut NetCountersSnapshot) {
+        let cur = self.snapshot();
+        obs.add("net.accepted", cur.accepted - last.accepted);
+        obs.add("net.closed", cur.closed - last.closed);
+        obs.add("net.accept_shed", cur.accept_shed - last.accept_shed);
+        obs.add("net.idle_closed", cur.idle_closed - last.idle_closed);
+        obs.add("net.http_conns", cur.http_conns - last.http_conns);
+        obs.add("net.binary_conns", cur.binary_conns - last.binary_conns);
+        obs.add("net.unknown_conns", cur.unknown_conns - last.unknown_conns);
+        obs.add("net.http_requests", cur.http_requests - last.http_requests);
+        obs.add("net.binary_requests", cur.binary_requests - last.binary_requests);
+        obs.add("net.wire_errors", cur.wire_errors - last.wire_errors);
+        obs.add("net.bytes_read", cur.bytes_read - last.bytes_read);
+        obs.add("net.bytes_written", cur.bytes_written - last.bytes_written);
+        obs.gauge_set("net.open_conns", (cur.accepted - cur.closed) as i64);
+        *last = cur;
+    }
+
+    /// A coherent-enough copy of all counters.
+    pub fn snapshot(&self) -> NetCountersSnapshot {
+        NetCountersSnapshot {
+            accepted: Self::get(&self.accepted),
+            closed: Self::get(&self.closed),
+            accept_shed: Self::get(&self.accept_shed),
+            idle_closed: Self::get(&self.idle_closed),
+            http_conns: Self::get(&self.http_conns),
+            binary_conns: Self::get(&self.binary_conns),
+            unknown_conns: Self::get(&self.unknown_conns),
+            http_requests: Self::get(&self.http_requests),
+            binary_requests: Self::get(&self.binary_requests),
+            wire_errors: Self::get(&self.wire_errors),
+            bytes_read: Self::get(&self.bytes_read),
+            bytes_written: Self::get(&self.bytes_written),
+        }
+    }
+}
+
+/// Point-in-time counter values (also the delta base for publishing).
+/// Fields mirror [`NetMetrics`] one-to-one.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct NetCountersSnapshot {
+    pub accepted: u64,
+    pub closed: u64,
+    pub accept_shed: u64,
+    pub idle_closed: u64,
+    pub http_conns: u64,
+    pub binary_conns: u64,
+    pub unknown_conns: u64,
+    pub http_requests: u64,
+    pub binary_requests: u64,
+    pub wire_errors: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+}
+
+/// Records elapsed microseconds into an obs histogram when dropped —
+/// wraps the accept/read/decode/write stages of the poll loop.
+pub struct StageTimer<'a> {
+    obs: &'a ObsHandle,
+    name: &'static str,
+    start: Instant,
+}
+
+impl<'a> StageTimer<'a> {
+    /// Starts timing one stage.
+    pub fn start(obs: &'a ObsHandle, name: &'static str) -> Self {
+        StageTimer { obs, name, start: Instant::now() }
+    }
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        let us = self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.obs.record(self.name, us);
+    }
+}
+
+/// Histogram names the poll loop records (microseconds). Exported as
+/// `crossmine_net_<stage>_us` by the telemetry endpoint.
+pub const STAGE_ACCEPT_US: &str = "net.accept_us";
+/// Time spent in one read readiness burst.
+pub const STAGE_READ_US: &str = "net.read_us";
+/// Time spent parsing/decoding after a read.
+pub const STAGE_DECODE_US: &str = "net.decode_us";
+/// Time spent in one write readiness burst.
+pub const STAGE_WRITE_US: &str = "net.write_us";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossmine_obs::ObsHandle;
+
+    #[test]
+    fn publish_is_delta_based_and_monotonic() {
+        let obs = ObsHandle::enabled();
+        let m = NetMetrics::default();
+        let mut last = NetCountersSnapshot::default();
+        NetMetrics::add(&m.accepted, 3);
+        NetMetrics::inc(&m.http_conns);
+        m.publish(&obs, &mut last);
+        NetMetrics::add(&m.accepted, 2);
+        NetMetrics::inc(&m.closed);
+        m.publish(&obs, &mut last);
+        let reg = obs.registry().expect("enabled");
+        let counters: std::collections::HashMap<_, _> = reg.counter_values().into_iter().collect();
+        assert_eq!(counters.get("net.accepted"), Some(&5));
+        assert_eq!(counters.get("net.http_conns"), Some(&1));
+        assert_eq!(counters.get("net.closed"), Some(&1));
+    }
+
+    #[test]
+    fn stage_timer_records_on_drop() {
+        let obs = ObsHandle::enabled();
+        {
+            let _t = StageTimer::start(&obs, STAGE_DECODE_US);
+        }
+        let h = obs.histogram(STAGE_DECODE_US).expect("registered");
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Protocol sniffing: both protocols share one port, distinguished by the
+//! first byte of the connection.
+//!
+//! * HTTP/1.1 requests start with an ASCII method token (`GET`, `POST`,
+//!   ...), i.e. an uppercase letter.
+//! * Binary frames start with [`REQ_MAGIC`](crate::frame::REQ_MAGIC)
+//!   (`0xCE`), which is not a printable ASCII byte and can therefore never
+//!   begin a well-formed HTTP request.
+//!
+//! Anything else is neither protocol: the connection is closed cleanly
+//! without a response (we cannot know how the peer wants errors framed).
+
+use crate::frame::REQ_MAGIC;
+
+/// The sniffer's verdict on a connection's first bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sniff {
+    /// First byte looks like an HTTP method token.
+    Http,
+    /// First byte is the binary frame magic.
+    Binary,
+    /// No bytes yet.
+    NeedMore,
+    /// Neither protocol — close the connection.
+    Unknown,
+}
+
+/// Classifies the first bytes of a connection.
+pub fn sniff(first: &[u8]) -> Sniff {
+    match first.first() {
+        None => Sniff::NeedMore,
+        Some(&REQ_MAGIC) => Sniff::Binary,
+        Some(b) if b.is_ascii_uppercase() => Sniff::Http,
+        Some(_) => Sniff::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_table() {
+        assert_eq!(sniff(b""), Sniff::NeedMore);
+        assert_eq!(sniff(b"POST /predict HTTP/1.1\r\n"), Sniff::Http);
+        assert_eq!(sniff(b"G"), Sniff::Http);
+        assert_eq!(sniff(&[REQ_MAGIC, 0, 0]), Sniff::Binary);
+        assert_eq!(sniff(b"post lowercase"), Sniff::Unknown);
+        assert_eq!(sniff(&[0x00]), Sniff::Unknown);
+        assert_eq!(sniff(&[0xFF]), Sniff::Unknown);
+    }
+
+    #[test]
+    fn magic_is_not_a_method_byte() {
+        assert!(!REQ_MAGIC.is_ascii_uppercase());
+    }
+}

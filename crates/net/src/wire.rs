@@ -1,0 +1,139 @@
+//! Typed wire statuses: the vocabulary both protocols answer with.
+//!
+//! A [`WireStatus`] is protocol-neutral: the HTTP side renders it as a
+//! status line plus an optional `Retry-After` header, the binary side as a
+//! status word plus a retry-after field in the response frame. The serve
+//! integration layer maps its `ServeError` taxonomy onto these
+//! constructors with the invariant that **a retry hint is present exactly
+//! when the underlying error is retryable** — clients on either protocol
+//! can branch on one bit instead of memorizing the taxonomy.
+
+use std::time::Duration;
+
+/// The default retry hint attached to transient rejections.
+pub const DEFAULT_RETRY_AFTER: Duration = Duration::from_secs(1);
+
+/// A protocol-neutral response status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireStatus {
+    /// HTTP-style status code (also carried verbatim in binary frames;
+    /// `200` means success).
+    pub code: u16,
+    /// When set, the client should retry after roughly this long. Present
+    /// exactly for transient degradations.
+    pub retry_after: Option<Duration>,
+}
+
+impl WireStatus {
+    /// Success.
+    pub fn ok() -> Self {
+        WireStatus { code: 200, retry_after: None }
+    }
+
+    /// The request could not be parsed (malformed HTTP, bad JSON, bad
+    /// frame, empty batch, over-limit sizes). Not retryable: resending the
+    /// same bytes cannot succeed.
+    pub fn bad_request() -> Self {
+        WireStatus { code: 400, retry_after: None }
+    }
+
+    /// The path is not one this endpoint serves.
+    pub fn not_found() -> Self {
+        WireStatus { code: 404, retry_after: None }
+    }
+
+    /// The method is not allowed on this path (`/predict` is POST-only).
+    pub fn method_not_allowed() -> Self {
+        WireStatus { code: 405, retry_after: None }
+    }
+
+    /// Admission shed the request (queue full). Retryable with backoff.
+    pub fn overloaded() -> Self {
+        WireStatus { code: 429, retry_after: Some(DEFAULT_RETRY_AFTER) }
+    }
+
+    /// The batch failed for a server-internal reason (worker panic). The
+    /// worker restarts, so a retry can succeed.
+    pub fn internal_retryable() -> Self {
+        WireStatus { code: 500, retry_after: Some(DEFAULT_RETRY_AFTER) }
+    }
+
+    /// The batch failed for a server-internal, non-transient reason.
+    pub fn internal() -> Self {
+        WireStatus { code: 500, retry_after: None }
+    }
+
+    /// The server is draining for shutdown. Not retryable against this
+    /// instance.
+    pub fn shutting_down() -> Self {
+        WireStatus { code: 503, retry_after: None }
+    }
+
+    /// The request's deadline expired before scoring started. Retryable —
+    /// a less-loaded moment can meet the same deadline.
+    pub fn deadline_exceeded() -> Self {
+        WireStatus { code: 504, retry_after: Some(DEFAULT_RETRY_AFTER) }
+    }
+
+    /// Whether this status is a success.
+    pub fn is_ok(&self) -> bool {
+        self.code == 200
+    }
+
+    /// The HTTP reason phrase for this status code.
+    pub fn reason(&self) -> &'static str {
+        match self.code {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+
+    /// The `Retry-After` value in whole seconds (minimum 1), when present.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        self.retry_after.map(|d| d.as_secs().max(1))
+    }
+}
+
+/// One scored batch, as the backend hands it back to the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReply {
+    /// Epoch of the model snapshot that scored the batch.
+    pub epoch: u64,
+    /// One predicted class label per input row, in request order.
+    pub labels: Vec<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasons_cover_the_emitted_codes() {
+        for (s, want) in [
+            (WireStatus::ok(), "OK"),
+            (WireStatus::bad_request(), "Bad Request"),
+            (WireStatus::not_found(), "Not Found"),
+            (WireStatus::method_not_allowed(), "Method Not Allowed"),
+            (WireStatus::overloaded(), "Too Many Requests"),
+            (WireStatus::internal_retryable(), "Internal Server Error"),
+            (WireStatus::shutting_down(), "Service Unavailable"),
+            (WireStatus::deadline_exceeded(), "Gateway Timeout"),
+        ] {
+            assert_eq!(s.reason(), want);
+        }
+    }
+
+    #[test]
+    fn retry_after_rounds_up_to_one_second() {
+        let s = WireStatus { code: 429, retry_after: Some(Duration::from_millis(50)) };
+        assert_eq!(s.retry_after_secs(), Some(1));
+        assert_eq!(WireStatus::shutting_down().retry_after_secs(), None);
+    }
+}

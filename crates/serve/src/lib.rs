@@ -33,6 +33,12 @@
 //!   text format, `GET /healthz` tracking the admission state machine,
 //!   `GET /buildinfo`, served by one `std::net` thread with zero cost
 //!   when disabled.
+//! * [`net`] — the opt-in **wire front end** ([`ServerConfig::net`]):
+//!   one TCP port speaking HTTP/1.1 (`POST /predict`) and
+//!   length-prefixed binary frames (the `crossmine-net` crate), bridged
+//!   onto the same admission path as in-process submitters, with the
+//!   [`ServeError`] taxonomy pinned onto typed wire statuses
+//!   ([`wire_status_for`]).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -67,6 +73,7 @@ pub mod error;
 pub mod eval;
 pub mod eval_disk;
 pub mod metrics;
+pub mod net;
 pub mod plan;
 pub mod registry;
 pub mod server;
@@ -74,11 +81,13 @@ pub mod telemetry;
 
 pub use chaos::{ChaosAction, ChaosConfig};
 pub use crossmine_core::explain::{ClauseFire, LiteralMatch, RowExplanation};
+pub use crossmine_net::{NetConfig, NetLimits, NetMetrics, WireStatus};
 pub use crossmine_obs::{ObsHandle, ServeReport};
 pub use error::ServeError;
 pub use eval::{evaluate_batch, evaluate_batch_traced, ServeScratch};
 pub use eval_disk::predict_disk;
 pub use metrics::{Histogram, MetricsSnapshot, ServeMetrics};
+pub use net::{wire_status_for, ServeBackend};
 #[allow(deprecated)]
 pub use plan::CompileError;
 pub use plan::{CompiledClause, CompiledPlan, PlanError, PlanStats};

@@ -44,6 +44,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crossmine_net::{NetConfig, NetListener, NetMetrics};
 use crossmine_obs::ObsHandle;
 use crossmine_relational::{ClassLabel, Database, Row};
 
@@ -53,6 +54,7 @@ use crate::chaos::{ChaosAction, ChaosConfig};
 use crate::error::ServeError;
 use crate::eval::{evaluate_batch, evaluate_batch_traced, ServeScratch};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::net::ServeBackend;
 use crate::registry::ModelRegistry;
 use crate::telemetry::{TelemetryHandle, TelemetryShared};
 
@@ -83,6 +85,12 @@ pub struct ServerConfig {
     /// off. Bind to port 0 to let the OS pick; read the actual address
     /// back with [`PredictionServer::telemetry_addr`].
     pub telemetry_addr: Option<SocketAddr>,
+    /// The wire front end (`crossmine-net`): one TCP port speaking
+    /// HTTP/1.1 (`POST /predict`) and length-prefixed binary frames.
+    /// `None` (the default) spawns no poll thread and binds no socket.
+    /// Bind `addr` to port 0 to let the OS pick; read the actual address
+    /// back with [`PredictionServer::net_addr`].
+    pub net: Option<NetConfig>,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +103,7 @@ impl Default for ServerConfig {
             obs: ObsHandle::noop(),
             chaos: ChaosConfig::default(),
             telemetry_addr: None,
+            net: None,
         }
     }
 }
@@ -168,6 +177,19 @@ impl PredictionHandle {
             Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::WorkerPanicked)),
         }
     }
+
+    /// Nonblocking check: `Some` when the server has answered, `None`
+    /// while the request is still in flight. This is what lets the net
+    /// poll thread multiplex hundreds of in-flight requests without
+    /// ever parking on a channel. A severed channel maps to
+    /// [`ServeError::WorkerPanicked`], same as [`wait`](Self::wait).
+    pub fn try_wait(&self) -> Option<Result<Prediction, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(reply) => Some(reply),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::WorkerPanicked)),
+        }
+    }
 }
 
 struct Request {
@@ -198,12 +220,54 @@ fn lock_state(shared: &Shared) -> MutexGuard<'_, QueueState> {
     shared.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// The admission half of the server, split out so the wire front end
+/// ([`ServeBackend`]) shares the exact same shedding, metrics, and
+/// shutdown behavior as in-process [`PredictionServer::submit`] callers —
+/// there is one admission path, not two.
+#[derive(Clone)]
+pub(crate) struct Admitter {
+    shared: Arc<Shared>,
+    metrics: Arc<ServeMetrics>,
+    obs: ObsHandle,
+    queue_capacity: usize,
+}
+
+impl Admitter {
+    /// Enqueues one row; never blocks. See [`PredictionServer::submit`]
+    /// for the error contract.
+    pub(crate) fn admit(
+        &self,
+        row: Row,
+        deadline: Option<Instant>,
+    ) -> Result<PredictionHandle, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        let mut st = lock_state(&self.shared);
+        if st.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        if st.queue.len() >= self.queue_capacity {
+            let queue_depth = st.queue.len();
+            drop(st);
+            self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            self.obs.add("serve.requests_shed", 1);
+            return Err(ServeError::Overloaded { queue_depth, capacity: self.queue_capacity });
+        }
+        st.queue.push_back(Request { row, enqueued: Instant::now(), deadline, reply: tx });
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.queue_depth.record(st.queue.len() as u64);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(PredictionHandle { row, rx })
+    }
+}
+
 /// A concurrent, micro-batching, hot-swappable prediction server over one
 /// in-memory [`Database`].
 pub struct PredictionServer {
     shared: Arc<Shared>,
     registry: Arc<ModelRegistry>,
     metrics: Arc<ServeMetrics>,
+    admitter: Admitter,
     config: ServerConfig,
     workers: Vec<JoinHandle<()>>,
     /// The database workers score against; kept so single-row provenance
@@ -214,6 +278,7 @@ pub struct PredictionServer {
     /// thread (`/healthz` must not contend on the admission mutex).
     admission_closed: Arc<AtomicBool>,
     telemetry: Option<TelemetryHandle>,
+    net: Option<NetListener>,
 }
 
 impl std::fmt::Debug for PredictionServer {
@@ -256,6 +321,7 @@ impl PredictionServer {
         });
         let metrics = Arc::new(ServeMetrics::new());
         let admission_closed = Arc::new(AtomicBool::new(false));
+        let net_metrics = config.net.as_ref().map(|_| Arc::new(NetMetrics::default()));
         let telemetry = match config.telemetry_addr {
             Some(addr) => {
                 let tshared = Arc::new(TelemetryShared {
@@ -265,6 +331,7 @@ impl PredictionServer {
                     admission_closed: Arc::clone(&admission_closed),
                     started: Instant::now(),
                     stop: AtomicBool::new(false),
+                    net_metrics: net_metrics.clone(),
                 });
                 let handle = TelemetryHandle::start(addr, tshared).map_err(|e| {
                     ServeError::InvalidConfig(format!("cannot bind telemetry_addr {addr}: {e}"))
@@ -283,15 +350,46 @@ impl PredictionServer {
                 std::thread::spawn(move || worker_loop(&shared, &registry, &metrics, &db, &config))
             })
             .collect();
+        let admitter = Admitter {
+            shared: Arc::clone(&shared),
+            metrics: Arc::clone(&metrics),
+            obs: config.obs.clone(),
+            queue_capacity: config.queue_capacity,
+        };
+        let net = match (&config.net, net_metrics) {
+            (Some(net_config), Some(net_metrics)) => {
+                let backend = Arc::new(ServeBackend::new(admitter.clone()));
+                let listener = NetListener::start(
+                    net_config.clone(),
+                    backend,
+                    config.obs.clone(),
+                    net_metrics,
+                )
+                .map_err(|e| {
+                    // Unwind the worker pool: with no server value, Drop
+                    // will never run, so close admission here.
+                    lock_state(&shared).shutdown = true;
+                    shared.not_empty.notify_all();
+                    ServeError::InvalidConfig(format!(
+                        "cannot bind net addr {}: {e}",
+                        net_config.addr
+                    ))
+                })?;
+                Some(listener)
+            }
+            _ => None,
+        };
         Ok(PredictionServer {
             shared,
             registry,
             metrics,
+            admitter,
             config,
             workers,
             db,
             admission_closed,
             telemetry,
+            net,
         })
     }
 
@@ -320,27 +418,7 @@ impl PredictionServer {
     }
 
     fn admit(&self, row: Row, deadline: Option<Instant>) -> Result<PredictionHandle, ServeError> {
-        let (tx, rx) = mpsc::channel();
-        let mut st = lock_state(&self.shared);
-        if st.shutdown {
-            return Err(ServeError::ShuttingDown);
-        }
-        if st.queue.len() >= self.config.queue_capacity {
-            let queue_depth = st.queue.len();
-            drop(st);
-            self.metrics.shed.fetch_add(1, Ordering::Relaxed);
-            self.config.obs.add("serve.requests_shed", 1);
-            return Err(ServeError::Overloaded {
-                queue_depth,
-                capacity: self.config.queue_capacity,
-            });
-        }
-        st.queue.push_back(Request { row, enqueued: Instant::now(), deadline, reply: tx });
-        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        self.metrics.queue_depth.record(st.queue.len() as u64);
-        drop(st);
-        self.shared.not_empty.notify_one();
-        Ok(PredictionHandle { row, rx })
+        self.admitter.admit(row, deadline)
     }
 
     /// Synchronous convenience: submit and wait for the prediction.
@@ -410,6 +488,17 @@ impl PredictionServer {
         self.telemetry.as_ref().map(|t| t.addr)
     }
 
+    /// The address the wire front end actually bound, when
+    /// [`ServerConfig::net`] was set. Useful with port 0.
+    pub fn net_addr(&self) -> Option<SocketAddr> {
+        self.net.as_ref().map(|n| n.local_addr())
+    }
+
+    /// Live wire-front-end counters, when [`ServerConfig::net`] was set.
+    pub fn net_metrics(&self) -> Option<Arc<NetMetrics>> {
+        self.net.as_ref().map(|n| n.metrics())
+    }
+
     /// Current metrics, including the registry's swap count.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot(self.registry.swap_count())
@@ -420,8 +509,21 @@ impl PredictionServer {
     /// is answered — scored, or deadline-expired with a typed error.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.begin_shutdown();
+        // Drain order: the wire front end first answers new predict
+        // requests with 503 (admission is closed anyway) while its
+        // in-flight requests stay live...
+        if let Some(n) = &self.net {
+            n.begin_drain();
+        }
+        // ...the workers then drain the queue, answering everything that
+        // was admitted (including requests the listener submitted)...
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // ...and only then does the listener stop: every reply is in
+        // hand, so the bounded drain just flushes sockets.
+        if let Some(n) = self.net.take() {
+            n.shutdown();
         }
         // Stop telemetry only after the drain: an external prober watching
         // `/healthz` sees `shutting-down` for the whole drain window
@@ -453,9 +555,15 @@ impl Drop for PredictionServer {
     fn drop(&mut self) {
         if !self.workers.is_empty() {
             self.begin_shutdown();
+            if let Some(n) = &self.net {
+                n.begin_drain();
+            }
             for h in self.workers.drain(..) {
                 let _ = h.join();
             }
+        }
+        if let Some(n) = self.net.take() {
+            n.shutdown();
         }
         if let Some(mut t) = self.telemetry.take() {
             t.stop();

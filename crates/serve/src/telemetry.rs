@@ -41,6 +41,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crossmine_net::http::{parse_request, write_response, HttpLimits};
+use crossmine_net::NetMetrics;
 use crossmine_obs::{ObsHandle, PromWriter};
 
 use crate::metrics::ServeMetrics;
@@ -116,6 +118,11 @@ pub(crate) struct TelemetryShared {
     pub(crate) started: Instant,
     /// Set by the owning server to stop the accept loop.
     pub(crate) stop: AtomicBool,
+    /// Wire-front-end counters, when [`ServerConfig::net`] is configured;
+    /// rendered as `crossmine_net_*`.
+    ///
+    /// [`ServerConfig::net`]: crate::server::ServerConfig::net
+    pub(crate) net_metrics: Option<Arc<NetMetrics>>,
 }
 
 impl TelemetryShared {
@@ -180,6 +187,38 @@ impl TelemetryShared {
             "queue depth observed at each admission",
             &m.queue_depth,
         );
+        if let Some(net) = &self.net_metrics {
+            let n = net.snapshot();
+            w.write_counter("net.accepted", "connections accepted", n.accepted);
+            w.write_counter("net.closed", "connections closed", n.closed);
+            w.write_counter("net.accept_shed", "connections shed at accept", n.accept_shed);
+            w.write_counter("net.idle_closed", "connections reaped idle", n.idle_closed);
+            w.write_counter("net.http_conns", "connections sniffed as HTTP", n.http_conns);
+            w.write_counter("net.binary_conns", "connections sniffed as binary", n.binary_conns);
+            w.write_counter(
+                "net.unknown_conns",
+                "connections speaking neither protocol",
+                n.unknown_conns,
+            );
+            w.write_counter("net.http_requests", "predict requests over HTTP", n.http_requests);
+            w.write_counter(
+                "net.binary_requests",
+                "predict requests over binary frames",
+                n.binary_requests,
+            );
+            w.write_counter("net.wire_errors", "non-200 wire responses", n.wire_errors);
+            w.write_counter("net.bytes_read", "bytes read from client sockets", n.bytes_read);
+            w.write_counter(
+                "net.bytes_written",
+                "bytes written to client sockets",
+                n.bytes_written,
+            );
+            w.write_gauge(
+                "net.open_conns",
+                "currently open connections",
+                (n.accepted - n.closed) as i64,
+            );
+        }
         let uptime = self.uptime_seconds();
         w.write_gauge_f64("serve.uptime_seconds", "seconds since the server started", uptime);
         // Mirror the uptime into the obs registry (when enabled) so
@@ -195,6 +234,9 @@ impl TelemetryShared {
             // Quantities already rendered above from the serve aggregate
             // (the more authoritative source — maintained even with a noop
             // handle) must not appear twice in one exposition document.
+            // The net.* counters are rendered above from the live
+            // NetMetrics (authoritative; the obs mirror is published on a
+            // 100 ms cadence) — skip the mirrored copies too.
             w.write_registry_except(
                 registry,
                 &[
@@ -202,6 +244,19 @@ impl TelemetryShared {
                     "serve.deadline_exceeded",
                     "serve.worker_restarts",
                     "serve.uptime_seconds",
+                    "net.accepted",
+                    "net.closed",
+                    "net.accept_shed",
+                    "net.idle_closed",
+                    "net.http_conns",
+                    "net.binary_conns",
+                    "net.unknown_conns",
+                    "net.http_requests",
+                    "net.binary_requests",
+                    "net.wire_errors",
+                    "net.bytes_read",
+                    "net.bytes_written",
+                    "net.open_conns",
                 ],
             );
         }
@@ -288,34 +343,40 @@ fn accept_loop(listener: &TcpListener, shared: &TelemetryShared) {
 fn handle_connection(mut stream: TcpStream, shared: &TelemetryShared, prev_degradations: &mut u64) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-    let mut buf = [0u8; 1024];
-    let mut len = 0usize;
-    // Read until the request line is complete; telemetry requests are tiny
-    // and bodyless, so the first newline is all that matters.
-    while len < buf.len() {
-        match stream.read(&mut buf[len..]) {
-            Ok(0) => break,
-            Ok(n) => {
-                len += n;
-                if buf[..len].contains(&b'\n') {
-                    break;
-                }
+    // Parse with the workspace's one HTTP parser (crossmine-net): the
+    // query string is stripped and framing errors are typed.
+    let limits = HttpLimits::default();
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let req = loop {
+        match parse_request(&buf, &limits) {
+            Ok(Some((req, _consumed))) => break req,
+            Ok(None) => match stream.read(&mut chunk) {
+                Ok(0) => return,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => return,
+            },
+            Err(_) => {
+                let mut out = Vec::new();
+                write_response(
+                    &mut out,
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    &[],
+                    b"bad request\n",
+                    false,
+                );
+                let _ = stream.write_all(&out);
+                return;
             }
-            Err(_) => return,
         }
-    }
-    let request_line = match std::str::from_utf8(&buf[..len]) {
-        Ok(s) => s.lines().next().unwrap_or(""),
-        Err(_) => "",
     };
-    let mut parts = request_line.split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let path = path.split('?').next().unwrap_or(path);
 
-    let (status, content_type, body) = if method != "GET" {
+    let (status, content_type, body) = if req.method != "GET" {
         (405, "text/plain", "method not allowed\n".to_string())
     } else {
-        match path {
+        match req.path.as_str() {
             "/metrics" => {
                 (200, "text/plain; version=0.0.4; charset=utf-8", shared.render_metrics())
             }
@@ -334,12 +395,9 @@ fn handle_connection(mut stream: TcpStream, shared: &TelemetryShared, prev_degra
         405 => "Method Not Allowed",
         _ => "Service Unavailable",
     };
-    let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    let _ = stream.write_all(response.as_bytes());
+    let mut out = Vec::with_capacity(128 + body.len());
+    write_response(&mut out, status as u16, reason, content_type, &[], body.as_bytes(), false);
+    let _ = stream.write_all(&out);
     let _ = stream.flush();
 }
 
