@@ -53,6 +53,15 @@
 //! full provenance (fired clauses, matched literals, prop-path lengths)
 //! for the first N rows as JSONL after the run.
 //!
+//! `--trace` attaches an enabled request tracer (default tail-sampling
+//! config: 256-trace ring, slowest 8 per 128-completion window, every
+//! error kept). After the run it prints the sampler stats and one
+//! complete causal chain — with `--net`, the full wire-to-worker tree
+//! (`net.sniff → net.parse → serve.queue_wait → serve.batch →
+//! serve.eval → net.write`) rendered as JSONL — and dies if no sampled
+//! trace holds the whole chain. Combined with `--prom` it also fetches
+//! `GET /trace` over real TCP mid-proof.
+//!
 //! Exits non-zero on any parity mismatch, delivery error, or lost request.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,7 +75,7 @@ use crossmine_obs::{ObsHandle, ServeReport, TrainReport};
 use crossmine_relational::{ClassLabel, Database, Row};
 use crossmine_serve::{
     predict_disk, ChaosConfig, CompiledPlan, ModelRegistry, NetConfig, PredictionServer,
-    ServerConfig,
+    ServerConfig, Tracer,
 };
 use crossmine_storage::DiskDatabase;
 use crossmine_synth::{generate, GenParams};
@@ -88,6 +97,7 @@ struct Args {
     net: Option<String>,
     conns: usize,
     net_proto: NetProtoArg,
+    trace: bool,
 }
 
 /// `--net-proto`: which protocol the wire clients speak.
@@ -119,6 +129,7 @@ impl Default for Args {
             net: None,
             conns: 0,
             net_proto: NetProtoArg::Both,
+            trace: false,
         }
     }
 }
@@ -169,6 +180,7 @@ fn parse_args() -> Args {
                 args.net = Some(addr.clone());
             }
             "--conns" => args.conns = take(&mut i) as usize,
+            "--trace" => args.trace = true,
             "--net-proto" => {
                 i += 1;
                 args.net_proto = match argv.get(i).map(String::as_str) {
@@ -248,6 +260,9 @@ fn main() {
 
     let db = Arc::new(db);
     let registry = Arc::new(ModelRegistry::new(plan.clone()));
+    // `--trace`: the default tail-sampling config (256-trace ring, every
+    // error kept, slowest 8 per 128-completion window).
+    let tracer = if args.trace { Tracer::enabled() } else { Tracer::noop() };
     let server = PredictionServer::start(
         Arc::clone(&db),
         Arc::clone(&registry),
@@ -268,6 +283,7 @@ fn main() {
                 .net
                 .as_ref()
                 .map(|addr| NetConfig { addr: addr.clone(), ..Default::default() }),
+            tracer: tracer.clone(),
         },
     )
     .unwrap_or_else(|e| die(&format!("server failed to start: {e}")));
@@ -442,6 +458,20 @@ fn main() {
         }
     }
 
+    if args.trace {
+        // Fetch the trace surface over real TCP while telemetry is still
+        // up — the walkthrough the README documents, proven under load.
+        if let Some(addr) = server.telemetry_addr() {
+            let body = http_get(addr, "/trace");
+            println!();
+            println!(
+                "GET /trace: {} sampled traces ({} bytes JSONL)",
+                body.lines().filter(|l| !l.is_empty()).count(),
+                body.len()
+            );
+        }
+    }
+
     let wire_stats = server.net_metrics().map(|m| m.snapshot());
     let report = server.shutdown();
     let throughput = total as f64 / elapsed.as_secs_f64();
@@ -464,6 +494,39 @@ fn main() {
     }
     println!();
 
+    if args.trace {
+        let stats = tracer.stats();
+        println!(
+            "tracing: {} completed, {} sampled, {} dropped by tail sampling",
+            stats.completed, stats.sampled, stats.dropped
+        );
+        // The proof the trace smoke leg greps for: at least one sampled
+        // trace holds the entire causal chain, wire to worker and back.
+        let chain: &[&str] = if args.net.is_some() {
+            &[
+                "net.sniff",
+                "net.parse",
+                "serve.queue_wait",
+                "serve.batch",
+                "serve.eval",
+                "net.write",
+            ]
+        } else {
+            &["serve.queue_wait", "serve.batch", "serve.eval"]
+        };
+        let complete = tracer
+            .recent(256)
+            .into_iter()
+            .find(|t| chain.iter().all(|stage| t.spans.iter().any(|s| s.name == *stage)));
+        match complete {
+            Some(t) => {
+                println!("complete causal chain: {}", chain.join(" -> "));
+                println!("{}", t.render_jsonl());
+            }
+            None => die("--trace: no sampled trace contains the complete causal chain"),
+        }
+        println!();
+    }
     if args.report {
         println!("{}", TrainReport::from_handle(&train_obs));
         println!("{}", ServeReport::from_handle(&serve_obs));

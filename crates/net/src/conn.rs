@@ -16,6 +16,7 @@
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
+use crossmine_obs::{TraceCtx, Tracer, ROOT_SPAN};
 use crossmine_relational::Row;
 
 use crate::frame;
@@ -83,6 +84,23 @@ struct Slot {
     id: u64,
     ctx: ReplyCtx,
     state: SlotState,
+    /// The request's trace context (noop for non-predict replies such as
+    /// 404s and parse errors). Completed when the reply bytes drain.
+    trace: TraceCtx,
+    /// When the request's first byte arrived — the wire-latency origin.
+    /// `None` for slots that never went through [`Connection::dispatch`].
+    born: Option<Instant>,
+}
+
+/// Watches one encoded reply until its last byte is accepted by the
+/// socket, then closes out the request's trace and wire latency.
+struct FlushWatch {
+    /// `enqueued_total` the moment this reply finished encoding — once
+    /// `written_total` reaches it, every byte of the reply is on the wire.
+    target: u64,
+    trace: TraceCtx,
+    born: Instant,
+    encode_at: Instant,
 }
 
 /// Which protocol the connection settled on.
@@ -120,11 +138,36 @@ pub struct Connection {
     /// per-protocol counters.
     encoded_ok: u64,
     encoded_err: u64,
+    /// Births one trace per predict request (noop tracer = zero cost).
+    tracer: Tracer,
+    /// First-byte arrival of the request currently being accumulated;
+    /// consumed by `dispatch` as the trace origin, re-armed on the next
+    /// read that starts a fresh request.
+    read_since: Option<Instant>,
+    /// When protocol sniffing resolved (first request only).
+    sniff_done: Option<Instant>,
+    /// Cumulative reply bytes ever placed into the write buffer.
+    enqueued_total: u64,
+    /// Cumulative reply bytes ever accepted by the socket.
+    written_total: u64,
+    /// Encoded replies awaiting their final byte on the wire, in encode
+    /// order (monotonic targets — front settles first).
+    watches: VecDeque<FlushWatch>,
+    /// Settled requests as `(trace_id, wire_us)` for the listener to
+    /// drain into the `net.request_us` histogram and its exemplars.
+    /// `trace_id` is 0 when tracing was off for the request.
+    finished: Vec<(u64, u64)>,
 }
 
 impl Connection {
     /// A fresh connection, with `now` as its first activity timestamp.
+    /// Tracing is off; the listener uses [`with_tracer`](Self::with_tracer).
     pub fn new(now: Instant) -> Self {
+        Self::with_tracer(now, Tracer::noop())
+    }
+
+    /// A fresh connection whose predict requests are traced by `tracer`.
+    pub fn with_tracer(now: Instant, tracer: Tracer) -> Self {
         Connection {
             proto: Protocol::Undecided,
             rbuf: Vec::new(),
@@ -139,6 +182,13 @@ impl Connection {
             last_activity: now,
             encoded_ok: 0,
             encoded_err: 0,
+            tracer,
+            read_since: None,
+            sniff_done: None,
+            enqueued_total: 0,
+            written_total: 0,
+            watches: VecDeque::new(),
+            finished: Vec::new(),
         }
     }
 
@@ -161,6 +211,9 @@ impl Connection {
 
     /// Appends bytes read from the socket.
     pub fn push_bytes(&mut self, bytes: &[u8], now: Instant) {
+        if self.read_since.is_none() && !bytes.is_empty() {
+            self.read_since = Some(now);
+        }
         self.rbuf.extend_from_slice(bytes);
         self.last_activity = now;
     }
@@ -182,7 +235,9 @@ impl Connection {
     /// continuation: the remainder stays queued for the next writable
     /// readiness.
     pub fn advance_write(&mut self, n: usize, now: Instant) {
-        self.woff = (self.woff + n).min(self.wbuf.len());
+        let advanced = (self.woff + n).min(self.wbuf.len()) - self.woff;
+        self.written_total += advanced as u64;
+        self.woff += advanced;
         if self.woff == self.wbuf.len() {
             self.wbuf.clear();
             self.woff = 0;
@@ -191,6 +246,30 @@ impl Connection {
             self.woff = 0;
         }
         self.last_activity = now;
+        self.settle_watches(now);
+    }
+
+    /// Closes out every watched reply whose last byte the socket has now
+    /// accepted: stamps the `net.write` span, completes the trace, and
+    /// queues the wire latency for the listener.
+    fn settle_watches(&mut self, now: Instant) {
+        while matches!(self.watches.front(), Some(w) if w.target <= self.written_total) {
+            let Some(w) = self.watches.pop_front() else { break };
+            // The caller's `now` is its sweep timestamp, taken before this
+            // reply was encoded within the same sweep — clamp so the
+            // `net.write` span never ends before it starts.
+            let end = now.max(w.encode_at);
+            w.trace.add_span("net.write", ROOT_SPAN, w.encode_at, end);
+            w.trace.complete();
+            let wire_us = end.saturating_duration_since(w.born).as_micros();
+            self.finished.push((w.trace.id().0, wire_us.min(u128::from(u64::MAX)) as u64));
+        }
+    }
+
+    /// Moves settled `(trace_id, wire_us)` pairs into `out` (listener
+    /// drains this every sweep; `trace_id` 0 means tracing was off).
+    pub fn drain_finished(&mut self, out: &mut Vec<(u64, u64)>) {
+        out.append(&mut self.finished);
     }
 
     /// True when the connection should be dropped now: fatal state, or
@@ -213,13 +292,24 @@ impl Connection {
         self.pending.iter().filter(|s| matches!(s.state, SlotState::Waiting)).count()
     }
 
+    /// Bytes read off the socket but not yet parsed. The listener checks
+    /// this so a request that was fully buffered while the pipeline was
+    /// at capacity still gets pumped once a slot frees — without it, a
+    /// quiet client's final pipelined request would stall until its next
+    /// write.
+    pub fn buffered_input_len(&self) -> usize {
+        self.rbuf.len() - self.roff
+    }
+
     /// Parses as many complete requests as the pipeline allows, calling
-    /// `submit(slot, rows, deadline)` for each well-formed predict
+    /// `submit(slot, rows, deadline, trace)` for each well-formed predict
     /// request. The closure returns `Ok(())` when the backend accepted
     /// the batch (the listener will later call [`complete`]) or a
-    /// [`WireReject`] to answer immediately. When `draining` is set,
-    /// new predict requests are answered `503 Service Unavailable`
-    /// without touching the backend.
+    /// [`WireReject`] to answer immediately. The `trace` argument is the
+    /// request's trace context (noop when tracing is off); backends clone
+    /// it onto the work they enqueue so worker-side spans join the same
+    /// tree. When `draining` is set, new predict requests are answered
+    /// `503 Service Unavailable` without touching the backend.
     ///
     /// Malformed input is answered with a typed `400` (where the
     /// protocol still permits a response) and the connection is marked
@@ -229,7 +319,7 @@ impl Connection {
     /// [`complete`]: Connection::complete
     pub fn pump<F>(&mut self, limits: &NetLimits, draining: bool, mut submit: F)
     where
-        F: FnMut(u64, &[Row], Option<Duration>) -> SubmitOutcome,
+        F: FnMut(u64, &[Row], Option<Duration>, &TraceCtx) -> SubmitOutcome,
     {
         loop {
             if self.dead || self.close_after_flush {
@@ -250,6 +340,9 @@ impl Connection {
                         break;
                     }
                 }
+                if self.tracer.is_enabled() {
+                    self.sniff_done = Some(Instant::now());
+                }
             }
             let made_progress = match self.proto {
                 Protocol::Http => self.pump_http(limits, draining, &mut submit),
@@ -266,7 +359,7 @@ impl Connection {
     /// One HTTP request attempt; true if bytes were consumed.
     fn pump_http<F>(&mut self, limits: &NetLimits, draining: bool, submit: &mut F) -> bool
     where
-        F: FnMut(u64, &[Row], Option<Duration>) -> SubmitOutcome,
+        F: FnMut(u64, &[Row], Option<Duration>, &TraceCtx) -> SubmitOutcome,
     {
         let buf = &self.rbuf[self.roff..];
         let (req, consumed) = match http::parse_request(buf, &limits.http) {
@@ -326,14 +419,17 @@ impl Connection {
                 return true;
             }
         };
-        self.dispatch(ctx, deadline_ms, draining, submit);
+        // `X-Request-Id` becomes the trace id so wire traces join client
+        // logs; non-numeric or absent ids get a generated one.
+        let id_hint = req.header("x-request-id").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+        self.dispatch(ctx, id_hint, deadline_ms, draining, submit);
         true
     }
 
     /// One binary frame attempt; true if bytes were consumed.
     fn pump_binary<F>(&mut self, limits: &NetLimits, draining: bool, submit: &mut F) -> bool
     where
-        F: FnMut(u64, &[Row], Option<Duration>) -> SubmitOutcome,
+        F: FnMut(u64, &[Row], Option<Duration>, &TraceCtx) -> SubmitOutcome,
     {
         let buf = &self.rbuf[self.roff..];
         match frame::decode_request(
@@ -345,7 +441,8 @@ impl Connection {
             Ok(Some((head, consumed))) => {
                 self.roff += consumed;
                 let ctx = ReplyCtx::Binary { request_id: head.request_id };
-                self.dispatch(ctx, head.deadline_ms, draining, submit);
+                // The frame's request id doubles as the trace id.
+                self.dispatch(ctx, head.request_id, head.deadline_ms, draining, submit);
                 true
             }
             Ok(None) => false,
@@ -364,18 +461,51 @@ impl Connection {
     }
 
     /// Routes one parsed predict batch: drain-rejected, backend-rejected,
-    /// or accepted into a waiting slot.
+    /// or accepted into a waiting slot. `id_hint` (binary request id or
+    /// parsed `X-Request-Id`) seeds the trace id; 0 generates one.
     fn dispatch<F>(
         &mut self,
         ctx: ReplyCtx,
+        id_hint: u64,
         deadline_ms: Option<u64>,
         draining: bool,
         submit: &mut F,
     ) where
-        F: FnMut(u64, &[Row], Option<Duration>) -> SubmitOutcome,
+        F: FnMut(u64, &[Row], Option<Duration>, &TraceCtx) -> SubmitOutcome,
     {
-        let slot = self.open_slot(ctx);
+        let t_parsed = Instant::now();
+        // The wire-latency origin: first byte of this request off the
+        // socket, or "now" for a request already fully buffered.
+        let born = self.read_since.take().unwrap_or(t_parsed);
+        let trace = self.tracer.start_at(id_hint, born);
+        if trace.is_active() {
+            // Sniffing happened once, on the connection's first request;
+            // later keep-alive requests get a zero-length sniff span at
+            // their origin so every trace shows the same chain.
+            let sniff_end = self.sniff_done.map_or(born, |t| t.clamp(born, t_parsed));
+            let proto = match self.proto {
+                Protocol::Http => "http",
+                Protocol::Binary => "binary",
+                Protocol::Undecided => "undecided",
+            };
+            trace.add_span_with(
+                "net.sniff",
+                ROOT_SPAN,
+                born,
+                sniff_end,
+                &[("proto", proto.into())],
+            );
+            trace.add_span_with(
+                "net.parse",
+                ROOT_SPAN,
+                sniff_end,
+                t_parsed,
+                &[("rows", self.scratch.len().into())],
+            );
+        }
+        let slot = self.open_slot_traced(ctx, trace.clone(), Some(born));
         if draining {
+            trace.mark_error();
             self.finish_slot(
                 slot,
                 Err(WireReject::new(WireStatus::shutting_down(), "server is draining")),
@@ -383,9 +513,12 @@ impl Connection {
             return;
         }
         let deadline = deadline_ms.map(Duration::from_millis);
-        match submit(slot, &self.scratch, deadline) {
+        match submit(slot, &self.scratch, deadline, &trace) {
             Ok(()) => {}
-            Err(reject) => self.finish_slot(slot, Err(reject)),
+            Err(reject) => {
+                trace.mark_error();
+                self.finish_slot(slot, Err(reject));
+            }
         }
     }
 
@@ -401,9 +534,13 @@ impl Connection {
     }
 
     fn open_slot(&mut self, ctx: ReplyCtx) -> u64 {
+        self.open_slot_traced(ctx, TraceCtx::noop(), None)
+    }
+
+    fn open_slot_traced(&mut self, ctx: ReplyCtx, trace: TraceCtx, born: Option<Instant>) -> u64 {
         let id = self.next_slot;
         self.next_slot += 1;
-        self.pending.push_back(Slot { id, ctx, state: SlotState::Waiting });
+        self.pending.push_back(Slot { id, ctx, state: SlotState::Waiting, trace, born });
         id
     }
 
@@ -414,12 +551,29 @@ impl Connection {
     }
 
     /// Encodes every head-of-line completed slot into the write buffer —
-    /// this is what enforces pipelined response ordering.
+    /// this is what enforces pipelined response ordering. Dispatched
+    /// slots gain a flush watch so their trace completes only when the
+    /// reply's last byte is accepted by the socket.
     fn flush_ready(&mut self) {
         while matches!(self.pending.front(), Some(Slot { state: SlotState::Done(_), .. })) {
             let Some(slot) = self.pending.pop_front() else { break };
             if let SlotState::Done(result) = slot.state {
+                if result.is_err() {
+                    slot.trace.mark_error();
+                }
+                let encode_at = match slot.born {
+                    Some(_) => Instant::now(),
+                    None => self.last_activity,
+                };
                 self.encode_reply(slot.ctx, &result);
+                if let Some(born) = slot.born {
+                    self.watches.push_back(FlushWatch {
+                        target: self.enqueued_total,
+                        trace: slot.trace,
+                        born,
+                        encode_at,
+                    });
+                }
             }
         }
     }
@@ -429,6 +583,7 @@ impl Connection {
             Ok(_) => self.encoded_ok += 1,
             Err(_) => self.encoded_err += 1,
         }
+        let wbuf_before = self.wbuf.len();
         match ctx {
             ReplyCtx::Http { keep_alive } => {
                 let mut body = Vec::new();
@@ -471,6 +626,7 @@ impl Connection {
                 Err(reject) => frame::encode_error(request_id, reject.status, &mut self.wbuf),
             },
         }
+        self.enqueued_total += (self.wbuf.len() - wbuf_before) as u64;
     }
 
     /// Drops consumed bytes from the front of the read buffer once the
@@ -509,8 +665,8 @@ mod tests {
 
     fn accept_all(
         replies: &mut Vec<(u64, Vec<Row>)>,
-    ) -> impl FnMut(u64, &[Row], Option<Duration>) -> SubmitOutcome + '_ {
-        |slot, rows, _deadline| {
+    ) -> impl FnMut(u64, &[Row], Option<Duration>, &TraceCtx) -> SubmitOutcome + '_ {
+        |slot, rows, _deadline, _trace| {
             replies.push((slot, rows.to_vec()));
             Ok(())
         }
@@ -589,7 +745,7 @@ mod tests {
         let limits = NetLimits::default();
         let mut conn = Connection::new(now());
         conn.push_bytes(&[0x16, 0x03, 0x01], now()); // TLS ClientHello
-        conn.pump(&limits, false, |_, _, _| panic!("must not submit"));
+        conn.pump(&limits, false, |_, _, _, _| panic!("must not submit"));
         assert!(conn.should_close());
         assert!(conn.write_slice().is_empty());
     }
@@ -602,7 +758,7 @@ mod tests {
         encode_request(1, None, &[1], &mut wire);
         wire[5] = 200; // corrupt the version byte
         conn.push_bytes(&wire, now());
-        conn.pump(&limits, false, |_, _, _| panic!("must not submit"));
+        conn.pump(&limits, false, |_, _, _, _| panic!("must not submit"));
         let (resp, _) =
             decode_response(conn.write_slice(), 1 << 20).expect("well-formed").expect("complete");
         assert_eq!(resp.status, 400);
@@ -615,7 +771,7 @@ mod tests {
         let limits = NetLimits::default();
         let mut conn = Connection::new(now());
         conn.push_bytes(&format_predict_request(&[1], None, true), now());
-        conn.pump(&limits, false, |_, _, _| {
+        conn.pump(&limits, false, |_, _, _, _| {
             Err(WireReject::new(WireStatus::overloaded(), "queue full"))
         });
         let out = String::from_utf8_lossy(conn.write_slice()).to_string();
@@ -629,7 +785,7 @@ mod tests {
         let limits = NetLimits::default();
         let mut conn = Connection::new(now());
         conn.push_bytes(&format_predict_request(&[1], None, true), now());
-        conn.pump(&limits, true, |_, _, _| panic!("draining must not submit"));
+        conn.pump(&limits, true, |_, _, _, _| panic!("draining must not submit"));
         let out = String::from_utf8_lossy(conn.write_slice()).to_string();
         assert!(out.starts_with("HTTP/1.1 503 Service Unavailable"), "{out}");
         assert!(!out.contains("Retry-After"), "shutdown is not retryable against this instance");
@@ -690,7 +846,7 @@ mod tests {
         let limits = NetLimits::default();
         let mut conn = Connection::new(now());
         conn.push_bytes(b"GET /metrics HTTP/1.1\r\n\r\n", now());
-        conn.pump(&limits, false, |_, _, _| panic!("must not submit"));
+        conn.pump(&limits, false, |_, _, _, _| panic!("must not submit"));
         let out = String::from_utf8_lossy(conn.write_slice()).to_string();
         assert!(out.starts_with("HTTP/1.1 404 Not Found"), "{out}");
     }
@@ -700,7 +856,7 @@ mod tests {
         let limits = NetLimits::default();
         let mut conn = Connection::new(now());
         conn.push_bytes(b"GET /predict HTTP/1.1\r\n\r\n", now());
-        conn.pump(&limits, false, |_, _, _| panic!("must not submit"));
+        conn.pump(&limits, false, |_, _, _, _| panic!("must not submit"));
         let out = String::from_utf8_lossy(conn.write_slice()).to_string();
         assert!(out.starts_with("HTTP/1.1 405 Method Not Allowed"), "{out}");
     }
@@ -717,10 +873,148 @@ mod tests {
         conn.push_bytes(req.as_bytes(), now());
         conn.push_bytes(body, now());
         let mut deadlines = Vec::new();
-        conn.pump(&limits, false, |_, _, d| {
+        conn.pump(&limits, false, |_, _, d, _| {
             deadlines.push(d);
             Ok(())
         });
         assert_eq!(deadlines, vec![Some(Duration::from_millis(250))]);
+    }
+
+    /// A tracer that retains every completion, for deterministic tests.
+    fn keep_all_tracer() -> Tracer {
+        Tracer::with_config(crossmine_obs::TraceConfig {
+            ring_capacity: 64,
+            window: 64,
+            keep_slowest: 64,
+            slow_threshold: None,
+        })
+    }
+
+    #[test]
+    fn trace_born_on_wire_completes_when_bytes_drain() {
+        use crossmine_obs::TraceId;
+        let limits = NetLimits::default();
+        let tracer = keep_all_tracer();
+        let mut conn = Connection::with_tracer(now(), tracer.clone());
+        let body = b"{\"rows\":[1,2]}";
+        let req = format!(
+            "POST /predict HTTP/1.1\r\nx-request-id: 77\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        conn.push_bytes(req.as_bytes(), now());
+        conn.push_bytes(body, now());
+        let mut seen = Vec::new();
+        let mut trace_ids = Vec::new();
+        conn.pump(&limits, false, |slot, rows, _d, trace| {
+            trace_ids.push(trace.id());
+            seen.push((slot, rows.to_vec()));
+            Ok(())
+        });
+        assert_eq!(trace_ids, vec![TraceId(77)], "X-Request-Id seeds the trace id");
+        conn.complete(seen[0].0, Ok(BatchReply { epoch: 1, labels: vec![0, 1] }));
+        assert!(
+            tracer.find(TraceId(77)).is_none(),
+            "trace must not complete before the reply bytes hit the socket"
+        );
+        let n = conn.write_slice().len();
+        conn.advance_write(n, now());
+        let stored = tracer.find(TraceId(77)).expect("completed once the reply drained");
+        let names: Vec<_> = stored.spans.iter().map(|s| s.name).collect();
+        assert_eq!(names[0], "request", "implicit root first");
+        assert!(names.contains(&"net.sniff"), "{names:?}");
+        assert!(names.contains(&"net.parse"), "{names:?}");
+        assert!(names.contains(&"net.write"), "{names:?}");
+        assert!(!stored.error);
+        let mut fin = Vec::new();
+        conn.drain_finished(&mut fin);
+        assert_eq!(fin.len(), 1);
+        assert_eq!(fin[0].0, 77, "wire latency is attributed to the trace");
+    }
+
+    #[test]
+    fn partial_write_defers_trace_completion_until_last_byte() {
+        use crossmine_obs::TraceId;
+        let limits = NetLimits::default();
+        let tracer = keep_all_tracer();
+        let mut conn = Connection::with_tracer(now(), tracer.clone());
+        let mut wire = Vec::new();
+        encode_request(91, None, &[4], &mut wire);
+        conn.push_bytes(&wire, now());
+        let mut seen = Vec::new();
+        conn.pump(&limits, false, accept_all(&mut seen));
+        conn.complete(seen[0].0, Ok(BatchReply { epoch: 1, labels: vec![1] }));
+        // Drain all but the final byte: still incomplete.
+        let n = conn.write_slice().len();
+        conn.advance_write(n - 1, now());
+        assert!(tracer.find(TraceId(91)).is_none(), "one byte still queued");
+        conn.advance_write(1, now());
+        assert!(tracer.find(TraceId(91)).is_some(), "last byte completes the trace");
+    }
+
+    #[test]
+    fn rejected_request_trace_is_kept_as_error() {
+        use crossmine_obs::TraceId;
+        let limits = NetLimits::default();
+        let tracer = keep_all_tracer();
+        let mut conn = Connection::with_tracer(now(), tracer.clone());
+        let body = b"{\"rows\":[1]}";
+        let req = format!(
+            "POST /predict HTTP/1.1\r\nx-request-id: 55\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        conn.push_bytes(req.as_bytes(), now());
+        conn.push_bytes(body, now());
+        conn.pump(&limits, false, |_, _, _, _| {
+            Err(WireReject::new(WireStatus::overloaded(), "queue full"))
+        });
+        let n = conn.write_slice().len();
+        conn.advance_write(n, now());
+        let stored = tracer.find(TraceId(55)).expect("shed trace retained");
+        assert!(stored.error, "rejection marks the trace as an error");
+    }
+
+    #[test]
+    fn second_keep_alive_request_gets_its_own_complete_trace() {
+        use crossmine_obs::TraceId;
+        let limits = NetLimits::default();
+        let tracer = keep_all_tracer();
+        let mut conn = Connection::with_tracer(now(), tracer.clone());
+        for id in [101u64, 102] {
+            let body = b"{\"rows\":[1]}";
+            let req = format!(
+                "POST /predict HTTP/1.1\r\nx-request-id: {id}\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            );
+            conn.push_bytes(req.as_bytes(), now());
+            conn.push_bytes(body, now());
+            let mut seen = Vec::new();
+            conn.pump(&limits, false, accept_all(&mut seen));
+            conn.complete(seen[0].0, Ok(BatchReply { epoch: 1, labels: vec![0] }));
+            let n = conn.write_slice().len();
+            conn.advance_write(n, now());
+        }
+        for id in [101u64, 102] {
+            let stored = tracer.find(TraceId(id)).expect("both traces retained");
+            let names: Vec<_> = stored.spans.iter().map(|s| s.name).collect();
+            assert!(names.contains(&"net.sniff"), "trace {id} has the full chain: {names:?}");
+            assert!(names.contains(&"net.parse"), "{names:?}");
+            assert!(names.contains(&"net.write"), "{names:?}");
+        }
+    }
+
+    #[test]
+    fn noop_tracer_records_wire_latency_without_ids() {
+        let limits = NetLimits::default();
+        let mut conn = Connection::new(now());
+        conn.push_bytes(&format_predict_request(&[1], None, true), now());
+        let mut seen = Vec::new();
+        conn.pump(&limits, false, accept_all(&mut seen));
+        conn.complete(seen[0].0, Ok(BatchReply { epoch: 1, labels: vec![0] }));
+        let n = conn.write_slice().len();
+        conn.advance_write(n, now());
+        let mut fin = Vec::new();
+        conn.drain_finished(&mut fin);
+        assert_eq!(fin.len(), 1, "wire latency flows even with tracing off");
+        assert_eq!(fin[0].0, 0, "no trace id without a tracer");
     }
 }

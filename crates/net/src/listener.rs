@@ -20,13 +20,13 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossmine_obs::ObsHandle;
+use crossmine_obs::{ObsHandle, TraceCtx, TraceId, Tracer};
 use crossmine_relational::Row;
 
 use crate::conn::{Connection, NetLimits, Protocol, WireReject};
 use crate::metrics::{
     NetCountersSnapshot, NetMetrics, STAGE_ACCEPT_US, STAGE_DECODE_US, STAGE_READ_US,
-    STAGE_WRITE_US,
+    STAGE_REQUEST_US, STAGE_WRITE_US,
 };
 use crate::wire::BatchReply;
 
@@ -39,13 +39,21 @@ pub trait Backend: Send + Sync + 'static {
     type Pending: Send;
 
     /// Admits one batch, or rejects it with a typed wire status
-    /// (e.g. `429` when the queue is full). Must not block.
+    /// (e.g. `429` when the queue is full). Must not block. `trace` is
+    /// the request's trace context (noop when tracing is off); backends
+    /// clone it onto the enqueued work so worker-side spans land in the
+    /// same tree, and mark it on rejection so tail sampling keeps the
+    /// trace.
     ///
     /// # Errors
     ///
     /// A [`WireReject`] carrying the status to answer with.
-    fn submit(&self, rows: &[Row], deadline: Option<Duration>)
-        -> Result<Self::Pending, WireReject>;
+    fn submit(
+        &self,
+        rows: &[Row],
+        deadline: Option<Duration>,
+        trace: &TraceCtx,
+    ) -> Result<Self::Pending, WireReject>;
 
     /// Polls an in-flight batch; `Some` when it finished (either way).
     /// Must not block.
@@ -68,6 +76,10 @@ pub struct NetConfig {
     pub drain_timeout: Duration,
     /// Per-connection parsing and pipelining limits.
     pub limits: NetLimits,
+    /// Births one trace per predict request. The default noop tracer
+    /// keeps the wire path allocation-free; the serve crate installs its
+    /// configured tracer here.
+    pub tracer: Tracer,
 }
 
 impl Default for NetConfig {
@@ -78,6 +90,7 @@ impl Default for NetConfig {
             idle_timeout: Duration::from_secs(60),
             drain_timeout: Duration::from_secs(5),
             limits: NetLimits::default(),
+            tracer: Tracer::noop(),
         }
     }
 }
@@ -200,6 +213,7 @@ fn poll_loop<B: Backend>(
 ) {
     let mut conns: Vec<Option<ConnEntry<B>>> = Vec::new();
     let mut buf = vec![0u8; READ_CHUNK];
+    let mut finished = Vec::new();
     let mut last_publish = Instant::now();
     let mut last_snapshot = NetCountersSnapshot::default();
     let mut drain_deadline: Option<Instant> = None;
@@ -241,10 +255,17 @@ fn poll_loop<B: Backend>(
 
         // 4. Write burst. Reply counts mirror into the metrics *before*
         // the bytes go out: a client that has read a reply must observe
-        // it in the counters, never a sweep later.
+        // it in the counters, never a sweep later. Requests whose last
+        // reply byte just drained feed the wire-latency histogram and
+        // its exemplars in the same sweep.
         for entry in conns.iter_mut().flatten() {
             mirror_reply_counts(entry, &metrics);
             progress |= service_writes(entry, &metrics, &obs, now);
+            entry.conn.drain_finished(&mut finished);
+            for (trace_id, wire_us) in finished.drain(..) {
+                obs.record(STAGE_REQUEST_US, wire_us);
+                metrics.request_exemplars.observe(wire_us, TraceId(trace_id));
+            }
         }
 
         // 5. Reap finished and idle connections.
@@ -285,6 +306,7 @@ fn poll_loop<B: Backend>(
 
         if progress {
             backoff = BUSY_SLEEP;
+            metrics.sweep_backoff_us.store(BUSY_SLEEP.as_micros() as u64, Ordering::Relaxed);
         } else {
             // Adaptive poll cadence: a sweep that moved nothing re-checks
             // quickly at first (a reply lands, or the next keep-alive
@@ -293,6 +315,7 @@ fn poll_loop<B: Backend>(
             // In-flight backend work pins the cadence at the fast end.
             let busy = conns.iter().flatten().any(|e| !e.pendings.is_empty());
             let wait = if busy { BUSY_SLEEP } else { backoff };
+            metrics.sweep_backoff_us.store(wait.as_micros() as u64, Ordering::Relaxed);
             thread::sleep(wait);
             backoff = (backoff * 2).min(IDLE_SLEEP);
         }
@@ -329,7 +352,7 @@ fn accept_burst<B: Backend>(
                 let _ = stream.set_nodelay(true);
                 let entry = ConnEntry {
                     stream,
-                    conn: Connection::new(now),
+                    conn: Connection::with_tracer(now, config.tracer.clone()),
                     pendings: Vec::new(),
                     proto_counted: false,
                     last_encoded: (0, 0),
@@ -366,6 +389,7 @@ fn service_reads<B: Backend>(
         return false;
     }
     let started = Instant::now();
+    let buffered_before = entry.conn.buffered_input_len();
     let mut total = 0usize;
     let mut peer_closed = false;
     let mut broken = false;
@@ -390,15 +414,23 @@ fn service_reads<B: Backend>(
             }
         }
     }
-    if total > 0 {
-        NetMetrics::add(&metrics.bytes_read, total as u64);
-        obs.record(STAGE_READ_US, started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+    // Pump on new bytes, but also on leftover buffered bytes: a request
+    // that arrived while the pipeline was full parses only here, after
+    // backpressure lifted — the client won't send more to trigger it.
+    if total > 0 || buffered_before > 0 {
+        if total > 0 {
+            NetMetrics::add(&metrics.bytes_read, total as u64);
+            obs.record(
+                STAGE_READ_US,
+                started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            );
+        }
         let decode_started = Instant::now();
         let proto = &mut entry.proto_counted;
         let conn = &mut entry.conn;
         let pendings = &mut entry.pendings;
-        conn.pump(&config.limits, draining, |slot, rows, deadline| {
-            match backend.submit(rows, deadline) {
+        conn.pump(&config.limits, draining, |slot, rows, deadline, trace| {
+            match backend.submit(rows, deadline, trace) {
                 Ok(pending) => {
                     pendings.push((slot, pending));
                     Ok(())
@@ -419,7 +451,9 @@ fn service_reads<B: Backend>(
         // The read side is gone for good; stop waiting on anything.
         entry.conn.mark_peer_closed();
     }
-    total > 0 || peer_closed || broken
+    let consumed_buffered =
+        (buffered_before + total).saturating_sub(entry.conn.buffered_input_len());
+    total > 0 || peer_closed || broken || consumed_buffered > 0
 }
 
 fn count_protocol_and_requests(conn: &Connection, counted: &mut bool, metrics: &NetMetrics) {
@@ -532,6 +566,7 @@ mod tests {
             &self,
             rows: &[Row],
             _deadline: Option<Duration>,
+            _trace: &TraceCtx,
         ) -> Result<Self::Pending, WireReject> {
             if let Ok(mut s) = self.submitted.lock() {
                 s.push(rows.len());
@@ -550,7 +585,12 @@ mod tests {
     impl Backend for ShedBackend {
         type Pending = ();
 
-        fn submit(&self, _: &[Row], _: Option<Duration>) -> Result<Self::Pending, WireReject> {
+        fn submit(
+            &self,
+            _: &[Row],
+            _: Option<Duration>,
+            _: &TraceCtx,
+        ) -> Result<Self::Pending, WireReject> {
             Err(WireReject::new(crate::wire::WireStatus::overloaded(), "queue full"))
         }
 
@@ -694,6 +734,51 @@ mod tests {
         assert_eq!(n, 0, "shed connection closes cleanly");
         let m = listener.metrics();
         assert!(NetMetrics::get(&m.accept_shed) >= 1);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn tracing_captures_wire_chain_over_a_real_socket() {
+        use crossmine_obs::TraceConfig;
+        let tracer = Tracer::with_config(TraceConfig {
+            ring_capacity: 64,
+            window: 64,
+            keep_slowest: 64,
+            slow_threshold: None,
+        });
+        let config = NetConfig { tracer: tracer.clone(), ..NetConfig::default() };
+        let (listener, addr) = start_with(config, EchoBackend::new());
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let body = b"{\"rows\":[1,2,3]}";
+        let req = format!(
+            "POST /predict HTTP/1.1\r\nx-request-id: 4242\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        writer.write_all(req.as_bytes()).expect("send head");
+        writer.write_all(body).expect("send body");
+        let (code, _) = read_http_response(&mut reader);
+        assert_eq!(code, 200);
+        // Completion runs on the poll thread just after the reply bytes
+        // were written; give it a moment.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let stored = loop {
+            if let Some(t) = tracer.find(TraceId(4242)) {
+                break t;
+            }
+            assert!(Instant::now() < deadline, "trace 4242 never completed");
+            thread::sleep(Duration::from_millis(5));
+        };
+        let names: Vec<_> = stored.spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"net.sniff"), "{names:?}");
+        assert!(names.contains(&"net.parse"), "{names:?}");
+        assert!(names.contains(&"net.write"), "{names:?}");
+        // The wire-latency exemplar for this request resolves back to it.
+        let m = listener.metrics();
+        let found = m.request_exemplars.nonempty().iter().any(|(_, id)| *id == TraceId(4242));
+        assert!(found, "request exemplar points at the trace");
         listener.shutdown();
     }
 

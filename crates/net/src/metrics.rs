@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use crossmine_obs::ObsHandle;
+use crossmine_obs::{Exemplars, ObsHandle};
 
 /// Relaxed-ordering counters for the hot poll loop, mirrored into the
 /// obs registry for export. Counters are monotonic; gauges are derived
@@ -36,6 +36,13 @@ pub struct NetMetrics {
     pub bytes_read: AtomicU64,
     /// Bytes written to sockets.
     pub bytes_written: AtomicU64,
+    /// Current adaptive sweep backoff of the poll loop, in microseconds.
+    /// Gauge, not counter: exported as `crossmine_net_sweep_backoff_us` so
+    /// the 20µs–1ms idle ramp is visible on /metrics.
+    pub sweep_backoff_us: AtomicU64,
+    /// Most recent `TraceId` per wire-latency log2 bucket. Joined against
+    /// `net.request_us` so a tail bucket resolves to a stored trace.
+    pub request_exemplars: Exemplars,
 }
 
 impl NetMetrics {
@@ -56,21 +63,24 @@ impl NetMetrics {
 
     /// Mirrors every counter into the obs handle (called periodically by
     /// the poll thread; obs counters are set via delta to stay monotonic).
+    /// Deltas are clamped at zero: a counter that moved backwards (reset
+    /// after a listener restart) must not wrap into a huge u64 bump.
     pub fn publish(&self, obs: &ObsHandle, last: &mut NetCountersSnapshot) {
         let cur = self.snapshot();
-        obs.add("net.accepted", cur.accepted - last.accepted);
-        obs.add("net.closed", cur.closed - last.closed);
-        obs.add("net.accept_shed", cur.accept_shed - last.accept_shed);
-        obs.add("net.idle_closed", cur.idle_closed - last.idle_closed);
-        obs.add("net.http_conns", cur.http_conns - last.http_conns);
-        obs.add("net.binary_conns", cur.binary_conns - last.binary_conns);
-        obs.add("net.unknown_conns", cur.unknown_conns - last.unknown_conns);
-        obs.add("net.http_requests", cur.http_requests - last.http_requests);
-        obs.add("net.binary_requests", cur.binary_requests - last.binary_requests);
-        obs.add("net.wire_errors", cur.wire_errors - last.wire_errors);
-        obs.add("net.bytes_read", cur.bytes_read - last.bytes_read);
-        obs.add("net.bytes_written", cur.bytes_written - last.bytes_written);
-        obs.gauge_set("net.open_conns", (cur.accepted - cur.closed) as i64);
+        obs.add("net.accepted", cur.accepted.saturating_sub(last.accepted));
+        obs.add("net.closed", cur.closed.saturating_sub(last.closed));
+        obs.add("net.accept_shed", cur.accept_shed.saturating_sub(last.accept_shed));
+        obs.add("net.idle_closed", cur.idle_closed.saturating_sub(last.idle_closed));
+        obs.add("net.http_conns", cur.http_conns.saturating_sub(last.http_conns));
+        obs.add("net.binary_conns", cur.binary_conns.saturating_sub(last.binary_conns));
+        obs.add("net.unknown_conns", cur.unknown_conns.saturating_sub(last.unknown_conns));
+        obs.add("net.http_requests", cur.http_requests.saturating_sub(last.http_requests));
+        obs.add("net.binary_requests", cur.binary_requests.saturating_sub(last.binary_requests));
+        obs.add("net.wire_errors", cur.wire_errors.saturating_sub(last.wire_errors));
+        obs.add("net.bytes_read", cur.bytes_read.saturating_sub(last.bytes_read));
+        obs.add("net.bytes_written", cur.bytes_written.saturating_sub(last.bytes_written));
+        obs.gauge_set("net.open_conns", cur.accepted.saturating_sub(cur.closed) as i64);
+        obs.gauge_set("net.sweep_backoff_us", Self::get(&self.sweep_backoff_us) as i64);
         *last = cur;
     }
 
@@ -143,6 +153,11 @@ pub const STAGE_READ_US: &str = "net.read_us";
 pub const STAGE_DECODE_US: &str = "net.decode_us";
 /// Time spent in one write readiness burst.
 pub const STAGE_WRITE_US: &str = "net.write_us";
+/// End-to-end wire latency per request: first byte read off the socket to
+/// last reply byte flushed back onto it. Recorded by the listener when a
+/// request's reply bytes drain; joined to traces via
+/// [`NetMetrics::request_exemplars`].
+pub const STAGE_REQUEST_US: &str = "net.request_us";
 
 #[cfg(test)]
 mod tests {
@@ -165,6 +180,38 @@ mod tests {
         assert_eq!(counters.get("net.accepted"), Some(&5));
         assert_eq!(counters.get("net.http_conns"), Some(&1));
         assert_eq!(counters.get("net.closed"), Some(&1));
+    }
+
+    #[test]
+    fn publish_clamps_backward_counters_to_zero() {
+        let obs = ObsHandle::enabled();
+        let m = NetMetrics::default();
+        // Pretend a previous listener instance published larger values:
+        // the fresh metrics struct is "behind" the delta base.
+        let mut last =
+            NetCountersSnapshot { accepted: 10, bytes_read: 1_000, ..Default::default() };
+        NetMetrics::add(&m.accepted, 2);
+        m.publish(&obs, &mut last);
+        let reg = obs.registry().expect("enabled");
+        let counters: std::collections::HashMap<_, _> = reg.counter_values().into_iter().collect();
+        // Raw subtraction would have produced 2u64.wrapping_sub(10) ≈ u64::MAX.
+        assert_eq!(counters.get("net.accepted").copied().unwrap_or(0), 0);
+        assert_eq!(counters.get("net.bytes_read").copied().unwrap_or(0), 0);
+        // open_conns likewise saturates instead of going hugely positive.
+        let gauges: std::collections::HashMap<_, _> = reg.gauge_values().into_iter().collect();
+        assert_eq!(gauges.get("net.open_conns"), Some(&2));
+    }
+
+    #[test]
+    fn sweep_backoff_gauge_is_published() {
+        let obs = ObsHandle::enabled();
+        let m = NetMetrics::default();
+        m.sweep_backoff_us.store(640, Ordering::Relaxed);
+        let mut last = NetCountersSnapshot::default();
+        m.publish(&obs, &mut last);
+        let reg = obs.registry().expect("enabled");
+        let gauges: std::collections::HashMap<_, _> = reg.gauge_values().into_iter().collect();
+        assert_eq!(gauges.get("net.sweep_backoff_us"), Some(&640));
     }
 
     #[test]

@@ -6,10 +6,9 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossmine_net::{
-    format_predict_request, Backend, BatchReply, NetConfig, NetListener, NetMetrics, WireReject,
-};
-use crossmine_obs::ObsHandle;
+use crossmine_net::http::format_predict_request;
+use crossmine_net::{Backend, BatchReply, NetConfig, NetListener, NetMetrics, WireReject};
+use crossmine_obs::{ObsHandle, TraceCtx};
 use crossmine_relational::Row;
 
 struct Echo;
@@ -21,6 +20,7 @@ impl Backend for Echo {
         &self,
         rows: &[Row],
         _deadline: Option<Duration>,
+        _trace: &TraceCtx,
     ) -> Result<Self::Pending, WireReject> {
         Ok(BatchReply { epoch: 1, labels: rows.iter().map(|r| r.0 % 2).collect() })
     }

@@ -128,7 +128,7 @@ proptest! {
         let mut submitted: Vec<u64> = Vec::new();
         for chunk in chunkings(&bytes, &cuts) {
             conn.push_bytes(chunk, now);
-            conn.pump(&limits, draining, |slot, _rows: &[Row], _deadline| -> SubmitOutcome {
+            conn.pump(&limits, draining, |slot, _rows: &[Row], _deadline, _trace| -> SubmitOutcome {
                 if reject {
                     Err(WireReject::new(WireStatus::overloaded(), "full"))
                 } else {
@@ -150,7 +150,7 @@ proptest! {
         for slot in submitted {
             conn.complete(slot, Ok(BatchReply { epoch: 1, labels: vec![0] }));
         }
-        conn.pump(&limits, draining, |_, _, _| Ok(()));
+        conn.pump(&limits, draining, |_, _, _, _| Ok(()));
         while !conn.write_slice().is_empty() {
             let n = conn.write_slice().len();
             conn.advance_write(n, now);

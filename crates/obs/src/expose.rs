@@ -213,6 +213,34 @@ pub fn render_registry(registry: &MetricsRegistry) -> String {
 mod tests {
     use super::*;
 
+    /// Scrape-stability pin: running traced request lifecycles must not
+    /// add, remove, or alter anything in a metrics registry's Prometheus
+    /// exposition — the trace ring, tail sampler, and exemplars live
+    /// entirely outside the registry, so the `/metrics` surface with
+    /// tracing disabled is byte-identical to the pre-trace surface.
+    #[test]
+    fn tracing_activity_never_changes_the_scrape_surface() {
+        use crate::{ObsHandle, TraceConfig, Tracer, ROOT_SPAN};
+        let obs = ObsHandle::enabled();
+        obs.add("serve.requests", 3);
+        obs.record("serve.latency_us", 250);
+        let registry = obs.registry().expect("enabled handle has a registry");
+        let before = render_registry(registry);
+        // A full traced lifecycle: spans, attrs, an error, completion
+        // (which runs the tail sampler), plus a no-op tracer for the
+        // compile-out path.
+        for tracer in [Tracer::with_config(TraceConfig::default()), Tracer::noop()] {
+            let ctx = tracer.start(7);
+            let t = std::time::Instant::now();
+            let s = ctx.add_span("net.parse", ROOT_SPAN, t, t);
+            ctx.add_span_with("serve.eval", s, t, t, &[("rows", 1u64.into())]);
+            ctx.mark_error();
+            let _ = ctx.complete();
+        }
+        let after = render_registry(registry);
+        assert_eq!(before, after, "tracing leaked into the scrape surface");
+    }
+
     #[test]
     fn names_are_sanitized_and_prefixed() {
         assert_eq!(sanitize_name("serve.requests_shed"), "crossmine_serve_requests_shed");

@@ -24,6 +24,12 @@
 //!   [`PromWriter`]): the same registry rendered as `_total` counters,
 //!   gauges, and cumulative `le`-labelled histogram buckets for a
 //!   `GET /metrics` scrape endpoint (wired up by `crossmine-serve`).
+//! * [`tracectx`] — per-request causal tracing: a [`TraceCtx`] born at
+//!   the wire collects a parent-linked span tree across every serving
+//!   layer, a [`Tracer`] tail-samples completed traces (every error plus
+//!   the slowest K per window) into a bounded ring for the `/trace`
+//!   endpoint, and [`Exemplars`] join histogram buckets to stored
+//!   traces.
 //!
 //! ## Cost model
 //!
@@ -56,6 +62,7 @@ pub mod jsonl;
 pub mod metrics;
 pub mod report;
 pub mod trace;
+pub mod tracectx;
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -66,6 +73,10 @@ use trace::{pop_depth, push_depth, EventKind, Recorder, RingSink, Sink};
 pub use expose::{render_registry, PromWriter};
 pub use report::{Report, ServeReport, TrainReport};
 pub use trace::{Event, FieldValue};
+pub use tracectx::{
+    CompletedTrace, Exemplars, SpanId, SpanRec, StoredTrace, TraceConfig, TraceCtx, TraceId,
+    TraceStats, Tracer, ROOT_SPAN,
+};
 
 /// Everything one enabled handle owns; shared by all clones.
 #[derive(Debug)]

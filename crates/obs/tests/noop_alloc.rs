@@ -67,4 +67,26 @@ fn noop_handle_allocates_nothing() {
     }
     let after = alloc_count();
     assert_eq!(after - before, 0, "cloning a no-op handle must not allocate");
+
+    // The trace-context path holds the same contract: a noop Tracer and
+    // the contexts it hands out cost zero allocations per request —
+    // start, span recording, error marking, cloning through the queue,
+    // and completion included. This is the compile-out CI leg's proof
+    // that disabled tracing stays off the allocator entirely.
+    use crossmine_obs::{TraceId, Tracer, ROOT_SPAN};
+    let tracer = Tracer::noop();
+    let t0 = std::time::Instant::now();
+    let before = alloc_count();
+    for i in 0..10_000u64 {
+        let ctx = tracer.start(i);
+        let rider = ctx.clone(); // the copy that rides the admission queue
+        let span = ctx.add_span("net.parse", ROOT_SPAN, t0, t0);
+        ctx.add_span_with("serve.eval", span, t0, t0, &[("rows", i.into())]);
+        rider.mark_error();
+        assert_eq!(rider.id(), TraceId::UNSET);
+        assert!(ctx.complete().is_none());
+        drop(rider);
+    }
+    let after = alloc_count();
+    assert_eq!(after - before, 0, "no-op trace contexts must not allocate");
 }

@@ -15,6 +15,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crossmine_obs::Exemplars;
+
 pub use crossmine_obs::metrics::{bucket_of, bucket_upper_bound, Histogram, NUM_BUCKETS};
 
 /// All serving metrics, shared by every worker of one server.
@@ -34,6 +36,10 @@ pub struct ServeMetrics {
     pub worker_restarts: AtomicU64,
     /// End-to-end request latency (enqueue → reply), microseconds.
     pub latency_us: Histogram,
+    /// Most recent `TraceId` per `latency_us` bucket: the join between
+    /// the latency histogram and the trace ring, so a p99 bucket on a
+    /// dashboard resolves to one retrievable trace via `/trace`.
+    pub latency_exemplars: Exemplars,
     /// Scored batch sizes.
     pub batch_size: Histogram,
     /// Queue depth observed at each admission.
@@ -251,6 +257,58 @@ mod tests {
         assert_eq!(delta.latency_max_us, later.latency_max_us);
         // Mismatched order saturates to zero instead of wrapping.
         assert_eq!(earlier.diff(&later).requests, 0);
+    }
+
+    #[test]
+    fn diff_clamps_counter_resets_to_zero() {
+        // Regression: a counter that moved *backwards* between snapshots
+        // (server restart behind the same scrape identity, registry
+        // hot-swap resetting an aggregate) must clamp to 0, not wrap to
+        // ~u64::MAX — loadgen's second-half diff feeds these numbers
+        // straight into throughput math.
+        let before = ServeMetrics::new();
+        before.requests.fetch_add(1_000, Ordering::Relaxed);
+        before.errors.fetch_add(10, Ordering::Relaxed);
+        before.batches.fetch_add(100, Ordering::Relaxed);
+        before.shed.fetch_add(7, Ordering::Relaxed);
+        before.deadline_expired.fetch_add(3, Ordering::Relaxed);
+        before.worker_restarts.fetch_add(2, Ordering::Relaxed);
+        before.batch_size.record(8);
+        let earlier = before.snapshot(5);
+        // The "later" snapshot comes from a fresh aggregate: every counter
+        // is behind the earlier one.
+        let after = ServeMetrics::new();
+        after.requests.fetch_add(4, Ordering::Relaxed);
+        let later = after.snapshot(0);
+        let delta = later.diff(&earlier);
+        assert_eq!(delta.requests, 0, "reset counters clamp, never wrap");
+        assert_eq!(delta.errors, 0);
+        assert_eq!(delta.batches, 0);
+        assert_eq!(delta.shed, 0);
+        assert_eq!(delta.deadline_expired, 0);
+        assert_eq!(delta.worker_restarts, 0);
+        assert_eq!(delta.swaps, 0);
+        assert!(delta.batch_buckets.is_empty(), "bucket counts clamp too");
+    }
+
+    #[test]
+    fn latency_exemplar_joins_p99_bucket_to_a_trace() {
+        use crossmine_obs::TraceId;
+        let m = ServeMetrics::new();
+        for _ in 0..90 {
+            m.latency_us.record(50);
+            m.latency_exemplars.observe(50, TraceId(1));
+        }
+        for _ in 0..10 {
+            m.latency_us.record(90_000);
+            m.latency_exemplars.observe(90_000, TraceId(42));
+        }
+        let p99 = m.latency_us.quantile(0.99);
+        assert_eq!(
+            m.latency_exemplars.for_value(p99),
+            Some(TraceId(42)),
+            "the p99 bucket's exemplar is the slow trace"
+        );
     }
 
     #[test]

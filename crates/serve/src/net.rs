@@ -19,6 +19,7 @@
 use std::time::Duration;
 
 use crossmine_net::{Backend, BatchReply, WireReject, WireStatus};
+use crossmine_obs::TraceCtx;
 use crossmine_relational::Row;
 
 use crate::error::ServeError;
@@ -74,12 +75,20 @@ impl Backend for ServeBackend {
     /// rejection the already-admitted handles are dropped (the workers
     /// still score them; the replies are discarded and counted under
     /// `serve.errors`) and the whole batch is answered with the
-    /// rejection's wire status.
-    fn submit(&self, rows: &[Row], deadline: Option<Duration>) -> Result<ServePending, WireReject> {
+    /// rejection's wire status. Each row rides under the connection's
+    /// trace context; the connection completes the trace when the reply
+    /// bytes reach the socket, so the workers only add their spans
+    /// (`complete_in_worker = false`).
+    fn submit(
+        &self,
+        rows: &[Row],
+        deadline: Option<Duration>,
+        trace: &TraceCtx,
+    ) -> Result<ServePending, WireReject> {
         let deadline = deadline.map(|d| std::time::Instant::now() + d);
         let mut slots = Vec::with_capacity(rows.len());
         for &row in rows {
-            match self.admitter.admit(row, deadline) {
+            match self.admitter.admit_traced(row, deadline, trace.clone(), false) {
                 Ok(handle) => slots.push(PendingSlot::Waiting(handle)),
                 Err(e) => return Err(reject_for(&e)),
             }

@@ -45,7 +45,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossmine_net::{NetConfig, NetListener, NetMetrics};
-use crossmine_obs::ObsHandle;
+use crossmine_obs::{ObsHandle, TraceCtx, Tracer, ROOT_SPAN};
 use crossmine_relational::{ClassLabel, Database, Row};
 
 use crossmine_core::explain::RowExplanation;
@@ -91,6 +91,17 @@ pub struct ServerConfig {
     /// Bind `addr` to port 0 to let the OS pick; read the actual address
     /// back with [`PredictionServer::net_addr`].
     pub net: Option<NetConfig>,
+    /// Request tracer (default: [`Tracer::noop`], which costs one branch
+    /// per request and zero allocations). An enabled tracer gives every
+    /// request a causal span tree — wire (`net.sniff`/`net.parse`/
+    /// `net.write`) plus `serve.queue_wait`, `serve.batch`, and
+    /// `serve.eval` — tail-sampled into a bounded ring readable from
+    /// `GET /trace`. The slow-request threshold lives on the tracer's
+    /// [`crossmine_obs::TraceConfig`] (`slow_threshold`); build the
+    /// tracer with [`Tracer::with_slow_log`] to also get a JSONL
+    /// slow-request log. The tracer is shared with the wire front end
+    /// unless [`crossmine_net::NetConfig::tracer`] was set explicitly.
+    pub tracer: Tracer,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +115,7 @@ impl Default for ServerConfig {
             chaos: ChaosConfig::default(),
             telemetry_addr: None,
             net: None,
+            tracer: Tracer::noop(),
         }
     }
 }
@@ -197,6 +209,15 @@ struct Request {
     enqueued: Instant,
     deadline: Option<Instant>,
     reply: mpsc::Sender<Result<Prediction, ServeError>>,
+    /// The request's trace context (no-op when tracing is off). Wire
+    /// requests carry the trace the connection opened; in-process
+    /// submissions get one born at admission.
+    trace: TraceCtx,
+    /// Who finishes the trace. In-process requests complete when the
+    /// worker sends the reply; wire requests complete later, when the
+    /// connection's reply bytes reach the socket — the worker only adds
+    /// its spans.
+    complete_in_worker: bool,
 }
 
 struct QueueState {
@@ -229,20 +250,44 @@ pub(crate) struct Admitter {
     shared: Arc<Shared>,
     metrics: Arc<ServeMetrics>,
     obs: ObsHandle,
+    tracer: Tracer,
     queue_capacity: usize,
 }
 
 impl Admitter {
     /// Enqueues one row; never blocks. See [`PredictionServer::submit`]
-    /// for the error contract.
+    /// for the error contract. In-process path: the trace is born here
+    /// and completed by the worker that answers it.
     pub(crate) fn admit(
         &self,
         row: Row,
         deadline: Option<Instant>,
     ) -> Result<PredictionHandle, ServeError> {
+        let trace = self.tracer.start(0);
+        self.admit_traced(row, deadline, trace, true)
+    }
+
+    /// Enqueues one row under an existing trace context. The wire front
+    /// end passes the trace the connection opened (with its `net.sniff` /
+    /// `net.parse` spans already in place) and keeps ownership of
+    /// completion: `complete_in_worker = false` means the worker only
+    /// adds its spans, and the trace finishes when the reply's bytes
+    /// reach the socket.
+    pub(crate) fn admit_traced(
+        &self,
+        row: Row,
+        deadline: Option<Instant>,
+        trace: TraceCtx,
+        complete_in_worker: bool,
+    ) -> Result<PredictionHandle, ServeError> {
         let (tx, rx) = mpsc::channel();
         let mut st = lock_state(&self.shared);
         if st.shutdown {
+            drop(st);
+            trace.mark_error();
+            if complete_in_worker {
+                let _ = trace.complete();
+            }
             return Err(ServeError::ShuttingDown);
         }
         if st.queue.len() >= self.queue_capacity {
@@ -250,9 +295,22 @@ impl Admitter {
             drop(st);
             self.metrics.shed.fetch_add(1, Ordering::Relaxed);
             self.obs.add("serve.requests_shed", 1);
+            // Shed requests are exactly the traces tail sampling must keep:
+            // mark the error before completing so the ring retains them.
+            trace.mark_error();
+            if complete_in_worker {
+                let _ = trace.complete();
+            }
             return Err(ServeError::Overloaded { queue_depth, capacity: self.queue_capacity });
         }
-        st.queue.push_back(Request { row, enqueued: Instant::now(), deadline, reply: tx });
+        st.queue.push_back(Request {
+            row,
+            enqueued: Instant::now(),
+            deadline,
+            reply: tx,
+            trace,
+            complete_in_worker,
+        });
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         self.metrics.queue_depth.record(st.queue.len() as u64);
         drop(st);
@@ -332,6 +390,7 @@ impl PredictionServer {
                     started: Instant::now(),
                     stop: AtomicBool::new(false),
                     net_metrics: net_metrics.clone(),
+                    tracer: config.tracer.clone(),
                 });
                 let handle = TelemetryHandle::start(addr, tshared).map_err(|e| {
                     ServeError::InvalidConfig(format!("cannot bind telemetry_addr {addr}: {e}"))
@@ -354,11 +413,19 @@ impl PredictionServer {
             shared: Arc::clone(&shared),
             metrics: Arc::clone(&metrics),
             obs: config.obs.clone(),
+            tracer: config.tracer.clone(),
             queue_capacity: config.queue_capacity,
         };
         let net = match (&config.net, net_metrics) {
             (Some(net_config), Some(net_metrics)) => {
                 let backend = Arc::new(ServeBackend::new(admitter.clone()));
+                // The wire front end shares the server's tracer so one
+                // trace covers conn-sniff through reply-write; an
+                // explicitly-set `NetConfig::tracer` wins.
+                let mut net_config = net_config.clone();
+                if !net_config.tracer.is_enabled() {
+                    net_config.tracer = config.tracer.clone();
+                }
                 let listener = NetListener::start(
                     net_config.clone(),
                     backend,
@@ -627,13 +694,22 @@ fn worker_loop(
         }
 
         // Expire requests whose deadline passed while they queued: they are
-        // answered (drain guarantee) but not scored.
-        let now = Instant::now();
+        // answered (drain guarantee) but not scored. `collected` is also
+        // where every surviving request's `serve.queue_wait` span ends.
+        let collected = Instant::now();
+        let now = collected;
         batch.retain(|req| match req.deadline {
             Some(d) if now >= d => {
                 metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
                 config.obs.add("serve.deadline_exceeded", 1);
                 let waited = now.duration_since(req.enqueued);
+                if req.trace.is_active() {
+                    req.trace.add_span("serve.queue_wait", ROOT_SPAN, req.enqueued, now);
+                }
+                req.trace.mark_error();
+                if req.complete_in_worker {
+                    let _ = req.trace.complete();
+                }
                 let _ = req.reply.send(Err(ServeError::DeadlineExceeded { waited }));
                 false
             }
@@ -646,11 +722,19 @@ fn worker_loop(
         // One registry snapshot scores the whole batch: no torn reads, and
         // a concurrent install affects only later batches.
         let snap = registry.snapshot();
-        if let Some(h) = &queue_wait_us {
-            // Queue wait ends here: the batch is collected and about to
-            // score; the remaining latency is evaluation + reply delivery.
-            for req in &batch {
+        // Queue wait ends here: the batch is collected and about to score;
+        // the remaining latency is evaluation + reply delivery. Spans are
+        // stamped once per distinct trace: the N rows of one wire batch
+        // share the connection's trace and would otherwise each add an
+        // identical copy.
+        let mut stamped: Vec<&TraceCtx> = Vec::new();
+        for req in &batch {
+            if let Some(h) = &queue_wait_us {
                 h.record(req.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            }
+            if req.trace.is_active() && !stamped.iter().any(|t| t.same_trace(&req.trace)) {
+                req.trace.add_span("serve.queue_wait", ROOT_SPAN, req.enqueued, collected);
+                stamped.push(&req.trace);
             }
         }
         rows.extend(batch.iter().map(|r| r.row));
@@ -677,24 +761,52 @@ fn worker_loop(
         // The scoring region: the one place arbitrary model/data bugs (and
         // injected chaos panics) can fire. A panic here must cost exactly
         // one batch, not the server.
+        let eval_start = Instant::now();
         let scored = catch_unwind(AssertUnwindSafe(|| {
             if let Some(ChaosAction::Panic) = chaos {
                 panic!("chaos: injected worker panic");
             }
             evaluate_batch(&snap.plan, db, &rows, &mut scratch)
         }));
+        let eval_end = Instant::now();
         match scored {
             Ok(labels) => {
-                metrics.batches.fetch_add(1, Ordering::Relaxed);
-                metrics.batch_size.record(batch.len() as u64);
+                // `seq` links the N request traces this batch scored: each
+                // trace carries its own `serve.batch` span, but they share
+                // the sequence number and size.
+                let seq = metrics.batches.fetch_add(1, Ordering::Relaxed);
+                let size = batch.len() as u64;
+                metrics.batch_size.record(size);
+                // Same once-per-distinct-trace discipline as queue_wait:
+                // one `serve.batch` + `serve.eval` pair per trace per
+                // micro-batch (a wire trace split across micro-batches
+                // legitimately gets one pair from each).
+                let mut stamped: Vec<&TraceCtx> = Vec::new();
+                for req in &batch {
+                    if req.trace.is_active() && !stamped.iter().any(|t| t.same_trace(&req.trace)) {
+                        let bspan = req.trace.add_span_with(
+                            "serve.batch",
+                            ROOT_SPAN,
+                            collected,
+                            eval_end,
+                            &[("seq", seq.into()), ("size", size.into())],
+                        );
+                        req.trace.add_span("serve.eval", bspan, eval_start, eval_end);
+                        stamped.push(&req.trace);
+                    }
+                }
                 for (req, label) in batch.drain(..).zip(labels) {
                     let latency =
                         req.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                     metrics.latency_us.record(latency);
+                    metrics.latency_exemplars.observe(latency, req.trace.id());
                     let sent =
                         req.reply.send(Ok(Prediction { row: req.row, label, epoch: snap.epoch }));
                     if sent.is_err() {
                         metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if req.complete_in_worker {
+                        let _ = req.trace.complete();
                     }
                 }
             }
@@ -704,6 +816,10 @@ fn worker_loop(
                 metrics.worker_restarts.fetch_add(1, Ordering::Relaxed);
                 config.obs.add("serve.worker_restarts", 1);
                 for req in batch.drain(..) {
+                    req.trace.mark_error();
+                    if req.complete_in_worker {
+                        let _ = req.trace.complete();
+                    }
                     let _ = req.reply.send(Err(ServeError::WorkerPanicked));
                     metrics.errors.fetch_add(1, Ordering::Relaxed);
                 }

@@ -43,10 +43,16 @@ use std::time::{Duration, Instant};
 
 use crossmine_net::http::{parse_request, write_response, HttpLimits};
 use crossmine_net::NetMetrics;
-use crossmine_obs::{ObsHandle, PromWriter};
+use crossmine_obs::{ObsHandle, PromWriter, Tracer};
 
 use crate::metrics::ServeMetrics;
 use crate::registry::ModelRegistry;
+
+/// Most traces one `/trace` (or `/trace/chrome`) response renders. The
+/// ring is bounded anyway ([`crossmine_obs::TraceConfig::ring_capacity`],
+/// default 256); this just caps the response body independently of how
+/// large an operator configured the ring.
+const TRACE_RENDER_LIMIT: usize = 256;
 
 /// Compile-time build metadata exposed through `/buildinfo` and the
 /// `crossmine_buildinfo` info metric.
@@ -123,6 +129,11 @@ pub(crate) struct TelemetryShared {
     ///
     /// [`ServerConfig::net`]: crate::server::ServerConfig::net
     pub(crate) net_metrics: Option<Arc<NetMetrics>>,
+    /// The server's tracer; backs `GET /trace` (JSONL), `/trace/chrome`
+    /// (Chrome trace-event JSON), and `/trace/exemplars`. A no-op tracer
+    /// makes those routes answer 404 and leaves `/metrics` byte-identical
+    /// to the tracing-free surface.
+    pub(crate) tracer: Tracer,
 }
 
 impl TelemetryShared {
@@ -216,7 +227,15 @@ impl TelemetryShared {
             w.write_gauge(
                 "net.open_conns",
                 "currently open connections",
-                (n.accepted - n.closed) as i64,
+                // Saturating: the two counters are loaded separately, so a
+                // connection closing between the loads could make closed
+                // momentarily exceed accepted.
+                n.accepted.saturating_sub(n.closed) as i64,
+            );
+            w.write_gauge(
+                "net.sweep_backoff_us",
+                "current adaptive sweep backoff of the net poll loop",
+                net.sweep_backoff_us.load(Ordering::Relaxed) as i64,
             );
         }
         let uptime = self.uptime_seconds();
@@ -257,10 +276,45 @@ impl TelemetryShared {
                     "net.bytes_read",
                     "net.bytes_written",
                     "net.open_conns",
+                    "net.sweep_backoff_us",
                 ],
             );
         }
         w.finish()
+    }
+
+    /// Renders `GET /trace`: the tail-sampled trace ring as JSONL, newest
+    /// first, one complete span tree per line.
+    fn render_trace_jsonl(&self) -> String {
+        let mut out = Vec::new();
+        // Writing into a Vec<u8> cannot fail.
+        let _ = self.tracer.write_recent_jsonl(TRACE_RENDER_LIMIT, &mut out);
+        String::from_utf8(out).unwrap_or_default()
+    }
+
+    /// Renders `GET /trace/exemplars`: the histogram-bucket → `TraceId`
+    /// joins for `serve.latency_us` and (when the wire front end runs)
+    /// `net.request_us`, as JSON. `le` is the bucket's inclusive upper
+    /// bound in microseconds; resolve a `trace_id` via `/trace`.
+    fn render_exemplars(&self) -> String {
+        fn write_set(out: &mut String, name: &str, pairs: &[(u64, crossmine_obs::TraceId)]) {
+            out.push_str(&format!("\"{name}\":["));
+            for (i, (le, id)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"le\":{},\"trace_id\":{}}}", le, id.0));
+            }
+            out.push(']');
+        }
+        let mut out = String::from("{");
+        write_set(&mut out, "serve_latency_us", &self.metrics.latency_exemplars.nonempty());
+        if let Some(net) = &self.net_metrics {
+            out.push(',');
+            write_set(&mut out, "net_request_us", &net.request_exemplars.nonempty());
+        }
+        out.push_str("}\n");
+        out
     }
 
     fn render_buildinfo(&self) -> String {
@@ -386,7 +440,26 @@ fn handle_connection(mut stream: TcpStream, shared: &TelemetryShared, prev_degra
                 (health.http_status(), "text/plain", format!("{}\n", health.as_str()))
             }
             "/buildinfo" => (200, "application/json", shared.render_buildinfo()),
-            _ => (404, "text/plain", "not found (try /metrics, /healthz, /buildinfo)\n".into()),
+            "/trace" if shared.tracer.is_enabled() => {
+                (200, "application/x-ndjson", shared.render_trace_jsonl())
+            }
+            "/trace/chrome" if shared.tracer.is_enabled() => {
+                (200, "application/json", shared.tracer.render_chrome(TRACE_RENDER_LIMIT))
+            }
+            "/trace/exemplars" if shared.tracer.is_enabled() => {
+                (200, "application/json", shared.render_exemplars())
+            }
+            // Tracing off: the routes exist but answer 404, so a scraper
+            // probing them cannot tell the surface apart from a build
+            // without tracing at all.
+            "/trace" | "/trace/chrome" | "/trace/exemplars" => {
+                (404, "text/plain", "tracing disabled\n".into())
+            }
+            _ => (
+                404,
+                "text/plain",
+                "not found (try /metrics, /healthz, /buildinfo, /trace)\n".into(),
+            ),
         }
     };
     let reason = match status {
