@@ -53,6 +53,23 @@
 //! full provenance (fired clauses, matched literals, prop-path lengths)
 //! for the first N rows as JSONL after the run.
 //!
+//! `--shards N` replaces the single server with a `ShardRouter` over N
+//! shared-nothing shards and turns the run into the mutable-database
+//! acceptance drill: phase one drives the base snapshot, then a delta
+//! (fresh-keyed clones of live target rows plus a cell patch) is
+//! broadcast to every shard and parity-proven against a from-scratch
+//! evaluation of the materialized merge, and phase two drives the merged
+//! database — over real TCP with `--net` — while the model is hot-swapped
+//! shard-by-shard (`rolling_install`) once between phases and once
+//! mid-stream under live traffic. Passes iff every reply matched, nothing
+//! was lost, every shard finished at epoch 2, and traffic actually spread
+//! across the shards:
+//!
+//! ```text
+//! cargo run --release -p crossmine-bench --bin loadgen -- \
+//!     --smoke --shards 4 --net 127.0.0.1:0
+//! ```
+//!
 //! `--trace` attaches an enabled request tracer (default tail-sampling
 //! config: 256-trace ring, slowest 8 per 128-completion window, every
 //! error kept). After the run it prints the sampler stats and one
@@ -72,10 +89,10 @@ use crossmine_bench::net_client::{NetClient, NetProto};
 use crossmine_bench::serve_client::submit_with_retry;
 use crossmine_core::{CrossMine, CrossMineParams};
 use crossmine_obs::{ObsHandle, ServeReport, TrainReport};
-use crossmine_relational::{ClassLabel, Database, Row};
+use crossmine_relational::{AttrId, ClassLabel, Database, DeltaBatch, Row, Value};
 use crossmine_serve::{
-    predict_disk, ChaosConfig, CompiledPlan, ModelRegistry, NetConfig, PredictionServer,
-    ServerConfig, Tracer,
+    evaluate_batch, predict_disk, ChaosConfig, CompiledPlan, ModelRegistry, NetConfig,
+    PredictionServer, ServeRequest, ServeScratch, ServerConfig, ShardRouter, Tracer,
 };
 use crossmine_storage::DiskDatabase;
 use crossmine_synth::{generate, GenParams};
@@ -98,6 +115,7 @@ struct Args {
     conns: usize,
     net_proto: NetProtoArg,
     trace: bool,
+    shards: usize,
 }
 
 /// `--net-proto`: which protocol the wire clients speak.
@@ -130,6 +148,7 @@ impl Default for Args {
             conns: 0,
             net_proto: NetProtoArg::Both,
             trace: false,
+            shards: 1,
         }
     }
 }
@@ -181,6 +200,7 @@ fn parse_args() -> Args {
             }
             "--conns" => args.conns = take(&mut i) as usize,
             "--trace" => args.trace = true,
+            "--shards" => args.shards = take(&mut i) as usize,
             "--net-proto" => {
                 i += 1;
                 args.net_proto = match argv.get(i).map(String::as_str) {
@@ -259,34 +279,40 @@ fn main() {
     }
 
     let db = Arc::new(db);
-    let registry = Arc::new(ModelRegistry::new(plan.clone()));
     // `--trace`: the default tail-sampling config (256-trace ring, every
     // error kept, slowest 8 per 128-completion window).
     let tracer = if args.trace { Tracer::enabled() } else { Tracer::noop() };
-    let server = PredictionServer::start(
-        Arc::clone(&db),
-        Arc::clone(&registry),
-        ServerConfig {
-            workers: args.workers,
-            max_batch: args.max_batch,
-            max_wait: Duration::from_micros(args.wait_us),
-            // Tiny under chaos so worker stalls actually fill it and force
-            // sheds; big enough otherwise that the healthy path never
-            // rejects.
-            queue_capacity: if args.chaos { 2 } else { 1024 },
-            obs: serve_obs.clone(),
-            chaos: if args.chaos { ChaosConfig::standard() } else { ChaosConfig::off() },
-            telemetry_addr: args.prom.as_ref().map(|a| {
-                a.parse().unwrap_or_else(|e| die(&format!("--prom: invalid address {a:?}: {e}")))
-            }),
-            net: args
-                .net
-                .as_ref()
-                .map(|addr| NetConfig { addr: addr.clone(), ..Default::default() }),
-            tracer: tracer.clone(),
-        },
-    )
-    .unwrap_or_else(|e| die(&format!("server failed to start: {e}")));
+
+    // `--shards`: the whole run moves behind a ShardRouter — two phases
+    // around a mid-run delta broadcast, two rolling installs.
+    if args.shards != 1 {
+        run_sharded(&args, db, &rows, &expected, &plan, &train_obs, &serve_obs, tracer);
+        return;
+    }
+
+    let registry = Arc::new(ModelRegistry::new(plan.clone()));
+    let mut config_builder = ServerConfig::builder()
+        .workers(args.workers)
+        .max_batch(args.max_batch)
+        .max_wait(Duration::from_micros(args.wait_us))
+        // Tiny under chaos so worker stalls actually fill it and force
+        // sheds; big enough otherwise that the healthy path never rejects.
+        .queue_capacity(if args.chaos { 2 } else { 1024 })
+        .obs(serve_obs.clone())
+        .chaos(if args.chaos { ChaosConfig::standard() } else { ChaosConfig::off() })
+        .tracer(tracer.clone());
+    if let Some(a) = &args.prom {
+        config_builder = config_builder.telemetry_addr(
+            a.parse().unwrap_or_else(|e| die(&format!("--prom: invalid address {a:?}: {e}"))),
+        );
+    }
+    if let Some(addr) = &args.net {
+        config_builder = config_builder.net(NetConfig { addr: addr.clone(), ..Default::default() });
+    }
+    let config =
+        config_builder.build().unwrap_or_else(|e| die(&format!("invalid server config: {e}")));
+    let server = PredictionServer::start(Arc::clone(&db), Arc::clone(&registry), config)
+        .unwrap_or_else(|e| die(&format!("server failed to start: {e}")));
     if args.prom.is_some() {
         let addr = server.telemetry_addr().expect("--prom was given, so telemetry is on");
         println!("telemetry live at http://{addr} (/metrics /healthz /buildinfo)");
@@ -584,6 +610,434 @@ fn main() {
     }
 }
 
+/// The `--shards N` run: the same parity-or-die discipline as the
+/// single-server path, but against a [`ShardRouter`] over N
+/// shared-nothing shards with the mutable-database story exercised
+/// mid-run. Phase 1 drives the base snapshot; between phases a delta is
+/// broadcast to every shard, every merged row is parity-checked against
+/// a from-scratch evaluation of the materialized merge, and the model
+/// is rolled shard-by-shard; phase 2 drives the merged database (over
+/// real TCP with `--net`) with a second roll injected under live
+/// traffic.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded(
+    args: &Args,
+    db: Arc<Database>,
+    rows: &[Row],
+    expected: &[ClassLabel],
+    plan: &CompiledPlan,
+    train_obs: &ObsHandle,
+    serve_obs: &ObsHandle,
+    tracer: Tracer,
+) {
+    if args.trace && args.net.is_none() {
+        die("--trace with --shards needs --net (wire requests own their traces)");
+    }
+    let mut builder = ServerConfig::builder()
+        .workers(args.workers)
+        .max_batch(args.max_batch)
+        .max_wait(Duration::from_micros(args.wait_us))
+        // Small under chaos (per shard) so stalls force sheds; roomy
+        // otherwise so the healthy path never rejects.
+        .queue_capacity(if args.chaos { 4 } else { 1024 })
+        .obs(serve_obs.clone())
+        .chaos(if args.chaos { ChaosConfig::standard() } else { ChaosConfig::off() })
+        .tracer(tracer.clone())
+        .shards(args.shards);
+    if let Some(a) = &args.prom {
+        builder = builder.telemetry_addr(
+            a.parse().unwrap_or_else(|e| die(&format!("--prom: invalid address {a:?}: {e}"))),
+        );
+    }
+    if let Some(addr) = &args.net {
+        builder = builder.net(NetConfig { addr: addr.clone(), ..Default::default() });
+    }
+    let config = builder.build().unwrap_or_else(|e| die(&format!("invalid server config: {e}")));
+    let router = ShardRouter::start(Arc::clone(&db), plan, config)
+        .unwrap_or_else(|e| die(&format!("shard router failed to start: {e}")));
+    println!(
+        "sharded serving: {} shards x {} workers, max_batch {}, max_wait {}us",
+        args.shards, args.workers, args.max_batch, args.wait_us
+    );
+    if let Some(addr) = router.telemetry_addr() {
+        println!("telemetry live at http://{addr} (/metrics /healthz /buildinfo)");
+    }
+    if args.chaos {
+        println!("chaos mode: stalls, worker panics, oversized batches on every shard");
+        // Injected panics are expected by the hundreds; silence their
+        // default printout so real panics stay visible in the output.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected =
+                info.payload().downcast_ref::<&str>().is_some_and(|s| s.starts_with("chaos:"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    }
+
+    let mismatches = AtomicU64::new(0);
+    let retried = AtomicU64::new(0);
+    let chaos = args.chaos;
+    let bench_start = Instant::now();
+
+    // Phase 1: in-process clients over the base snapshot.
+    let clients = args.clients.max(1);
+    let per_client = (args.requests / 2).max(1).div_ceil(clients);
+    let phase1 = per_client * clients;
+    let answered1 = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let router = &router;
+            let mismatches = &mismatches;
+            let retried = &retried;
+            let answered1 = &answered1;
+            scope.spawn(move || {
+                for k in 0..per_client {
+                    let i = (c * per_client + k) % rows.len();
+                    let p = sharded_request(router, rows[i], k, chaos, retried);
+                    answered1.fetch_add(1, Ordering::Relaxed);
+                    if p.label != expected[i] {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    // Between phases: mutate the database. A delta the synth schema
+    // itself dictates — fresh-keyed clones of live target rows plus one
+    // cell patch — broadcast to every shard in lockstep...
+    let batch = build_delta(&db, rows);
+    let delta_stats = router
+        .apply_delta(&batch)
+        .unwrap_or_else(|e| die(&format!("delta broadcast rejected: {e}")));
+    let mut merged = (*db).clone();
+    merged
+        .apply_delta(&batch)
+        .unwrap_or_else(|e| die(&format!("materialized merge failed: {e:?}")));
+    let merged_rows: Vec<Row> = (0..merged.num_targets() as u32).map(Row).collect();
+    let expected_merged = evaluate_batch(plan, &merged, &merged_rows, &mut ServeScratch::new());
+    println!(
+        "delta applied on all {} shards: +{} rows, {} cells patched ({} -> {} target rows)",
+        args.shards,
+        delta_stats.inserted_rows,
+        delta_stats.updated_cells,
+        rows.len(),
+        merged_rows.len(),
+    );
+    // ...and parity-proven: every merged row — old rows whose labels may
+    // have shifted through join paths, and the appended rows — must
+    // answer exactly what a from-scratch evaluation of the materialized
+    // merge says.
+    for (i, &row) in merged_rows.iter().enumerate() {
+        let p = sharded_request(&router, row, 1, chaos, &retried);
+        if p.label != expected_merged[i] {
+            die(&format!("post-delta parity: row {} diverged from the materialized merge", row.0));
+        }
+    }
+    println!("post-delta parity OK: {} rows against the materialized merge", merged_rows.len());
+    // First hot swap, shard by shard, between phases.
+    let epochs = router.rolling_install(plan);
+    if epochs.iter().any(|&e| e != 1) {
+        die(&format!("first rolling install left uneven epochs {epochs:?}"));
+    }
+    // `--prom`: scrape mid-run — the per-shard series must be live.
+    if let Some(addr) = router.telemetry_addr() {
+        let body = http_get(addr, "/metrics");
+        if !body.contains("crossmine_shard_count") {
+            die("scraped /metrics is missing crossmine_shard_count");
+        }
+        for k in 0..args.shards {
+            if !body.contains(&format!("crossmine_shard_{k}_requests_total")) {
+                die(&format!("scraped /metrics is missing shard {k}'s series"));
+            }
+        }
+        println!("mid-run /metrics scrape: per-shard series live for all {} shards", args.shards);
+    }
+
+    // Phase 2: the merged database, over the wire when --net is given,
+    // with the second rolling install injected mid-stream.
+    let wire_addr = args.net.as_ref().map(|_| {
+        let addr = router.net_addr().expect("--net was given, so the wire front end is on");
+        println!("wire front end live at {addr} (all {} shards behind one port)", args.shards);
+        addr
+    });
+    let conns = if args.conns > 0 {
+        args.conns
+    } else if args.smoke {
+        8
+    } else {
+        200
+    };
+    let units = if wire_addr.is_some() { conns } else { clients };
+    let per_unit = (args.requests - args.requests / 2).max(1).div_ceil(units);
+    let phase2 = per_unit * units;
+    let answered2 = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        if let Some(addr) = wire_addr {
+            for c in 0..conns {
+                let proto = match args.net_proto {
+                    NetProtoArg::Http => NetProto::Http,
+                    NetProtoArg::Binary => NetProto::Binary,
+                    NetProtoArg::Both => {
+                        if c % 2 == 0 {
+                            NetProto::Http
+                        } else {
+                            NetProto::Binary
+                        }
+                    }
+                };
+                let merged_rows = &merged_rows;
+                let expected_merged = &expected_merged;
+                let mismatches = &mismatches;
+                let answered2 = &answered2;
+                let retried = &retried;
+                scope.spawn(move || {
+                    wire_client(
+                        addr,
+                        proto,
+                        c,
+                        per_unit,
+                        merged_rows,
+                        expected_merged,
+                        chaos,
+                        answered2,
+                        mismatches,
+                        retried,
+                    );
+                });
+            }
+        } else {
+            for c in 0..clients {
+                let router = &router;
+                let merged_rows = &merged_rows;
+                let expected_merged = &expected_merged;
+                let mismatches = &mismatches;
+                let answered2 = &answered2;
+                let retried = &retried;
+                scope.spawn(move || {
+                    for k in 0..per_unit {
+                        let i = (c * per_unit + k) % merged_rows.len();
+                        let p = sharded_request(router, merged_rows[i], k, chaos, retried);
+                        answered2.fetch_add(1, Ordering::Relaxed);
+                        if p.label != expected_merged[i] {
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        }
+        // The second roll happens under live traffic: replies must keep
+        // flowing while the shards swap one by one.
+        let router = &router;
+        let answered2 = &answered2;
+        let half = (phase2 / 2) as u64;
+        scope.spawn(move || {
+            while answered2.load(Ordering::Relaxed) < half {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            let epochs = router.rolling_install(plan);
+            if epochs.iter().any(|&e| e != 2) {
+                die(&format!("second rolling install left uneven epochs {epochs:?}"));
+            }
+        });
+    });
+    let elapsed = bench_start.elapsed();
+
+    if args.explain > 0 {
+        let n = args.explain.min(merged_rows.len());
+        println!();
+        println!("provenance for the first {n} merged rows (JSONL):");
+        for &row in &merged_rows[..n] {
+            match router.predict_explained(row) {
+                Ok(p) => println!("{}", p.explanation.to_json()),
+                Err(e) => die(&format!("--explain failed on row {}: {e}", row.0)),
+            }
+        }
+    }
+    if args.trace {
+        if let Some(addr) = router.telemetry_addr() {
+            let body = http_get(addr, "/trace");
+            println!();
+            println!(
+                "GET /trace: {} sampled traces ({} bytes JSONL)",
+                body.lines().filter(|l| !l.is_empty()).count(),
+                body.len()
+            );
+        }
+    }
+
+    let wire_stats = router.net_metrics().map(|m| m.snapshot());
+    let stats = router.shutdown();
+    let total = phase1 + merged_rows.len() + phase2;
+    println!();
+    println!(
+        "{} requests in {:?}  ({:.0} req/s) across {} shards",
+        total,
+        elapsed,
+        total as f64 / elapsed.as_secs_f64(),
+        args.shards
+    );
+    let per_shard: Vec<String> = stats
+        .shards
+        .iter()
+        .map(|s| format!("shard {}: {} reqs, epoch {}", s.shard, s.snapshot.requests, s.epoch))
+        .collect();
+    println!("{}", per_shard.join("  |  "));
+    if let Some(s) = &wire_stats {
+        println!(
+            "wire: {} conns accepted ({} http, {} binary), {} http + {} binary requests, \
+             {} wire errors, {} B in, {} B out",
+            s.accepted,
+            s.http_conns,
+            s.binary_conns,
+            s.http_requests,
+            s.binary_requests,
+            s.wire_errors,
+            s.bytes_read,
+            s.bytes_written
+        );
+    }
+    println!();
+
+    if args.trace {
+        let tstats = tracer.stats();
+        println!(
+            "tracing: {} completed, {} sampled, {} dropped by tail sampling",
+            tstats.completed, tstats.sampled, tstats.dropped
+        );
+        let chain = [
+            "net.sniff",
+            "net.parse",
+            "serve.queue_wait",
+            "serve.batch",
+            "serve.eval",
+            "net.write",
+        ];
+        let complete = tracer
+            .recent(256)
+            .into_iter()
+            .find(|t| chain.iter().all(|stage| t.spans.iter().any(|s| s.name == *stage)));
+        match complete {
+            Some(t) => {
+                println!("complete causal chain: {}", chain.join(" -> "));
+                println!("{}", t.render_jsonl());
+            }
+            None => die("--trace: no sampled trace contains the complete causal chain"),
+        }
+        println!();
+    }
+    if args.report {
+        println!("{}", TrainReport::from_handle(train_obs));
+        println!("{}", ServeReport::from_handle(serve_obs));
+    }
+    if let Some(path) = &args.jsonl {
+        export_jsonl(path, train_obs, serve_obs);
+        println!("obs metrics exported to {path}");
+    }
+
+    let lost = (phase1 as u64 - answered1.load(Ordering::Relaxed))
+        + (phase2 as u64 - answered2.load(Ordering::Relaxed));
+    let bad = mismatches.load(Ordering::Relaxed);
+    if bad > 0 || lost > 0 {
+        die(&format!("FAILED sharded: {bad} mismatches, {lost} lost"));
+    }
+    if (stats.min_epoch(), stats.max_epoch()) != (2, 2) {
+        die(&format!(
+            "FAILED sharded: shards finished at uneven epochs {:?}",
+            router_epochs(&stats)
+        ));
+    }
+    let busy = stats.shards.iter().filter(|s| s.snapshot.requests > 0).count();
+    if busy < 2 {
+        die("FAILED sharded: routing never spread traffic across shards");
+    }
+    if chaos && stats.total_worker_restarts() == 0 {
+        die("FAILED sharded: no worker panic was injected under chaos — harness inert");
+    }
+    let degraded = retried.load(Ordering::Relaxed);
+    println!(
+        "OK sharded: {total} predictions matched across {} shards ({phase1} base + {} \
+         merged-parity + {phase2} post-delta), 2 rolling swaps, {degraded} degraded attempts, \
+         zero lost",
+        args.shards,
+        merged_rows.len()
+    );
+}
+
+/// The per-shard epochs out of a final [`crossmine_serve::RouterStats`],
+/// for the failure message.
+fn router_epochs(stats: &crossmine_serve::RouterStats) -> Vec<u64> {
+    stats.shards.iter().map(|s| s.epoch).collect()
+}
+
+/// One in-process request against the router, retried through every
+/// retryable degradation exactly like the single-server chaos client;
+/// under `--chaos` every fourth first attempt carries a tight deadline.
+/// Outside chaos any error is fatal — the healthy sharded path, like the
+/// healthy single-server path, must never degrade.
+fn sharded_request(
+    router: &ShardRouter,
+    row: Row,
+    k: usize,
+    chaos: bool,
+    retried: &AtomicU64,
+) -> crossmine_serve::Prediction {
+    const MAX_ATTEMPTS: usize = 1000;
+    for attempt in 0..MAX_ATTEMPTS {
+        let req = if chaos && attempt == 0 && k.is_multiple_of(4) {
+            ServeRequest::row(row).deadline(Duration::from_micros(300))
+        } else {
+            ServeRequest::row(row)
+        };
+        let outcome = router
+            .serve(req)
+            .map(|mut handles| handles.pop().expect("one row in, one handle out"))
+            .and_then(|h| h.wait());
+        match outcome {
+            Ok(p) => return p,
+            Err(e) if chaos && e.is_retryable() => {
+                retried.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(100 * (attempt as u64 + 1)));
+            }
+            Err(e) => die(&format!("sharded request failed: {e}")),
+        }
+    }
+    die("request starved: not answered within the sharded retry budget")
+}
+
+/// A delta the schema itself dictates: clones of existing target rows
+/// under fresh primary keys (labels copied from the source rows, FKs and
+/// categoricals preserved so every reference stays valid) plus one
+/// same-value cell patch on the first non-key attribute, so both the
+/// insert and update paths run whatever `GenParams` produced.
+fn build_delta(db: &Database, rows: &[Row]) -> DeltaBatch {
+    let target = db.target().unwrap();
+    let rel = db.relation(target);
+    let labels = db.labels();
+    let max_key = rel
+        .iter_rows()
+        .filter_map(|r| rel.tuple(r).first().and_then(Value::as_key))
+        .max()
+        .unwrap_or(0);
+    let mut batch = DeltaBatch::new();
+    let n = (rows.len() / 10).clamp(1, 32);
+    for i in 0..n {
+        let src = rows[(i * 7) % rows.len()];
+        let mut tuple = rel.tuple(src);
+        tuple[0] = Value::Key(max_key + 1 + i as u64);
+        batch.insert_labeled(target, tuple, labels[src.0 as usize]);
+    }
+    // Rewrite a non-key cell to its current value: the update machinery
+    // runs on every shard without changing any label.
+    let tuple = rel.tuple(rows[0]);
+    if let Some((j, v)) = tuple.iter().enumerate().skip(1).find(|(_, v)| v.as_key().is_none()) {
+        batch.update(target, rows[0], AttrId(j), *v);
+    }
+    batch
+}
+
 /// Rows per wire request: big enough that batch decode matters, small
 /// enough that hundreds of pipelined connections don't dwarf the queue.
 const WIRE_BATCH_ROWS: usize = 8;
@@ -694,7 +1148,9 @@ fn chaos_request(
     const MAX_ATTEMPTS: usize = 1000;
     for attempt in 0..MAX_ATTEMPTS {
         let submitted = if attempt == 0 && k.is_multiple_of(4) {
-            server.submit_with_deadline(row, Duration::from_micros(300))
+            server
+                .serve(ServeRequest::row(row).deadline(Duration::from_micros(300)))
+                .map(|mut handles| handles.pop().expect("one row in, one handle out"))
         } else {
             submit_with_retry(server, row, 100)
         };

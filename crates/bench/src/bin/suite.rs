@@ -15,7 +15,11 @@
 //!
 //! `--check FILE` exits non-zero when any benchmark's fresh median
 //! exceeds `baseline × 1.15 + 3 × MAD` — more than 15 % slower and
-//! outside the baseline's noise band. When the baseline was recorded on
+//! outside the baseline's noise band — **in two independent runs**: a
+//! benchmark that regresses is re-measured in isolation, and only a
+//! repeat offense fails the gate. A transient scheduler stall during one
+//! measurement and a real regression are indistinguishable in a single
+//! run; only the regression reproduces. When the baseline was recorded on
 //! a different kind of machine (fingerprint mismatch) regressions are
 //! printed as warnings and the gate passes: absolute times don't
 //! transfer across hardware. `--smoke` skips the expensive fit so CI can
@@ -107,9 +111,34 @@ fn main() {
         println!("gate against {path}:");
         print!("{}", outcome.render());
         if outcome.failed() {
-            eprintln!("suite: regression gate FAILED");
-            std::process::exit(1);
+            // One bad measurement doesn't distinguish a scheduler stall
+            // from a real slowdown — but only the slowdown repeats.
+            // Re-measure each regressed benchmark in isolation and fail
+            // on repeat offenders only.
+            let names: Vec<String> = outcome.regressions().map(|c| c.name.clone()).collect();
+            println!(
+                "re-measuring {} regressed benchmark(s) to rule out transient noise",
+                names.len()
+            );
+            let mut confirmed = Vec::new();
+            for name in &names {
+                let retry_config = SuiteConfig { only: Some(name.clone()), ..args.config.clone() };
+                let retry = run_suite(&retry_config, |line| println!("  retry {line}"));
+                let retry_outcome = check(&baseline, &retry);
+                if retry_outcome.regressions().any(|c| &c.name == name) {
+                    confirmed.push(name.clone());
+                }
+            }
+            if !confirmed.is_empty() {
+                for name in &confirmed {
+                    eprintln!("suite: {name} regressed in two independent runs");
+                }
+                eprintln!("suite: regression gate FAILED");
+                std::process::exit(1);
+            }
+            println!("regression gate passed (initial regressions did not reproduce)");
+        } else {
+            println!("regression gate passed");
         }
-        println!("regression gate passed");
     }
 }

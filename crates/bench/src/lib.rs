@@ -351,14 +351,20 @@ pub mod serve_client {
         }
     }
 
-    /// [`PredictionServer::submit`] with shed-aware retry: re-submits on
-    /// `Overloaded` (backing off each time) up to `max_retries` times.
+    /// Single-row admission ([`crossmine_serve::ServeRequest`]) with
+    /// shed-aware retry: re-submits on `Overloaded` (backing off each
+    /// time) up to `max_retries` times.
     pub fn submit_with_retry(
         server: &PredictionServer,
         row: Row,
         max_retries: usize,
     ) -> Result<PredictionHandle, ServeError> {
-        retry_with_backoff(|| server.submit(row), max_retries, Duration::from_micros(50))
+        use crossmine_serve::ServeRequest;
+        retry_with_backoff(
+            || server.serve(ServeRequest::row(row)).map(|mut h| h.pop().expect("one handle")),
+            max_retries,
+            Duration::from_micros(50),
+        )
     }
 }
 

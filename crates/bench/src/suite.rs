@@ -13,7 +13,10 @@
 //! > a benchmark **regresses** when
 //! > `new_median > baseline_median × 1.15 + 3 × baseline_MAD`
 //!
-//! i.e. more than 15 % slower *and* outside three noise bands. Only names
+//! i.e. more than 15 % slower *and* outside three noise bands. Tail
+//! quantiles (`_p99` benchmarks) widen the band to at least
+//! [`TAIL_NOISE_FLOOR`] of the median, because a pin taken on a quiet
+//! machine records far less jitter than tails actually have. Only names
 //! present in both reports are compared, so a smoke run (which skips the
 //! expensive fit) still gates against a full baseline. When the machine
 //! fingerprint differs, regressions are downgraded to warnings — absolute
@@ -30,7 +33,7 @@ use crossmine_core::CrossMine;
 use crossmine_relational::{Database, Row};
 use crossmine_serve::{
     evaluate_batch, ChaosConfig, CompiledPlan, ModelRegistry, NetConfig, PredictionServer,
-    ServeScratch, ServerConfig,
+    ServeScratch, ServerConfig, ShardRouter,
 };
 use crossmine_synth::{generate, GenParams};
 
@@ -45,6 +48,21 @@ pub const SCHEMA_VERSION: u64 = 1;
 pub const REGRESSION_FACTOR: f64 = 1.15;
 /// How many baseline MADs of slack the gate grants on top of the factor.
 pub const NOISE_BANDS: f64 = 3.0;
+/// Noise floor for tail-quantile benchmarks, as a fraction of the
+/// baseline median. A smoke-run p99 is roughly the third-slowest of a few
+/// hundred requests: one scheduler preemption on a small box moves it
+/// 30–40% between otherwise identical runs, while a quiet pinning run can
+/// record a MAD under 3% of the median. Gating tails against the raw
+/// pinned MAD therefore turns jitter into failures; `_p99` benchmarks
+/// instead use `max(MAD, TAIL_NOISE_FLOOR × median)` as their band, which
+/// still catches any sustained ~1.6x tail regression.
+pub const TAIL_NOISE_FLOOR: f64 = 0.15;
+
+/// Whether a benchmark name denotes a tail quantile (`_p99`), and so
+/// gates with the widened [`TAIL_NOISE_FLOOR`] band.
+fn is_tail_bench(name: &str) -> bool {
+    name.contains("_p99")
+}
 
 /// Knobs of one suite run.
 #[derive(Debug, Clone)]
@@ -401,7 +419,10 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
             let server = PredictionServer::start(
                 Arc::clone(&db),
                 registry,
-                ServerConfig { chaos: config.chaos.clone(), ..ServerConfig::default() },
+                ServerConfig::builder()
+                    .chaos(config.chaos.clone())
+                    .build()
+                    .expect("default server config is valid"),
             )
             .expect("default server config is valid");
             // Warm the fresh server (thread spin-up, first-batch plan
@@ -467,11 +488,11 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
             let server = PredictionServer::start(
                 Arc::clone(&db),
                 registry,
-                ServerConfig {
-                    chaos: config.chaos.clone(),
-                    net: Some(NetConfig::default()),
-                    ..ServerConfig::default()
-                },
+                ServerConfig::builder()
+                    .chaos(config.chaos.clone())
+                    .net(NetConfig::default())
+                    .build()
+                    .expect("default server config with net is valid"),
             )
             .expect("default server config with net is valid");
             let addr = server.net_addr().expect("net was configured");
@@ -517,6 +538,67 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
         }
     }
 
+    // -- Shard: router predict latency across shard counts ----------------
+    // The same one-row predict as `serve.latency_*`, but through a
+    // ShardRouter — S1 prices the routing layer itself against the single
+    // server, S2/S4 price the shared-nothing scatter. One serial client,
+    // so these measure per-request latency, not parallel throughput.
+    for shards in [1usize, 2, 4] {
+        let p50_name = format!("shard.latency_p50.S{shards}");
+        let p99_name = format!("shard.latency_p99.S{shards}");
+        let want_p50 = wants(config, &p50_name);
+        let want_p99 = wants(config, &p99_name);
+        if !want_p50 && !want_p99 {
+            continue;
+        }
+        let mut p50_runs = Vec::with_capacity(config.samples);
+        let mut p99_runs = Vec::with_capacity(config.samples);
+        for _ in 0..config.samples {
+            let router = ShardRouter::start(
+                Arc::clone(&db),
+                &plan,
+                ServerConfig::builder()
+                    .chaos(config.chaos.clone())
+                    .shards(shards)
+                    .build()
+                    .expect("default sharded config is valid"),
+            )
+            .expect("default sharded config is valid");
+            // Warm every shard's workers before measuring.
+            for i in 0..(config.serve_requests / 10).clamp(8, 64) {
+                let row = rows[i % rows.len()];
+                router.predict(row).expect("shard bench warmup runs clean");
+            }
+            let mut latencies_us = Vec::with_capacity(config.serve_requests);
+            for i in 0..config.serve_requests {
+                let row = rows[i % rows.len()];
+                let start = Instant::now();
+                router.predict(row).expect("shard bench runs clean");
+                latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+            }
+            router.shutdown();
+            latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let q = |f: f64| {
+                let idx = ((latencies_us.len() - 1) as f64 * f).round() as usize;
+                latencies_us[idx]
+            };
+            p50_runs.push(q(0.50));
+            p99_runs.push(q(0.99));
+        }
+        for (want, name, runs) in [(want_p50, &p50_name, p50_runs), (want_p99, &p99_name, p99_runs)]
+        {
+            if !want {
+                continue;
+            }
+            let sample = sample_from(name, "us", runs);
+            progress(&format!(
+                "{:<32} median {:.1} us (mad {:.1})",
+                sample.name, sample.median, sample.mad
+            ));
+            results.push(sample);
+        }
+    }
+
     BenchReport {
         schema_version: SCHEMA_VERSION,
         fingerprint: Fingerprint::current(),
@@ -529,9 +611,11 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
 /// Gate a fresh report against a committed baseline.
 ///
 /// Compares the intersection of benchmark names; each fails when
-/// `new_median > base_median × 1.15 + 3 × base_MAD`. A fingerprint
-/// mismatch keeps the comparisons but [`GateOutcome::failed`] stays
-/// `false` — foreign absolute times only warn.
+/// `new_median > base_median × 1.15 + 3 × band`, where `band` is the
+/// baseline MAD — widened to [`TAIL_NOISE_FLOOR`] × median for `_p99`
+/// benchmarks, whose order-statistic jitter a quiet pin underestimates. A
+/// fingerprint mismatch keeps the comparisons but [`GateOutcome::failed`]
+/// stays `false` — foreign absolute times only warn.
 pub fn check(baseline: &BenchReport, current: &BenchReport) -> GateOutcome {
     let fingerprint_match = baseline.fingerprint == current.fingerprint;
     let mut comparisons = Vec::new();
@@ -540,7 +624,12 @@ pub fn check(baseline: &BenchReport, current: &BenchReport) -> GateOutcome {
         match current.results.iter().find(|s| s.name == base.name) {
             None => missing.push(base.name.clone()),
             Some(cur) => {
-                let threshold = base.median * REGRESSION_FACTOR + NOISE_BANDS * base.mad;
+                let band = if is_tail_bench(&base.name) {
+                    base.mad.max(TAIL_NOISE_FLOOR * base.median)
+                } else {
+                    base.mad
+                };
+                let threshold = base.median * REGRESSION_FACTOR + NOISE_BANDS * band;
                 let ratio =
                     if base.median > 0.0 { cur.median / base.median } else { f64::INFINITY };
                 comparisons.push(Comparison {
@@ -741,6 +830,31 @@ mod tests {
         let outcome = check(&base, &fail);
         assert!(outcome.failed());
         assert_eq!(outcome.regressions().count(), 1);
+    }
+
+    #[test]
+    fn tail_benches_gate_with_the_noise_floor() {
+        // A p99 pinned with an unrealistically tight MAD: the floor is
+        // 15% of the median, so the band is 3 × 90 on a 600 base →
+        // threshold 600*1.15 + 270 = 960. A 35%-slower tail (jitter on a
+        // small box) passes; the same ratio on a non-tail name fails.
+        let base = report_with(vec![
+            bench("serve.latency_p99", 600.0, 5.0),
+            bench("serve.latency_p50", 600.0, 5.0),
+        ]);
+        let current = report_with(vec![
+            bench("serve.latency_p99", 810.0, 0.0),
+            bench("serve.latency_p50", 810.0, 0.0),
+        ]);
+        let outcome = check(&base, &current);
+        let regressed: Vec<_> = outcome.regressions().map(|c| c.name.as_str()).collect();
+        assert_eq!(regressed, vec!["serve.latency_p50"], "only the median bench trips");
+        // A sustained 2x tail regression still blows past the widened band.
+        let doubled = report_with(vec![
+            bench("serve.latency_p99", 1200.0, 0.0),
+            bench("serve.latency_p50", 600.0, 0.0),
+        ]);
+        assert!(check(&base, &doubled).regressions().any(|c| c.name == "serve.latency_p99"));
     }
 
     #[test]

@@ -135,6 +135,17 @@ pub enum DataError {
         /// Labels supplied.
         labels: usize,
     },
+    /// A delta tried to overwrite a key column (primary or foreign key).
+    /// Key columns define tuple identity and join structure; rewriting one
+    /// in place would silently re-link propagation paths, so deltas must
+    /// express that as delete+insert instead (which the delta layer does
+    /// not support — keys are immutable once written).
+    KeyColumnUpdate {
+        /// The relation holding the key column.
+        relation: String,
+        /// The key attribute the update targeted.
+        attribute: String,
+    },
     /// CSV parsing / serialization failure, with the file and line (1-based)
     /// when known.
     Csv {
@@ -168,6 +179,9 @@ impl fmt::Display for DataError {
             DataError::EmptyTrainingSet => write!(f, "training set is empty"),
             DataError::MissingLabels { rows, labels } => {
                 write!(f, "target relation has {rows} rows but {labels} labels")
+            }
+            DataError::KeyColumnUpdate { relation, attribute } => {
+                write!(f, "cannot update key column `{relation}.{attribute}`: keys are immutable")
             }
             DataError::Csv { file, line, reason } => match line {
                 Some(l) => write!(f, "csv error in {file} line {l}: {reason}"),

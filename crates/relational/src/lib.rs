@@ -40,6 +40,7 @@
 pub mod builder;
 pub mod csv;
 pub mod database;
+pub mod delta;
 pub mod display;
 pub mod error;
 pub mod fixtures;
@@ -54,6 +55,7 @@ pub mod value;
 pub use builder::DatabaseBuilder;
 pub use csv::LoadOptions;
 pub use database::Database;
+pub use delta::{DeltaBatch, DeltaOp, DeltaOverlay};
 pub use error::{DataError, RelationalError, Result, SchemaError};
 pub use index::{KeyIndex, SortedIndex};
 pub use joins::{JoinEdge, JoinGraph, JoinKind};

@@ -55,6 +55,13 @@ pub enum ServeError {
     ///
     /// [`ServerConfig`]: crate::server::ServerConfig
     InvalidConfig(String),
+    /// A [`DeltaBatch`](crossmine_relational::DeltaBatch) handed to
+    /// [`apply_delta`](crate::server::PredictionServer::apply_delta) failed
+    /// validation (dangling foreign key, duplicate primary key, key-column
+    /// update, label mismatch, ...). The delta was rejected atomically: the
+    /// overlay the workers score against is unchanged. The payload is the
+    /// rendered [`RelationalError`](crossmine_relational::RelationalError).
+    InvalidDelta(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -71,6 +78,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "scoring worker panicked; batch answered with error and worker restarted")
             }
             ServeError::InvalidConfig(reason) => write!(f, "invalid server config: {reason}"),
+            ServeError::InvalidDelta(reason) => write!(f, "invalid delta batch: {reason}"),
         }
     }
 }
@@ -79,8 +87,9 @@ impl std::error::Error for ServeError {}
 
 impl ServeError {
     /// Whether a client retry (with backoff) can plausibly succeed.
-    /// `Overloaded` and `DeadlineExceeded` are transient; `ShuttingDown`
-    /// and `InvalidConfig` are not. `WorkerPanicked` is retryable: the
+    /// `Overloaded` and `DeadlineExceeded` are transient; `ShuttingDown`,
+    /// `InvalidConfig`, and `InvalidDelta` are not (resubmitting the same
+    /// bad delta cannot succeed). `WorkerPanicked` is retryable: the
     /// worker restarts and a model swap may have fixed the cause.
     pub fn is_retryable(&self) -> bool {
         matches!(
@@ -105,6 +114,9 @@ mod tests {
             .to_string()
             .contains("deadline exceeded"));
         assert!(ServeError::InvalidConfig("workers = 0".into()).to_string().contains("workers"));
+        assert!(ServeError::InvalidDelta("dangling foreign key".into())
+            .to_string()
+            .contains("invalid delta batch"));
     }
 
     #[test]
@@ -114,5 +126,6 @@ mod tests {
         assert!(ServeError::WorkerPanicked.is_retryable());
         assert!(!ServeError::ShuttingDown.is_retryable());
         assert!(!ServeError::InvalidConfig("x".into()).is_retryable());
+        assert!(!ServeError::InvalidDelta("x".into()).is_retryable());
     }
 }

@@ -39,6 +39,21 @@
 //!   onto the same admission path as in-process submitters, with the
 //!   [`ServeError`] taxonomy pinned onto typed wire statuses
 //!   ([`wire_status_for`]).
+//! * [`request`] — the unified submission surface: one
+//!   [`ServeRequest`] builder (rows, deadline, trace, shard hint)
+//!   replaces the per-combination `submit*` methods.
+//! * [`overlay`] — **incremental serving for mutable databases**: a
+//!   validated [`DeltaBatch`](crossmine_relational::DeltaBatch) installs
+//!   a side-CSR overlay merged during propagation
+//!   ([`PredictionServer::apply_delta`]), byte-identical to rebuilding
+//!   the database with the delta materialized — no recompile, no copy.
+//! * [`shard`] — **sharded, shared-nothing serving**: a [`ShardRouter`]
+//!   hash-partitions the target relation across N full server shards,
+//!   each with its own queue, workers, overlay slot, and registry slot,
+//!   enabling zero-downtime *rolling* model installs
+//!   ([`ShardRouter::rolling_install`]).
+//!
+//! [`PredictionServer::apply_delta`]: server::PredictionServer::apply_delta
 //!
 //! ```
 //! use std::sync::Arc;
@@ -74,9 +89,12 @@ pub mod eval;
 pub mod eval_disk;
 pub mod metrics;
 pub mod net;
+pub mod overlay;
 pub mod plan;
 pub mod registry;
+pub mod request;
 pub mod server;
+pub mod shard;
 pub mod telemetry;
 
 pub use chaos::{ChaosAction, ChaosConfig};
@@ -90,11 +108,15 @@ pub use eval::{evaluate_batch, evaluate_batch_traced, ServeScratch};
 pub use eval_disk::predict_disk;
 pub use metrics::{Histogram, MetricsSnapshot, ServeMetrics};
 pub use net::{wire_status_for, ServeBackend};
+pub use overlay::{evaluate_batch_overlay, evaluate_batch_overlay_traced, OverlayScratch};
 #[allow(deprecated)]
 pub use plan::CompileError;
 pub use plan::{CompiledClause, CompiledPlan, PlanError, PlanStats};
 pub use registry::{ModelRegistry, ModelSnapshot};
+pub use request::ServeRequest;
 pub use server::{
-    ExplainedPrediction, Prediction, PredictionHandle, PredictionServer, ServerConfig,
+    DeltaStats, ExplainedPrediction, Prediction, PredictionHandle, PredictionServer, ServerConfig,
+    ServerConfigBuilder, MAX_SHARDS,
 };
+pub use shard::{shard_of_row, RouterStats, ShardConfig, ShardRouter, ShardStats};
 pub use telemetry::{BuildInfo, HealthState};

@@ -11,6 +11,7 @@
 //! | `WorkerPanicked`       | 500         | yes            |
 //! | `ShuttingDown`         | 503         | no             |
 //! | `InvalidConfig`        | 500         | no             |
+//! | `InvalidDelta`         | 400         | no             |
 //!
 //! The invariant the table encodes: **a retry hint is present exactly
 //! when [`ServeError::is_retryable`] is true**. Malformed requests never
@@ -34,10 +35,14 @@ pub fn wire_status_for(e: &ServeError) -> WireStatus {
         ServeError::WorkerPanicked => WireStatus::internal_retryable(),
         ServeError::ShuttingDown => WireStatus::shutting_down(),
         ServeError::InvalidConfig(_) => WireStatus::internal(),
+        // A rejected delta is the caller's data being wrong, not the
+        // server degrading: it maps to the same non-retryable 400 the net
+        // layer uses for malformed requests.
+        ServeError::InvalidDelta(_) => WireStatus::bad_request(),
     }
 }
 
-fn reject_for(e: &ServeError) -> WireReject {
+pub(crate) fn reject_for(e: &ServeError) -> WireReject {
     WireReject::new(wire_status_for(e), e.to_string())
 }
 
@@ -52,6 +57,53 @@ enum PendingSlot {
 /// incrementally by the poll thread.
 pub struct ServePending {
     slots: Vec<PendingSlot>,
+}
+
+impl ServePending {
+    /// A pending batch from already-admitted handles, in request order.
+    /// Shared by [`ServeBackend`] and the shard router's backend, which
+    /// admit through different paths but resolve identically.
+    pub(crate) fn from_handles(handles: Vec<PredictionHandle>) -> Self {
+        ServePending { slots: handles.into_iter().map(PendingSlot::Waiting).collect() }
+    }
+}
+
+/// Drains whatever replies have arrived; `Some` once every row is
+/// resolved. A batch with any failed row answers with the first failure
+/// (request order), matching the all-or-nothing submit. This is the one
+/// copy of the resolution state machine — both wire backends (single
+/// server and shard router) call it.
+pub(crate) fn poll_pending(pending: &mut ServePending) -> Option<Result<BatchReply, WireReject>> {
+    let slots = &mut pending.slots;
+    let mut all_done = true;
+    for slot in slots.iter_mut() {
+        if let PendingSlot::Waiting(handle) = slot {
+            match handle.try_wait() {
+                Some(Ok(p)) => *slot = PendingSlot::Ready(p),
+                Some(Err(e)) => *slot = PendingSlot::Failed(e),
+                None => all_done = false,
+            }
+        }
+    }
+    if !all_done {
+        return None;
+    }
+    let mut labels = Vec::with_capacity(slots.len());
+    let mut epoch = 0u64;
+    for slot in slots.iter() {
+        match slot {
+            PendingSlot::Ready(p) => {
+                labels.push(p.label.0);
+                // Rows of one wire batch can straddle a hot swap when
+                // they land in different worker micro-batches; report
+                // the newest epoch involved.
+                epoch = epoch.max(p.epoch);
+            }
+            PendingSlot::Failed(e) => return Some(Err(reject_for(e))),
+            PendingSlot::Waiting(_) => return None,
+        }
+    }
+    Some(Ok(BatchReply { epoch, labels }))
 }
 
 /// [`Backend`] over the server's admission queue. Rows of one wire batch
@@ -96,40 +148,9 @@ impl Backend for ServeBackend {
         Ok(ServePending { slots })
     }
 
-    /// Drains whatever replies have arrived; `Some` once every row is
-    /// resolved. A batch with any failed row answers with the first
-    /// failure (request order), matching the all-or-nothing submit.
+    /// Resolution is shared with the shard router: see [`poll_pending`].
     fn poll(&self, pending: &mut ServePending) -> Option<Result<BatchReply, WireReject>> {
-        let slots = &mut pending.slots;
-        let mut all_done = true;
-        for slot in slots.iter_mut() {
-            if let PendingSlot::Waiting(handle) = slot {
-                match handle.try_wait() {
-                    Some(Ok(p)) => *slot = PendingSlot::Ready(p),
-                    Some(Err(e)) => *slot = PendingSlot::Failed(e),
-                    None => all_done = false,
-                }
-            }
-        }
-        if !all_done {
-            return None;
-        }
-        let mut labels = Vec::with_capacity(slots.len());
-        let mut epoch = 0u64;
-        for slot in slots.iter() {
-            match slot {
-                PendingSlot::Ready(p) => {
-                    labels.push(p.label.0);
-                    // Rows of one wire batch can straddle a hot swap when
-                    // they land in different worker micro-batches; report
-                    // the newest epoch involved.
-                    epoch = epoch.max(p.epoch);
-                }
-                PendingSlot::Failed(e) => return Some(Err(reject_for(e))),
-                PendingSlot::Waiting(_) => return None,
-            }
-        }
-        Some(Ok(BatchReply { epoch, labels }))
+        poll_pending(pending)
     }
 }
 
@@ -149,6 +170,7 @@ mod tests {
             (ServeError::WorkerPanicked, 500, true),
             (ServeError::ShuttingDown, 503, false),
             (ServeError::InvalidConfig("bad".into()), 500, false),
+            (ServeError::InvalidDelta("dangling fk".into()), 400, false),
         ];
         for (err, code, retryable) in table {
             let status = wire_status_for(&err);

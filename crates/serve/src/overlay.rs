@@ -1,0 +1,668 @@
+//! Delta-overlay evaluation: scoring a [`CompiledPlan`] against a base
+//! [`Database`] snapshot plus a validated [`DeltaOverlay`] — **without
+//! recompiling the plan or copying the base**.
+//!
+//! The overlay's appended rows ride a small side-CSR: propagation counts
+//! and fills target-ID ranges for base rows through the base's lazy key
+//! indexes and for tail rows through the overlay's tail-key map, then
+//! sorts + deduplicates each row's range exactly like
+//! [`PropagationScratch`](crossmine_core::PropagationScratch). Because
+//! that final pass canonicalizes every idset, the merged evaluation is
+//! **byte-identical** to materializing the delta
+//! ([`Database::apply_delta`]) and running [`evaluate_batch`] — including
+//! float summation order inside aggregation literals, which both paths
+//! perform in ascending merged-row order. The serve crate's parity tests
+//! (`overlay_parity.rs`) pin this equivalence with golden cases and a
+//! proptest over random delta batches.
+//!
+//! The mirroring is deliberate: `ClauseState` and the propagation scratch
+//! in `crossmine-core` are hard-wired to `&Database`, and the learner's
+//! hot path must not grow an indirection for a serving-only feature. The
+//! structures here reuse core's public types ([`Annotation`], [`AnnView`],
+//! [`IdSet`], [`TargetSet`], [`Stamp`], [`AggStats`]) and re-implement
+//! only the private traversal loops against the merged view.
+//!
+//! [`evaluate_batch`]: crate::eval::evaluate_batch
+//! [`Database::apply_delta`]: crossmine_relational::Database::apply_delta
+
+use crossmine_core::explain::{ClauseFire, LiteralMatch, RowExplanation};
+use crossmine_core::idset::{Stamp, TargetSet};
+use crossmine_core::literal::{ComplexLiteral, Constraint, ConstraintKind};
+use crossmine_core::propagation::{AggStats, AnnView, Annotation, PropStats};
+use crossmine_obs::ObsHandle;
+use crossmine_relational::{
+    AttrId, ClassLabel, Database, DeltaOverlay, JoinEdge, RelId, Row, Value,
+};
+
+use crate::plan::{CompiledClause, CompiledPlan};
+
+/// The merged read view: base snapshot + validated overlay. Copyable so
+/// the mirrored traversals can pass it by value like `&Database`.
+#[derive(Clone, Copy)]
+struct OverlayDb<'a> {
+    base: &'a Database,
+    delta: &'a DeltaOverlay,
+}
+
+impl<'a> OverlayDb<'a> {
+    #[inline]
+    fn num_rows(&self, rel: RelId) -> usize {
+        self.delta.num_rows(self.base, rel)
+    }
+
+    #[inline]
+    fn value(&self, rel: RelId, row: Row, attr: AttrId) -> Value {
+        self.delta.value(self.base, rel, row, attr)
+    }
+
+    #[inline]
+    fn for_each_key_row(&self, rel: RelId, attr: AttrId, key: u64, f: impl FnMut(Row)) {
+        self.delta.for_each_key_row(self.base, rel, attr, key, f);
+    }
+}
+
+/// Mirror of [`PropagationScratch`](crossmine_core::PropagationScratch)
+/// over the merged view: the same three CSR passes (count, fill,
+/// sort+dedup-compact), with tail rows contributing through the overlay's
+/// key map instead of the base index.
+#[derive(Debug, Default)]
+struct OverlayPropScratch {
+    offsets: Vec<u32>,
+    ids: Vec<u32>,
+    cursors: Vec<u32>,
+    stats: PropStats,
+}
+
+impl OverlayPropScratch {
+    fn propagate_from(&mut self, ov: OverlayDb<'_>, from: AnnView<'_>, edge: &JoinEdge) {
+        let to_len = ov.num_rows(edge.to);
+        debug_assert_eq!(from.num_rows(), ov.num_rows(edge.from));
+        let self_join = edge.from == edge.to && edge.from_attr == edge.to_attr;
+        let caps = (self.offsets.capacity(), self.ids.capacity(), self.cursors.capacity());
+
+        // Pass 1: count ids landing on every receiving tuple.
+        self.cursors.clear();
+        self.cursors.resize(to_len, 0);
+        for i in 0..from.num_rows() {
+            let set_len = from.ids(i).len() as u32;
+            if set_len == 0 {
+                continue;
+            }
+            let key = match ov.value(edge.from, Row(i as u32), edge.from_attr) {
+                Value::Key(k) => k,
+                _ => continue,
+            };
+            ov.for_each_key_row(edge.to, edge.to_attr, key, |to_row| {
+                if self_join && to_row.0 as usize == i {
+                    return;
+                }
+                self.cursors[to_row.0 as usize] += set_len;
+            });
+        }
+
+        // Prefix sums: offsets[r] = start of row r's range.
+        self.offsets.clear();
+        self.offsets.reserve(to_len + 1);
+        let mut total = 0u32;
+        self.offsets.push(0);
+        for r in 0..to_len {
+            total += self.cursors[r];
+            self.offsets.push(total);
+        }
+
+        // Pass 2: fill, reusing `cursors` as per-row write positions.
+        self.cursors.copy_from_slice(&self.offsets[..to_len]);
+        self.ids.clear();
+        self.ids.resize(total as usize, 0);
+        for i in 0..from.num_rows() {
+            let set = from.ids(i);
+            if set.is_empty() {
+                continue;
+            }
+            let key = match ov.value(edge.from, Row(i as u32), edge.from_attr) {
+                Value::Key(k) => k,
+                _ => continue,
+            };
+            let (ids, cursors) = (&mut self.ids, &mut self.cursors);
+            ov.for_each_key_row(edge.to, edge.to_attr, key, |to_row| {
+                let r = to_row.0 as usize;
+                if self_join && r == i {
+                    return;
+                }
+                let cur = cursors[r] as usize;
+                ids[cur..cur + set.len()].copy_from_slice(set);
+                cursors[r] += set.len() as u32;
+            });
+        }
+
+        // Pass 3: sort + dedup each row's range in place, compacting the
+        // flat buffer front-to-back. This canonicalizes every idset, which
+        // is what makes base-then-tail join order immaterial.
+        let mut write = 0usize;
+        let mut read_start = 0usize;
+        for r in 0..to_len {
+            let read_end = self.offsets[r + 1] as usize;
+            self.offsets[r] = write as u32;
+            if read_start < read_end {
+                self.ids[read_start..read_end].sort_unstable();
+                let mut prev = u32::MAX;
+                for i in read_start..read_end {
+                    let v = self.ids[i];
+                    if v != prev || (i == read_start && v == u32::MAX) {
+                        self.ids[write] = v;
+                        write += 1;
+                        prev = v;
+                    }
+                }
+            }
+            read_start = read_end;
+        }
+        self.offsets[to_len] = write as u32;
+        self.ids.truncate(write);
+
+        self.stats.passes += 1;
+        self.stats.ids_propagated += total as u64;
+        if caps == (self.offsets.capacity(), self.ids.capacity(), self.cursors.capacity()) {
+            self.stats.capacity_hits += 1;
+        }
+    }
+
+    fn view(&self) -> AnnView<'_> {
+        AnnView::Csr { offsets: &self.offsets, ids: &self.ids }
+    }
+
+    fn to_annotation(&self) -> Annotation {
+        Annotation::from_csr(&self.offsets, &self.ids)
+    }
+
+    fn take_stats(&mut self) -> PropStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+/// Mirror of [`PathScratch`](crossmine_core::PathScratch): two overlay
+/// scratches ping-ponged across a multi-edge prop-path.
+#[derive(Debug, Default)]
+struct OverlayPathScratch {
+    ping: OverlayPropScratch,
+    pong: OverlayPropScratch,
+}
+
+impl OverlayPathScratch {
+    fn propagate_path(
+        &mut self,
+        ov: OverlayDb<'_>,
+        from: AnnView<'_>,
+        edges: &[JoinEdge],
+    ) -> Annotation {
+        assert!(!edges.is_empty(), "prop-path must have at least one edge");
+        debug_assert!(edges.windows(2).all(|w| w[0].to == w[1].from), "path edges must chain");
+        self.ping.propagate_from(ov, from, &edges[0]);
+        let mut in_ping = true;
+        for edge in &edges[1..] {
+            if in_ping {
+                self.pong.propagate_from(ov, self.ping.view(), edge);
+            } else {
+                self.ping.propagate_from(ov, self.pong.view(), edge);
+            }
+            in_ping = !in_ping;
+        }
+        if in_ping {
+            self.ping.to_annotation()
+        } else {
+            self.pong.to_annotation()
+        }
+    }
+
+    fn take_stats(&mut self) -> PropStats {
+        let mut s = self.ping.take_stats();
+        s.merge(self.pong.take_stats());
+        s
+    }
+}
+
+/// Mirror of [`aggregate`](crossmine_core::propagation::aggregate) over
+/// the merged view. Iterates merged rows in ascending order — base rows,
+/// then tail rows — so float summation order matches the materialized
+/// merge bit for bit.
+fn overlay_aggregate(
+    ov: OverlayDb<'_>,
+    rel: RelId,
+    attr: Option<AttrId>,
+    ann: &Annotation,
+    targets: &TargetSet,
+) -> Vec<AggStats> {
+    let mut acc = vec![AggStats::default(); targets.capacity()];
+    for (i, set) in ann.idsets.iter().enumerate() {
+        if set.is_empty() {
+            continue;
+        }
+        let num = attr.and_then(|a| ov.value(rel, Row(i as u32), a).as_num());
+        for id in set.iter() {
+            if !targets.contains(id) {
+                continue;
+            }
+            let s = &mut acc[id as usize];
+            s.rows += 1;
+            if let Some(x) = num {
+                s.num_rows += 1;
+                s.sum += x;
+            }
+        }
+    }
+    acc
+}
+
+/// Mirror of core's private `constrain` over the merged view.
+fn overlay_constrain<'s>(
+    ov: OverlayDb<'_>,
+    constraint: &Constraint,
+    ann: &mut Annotation,
+    targets: &TargetSet,
+    stamp: &'s mut Stamp,
+) -> &'s Stamp {
+    match &constraint.kind {
+        ConstraintKind::CatEq { attr, value } => {
+            for (i, set) in ann.idsets.iter_mut().enumerate() {
+                if ov.value(constraint.rel, Row(i as u32), *attr) != Value::Cat(*value) {
+                    set.clear();
+                }
+            }
+            overlay_mark_covered(ann, targets, stamp)
+        }
+        ConstraintKind::Num { attr, op, threshold } => {
+            for (i, set) in ann.idsets.iter_mut().enumerate() {
+                let v = ov.value(constraint.rel, Row(i as u32), *attr);
+                let keep = matches!(v, Value::Num(x) if op.test(x, *threshold));
+                if !keep {
+                    set.clear();
+                }
+            }
+            overlay_mark_covered(ann, targets, stamp)
+        }
+        ConstraintKind::Agg { agg, attr, op, threshold } => {
+            let stats = overlay_aggregate(ov, constraint.rel, *attr, ann, targets);
+            stamp.reset();
+            for (id, s) in stats.iter().enumerate() {
+                if let Some(v) = s.value(*agg) {
+                    if op.test(v, *threshold) {
+                        stamp.mark(id as u32);
+                    }
+                }
+            }
+            stamp
+        }
+    }
+}
+
+fn overlay_mark_covered<'s>(
+    ann: &Annotation,
+    targets: &TargetSet,
+    stamp: &'s mut Stamp,
+) -> &'s Stamp {
+    stamp.reset();
+    for set in &ann.idsets {
+        for id in set.iter() {
+            if targets.contains(id) {
+                stamp.mark(id);
+            }
+        }
+    }
+    stamp
+}
+
+/// Mirror of [`ClauseState`](crossmine_core::propagation::ClauseState)
+/// over the merged view (without the learner's count-store bookkeeping,
+/// which serving never consults).
+struct OverlayClauseState<'a> {
+    ov: OverlayDb<'a>,
+    targets: TargetSet,
+    annotations: Vec<Option<Annotation>>,
+    is_pos: &'a [bool],
+}
+
+impl<'a> OverlayClauseState<'a> {
+    fn new(ov: OverlayDb<'a>, is_pos: &'a [bool], initial: TargetSet) -> Self {
+        let target_rel = ov.base.target().expect("database must have a target relation");
+        let num_relations = ov.base.schema.num_relations();
+        let mut annotations: Vec<Option<Annotation>> = (0..num_relations).map(|_| None).collect();
+        annotations[target_rel.0] = Some(Annotation::identity(ov.num_rows(target_rel), &initial));
+        OverlayClauseState { ov, targets: initial, annotations, is_pos }
+    }
+
+    fn apply_literal_scratch(
+        &mut self,
+        lit: &ComplexLiteral,
+        stamp: &mut Stamp,
+        path: &mut OverlayPathScratch,
+    ) {
+        let ann = if lit.path.is_empty() {
+            self.annotations[lit.constraint.rel.0]
+                .clone()
+                .expect("local literal on an inactive relation")
+        } else {
+            let from = self.annotations[lit.path[0].from.0]
+                .as_ref()
+                .expect("propagation must start from an active relation");
+            path.propagate_path(self.ov, from.view(), &lit.path)
+        };
+        self.finish_literal(lit, ann, stamp);
+    }
+
+    fn finish_literal(&mut self, lit: &ComplexLiteral, mut ann: Annotation, stamp: &mut Stamp) {
+        let surviving = overlay_constrain(self.ov, &lit.constraint, &mut ann, &self.targets, stamp);
+        self.targets.retain(self.is_pos, |id| surviving.is_marked(id));
+        for slot in self.annotations.iter_mut().flatten() {
+            slot.restrict_to(&self.targets);
+        }
+        ann.restrict_to(&self.targets);
+        self.annotations[lit.constraint.rel.0] = Some(ann);
+    }
+}
+
+/// Per-worker reusable state for [`evaluate_batch_overlay`]: the overlay
+/// twin of [`ServeScratch`](crate::eval::ServeScratch). Buffers re-size
+/// only when the merged target cardinality changes (a new overlay landed).
+#[derive(Debug, Default)]
+pub struct OverlayScratch {
+    dummy_pos: Vec<bool>,
+    stamp: Option<Stamp>,
+    label_of: Vec<Option<ClassLabel>>,
+    path: OverlayPathScratch,
+    obs: ObsHandle,
+}
+
+impl OverlayScratch {
+    /// An empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch reporting spans, counters, and propagation stats through
+    /// `obs`. The default (no-op) handle makes every hook free.
+    pub fn with_obs(obs: ObsHandle) -> Self {
+        OverlayScratch { obs, ..Default::default() }
+    }
+
+    fn ensure(&mut self, num_targets: usize) {
+        if self.dummy_pos.len() != num_targets {
+            self.dummy_pos = vec![false; num_targets];
+            self.stamp = Some(Stamp::new(num_targets));
+            self.label_of = vec![None; num_targets];
+        }
+    }
+}
+
+fn check_plan(plan: &CompiledPlan, base: &Database, delta: &DeltaOverlay) {
+    assert_eq!(
+        base.schema.num_relations(),
+        plan.num_relations,
+        "database does not match the schema this plan was compiled for"
+    );
+    assert_eq!(base.target(), Ok(plan.target), "database target differs from the plan's");
+    assert!(delta.matches(base), "delta overlay was not built against this database snapshot");
+}
+
+/// [`evaluate_batch`](crate::eval::evaluate_batch) against base + overlay:
+/// predicts the class of each of `rows` (merged target row ids — overlay
+/// tail rows are addressable past the base length) under `plan` without
+/// recompiling or materializing. Byte-identical to applying the delta and
+/// calling `evaluate_batch` on the merged database.
+///
+/// # Panics
+///
+/// Panics when `base` does not match the plan's schema, when `delta` was
+/// built against a different snapshot, or when a row id is outside the
+/// merged target range — caller wiring errors, never data-dependent.
+pub fn evaluate_batch_overlay(
+    plan: &CompiledPlan,
+    base: &Database,
+    delta: &DeltaOverlay,
+    rows: &[Row],
+    scratch: &mut OverlayScratch,
+) -> Vec<ClassLabel> {
+    check_plan(plan, base, delta);
+    let ov = OverlayDb { base, delta };
+    let num_targets = delta.num_targets(base);
+    scratch.ensure(num_targets);
+    let obs = scratch.obs.clone();
+    let _batch = obs.span("serve.evaluate_batch_overlay");
+    let OverlayScratch { dummy_pos, stamp, label_of, path, .. } = scratch;
+    let stamp = stamp.as_mut().expect("ensure() populated the stamp");
+
+    let mut unassigned = TargetSet::from_rows(dummy_pos, rows.iter().copied());
+    let mut clauses_evaluated = 0u64;
+    for clause in &plan.clauses {
+        if unassigned.is_empty() {
+            break;
+        }
+        clauses_evaluated += 1;
+        let mut state = OverlayClauseState::new(ov, dummy_pos, unassigned.clone());
+        for lit in &clause.literals {
+            state.apply_literal_scratch(lit, stamp, path);
+            if state.targets.is_empty() {
+                break;
+            }
+        }
+        for r in state.targets.iter() {
+            let slot = &mut label_of[r.0 as usize];
+            if slot.is_none() {
+                *slot = Some(clause.label);
+            }
+            unassigned.remove(r.0, dummy_pos);
+        }
+    }
+    if obs.is_enabled() {
+        obs.add("serve.rows_scored", rows.len() as u64);
+        obs.add("serve.clauses_evaluated", clauses_evaluated);
+        let stats = path.take_stats();
+        obs.add("propagation.passes", stats.passes);
+        obs.add("propagation.ids_propagated", stats.ids_propagated);
+        obs.add("propagation.csr_capacity_hits", stats.capacity_hits);
+    }
+
+    let out = rows.iter().map(|r| label_of[r.0 as usize].unwrap_or(plan.default_label)).collect();
+    for r in rows {
+        label_of[r.0 as usize] = None;
+    }
+    out
+}
+
+fn compiled_clause_fire(db: &Database, index: usize, clause: &CompiledClause) -> ClauseFire {
+    ClauseFire {
+        clause_index: index,
+        label: clause.label,
+        accuracy: clause.accuracy,
+        literals: clause
+            .literals
+            .iter()
+            .map(|lit| LiteralMatch { literal: lit.display(&db.schema), path_len: lit.path.len() })
+            .collect(),
+    }
+}
+
+/// [`evaluate_batch_traced`](crate::eval::evaluate_batch_traced) against
+/// base + overlay: full per-row provenance over the merged view. Labels
+/// and fired clauses are byte-identical to tracing the materialized merge.
+///
+/// # Panics
+///
+/// Same wiring-error panics as [`evaluate_batch_overlay`].
+pub fn evaluate_batch_overlay_traced(
+    plan: &CompiledPlan,
+    base: &Database,
+    delta: &DeltaOverlay,
+    rows: &[Row],
+    scratch: &mut OverlayScratch,
+) -> Vec<RowExplanation> {
+    check_plan(plan, base, delta);
+    let ov = OverlayDb { base, delta };
+    let num_targets = delta.num_targets(base);
+    scratch.ensure(num_targets);
+    let obs = scratch.obs.clone();
+    let _batch = obs.span("serve.evaluate_batch_overlay_traced");
+    let OverlayScratch { dummy_pos, stamp, path, .. } = scratch;
+    let stamp = stamp.as_mut().expect("ensure() populated the stamp");
+
+    let mut fired_of: Vec<Vec<usize>> = vec![Vec::new(); rows.len()];
+    for (ci, clause) in plan.clauses.iter().enumerate() {
+        let initial = TargetSet::from_rows(dummy_pos, rows.iter().copied());
+        let mut state = OverlayClauseState::new(ov, dummy_pos, initial);
+        for lit in &clause.literals {
+            if state.targets.is_empty() {
+                break;
+            }
+            state.apply_literal_scratch(lit, stamp, path);
+        }
+        for r in state.targets.iter() {
+            for (slot, row) in rows.iter().enumerate() {
+                if *row == r {
+                    fired_of[slot].push(ci);
+                }
+            }
+        }
+    }
+    if obs.is_enabled() {
+        obs.add("serve.rows_explained", rows.len() as u64);
+        let stats = path.take_stats();
+        obs.add("propagation.passes", stats.passes);
+        obs.add("propagation.ids_propagated", stats.ids_propagated);
+        obs.add("propagation.csr_capacity_hits", stats.capacity_hits);
+    }
+
+    rows.iter()
+        .zip(fired_of)
+        .map(|(&row, fired_idx)| {
+            let fired: Vec<ClauseFire> = fired_idx
+                .iter()
+                .map(|&ci| compiled_clause_fire(base, ci, &plan.clauses[ci]))
+                .collect();
+            let label = fired.first().map_or(plan.default_label, |f| f.label);
+            RowExplanation { row, label, default_used: fired.is_empty(), fired }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate_batch, ServeScratch};
+    use crossmine_core::CrossMine;
+    use crossmine_relational::fixtures::fig2_loan_account;
+    use crossmine_relational::DeltaBatch;
+
+    fn plan_for(db: &Database) -> CompiledPlan {
+        let rows: Vec<Row> = db.relation(db.target().unwrap()).iter_rows().collect();
+        let model = CrossMine::default().fit(db, &rows).unwrap();
+        CompiledPlan::compile(&model, &db.schema).unwrap()
+    }
+
+    fn fig2_delta(db: &Database) -> DeltaBatch {
+        let loan = db.schema.rel_id("Loan").unwrap();
+        let account = db.schema.rel_id("Account").unwrap();
+        let mut batch = DeltaBatch::new();
+        // A new account, two new loans on it (one referencing the fresh
+        // account — the same-batch FK case), and a patched amount.
+        batch.insert(account, vec![Value::Key(500), Value::Cat(0), Value::Num(990101.0)]);
+        batch.insert_labeled(
+            loan,
+            vec![
+                Value::Key(6),
+                Value::Key(500),
+                Value::Num(800.0),
+                Value::Num(12.0),
+                Value::Num(70.0),
+            ],
+            crossmine_relational::ClassLabel::POS,
+        );
+        batch.insert_labeled(
+            loan,
+            vec![
+                Value::Key(7),
+                Value::Key(45),
+                Value::Num(9500.0),
+                Value::Num(24.0),
+                Value::Num(480.0),
+            ],
+            crossmine_relational::ClassLabel::NEG,
+        );
+        batch.update(loan, Row(0), AttrId(2), Value::Num(1500.0));
+        batch
+    }
+
+    #[test]
+    fn overlay_matches_materialized_merge_golden() {
+        let base = fig2_loan_account();
+        let plan = plan_for(&base);
+        let batch = fig2_delta(&base);
+        let delta = DeltaOverlay::build(&base, &batch).unwrap();
+
+        let mut merged = base.clone();
+        merged.apply_delta(&batch).unwrap();
+        let rows: Vec<Row> = (0..merged.num_targets() as u32).map(Row).collect();
+
+        let mut mscratch = ServeScratch::new();
+        let expected = evaluate_batch(&plan, &merged, &rows, &mut mscratch);
+        let mut oscratch = OverlayScratch::new();
+        let got = evaluate_batch_overlay(&plan, &base, &delta, &rows, &mut oscratch);
+        assert_eq!(got, expected);
+
+        // Scratch reuse across batches stays correct.
+        let again = evaluate_batch_overlay(&plan, &base, &delta, &rows, &mut oscratch);
+        assert_eq!(again, expected);
+    }
+
+    #[test]
+    fn overlay_traced_matches_materialized_merge() {
+        let base = fig2_loan_account();
+        let plan = plan_for(&base);
+        let batch = fig2_delta(&base);
+        let delta = DeltaOverlay::build(&base, &batch).unwrap();
+
+        let mut merged = base.clone();
+        merged.apply_delta(&batch).unwrap();
+        let rows: Vec<Row> = (0..merged.num_targets() as u32).map(Row).collect();
+
+        let mut mscratch = ServeScratch::new();
+        let expected = crate::eval::evaluate_batch_traced(&plan, &merged, &rows, &mut mscratch);
+        let mut oscratch = OverlayScratch::new();
+        let got = evaluate_batch_overlay_traced(&plan, &base, &delta, &rows, &mut oscratch);
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.row, e.row);
+            assert_eq!(g.label, e.label);
+            assert_eq!(g.default_used, e.default_used);
+            assert_eq!(g.fired.len(), e.fired.len());
+            for (gf, ef) in g.fired.iter().zip(&e.fired) {
+                assert_eq!(gf.clause_index, ef.clause_index);
+                assert_eq!(gf.label, ef.label);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_overlay_matches_plain_eval() {
+        let base = fig2_loan_account();
+        let plan = plan_for(&base);
+        let delta = DeltaOverlay::build(&base, &DeltaBatch::new()).unwrap();
+        let rows: Vec<Row> = (0..base.num_targets() as u32).map(Row).collect();
+        let mut mscratch = ServeScratch::new();
+        let expected = evaluate_batch(&plan, &base, &rows, &mut mscratch);
+        let mut oscratch = OverlayScratch::new();
+        let got = evaluate_batch_overlay(&plan, &base, &delta, &rows, &mut oscratch);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta overlay was not built against this database snapshot")]
+    fn stale_overlay_panics() {
+        let mut base = fig2_loan_account();
+        let plan = plan_for(&base);
+        let delta = DeltaOverlay::build(&base, &DeltaBatch::new()).unwrap();
+        // Mutate the base after the overlay was validated against it.
+        let loan = base.schema.rel_id("Loan").unwrap();
+        base.set_value(loan, Row(0), AttrId(2), Value::Num(1.0));
+        let mut scratch = OverlayScratch::new();
+        let _ = evaluate_batch_overlay(&plan, &base, &delta, &[Row(0)], &mut scratch);
+    }
+}

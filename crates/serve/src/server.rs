@@ -12,13 +12,13 @@
 //!
 //! Admission control (the fallible-by-design contract):
 //!
-//! * **Load shedding** — [`PredictionServer::submit`] never blocks. When
+//! * **Load shedding** — [`PredictionServer::serve`] never blocks. When
 //!   the queue is full the request is rejected with
 //!   [`ServeError::Overloaded`] and counted (`serve.requests_shed`);
 //!   clients retry with backoff (`crossmine-bench::submit_with_retry`).
-//! * **Deadlines** — [`PredictionServer::submit_with_deadline`] carries a
-//!   per-request deadline through the queue. Workers check it when they
-//!   collect a batch: an expired request is answered with
+//! * **Deadlines** — [`ServeRequest::deadline`] carries a per-request
+//!   deadline through the queue. Workers check it when they collect a
+//!   batch: an expired request is answered with
 //!   [`ServeError::DeadlineExceeded`] instead of being scored
 //!   (`serve.deadline_exceeded`).
 //! * **Worker restarts** — a panic inside the scoring region is caught;
@@ -35,18 +35,25 @@
 //! queue until shedding starts, injected panics exercise the restart path,
 //! oversized batches stress the evaluator — all observable through
 //! [`MetricsSnapshot`] and the `serve.*` obs counters.
+//!
+//! **Mutable databases** ride a delta overlay:
+//! [`PredictionServer::apply_delta`] validates a
+//! [`DeltaBatch`](crossmine_relational::DeltaBatch) against the immutable
+//! base snapshot and installs a [`DeltaOverlay`] the workers merge during
+//! propagation — no recompile, no copy of the base, and batches already
+//! collected keep the overlay (or its absence) they started with.
 
 use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossmine_net::{NetConfig, NetListener, NetMetrics};
 use crossmine_obs::{ObsHandle, TraceCtx, Tracer, ROOT_SPAN};
-use crossmine_relational::{ClassLabel, Database, Row};
+use crossmine_relational::{ClassLabel, Database, DeltaBatch, DeltaOverlay, Row};
 
 use crossmine_core::explain::RowExplanation;
 
@@ -55,11 +62,31 @@ use crate::error::ServeError;
 use crate::eval::{evaluate_batch, evaluate_batch_traced, ServeScratch};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::net::ServeBackend;
+use crate::overlay::{evaluate_batch_overlay, evaluate_batch_overlay_traced, OverlayScratch};
 use crate::registry::ModelRegistry;
+use crate::request::ServeRequest;
+use crate::shard::ShardConfig;
 use crate::telemetry::{TelemetryHandle, TelemetryShared};
 
-/// Tunables of a [`PredictionServer`].
+/// The overlay slot the workers read once per batch: `None` until the
+/// first [`PredictionServer::apply_delta`], then an [`Arc`] swapped whole
+/// so a batch is never scored under a torn delta.
+type OverlaySlot = Arc<RwLock<Option<Arc<DeltaOverlay>>>>;
+
+fn read_overlay(slot: &RwLock<Option<Arc<DeltaOverlay>>>) -> Option<Arc<DeltaOverlay>> {
+    slot.read().unwrap_or_else(PoisonError::into_inner).clone()
+}
+
+/// Tunables of a [`PredictionServer`] (and, via [`ServerConfig::shard`],
+/// of a [`ShardRouter`](crate::shard::ShardRouter)).
+///
+/// The struct is `#[non_exhaustive]`: outside this crate, construct it
+/// with [`ServerConfig::default()`] plus field assignment, or — when
+/// validation matters — with the range-checked [`ServerConfig::builder`],
+/// which rejects nonsense (zero workers, absurd shard counts) with
+/// [`ServeError::InvalidConfig`] instead of letting it reach `start`.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ServerConfig {
     /// Worker threads scoring batches.
     pub workers: usize,
@@ -102,6 +129,16 @@ pub struct ServerConfig {
     /// slow-request log. The tracer is shared with the wire front end
     /// unless [`crossmine_net::NetConfig::tracer`] was set explicitly.
     pub tracer: Tracer,
+    /// Sharding (default: one shard, i.e. unsharded). A config with
+    /// `shard.shards > 1` starts a [`ShardRouter`](crate::shard::ShardRouter)
+    /// — handing it to [`PredictionServer::start`] directly is rejected
+    /// with [`ServeError::InvalidConfig`], because a single server cannot
+    /// honor a multi-shard contract.
+    pub shard: ShardConfig,
+    /// Which shard of a router this server is, stamped into `serve.batch`
+    /// trace spans and the per-shard telemetry series. `None` for a
+    /// standalone server; only the router sets it.
+    pub(crate) shard_id: Option<u32>,
 }
 
 impl Default for ServerConfig {
@@ -116,7 +153,144 @@ impl Default for ServerConfig {
             telemetry_addr: None,
             net: None,
             tracer: Tracer::noop(),
+            shard: ShardConfig::default(),
+            shard_id: None,
         }
+    }
+}
+
+/// Upper bounds the builder (and `start`) enforce. Generous — they exist
+/// to catch unit mistakes (milliseconds where a count was meant), not to
+/// police reasonable deployments.
+const MAX_WORKERS: usize = 512;
+const MAX_BATCH_LIMIT: usize = 1 << 20;
+const MAX_QUEUE_CAPACITY: usize = 1 << 24;
+/// Largest shard count a [`ShardRouter`](crate::shard::ShardRouter)
+/// accepts. Shards are shared-nothing worker pools on one machine; more
+/// than this is certainly a misconfiguration.
+pub const MAX_SHARDS: usize = 64;
+
+/// Validation shared by [`ServerConfig::builder`] and
+/// [`PredictionServer::start`] / `ShardRouter::start` — a config built by
+/// hand (struct update in this crate, field assignment outside) gets the
+/// same checks at start time that the builder runs at build time.
+pub(crate) fn validate_config(config: &ServerConfig) -> Result<(), ServeError> {
+    fn range(name: &str, value: usize, max: usize) -> Result<(), ServeError> {
+        if value == 0 || value > max {
+            return Err(ServeError::InvalidConfig(format!(
+                "{name} = {value} out of range: must be in 1..={max}"
+            )));
+        }
+        Ok(())
+    }
+    range("workers", config.workers, MAX_WORKERS)?;
+    range("max_batch", config.max_batch, MAX_BATCH_LIMIT)?;
+    range("queue_capacity", config.queue_capacity, MAX_QUEUE_CAPACITY)?;
+    range("shard.shards", config.shard.shards, MAX_SHARDS)?;
+    Ok(())
+}
+
+/// Range-checked construction for [`ServerConfig`], mirroring
+/// `CrossMineParams::builder()`: chain setters, then [`build`] validates
+/// everything at once and returns [`ServeError::InvalidConfig`] — never a
+/// panic — on out-of-range values.
+///
+/// [`build`]: ServerConfigBuilder::build
+///
+/// ```
+/// use crossmine_serve::{ServerConfig, ServeError};
+/// let config = ServerConfig::builder().workers(4).shards(2).build().unwrap();
+/// assert_eq!(config.workers, 4);
+/// assert_eq!(config.shard.shards, 2);
+/// assert!(matches!(
+///     ServerConfig::builder().queue_capacity(0).build(),
+///     Err(ServeError::InvalidConfig(_))
+/// ));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Worker threads scoring batches (per shard, when sharded).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Largest batch one worker scores at once.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// How long a worker waits for the batch to fill before flushing.
+    pub fn max_wait(mut self, max_wait: Duration) -> Self {
+        self.config.max_wait = max_wait;
+        self
+    }
+
+    /// Admission-queue capacity (per shard, when sharded).
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.config.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Observability handle shared by every worker.
+    pub fn obs(mut self, obs: ObsHandle) -> Self {
+        self.config.obs = obs;
+        self
+    }
+
+    /// Fault injection. See [`ChaosConfig`].
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.config.chaos = chaos;
+        self
+    }
+
+    /// Address for the live telemetry endpoint.
+    pub fn telemetry_addr(mut self, addr: SocketAddr) -> Self {
+        self.config.telemetry_addr = Some(addr);
+        self
+    }
+
+    /// The wire front end. See [`ServerConfig::net`].
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.config.net = Some(net);
+        self
+    }
+
+    /// Request tracer. See [`ServerConfig::tracer`].
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.config.tracer = tracer;
+        self
+    }
+
+    /// Number of shared-nothing shards
+    /// ([`ShardRouter`](crate::shard::ShardRouter)); 1 means unsharded.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shard = ShardConfig { shards };
+        self
+    }
+
+    /// Validates every field and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] naming the offending field when any
+    /// count is zero or above its cap (`workers` ≤ 512, `max_batch` ≤ 2²⁰,
+    /// `queue_capacity` ≤ 2²⁴, `shard.shards` ≤ [`MAX_SHARDS`]).
+    pub fn build(self) -> Result<ServerConfig, ServeError> {
+        validate_config(&self.config)?;
+        Ok(self.config)
+    }
+}
+
+impl ServerConfig {
+    /// A range-checked builder starting from [`ServerConfig::default`].
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder::default()
     }
 }
 
@@ -134,6 +308,19 @@ pub struct ExplainedPrediction {
     pub epoch: u64,
 }
 
+/// What [`PredictionServer::apply_delta`] installed: the size of the
+/// cumulative overlay now live (not just the increment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Rows the overlay adds on top of the base, across all relations.
+    pub inserted_rows: usize,
+    /// Non-key cells the overlay patches over base rows (after last-write
+    /// dedup).
+    pub updated_cells: usize,
+    /// Operations in the cumulative delta history.
+    pub ops: usize,
+}
+
 /// One scored request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Prediction {
@@ -147,10 +334,9 @@ pub struct Prediction {
 
 /// A pending reply to an admitted request.
 ///
-/// Obtained from [`PredictionServer::submit`] /
-/// [`PredictionServer::submit_with_deadline`]. Dropping the handle is
-/// allowed: the request is still scored and its reply discarded (counted
-/// under `errors` in the metrics).
+/// Obtained from [`PredictionServer::serve`] (one handle per row, in
+/// order). Dropping the handle is allowed: the request is still scored
+/// and its reply discarded (counted under `errors` in the metrics).
 #[derive(Debug)]
 pub struct PredictionHandle {
     row: Row,
@@ -335,6 +521,13 @@ pub struct PredictionServer {
     /// Mirrors `QueueState::shutdown` for lock-free reads by the telemetry
     /// thread (`/healthz` must not contend on the admission mutex).
     admission_closed: Arc<AtomicBool>,
+    /// The delta overlay the workers score against (None = base only).
+    overlay: OverlaySlot,
+    /// Every delta accepted so far, merged in arrival order; the next
+    /// [`apply_delta`](Self::apply_delta) extends and revalidates this so
+    /// the installed overlay is always the *cumulative* mutation history
+    /// against the immutable base.
+    pending_delta: Mutex<DeltaBatch>,
     telemetry: Option<TelemetryHandle>,
     net: Option<NetListener>,
 }
@@ -355,22 +548,22 @@ impl PredictionServer {
     ///
     /// # Errors
     ///
-    /// [`ServeError::InvalidConfig`] when `workers`, `max_batch`, or
-    /// `queue_capacity` is zero, or when `telemetry_addr` is set but
-    /// cannot be bound.
+    /// [`ServeError::InvalidConfig`] when any count is out of range (the
+    /// same checks [`ServerConfig::builder`] runs), when `shard.shards`
+    /// is more than 1 (use [`ShardRouter`](crate::shard::ShardRouter)),
+    /// or when `telemetry_addr` is set but cannot be bound.
     pub fn start(
         db: Arc<Database>,
         registry: Arc<ModelRegistry>,
         config: ServerConfig,
     ) -> Result<Self, ServeError> {
-        if config.workers == 0 {
-            return Err(ServeError::InvalidConfig("workers must be at least 1".into()));
-        }
-        if config.max_batch == 0 {
-            return Err(ServeError::InvalidConfig("max_batch must be at least 1".into()));
-        }
-        if config.queue_capacity == 0 {
-            return Err(ServeError::InvalidConfig("queue_capacity must be at least 1".into()));
+        validate_config(&config)?;
+        if config.shard.shards > 1 {
+            return Err(ServeError::InvalidConfig(format!(
+                "shard.shards = {}: a single PredictionServer is one shard; \
+                 use ShardRouter::start for sharded serving",
+                config.shard.shards
+            )));
         }
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState { queue: VecDeque::new(), shutdown: false }),
@@ -391,6 +584,7 @@ impl PredictionServer {
                     stop: AtomicBool::new(false),
                     net_metrics: net_metrics.clone(),
                     tracer: config.tracer.clone(),
+                    shards: Vec::new(),
                 });
                 let handle = TelemetryHandle::start(addr, tshared).map_err(|e| {
                     ServeError::InvalidConfig(format!("cannot bind telemetry_addr {addr}: {e}"))
@@ -399,14 +593,18 @@ impl PredictionServer {
             }
             None => None,
         };
+        let overlay: OverlaySlot = Arc::new(RwLock::new(None));
         let workers = (0..config.workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 let registry = Arc::clone(&registry);
                 let metrics = Arc::clone(&metrics);
                 let db = Arc::clone(&db);
+                let overlay = Arc::clone(&overlay);
                 let config = config.clone();
-                std::thread::spawn(move || worker_loop(&shared, &registry, &metrics, &db, &config))
+                std::thread::spawn(move || {
+                    worker_loop(&shared, &registry, &metrics, &db, &overlay, &config)
+                })
             })
             .collect();
         let admitter = Admitter {
@@ -455,53 +653,134 @@ impl PredictionServer {
             workers,
             db,
             admission_closed,
+            overlay,
+            pending_delta: Mutex::new(DeltaBatch::new()),
             telemetry,
             net,
         })
     }
 
-    /// Enqueues one row for scoring without a deadline. Never blocks.
+    /// Admits every row of `req`, in order; never blocks. This is **the**
+    /// submission entry point — deadlines, caller-owned traces, and shard
+    /// hints all ride the one [`ServeRequest`] builder instead of a
+    /// per-combination method. A single server is its only shard, so
+    /// [`ServeRequest::shard_hint`] is ignored here (the
+    /// [`ShardRouter`](crate::shard::ShardRouter) honors it).
+    ///
+    /// Admission is all-or-nothing: the first row that cannot be admitted
+    /// fails the whole call. Rows admitted before the failure are still
+    /// scored and their replies discarded (counted under `serve.errors`) —
+    /// the same contract the wire front end's batches get.
     ///
     /// # Errors
     ///
-    /// * [`ServeError::Overloaded`] — the queue is full; the request was
-    ///   shed. Back off and retry.
+    /// * [`ServeError::Overloaded`] — the queue is full; a row was shed.
+    ///   Back off and retry.
     /// * [`ServeError::ShuttingDown`] — [`shutdown`](Self::shutdown) has
     ///   begun.
+    pub fn serve(&self, req: ServeRequest) -> Result<Vec<PredictionHandle>, ServeError> {
+        let deadline = req.deadline.map(|d| Instant::now() + d);
+        let mut handles = Vec::with_capacity(req.rows.len());
+        match &req.trace {
+            // A caller-owned trace spans all rows; the caller completes it
+            // (the workers only add spans), mirroring the wire front end.
+            Some(ctx) => {
+                for &row in &req.rows {
+                    handles.push(self.admitter.admit_traced(row, deadline, ctx.clone(), false)?);
+                }
+            }
+            None => {
+                for &row in &req.rows {
+                    handles.push(self.admitter.admit(row, deadline)?);
+                }
+            }
+        }
+        Ok(handles)
+    }
+
+    /// Enqueues one row for scoring without a deadline.
+    #[deprecated(since = "0.2.0", note = "use `serve(ServeRequest::row(row))` instead")]
     pub fn submit(&self, row: Row) -> Result<PredictionHandle, ServeError> {
-        self.admit(row, None)
+        self.admitter.admit(row, None)
     }
 
     /// Enqueues one row that must start scoring within `deadline` of now.
-    /// If it is still queued when a worker collects it past the deadline,
-    /// it is answered with [`ServeError::DeadlineExceeded`] instead of
-    /// being scored. Same admission errors as [`submit`](Self::submit).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `serve(ServeRequest::row(row).deadline(deadline))` instead"
+    )]
     pub fn submit_with_deadline(
         &self,
         row: Row,
         deadline: Duration,
     ) -> Result<PredictionHandle, ServeError> {
-        self.admit(row, Some(Instant::now() + deadline))
+        self.admitter.admit(row, Some(Instant::now() + deadline))
     }
 
-    fn admit(&self, row: Row, deadline: Option<Instant>) -> Result<PredictionHandle, ServeError> {
-        self.admitter.admit(row, deadline)
-    }
-
-    /// Synchronous convenience: submit and wait for the prediction.
+    /// Synchronous convenience: admit one row and wait for the prediction.
     ///
     /// # Errors
     ///
-    /// Admission errors from [`submit`](Self::submit) plus whatever the
+    /// Admission errors from [`serve`](Self::serve) plus whatever the
     /// server answered with (see [`PredictionHandle::wait`]).
     pub fn predict(&self, row: Row) -> Result<Prediction, ServeError> {
-        self.submit(row)?.wait()
+        self.admitter.admit(row, None)?.wait()
     }
 
-    /// Synchronous convenience with a deadline: submit with `deadline` and
-    /// wait for the prediction (or its expiry).
+    /// Synchronous convenience with a deadline.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `serve(ServeRequest::row(row).deadline(deadline))` and wait on the handle"
+    )]
     pub fn predict_within(&self, row: Row, deadline: Duration) -> Result<Prediction, ServeError> {
-        self.submit_with_deadline(row, deadline)?.wait()
+        self.admitter.admit(row, Some(Instant::now() + deadline))?.wait()
+    }
+
+    /// Validates `batch` against the base snapshot (merged with every
+    /// previously-accepted delta) and atomically installs the resulting
+    /// overlay: batches collected after this call score against base +
+    /// all deltas, batches already in flight keep what they started with.
+    /// No plan recompile, no base copy — overlay rows ride a side-CSR
+    /// merged during propagation, and the result is byte-identical to
+    /// rebuilding the database with the rows materialized (the overlay
+    /// parity suite pins this).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::InvalidDelta`] — validation failed (dangling
+    ///   foreign key, duplicate primary key, key-column update, label
+    ///   mismatch, ...). Nothing was installed: the workers keep scoring
+    ///   against the previous overlay, and the rejected batch is not
+    ///   remembered.
+    /// * [`ServeError::ShuttingDown`] after
+    ///   [`begin_shutdown`](Self::begin_shutdown).
+    pub fn apply_delta(&self, batch: &DeltaBatch) -> Result<DeltaStats, ServeError> {
+        if self.admission_closed.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        // The pending-delta mutex serializes appliers; workers never touch
+        // it (they read the RwLock slot once per batch).
+        let mut pending = self.pending_delta.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut merged = pending.clone();
+        merged.extend(batch);
+        let overlay = DeltaOverlay::build(&self.db, &merged)
+            .map_err(|e| ServeError::InvalidDelta(e.to_string()))?;
+        let stats = DeltaStats {
+            inserted_rows: overlay.inserted_rows(),
+            updated_cells: overlay.updated_cells(),
+            ops: merged.len(),
+        };
+        *pending = merged;
+        *self.overlay.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(overlay));
+        drop(pending);
+        self.config.obs.add("serve.deltas_applied", 1);
+        Ok(stats)
+    }
+
+    /// Whether a delta overlay is currently installed (i.e.
+    /// [`apply_delta`](Self::apply_delta) has succeeded at least once).
+    pub fn has_overlay(&self) -> bool {
+        self.overlay.read().unwrap_or_else(PoisonError::into_inner).is_some()
     }
 
     /// Scores `row` with full provenance: the predicted label plus every
@@ -535,8 +814,19 @@ impl PredictionServer {
             return Err(ServeError::ShuttingDown);
         }
         let snap = self.registry.snapshot();
-        let mut scratch = ServeScratch::with_obs(self.config.obs.clone());
-        let explanations = evaluate_batch_traced(&snap.plan, &self.db, rows, &mut scratch);
+        // Same overlay discipline as the batch workers: provenance must
+        // see exactly the data the predictions were scored against,
+        // including rows/patches a delta added.
+        let explanations = match read_overlay(&self.overlay) {
+            Some(delta) => {
+                let mut scratch = OverlayScratch::with_obs(self.config.obs.clone());
+                evaluate_batch_overlay_traced(&snap.plan, &self.db, &delta, rows, &mut scratch)
+            }
+            None => {
+                let mut scratch = ServeScratch::with_obs(self.config.obs.clone());
+                evaluate_batch_traced(&snap.plan, &self.db, rows, &mut scratch)
+            }
+        };
         self.config.obs.add("serve.predictions_explained", explanations.len() as u64);
         Ok(explanations
             .into_iter()
@@ -547,6 +837,17 @@ impl PredictionServer {
     /// The registry this server snapshots from (for hot swaps).
     pub fn registry(&self) -> &Arc<ModelRegistry> {
         &self.registry
+    }
+
+    /// The shared admission path, for the shard router's wire backend and
+    /// fan-out (one admission path per shard, not per entry point).
+    pub(crate) fn admitter(&self) -> &Admitter {
+        &self.admitter
+    }
+
+    /// The live metrics aggregate, for per-shard telemetry rendering.
+    pub(crate) fn metrics_arc(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// The address the telemetry endpoint actually bound, when
@@ -643,9 +944,11 @@ fn worker_loop(
     registry: &ModelRegistry,
     metrics: &ServeMetrics,
     db: &Database,
+    overlay: &RwLock<Option<Arc<DeltaOverlay>>>,
     config: &ServerConfig,
 ) {
     let mut scratch = ServeScratch::with_obs(config.obs.clone());
+    let mut overlay_scratch = OverlayScratch::with_obs(config.obs.clone());
     // Cache the histogram handle once per worker so the per-request record
     // is a couple of relaxed atomic adds, never a registry lookup.
     let queue_wait_us = config.obs.histogram("serve.queue_wait_us");
@@ -719,9 +1022,11 @@ fn worker_loop(
             continue;
         }
 
-        // One registry snapshot scores the whole batch: no torn reads, and
-        // a concurrent install affects only later batches.
+        // One registry snapshot and one overlay read score the whole
+        // batch: no torn reads, and a concurrent install or apply_delta
+        // affects only later batches.
         let snap = registry.snapshot();
+        let delta = read_overlay(overlay);
         // Queue wait ends here: the batch is collected and about to score;
         // the remaining latency is evaluation + reply delivery. Spans are
         // stamped once per distinct trace: the N rows of one wire batch
@@ -766,7 +1071,10 @@ fn worker_loop(
             if let Some(ChaosAction::Panic) = chaos {
                 panic!("chaos: injected worker panic");
             }
-            evaluate_batch(&snap.plan, db, &rows, &mut scratch)
+            match &delta {
+                Some(d) => evaluate_batch_overlay(&snap.plan, db, d, &rows, &mut overlay_scratch),
+                None => evaluate_batch(&snap.plan, db, &rows, &mut scratch),
+            }
         }));
         let eval_end = Instant::now();
         match scored {
@@ -784,13 +1092,29 @@ fn worker_loop(
                 let mut stamped: Vec<&TraceCtx> = Vec::new();
                 for req in &batch {
                     if req.trace.is_active() && !stamped.iter().any(|t| t.same_trace(&req.trace)) {
-                        let bspan = req.trace.add_span_with(
-                            "serve.batch",
-                            ROOT_SPAN,
-                            collected,
-                            eval_end,
-                            &[("seq", seq.into()), ("size", size.into())],
-                        );
+                        // Sharded servers stamp their shard id so a trace
+                        // read from the router's endpoint says which
+                        // shared-nothing pool scored each batch.
+                        let bspan = match config.shard_id {
+                            Some(sid) => req.trace.add_span_with(
+                                "serve.batch",
+                                ROOT_SPAN,
+                                collected,
+                                eval_end,
+                                &[
+                                    ("seq", seq.into()),
+                                    ("size", size.into()),
+                                    ("shard", u64::from(sid).into()),
+                                ],
+                            ),
+                            None => req.trace.add_span_with(
+                                "serve.batch",
+                                ROOT_SPAN,
+                                collected,
+                                eval_end,
+                                &[("seq", seq.into()), ("size", size.into())],
+                            ),
+                        };
                         req.trace.add_span("serve.eval", bspan, eval_start, eval_end);
                         stamped.push(&req.trace);
                     }
@@ -824,6 +1148,7 @@ fn worker_loop(
                     metrics.errors.fetch_add(1, Ordering::Relaxed);
                 }
                 scratch = ServeScratch::with_obs(config.obs.clone());
+                overlay_scratch = OverlayScratch::with_obs(config.obs.clone());
             }
         }
     }

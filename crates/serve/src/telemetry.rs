@@ -45,7 +45,7 @@ use crossmine_net::http::{parse_request, write_response, HttpLimits};
 use crossmine_net::NetMetrics;
 use crossmine_obs::{ObsHandle, PromWriter, Tracer};
 
-use crate::metrics::ServeMetrics;
+use crate::metrics::{bucket_upper_bound, ServeMetrics, NUM_BUCKETS};
 use crate::registry::ModelRegistry;
 
 /// Most traces one `/trace` (or `/trace/chrome`) response renders. The
@@ -134,13 +134,57 @@ pub(crate) struct TelemetryShared {
     /// makes those routes answer 404 and leaves `/metrics` byte-identical
     /// to the tracing-free surface.
     pub(crate) tracer: Tracer,
+    /// Per-shard sources when this endpoint fronts a
+    /// [`ShardRouter`](crate::shard::ShardRouter). Empty for a standalone
+    /// server (the single-server fields above are authoritative then);
+    /// non-empty, the `serve_*` series become cross-shard aggregates and
+    /// per-shard `crossmine_shard_<k>_*` series ride alongside.
+    pub(crate) shards: Vec<ShardTelemetry>,
+}
+
+/// One shard's metric sources, for the router-owned telemetry endpoint.
+pub(crate) struct ShardTelemetry {
+    pub(crate) shard: u32,
+    pub(crate) metrics: Arc<ServeMetrics>,
+    pub(crate) registry: Arc<ModelRegistry>,
 }
 
 impl TelemetryShared {
+    /// Sums `f` over the metric sources: the one server, or every shard.
+    fn counter_sum(&self, f: impl Fn(&ServeMetrics) -> u64) -> u64 {
+        if self.shards.is_empty() {
+            f(&self.metrics)
+        } else {
+            self.shards.iter().map(|s| f(&s.metrics)).sum()
+        }
+    }
+
+    /// The served model epoch: the shard minimum when sharded (the oldest
+    /// model still answering — it lags the newest mid-roll), the single
+    /// registry's epoch otherwise.
+    fn model_epoch(&self) -> u64 {
+        if self.shards.is_empty() {
+            self.registry.current_epoch()
+        } else {
+            self.shards.iter().map(|s| s.registry.current_epoch()).min().unwrap_or(0)
+        }
+    }
+
+    /// Total hot swaps across all registry slots.
+    fn model_swaps(&self) -> u64 {
+        if self.shards.is_empty() {
+            self.registry.swap_count()
+        } else {
+            self.shards.iter().map(|s| s.registry.swap_count()).sum()
+        }
+    }
+
     fn degradations(&self) -> u64 {
-        self.metrics.shed.load(Ordering::Relaxed)
-            + self.metrics.deadline_expired.load(Ordering::Relaxed)
-            + self.metrics.worker_restarts.load(Ordering::Relaxed)
+        self.counter_sum(|m| {
+            m.shed.load(Ordering::Relaxed)
+                + m.deadline_expired.load(Ordering::Relaxed)
+                + m.worker_restarts.load(Ordering::Relaxed)
+        })
     }
 
     /// The current health state, given the degradation count observed at
@@ -159,45 +203,130 @@ impl TelemetryShared {
         self.started.elapsed().as_secs_f64()
     }
 
-    /// Renders the full `/metrics` document.
+    /// Renders the full `/metrics` document. Fronting a single server,
+    /// the `serve_*` series read that server's aggregate (byte-identical
+    /// to the pre-shard surface); fronting a [`ShardRouter`]
+    /// (`self.shards` non-empty) they become cross-shard sums (histograms
+    /// merged bucket-wise) and per-shard `crossmine_shard_<k>_*` series
+    /// follow.
+    ///
+    /// [`ShardRouter`]: crate::shard::ShardRouter
     pub(crate) fn render_metrics(&self) -> String {
-        let m = &self.metrics;
         let mut w = PromWriter::new();
-        w.write_counter("serve.requests", "requests admitted", m.requests.load(Ordering::Relaxed));
-        w.write_counter("serve.errors", "undeliverable replies", m.errors.load(Ordering::Relaxed));
-        w.write_counter("serve.batches", "batches scored", m.batches.load(Ordering::Relaxed));
+        w.write_counter(
+            "serve.requests",
+            "requests admitted",
+            self.counter_sum(|m| m.requests.load(Ordering::Relaxed)),
+        );
+        w.write_counter(
+            "serve.errors",
+            "undeliverable replies",
+            self.counter_sum(|m| m.errors.load(Ordering::Relaxed)),
+        );
+        w.write_counter(
+            "serve.batches",
+            "batches scored",
+            self.counter_sum(|m| m.batches.load(Ordering::Relaxed)),
+        );
         w.write_counter(
             "serve.requests_shed",
             "requests shed at admission (queue full)",
-            m.shed.load(Ordering::Relaxed),
+            self.counter_sum(|m| m.shed.load(Ordering::Relaxed)),
         );
         w.write_counter(
             "serve.deadline_exceeded",
             "requests expired in queue",
-            m.deadline_expired.load(Ordering::Relaxed),
+            self.counter_sum(|m| m.deadline_expired.load(Ordering::Relaxed)),
         );
         w.write_counter(
             "serve.worker_restarts",
             "workers restarted after caught scoring panics",
-            m.worker_restarts.load(Ordering::Relaxed),
+            self.counter_sum(|m| m.worker_restarts.load(Ordering::Relaxed)),
         );
-        w.write_counter("serve.model_swaps", "model hot swaps", self.registry.swap_count());
+        w.write_counter("serve.model_swaps", "model hot swaps", self.model_swaps());
         w.write_gauge(
             "serve.model_epoch",
-            "epoch of the currently served model",
-            self.registry.current_epoch() as i64,
+            "epoch of the currently served model (oldest shard when sharded)",
+            self.model_epoch() as i64,
         );
-        w.write_histogram(
-            "serve.latency_us",
-            "end-to-end request latency (enqueue to reply), microseconds",
-            &m.latency_us,
-        );
-        w.write_histogram("serve.batch_size", "scored batch sizes", &m.batch_size);
-        w.write_histogram(
-            "serve.queue_depth",
-            "queue depth observed at each admission",
-            &m.queue_depth,
-        );
+        if self.shards.is_empty() {
+            let m = &self.metrics;
+            w.write_histogram(
+                "serve.latency_us",
+                "end-to-end request latency (enqueue to reply), microseconds",
+                &m.latency_us,
+            );
+            w.write_histogram("serve.batch_size", "scored batch sizes", &m.batch_size);
+            w.write_histogram(
+                "serve.queue_depth",
+                "queue depth observed at each admission",
+                &m.queue_depth,
+            );
+        } else {
+            write_merged_histogram(
+                &mut w,
+                "serve.latency_us",
+                "end-to-end request latency (enqueue to reply), microseconds",
+                self.shards.iter().map(|s| &s.metrics.latency_us),
+            );
+            write_merged_histogram(
+                &mut w,
+                "serve.batch_size",
+                "scored batch sizes",
+                self.shards.iter().map(|s| &s.metrics.batch_size),
+            );
+            write_merged_histogram(
+                &mut w,
+                "serve.queue_depth",
+                "queue depth observed at each admission",
+                self.shards.iter().map(|s| &s.metrics.queue_depth),
+            );
+            w.write_gauge("shard.count", "shared-nothing shards", self.shards.len() as i64);
+            for s in &self.shards {
+                let k = s.shard;
+                let m = &s.metrics;
+                w.write_counter(
+                    &format!("shard.{k}.requests"),
+                    "requests admitted on this shard",
+                    m.requests.load(Ordering::Relaxed),
+                );
+                w.write_counter(
+                    &format!("shard.{k}.requests_shed"),
+                    "requests shed on this shard",
+                    m.shed.load(Ordering::Relaxed),
+                );
+                w.write_counter(
+                    &format!("shard.{k}.errors"),
+                    "undeliverable replies on this shard",
+                    m.errors.load(Ordering::Relaxed),
+                );
+                w.write_counter(
+                    &format!("shard.{k}.batches"),
+                    "batches scored on this shard",
+                    m.batches.load(Ordering::Relaxed),
+                );
+                w.write_counter(
+                    &format!("shard.{k}.deadline_exceeded"),
+                    "requests expired in this shard's queue",
+                    m.deadline_expired.load(Ordering::Relaxed),
+                );
+                w.write_counter(
+                    &format!("shard.{k}.worker_restarts"),
+                    "workers restarted on this shard",
+                    m.worker_restarts.load(Ordering::Relaxed),
+                );
+                w.write_counter(
+                    &format!("shard.{k}.model_swaps"),
+                    "hot swaps on this shard's registry slot",
+                    s.registry.swap_count(),
+                );
+                w.write_gauge(
+                    &format!("shard.{k}.model_epoch"),
+                    "epoch this shard currently serves",
+                    s.registry.current_epoch() as i64,
+                );
+            }
+        }
         if let Some(net) = &self.net_metrics {
             let n = net.snapshot();
             w.write_counter("net.accepted", "connections accepted", n.accepted);
@@ -308,7 +437,16 @@ impl TelemetryShared {
             out.push(']');
         }
         let mut out = String::from("{");
-        write_set(&mut out, "serve_latency_us", &self.metrics.latency_exemplars.nonempty());
+        if self.shards.is_empty() {
+            write_set(&mut out, "serve_latency_us", &self.metrics.latency_exemplars.nonempty());
+        } else {
+            // Sharded: concatenate every shard's bucket→trace joins; the
+            // shard a trace ran on is in its `serve.batch` span's `shard`
+            // attribute.
+            let merged: Vec<_> =
+                self.shards.iter().flat_map(|s| s.metrics.latency_exemplars.nonempty()).collect();
+            write_set(&mut out, "serve_latency_us", &merged);
+        }
         if let Some(net) = &self.net_metrics {
             out.push(',');
             write_set(&mut out, "net_request_us", &net.request_exemplars.nonempty());
@@ -321,14 +459,54 @@ impl TelemetryShared {
         let build = BuildInfo::current();
         format!(
             "{{\"version\":\"{}\",\"git_sha\":\"{}\",\"uptime_seconds\":{:.3},\
-             \"model_epoch\":{},\"model_swaps\":{}}}\n",
+             \"model_epoch\":{},\"model_swaps\":{},\"shards\":{}}}\n",
             build.version,
             build.git_sha,
             self.uptime_seconds(),
-            self.registry.current_epoch(),
-            self.registry.swap_count()
+            self.model_epoch(),
+            self.model_swaps(),
+            self.shards.len().max(1)
         )
     }
+}
+
+/// Writes one histogram-shaped series summed bucket-wise over several
+/// sources — how the router's endpoint keeps the single-server
+/// `serve_latency_us` (etc.) names meaningful across shards. Quantile
+/// gauges are estimated from the merged buckets, same bucket-upper-bound
+/// convention as [`crossmine_obs::metrics::Histogram::quantile`].
+fn write_merged_histogram<'a>(
+    w: &mut PromWriter,
+    name: &str,
+    help: &str,
+    sources: impl Iterator<Item = &'a crate::metrics::Histogram>,
+) {
+    let mut buckets = [0u64; NUM_BUCKETS];
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    for h in sources {
+        for (acc, v) in buckets.iter_mut().zip(h.bucket_counts().iter()) {
+            *acc += v;
+        }
+        sum += h.sum();
+        count += h.count();
+    }
+    w.write_histogram_buckets(name, help, &buckets, sum, count);
+    let quantile = |q: f64| -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let target = ((count as f64) * q).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(NUM_BUCKETS - 1)
+    };
+    w.write_quantile_gauges(name, quantile(0.50), quantile(0.99));
 }
 
 /// A running telemetry endpoint, owned by the server.

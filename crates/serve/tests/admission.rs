@@ -12,7 +12,8 @@ use std::time::Duration;
 use crossmine_core::classifier::{CrossMine, CrossMineModel};
 use crossmine_relational::{ClassLabel, Database, Row};
 use crossmine_serve::{
-    ChaosConfig, CompiledPlan, ModelRegistry, PredictionServer, ServeError, ServerConfig,
+    ChaosConfig, CompiledPlan, ModelRegistry, PredictionHandle, PredictionServer, ServeError,
+    ServeRequest, ServerConfig,
 };
 use crossmine_synth::{generate, GenParams};
 
@@ -52,17 +53,22 @@ fn start(f: &Fixture, config: ServerConfig) -> PredictionServer {
     PredictionServer::start(Arc::clone(&f.db), registry, config).unwrap()
 }
 
+/// One-row submission through the unified [`ServeRequest`] surface.
+fn submit_one(server: &PredictionServer, row: Row) -> Result<PredictionHandle, ServeError> {
+    server.serve(ServeRequest::row(row)).map(|mut handles| handles.pop().expect("one handle"))
+}
+
 #[test]
 fn invalid_configs_are_rejected_up_front() {
-    let f = fixture();
-    let registry = Arc::new(ModelRegistry::new(f.plan.clone()));
     for (broken, needle) in [
-        (ServerConfig { workers: 0, ..Default::default() }, "workers"),
-        (ServerConfig { max_batch: 0, ..Default::default() }, "max_batch"),
-        (ServerConfig { queue_capacity: 0, ..Default::default() }, "queue_capacity"),
+        (ServerConfig::builder().workers(0).build(), "workers"),
+        (ServerConfig::builder().max_batch(0).build(), "max_batch"),
+        (ServerConfig::builder().queue_capacity(0).build(), "queue_capacity"),
+        (ServerConfig::builder().workers(100_000).build(), "workers"),
+        (ServerConfig::builder().shards(0).build(), "shard.shards"),
+        (ServerConfig::builder().shards(1_000).build(), "shard.shards"),
     ] {
-        let err =
-            PredictionServer::start(Arc::clone(&f.db), Arc::clone(&registry), broken).unwrap_err();
+        let err = broken.unwrap_err();
         let ServeError::InvalidConfig(reason) = &err else {
             panic!("expected InvalidConfig, got {err:?}");
         };
@@ -72,18 +78,30 @@ fn invalid_configs_are_rejected_up_front() {
 }
 
 #[test]
+fn multi_shard_config_is_rejected_by_a_single_server() {
+    let f = fixture();
+    let registry = Arc::new(ModelRegistry::new(f.plan.clone()));
+    let config = ServerConfig::builder().shards(2).build().unwrap();
+    let err = PredictionServer::start(Arc::clone(&f.db), registry, config).unwrap_err();
+    let ServeError::InvalidConfig(reason) = &err else {
+        panic!("expected InvalidConfig, got {err:?}");
+    };
+    assert!(reason.contains("ShardRouter"), "{reason} should point at ShardRouter");
+}
+
+#[test]
 fn full_queue_sheds_with_typed_overloaded_and_submit_never_blocks() {
     let f = fixture();
     let server = start(
         f,
-        ServerConfig {
-            workers: 1,
-            max_batch: 1,
-            max_wait: Duration::from_micros(50),
-            queue_capacity: 2,
-            chaos: stall_all(20),
-            ..Default::default()
-        },
+        ServerConfig::builder()
+            .workers(1)
+            .max_batch(1)
+            .max_wait(Duration::from_micros(50))
+            .queue_capacity(2)
+            .chaos(stall_all(20))
+            .build()
+            .unwrap(),
     );
 
     // Flood far past capacity without ever waiting. With the single worker
@@ -91,7 +109,7 @@ fn full_queue_sheds_with_typed_overloaded_and_submit_never_blocks() {
     let mut admitted = Vec::new();
     let mut sheds = 0usize;
     for k in 0..200 {
-        match server.submit(f.rows[k % f.rows.len()]) {
+        match submit_one(&server, f.rows[k % f.rows.len()]) {
             Ok(h) => admitted.push(h),
             Err(ServeError::Overloaded { queue_depth, capacity }) => {
                 assert_eq!(capacity, 2);
@@ -122,22 +140,24 @@ fn queued_past_deadline_is_answered_with_deadline_exceeded() {
     let f = fixture();
     let server = start(
         f,
-        ServerConfig {
-            workers: 1,
-            max_batch: 1,
-            max_wait: Duration::from_micros(50),
-            queue_capacity: 64,
-            chaos: stall_all(10),
-            ..Default::default()
-        },
+        ServerConfig::builder()
+            .workers(1)
+            .max_batch(1)
+            .max_wait(Duration::from_micros(50))
+            .queue_capacity(64)
+            .chaos(stall_all(10))
+            .build()
+            .unwrap(),
     );
 
     // Occupy the worker (its batch stalls 10 ms), then queue requests that
     // allow only 1 ms: they must expire before the worker reaches them.
-    let occupier = server.submit(f.rows[0]).unwrap();
+    let occupier = submit_one(&server, f.rows[0]).unwrap();
     let tight: Vec<_> = (0..5)
         .map(|k| {
-            server.submit_with_deadline(f.rows[k % f.rows.len()], Duration::from_millis(1)).unwrap()
+            let req =
+                ServeRequest::row(f.rows[k % f.rows.len()]).deadline(Duration::from_millis(1));
+            server.serve(req).unwrap().pop().expect("one handle")
         })
         .collect();
 
@@ -164,21 +184,23 @@ fn begin_shutdown_closes_admission_but_drains_admitted_requests() {
     let f = fixture();
     let server = start(
         f,
-        ServerConfig {
-            workers: 2,
-            max_batch: 8,
-            queue_capacity: 64,
-            chaos: stall_all(2),
-            ..Default::default()
-        },
+        ServerConfig::builder()
+            .workers(2)
+            .max_batch(8)
+            .queue_capacity(64)
+            .chaos(stall_all(2))
+            .build()
+            .unwrap(),
     );
 
-    let handles: Vec<_> =
-        (0..20).map(|k| server.submit(f.rows[k % f.rows.len()]).unwrap()).collect();
+    // A multi-row ServeRequest is all-or-nothing: one call, 20 handles.
+    let rows: Vec<Row> = (0..20).map(|k| f.rows[k % f.rows.len()]).collect();
+    let handles = server.serve(ServeRequest::new(rows)).unwrap();
+    assert_eq!(handles.len(), 20, "one handle per row, in input order");
     server.begin_shutdown();
 
     // Admission is closed immediately...
-    let err = server.submit(f.rows[0]).unwrap_err();
+    let err = submit_one(&server, f.rows[0]).unwrap_err();
     assert_eq!(err, ServeError::ShuttingDown);
     assert!(!err.is_retryable());
 
@@ -196,10 +218,10 @@ fn begin_shutdown_closes_admission_but_drains_admitted_requests() {
 #[test]
 fn dropped_handles_do_not_wedge_the_server() {
     let f = fixture();
-    let server = start(f, ServerConfig { workers: 1, ..Default::default() });
+    let server = start(f, ServerConfig::builder().workers(1).build().unwrap());
     // The caller walks away; the request is still scored, the undeliverable
     // reply is counted, and the server keeps serving.
-    drop(server.submit(f.rows[0]).unwrap());
+    drop(submit_one(&server, f.rows[0]).unwrap());
     let p = server.predict(f.rows[1]).unwrap();
     assert_eq!(p.label, f.expected[1]);
     let report = server.shutdown();
@@ -207,11 +229,20 @@ fn dropped_handles_do_not_wedge_the_server() {
     assert_eq!(report.errors, 1, "exactly the abandoned reply");
 }
 
+/// The deprecated pre-`ServeRequest` aliases stay thin wrappers over the
+/// same admission path: still correct, still drained, still counted.
 #[test]
-fn predict_within_succeeds_under_a_generous_deadline() {
+#[allow(deprecated)]
+fn deprecated_submit_aliases_still_work() {
     let f = fixture();
     let server = start(f, ServerConfig::default());
-    let p = server.predict_within(f.rows[2], Duration::from_secs(5)).unwrap();
-    assert_eq!(p.label, f.expected[2]);
-    server.shutdown();
+    let h1 = server.submit(f.rows[0]).unwrap();
+    let h2 = server.submit_with_deadline(f.rows[1], Duration::from_secs(5)).unwrap();
+    let p3 = server.predict_within(f.rows[2], Duration::from_secs(5)).unwrap();
+    assert_eq!(h1.wait().unwrap().label, f.expected[0]);
+    assert_eq!(h2.wait().unwrap().label, f.expected[1]);
+    assert_eq!(p3.label, f.expected[2]);
+    let report = server.shutdown();
+    assert_eq!(report.requests, 3);
+    assert_eq!(report.errors, 0);
 }

@@ -13,7 +13,9 @@ use std::time::Duration;
 use crossmine_core::classifier::{CrossMine, CrossMineModel};
 use crossmine_obs::{ObsHandle, ServeReport};
 use crossmine_relational::{ClassLabel, Database, Row};
-use crossmine_serve::{ChaosConfig, CompiledPlan, ModelRegistry, PredictionServer, ServerConfig};
+use crossmine_serve::{
+    ChaosConfig, CompiledPlan, ModelRegistry, PredictionServer, ServeRequest, ServerConfig,
+};
 use crossmine_synth::{generate, GenParams};
 
 const ITERATIONS: usize = 20;
@@ -60,11 +62,12 @@ fn fixture() -> &'static Fixture {
 /// retryable degradation is retried with growing backoff.
 fn chaos_request(server: &PredictionServer, row: Row, k: usize) -> Result<ClassLabel, String> {
     for attempt in 0..500 {
-        let submitted = if attempt == 0 && k.is_multiple_of(4) {
-            server.submit_with_deadline(row, Duration::from_micros(300))
+        let req = if attempt == 0 && k.is_multiple_of(4) {
+            ServeRequest::row(row).deadline(Duration::from_micros(300))
         } else {
-            server.submit(row)
+            ServeRequest::row(row)
         };
+        let submitted = server.serve(req).map(|mut handles| handles.pop().expect("one handle"));
         match submitted.and_then(|h| h.wait()) {
             Ok(p) => return Ok(p.label),
             Err(e) if e.is_retryable() => {
@@ -83,15 +86,15 @@ fn run_iteration(f: &'static Fixture, obs: ObsHandle) -> crossmine_serve::Metric
     let server = PredictionServer::start(
         Arc::clone(&f.db),
         Arc::clone(&registry),
-        ServerConfig {
-            workers: 2,
-            max_batch: 8,
-            max_wait: Duration::from_micros(100),
-            queue_capacity: 2,
-            obs,
-            chaos: ChaosConfig::standard(),
-            ..ServerConfig::default()
-        },
+        ServerConfig::builder()
+            .workers(2)
+            .max_batch(8)
+            .max_wait(Duration::from_micros(100))
+            .queue_capacity(2)
+            .obs(obs)
+            .chaos(ChaosConfig::standard())
+            .build()
+            .unwrap(),
     )
     .unwrap();
 

@@ -50,7 +50,7 @@ fn start_server(config: ServerConfig) -> PredictionServer {
 }
 
 fn net_config() -> ServerConfig {
-    ServerConfig { net: Some(NetConfig::default()), ..ServerConfig::default() }
+    ServerConfig::builder().net(NetConfig::default()).build().expect("valid config")
 }
 
 fn connect(server: &PredictionServer) -> TcpStream {
@@ -154,11 +154,13 @@ fn binary_predictions_match_the_model_over_a_real_socket() {
 
 #[test]
 fn telemetry_exports_crossmine_net_series() {
-    let server = start_server(ServerConfig {
-        net: Some(NetConfig::default()),
-        telemetry_addr: Some("127.0.0.1:0".parse().unwrap()),
-        ..ServerConfig::default()
-    });
+    let server = start_server(
+        ServerConfig::builder()
+            .net(NetConfig::default())
+            .telemetry_addr("127.0.0.1:0".parse().unwrap())
+            .build()
+            .expect("valid config"),
+    );
     // Drive one request through the wire so the counters are nonzero.
     let stream = connect(&server);
     let mut writer = stream.try_clone().expect("clone");
@@ -190,17 +192,19 @@ fn overload_is_a_typed_429_and_accept_never_blocks() {
     // A stalling worker and a 2-slot queue: wire requests pile up and the
     // listener must answer 429 from the admission check while continuing
     // to accept fresh connections.
-    let server = start_server(ServerConfig {
-        workers: 1,
-        queue_capacity: 2,
-        chaos: ChaosConfig {
-            stall_every: 1,
-            stall_for: Duration::from_millis(30),
-            ..Default::default()
-        },
-        net: Some(NetConfig::default()),
-        ..ServerConfig::default()
-    });
+    let server = start_server(
+        ServerConfig::builder()
+            .workers(1)
+            .queue_capacity(2)
+            .chaos(ChaosConfig {
+                stall_every: 1,
+                stall_for: Duration::from_millis(30),
+                ..Default::default()
+            })
+            .net(NetConfig::default())
+            .build()
+            .expect("valid config"),
+    );
     let f = fixture();
     // Fire a burst of concurrent connections WITHOUT reading responses,
     // so requests pile into the 2-slot queue while the worker stalls.
@@ -241,10 +245,12 @@ fn overload_is_a_typed_429_and_accept_never_blocks() {
 #[test]
 fn net_chaos_stalled_half_closed_and_midframe_disconnects() {
     let f = fixture();
-    let server = start_server(ServerConfig {
-        net: Some(NetConfig { idle_timeout: Duration::from_millis(200), ..NetConfig::default() }),
-        ..ServerConfig::default()
-    });
+    let server = start_server(
+        ServerConfig::builder()
+            .net(NetConfig { idle_timeout: Duration::from_millis(200), ..NetConfig::default() })
+            .build()
+            .expect("valid config"),
+    );
 
     // 1. Stalled client: opens a connection, sends half an HTTP request,
     //    then goes silent. (Held open; reaped by the idle timeout later.)

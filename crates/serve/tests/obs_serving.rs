@@ -27,7 +27,7 @@ fn enabled_handle_traces_serving_and_changes_no_prediction() {
     let obs = ObsHandle::enabled();
     let plan = CompiledPlan::compile(&model, &db.schema).unwrap();
     let registry = Arc::new(ModelRegistry::new(plan));
-    let config = ServerConfig { workers: 2, obs: obs.clone(), ..Default::default() };
+    let config = ServerConfig::builder().workers(2).obs(obs.clone()).build().unwrap();
     let server = PredictionServer::start(Arc::new(db), registry, config).unwrap();
     for (i, &row) in rows.iter().enumerate() {
         assert_eq!(

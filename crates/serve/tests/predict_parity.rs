@@ -10,8 +10,8 @@ use proptest::prelude::*;
 use crossmine_core::classifier::{CrossMine, CrossMineModel};
 use crossmine_relational::{ClassLabel, Database, Row};
 use crossmine_serve::{
-    evaluate_batch, evaluate_batch_traced, CompiledPlan, ModelRegistry, PredictionServer,
-    ServeError, ServeScratch, ServerConfig,
+    evaluate_batch, evaluate_batch_traced, CompiledPlan, ModelRegistry, PredictionHandle,
+    PredictionServer, ServeError, ServeRequest, ServeScratch, ServerConfig,
 };
 use crossmine_synth::{generate, GenParams};
 
@@ -20,6 +20,11 @@ struct Fixture {
     model: CrossMineModel,
     rows: Vec<Row>,
     expected: Vec<ClassLabel>,
+}
+
+/// One-row submission through the unified [`ServeRequest`] surface.
+fn submit_one(server: &PredictionServer, row: Row) -> Result<PredictionHandle, ServeError> {
+    server.serve(ServeRequest::row(row)).map(|mut handles| handles.pop().expect("one handle"))
 }
 
 fn fixture() -> &'static Fixture {
@@ -188,18 +193,18 @@ fn server_matches_predict_across_workers_and_batch_sizes() {
             let server = PredictionServer::start(
                 Arc::clone(&f.db),
                 registry,
-                ServerConfig {
-                    workers,
-                    max_batch,
-                    max_wait: Duration::from_micros(100),
-                    queue_capacity: 256,
-                    ..Default::default()
-                },
+                ServerConfig::builder()
+                    .workers(workers)
+                    .max_batch(max_batch)
+                    .max_wait(Duration::from_micros(100))
+                    .queue_capacity(256)
+                    .build()
+                    .unwrap(),
             )
             .unwrap();
             // Submit everything first (exercises batching), then collect.
             let receivers: Vec<_> =
-                f.rows.iter().map(|&r| server.submit(r).expect("capacity fits")).collect();
+                f.rows.iter().map(|&r| submit_one(&server, r).expect("capacity fits")).collect();
             for (i, rx) in receivers.into_iter().enumerate() {
                 let p = rx.wait().expect("reply delivered");
                 assert_eq!(p.row, f.rows[i]);
@@ -235,13 +240,13 @@ fn hot_swap_mid_stream_is_epoch_consistent() {
         let server = PredictionServer::start(
             Arc::clone(&f.db),
             Arc::clone(&registry),
-            ServerConfig {
-                workers,
-                max_batch: 8,
-                max_wait: Duration::from_micros(50),
-                queue_capacity: 64,
-                ..Default::default()
-            },
+            ServerConfig::builder()
+                .workers(workers)
+                .max_batch(8)
+                .max_wait(Duration::from_micros(50))
+                .queue_capacity(64)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let half = f.rows.len() / 2;
@@ -287,13 +292,13 @@ fn concurrent_swap_never_tears_a_batch() {
     let server = PredictionServer::start(
         Arc::clone(&f.db),
         Arc::clone(&registry),
-        ServerConfig {
-            workers: 4,
-            max_batch: 8,
-            max_wait: Duration::from_micros(50),
-            queue_capacity: 32,
-            ..Default::default()
-        },
+        ServerConfig::builder()
+            .workers(4)
+            .max_batch(8)
+            .max_wait(Duration::from_micros(50))
+            .queue_capacity(32)
+            .build()
+            .unwrap(),
     )
     .unwrap();
 
@@ -316,7 +321,7 @@ fn concurrent_swap_never_tears_a_batch() {
             .rows
             .iter()
             .map(|&r| loop {
-                match server.submit(r) {
+                match submit_one(&server, r) {
                     Ok(h) => break h,
                     Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
                     Err(e) => panic!("unexpected admission error: {e}"),

@@ -36,16 +36,12 @@ fn fixture() -> Fixture {
 fn start_server(obs: ObsHandle) -> (PredictionServer, Vec<Row>, SocketAddr) {
     let f = fixture();
     let registry = Arc::new(ModelRegistry::new(f.plan));
-    let server = PredictionServer::start(
-        f.db,
-        registry,
-        ServerConfig {
-            obs,
-            telemetry_addr: Some("127.0.0.1:0".parse().expect("literal addr")),
-            ..ServerConfig::default()
-        },
-    )
-    .expect("start");
+    let config = ServerConfig::builder()
+        .obs(obs)
+        .telemetry_addr("127.0.0.1:0".parse().expect("literal addr"))
+        .build()
+        .expect("valid config");
+    let server = PredictionServer::start(f.db, registry, config).expect("start");
     let addr = server.telemetry_addr().expect("telemetry bound");
     (server, f.rows, addr)
 }
@@ -126,8 +122,11 @@ fn healthz_reports_degraded_after_deadline_expiry_then_recovers() {
 
     // A zero deadline is already expired when a worker collects it: a
     // deterministic degradation event.
-    let err =
-        server.predict_within(rows[0], Duration::ZERO).expect_err("zero deadline must expire");
+    let req = crossmine_serve::ServeRequest::row(rows[0]).deadline(Duration::ZERO);
+    let err = server
+        .serve(req)
+        .and_then(|mut handles| handles.pop().expect("one handle").wait())
+        .expect_err("zero deadline must expire");
     assert!(matches!(err, crossmine_serve::ServeError::DeadlineExceeded { .. }), "{err:?}");
 
     // Degraded once (events since last probe), then back to serving.

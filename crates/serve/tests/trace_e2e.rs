@@ -113,12 +113,14 @@ fn find_trace(tracer: &Tracer, id: TraceId) -> StoredTrace {
 fn wire_request_yields_the_full_causal_chain_as_one_tree() {
     let f = fixture();
     let tracer = keep_all_tracer();
-    let server = start_server(ServerConfig {
-        net: Some(NetConfig::default()),
-        telemetry_addr: Some("127.0.0.1:0".parse().expect("literal addr")),
-        tracer: tracer.clone(),
-        ..ServerConfig::default()
-    });
+    let server = start_server(
+        ServerConfig::builder()
+            .net(NetConfig::default())
+            .telemetry_addr("127.0.0.1:0".parse().expect("literal addr"))
+            .tracer(tracer.clone())
+            .build()
+            .expect("valid config"),
+    );
     let net_addr = server.net_addr().expect("net bound");
 
     let (code, body) = http_roundtrip(net_addr, &predict_request(f.rows[0].0, 4242));
@@ -174,12 +176,14 @@ fn wire_request_yields_the_full_causal_chain_as_one_tree() {
 fn p99_exemplar_resolves_to_a_stored_trace() {
     let f = fixture();
     let tracer = keep_all_tracer();
-    let server = start_server(ServerConfig {
-        net: Some(NetConfig::default()),
-        telemetry_addr: Some("127.0.0.1:0".parse().expect("literal addr")),
-        tracer: tracer.clone(),
-        ..ServerConfig::default()
-    });
+    let server = start_server(
+        ServerConfig::builder()
+            .net(NetConfig::default())
+            .telemetry_addr("127.0.0.1:0".parse().expect("literal addr"))
+            .tracer(tracer.clone())
+            .build()
+            .expect("valid config"),
+    );
     let net_addr = server.net_addr().expect("net bound");
     for (i, &row) in f.rows.iter().take(8).enumerate() {
         let (code, body) = http_roundtrip(net_addr, &predict_request(row.0, 9000 + i as u64));
@@ -217,7 +221,8 @@ fn p99_exemplar_resolves_to_a_stored_trace() {
 fn in_process_submissions_are_traced_and_completed_by_workers() {
     let f = fixture();
     let tracer = keep_all_tracer();
-    let server = start_server(ServerConfig { tracer: tracer.clone(), ..ServerConfig::default() });
+    let server =
+        start_server(ServerConfig::builder().tracer(tracer.clone()).build().expect("valid config"));
     server.predict(f.rows[0]).expect("predict");
     // In-process traces complete in the worker right after the reply is
     // sent — no socket involved, but still poll: the send happens before
@@ -244,8 +249,11 @@ fn in_process_submissions_are_traced_and_completed_by_workers() {
 
     // A zero deadline expires at batch collection: tail sampling must keep
     // the trace as an error even though it was fast.
-    let err =
-        server.predict_within(f.rows[0], Duration::ZERO).expect_err("zero deadline must expire");
+    let req = crossmine_serve::ServeRequest::row(f.rows[0]).deadline(Duration::ZERO);
+    let err = server
+        .serve(req)
+        .and_then(|mut handles| handles.pop().expect("one handle").wait())
+        .expect_err("zero deadline must expire");
     assert!(matches!(err, crossmine_serve::ServeError::DeadlineExceeded { .. }), "{err:?}");
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
@@ -267,13 +275,15 @@ fn scrape_surface_is_identical_with_tracing_on_and_off() {
     let f = fixture();
     // Two identical servers, the only difference being the tracer.
     let families = |tracer: Tracer| {
-        let server = start_server(ServerConfig {
-            net: Some(NetConfig::default()),
-            telemetry_addr: Some("127.0.0.1:0".parse().expect("literal addr")),
-            obs: crossmine_serve::ObsHandle::enabled(),
-            tracer,
-            ..ServerConfig::default()
-        });
+        let server = start_server(
+            ServerConfig::builder()
+                .net(NetConfig::default())
+                .telemetry_addr("127.0.0.1:0".parse().expect("literal addr"))
+                .obs(crossmine_serve::ObsHandle::enabled())
+                .tracer(tracer)
+                .build()
+                .expect("valid config"),
+        );
         let net_addr = server.net_addr().expect("net bound");
         let (code, _) = http_roundtrip(net_addr, &predict_request(f.rows[0].0, 7));
         assert_eq!(code, 200);

@@ -66,11 +66,11 @@ pub use crossmine_datasets::{
 };
 pub use crossmine_obs::{ObsHandle, ServeReport, TrainReport};
 pub use crossmine_relational::{
-    AttrId, AttrType, Attribute, ClassLabel, DataError, Database, DatabaseSchema, JoinGraph, RelId,
-    RelationSchema, RelationalError, Row, SchemaError, Value,
+    AttrId, AttrType, Attribute, ClassLabel, DataError, Database, DatabaseSchema, DeltaBatch,
+    JoinGraph, RelId, RelationSchema, RelationalError, Row, SchemaError, Value,
 };
 pub use crossmine_serve::{
-    ChaosConfig, CompiledPlan, ModelRegistry, PlanError, Prediction, PredictionHandle,
-    PredictionServer, ServeError, ServerConfig,
+    ChaosConfig, CompiledPlan, ModelRegistry, NetConfig, PlanError, Prediction, PredictionHandle,
+    PredictionServer, ServeError, ServeRequest, ServerConfig, ShardRouter, Tracer,
 };
 pub use crossmine_synth::{generate, GenParams};

@@ -24,10 +24,11 @@ pub use crossmine_core::{
 };
 pub use crossmine_relational::{
     AttrId, AttrType, Attribute, ClassLabel, DataError, Database, DatabaseBuilder, DatabaseSchema,
-    JoinGraph, RelId, RelationSchema, RelationalError, Row, SchemaError, Value,
+    DeltaBatch, JoinGraph, RelId, RelationSchema, RelationalError, Row, SchemaError, Value,
 };
 pub use crossmine_serve::{
-    ChaosConfig, CompiledPlan, ModelRegistry, PlanError, Prediction, PredictionHandle,
-    PredictionServer, ServeError, ServerConfig,
+    ChaosConfig, CompiledPlan, DeltaStats, ModelRegistry, NetConfig, PlanError, Prediction,
+    PredictionHandle, PredictionServer, RouterStats, ServeError, ServeRequest, ServerConfig,
+    ServerConfigBuilder, ShardConfig, ShardRouter, ShardStats,
 };
 pub use crossmine_synth::{generate, GenParams};
