@@ -79,6 +79,17 @@
 //! trace holds the whole chain. Combined with `--prom` it also fetches
 //! `GET /trace` over real TCP mid-proof.
 //!
+//! `--profile` attaches the continuous in-process profiler (wall
+//! sampler raised to 1997 Hz for the proof, allocation attribution on —
+//! this binary installs [`crossmine_obs::ProfiledAllocator`] as its
+//! global allocator). After the run it dies unless the folded stacks
+//! hold the full worker chain `serve.worker;serve.batch;serve.eval`
+//! (plus the `net.poll` wire root under `--net`), the flamegraph SVG is
+//! well-formed, and the heap report attributes the `serve.queue` lock;
+//! with `--prom` the same three surfaces are also fetched over real TCP
+//! (`GET /profile`, `/profile/flamegraph`, `/profile/heap`). Every
+//! check prints a grep-able `profile proof:` line.
+//!
 //! Exits non-zero on any parity mismatch, delivery error, or lost request.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -88,7 +99,9 @@ use std::time::{Duration, Instant};
 use crossmine_bench::net_client::{NetClient, NetProto};
 use crossmine_bench::serve_client::submit_with_retry;
 use crossmine_core::{CrossMine, CrossMineParams};
-use crossmine_obs::{ObsHandle, ServeReport, TrainReport};
+use crossmine_obs::{
+    ObsHandle, ProfileConfig, ProfiledAllocator, Profiler, ServeReport, TrainReport,
+};
 use crossmine_relational::{AttrId, ClassLabel, Database, DeltaBatch, Row, Value};
 use crossmine_serve::{
     evaluate_batch, predict_disk, ChaosConfig, CompiledPlan, ModelRegistry, NetConfig,
@@ -96,6 +109,12 @@ use crossmine_serve::{
 };
 use crossmine_storage::DiskDatabase;
 use crossmine_synth::{generate, GenParams};
+
+/// Allocation attribution needs the wrapper in front of the system
+/// allocator for the whole process; without `--profile` no profiler
+/// registers and every allocation costs one relaxed atomic load extra.
+#[global_allocator]
+static ALLOC: ProfiledAllocator<std::alloc::System> = ProfiledAllocator(std::alloc::System);
 
 struct Args {
     smoke: bool,
@@ -116,6 +135,7 @@ struct Args {
     net_proto: NetProtoArg,
     trace: bool,
     shards: usize,
+    profile: bool,
 }
 
 /// `--net-proto`: which protocol the wire clients speak.
@@ -149,6 +169,7 @@ impl Default for Args {
             net_proto: NetProtoArg::Both,
             trace: false,
             shards: 1,
+            profile: false,
         }
     }
 }
@@ -200,6 +221,7 @@ fn parse_args() -> Args {
             }
             "--conns" => args.conns = take(&mut i) as usize,
             "--trace" => args.trace = true,
+            "--profile" => args.profile = true,
             "--shards" => args.shards = take(&mut i) as usize,
             "--net-proto" => {
                 i += 1;
@@ -282,11 +304,18 @@ fn main() {
     // `--trace`: the default tail-sampling config (256-trace ring, every
     // error kept, slowest 8 per 128-completion window).
     let tracer = if args.trace { Tracer::enabled() } else { Tracer::noop() };
+    // `--profile`: a hot sampler (1997 Hz instead of the production-default
+    // 97) so even the smoke run lands samples inside every worker frame.
+    let profiler = if args.profile {
+        Profiler::with_config(ProfileConfig { hz: 1997, ..Default::default() })
+    } else {
+        Profiler::noop()
+    };
 
     // `--shards`: the whole run moves behind a ShardRouter — two phases
     // around a mid-run delta broadcast, two rolling installs.
     if args.shards != 1 {
-        run_sharded(&args, db, &rows, &expected, &plan, &train_obs, &serve_obs, tracer);
+        run_sharded(&args, db, &rows, &expected, &plan, &train_obs, &serve_obs, tracer, profiler);
         return;
     }
 
@@ -300,7 +329,8 @@ fn main() {
         .queue_capacity(if args.chaos { 2 } else { 1024 })
         .obs(serve_obs.clone())
         .chaos(if args.chaos { ChaosConfig::standard() } else { ChaosConfig::off() })
-        .tracer(tracer.clone());
+        .tracer(tracer.clone())
+        .profiler(profiler.clone());
     if let Some(a) = &args.prom {
         config_builder = config_builder.telemetry_addr(
             a.parse().unwrap_or_else(|e| die(&format!("--prom: invalid address {a:?}: {e}"))),
@@ -498,6 +528,16 @@ fn main() {
         }
     }
 
+    if args.profile {
+        // Prove the profile surfaces before shutdown, while the worker
+        // and poll threads still publish their stacks.
+        profile_proof(&profiler, server.telemetry_addr(), args.net.is_some(), || {
+            for &row in rows.iter().take(32) {
+                let _ = server.predict(row);
+            }
+        });
+    }
+
     let wire_stats = server.net_metrics().map(|m| m.snapshot());
     let report = server.shutdown();
     let throughput = total as f64 / elapsed.as_secs_f64();
@@ -629,6 +669,7 @@ fn run_sharded(
     train_obs: &ObsHandle,
     serve_obs: &ObsHandle,
     tracer: Tracer,
+    profiler: Profiler,
 ) {
     if args.trace && args.net.is_none() {
         die("--trace with --shards needs --net (wire requests own their traces)");
@@ -643,6 +684,7 @@ fn run_sharded(
         .obs(serve_obs.clone())
         .chaos(if args.chaos { ChaosConfig::standard() } else { ChaosConfig::off() })
         .tracer(tracer.clone())
+        .profiler(profiler.clone())
         .shards(args.shards);
     if let Some(a) = &args.prom {
         builder = builder.telemetry_addr(
@@ -866,6 +908,14 @@ fn run_sharded(
                 body.len()
             );
         }
+    }
+
+    if args.profile {
+        profile_proof(&profiler, router.telemetry_addr(), args.net.is_some(), || {
+            for &row in merged_rows.iter().take(16) {
+                let _ = sharded_request(&router, row, 1, chaos, &retried);
+            }
+        });
     }
 
     let wire_stats = router.net_metrics().map(|m| m.snapshot());
@@ -1165,6 +1215,99 @@ fn chaos_request(
         }
     }
     die("request starved: not answered within the chaos retry budget")
+}
+
+/// The `--profile` acceptance drill, run before shutdown while the
+/// worker and poll threads still publish their span stacks. Dies unless
+/// every surface holds: the folded stacks must carry the full worker
+/// chain (`drive` feeds extra requests and forces sampler sweeps until
+/// they do, so the check never races the sampling cadence), the
+/// flamegraph must be a well-formed SVG, the heap report must attribute
+/// the admission-queue lock, and — when telemetry is bound — all three
+/// must also answer over real TCP. Prints one grep-able
+/// `profile proof:` line per check plus soft `profile note:` lines for
+/// the short-lived frames whose sampling is load-dependent.
+fn profile_proof(
+    profiler: &Profiler,
+    telemetry: Option<std::net::SocketAddr>,
+    wire: bool,
+    mut drive: impl FnMut(),
+) {
+    const CHAIN: &str = "serve.worker;serve.batch;serve.eval";
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !profiler.collapsed().contains(CHAIN) {
+        if Instant::now() >= deadline {
+            die(&format!(
+                "--profile: sampler never observed {CHAIN}; folded stacks:\n{}",
+                profiler.collapsed()
+            ));
+        }
+        drive();
+        profiler.sample_now();
+    }
+    let collapsed = profiler.collapsed();
+    println!();
+    println!("profile proof: chain {CHAIN} observed");
+    if wire {
+        // net.poll is the poll thread's lifetime root: any sample taken
+        // while the wire front end is up must carry it.
+        if !collapsed.contains("net.poll") {
+            die("--profile: wire run but net.poll never sampled");
+        }
+        println!("profile proof: net.poll observed");
+    }
+
+    let svg = profiler.flamegraph_svg();
+    let well_formed = svg.starts_with("<svg")
+        && svg.trim_end().ends_with("</svg>")
+        && svg.matches("<g>").count() == svg.matches("</g>").count()
+        && svg.contains("serve.eval");
+    if !well_formed {
+        die("--profile: flamegraph SVG is malformed or missing the eval frame");
+    }
+    println!("profile proof: flamegraph svg well-formed ({} bytes)", svg.len());
+
+    let heap = profiler.heap_report();
+    if !heap.contains("# heap:") || !heap.contains("# locks:") {
+        die("--profile: heap report is missing its heap or lock table");
+    }
+    if !heap.contains("serve.queue") {
+        die(&format!("--profile: no serve.queue lock-wait attribution:\n{heap}"));
+    }
+    let lock_rows = heap
+        .lines()
+        .skip_while(|l| !l.starts_with("# locks:"))
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .count();
+    println!(
+        "profile proof: heap report {} bytes, {} lock-wait series (serve.queue attributed)",
+        heap.len(),
+        lock_rows
+    );
+
+    // Short-lived frames: whether a 1997 Hz sampler lands inside them
+    // depends on load shape, so presence is reported, not asserted.
+    for frame in
+        ["net.sniff", "net.parse", "net.write", "serve.admission", "serve.wait", "shard.route"]
+    {
+        println!("profile note: {frame} sampled={}", collapsed.contains(frame));
+    }
+
+    if let Some(addr) = telemetry {
+        let over_tcp = http_get(addr, "/profile");
+        if !over_tcp.contains(CHAIN) {
+            die("--profile: GET /profile is missing the worker chain");
+        }
+        let svg_tcp = http_get(addr, "/profile/flamegraph");
+        if !svg_tcp.starts_with("<svg") {
+            die("--profile: GET /profile/flamegraph did not answer an SVG");
+        }
+        let heap_tcp = http_get(addr, "/profile/heap");
+        if !heap_tcp.contains("# locks:") {
+            die("--profile: GET /profile/heap is missing the lock table");
+        }
+        println!("profile proof: /profile /profile/flamegraph /profile/heap live over TCP");
+    }
 }
 
 /// One blocking HTTP/1.1 GET against the telemetry endpoint, returning

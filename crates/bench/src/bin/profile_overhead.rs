@@ -1,0 +1,123 @@
+//! Measures the wall-clock cost of continuous profiling on serving.
+//!
+//! Starts the prediction server on the §7.1 `R5.T200.F3` workload twice
+//! per rep — once with [`Profiler::noop`], once with the production
+//! default [`Profiler::enabled`] (97 Hz wall sampler, allocation
+//! attribution through this binary's [`ProfiledAllocator`], lock-wait
+//! timers on the admission queue / registry / count store) — drives the
+//! same request stream through both, verifies the answers are identical,
+//! and reports mean wall time per configuration plus the relative
+//! overhead. The acceptance budget is **< 5%** for the enabled profiler;
+//! the disabled path is separately pinned to zero allocations by
+//! `crossmine-obs`'s counting-allocator test.
+//!
+//! Configurations are interleaved so drift (thermal, cache) hits both
+//! evenly, with one untimed warmup rep each.
+//!
+//! ```text
+//! cargo run --release -p crossmine-bench --bin profile_overhead
+//! cargo run --release -p crossmine-bench --bin profile_overhead -- --reps 20 --requests 5000
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossmine_core::CrossMine;
+use crossmine_obs::{ProfiledAllocator, Profiler};
+use crossmine_relational::{ClassLabel, Row};
+use crossmine_serve::{CompiledPlan, ModelRegistry, PredictionServer, ServerConfig};
+use crossmine_synth::{generate, GenParams};
+
+/// The enabled half measures what production pays, so the allocator
+/// wrapper the attribution rides on must be installed here too.
+#[global_allocator]
+static ALLOC: ProfiledAllocator<std::alloc::System> = ProfiledAllocator(std::alloc::System);
+
+fn main() {
+    let mut reps = 10usize;
+    let mut requests = 2_000usize;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--reps" => {
+                i += 1;
+                reps = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--reps needs a positive integer");
+            }
+            "--requests" => {
+                i += 1;
+                requests = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--requests needs a positive integer");
+            }
+            other => panic!("unknown flag {other} (try --reps N --requests N)"),
+        }
+        i += 1;
+    }
+
+    let db = generate(&GenParams {
+        num_relations: 5,
+        expected_tuples: 200,
+        min_tuples: 60,
+        expected_foreign_keys: 3,
+        seed: 42,
+        ..Default::default()
+    });
+    let rows: Vec<Row> = db.relation(db.target().expect("target set")).iter_rows().collect();
+    let model = CrossMine::default().fit(&db, &rows).expect("generated database is valid");
+    let plan = CompiledPlan::compile(&model, &db.schema).expect("trained model compiles");
+    let db = Arc::new(db);
+    println!(
+        "R5.T200.F3 ({} target rows), {reps} reps x {requests} requests per configuration",
+        rows.len()
+    );
+
+    let serve = |profiler: Profiler| -> (Duration, Vec<ClassLabel>) {
+        let registry = Arc::new(ModelRegistry::new(plan.clone()));
+        let config = ServerConfig::builder()
+            .profiler(profiler)
+            .build()
+            .expect("default server config is valid");
+        let server = PredictionServer::start(Arc::clone(&db), registry, config)
+            .expect("default server config starts");
+        // Warm the fresh server (thread spin-up, first-batch plan touch).
+        for i in 0..64 {
+            server.predict(rows[i % rows.len()]).expect("warmup request");
+        }
+        let mut labels = Vec::with_capacity(requests);
+        let start = Instant::now();
+        for i in 0..requests {
+            let p = server.predict(rows[i % rows.len()]).expect("bench request");
+            labels.push(p.label);
+        }
+        let elapsed = start.elapsed();
+        server.shutdown();
+        (elapsed, labels)
+    };
+
+    let (_, baseline_labels) = serve(Profiler::noop());
+    let (_, profiled_labels) = serve(Profiler::enabled());
+    assert_eq!(baseline_labels, profiled_labels, "profiling must not change what is served");
+
+    let mut noop = Duration::ZERO;
+    let mut enabled = Duration::ZERO;
+    for _ in 0..reps {
+        noop += serve(Profiler::noop()).0;
+        enabled += serve(Profiler::enabled()).0;
+    }
+    let noop_mean = noop / reps as u32;
+    let enabled_mean = enabled / reps as u32;
+    let overhead = enabled_mean.as_secs_f64() / noop_mean.as_secs_f64() - 1.0;
+    println!("no-op profiler:   {noop_mean:?} mean");
+    println!("enabled profiler: {enabled_mean:?} mean");
+    println!("overhead:         {:+.1}%", overhead * 100.0);
+    if overhead > 0.05 {
+        eprintln!("profile_overhead: WARNING: overhead above the 5% target");
+        std::process::exit(1);
+    }
+    println!("OK: within the 5% overhead target");
+}

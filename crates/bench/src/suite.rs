@@ -468,6 +468,67 @@ pub fn run_suite(config: &SuiteConfig, mut progress: impl FnMut(&str)) -> BenchR
         }
     }
 
+    // -- Serve: the same end-to-end latency with the continuous profiler
+    // on at production defaults (97 Hz wall sampler, allocation tracking,
+    // lock-wait timers). Pinned in the baseline so profiler overhead
+    // regressions gate like any other slowdown; the enabled-vs-disabled
+    // <5% budget itself is proven by the `profile_overhead` binary.
+    let want_prof_p50 = wants(config, "serve.latency_p50.profiled");
+    let want_prof_p99 = wants(config, "serve.latency_p99.profiled");
+    if want_prof_p50 || want_prof_p99 {
+        let mut p50_runs = Vec::with_capacity(config.samples);
+        let mut p99_runs = Vec::with_capacity(config.samples);
+        for _ in 0..config.samples {
+            let profiler = crossmine_obs::Profiler::enabled();
+            let registry = Arc::new(ModelRegistry::new(plan.clone()));
+            let server = PredictionServer::start(
+                Arc::clone(&db),
+                registry,
+                ServerConfig::builder()
+                    .chaos(config.chaos.clone())
+                    .profiler(profiler)
+                    .build()
+                    .expect("default server config is valid"),
+            )
+            .expect("default server config is valid");
+            for i in 0..(config.serve_requests / 10).clamp(8, 64) {
+                let row = rows[i % rows.len()];
+                server.predict(row).expect("serve warmup runs without panics or deadlines");
+            }
+            let mut latencies_us = Vec::with_capacity(config.serve_requests);
+            for i in 0..config.serve_requests {
+                let row = rows[i % rows.len()];
+                let start = Instant::now();
+                server.predict(row).expect("serve bench runs without panics or deadlines");
+                latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+            }
+            server.shutdown();
+            latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let q = |f: f64| {
+                let idx = ((latencies_us.len() - 1) as f64 * f).round() as usize;
+                latencies_us[idx]
+            };
+            p50_runs.push(q(0.50));
+            p99_runs.push(q(0.99));
+        }
+        if want_prof_p50 {
+            let sample = sample_from("serve.latency_p50.profiled", "us", p50_runs);
+            progress(&format!(
+                "{:<32} median {:.1} us (mad {:.1})",
+                sample.name, sample.median, sample.mad
+            ));
+            results.push(sample);
+        }
+        if want_prof_p99 {
+            let sample = sample_from("serve.latency_p99.profiled", "us", p99_runs);
+            progress(&format!(
+                "{:<32} median {:.1} us (mad {:.1})",
+                sample.name, sample.median, sample.mad
+            ));
+            results.push(sample);
+        }
+    }
+
     // -- Net: socket-to-socket latency over each wire protocol -----------
     // Same server, same model, but the request crosses the crossmine-net
     // front end over real TCP: sniff, parse/decode, admission, scoring,

@@ -42,8 +42,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
+use crossmine_obs::LockTimer;
 use crossmine_relational::{AttrId, Database, JoinEdge, RelId, Row, Value};
 
 use crate::idset::TargetSet;
@@ -422,6 +423,12 @@ impl StoreInner {
 #[derive(Clone, Default)]
 pub struct StatsCache {
     inner: Arc<Mutex<StoreInner>>,
+    /// Contention attribution: when a profiler is wired (see
+    /// [`set_lock_timer`](Self::set_lock_timer)), every acquisition of the
+    /// store mutex is timed into the `stats_cache` wait histogram. Shared
+    /// across clones like the store itself; empty costs one branch per
+    /// lock.
+    timer: Arc<OnceLock<LockTimer>>,
 }
 
 impl std::fmt::Debug for StatsCache {
@@ -443,12 +450,27 @@ impl StatsCache {
         Self::default()
     }
 
+    /// Wires contention attribution: every subsequent lock of the store
+    /// mutex is timed into `timer`'s wait histogram. First set wins (a
+    /// store shared by several learners keeps one consistent series).
+    pub fn set_lock_timer(&self, timer: LockTimer) {
+        let _ = self.timer.set(timer);
+    }
+
+    fn lock_inner(&self) -> MutexGuard<'_, StoreInner> {
+        let acquire = || self.inner.lock().expect("stats cache poisoned");
+        match self.timer.get() {
+            Some(t) => t.time(acquire),
+            None => acquire(),
+        }
+    }
+
     /// The single locked pass of one search round: validates the database
     /// stamp (clearing the store when it changed), then resolves every key
     /// to its entry — bumping LRU recency and the hit counter — in one
     /// deterministic sweep. Workers then read their `Arc`s without locking.
     pub fn prepare(&self, db_stamp: (u64, u64), keys: &[PathKey]) -> Vec<Option<Arc<CachedEntry>>> {
-        let mut inner = self.inner.lock().expect("stats cache poisoned");
+        let mut inner = self.lock_inner();
         if inner.db_stamp != Some(db_stamp) {
             let stale: usize = inner.map.len();
             if stale > 0 {
@@ -478,7 +500,7 @@ impl StatsCache {
         items: impl IntoIterator<Item = (PathKey, Arc<CachedEntry>)>,
         budget_bytes: usize,
     ) {
-        let mut inner = self.inner.lock().expect("stats cache poisoned");
+        let mut inner = self.lock_inner();
         for (key, entry) in items {
             inner.clock += 1;
             let clock = inner.clock;
@@ -497,7 +519,7 @@ impl StatsCache {
     /// cleared, not merely restricted). Entries of other relations and
     /// epochs — and everything [`SourceSig::Identity`] — survive.
     pub fn retire_source(&self, state: u64, rel: RelId, epoch: u32) {
-        let mut inner = self.inner.lock().expect("stats cache poisoned");
+        let mut inner = self.lock_inner();
         inner.retire_where(|key| key.source == SourceSig::State { state, rel, epoch });
     }
 
@@ -505,7 +527,7 @@ impl StatsCache {
     /// negative-sample set and covering set of the next clause get a fresh
     /// state id). Identity-keyed entries survive.
     pub fn retire_state(&self, state: u64) {
-        let mut inner = self.inner.lock().expect("stats cache poisoned");
+        let mut inner = self.lock_inner();
         inner.retire_where(
             |key| matches!(key.source, SourceSig::State { state: s, .. } if s == state),
         );
@@ -513,7 +535,7 @@ impl StatsCache {
 
     /// Cumulative counters plus current size.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("stats cache poisoned");
+        let inner = self.lock_inner();
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -525,7 +547,7 @@ impl StatsCache {
 
     /// The keys currently resident (diagnostics and invalidation tests).
     pub fn keys(&self) -> Vec<PathKey> {
-        let inner = self.inner.lock().expect("stats cache poisoned");
+        let inner = self.lock_inner();
         inner.map.keys().cloned().collect()
     }
 
@@ -534,7 +556,7 @@ impl StatsCache {
     /// (`stats.cache_hits` / `stats.cache_misses` / `stats.cache_evictions`)
     /// and the `stats.cache_bytes` gauge.
     pub fn drain_report(&self) -> (u64, u64, u64, usize) {
-        let mut inner = self.inner.lock().expect("stats cache poisoned");
+        let mut inner = self.lock_inner();
         let delta = (
             inner.hits - inner.reported.0,
             inner.misses - inner.reported.1,

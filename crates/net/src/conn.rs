@@ -16,7 +16,7 @@
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-use crossmine_obs::{TraceCtx, Tracer, ROOT_SPAN};
+use crossmine_obs::{Profiler, TraceCtx, Tracer, ROOT_SPAN};
 use crossmine_relational::Row;
 
 use crate::frame;
@@ -140,6 +140,10 @@ pub struct Connection {
     encoded_err: u64,
     /// Births one trace per predict request (noop tracer = zero cost).
     tracer: Tracer,
+    /// Publishes `net.sniff` / `net.parse` frames while pumping, so wall
+    /// samples of the poll thread attribute protocol work (noop = one
+    /// branch per pump).
+    profiler: Profiler,
     /// First-byte arrival of the request currently being accumulated;
     /// consumed by `dispatch` as the trace origin, re-armed on the next
     /// read that starts a fresh request.
@@ -168,6 +172,12 @@ impl Connection {
 
     /// A fresh connection whose predict requests are traced by `tracer`.
     pub fn with_tracer(now: Instant, tracer: Tracer) -> Self {
+        Self::with_obs(now, tracer, Profiler::noop())
+    }
+
+    /// A fresh connection with both a tracer and a profiler; what the
+    /// listener constructs so pump-time frames land in the wall sampler.
+    pub fn with_obs(now: Instant, tracer: Tracer, profiler: Profiler) -> Self {
         Connection {
             proto: Protocol::Undecided,
             rbuf: Vec::new(),
@@ -183,6 +193,7 @@ impl Connection {
             encoded_ok: 0,
             encoded_err: 0,
             tracer,
+            profiler,
             read_since: None,
             sniff_done: None,
             enqueued_total: 0,
@@ -331,6 +342,7 @@ impl Connection {
             self.compact_rbuf();
             let buf = &self.rbuf[self.roff..];
             if self.proto == Protocol::Undecided {
+                let _sniff_frame = self.profiler.enter("net.sniff");
                 match sniff(buf) {
                     Sniff::NeedMore => break,
                     Sniff::Http => self.proto = Protocol::Http,
@@ -344,6 +356,10 @@ impl Connection {
                     self.sniff_done = Some(Instant::now());
                 }
             }
+            // Covers parse + dispatch (which runs the backend's submit
+            // closure), so a wire request's admission shows up in the
+            // profile as net.poll;net.parse;serve.admission.
+            let _parse_frame = self.profiler.enter("net.parse");
             let made_progress = match self.proto {
                 Protocol::Http => self.pump_http(limits, draining, &mut submit),
                 Protocol::Binary => self.pump_binary(limits, draining, &mut submit),

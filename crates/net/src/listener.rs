@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossmine_obs::{ObsHandle, TraceCtx, TraceId, Tracer};
+use crossmine_obs::{ObsHandle, Profiler, TraceCtx, TraceId, Tracer};
 use crossmine_relational::Row;
 
 use crate::conn::{Connection, NetLimits, Protocol, WireReject};
@@ -80,6 +80,11 @@ pub struct NetConfig {
     /// keeps the wire path allocation-free; the serve crate installs its
     /// configured tracer here.
     pub tracer: Tracer,
+    /// Publishes the poll thread's span stack (`net.poll` root with
+    /// `net.sniff` / `net.parse` / `net.write` frames) into a wall
+    /// sampler. The default noop profiler costs one branch per frame;
+    /// the serve crate installs its configured profiler here.
+    pub profiler: Profiler,
 }
 
 impl Default for NetConfig {
@@ -91,6 +96,7 @@ impl Default for NetConfig {
             drain_timeout: Duration::from_secs(5),
             limits: NetLimits::default(),
             tracer: Tracer::noop(),
+            profiler: Profiler::noop(),
         }
     }
 }
@@ -211,6 +217,10 @@ fn poll_loop<B: Backend>(
     control: Arc<Control>,
     metrics: Arc<NetMetrics>,
 ) {
+    // Root profile frame held for the poll thread's whole life: every
+    // wall sample of this thread lands under `net.poll`, refined by the
+    // sniff/parse/write frames pushed inside the sweep.
+    let _poll_frame = config.profiler.enter("net.poll");
     let mut conns: Vec<Option<ConnEntry<B>>> = Vec::new();
     let mut buf = vec![0u8; READ_CHUNK];
     let mut finished = Vec::new();
@@ -260,7 +270,7 @@ fn poll_loop<B: Backend>(
         // its exemplars in the same sweep.
         for entry in conns.iter_mut().flatten() {
             mirror_reply_counts(entry, &metrics);
-            progress |= service_writes(entry, &metrics, &obs, now);
+            progress |= service_writes(entry, &metrics, &obs, &config.profiler, now);
             entry.conn.drain_finished(&mut finished);
             for (trace_id, wire_us) in finished.drain(..) {
                 obs.record(STAGE_REQUEST_US, wire_us);
@@ -352,7 +362,7 @@ fn accept_burst<B: Backend>(
                 let _ = stream.set_nodelay(true);
                 let entry = ConnEntry {
                     stream,
-                    conn: Connection::with_tracer(now, config.tracer.clone()),
+                    conn: Connection::with_obs(now, config.tracer.clone(), config.profiler.clone()),
                     pendings: Vec::new(),
                     proto_counted: false,
                     last_encoded: (0, 0),
@@ -481,11 +491,13 @@ fn service_writes<B: Backend>(
     entry: &mut ConnEntry<B>,
     metrics: &NetMetrics,
     obs: &ObsHandle,
+    profiler: &Profiler,
     now: Instant,
 ) -> bool {
     if entry.conn.write_slice().is_empty() {
         return false;
     }
+    let _write_frame = profiler.enter("net.write");
     let started = Instant::now();
     let mut total = 0usize;
     loop {

@@ -50,7 +50,9 @@ pub fn sanitize_name(name: &str) -> String {
 }
 
 /// Escapes a label value per the exposition spec (backslash, quote,
-/// newline).
+/// newline). Escaping order matters: the backslash case must not
+/// re-escape the backslashes this function itself emits, which the
+/// per-character match guarantees.
 pub fn escape_label_value(v: &str) -> String {
     let mut out = String::with_capacity(v.len());
     for c in v.chars() {
@@ -64,11 +66,47 @@ pub fn escape_label_value(v: &str) -> String {
     out
 }
 
+/// Maps an arbitrary label name onto a valid exposition label name
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`): invalid characters become `_`, and a
+/// leading digit gains a `_` prefix. Label names have no escape syntax
+/// in the text format, so sanitizing is the only safe option.
+pub fn sanitize_label_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit()) {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders a `{k="v",...}` label block with sanitized names and escaped
+/// values — the one place label pairs become exposition text, so no
+/// caller can emit an invalid document through a hostile value.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let rendered: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_label_name(k), escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", rendered.join(","))
+}
+
 /// An append-only builder for one exposition document. All `write_*`
 /// methods sanitize the metric name and emit the `# TYPE` header.
 #[derive(Debug, Default)]
 pub struct PromWriter {
     buf: String,
+    /// Sanitized names whose `# TYPE` header has been emitted by a
+    /// labeled-series writer, so many samples share one header.
+    labeled_headers: Vec<String>,
 }
 
 impl PromWriter {
@@ -113,9 +151,44 @@ impl PromWriter {
         let n = sanitize_name(name);
         let _ = writeln!(self.buf, "# HELP {n} {help}");
         let _ = writeln!(self.buf, "# TYPE {n} gauge");
-        let rendered: Vec<String> =
-            labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
-        let _ = writeln!(self.buf, "{n}{{{}}} 1", rendered.join(","));
+        let _ = writeln!(self.buf, "{n}{} 1", render_labels(labels));
+    }
+
+    /// Emits one sample of a labeled counter series (`<name>_total{...}`).
+    /// The `# HELP`/`# TYPE` header is emitted on the first sample of
+    /// each name only — one header, many series, per the format spec.
+    pub fn write_counter_labeled(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: u64,
+    ) {
+        let n = format!("{}_total", sanitize_name(name));
+        if !self.labeled_headers.contains(&n) {
+            let _ = writeln!(self.buf, "# HELP {n} {help}");
+            let _ = writeln!(self.buf, "# TYPE {n} counter");
+            self.labeled_headers.push(n.clone());
+        }
+        let _ = writeln!(self.buf, "{n}{} {value}", render_labels(labels));
+    }
+
+    /// Emits one sample of a labeled gauge series (see
+    /// [`write_counter_labeled`](Self::write_counter_labeled)).
+    pub fn write_gauge_labeled(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: i64,
+    ) {
+        let n = sanitize_name(name);
+        if !self.labeled_headers.contains(&n) {
+            let _ = writeln!(self.buf, "# HELP {n} {help}");
+            let _ = writeln!(self.buf, "# TYPE {n} gauge");
+            self.labeled_headers.push(n.clone());
+        }
+        let _ = writeln!(self.buf, "{n}{} {value}", render_labels(labels));
     }
 
     /// Emits one log₂ [`Histogram`] as a Prometheus histogram (cumulative
@@ -246,6 +319,83 @@ mod tests {
         assert_eq!(sanitize_name("serve.requests_shed"), "crossmine_serve_requests_shed");
         assert_eq!(sanitize_name("a-b c"), "crossmine_a_b_c");
         assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    /// The label-escaping pin: every character class the exposition
+    /// format gives special meaning to — backslash, double quote,
+    /// newline — must round-trip through exactly one escape, including
+    /// pathological runs and pre-escaped input (which must NOT be
+    /// double-unescapable).
+    #[test]
+    fn label_value_escaping_covers_every_special_character() {
+        assert_eq!(escape_label_value(""), "");
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("\\"), "\\\\");
+        assert_eq!(escape_label_value("\\\\"), "\\\\\\\\");
+        assert_eq!(escape_label_value("\""), "\\\"");
+        assert_eq!(escape_label_value("\n"), "\\n");
+        assert_eq!(escape_label_value("\n\n"), "\\n\\n");
+        // Already-escaped-looking input gains another layer (the format
+        // has no idempotent escape; re-escaping is the correct behavior).
+        assert_eq!(escape_label_value("\\n"), "\\\\n");
+        assert_eq!(escape_label_value("\\\""), "\\\\\\\"");
+        // Other control/unicode characters pass through untouched.
+        assert_eq!(escape_label_value("t\tb √"), "t\tb √");
+    }
+
+    #[test]
+    fn label_names_sanitize_to_the_legal_charset() {
+        assert_eq!(sanitize_label_name("shard"), "shard");
+        assert_eq!(sanitize_label_name("shard-id"), "shard_id");
+        assert_eq!(sanitize_label_name("shard.0"), "shard_0");
+        assert_eq!(sanitize_label_name("0shard"), "_0shard");
+        assert_eq!(sanitize_label_name(""), "_");
+        assert_eq!(sanitize_label_name("lock name"), "lock_name");
+    }
+
+    /// A hostile label value can never produce an invalid exposition
+    /// document through the labeled writers: the emitted line must stay
+    /// a single line and keep its quotes balanced.
+    #[test]
+    fn labeled_series_survive_hostile_label_values() {
+        let mut w = PromWriter::new();
+        w.write_counter_labeled(
+            "profile.lock_waits",
+            "lock wait",
+            &[("lock", "queue\"inner\\path\nnext")],
+            3,
+        );
+        w.write_gauge_labeled("shard.depth", "depth", &[("shard", "0")], 5);
+        let text = w.finish();
+        let sample = text
+            .lines()
+            .find(|l| l.starts_with("crossmine_profile_lock_waits_total{"))
+            .expect("sample line present");
+        assert_eq!(
+            sample,
+            "crossmine_profile_lock_waits_total{lock=\"queue\\\"inner\\\\path\\nnext\"} 3"
+        );
+        // Unescaped quotes (a parser's view: `\"` is content) must be
+        // exactly the value's delimiters.
+        let unescaped_quotes = sample.replace("\\\\", "").replace("\\\"", "").matches('"').count();
+        assert_eq!(unescaped_quotes, 2, "unbalanced quotes: {sample}");
+        assert!(text.contains("crossmine_shard_depth{shard=\"0\"} 5"), "{text}");
+    }
+
+    /// Labeled series share one `# TYPE` header per name, however many
+    /// samples are written — a duplicate header is an invalid document.
+    #[test]
+    fn labeled_series_emit_one_header_per_name() {
+        let mut w = PromWriter::new();
+        for shard in 0..3 {
+            let v = shard.to_string();
+            w.write_counter_labeled("shard.requests", "per-shard", &[("shard", &v)], 10);
+            w.write_gauge_labeled("shard.queue_depth", "per-shard", &[("shard", &v)], 1);
+        }
+        let text = w.finish();
+        assert_eq!(text.matches("# TYPE crossmine_shard_requests_total counter").count(), 1);
+        assert_eq!(text.matches("# TYPE crossmine_shard_queue_depth gauge").count(), 1);
+        assert_eq!(text.matches("crossmine_shard_requests_total{shard=").count(), 3);
     }
 
     #[test]

@@ -60,6 +60,7 @@
 pub mod expose;
 pub mod jsonl;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod trace;
 pub mod tracectx;
@@ -71,6 +72,10 @@ use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use trace::{pop_depth, push_depth, EventKind, Recorder, RingSink, Sink};
 
 pub use expose::{render_registry, PromWriter};
+pub use profile::{
+    heap_snapshot, process_stats, HeapEntry, LockTimer, LockWait, ProcessStats, ProfileConfig,
+    ProfileGuard, ProfileStats, ProfiledAllocator, Profiler,
+};
 pub use report::{Report, ServeReport, TrainReport};
 pub use trace::{Event, FieldValue};
 pub use tracectx::{
@@ -86,6 +91,10 @@ struct ObsInner {
     /// Whether span enter/exit and `trace!` points become sink events (in
     /// addition to the always-on aggregated histograms).
     events: bool,
+    /// When enabled, every span additionally publishes a frame to this
+    /// thread's profiling slot ([`profile::Profiler`]), so instrumented
+    /// code shows up in wall profiles without separate annotations.
+    profiler: profile::Profiler,
 }
 
 /// A cheaply cloneable handle to one observability session — or a no-op.
@@ -118,10 +127,19 @@ impl ObsHandle {
     /// histograms accumulate lock-free; no events are emitted. This is the
     /// lowest-overhead *enabled* mode and what `--report` uses.
     pub fn enabled() -> Self {
+        Self::enabled_with_profiler(profile::Profiler::noop())
+    }
+
+    /// [`enabled`](Self::enabled) plus continuous profiling: every span
+    /// this handle starts also publishes a frame to the calling thread's
+    /// [`profile::Profiler`] slot, so the learner's existing `span!`
+    /// instrumentation shows up in wall profiles with no extra hooks.
+    pub fn enabled_with_profiler(profiler: profile::Profiler) -> Self {
         ObsHandle(Some(Arc::new(ObsInner {
             registry: MetricsRegistry::new(),
             recorder: Recorder::new(Arc::new(trace::NoopSink)),
             events: false,
+            profiler,
         })))
     }
 
@@ -132,6 +150,7 @@ impl ObsHandle {
             registry: MetricsRegistry::new(),
             recorder: Recorder::new(sink),
             events: true,
+            profiler: profile::Profiler::noop(),
         })))
     }
 
@@ -153,6 +172,14 @@ impl ObsHandle {
         self.0.as_deref().map(|i| &i.registry)
     }
 
+    /// The profiler this handle publishes spans to — the noop profiler
+    /// on plain or disabled handles. Lets downstream layers (e.g. the
+    /// learner's count store) register lock timers against the same
+    /// profiling session.
+    pub fn profiler(&self) -> profile::Profiler {
+        self.0.as_deref().map(|i| i.profiler.clone()).unwrap_or_default()
+    }
+
     /// Starts a span named `name`; the returned guard records its duration
     /// into the span histogram (and emits enter/exit events on
     /// event-streaming handles) when dropped.
@@ -171,7 +198,7 @@ impl ObsHandle {
         fields: &[(&'static str, FieldValue)],
     ) -> SpanGuard<'_> {
         match &self.0 {
-            None => SpanGuard { inner: None },
+            None => SpanGuard { inner: None, profile: profile::ProfileGuard::disabled() },
             Some(inner) => {
                 if inner.events {
                     inner.recorder.emit(EventKind::Enter, name, None, fields);
@@ -179,6 +206,7 @@ impl ObsHandle {
                 let depth = push_depth();
                 SpanGuard {
                     inner: Some(ActiveSpan { obs: inner, name, start: Instant::now(), depth }),
+                    profile: inner.profiler.enter(name),
                 }
             }
         }
@@ -261,21 +289,27 @@ struct ActiveSpan<'a> {
 
 /// RAII guard returned by [`ObsHandle::span`]: on drop, records the span's
 /// duration (nanoseconds) into the handle's span histogram and restores
-/// the thread's nesting depth. The disabled guard does nothing.
+/// the thread's nesting depth. On profiling handles it also carries the
+/// published profile frame, popped on drop. The disabled guard does
+/// nothing.
 pub struct SpanGuard<'a> {
     inner: Option<ActiveSpan<'a>>,
+    /// The frame published to this thread's profiling slot (disabled on
+    /// non-profiling handles); dropped — popped — with the guard.
+    profile: profile::ProfileGuard,
 }
 
 impl SpanGuard<'_> {
     /// A guard that records nothing (what [`span!`] expands to under the
     /// `compile-out` feature).
     pub fn disabled() -> SpanGuard<'static> {
-        SpanGuard { inner: None }
+        SpanGuard { inner: None, profile: profile::ProfileGuard::disabled() }
     }
 
-    /// Whether this guard will record on drop.
+    /// Whether this guard will record on drop — into the span histogram,
+    /// the profiling slot, or both.
     pub fn is_recording(&self) -> bool {
-        self.inner.is_some()
+        self.inner.is_some() || self.profile.is_recording()
     }
 }
 

@@ -101,7 +101,8 @@ pub use chaos::{ChaosAction, ChaosConfig};
 pub use crossmine_core::explain::{ClauseFire, LiteralMatch, RowExplanation};
 pub use crossmine_net::{NetConfig, NetLimits, NetMetrics, WireStatus};
 pub use crossmine_obs::{
-    ObsHandle, ServeReport, StoredTrace, TraceConfig, TraceCtx, TraceId, TraceStats, Tracer,
+    ObsHandle, ProfileConfig, Profiler, ServeReport, StoredTrace, TraceConfig, TraceCtx, TraceId,
+    TraceStats, Tracer,
 };
 pub use error::ServeError;
 pub use eval::{evaluate_batch, evaluate_batch_traced, ServeScratch};

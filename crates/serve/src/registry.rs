@@ -15,7 +15,9 @@
 //! an epoch, and one `Arc`).
 
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crossmine_obs::LockTimer;
 
 use crate::plan::CompiledPlan;
 
@@ -43,6 +45,11 @@ pub struct ModelRegistry {
     /// deallocation.
     history: Mutex<Vec<*mut Node>>,
     swaps: AtomicU64,
+    /// Times history-mutex acquisitions in [`install`](Self::install) into
+    /// the profiler's `registry.swap` wait histogram. Set at most once, by
+    /// the first profiler-enabled server using this registry; empty (the
+    /// common case) costs one branch per install.
+    swap_timer: OnceLock<LockTimer>,
 }
 
 // SAFETY: the raw pointers in `history` (and `head`) point to heap nodes
@@ -71,7 +78,13 @@ impl ModelRegistry {
             head: AtomicPtr::new(node),
             history: Mutex::new(vec![node]),
             swaps: AtomicU64::new(0),
+            swap_timer: OnceLock::new(),
         }
+    }
+
+    /// Wires contention attribution for the swap path; first set wins.
+    pub(crate) fn set_lock_timer(&self, timer: LockTimer) {
+        let _ = self.swap_timer.set(timer);
     }
 
     /// Wait-free read of the current model: `Acquire` load + `Arc` clone.
@@ -89,7 +102,11 @@ impl ModelRegistry {
     /// in-flight batches that already took a snapshot finish under the old
     /// one (their `Arc` keeps it alive), so no request is dropped or torn.
     pub fn install(&self, plan: CompiledPlan) -> u64 {
-        let mut history = self.history.lock().expect("registry history poisoned");
+        let acquire = || self.history.lock().expect("registry history poisoned");
+        let mut history = match self.swap_timer.get() {
+            Some(t) => t.time(acquire),
+            None => acquire(),
+        };
         let epoch = history.len() as u64;
         let node = Box::into_raw(Box::new(Node { plan: Arc::new(plan), epoch }));
         // Publish before extending the history: a reader that loads the new

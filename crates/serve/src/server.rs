@@ -52,7 +52,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossmine_net::{NetConfig, NetListener, NetMetrics};
-use crossmine_obs::{ObsHandle, TraceCtx, Tracer, ROOT_SPAN};
+use crossmine_obs::{LockTimer, ObsHandle, Profiler, TraceCtx, Tracer, ROOT_SPAN};
 use crossmine_relational::{ClassLabel, Database, DeltaBatch, DeltaOverlay, Row};
 
 use crossmine_core::explain::RowExplanation;
@@ -129,6 +129,16 @@ pub struct ServerConfig {
     /// slow-request log. The tracer is shared with the wire front end
     /// unless [`crossmine_net::NetConfig::tracer`] was set explicitly.
     pub tracer: Tracer,
+    /// Continuous profiler (default: [`Profiler::noop`], one branch per
+    /// call site and zero allocations). An enabled profiler wall-samples
+    /// the span stacks of every worker and poll thread into folded-stack
+    /// counts (`GET /profile`, `/profile/flamegraph`), attributes
+    /// allocations to the innermost active span (`/profile/heap`, when a
+    /// [`crossmine_obs::ProfiledAllocator`] is installed), and times the
+    /// admission-queue, stats-cache, and registry-swap lock acquisitions
+    /// into per-lock wait histograms. Shared with the wire front end
+    /// unless [`crossmine_net::NetConfig::profiler`] was set explicitly.
+    pub profiler: Profiler,
     /// Sharding (default: one shard, i.e. unsharded). A config with
     /// `shard.shards > 1` starts a [`ShardRouter`](crate::shard::ShardRouter)
     /// — handing it to [`PredictionServer::start`] directly is rejected
@@ -153,6 +163,7 @@ impl Default for ServerConfig {
             telemetry_addr: None,
             net: None,
             tracer: Tracer::noop(),
+            profiler: Profiler::noop(),
             shard: ShardConfig::default(),
             shard_id: None,
         }
@@ -264,6 +275,12 @@ impl ServerConfigBuilder {
     /// Request tracer. See [`ServerConfig::tracer`].
     pub fn tracer(mut self, tracer: Tracer) -> Self {
         self.config.tracer = tracer;
+        self
+    }
+
+    /// Continuous profiler. See [`ServerConfig::profiler`].
+    pub fn profiler(mut self, profiler: Profiler) -> Self {
+        self.config.profiler = profiler;
         self
     }
 
@@ -437,6 +454,12 @@ pub(crate) struct Admitter {
     metrics: Arc<ServeMetrics>,
     obs: ObsHandle,
     tracer: Tracer,
+    /// Publishes a `serve.admission` frame while admitting, so wall
+    /// samples of the net poll thread attribute time spent here.
+    profiler: Profiler,
+    /// Times every admission-queue mutex acquisition into the
+    /// `serve.queue` wait histogram (no-op when profiling is off).
+    queue_timer: LockTimer,
     queue_capacity: usize,
 }
 
@@ -467,7 +490,8 @@ impl Admitter {
         complete_in_worker: bool,
     ) -> Result<PredictionHandle, ServeError> {
         let (tx, rx) = mpsc::channel();
-        let mut st = lock_state(&self.shared);
+        let _adm = self.profiler.enter("serve.admission");
+        let mut st = self.queue_timer.time(|| lock_state(&self.shared));
         if st.shutdown {
             drop(st);
             trace.mark_error();
@@ -584,6 +608,7 @@ impl PredictionServer {
                     stop: AtomicBool::new(false),
                     net_metrics: net_metrics.clone(),
                     tracer: config.tracer.clone(),
+                    profiler: config.profiler.clone(),
                     shards: Vec::new(),
                 });
                 let handle = TelemetryHandle::start(addr, tshared).map_err(|e| {
@@ -594,6 +619,13 @@ impl PredictionServer {
             None => None,
         };
         let overlay: OverlaySlot = Arc::new(RwLock::new(None));
+        // Contention attribution for hot swaps: the registry's history
+        // mutex is timed into the `registry.swap` wait histogram. Only an
+        // enabled profiler pins the once-settable slot, so a later enabled
+        // server on the same registry can still claim it.
+        if config.profiler.is_enabled() {
+            registry.set_lock_timer(config.profiler.lock_timer("registry.swap"));
+        }
         let workers = (0..config.workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
@@ -612,6 +644,8 @@ impl PredictionServer {
             metrics: Arc::clone(&metrics),
             obs: config.obs.clone(),
             tracer: config.tracer.clone(),
+            profiler: config.profiler.clone(),
+            queue_timer: config.profiler.lock_timer("serve.queue"),
             queue_capacity: config.queue_capacity,
         };
         let net = match (&config.net, net_metrics) {
@@ -623,6 +657,12 @@ impl PredictionServer {
                 let mut net_config = net_config.clone();
                 if !net_config.tracer.is_enabled() {
                     net_config.tracer = config.tracer.clone();
+                }
+                // Same sharing for the profiler: the poll thread publishes
+                // its span stack into the server's sampler unless the net
+                // config brought its own.
+                if !net_config.profiler.is_enabled() {
+                    net_config.profiler = config.profiler.clone();
                 }
                 let listener = NetListener::start(
                     net_config.clone(),
@@ -850,6 +890,12 @@ impl PredictionServer {
         Arc::clone(&self.metrics)
     }
 
+    /// The shard's profiler handle (noop unless configured), for the
+    /// router's in-process routing frame.
+    pub(crate) fn profiler(&self) -> &Profiler {
+        &self.config.profiler
+    }
+
     /// The address the telemetry endpoint actually bound, when
     /// [`ServerConfig::telemetry_addr`] was set. Useful with port 0.
     pub fn telemetry_addr(&self) -> Option<SocketAddr> {
@@ -947,6 +993,10 @@ fn worker_loop(
     overlay: &RwLock<Option<Arc<DeltaOverlay>>>,
     config: &ServerConfig,
 ) {
+    // Root profile frame held for the thread's whole life: every wall
+    // sample of a worker is attributed at least to `serve.worker`, with
+    // the wait/batch/eval frames below refining where the time went.
+    let _worker_frame = config.profiler.enter("serve.worker");
     let mut scratch = ServeScratch::with_obs(config.obs.clone());
     let mut overlay_scratch = OverlayScratch::with_obs(config.obs.clone());
     // Cache the histogram handle once per worker so the per-request record
@@ -958,6 +1008,7 @@ fn worker_loop(
         batch.clear();
         rows.clear();
         {
+            let _wait_frame = config.profiler.enter("serve.wait");
             let mut st = lock_state(shared);
             // Wait for the first request (or a fully-drained shutdown).
             loop {
@@ -1066,7 +1117,9 @@ fn worker_loop(
         // The scoring region: the one place arbitrary model/data bugs (and
         // injected chaos panics) can fire. A panic here must cost exactly
         // one batch, not the server.
+        let _batch_frame = config.profiler.enter("serve.batch");
         let eval_start = Instant::now();
+        let eval_frame = config.profiler.enter("serve.eval");
         let scored = catch_unwind(AssertUnwindSafe(|| {
             if let Some(ChaosAction::Panic) = chaos {
                 panic!("chaos: injected worker panic");
@@ -1076,6 +1129,7 @@ fn worker_loop(
                 None => evaluate_batch(&snap.plan, db, &rows, &mut scratch),
             }
         }));
+        drop(eval_frame);
         let eval_end = Instant::now();
         match scored {
             Ok(labels) => {

@@ -47,7 +47,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossmine_net::{Backend, BatchReply, NetListener, NetMetrics, WireReject};
-use crossmine_obs::TraceCtx;
+use crossmine_obs::{Profiler, TraceCtx};
 use crossmine_relational::{Database, DeltaBatch, Row};
 
 use crate::error::ServeError;
@@ -152,6 +152,9 @@ impl RouterStats {
 /// resolution state machine is literally shared ([`poll_pending`]).
 struct RouterBackend {
     admitters: Vec<crate::server::Admitter>,
+    /// Publishes a `shard.route` frame while hashing rows to shards, so
+    /// router fan-out cost shows up in wall samples of the poll thread.
+    profiler: Profiler,
 }
 
 impl Backend for RouterBackend {
@@ -163,6 +166,7 @@ impl Backend for RouterBackend {
         deadline: Option<Duration>,
         trace: &TraceCtx,
     ) -> Result<ServePending, WireReject> {
+        let _route = self.profiler.enter("shard.route");
         let deadline = deadline.map(|d| Instant::now() + d);
         let mut handles = Vec::with_capacity(rows.len());
         for &row in rows {
@@ -249,6 +253,7 @@ impl ShardRouter {
                     stop: AtomicBool::new(false),
                     net_metrics: net_metrics.clone(),
                     tracer: config.tracer.clone(),
+                    profiler: config.profiler.clone(),
                     shards: shards
                         .iter()
                         .enumerate()
@@ -270,10 +275,14 @@ impl ShardRouter {
             (Some(net_config), Some(net_metrics)) => {
                 let backend = Arc::new(RouterBackend {
                     admitters: shards.iter().map(|s| s.admitter().clone()).collect(),
+                    profiler: config.profiler.clone(),
                 });
                 let mut net_config = net_config.clone();
                 if !net_config.tracer.is_enabled() {
                     net_config.tracer = config.tracer.clone();
+                }
+                if !net_config.profiler.is_enabled() {
+                    net_config.profiler = config.profiler.clone();
                 }
                 match NetListener::start(
                     net_config.clone(),
@@ -335,6 +344,10 @@ impl ShardRouter {
         }
         let deadline = req.deadline.map(|d| Instant::now() + d);
         let mut handles = Vec::with_capacity(req.rows.len());
+        // In-process fan-out gets the same routing frame the wire backend
+        // publishes; the first shard's profiler is the router's (every
+        // shard clones the one config).
+        let _route = self.shards[0].profiler().enter("shard.route");
         for &row in &req.rows {
             let shard = req.shard_hint.unwrap_or_else(|| shard_of_row(row, n));
             let admitter = self.shards[shard].admitter();

@@ -43,7 +43,7 @@ use std::time::{Duration, Instant};
 
 use crossmine_net::http::{parse_request, write_response, HttpLimits};
 use crossmine_net::NetMetrics;
-use crossmine_obs::{ObsHandle, PromWriter, Tracer};
+use crossmine_obs::{process_stats, ObsHandle, Profiler, PromWriter, Tracer};
 
 use crate::metrics::{bucket_upper_bound, ServeMetrics, NUM_BUCKETS};
 use crate::registry::ModelRegistry;
@@ -134,6 +134,11 @@ pub(crate) struct TelemetryShared {
     /// makes those routes answer 404 and leaves `/metrics` byte-identical
     /// to the tracing-free surface.
     pub(crate) tracer: Tracer,
+    /// The server's profiler; backs `GET /profile` (collapsed stacks),
+    /// `/profile/flamegraph` (SVG), and `/profile/heap`. A no-op profiler
+    /// makes those routes answer 404 and leaves `/metrics` byte-identical
+    /// to the profiling-free surface.
+    pub(crate) profiler: Profiler,
     /// Per-shard sources when this endpoint fronts a
     /// [`ShardRouter`](crate::shard::ShardRouter). Empty for a standalone
     /// server (the single-server fields above are authoritative then);
@@ -366,6 +371,17 @@ impl TelemetryShared {
                 "current adaptive sweep backoff of the net poll loop",
                 net.sweep_backoff_us.load(Ordering::Relaxed) as i64,
             );
+        }
+        // Process-level gauges from /proc/self — independent of whether
+        // the profiler (or any obs handle) is enabled, and silently absent
+        // on platforms without procfs.
+        if let Some(ps) = process_stats() {
+            w.write_gauge(
+                "process.resident_memory_bytes",
+                "resident set size of this process",
+                ps.resident_bytes as i64,
+            );
+            w.write_gauge("process.threads", "OS threads in this process", ps.threads as i64);
         }
         let uptime = self.uptime_seconds();
         w.write_gauge_f64("serve.uptime_seconds", "seconds since the server started", uptime);
@@ -633,10 +649,23 @@ fn handle_connection(mut stream: TcpStream, shared: &TelemetryShared, prev_degra
             "/trace" | "/trace/chrome" | "/trace/exemplars" => {
                 (404, "text/plain", "tracing disabled\n".into())
             }
+            "/profile" if shared.profiler.is_enabled() => {
+                (200, "text/plain; charset=utf-8", shared.profiler.collapsed())
+            }
+            "/profile/flamegraph" if shared.profiler.is_enabled() => {
+                (200, "image/svg+xml", shared.profiler.flamegraph_svg())
+            }
+            "/profile/heap" if shared.profiler.is_enabled() => {
+                (200, "text/plain; charset=utf-8", shared.profiler.heap_report())
+            }
+            // Profiling off: same 404 contract as the trace routes.
+            "/profile" | "/profile/flamegraph" | "/profile/heap" => {
+                (404, "text/plain", "profiling disabled\n".into())
+            }
             _ => (
                 404,
                 "text/plain",
-                "not found (try /metrics, /healthz, /buildinfo, /trace)\n".into(),
+                "not found (try /metrics, /healthz, /buildinfo, /trace, /profile)\n".into(),
             ),
         }
     };
